@@ -1,0 +1,65 @@
+//! Criterion bench: per-engine decomposition throughput on real unit
+//! graphs grouped by size — the kernel data behind the Table IV/V trends
+//! (who is fast, who is slow, how the gap widens with unit size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpld::prepare;
+use mpld_ec::EcDecomposer;
+use mpld_graph::{DecomposeParams, Decomposer, LayoutGraph};
+use mpld_ilp::encode::BipDecomposer;
+use mpld_ilp::IlpDecomposer;
+use mpld_layout::circuit_by_name;
+use mpld_sdp::SdpDecomposer;
+
+/// Representative unit graphs of each size class from C2670.
+fn units_by_size() -> Vec<(usize, Vec<LayoutGraph>)> {
+    let params = DecomposeParams::tpl();
+    let layout = circuit_by_name("C2670").expect("known circuit").generate();
+    let prep = prepare(&layout, &params);
+    let mut classes: Vec<(usize, Vec<LayoutGraph>)> =
+        vec![(5, vec![]), (9, vec![]), (13, vec![])];
+    for u in &prep.units {
+        let n = u.hetero.num_nodes();
+        for (cap, bucket) in classes.iter_mut() {
+            if n <= *cap && n + 3 > *cap && bucket.len() < 8 {
+                bucket.push(u.hetero.clone());
+                break;
+            }
+        }
+    }
+    classes.retain(|(_, b)| !b.is_empty());
+    classes
+}
+
+fn bench_decomposers(c: &mut Criterion) {
+    let params = DecomposeParams::tpl();
+    let classes = units_by_size();
+    let mut group = c.benchmark_group("decomposers");
+    for (size, graphs) in &classes {
+        let engines: Vec<(&str, Box<dyn Decomposer>)> = vec![
+            ("ilp_eq3", Box::new(BipDecomposer::new())),
+            ("ilp_bb", Box::new(IlpDecomposer::new())),
+            ("ec", Box::new(EcDecomposer::new())),
+            ("sdp", Box::new(SdpDecomposer::new())),
+        ];
+        for (name, engine) in engines {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("n<={size}")),
+                graphs,
+                |b, graphs| {
+                    b.iter(|| {
+                        let mut total = 0u32;
+                        for g in graphs {
+                            total += engine.decompose(g, &params).cost.conflicts;
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposers);
+criterion_main!(benches);

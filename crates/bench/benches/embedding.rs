@@ -1,0 +1,51 @@
+//! Criterion bench: RGCN inference throughput — per-graph versus batched
+//! over the disjoint union. Supports the Fig. 9 claim that GNN operations
+//! are a trivial fraction of the decomposition runtime *when batched*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpld::prepare;
+use mpld_gnn::RgcnClassifier;
+use mpld_graph::{DecomposeParams, LayoutGraph};
+use mpld_layout::circuit_by_name;
+
+fn unit_graphs(n: usize) -> Vec<LayoutGraph> {
+    let params = DecomposeParams::tpl();
+    let layout = circuit_by_name("C1355").expect("known circuit").generate();
+    let prep = prepare(&layout, &params);
+    prep.units.iter().take(n).map(|u| u.hetero.clone()).collect()
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let graphs = unit_graphs(64);
+    let refs: Vec<&LayoutGraph> = graphs.iter().collect();
+    let mut group = c.benchmark_group("rgcn_inference");
+
+    group.bench_function("single_graph_x64", |b| {
+        let mut model = RgcnClassifier::selector(7);
+        b.iter(|| {
+            let mut acc = 0f32;
+            for g in &refs {
+                acc += model.predict(g)[0];
+            }
+            acc
+        })
+    });
+
+    group.bench_function("batched_x64", |b| {
+        let mut model = RgcnClassifier::selector(7);
+        b.iter(|| {
+            let probs = model.predict_batch(&refs);
+            probs.iter().map(|p| p[0]).sum::<f32>()
+        })
+    });
+
+    group.bench_function("embeddings_batched_x64", |b| {
+        let mut model = RgcnClassifier::selector(7);
+        b.iter(|| model.embeddings_batch(&refs).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion bench: graph-library matching versus decomposing from
+//! scratch, plus the library-size ablation (`max_parent_size`), the
+//! design choice DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpld_gnn::RgcnClassifier;
+use mpld_graph::{DecomposeParams, Decomposer, LayoutGraph};
+use mpld_ilp::IlpDecomposer;
+use mpld_matching::{GraphLibrary, LibraryConfig};
+
+fn library_sized_graphs() -> Vec<LayoutGraph> {
+    // Relabeled copies of irreducible graphs (worst case: full match path).
+    mpld_matching::enumerate_parent_graphs(6, 3)
+        .into_iter()
+        .map(|g| {
+            let n = g.num_nodes() as u32;
+            let relabel: Vec<u32> = (0..n).map(|v| (v + 1) % n).collect();
+            let edges = g
+                .conflict_edges()
+                .iter()
+                .map(|&(a, b)| (relabel[a as usize], relabel[b as usize]))
+                .collect();
+            LayoutGraph::homogeneous(g.num_nodes(), edges).expect("relabel is valid")
+        })
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let params = DecomposeParams::tpl();
+    let graphs = library_sized_graphs();
+    let mut group = c.benchmark_group("matching");
+
+    let mut embedder = RgcnClassifier::selector(3);
+    let lib = GraphLibrary::build(
+        &mut embedder,
+        &LibraryConfig { stitches: false, ..LibraryConfig::default() },
+        &params,
+    );
+    group.bench_function("library_lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for g in &graphs {
+                if lib.lookup(&mut embedder, g).is_some() {
+                    hits += 1;
+                }
+            }
+            assert_eq!(hits, graphs.len());
+            hits
+        })
+    });
+
+    let ilp = IlpDecomposer::new();
+    group.bench_function("ilp_from_scratch", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for g in &graphs {
+                total += ilp.decompose(g, &params).cost.conflicts;
+            }
+            total
+        })
+    });
+
+    // Ablation: library construction cost versus max parent size.
+    for max in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("build", max), &max, |b, &max| {
+            b.iter(|| {
+                let mut embedder = RgcnClassifier::selector(3);
+                let cfg = LibraryConfig {
+                    max_parent_size: max,
+                    max_splits: 1,
+                    max_nodes: max + 1,
+                    stitches: true,
+                };
+                GraphLibrary::build(&mut embedder, &cfg, &params).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: preprocessing throughput — conflict-graph
+//! construction, level-3 simplification, and stitch insertion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpld::prepare;
+use mpld_graph::simplify::{simplify, SimplifyOptions};
+use mpld_graph::DecomposeParams;
+use mpld_layout::circuit_by_name;
+
+fn bench_simplify(c: &mut Criterion) {
+    let params = DecomposeParams::tpl();
+    let mut group = c.benchmark_group("preprocessing");
+    for name in ["C432", "C2670", "S1488"] {
+        let layout = circuit_by_name(name).expect("known circuit").generate();
+        group.bench_with_input(BenchmarkId::new("conflict_graph", name), &layout, |b, l| {
+            b.iter(|| l.to_conflict_graph().conflict_edges().len())
+        });
+        let graph = layout.to_conflict_graph();
+        group.bench_with_input(BenchmarkId::new("simplify_l3", name), &graph, |b, g| {
+            b.iter(|| simplify(g, params.k, SimplifyOptions::default()).units().len())
+        });
+        group.bench_with_input(BenchmarkId::new("full_prepare", name), &layout, |b, l| {
+            b.iter(|| prepare(l, &params).units.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplify);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. sum vs max readout for the two classifier heads;
+//! 2. ColorGNN restart count (`iter` in Algorithm 1);
+//! 3. ColorGNN neighbor sampling on/off;
+//! 4. redundancy-prediction confidence bar.
+
+use mpld::ConfusionMatrix;
+use mpld_bench::{env_usize, print_table, Bench};
+use mpld_gnn::{ColorGnn, ColorGnnTrainConfig, Readout, RgcnClassifier, TrainConfig};
+use mpld_graph::{Decomposer, LayoutGraph};
+use mpld_ilp::IlpDecomposer;
+use std::time::Instant;
+
+fn main() {
+    let bench = Bench::load();
+    let epochs = env_usize("MPLD_EPOCHS", 12);
+    let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    let n = bench.circuits.len();
+    let split = (n / 2).max(1);
+    let train_idx: Vec<usize> = (0..split).collect();
+    let test_idx: Vec<usize> = (split..n).collect();
+    let train = bench.merged_data(&train_idx);
+
+    // ---------------------------------------------------------------
+    println!("Ablation 1: readout choice per classification head\n");
+    let mut rows = Vec::new();
+    type LabelFn = fn(&mpld::TrainingData) -> Vec<(usize, u8)>;
+    let tasks: [(&str, LabelFn); 2] = [
+        ("selector", |d| {
+            d.selector_labels.iter().enumerate().map(|(i, &l)| (i, l)).collect()
+        }),
+        ("redundancy", |d| d.redundancy_labels.clone()),
+    ];
+    for (task, labels_of) in tasks {
+        for readout in [Readout::Sum, Readout::Max] {
+            let head: Vec<usize> =
+                if task == "selector" { vec![64, 2] } else { vec![64, 32, 2] };
+            let mut model = RgcnClassifier::new(&[1, 32, 64], 2, readout, &head, 11);
+            let data: Vec<(&LayoutGraph, u8)> =
+                labels_of(&train).iter().map(|&(i, l)| (&train.units[i], l)).collect();
+            if data.is_empty() {
+                continue;
+            }
+            model.train(&data, &cfg);
+            let mut cm = ConfusionMatrix::new();
+            for &ci in &test_idx {
+                let d = &bench.data[ci];
+                let pairs = labels_of(d);
+                let graphs: Vec<&LayoutGraph> = pairs.iter().map(|&(i, _)| &d.units[i]).collect();
+                if graphs.is_empty() {
+                    continue;
+                }
+                let probs = model.predict_batch(&graphs);
+                for ((_, l), p) in pairs.iter().zip(&probs) {
+                    cm.record(u8::from(p[1] > p[0]), *l);
+                }
+            }
+            rows.push(vec![
+                task.to_string(),
+                format!("{readout:?}"),
+                format!("{:.3}", cm.f1()),
+                format!("{:.3}", cm.recall()),
+                format!("{:.3}", cm.accuracy()),
+            ]);
+        }
+    }
+    print_table(&["task", "readout", "F1", "recall", "accuracy"], &rows);
+    println!("paper choice: Sum for selection, Max for redundancy.\n");
+
+    // ---------------------------------------------------------------
+    println!("Ablation 2+3: ColorGNN restarts and neighbor sampling\n");
+    let parents: Vec<LayoutGraph> = test_idx
+        .iter()
+        .flat_map(|&ci| bench.prepared[ci].units.iter())
+        .map(|u| u.hetero.merge_stitch_edges().0)
+        .collect();
+    let refs: Vec<&LayoutGraph> = parents.iter().collect();
+    let ilp = IlpDecomposer::new();
+    let optima: Vec<u32> =
+        refs.iter().map(|g| ilp.decompose(g, &bench.params).cost.conflicts).collect();
+    let train_parents: Vec<LayoutGraph> = train
+        .units
+        .iter()
+        .filter(|g| !g.conflict_edges().is_empty())
+        .map(|g| g.merge_stitch_edges().0)
+        .collect();
+    let train_refs: Vec<&LayoutGraph> = train_parents.iter().collect();
+
+    let mut rows = Vec::new();
+    for (restarts, sample_keep) in
+        [(1usize, 0.8), (5, 0.8), (10, 0.8), (25, 0.8), (25, 1.0)]
+    {
+        let mut gnn = ColorGnn::with_shape(10, restarts, sample_keep, 0xC01);
+        gnn.train(
+            &train_refs,
+            bench.params.k,
+            &ColorGnnTrainConfig { epochs: env_usize("MPLD_COLORGNN_EPOCHS", 15), ..Default::default() },
+        );
+        let t = Instant::now();
+        let results = gnn.decompose_batch(&refs, &bench.params);
+        let elapsed = t.elapsed();
+        let optimal = results
+            .iter()
+            .zip(&optima)
+            .filter(|(d, &o)| d.cost.conflicts == o)
+            .count();
+        rows.push(vec![
+            restarts.to_string(),
+            format!("{sample_keep}"),
+            format!("{optimal}/{}", refs.len()),
+            mpld_bench::fmt_duration(elapsed),
+        ]);
+    }
+    print_table(&["restarts", "neighbor keep p", "optimal", "runtime"], &rows);
+    println!("paper uses iter = 5 with GPU batching; sampling helps escape local optima.\n");
+
+    // ---------------------------------------------------------------
+    println!("Ablation 4: redundancy confidence bar\n");
+    let mut model = RgcnClassifier::redundancy(13);
+    let data: Vec<(&LayoutGraph, u8)> = train
+        .redundancy_labels
+        .iter()
+        .map(|&(i, l)| (&train.units[i], l))
+        .collect();
+    if !data.is_empty() {
+        model.train(&data, &cfg);
+        let mut rows = Vec::new();
+        for bar in [0.5f32, 0.9, 0.99, 0.999] {
+            let mut cm = ConfusionMatrix::new();
+            for &ci in &test_idx {
+                let d = &bench.data[ci];
+                let graphs: Vec<&LayoutGraph> =
+                    d.redundancy_labels.iter().map(|&(i, _)| &d.units[i]).collect();
+                if graphs.is_empty() {
+                    continue;
+                }
+                let probs = model.predict_batch(&graphs);
+                for ((_, l), p) in d.redundancy_labels.iter().zip(&probs) {
+                    cm.record(u8::from(p[0] <= bar), *l);
+                }
+            }
+            rows.push(vec![
+                bar.to_string(),
+                cm.tp.to_string(),
+                cm.fp.to_string(),
+                format!("{:.3}", cm.precision()),
+                format!("{:.3}", cm.recall()),
+            ]);
+        }
+        print_table(&["bar", "pred-redundant TP", "FP", "precision", "recall"], &rows);
+        println!("higher bars trade recall (fewer ColorGNN routes) for precision.");
+    }
+}

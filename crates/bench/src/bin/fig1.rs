@@ -1,0 +1,81 @@
+//! Fig. 1 — graph embeddings of layout graphs in a vector space.
+//!
+//! Embeds every unit graph of a few circuits with the trained selector
+//! RGCN, projects the 64-D embeddings to 2-D with PCA, prints an ASCII
+//! scatter plot (marker = unit size class), and writes the coordinates
+//! to `results/fig1.csv`.
+
+use mpld_bench::{train_fold, Bench};
+use mpld_graph::LayoutGraph;
+use mpld_tensor::{pca2, Matrix};
+use std::io::Write;
+
+fn main() {
+    let bench = Bench::load();
+    let n = bench.circuits.len();
+    let train_idx: Vec<usize> = (0..n / 2).collect();
+    let test_idx: Vec<usize> = (n / 2..n).collect();
+    let mut fw = train_fold(&bench, &train_idx);
+
+    let mut graphs: Vec<&LayoutGraph> = Vec::new();
+    for &ci in &test_idx {
+        graphs.extend(bench.prepared[ci].units.iter().map(|u| &u.hetero));
+    }
+    if graphs.is_empty() {
+        eprintln!("no unit graphs to embed");
+        return;
+    }
+    let embeddings = fw.selector.embeddings_batch(&graphs);
+    let dim = embeddings[0].0.len();
+    let mut data = Matrix::zeros(graphs.len(), dim);
+    for (r, (emb, _)) in embeddings.iter().enumerate() {
+        for (c, &v) in emb.iter().enumerate() {
+            data[(r, c)] = v;
+        }
+    }
+    let coords = pca2(&data);
+
+    // CSV dump.
+    std::fs::create_dir_all("results").ok();
+    let mut csv = std::fs::File::create("results/fig1.csv").expect("create csv");
+    writeln!(csv, "pc1,pc2,nodes,has_stitch").expect("write");
+    for (r, g) in graphs.iter().enumerate() {
+        writeln!(
+            csv,
+            "{},{},{},{}",
+            coords[(r, 0)],
+            coords[(r, 1)],
+            g.num_nodes(),
+            g.has_stitches() as u8
+        )
+        .expect("write");
+    }
+
+    // ASCII scatter: markers by size class.
+    let (w, h) = (72usize, 24usize);
+    let (mut xmin, mut xmax, mut ymin, mut ymax) =
+        (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
+    for r in 0..coords.rows() {
+        xmin = xmin.min(coords[(r, 0)]);
+        xmax = xmax.max(coords[(r, 0)]);
+        ymin = ymin.min(coords[(r, 1)]);
+        ymax = ymax.max(coords[(r, 1)]);
+    }
+    let mut grid = vec![vec![' '; w]; h];
+    for (r, g) in graphs.iter().enumerate() {
+        let x = ((coords[(r, 0)] - xmin) / (xmax - xmin).max(1e-9) * (w - 1) as f32) as usize;
+        let y = ((coords[(r, 1)] - ymin) / (ymax - ymin).max(1e-9) * (h - 1) as f32) as usize;
+        let marker = match g.num_nodes() {
+            0..=6 => '.',
+            7..=10 => 'o',
+            _ => '#',
+        };
+        grid[h - 1 - y][x] = marker;
+    }
+    println!("Fig. 1: unit-graph embeddings projected to 2-D (PCA)");
+    println!("markers: '.' <=6 nodes, 'o' 7-10, '#' >10   ({} graphs)\n", graphs.len());
+    for row in grid {
+        println!("{}", row.into_iter().collect::<String>());
+    }
+    println!("\ncoordinates written to results/fig1.csv");
+}

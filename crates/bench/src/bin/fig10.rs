@@ -1,0 +1,43 @@
+//! Fig. 10 — decomposer usage breakdown: the percentage of simplified
+//! graphs decomposed by ILP, EC, ColorGNN, and library matching.
+
+use mpld::UsageBreakdown;
+use mpld_bench::{print_table, train_fold, Bench};
+
+fn main() {
+    let bench = Bench::load();
+    let mut usage = UsageBreakdown::default();
+    for (train_idx, test_idx) in bench.folds() {
+        if train_idx.is_empty() {
+            continue;
+        }
+        let mut fw = train_fold(&bench, &train_idx);
+        for &ci in &test_idx {
+            let r = fw.decompose_prepared(&bench.prepared[ci]);
+            usage.matching += r.usage.matching;
+            usage.colorgnn += r.usage.colorgnn;
+            usage.ilp += r.usage.ilp;
+            usage.ec += r.usage.ec;
+            usage.colorgnn_fallbacks += r.usage.colorgnn_fallbacks;
+        }
+        eprintln!("fold tested {test_idx:?}");
+    }
+
+    let total = (usage.matching + usage.colorgnn + usage.ilp + usage.ec).max(1);
+    let pct = |x: usize| format!("{:.2}%", 100.0 * x as f64 / total as f64);
+    println!("\nFig. 10: decomposer usage breakdown ({total} simplified graphs)\n");
+    print_table(
+        &["engine", "graphs", "share"],
+        &[
+            vec!["ColorGNN".into(), usage.colorgnn.to_string(), pct(usage.colorgnn)],
+            vec!["library matching".into(), usage.matching.to_string(), pct(usage.matching)],
+            vec!["EC".into(), usage.ec.to_string(), pct(usage.ec)],
+            vec!["ILP".into(), usage.ilp.to_string(), pct(usage.ilp)],
+        ],
+    );
+    println!(
+        "\nColorGNN attempts that fell back to exact engines: {}",
+        usage.colorgnn_fallbacks
+    );
+    println!("paper shape: ColorGNN dominates (86.11%); ILP rare (2.07%) yet dominates runtime.");
+}

@@ -1,0 +1,51 @@
+//! Fig. 3 — histogram of the number of simplified layout graphs (`|G|`)
+//! versus graphs that need no stitches in the optimum (`|ns-G|`), split
+//! into small (ISCAS-85) and large (ISCAS-89) layouts as in the paper.
+
+use mpld::layout_stats;
+use mpld_bench::{print_table, Bench};
+
+fn bar(value: usize, max: usize, width: usize) -> String {
+    let filled = if max == 0 { 0 } else { value * width / max };
+    "#".repeat(filled)
+}
+
+fn main() {
+    let bench = Bench::load();
+    println!("Fig. 3: |G| (all simplified graphs) vs |ns-G| (stitch-free optimum)\n");
+
+    for (title, large) in [("(a) small layouts", false), ("(b) large layouts", true)] {
+        let rows: Vec<(String, usize, usize)> = bench
+            .circuits
+            .iter()
+            .zip(&bench.prepared)
+            .filter(|(c, _)| c.large == large)
+            .map(|(c, p)| {
+                let s = layout_stats(p, &bench.params);
+                (c.name.to_string(), s.graphs, s.no_stitch_optimal)
+            })
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        println!("{title}");
+        let max = rows.iter().map(|r| r.1).max().unwrap_or(1);
+        let mut table = Vec::new();
+        for (name, g, ns) in &rows {
+            table.push(vec![
+                name.clone(),
+                g.to_string(),
+                bar(*g, max, 30),
+                ns.to_string(),
+                bar(*ns, max, 30),
+            ]);
+        }
+        print_table(&["circuit", "|G|", "|G| bar", "|ns-G|", "|ns-G| bar"], &table);
+        let tot_g: usize = rows.iter().map(|r| r.1).sum();
+        let tot_ns: usize = rows.iter().map(|r| r.2).sum();
+        println!(
+            "total |G| = {tot_g}, |ns-G| = {tot_ns} ({:.1}% need no stitch; paper: >80%)\n",
+            100.0 * tot_ns as f64 / tot_g.max(1) as f64
+        );
+    }
+}

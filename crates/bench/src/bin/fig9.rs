@@ -1,0 +1,56 @@
+//! Fig. 9 — runtime breakdown of the adaptive framework over the whole
+//! suite: time spent in the selected decomposers (ILP, EC), ColorGNN,
+//! library matching, algorithm selection, and redundancy prediction.
+
+use mpld::TimingBreakdown;
+use mpld_bench::{fmt_duration, print_table, train_fold, Bench};
+use std::time::Duration;
+
+fn main() {
+    let bench = Bench::load();
+    let mut total = TimingBreakdown::default();
+    for (train_idx, test_idx) in bench.folds() {
+        if train_idx.is_empty() {
+            continue;
+        }
+        let mut fw = train_fold(&bench, &train_idx);
+        for &ci in &test_idx {
+            let r = fw.decompose_prepared(&bench.prepared[ci]);
+            total.matching += r.timing.matching;
+            total.selection += r.timing.selection;
+            total.redundancy += r.timing.redundancy;
+            total.colorgnn += r.timing.colorgnn;
+            total.ilp += r.timing.ilp;
+            total.ec += r.timing.ec;
+        }
+        eprintln!("fold tested {test_idx:?}");
+    }
+
+    let sum = total.total().as_secs_f64().max(1e-12);
+    let pct = |d: Duration| format!("{:.2}%", 100.0 * d.as_secs_f64() / sum);
+    println!("\nFig. 9: runtime breakdown of the adaptive framework\n");
+    print_table(
+        &["category", "time", "share"],
+        &[
+            vec!["ILP decomposition".into(), fmt_duration(total.ilp), pct(total.ilp)],
+            vec!["EC decomposition".into(), fmt_duration(total.ec), pct(total.ec)],
+            vec!["ColorGNN decomposition".into(), fmt_duration(total.colorgnn), pct(total.colorgnn)],
+            vec![
+                "selection (embed + match index)".into(),
+                fmt_duration(total.selection),
+                pct(total.selection),
+            ],
+            vec!["library matching".into(), fmt_duration(total.matching), pct(total.matching)],
+            vec![
+                "redundancy prediction".into(),
+                fmt_duration(total.redundancy),
+                pct(total.redundancy),
+            ],
+        ],
+    );
+    let selected = total.ilp + total.ec + total.colorgnn;
+    println!(
+        "\nselected decomposers account for {:.2}% of the total (paper: ILP + DL = 84.31%)",
+        100.0 * selected.as_secs_f64() / sum
+    );
+}

@@ -1,0 +1,227 @@
+//! Shared infrastructure for the benchmark harness: suite preparation,
+//! per-circuit training-data caching, K-fold splits, and table printing.
+//!
+//! Every table/figure of the paper's evaluation has a dedicated binary in
+//! `src/bin/` (run with `cargo run --release -p mpld-bench --bin tableN`).
+//! Environment knobs shared by all binaries:
+//!
+//! - `MPLD_CIRCUITS=n` — only the first `n` circuits (quick runs);
+//! - `MPLD_EPOCHS=n` — RGCN training epochs (default 12);
+//! - `MPLD_TRAIN_CAP=n` — max units per circuit used for training
+//!   (default 150);
+//! - `MPLD_FOLDS=n` — number of leave-2-out folds actually executed
+//!   (default: all 8).
+
+use mpld::{prepare, OfflineConfig, PreparedLayout, TrainingData};
+use mpld_graph::DecomposeParams;
+use mpld_layout::{iscas_suite, Circuit};
+
+/// The prepared benchmark suite plus cached training labels.
+pub struct Bench {
+    /// Decomposition parameters (TPL defaults).
+    pub params: DecomposeParams,
+    /// The circuits, in paper order.
+    pub circuits: Vec<Circuit>,
+    /// Prepared layouts, parallel to `circuits`.
+    pub prepared: Vec<PreparedLayout>,
+    /// Per-circuit labeled data covering *every* unit (used as test sets;
+    /// training subsamples via [`Bench::merged_data`]).
+    pub data: Vec<TrainingData>,
+    /// Cap applied per circuit when building training sets.
+    pub train_cap: usize,
+}
+
+/// Reads a `usize` environment knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Bench {
+    /// Prepares the suite and labels training units (capped per circuit).
+    pub fn load() -> Bench {
+        let params = DecomposeParams::tpl();
+        let limit = env_usize("MPLD_CIRCUITS", 15).clamp(1, 15);
+        let train_cap = env_usize("MPLD_TRAIN_CAP", 150);
+        let circuits: Vec<Circuit> = iscas_suite().into_iter().take(limit).collect();
+        let prepared: Vec<PreparedLayout> =
+            circuits.iter().map(|c| prepare(&c.generate(), &params)).collect();
+        let data = prepared
+            .iter()
+            .map(|p| {
+                let mut d = TrainingData::default();
+                d.add_layout(p, &params);
+                d
+            })
+            .collect();
+        Bench { params, circuits, prepared, data, train_cap }
+    }
+
+    /// Offline config honoring the environment knobs.
+    pub fn offline_config(&self) -> OfflineConfig {
+        let mut cfg = OfflineConfig::default();
+        cfg.rgcn.epochs = env_usize("MPLD_EPOCHS", 12);
+        cfg.colorgnn.epochs = env_usize("MPLD_COLORGNN_EPOCHS", 15);
+        cfg
+    }
+
+    /// Merges the cached per-circuit data of `indices` into one training
+    /// dataset, subsampling each circuit to `train_cap` units while always
+    /// keeping the rare classes (ILP-better units and stitch-needing
+    /// units) that the classifiers must learn.
+    pub fn merged_data(&self, indices: &[usize]) -> TrainingData {
+        let mut out = TrainingData::default();
+        for &i in indices {
+            let d = &self.data[i];
+            let not_redundant: std::collections::HashSet<usize> = d
+                .redundancy_labels
+                .iter()
+                .filter(|&&(_, l)| l == 1)
+                .map(|&(u, _)| u)
+                .collect();
+            let mut keep: Vec<usize> = Vec::new();
+            let mut plain = 0usize;
+            for u in 0..d.units.len() {
+                let rare = d.selector_labels[u] == 0 || not_redundant.contains(&u);
+                if rare || plain < self.train_cap {
+                    keep.push(u);
+                    if !rare {
+                        plain += 1;
+                    }
+                }
+            }
+            let redundancy_of: std::collections::HashMap<usize, u8> =
+                d.redundancy_labels.iter().copied().collect();
+            for u in keep {
+                let idx = out.units.len();
+                out.units.push(d.units[u].clone());
+                out.selector_labels.push(d.selector_labels[u]);
+                if let Some(&l) = redundancy_of.get(&u) {
+                    out.redundancy_labels.push((idx, l));
+                }
+                out.ilp_costs.push(d.ilp_costs[u]);
+                out.ec_costs.push(d.ec_costs[u]);
+            }
+        }
+        out
+    }
+
+    /// Leave-2-out folds over the loaded circuits: fold `f` tests circuits
+    /// `{2f, 2f+1}` and trains on the rest, as in the paper's
+    /// cross-validation. Respects `MPLD_FOLDS`.
+    pub fn folds(&self) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let n = self.circuits.len();
+        let all_folds = n.div_ceil(2);
+        let wanted = env_usize("MPLD_FOLDS", all_folds).clamp(1, all_folds);
+        (0..wanted)
+            .map(|f| {
+                let test: Vec<usize> =
+                    [2 * f, 2 * f + 1].into_iter().filter(|&i| i < n).collect();
+                let train: Vec<usize> = (0..n).filter(|i| !test.contains(i)).collect();
+                (train, test)
+            })
+            .collect()
+    }
+}
+
+/// Trains an adaptive framework on the given circuit indices using the
+/// cached labels and the environment-configured hyperparameters.
+pub fn train_fold(bench: &Bench, train_idx: &[usize]) -> mpld::AdaptiveFramework {
+    let data = bench.merged_data(train_idx);
+    mpld::train_framework(&data, &bench.params, &bench.offline_config())
+}
+
+/// Prints a Markdown-ish table with right-aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(4)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a `Duration` in engineering style (s / ms / µs).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Bench {
+        let params = DecomposeParams::tpl();
+        let circuits: Vec<Circuit> = iscas_suite().into_iter().take(2).collect();
+        let prepared: Vec<PreparedLayout> =
+            circuits.iter().map(|c| prepare(&c.generate(), &params)).collect();
+        let data = prepared
+            .iter()
+            .map(|p| {
+                let mut d = TrainingData::default();
+                d.add_layout_capped(p, &params, 30);
+                d
+            })
+            .collect();
+        Bench { params, circuits, prepared, data, train_cap: 30 }
+    }
+
+    #[test]
+    fn folds_cover_all_circuits_once() {
+        let bench = tiny();
+        let folds = bench.folds();
+        let mut tested: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        tested.sort_unstable();
+        assert_eq!(tested, (0..bench.circuits.len()).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            for t in test {
+                assert!(!train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn merged_data_remaps_redundancy_indices() {
+        let bench = tiny();
+        let merged = bench.merged_data(&[0, 1]);
+        assert_eq!(
+            merged.units.len(),
+            bench.data[0].units.len() + bench.data[1].units.len()
+        );
+        for &(i, _) in &merged.redundancy_labels {
+            assert!(merged.units[i].has_stitches());
+        }
+    }
+
+    #[test]
+    fn duration_formatting() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7µs");
+    }
+}

@@ -1,0 +1,324 @@
+//! Subcommand implementations.
+
+use crate::args::{parse, Parsed};
+use mpld::{layout_stats, prepare, run_pipeline, AdaptiveFramework, OfflineConfig, TrainingData};
+use mpld_ec::EcDecomposer;
+use mpld_graph::{DecomposeParams, Decomposer};
+use mpld_ilp::encode::BipDecomposer;
+use mpld_ilp::IlpDecomposer;
+use mpld_layout::{circuit_by_name, iscas_suite, read_layout, write_layout, Layout};
+use mpld_sdp::SdpDecomposer;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+const USAGE: &str = "\
+usage: mpld <command> [args]
+
+commands:
+  list                               list the benchmark circuits
+  generate <circuit> [-o file]       write a benchmark layout (text format)
+  stats <layout> [--exact true]      population statistics (exact adds ILP)
+  decompose <layout> [options]       single-engine decomposition
+      --engine ilp|ilp-bb|sdp|ec     engine (default ilp-bb)
+      --k <masks>  --alpha <w>       parameters (default 3, 0.1)
+      -o <file>                      write per-feature mask assignment
+  train [options]                    offline training, save the framework
+      --circuits C499,C880,...       training circuits (default: 4 smalls)
+      --cap <n> --epochs <n>         limits (default 150, 12)
+      -o <file>                      model output (default model.bin)
+  adaptive <layout> --model <file>   adaptive decomposition with a model
+  render <layout> -o out.svg         render to SVG
+      --engine ilp|ilp-bb|sdp|ec     color by a decomposition (optional)
+
+<layout> is a benchmark circuit name (see 'mpld list') or a path to a
+layout file in the text interchange format.";
+
+/// Dispatches the parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let parsed = parse(argv)?;
+    match parsed.positional(0) {
+        None | Some("help") | Some("--help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("list") => cmd_list(),
+        Some("generate") => cmd_generate(&parsed),
+        Some("stats") => cmd_stats(&parsed),
+        Some("decompose") => cmd_decompose(&parsed),
+        Some("train") => cmd_train(&parsed),
+        Some("adaptive") => cmd_adaptive(&parsed),
+        Some("render") => cmd_render(&parsed),
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn load_layout(arg: &str) -> Result<Layout, String> {
+    if let Some(c) = circuit_by_name(arg) {
+        return Ok(c.generate());
+    }
+    let file = File::open(arg).map_err(|e| format!("cannot open {arg}: {e}"))?;
+    read_layout(BufReader::new(file)).map_err(|e| format!("cannot parse {arg}: {e}"))
+}
+
+fn params_from(parsed: &Parsed) -> Result<DecomposeParams, String> {
+    let k: u8 = parsed.option_or("k", 3)?;
+    let alpha: f64 = parsed.option_or("alpha", 0.1)?;
+    if !(2..=8).contains(&k) {
+        return Err("--k must be between 2 and 8".into());
+    }
+    Ok(DecomposeParams { k, alpha })
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<10} {:>6} {:>10} {:>7}", "circuit", "d(nm)", "~features", "group");
+    for c in iscas_suite() {
+        println!(
+            "{:<10} {:>6} {:>10} {:>7}",
+            c.name,
+            c.d,
+            c.approx_features(),
+            if c.large { "large" } else { "small" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(parsed: &Parsed) -> Result<(), String> {
+    let name = parsed.positional(1).ok_or("generate: missing circuit name")?;
+    let layout = load_layout(name)?;
+    match parsed.option("o") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            write_layout(&layout, BufWriter::new(file)).map_err(|e| e.to_string())?;
+            println!("wrote {} features to {path}", layout.features.len());
+        }
+        None => {
+            write_layout(&layout, std::io::stdout().lock()).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(parsed: &Parsed) -> Result<(), String> {
+    let arg = parsed.positional(1).ok_or("stats: missing layout")?;
+    let exact: bool = parsed.option_or("exact", false)?;
+    let params = params_from(parsed)?;
+    let layout = load_layout(arg)?;
+    let prep = prepare(&layout, &params);
+    println!("layout {}: {} features, d = {} nm", layout.name, layout.features.len(), layout.d);
+    println!(
+        "conflict graph: {} edges; {} features hidden by simplification",
+        prep.graph.conflict_edges().len(),
+        prep.simplified.hidden_nodes().len()
+    );
+    let sizes: Vec<usize> = prep.units.iter().map(|u| u.hetero.num_nodes()).collect();
+    let stitchy = prep.units.iter().filter(|u| u.hetero.has_stitches()).count();
+    println!(
+        "{} unit graphs (max {} nodes, {} with stitch candidates)",
+        prep.units.len(),
+        sizes.iter().max().copied().unwrap_or(0),
+        stitchy
+    );
+    if exact {
+        let s = layout_stats(&prep, &params);
+        println!(
+            "exact: |nsc-G| = {}, |ns-G| = {} ({:.1}% stitch-free optima)",
+            s.no_stitch_candidates,
+            s.no_stitch_optimal,
+            100.0 * s.no_stitch_optimal as f64 / s.graphs.max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_decompose(parsed: &Parsed) -> Result<(), String> {
+    let arg = parsed.positional(1).ok_or("decompose: missing layout")?;
+    let params = params_from(parsed)?;
+    let layout = load_layout(arg)?;
+    let prep = prepare(&layout, &params);
+    let engine_name = parsed.option("engine").unwrap_or("ilp-bb");
+    let engine: Box<dyn Decomposer> = match engine_name {
+        "ilp" => Box::new(BipDecomposer::new()),
+        "ilp-bb" => Box::new(IlpDecomposer::new()),
+        "sdp" => Box::new(SdpDecomposer::new()),
+        "ec" => Box::new(EcDecomposer::new()),
+        other => return Err(format!("unknown engine {other:?} (ilp|ilp-bb|sdp|ec)")),
+    };
+    let result = run_pipeline(&prep, engine.as_ref(), &params);
+    println!(
+        "{} on {}: {} (objective {:.1}) in {:?}",
+        engine.name(),
+        layout.name,
+        result.cost,
+        result.cost.value(params.alpha),
+        result.decompose_time
+    );
+    if let Some(path) = parsed.option("o") {
+        write_masks(path, &result.decomposition.feature_colors)?;
+        println!("wrote mask assignment to {path}");
+    }
+    Ok(())
+}
+
+fn write_masks(path: &str, colors: &[u8]) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# feature_id mask").map_err(|e| e.to_string())?;
+    for (f, &m) in colors.iter().enumerate() {
+        writeln!(w, "{f} {m}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_train(parsed: &Parsed) -> Result<(), String> {
+    let params = params_from(parsed)?;
+    let names = parsed.option("circuits").unwrap_or("C499,C880,C1355,C1908");
+    let cap: usize = parsed.option_or("cap", 150)?;
+    let epochs: usize = parsed.option_or("epochs", 12)?;
+    let out = parsed.option("o").unwrap_or("model.bin");
+
+    let mut data = TrainingData::default();
+    for name in names.split(',') {
+        let layout = load_layout(name.trim())?;
+        let prep = prepare(&layout, &params);
+        eprintln!("labeling {} ({} units, cap {cap})...", layout.name, prep.units.len());
+        data.add_layout_capped(&prep, &params, cap);
+    }
+    let mut cfg = OfflineConfig::default();
+    cfg.rgcn.epochs = epochs;
+    eprintln!("training on {} labeled units...", data.units.len());
+    let fw = mpld::train_framework(&data, &params, &cfg);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    fw.save(BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!("saved framework (library {} graphs) to {out}", fw.library.len());
+    Ok(())
+}
+
+fn cmd_adaptive(parsed: &Parsed) -> Result<(), String> {
+    let arg = parsed.positional(1).ok_or("adaptive: missing layout")?;
+    let model = parsed.option("model").ok_or("adaptive: missing --model <file>")?;
+    let params = params_from(parsed)?;
+    let file = File::open(model).map_err(|e| format!("cannot open {model}: {e}"))?;
+    let mut fw = AdaptiveFramework::load(BufReader::new(file), &params, &OfflineConfig::default())
+        .map_err(|e| format!("cannot load {model}: {e}"))?;
+    let layout = load_layout(arg)?;
+    let prep = prepare(&layout, &params);
+    let r = fw.decompose_prepared(&prep);
+    println!(
+        "adaptive on {}: {} (objective {:.1}) in {:?}",
+        layout.name,
+        r.pipeline.cost,
+        r.pipeline.cost.value(params.alpha),
+        r.pipeline.decompose_time
+    );
+    println!(
+        "usage: matching {}  ColorGNN {}  EC {}  ILP {}  (fallbacks {})",
+        r.usage.matching, r.usage.colorgnn, r.usage.ec, r.usage.ilp, r.usage.colorgnn_fallbacks
+    );
+    if let Some(path) = parsed.option("o") {
+        write_masks(path, &r.pipeline.decomposition.feature_colors)?;
+        println!("wrote mask assignment to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_render(parsed: &Parsed) -> Result<(), String> {
+    let arg = parsed.positional(1).ok_or("render: missing layout")?;
+    let out = parsed.option("o").ok_or("render: missing -o <file.svg>")?;
+    let params = params_from(parsed)?;
+    let layout = load_layout(arg)?;
+    let colors = match parsed.option("engine") {
+        None => None,
+        Some(name) => {
+            let engine: Box<dyn Decomposer> = match name {
+                "ilp" => Box::new(BipDecomposer::new()),
+                "ilp-bb" => Box::new(IlpDecomposer::new()),
+                "sdp" => Box::new(SdpDecomposer::new()),
+                "ec" => Box::new(EcDecomposer::new()),
+                other => return Err(format!("unknown engine {other:?}")),
+            };
+            let prep = prepare(&layout, &params);
+            let r = run_pipeline(&prep, engine.as_ref(), &params);
+            println!("decomposed with {}: {}", engine.name(), r.cost);
+            Some(r.decomposition.feature_colors)
+        }
+    };
+    let svg = mpld_viz::render_svg(&layout, colors.as_deref(), &mpld_viz::SvgOptions::default());
+    std::fs::write(out, svg).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_writes_svg() {
+        let dir = std::env::temp_dir().join("mpld_cli_render");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let out = dir.join("c432.svg").to_string_lossy().to_string();
+        dispatch(&[
+            "render".into(),
+            "C432".into(),
+            "--engine".into(),
+            "ec".into(),
+            "-o".into(),
+            out.clone(),
+        ])
+        .expect("render");
+        let svg = std::fs::read_to_string(&out).expect("svg written");
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let argv = vec!["frobnicate".to_string()];
+        assert!(dispatch(&argv).is_err());
+    }
+
+    #[test]
+    fn list_runs() {
+        assert!(dispatch(&["list".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn layout_round_trip_via_files() {
+        let dir = std::env::temp_dir().join("mpld_cli_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let layout_path = dir.join("c432.layout").to_string_lossy().to_string();
+        dispatch(&[
+            "generate".into(),
+            "C432".into(),
+            "-o".into(),
+            layout_path.clone(),
+        ])
+        .expect("generate");
+        // Decompose the generated file and write masks.
+        let masks_path = dir.join("masks.txt").to_string_lossy().to_string();
+        dispatch(&[
+            "decompose".into(),
+            layout_path.clone(),
+            "--engine".into(),
+            "ec".into(),
+            "-o".into(),
+            masks_path.clone(),
+        ])
+        .expect("decompose");
+        let masks = std::fs::read_to_string(&masks_path).expect("masks written");
+        let lines = masks.lines().filter(|l| !l.starts_with('#')).count();
+        let layout = load_layout(&layout_path).expect("parse back");
+        assert_eq!(lines, layout.features.len());
+    }
+
+    #[test]
+    fn stats_runs_on_circuit() {
+        assert!(dispatch(&["stats".into(), "C432".into()]).is_ok());
+    }
+
+    #[test]
+    fn bad_engine_rejected() {
+        let r = dispatch(&["decompose".into(), "C432".into(), "--engine".into(), "magic".into()]);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `mpld` — command-line front end for the adaptive layout decomposition
+//! framework.
+//!
+//! ```text
+//! mpld list                                  # the benchmark circuits
+//! mpld generate C432 -o c432.layout          # write a layout file
+//! mpld stats C432                            # population statistics
+//! mpld decompose C432 --engine ec            # one-engine decomposition
+//! mpld train -o model.bin --circuits C499,C880 --epochs 12
+//! mpld adaptive C432 --model model.bin       # adaptive decomposition
+//! ```
+//!
+//! Layout arguments accept either a benchmark circuit name or a path to a
+//! file in the text interchange format (see `mpld-layout::read_layout`).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Mask-density analysis.
+//!
+//! Balanced mask densities matter for manufacturability (several works
+//! the paper cites optimize density balance explicitly). The coloring
+//! objective treats masks symmetrically, so densities come out roughly
+//! balanced for free; this module measures them.
+
+use mpld_layout::Layout;
+
+/// Fraction of total feature area assigned to each mask.
+///
+/// `colors[f]` is the mask of feature `f` (split features are attributed
+/// to their representative mask, a close approximation on wire layouts).
+///
+/// # Panics
+///
+/// Panics if `colors.len() != layout.features.len()` or a color `>= k`.
+///
+/// # Example
+///
+/// ```
+/// use mpld::mask_densities;
+/// use mpld_geometry::{Feature, Rect};
+/// use mpld_layout::Layout;
+///
+/// let layout = Layout {
+///     name: "t".into(),
+///     d: 100,
+///     features: vec![
+///         Feature::new(0, vec![Rect::new(0, 0, 100, 10)]),   // area 1000
+///         Feature::new(1, vec![Rect::new(0, 50, 300, 60)]),  // area 3000
+///     ],
+/// };
+/// let d = mask_densities(&layout, &[0, 1], 3);
+/// assert!((d[0] - 0.25).abs() < 1e-9);
+/// assert!((d[1] - 0.75).abs() < 1e-9);
+/// assert_eq!(d[2], 0.0);
+/// ```
+pub fn mask_densities(layout: &Layout, colors: &[u8], k: u8) -> Vec<f64> {
+    assert_eq!(colors.len(), layout.features.len(), "one color per feature");
+    let mut areas = vec![0i64; k as usize];
+    let mut total = 0i64;
+    for (f, &c) in layout.features.iter().zip(colors) {
+        assert!(c < k, "color out of range");
+        let a = f.area();
+        areas[c as usize] += a;
+        total += a;
+    }
+    if total == 0 {
+        return vec![0.0; k as usize];
+    }
+    areas.into_iter().map(|a| a as f64 / total as f64).collect()
+}
+
+/// The imbalance of a density vector: `max - min` share. Zero is perfectly
+/// balanced; small values indicate manufacturable mask utilization.
+pub fn density_imbalance(densities: &[f64]) -> f64 {
+    let max = densities.iter().cloned().fold(f64::MIN, f64::max);
+    let min = densities.iter().cloned().fold(f64::MAX, f64::min);
+    if densities.is_empty() {
+        0.0
+    } else {
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, run_pipeline};
+    use mpld_graph::DecomposeParams;
+    use mpld_ilp::IlpDecomposer;
+    use mpld_layout::circuit_by_name;
+
+    #[test]
+    fn densities_sum_to_one() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let params = DecomposeParams::tpl();
+        let prep = prepare(&layout, &params);
+        let r = run_pipeline(&prep, &IlpDecomposer::new(), &params);
+        let d = mask_densities(&layout, &r.decomposition.feature_colors, params.k);
+        assert_eq!(d.len(), 3);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benchmark_decompositions_are_reasonably_balanced() {
+        // Symmetric objective: no mask should dominate badly.
+        let layout = circuit_by_name("C880").expect("exists").generate();
+        let params = DecomposeParams::tpl();
+        let prep = prepare(&layout, &params);
+        let r = run_pipeline(&prep, &IlpDecomposer::new(), &params);
+        let d = mask_densities(&layout, &r.decomposition.feature_colors, params.k);
+        assert!(density_imbalance(&d) < 0.5, "imbalance {:.2}", density_imbalance(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "one color per feature")]
+    fn wrong_length_panics() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let _ = mask_densities(&layout, &[0, 1], 3);
+    }
+
+    #[test]
+    fn imbalance_of_uniform_is_zero() {
+        assert_eq!(density_imbalance(&[0.25, 0.25, 0.25, 0.25]), 0.0);
+        assert!((density_imbalance(&[0.5, 0.3, 0.2]) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,454 @@
+//! The adaptive decomposition framework (Fig. 7 of the paper).
+//!
+//! Per simplified unit graph, the online flow is:
+//!
+//! 1. **Graph matching** — small graphs are matched against the
+//!    isomorphism-free library; hits return the stored optimal coloring.
+//! 2. **Stitch redundancy prediction** — `RGCN_r` predicts whether all
+//!    stitch candidates are redundant; above the confidence bar the stitch
+//!    edges are merged and the non-stitch parent graph goes to ColorGNN.
+//! 3. **Decomposer selection** — otherwise the selector RGCN routes the
+//!    graph to the exact ILP engine or the fast EC engine.
+//!
+//! Runtime is accounted per category so Fig. 9 (runtime breakdown) and
+//! Fig. 10 (usage breakdown) can be reproduced.
+
+use crate::pipeline::{assemble, PipelineResult, PreparedLayout};
+use mpld_ec::EcDecomposer;
+use mpld_gnn::{ColorGnn, RgcnClassifier};
+use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_ilp::encode::BipDecomposer;
+use mpld_matching::GraphLibrary;
+use std::time::{Duration, Instant};
+
+/// Which engine decomposed a unit (for Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Library graph matching.
+    Matching,
+    /// The non-stitch GNN decomposer.
+    ColorGnn,
+    /// Exact ILP.
+    Ilp,
+    /// Exact cover.
+    Ec,
+}
+
+/// Usage counts per engine (Fig. 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UsageBreakdown {
+    /// Units decomposed by library matching.
+    pub matching: usize,
+    /// Units decomposed by ColorGNN.
+    pub colorgnn: usize,
+    /// Units decomposed by ILP.
+    pub ilp: usize,
+    /// Units decomposed by EC.
+    pub ec: usize,
+    /// ColorGNN attempts that left conflicts and fell back to ILP/EC
+    /// (engineering guard, documented in DESIGN.md; counted under the
+    /// engine that produced the final result).
+    pub colorgnn_fallbacks: usize,
+}
+
+/// Cumulative runtime per category (Fig. 9).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimingBreakdown {
+    /// Embedding + library matching time.
+    pub matching: Duration,
+    /// Selector inference time.
+    pub selection: Duration,
+    /// Redundancy-prediction inference time.
+    pub redundancy: Duration,
+    /// ColorGNN decomposition time.
+    pub colorgnn: Duration,
+    /// ILP decomposition time.
+    pub ilp: Duration,
+    /// EC decomposition time.
+    pub ec: Duration,
+}
+
+impl TimingBreakdown {
+    /// Total accounted runtime.
+    pub fn total(&self) -> Duration {
+        self.matching + self.selection + self.redundancy + self.colorgnn + self.ilp + self.ec
+    }
+}
+
+/// Result of adaptively decomposing one prepared layout.
+#[derive(Debug)]
+pub struct AdaptiveResult {
+    /// The standard pipeline result (cost, coloring, pure decompose time).
+    pub pipeline: PipelineResult,
+    /// Engine usage counts.
+    pub usage: UsageBreakdown,
+    /// Runtime per category.
+    pub timing: TimingBreakdown,
+    /// Which engine handled each unit.
+    pub unit_engines: Vec<EngineKind>,
+}
+
+/// The trained adaptive framework (see module docs).
+pub struct AdaptiveFramework {
+    /// Selector RGCN (`RGCN` in the paper).
+    pub selector: RgcnClassifier,
+    /// Stitch-redundancy RGCN (`RGCN_r`).
+    pub redundancy: RgcnClassifier,
+    /// The non-stitch GNN decomposer.
+    pub colorgnn: ColorGnn,
+    /// The isomorphism-free graph library.
+    pub library: GraphLibrary,
+    /// Exact engine — the same faithful Eq. (3) ILP used as the baseline
+    /// column in Tables IV/V, so the framework's speedup comes from
+    /// *routing*, not from a faster exact solver.
+    pub ilp: BipDecomposer,
+    /// Fast engine.
+    pub ec: EcDecomposer,
+    /// Decomposition parameters (k, alpha).
+    pub params: DecomposeParams,
+    /// Confidence bar `b` for redundancy prediction (paper: 0.99).
+    pub redundancy_bar: f32,
+    /// Minimum selector confidence required to route a graph to the
+    /// (fast but possibly suboptimal) EC engine (default 0.9); below it the exact ILP
+    /// runs. Mirrors the paper's emphasis on perfect ILP recall.
+    pub ec_threshold: f32,
+    /// Whether ColorGNN is enabled ("Ours w. GNN" vs plain "Ours").
+    pub use_colorgnn: bool,
+}
+
+impl AdaptiveFramework {
+    /// Predicted probability that all stitch candidates of `g` are
+    /// redundant.
+    pub fn redundancy_confidence(&mut self, g: &LayoutGraph) -> f32 {
+        // Class 0 = "redundant" by the training-label convention.
+        self.redundancy.predict(g)[0]
+    }
+
+    /// Selector decision for `g`: 0 = ILP, 1 = EC (requires the EC
+    /// confidence to clear [`AdaptiveFramework::ec_threshold`]).
+    pub fn select_engine(&mut self, g: &LayoutGraph) -> u8 {
+        let p = self.selector.predict(g);
+        u8::from(p[1] > self.ec_threshold)
+    }
+
+    /// Exact-or-certified decomposition of one unit: when `ec_first`, run
+    /// the fast EC engine and accept its result only when it carries an
+    /// optimality certificate (see `EcDecomposer::decompose_certified`).
+    /// Everything else is decided by (or verified against) the exact ILP.
+    /// This is the structural version of the paper's 100%-ILP-recall
+    /// selector.
+    fn decompose_with_selection(
+        &mut self,
+        g: &LayoutGraph,
+        ec_first: bool,
+        timing: &mut TimingBreakdown,
+    ) -> (Decomposition, EngineKind) {
+        if ec_first {
+            let t = Instant::now();
+            let (d, certified) = self.ec.decompose_certified(g, &self.params);
+            timing.ec += t.elapsed();
+            if certified {
+                return (d, EngineKind::Ec);
+            }
+            let t = Instant::now();
+            let exact = self.ilp.decompose(g, &self.params);
+            timing.ilp += t.elapsed();
+            if exact.cost.better_than(&d.cost, self.params.alpha) {
+                return (exact, EngineKind::Ilp);
+            }
+            (d, EngineKind::Ec)
+        } else {
+            let t = Instant::now();
+            let d = self.ilp.decompose(g, &self.params);
+            timing.ilp += t.elapsed();
+            (d, EngineKind::Ilp)
+        }
+    }
+
+    /// Decomposes one unit graph, returning the decomposition, the engine
+    /// used, and whether a ColorGNN fallback occurred.
+    fn decompose_unit(
+        &mut self,
+        hetero: &LayoutGraph,
+        timing: &mut TimingBreakdown,
+    ) -> (Decomposition, EngineKind, bool) {
+        // 1. Library matching.
+        if hetero.num_nodes() <= self.library.max_nodes() {
+            let t = Instant::now();
+            let hit = self.library.lookup(&mut self.selector, hetero);
+            timing.matching += t.elapsed();
+            if let Some(d) = hit {
+                return (d, EngineKind::Matching, false);
+            }
+        }
+
+        // 2. Stitch redundancy → ColorGNN on the merged parent graph.
+        let mut fallback = false;
+        if self.use_colorgnn {
+            let t = Instant::now();
+            let redundant = if hetero.has_stitches() {
+                self.redundancy_confidence(hetero) > self.redundancy_bar
+            } else {
+                true // no stitch candidates at all: trivially non-stitch
+            };
+            timing.redundancy += t.elapsed();
+            if redundant {
+                let t = Instant::now();
+                let (parent, map) = hetero.merge_stitch_edges();
+                let pd = self.colorgnn.decompose(&parent, &self.params);
+                timing.colorgnn += t.elapsed();
+                if pd.cost.conflicts == 0 {
+                    // Expand the parent coloring to subfeatures (no stitch
+                    // is activated, so the cost carries over exactly).
+                    let coloring: Vec<u8> =
+                        map.iter().map(|&p| pd.coloring[p as usize]).collect();
+                    let d = Decomposition::from_coloring(hetero, coloring, self.params.alpha);
+                    return (d, EngineKind::ColorGnn, false);
+                }
+                // The parent graph may genuinely need conflicts or
+                // stitches; defer to the exact engines.
+                fallback = true;
+            }
+        }
+
+        // 3. ILP/EC selection with certified EC acceptance.
+        let t = Instant::now();
+        let ec_first = fallback || self.select_engine(hetero) == 1;
+        timing.selection += t.elapsed();
+        let (d, engine) = self.decompose_with_selection(hetero, ec_first, timing);
+        (d, engine, fallback)
+    }
+
+    /// Adaptively decomposes a prepared layout, one unit at a time (no
+    /// batched inference). Mostly useful for comparison with the batched
+    /// default, [`AdaptiveFramework::decompose_prepared`].
+    pub fn decompose_prepared_unbatched(&mut self, prep: &PreparedLayout) -> AdaptiveResult {
+        let start = Instant::now();
+        let mut timing = TimingBreakdown::default();
+        let mut usage = UsageBreakdown::default();
+        let mut unit_engines = Vec::with_capacity(prep.units.len());
+        let mut unit_results = Vec::with_capacity(prep.units.len());
+        for unit in &prep.units {
+            let (d, engine, fell_back) = self.decompose_unit(&unit.hetero, &mut timing);
+            match engine {
+                EngineKind::Matching => usage.matching += 1,
+                EngineKind::ColorGnn => usage.colorgnn += 1,
+                EngineKind::Ilp => usage.ilp += 1,
+                EngineKind::Ec => usage.ec += 1,
+            }
+            if fell_back {
+                usage.colorgnn_fallbacks += 1;
+            }
+            unit_engines.push(engine);
+            unit_results.push(d);
+        }
+        let decompose_time = start.elapsed();
+        let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
+        AdaptiveResult { pipeline, usage, timing, unit_engines }
+    }
+
+    /// Adaptively decomposes a prepared layout with batched GNN inference
+    /// (the paper batches all simplified graphs for efficiency): one RGCN
+    /// pass computes embeddings + selector probabilities for every unit,
+    /// one `RGCN_r` pass the redundancy confidences, and one batched
+    /// ColorGNN run decomposes all predicted-redundant parent graphs.
+    pub fn decompose_prepared(&mut self, prep: &PreparedLayout) -> AdaptiveResult {
+        let start = Instant::now();
+        let mut timing = TimingBreakdown::default();
+        let mut usage = UsageBreakdown::default();
+        let n = prep.units.len();
+        let graphs: Vec<&LayoutGraph> = prep.units.iter().map(|u| &u.hetero).collect();
+        if n == 0 {
+            let pipeline = assemble(prep, &self.params, Vec::new(), start.elapsed());
+            return AdaptiveResult {
+                pipeline,
+                usage,
+                timing,
+                unit_engines: Vec::new(),
+            };
+        }
+
+        // Batched selector pass: embeddings (shared with matching) and
+        // ILP/EC probabilities.
+        let t = Instant::now();
+        let embeddings = self.selector.embeddings_batch(&graphs);
+        let selector_probs = self.selector.predict_batch(&graphs);
+        timing.selection += t.elapsed();
+
+        // Batched redundancy pass.
+        let t = Instant::now();
+        let redundancy_probs = self.redundancy.predict_batch(&graphs);
+        timing.redundancy += t.elapsed();
+
+        let mut unit_results: Vec<Option<Decomposition>> = vec![None; n];
+        let mut unit_engines: Vec<Option<EngineKind>> = vec![None; n];
+        let mut guard_failed = vec![false; n];
+
+        // 1. Library matching with the precomputed embeddings.
+        let t = Instant::now();
+        for (i, g) in graphs.iter().enumerate() {
+            if g.num_nodes() <= self.library.max_nodes() {
+                let (emb, nodes) = &embeddings[i];
+                if let Some(d) = self.library.lookup_with_embeddings(g, emb, nodes) {
+                    unit_results[i] = Some(d);
+                    unit_engines[i] = Some(EngineKind::Matching);
+                    usage.matching += 1;
+                }
+            }
+        }
+        timing.matching += t.elapsed();
+
+        // 2. Predicted-redundant units: merge stitches, batch ColorGNN.
+        if self.use_colorgnn {
+            let t = Instant::now();
+            let mut idx = Vec::new();
+            let mut parents = Vec::new();
+            let mut maps = Vec::new();
+            for (i, g) in graphs.iter().enumerate() {
+                if unit_results[i].is_some() || g.num_nodes() == 0 {
+                    continue;
+                }
+                let redundant =
+                    !g.has_stitches() || redundancy_probs[i][0] > self.redundancy_bar;
+                if redundant {
+                    let (parent, map) = g.merge_stitch_edges();
+                    idx.push(i);
+                    parents.push(parent);
+                    maps.push(map);
+                }
+            }
+            let parent_refs: Vec<&LayoutGraph> = parents.iter().collect();
+            let results = self.colorgnn.decompose_batch(&parent_refs, &self.params);
+            for ((&i, pd), map) in idx.iter().zip(results).zip(&maps) {
+                if pd.cost.conflicts == 0 {
+                    let coloring: Vec<u8> =
+                        map.iter().map(|&p| pd.coloring[p as usize]).collect();
+                    let d =
+                        Decomposition::from_coloring(graphs[i], coloring, self.params.alpha);
+                    unit_results[i] = Some(d);
+                    unit_engines[i] = Some(EngineKind::ColorGnn);
+                    usage.colorgnn += 1;
+                } else {
+                    usage.colorgnn_fallbacks += 1;
+                    guard_failed[i] = true;
+                }
+            }
+            timing.colorgnn += t.elapsed();
+        }
+
+        // 3. Remaining units (including ColorGNN-guard failures): ILP/EC
+        // per the selector, with certified EC acceptance (see
+        // `decompose_with_selection`).
+        for (i, g) in graphs.iter().enumerate() {
+            if unit_results[i].is_some() {
+                continue;
+            }
+            let ec_first =
+                guard_failed[i] || selector_probs[i][1] > self.ec_threshold;
+            let (d, engine) = self.decompose_with_selection(g, ec_first, &mut timing);
+            match engine {
+                EngineKind::Ilp => usage.ilp += 1,
+                _ => usage.ec += 1,
+            }
+            unit_results[i] = Some(d);
+            unit_engines[i] = Some(engine);
+        }
+
+        let unit_results: Vec<Decomposition> =
+            unit_results.into_iter().map(|d| d.expect("every unit decomposed")).collect();
+        let unit_engines: Vec<EngineKind> =
+            unit_engines.into_iter().map(|e| e.expect("every unit routed")).collect();
+        let decompose_time = start.elapsed();
+        let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
+        AdaptiveResult { pipeline, usage, timing, unit_engines }
+    }
+}
+
+impl std::fmt::Debug for AdaptiveFramework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveFramework")
+            .field("library_size", &self.library.len())
+            .field("redundancy_bar", &self.redundancy_bar)
+            .field("use_colorgnn", &self.use_colorgnn)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::prepare;
+    use crate::training::{train_framework, OfflineConfig, TrainingData};
+    use mpld_layout::{circuit_by_name, Layout};
+
+    fn tiny_framework() -> AdaptiveFramework {
+        let params = DecomposeParams::tpl();
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let prep = prepare(&layout, &params);
+        let mut data = TrainingData::default();
+        data.add_layout_capped(&prep, &params, 8);
+        let mut cfg = OfflineConfig::default();
+        cfg.rgcn.epochs = 1;
+        cfg.colorgnn.epochs = 1;
+        cfg.library =
+            mpld_matching::LibraryConfig { max_parent_size: 4, max_splits: 1, max_nodes: 5, stitches: false };
+        train_framework(&data, &params, &cfg)
+    }
+
+    #[test]
+    fn timing_total_sums_categories() {
+        let t = TimingBreakdown {
+            matching: Duration::from_millis(1),
+            selection: Duration::from_millis(2),
+            redundancy: Duration::from_millis(3),
+            colorgnn: Duration::from_millis(4),
+            ilp: Duration::from_millis(5),
+            ec: Duration::from_millis(6),
+        };
+        assert_eq!(t.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn empty_layout_yields_empty_result() {
+        let params = DecomposeParams::tpl();
+        // Two far-apart features: no conflicts, no units.
+        let layout = Layout {
+            name: "empty".into(),
+            d: 100,
+            features: vec![
+                mpld_geometry::Feature::new(0, vec![mpld_geometry::Rect::new(0, 0, 50, 20)]),
+                mpld_geometry::Feature::new(
+                    1,
+                    vec![mpld_geometry::Rect::new(10_000, 0, 10_050, 20)],
+                ),
+            ],
+        };
+        let prep = prepare(&layout, &params);
+        assert!(prep.units.is_empty());
+        let mut fw = tiny_framework();
+        let r = fw.decompose_prepared(&prep);
+        assert_eq!(r.pipeline.cost.conflicts, 0);
+        assert_eq!(r.usage, UsageBreakdown::default());
+        assert!(r.unit_engines.is_empty());
+        assert_eq!(r.pipeline.decomposition.feature_colors.len(), 2);
+    }
+
+    #[test]
+    fn engine_usage_counts_match_units() {
+        let params = DecomposeParams::tpl();
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let prep = prepare(&layout, &params);
+        let mut fw = tiny_framework();
+        let r = fw.decompose_prepared(&prep);
+        let u = &r.usage;
+        assert_eq!(u.matching + u.colorgnn + u.ilp + u.ec, prep.units.len());
+        assert_eq!(r.unit_engines.len(), prep.units.len());
+        // Cross-check unit_engines against the counters.
+        let count = |k: EngineKind| r.unit_engines.iter().filter(|&&e| e == k).count();
+        assert_eq!(count(EngineKind::Matching), u.matching);
+        assert_eq!(count(EngineKind::ColorGnn), u.colorgnn);
+        assert_eq!(count(EngineKind::Ilp), u.ilp);
+        assert_eq!(count(EngineKind::Ec), u.ec);
+    }
+}

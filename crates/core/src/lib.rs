@@ -1,0 +1,70 @@
+//! # Adaptive layout decomposition with graph embedding neural networks
+//!
+//! A complete Rust implementation of the DAC 2020 / TCAD 2022 paper:
+//! multiple patterning layout decomposition (MPLD) that *adaptively*
+//! routes each simplified layout graph to the most suitable engine —
+//! library matching, the ColorGNN message-passing decomposer, exact ILP,
+//! or exact cover — using RGCN graph embeddings.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use mpld::{prepare, train_framework, OfflineConfig, TrainingData};
+//! use mpld_graph::DecomposeParams;
+//! use mpld_layout::iscas_suite;
+//!
+//! let params = DecomposeParams::tpl();
+//! let suite = iscas_suite();
+//!
+//! // Offline: prepare training layouts, label with the exact engines,
+//! // train the GNNs, build the graph library.
+//! let train_prep: Vec<_> = suite[..3]
+//!     .iter()
+//!     .map(|c| prepare(&c.generate(), &params))
+//!     .collect();
+//! let refs: Vec<_> = train_prep.iter().collect();
+//! let data = TrainingData::from_layouts(&refs, &params);
+//! let mut framework = train_framework(&data, &params, &OfflineConfig::default());
+//!
+//! // Online: adaptively decompose a held-out circuit.
+//! let test = prepare(&suite[3].generate(), &params);
+//! let result = framework.decompose_prepared(&test);
+//! println!("{}: cost {}", test.name, result.pipeline.cost);
+//! ```
+//!
+//! ## Crate map
+//!
+//! The workspace layers (each its own crate, re-exported here where it is
+//! part of the user-facing flow): geometry → layout/benchmarks → graph
+//! model & simplification → decomposition engines (`mpld-ilp`, `mpld-ec`,
+//! `mpld-sdp`) → autograd + GNNs (`mpld-tensor`, `mpld-gnn`) → graph
+//! library (`mpld-matching`) → this crate, the adaptive framework.
+
+mod density;
+mod framework;
+mod metrics;
+mod pipeline;
+mod stats;
+mod training;
+
+pub use density::{density_imbalance, mask_densities};
+pub use framework::{
+    AdaptiveFramework, AdaptiveResult, EngineKind, TimingBreakdown, UsageBreakdown,
+};
+pub use metrics::ConfusionMatrix;
+pub use pipeline::{
+    prepare, run_pipeline, run_pipeline_parallel, PipelineResult, PreparedLayout, UnitInstance,
+};
+pub use stats::{layout_stats, LayoutStats};
+pub use training::{train_framework, OfflineConfig, TrainingData};
+
+/// The reassembled global decomposition of a layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutDecomposition {
+    /// Per-feature representative mask (exact for unsplit features; the
+    /// first subfeature's mask for split features).
+    pub feature_colors: Vec<u8>,
+    /// Per-unit subfeature masks with merge permutations applied; parallel
+    /// to [`PreparedLayout::units`].
+    pub unit_subfeature_colorings: Vec<Vec<u8>>,
+}

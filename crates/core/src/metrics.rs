@@ -1,0 +1,146 @@
+//! Classification metrics for the evaluation tables (confusion matrix,
+//! recall, F1).
+
+use std::fmt;
+
+/// A binary confusion matrix. Class 0 is "positive" following the paper's
+/// convention (ILP in Table III, "redundant" in Table VI).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Predicted 0, labeled 0.
+    pub tp: usize,
+    /// Predicted 0, labeled 1.
+    pub fp: usize,
+    /// Predicted 1, labeled 0.
+    pub fn_: usize,
+    /// Predicted 1, labeled 1.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (predicted, labeled) observation.
+    pub fn record(&mut self, predicted: u8, labeled: u8) {
+        match (predicted, labeled) {
+            (0, 0) => self.tp += 1,
+            (0, 1) => self.fp += 1,
+            (1, 0) => self.fn_ += 1,
+            _ => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Fraction of correctly classified observations.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// `tp / (tp + fn)` — how many positives were found.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// `tp / (tp + fp)` — how many predicted positives were right.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "            labeled 0  labeled 1")?;
+        writeln!(f, "pred 0    {:>9} {:>10}", self.tp, self.fp)?;
+        writeln!(f, "pred 1    {:>9} {:>10}", self.fn_, self.tn)?;
+        write!(
+            f,
+            "recall {:.3}  precision {:.3}  F1 {:.3}  acc {:.3}",
+            self.recall(),
+            self.precision(),
+            self.f1(),
+            self.accuracy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..5 {
+            m.record(0, 0);
+            m.record(1, 1);
+        }
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // tp=8, fp=2, fn=4, tn=6.
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        for _ in 0..4 {
+            m.record(1, 0);
+        }
+        for _ in 0..6 {
+            m.record(1, 1);
+        }
+        assert_eq!(m.total(), 20);
+        assert!((m.recall() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+        assert!((m.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut m = ConfusionMatrix::new();
+        m.record(0, 0);
+        let s = m.to_string();
+        assert!(s.contains("recall"));
+        assert!(s.contains("F1"));
+    }
+}

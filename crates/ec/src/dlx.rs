@@ -1,0 +1,368 @@
+//! Dancing-links (DLX) exact cover with secondary columns, row costs, and
+//! branch-and-bound minimum-cost search.
+//!
+//! Columns are either **primary** (must be covered exactly once) or
+//! **secondary** (may be covered at most once). Rows carry non-negative
+//! costs; [`Dlx::solve_min_cost`] finds the exact cover minimizing the
+//! total row cost, optionally under a search-node budget (returning the
+//! best cover found so far when the budget runs out).
+
+/// Marker for "no best solution yet".
+const NO_NODE: u32 = u32::MAX;
+
+/// A dancing-links exact cover matrix.
+///
+/// # Example
+///
+/// Knuth's classic example instance:
+///
+/// ```
+/// use mpld_ec::dlx::Dlx;
+///
+/// let mut m = Dlx::new(7, 0);
+/// m.add_row(&[2, 4, 5], 0);     // row 0
+/// m.add_row(&[0, 3, 6], 0);     // row 1
+/// m.add_row(&[1, 2, 5], 0);     // row 2
+/// m.add_row(&[0, 3], 0);        // row 3
+/// m.add_row(&[1, 6], 0);        // row 4
+/// m.add_row(&[3, 4, 6], 0);     // row 5
+/// let (rows, cost) = m.solve_min_cost(None).expect("cover exists");
+/// let mut rows = rows.clone();
+/// rows.sort();
+/// assert_eq!(rows, vec![0, 3, 4]);
+/// assert_eq!(cost, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dlx {
+    // Node arena. Nodes 0..num_cols are column headers; node `num_cols` is
+    // the root of the primary header list.
+    left: Vec<u32>,
+    right: Vec<u32>,
+    up: Vec<u32>,
+    down: Vec<u32>,
+    col_of: Vec<u32>,
+    row_of: Vec<u32>,
+    size: Vec<u32>,
+    num_primary: usize,
+    num_cols: usize,
+    num_rows: usize,
+    row_cost: Vec<u64>,
+    search_nodes: u64,
+    exhausted: bool,
+}
+
+impl Dlx {
+    /// Creates a matrix with `num_primary` primary columns followed by
+    /// `num_secondary` secondary columns. Column ids are
+    /// `0..num_primary + num_secondary`, primaries first.
+    pub fn new(num_primary: usize, num_secondary: usize) -> Self {
+        let num_cols = num_primary + num_secondary;
+        let root = num_cols as u32;
+        let n = num_cols + 1;
+        let mut m = Dlx {
+            left: (0..n as u32).collect(),
+            right: (0..n as u32).collect(),
+            up: (0..n as u32).collect(),
+            down: (0..n as u32).collect(),
+            col_of: (0..n as u32).collect(),
+            row_of: vec![NO_NODE; n],
+            size: vec![0; num_cols],
+            num_primary,
+            num_cols,
+            num_rows: 0,
+            row_cost: Vec::new(),
+            search_nodes: 0,
+            exhausted: false,
+        };
+        // Link primary headers in a circular list through the root;
+        // secondary headers stay self-linked (never branched on).
+        let mut prev = root;
+        for c in 0..num_primary as u32 {
+            m.left[c as usize] = prev;
+            m.right[prev as usize] = c;
+            prev = c;
+        }
+        m.left[root as usize] = prev;
+        m.right[prev as usize] = root;
+        m
+    }
+
+    /// Number of rows added so far.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of primary (exactly-once) columns.
+    pub fn num_primary(&self) -> usize {
+        self.num_primary
+    }
+
+    /// Search nodes expended by the last `solve_min_cost` call.
+    pub fn last_search_nodes(&self) -> u64 {
+        self.search_nodes
+    }
+
+    /// Whether the last `solve_min_cost` call stopped because the budget
+    /// ran out (its result, including `None`, is then not a proof).
+    pub fn last_search_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Adds a row covering `cols`, with the given non-negative `cost`.
+    /// Returns the row index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is empty, contains duplicates, or references an
+    /// unknown column.
+    pub fn add_row(&mut self, cols: &[usize], cost: u64) -> usize {
+        assert!(!cols.is_empty(), "a row must cover at least one column");
+        let row = self.num_rows;
+        self.num_rows += 1;
+        self.row_cost.push(cost);
+        let mut first: Option<u32> = None;
+        let mut seen = std::collections::HashSet::new();
+        for &c in cols {
+            assert!(c < self.num_cols, "column out of range");
+            assert!(seen.insert(c), "duplicate column in row");
+            let node = self.left.len() as u32;
+            // Vertical link: insert above the header (end of the column).
+            let header = c as u32;
+            let above = self.up[header as usize];
+            self.up.push(above);
+            self.down.push(header);
+            self.down[above as usize] = node;
+            self.up[header as usize] = node;
+            self.col_of.push(header);
+            self.row_of.push(row as u32);
+            self.size[c] += 1;
+            // Horizontal link within the row.
+            match first {
+                None => {
+                    self.left.push(node);
+                    self.right.push(node);
+                    first = Some(node);
+                }
+                Some(f) => {
+                    let last = self.left[f as usize];
+                    self.left.push(last);
+                    self.right.push(f);
+                    self.right[last as usize] = node;
+                    self.left[f as usize] = node;
+                }
+            }
+        }
+        row
+    }
+
+    fn cover(&mut self, c: u32) {
+        let (l, r) = (self.left[c as usize], self.right[c as usize]);
+        self.right[l as usize] = r;
+        self.left[r as usize] = l;
+        let mut i = self.down[c as usize];
+        while i != c {
+            let mut j = self.right[i as usize];
+            while j != i {
+                let (u, d) = (self.up[j as usize], self.down[j as usize]);
+                self.down[u as usize] = d;
+                self.up[d as usize] = u;
+                self.size[self.col_of[j as usize] as usize] -= 1;
+                j = self.right[j as usize];
+            }
+            i = self.down[i as usize];
+        }
+    }
+
+    fn uncover(&mut self, c: u32) {
+        let mut i = self.up[c as usize];
+        while i != c {
+            let mut j = self.left[i as usize];
+            while j != i {
+                let (u, d) = (self.up[j as usize], self.down[j as usize]);
+                self.down[u as usize] = j;
+                self.up[d as usize] = j;
+                self.size[self.col_of[j as usize] as usize] += 1;
+                j = self.left[j as usize];
+            }
+            i = self.up[i as usize];
+        }
+        let (l, r) = (self.left[c as usize], self.right[c as usize]);
+        self.right[l as usize] = c;
+        self.left[r as usize] = c;
+    }
+
+    /// Finds an exact cover of all primary columns (secondaries covered at
+    /// most once) minimizing total row cost.
+    ///
+    /// With `budget = Some(n)`, the search stops after `n` search nodes and
+    /// returns the best cover found so far (or `None` if none was found) —
+    /// this is what makes the EC decomposer fast but occasionally
+    /// suboptimal, as characterized in the paper.
+    pub fn solve_min_cost(&mut self, budget: Option<u64>) -> Option<(Vec<usize>, u64)> {
+        self.search_nodes = 0;
+        self.exhausted = false;
+        let mut stack = Vec::new();
+        let mut best: Option<(Vec<usize>, u64)> = None;
+        self.search(&mut stack, 0, &mut best, budget);
+        best
+    }
+
+    fn search(
+        &mut self,
+        stack: &mut Vec<u32>,
+        cost: u64,
+        best: &mut Option<(Vec<usize>, u64)>,
+        budget: Option<u64>,
+    ) {
+        self.search_nodes += 1;
+        if let Some(b) = budget {
+            if self.search_nodes > b {
+                self.exhausted = true;
+                return;
+            }
+        }
+        if let Some((_, bc)) = best {
+            if cost >= *bc {
+                return;
+            }
+        }
+        let root = self.num_cols as u32;
+        if self.right[root as usize] == root {
+            let rows: Vec<usize> =
+                stack.iter().map(|&n| self.row_of[n as usize] as usize).collect();
+            *best = Some((rows, cost));
+            return;
+        }
+        // Choose the primary column with the fewest rows (Knuth's S heuristic).
+        let mut c = self.right[root as usize];
+        let mut chosen = c;
+        let mut min = u32::MAX;
+        while c != root {
+            if self.size[c as usize] < min {
+                min = self.size[c as usize];
+                chosen = c;
+            }
+            c = self.right[c as usize];
+        }
+        if min == 0 {
+            return; // dead end
+        }
+        let c = chosen;
+        self.cover(c);
+        let mut r = self.down[c as usize];
+        while r != c {
+            let row_cost = self.row_cost[self.row_of[r as usize] as usize];
+            stack.push(r);
+            let mut j = self.right[r as usize];
+            while j != r {
+                self.cover(self.col_of[j as usize]);
+                j = self.right[j as usize];
+            }
+            self.search(stack, cost + row_cost, best, budget);
+            let mut j = self.left[r as usize];
+            while j != r {
+                self.uncover(self.col_of[j as usize]);
+                j = self.left[j as usize];
+            }
+            stack.pop();
+            r = self.down[r as usize];
+        }
+        self.uncover(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knuth_example() {
+        let mut m = Dlx::new(7, 0);
+        m.add_row(&[2, 4, 5], 0);
+        m.add_row(&[0, 3, 6], 0);
+        m.add_row(&[1, 2, 5], 0);
+        m.add_row(&[0, 3], 0);
+        m.add_row(&[1, 6], 0);
+        m.add_row(&[3, 4, 6], 0);
+        let (mut rows, _) = m.solve_min_cost(None).unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn min_cost_prefers_cheap_cover() {
+        // Two covers exist: {row0} cost 5 or {row1, row2} cost 2.
+        let mut m = Dlx::new(2, 0);
+        m.add_row(&[0, 1], 5);
+        m.add_row(&[0], 1);
+        m.add_row(&[1], 1);
+        let (mut rows, cost) = m.solve_min_cost(None).unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 2]);
+        assert_eq!(cost, 2);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let mut m = Dlx::new(2, 0);
+        m.add_row(&[0], 0);
+        // Column 1 has no rows.
+        assert!(m.solve_min_cost(None).is_none());
+    }
+
+    #[test]
+    fn secondary_columns_limit_double_cover() {
+        // Primary columns 0, 1; secondary column 2. Rows (0, 2) and (1, 2)
+        // cannot both be chosen; rows (0, 2) and (1) can.
+        let mut m = Dlx::new(2, 1);
+        m.add_row(&[0, 2], 0);
+        m.add_row(&[1, 2], 0);
+        m.add_row(&[1], 3);
+        let (mut rows, cost) = m.solve_min_cost(None).unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 2]);
+        assert_eq!(cost, 3);
+    }
+
+    #[test]
+    fn secondary_columns_need_not_be_covered() {
+        let mut m = Dlx::new(1, 1);
+        m.add_row(&[0], 0);
+        let (rows, cost) = m.solve_min_cost(None).unwrap();
+        assert_eq!(rows, vec![0]);
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn budget_zero_like_small_still_reports_nodes() {
+        let mut m = Dlx::new(2, 0);
+        m.add_row(&[0], 1);
+        m.add_row(&[1], 1);
+        let got = m.solve_min_cost(Some(1));
+        // With a 1-node budget the search cannot finish.
+        assert!(got.is_none());
+        assert!(m.last_search_nodes() >= 1);
+    }
+
+    #[test]
+    fn matrix_is_restored_after_search() {
+        // Run twice; identical results prove cover/uncover are exact
+        // inverses.
+        let mut m = Dlx::new(3, 1);
+        m.add_row(&[0, 3], 2);
+        m.add_row(&[1, 3], 1);
+        m.add_row(&[2], 1);
+        m.add_row(&[0, 1], 5);
+        let a = m.solve_min_cost(None);
+        let b = m.solve_min_cost(None);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_row_panics() {
+        let mut m = Dlx::new(1, 0);
+        m.add_row(&[], 0);
+    }
+}

@@ -1,0 +1,568 @@
+//! Exact-cover (EC) based layout decomposition.
+//!
+//! Following the DAC'16 "complex coloring rules" line of work cited by the
+//! paper, the MPLD instance is translated into an exact cover matrix and
+//! solved with a dancing-links Algorithm X ([`dlx::Dlx`]):
+//!
+//! - one **primary column per feature** — exactly one coloring row of each
+//!   feature must be chosen;
+//! - one **row per (feature, subfeature-color combination)** — its cost is
+//!   the stitch cost the combination incurs inside the feature;
+//! - one **secondary column per (conflict edge, mask)** — covered by a row
+//!   that gives either endpoint that mask, so the at-most-once rule forbids
+//!   same-colored conflict endpoints.
+//!
+//! A minimum-cost exact cover is therefore a conflict-free decomposition
+//! with minimum stitch count. When no conflict-free cover exists (or the
+//! search-node budget runs out), the engine falls back to a greedy
+//! assignment and retries with the greedy solution's violated conflict
+//! edges relaxed — fast and near-optimal, but not guaranteed optimal,
+//! exactly the trade-off Table I of the paper attributes to the EC method.
+//!
+//! # Example
+//!
+//! ```
+//! use mpld_graph::{Decomposer, DecomposeParams, LayoutGraph};
+//! use mpld_ec::EcDecomposer;
+//!
+//! let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+//! let d = EcDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+//! assert_eq!(d.cost.conflicts, 0);
+//! ```
+
+pub mod dlx;
+
+use dlx::Dlx;
+use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph, NodeId};
+use std::collections::HashSet;
+
+/// The exact-cover decomposer (see crate docs).
+#[derive(Debug, Clone, Copy)]
+pub struct EcDecomposer {
+    budget: u64,
+    enumeration: bool,
+}
+
+impl Default for EcDecomposer {
+    fn default() -> Self {
+        EcDecomposer { budget: 200_000, enumeration: true }
+    }
+}
+
+impl EcDecomposer {
+    /// Creates the decomposer with the default search-node budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the decomposer with a custom search-node budget. Smaller
+    /// budgets are faster but more likely to return suboptimal results.
+    pub fn with_budget(budget: u64) -> Self {
+        EcDecomposer { budget, enumeration: true }
+    }
+
+    /// The *baseline* grade without the certified single-pair relaxation
+    /// enumeration — the quality level the paper's EC engine corresponds
+    /// to (fast, near-optimal, no certificates). Used by the Table III
+    /// harness so the ILP/EC selection task has both classes populated.
+    pub fn basic() -> Self {
+        EcDecomposer { budget: 200_000, enumeration: false }
+    }
+}
+
+impl Decomposer for EcDecomposer {
+    fn name(&self) -> &'static str {
+        "EC"
+    }
+
+    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
+        self.decompose_certified(graph, params).0
+    }
+}
+
+impl EcDecomposer {
+    /// Like [`Decomposer::decompose`], additionally reporting whether the
+    /// result is *provably optimal*:
+    ///
+    /// - a conflict-free cover with objective `< 1` beats every solution
+    ///   with a conflict, and phase-1 is exact among conflict-free ones;
+    /// - otherwise, when phase-1 completed (proving whether a
+    ///   conflict-free cover exists) and the single-pair relaxation
+    ///   enumeration covered every conflicting feature pair without budget
+    ///   exhaustion, the best of those answers is exact among solutions
+    ///   with at most one conflict — and beats every `>= 2`-conflict
+    ///   solution when its objective is `< 2`.
+    ///
+    /// The adaptive framework uses the certificate to skip ILP
+    /// verification on the (vast majority of) certified units.
+    pub fn decompose_certified(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+    ) -> (Decomposition, bool) {
+        let instance = Instance::build(graph, params);
+
+        // Phase 1: conflict-free minimum-stitch cover.
+        let (exact, p1_exhausted) =
+            instance.solve_tracked(graph, params, &HashSet::new(), self.budget);
+        let zero_conflict_resolved = !p1_exhausted;
+        if let Some(d) = &exact {
+            if d.cost.conflicts == 0
+                && zero_conflict_resolved
+                && d.cost.value(params.alpha) < 1.0 - 1e-9
+            {
+                return (d.clone(), true);
+            }
+        }
+
+        // Phase 2: multi-start greedy assignment with local repair.
+        let mut best =
+            instance.repair(graph, params, instance.greedy(graph, params, GreedyOrder::DegreeDesc));
+        for order in [GreedyOrder::DegreeAsc, GreedyOrder::Natural] {
+            let cand = instance.repair(graph, params, instance.greedy(graph, params, order));
+            if cand.cost.better_than(&best.cost, params.alpha) {
+                best = cand;
+            }
+        }
+        if let Some(d) = &exact {
+            if d.cost.better_than(&best.cost, params.alpha) {
+                best = d.clone();
+            }
+        }
+
+        // Single-pair relaxation enumeration: conflicts are charged per
+        // feature *pair* (Eq. 1b), so relaxing all subfeature edges of one
+        // conflicting pair at a time (each a min-stitch DLX solve) covers
+        // the whole <= 1-conflict solution space exactly. Bounded to keep
+        // EC fast.
+        let mut pair_edges: std::collections::HashMap<(u32, u32), Vec<(NodeId, NodeId)>> =
+            std::collections::HashMap::new();
+        for &(u, v) in graph.conflict_edges() {
+            let (a, b) = (graph.feature_of(u), graph.feature_of(v));
+            let key = if a < b { (a, b) } else { (b, a) };
+            pair_edges.entry(key).or_default().push((u, v));
+        }
+        let needs_enumeration = self.enumeration
+            && (best.cost.conflicts >= 1 || best.cost.value(params.alpha) >= 1.0 - 1e-9);
+        let mut enumeration_complete = false;
+        if needs_enumeration && best.cost.conflicts <= 2 && pair_edges.len() <= 64 {
+            enumeration_complete = true;
+            for edges in pair_edges.values() {
+                let relaxed: HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+                let (cand, exhausted) =
+                    instance.solve_tracked(graph, params, &relaxed, self.budget);
+                if exhausted {
+                    enumeration_complete = false;
+                }
+                if let Some(cand) = cand {
+                    let cand = instance.repair(graph, params, cand);
+                    if cand.cost.better_than(&best.cost, params.alpha) {
+                        best = cand;
+                    }
+                }
+            }
+        }
+
+        // Certificate check before the (uncertified) iterative fallback.
+        let value = best.cost.value(params.alpha);
+        if best.cost.conflicts == 0 && zero_conflict_resolved && value < 1.0 - 1e-9 {
+            return (best, true);
+        }
+        if zero_conflict_resolved && enumeration_complete && value < 2.0 - 1e-9 {
+            return (best, true);
+        }
+
+        // Iterative relax-and-repair fallback (heuristic).
+        let mut violated = violated_edges(graph, &best.coloring);
+        for _ in 0..3 {
+            let (relaxed, _) = instance.solve_tracked(graph, params, &violated, self.budget);
+            let Some(relaxed) = relaxed else {
+                break;
+            };
+            let relaxed = instance.repair(graph, params, relaxed);
+            let next_violated = violated_edges(graph, &relaxed.coloring);
+            if relaxed.cost.better_than(&best.cost, params.alpha) {
+                best = relaxed;
+            }
+            if next_violated == violated {
+                break;
+            }
+            violated = next_violated;
+        }
+        (best, false)
+    }
+}
+
+impl Instance {
+    /// Feature-level local search: sweep features, re-picking each
+    /// feature's full subfeature-color combination against the current
+    /// neighborhood, until a fixpoint (bounded sweeps). Coordinated moves
+    /// across a stitch-split feature subsume single-node repair — the
+    /// refinement step of the EC flow.
+    fn repair(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        d: Decomposition,
+    ) -> Decomposition {
+        let stitch_w = (params.alpha * 1000.0).round() as u64;
+        let mut coloring = d.coloring;
+        for _ in 0..4 {
+            let mut changed = false;
+            for (f, nodes) in self.feature_nodes.iter().enumerate() {
+                let mut best_combo = 0usize;
+                let mut best_cost = u64::MAX;
+                let mut current_cost = u64::MAX;
+                for (ci, (combo, stitches)) in self.combos[f].iter().enumerate() {
+                    let mut cost = u64::from(*stitches) * stitch_w;
+                    // Conflicts are charged once per violated neighbor
+                    // *feature* (Eq. 1b caps parallel edges of a pair).
+                    let mut violated: Vec<u32> = Vec::new();
+                    for (i, &u) in nodes.iter().enumerate() {
+                        for &w in graph.conflict_neighbors(u) {
+                            if coloring[w as usize] == combo[i] {
+                                let nf = graph.feature_of(w);
+                                if !violated.contains(&nf) {
+                                    violated.push(nf);
+                                }
+                            }
+                        }
+                    }
+                    cost += violated.len() as u64 * 1000;
+                    let is_current =
+                        nodes.iter().enumerate().all(|(i, &u)| coloring[u as usize] == combo[i]);
+                    if is_current {
+                        current_cost = cost;
+                    }
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_combo = ci;
+                    }
+                }
+                if best_cost < current_cost {
+                    let combo = &self.combos[f][best_combo].0;
+                    for (i, &u) in nodes.iter().enumerate() {
+                        coloring[u as usize] = combo[i];
+                    }
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Decomposition::from_coloring(graph, coloring, params.alpha)
+    }
+}
+
+fn violated_edges(graph: &LayoutGraph, coloring: &[u8]) -> HashSet<(NodeId, NodeId)> {
+    graph
+        .conflict_edges()
+        .iter()
+        .copied()
+        .filter(|&(u, v)| coloring[u as usize] == coloring[v as usize])
+        .collect()
+}
+
+/// Feature visit orders tried by the multi-start greedy phase.
+#[derive(Debug, Clone, Copy)]
+enum GreedyOrder {
+    DegreeDesc,
+    DegreeAsc,
+    Natural,
+}
+
+/// Preprocessed instance: per-feature subfeature lists and color
+/// combinations.
+struct Instance {
+    /// Nodes of each feature, sorted.
+    feature_nodes: Vec<Vec<NodeId>>,
+    /// Per feature, all color combinations with their stitch cost (number
+    /// of internal stitch edges whose endpoints differ).
+    combos: Vec<Vec<(Vec<u8>, u32)>>,
+}
+
+impl Instance {
+    fn build(graph: &LayoutGraph, params: &DecomposeParams) -> Instance {
+        let k = params.k;
+        let nf = graph.num_features();
+        let mut feature_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); nf];
+        for v in 0..graph.num_nodes() as u32 {
+            feature_nodes[graph.feature_of(v) as usize].push(v);
+        }
+        let combos = feature_nodes
+            .iter()
+            .map(|nodes| {
+                let s = nodes.len();
+                assert!(
+                    (k as u64).pow(s as u32) <= 4096,
+                    "a feature with {s} subfeatures exceeds the row limit"
+                );
+                let mut out = Vec::new();
+                let mut combo = vec![0u8; s];
+                loop {
+                    // Stitch cost of this combination.
+                    let mut stitches = 0u32;
+                    for (i, &u) in nodes.iter().enumerate() {
+                        for &w in graph.stitch_neighbors(u) {
+                            if w > u {
+                                let j = nodes
+                                    .iter()
+                                    .position(|&x| x == w)
+                                    .expect("stitch neighbor belongs to the same feature");
+                                if combo[i] != combo[j] {
+                                    stitches += 1;
+                                }
+                            }
+                        }
+                    }
+                    out.push((combo.clone(), stitches));
+                    // Odometer.
+                    let mut i = 0;
+                    loop {
+                        if i == s {
+                            return out;
+                        }
+                        combo[i] += 1;
+                        if combo[i] < k {
+                            break;
+                        }
+                        combo[i] = 0;
+                        i += 1;
+                    }
+                }
+            })
+            .collect();
+        Instance { feature_nodes, combos }
+    }
+
+    /// Builds and solves the DLX matrix, treating edges in `relaxed` as
+    /// unconstrained. Returns the decomposition (or `None` when no cover
+    /// was found) plus whether the search budget was exhausted (in which
+    /// case the answer carries no optimality/infeasibility proof).
+    fn solve_tracked(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        relaxed: &HashSet<(NodeId, NodeId)>,
+        budget: u64,
+    ) -> (Option<Decomposition>, bool) {
+        let k = params.k as usize;
+        let nf = self.feature_nodes.len();
+        if nf == 0 {
+            return (
+                Some(Decomposition::from_coloring(graph, Vec::new(), params.alpha)),
+                false,
+            );
+        }
+        // Secondary columns: (constrained conflict edge, color).
+        let constrained: Vec<(NodeId, NodeId)> = graph
+            .conflict_edges()
+            .iter()
+            .copied()
+            .filter(|e| !relaxed.contains(e))
+            .collect();
+        let mut col_of_edge = std::collections::HashMap::new();
+        for (i, &e) in constrained.iter().enumerate() {
+            col_of_edge.insert(e, nf + i * k);
+        }
+        let num_secondary = constrained.len() * k;
+        let mut m = Dlx::new(nf, num_secondary);
+        let mut row_meta: Vec<(usize, usize)> = Vec::new(); // (feature, combo index)
+
+        let stitch_w = (params.alpha * 1000.0).round() as u64;
+        for (f, combos) in self.combos.iter().enumerate() {
+            for (ci, (combo, stitches)) in combos.iter().enumerate() {
+                let mut cols = vec![f];
+                for (i, &u) in self.feature_nodes[f].iter().enumerate() {
+                    let c = combo[i] as usize;
+                    for &w in graph.conflict_neighbors(u) {
+                        let e = if u < w { (u, w) } else { (w, u) };
+                        if let Some(&base) = col_of_edge.get(&e) {
+                            cols.push(base + c);
+                        }
+                    }
+                }
+                cols.sort_unstable();
+                cols.dedup();
+                row_meta.push((f, ci));
+                m.add_row(&cols, u64::from(*stitches) * stitch_w);
+            }
+        }
+
+        let solved = m.solve_min_cost(Some(budget));
+        let exhausted = m.last_search_exhausted();
+        let Some((rows, _cost)) = solved else {
+            return (None, exhausted);
+        };
+        let mut coloring = vec![0u8; graph.num_nodes()];
+        for r in rows {
+            let (f, ci) = row_meta[r];
+            let combo = &self.combos[f][ci].0;
+            for (i, &u) in self.feature_nodes[f].iter().enumerate() {
+                coloring[u as usize] = combo[i];
+            }
+        }
+        (
+            Some(Decomposition::from_coloring(graph, coloring, params.alpha)),
+            exhausted,
+        )
+    }
+
+    /// Greedy row selection: features visited in the given order, each
+    /// taking the combination with the smallest incremental cost.
+    fn greedy(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        order_kind: GreedyOrder,
+    ) -> Decomposition {
+        let mut order: Vec<usize> = (0..self.feature_nodes.len()).collect();
+        let degree = |f: usize| -> usize {
+            self.feature_nodes[f]
+                .iter()
+                .map(|&u| graph.conflict_degree(u))
+                .sum()
+        };
+        match order_kind {
+            GreedyOrder::DegreeDesc => order.sort_by_key(|&f| std::cmp::Reverse(degree(f))),
+            GreedyOrder::DegreeAsc => order.sort_by_key(|&f| degree(f)),
+            GreedyOrder::Natural => {}
+        }
+
+        let mut coloring = vec![u8::MAX; graph.num_nodes()];
+        let stitch_w = (params.alpha * 1000.0).round() as u64;
+        for &f in &order {
+            let nodes = &self.feature_nodes[f];
+            let mut best_combo = 0usize;
+            let mut best_cost = u64::MAX;
+            for (ci, (combo, stitches)) in self.combos[f].iter().enumerate() {
+                let mut cost = u64::from(*stitches) * stitch_w;
+                let mut violated: Vec<u32> = Vec::new();
+                for (i, &u) in nodes.iter().enumerate() {
+                    for &w in graph.conflict_neighbors(u) {
+                        let cw = coloring[w as usize];
+                        if cw != u8::MAX && cw == combo[i] {
+                            let nf = graph.feature_of(w);
+                            if !violated.contains(&nf) {
+                                violated.push(nf);
+                            }
+                        }
+                    }
+                }
+                cost += violated.len() as u64 * 1000;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_combo = ci;
+                }
+            }
+            let combo = &self.combos[f][best_combo].0;
+            for (i, &u) in nodes.iter().enumerate() {
+                coloring[u as usize] = combo[i];
+            }
+        }
+        for c in coloring.iter_mut() {
+            if *c == u8::MAX {
+                *c = 0;
+            }
+        }
+        Decomposition::from_coloring(graph, coloring, params.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpld_ilp::{brute_force, IlpDecomposer};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tpl() -> DecomposeParams {
+        DecomposeParams::tpl()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LayoutGraph::homogeneous(0, vec![]).unwrap();
+        let d = EcDecomposer::new().decompose(&g, &tpl());
+        assert!(d.coloring.is_empty());
+    }
+
+    #[test]
+    fn triangle_conflict_free() {
+        let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let d = EcDecomposer::new().decompose(&g, &tpl());
+        assert_eq!(d.cost.conflicts, 0);
+        assert_eq!(d.cost.stitches, 0);
+    }
+
+    #[test]
+    fn k4_falls_back_to_one_conflict() {
+        let g = LayoutGraph::homogeneous(
+            4,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        let d = EcDecomposer::new().decompose(&g, &tpl());
+        assert_eq!(d.cost.conflicts, 1);
+    }
+
+    #[test]
+    fn stitch_used_to_avoid_conflict() {
+        let g = LayoutGraph::new(
+            vec![0, 0, 1, 2, 3, 4],
+            vec![(0, 2), (0, 3), (1, 4), (1, 5), (2, 3), (4, 5), (2, 4), (3, 5)],
+            vec![(0, 1)],
+        )
+        .unwrap();
+        let bf = brute_force(&g, &tpl());
+        let d = EcDecomposer::new().decompose(&g, &tpl());
+        assert_eq!(d.cost.value(0.1), bf.cost.value(0.1));
+    }
+
+    #[test]
+    fn near_optimal_on_random_graphs() {
+        // EC must be valid and never better than ILP (which is optimal);
+        // with a generous budget on small graphs it should match.
+        let mut rng = SmallRng::seed_from_u64(0xEC);
+        for _ in 0..25 {
+            let n = rng.gen_range(4..9usize);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.5) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = LayoutGraph::homogeneous(n, edges).unwrap();
+            let ec = EcDecomposer::new().decompose(&g, &tpl());
+            let ilp = IlpDecomposer::new().decompose(&g, &tpl());
+            assert!(ec.cost.value(0.1) >= ilp.cost.value(0.1) - 1e-9);
+            assert_eq!(ec.cost.value(0.1), ilp.cost.value(0.1), "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_still_returns_valid_solution() {
+        let g = LayoutGraph::homogeneous(
+            6,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (3, 5)],
+        )
+        .unwrap();
+        let d = EcDecomposer::with_budget(2).decompose(&g, &tpl());
+        assert_eq!(d.coloring.len(), 6);
+        assert!(d.coloring.iter().all(|&c| c < 3));
+        assert_eq!(d.cost, g.evaluate(&d.coloring, 0.1));
+    }
+
+    #[test]
+    fn stitch_combos_priced_correctly() {
+        // One feature with 3 subfeatures in a stitch chain and no conflicts:
+        // optimal cover picks a same-color combo with zero stitch cost.
+        let g = LayoutGraph::new(vec![0, 0, 0], vec![], vec![(0, 1), (1, 2)]).unwrap();
+        let d = EcDecomposer::new().decompose(&g, &tpl());
+        assert_eq!(d.cost.stitches, 0);
+        assert!(d.coloring.iter().all(|&c| c == d.coloring[0]));
+    }
+}

@@ -1,0 +1,89 @@
+use crate::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a polygonal feature within a layout.
+pub type FeatureId = u32;
+
+/// A polygonal layout feature, represented as a union of axis-aligned
+/// rectangles (a rectilinear decomposition of the polygon).
+///
+/// Routed-layer features in the benchmarks are wire-like: one rectangle or
+/// a small L/T/Z-shaped union of rectangles. The MPLD graph construction
+/// only needs membership and pairwise gap distance, so the rectangle
+/// decomposition is a complete representation.
+///
+/// # Example
+///
+/// ```
+/// use mpld_geometry::{Feature, Rect};
+/// let l_shape = Feature::new(7, vec![
+///     Rect::new(0, 0, 100, 20),
+///     Rect::new(80, 20, 100, 120),
+/// ]);
+/// assert_eq!(l_shape.id(), 7);
+/// assert_eq!(l_shape.bounding_box(), Rect::new(0, 0, 100, 120));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Feature {
+    id: FeatureId,
+    rects: Vec<Rect>,
+}
+
+impl Feature {
+    /// Creates a feature from its rectangle decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rects` is empty: a feature must occupy some area.
+    pub fn new(id: FeatureId, rects: Vec<Rect>) -> Self {
+        assert!(!rects.is_empty(), "a feature must contain at least one rectangle");
+        Feature { id, rects }
+    }
+
+    /// The feature's identifier.
+    pub fn id(&self) -> FeatureId {
+        self.id
+    }
+
+    /// The rectangle decomposition.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Total area (assumes the decomposition is non-overlapping).
+    pub fn area(&self) -> i64 {
+        self.rects.iter().map(Rect::area).sum()
+    }
+
+    /// The axis-aligned bounding box of the whole feature.
+    pub fn bounding_box(&self) -> Rect {
+        let mut bb = self.rects[0];
+        for r in &self.rects[1..] {
+            bb = bb.union(r);
+        }
+        bb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one rectangle")]
+    fn empty_feature_panics() {
+        let _ = Feature::new(0, vec![]);
+    }
+
+    #[test]
+    fn area_sums_rects() {
+        let f = Feature::new(1, vec![Rect::new(0, 0, 10, 10), Rect::new(10, 0, 20, 5)]);
+        assert_eq!(f.area(), 100 + 50);
+    }
+
+    #[test]
+    fn bounding_box_spans_all_rects() {
+        let f = Feature::new(1, vec![Rect::new(0, 0, 10, 10), Rect::new(30, -5, 40, 5)]);
+        assert_eq!(f.bounding_box(), Rect::new(0, -5, 40, 10));
+    }
+}

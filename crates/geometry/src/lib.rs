@@ -1,0 +1,115 @@
+//! Rectilinear geometry kernel for multiple patterning layout decomposition.
+//!
+//! This crate provides the geometric substrate used by the rest of the MPLD
+//! workspace: axis-aligned [`Rect`]s in integer (nanometre) coordinates,
+//! polygonal [`Feature`]s assembled from rectangles, gap-distance queries
+//! between features, and a uniform-grid [`GridIndex`] used to find all
+//! feature pairs closer than the minimum coloring distance.
+//!
+//! # Example
+//!
+//! ```
+//! use mpld_geometry::{Feature, GridIndex, Rect};
+//!
+//! let a = Feature::new(0, vec![Rect::new(0, 0, 100, 20)]);
+//! let b = Feature::new(1, vec![Rect::new(0, 60, 100, 80)]);
+//! let index = GridIndex::build(&[a.clone(), b.clone()], 120);
+//! // The two wires are 40 nm apart, which is closer than d = 120 nm.
+//! let pairs = index.conflict_pairs(&[a, b], 120);
+//! assert_eq!(pairs, vec![(0, 1)]);
+//! ```
+
+mod feature;
+mod index;
+mod polygon;
+mod rect;
+
+pub use feature::{Feature, FeatureId};
+pub use index::GridIndex;
+pub use polygon::{Polygon, PolygonError};
+pub use rect::Rect;
+
+/// Squared Euclidean gap distance between two axis-aligned rectangles.
+///
+/// Returns `0` when the rectangles touch or overlap. Using the squared
+/// distance keeps everything in exact integer arithmetic; callers compare
+/// against `d * d`.
+///
+/// # Example
+///
+/// ```
+/// use mpld_geometry::{gap_distance_sq, Rect};
+/// let a = Rect::new(0, 0, 10, 10);
+/// let b = Rect::new(13, 14, 20, 20);
+/// assert_eq!(gap_distance_sq(&a, &b), 3 * 3 + 4 * 4);
+/// ```
+pub fn gap_distance_sq(a: &Rect, b: &Rect) -> i64 {
+    let dx = axis_gap(a.xl, a.xh, b.xl, b.xh);
+    let dy = axis_gap(a.yl, a.yh, b.yl, b.yh);
+    dx * dx + dy * dy
+}
+
+/// Gap between two 1-D intervals; zero when they overlap or touch.
+fn axis_gap(al: i64, ah: i64, bl: i64, bh: i64) -> i64 {
+    if bh < al {
+        al - bh
+    } else if ah < bl {
+        bl - ah
+    } else {
+        0
+    }
+}
+
+/// Squared gap distance between two polygonal features (minimum over their
+/// rectangle pairs). Returns `0` for touching/overlapping features.
+pub fn feature_distance_sq(a: &Feature, b: &Feature) -> i64 {
+    let mut best = i64::MAX;
+    for ra in a.rects() {
+        for rb in b.rects() {
+            best = best.min(gap_distance_sq(ra, rb));
+            if best == 0 {
+                return 0;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_gap_overlapping_is_zero() {
+        assert_eq!(axis_gap(0, 10, 5, 15), 0);
+        assert_eq!(axis_gap(0, 10, 10, 15), 0);
+    }
+
+    #[test]
+    fn axis_gap_disjoint() {
+        assert_eq!(axis_gap(0, 10, 14, 20), 4);
+        assert_eq!(axis_gap(14, 20, 0, 10), 4);
+    }
+
+    #[test]
+    fn gap_distance_diagonal() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(13, 14, 20, 20);
+        assert_eq!(gap_distance_sq(&a, &b), 25);
+        assert_eq!(gap_distance_sq(&b, &a), 25);
+    }
+
+    #[test]
+    fn gap_distance_overlap_is_zero() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 20, 20);
+        assert_eq!(gap_distance_sq(&a, &b), 0);
+    }
+
+    #[test]
+    fn feature_distance_uses_minimum_rect_pair() {
+        let a = Feature::new(0, vec![Rect::new(0, 0, 10, 10), Rect::new(0, 100, 10, 110)]);
+        let b = Feature::new(1, vec![Rect::new(0, 115, 10, 125)]);
+        assert_eq!(feature_distance_sq(&a, &b), 25);
+    }
+}

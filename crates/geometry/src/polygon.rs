@@ -1,0 +1,227 @@
+//! Rectilinear polygons and their rectangle decomposition.
+//!
+//! Layout features in real flows arrive as polygon point lists (GDSII
+//! boundaries). [`Polygon`] validates a simple rectilinear boundary and
+//! [`Polygon::to_rects`] produces the horizontal-slab rectangle
+//! decomposition that the rest of the workspace consumes.
+
+use crate::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error validating a polygon boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than 4 vertices.
+    TooFewVertices(usize),
+    /// An edge is neither horizontal nor vertical.
+    NotRectilinear { from: (i64, i64), to: (i64, i64) },
+    /// Two consecutive vertices coincide.
+    ZeroLengthEdge((i64, i64)),
+    /// The decomposition found an odd number of crossings — the boundary
+    /// self-intersects or is not a simple cycle.
+    NotSimple,
+}
+
+impl fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolygonError::TooFewVertices(n) => write!(f, "polygon needs >= 4 vertices, got {n}"),
+            PolygonError::NotRectilinear { from, to } => {
+                write!(f, "edge {from:?} -> {to:?} is not axis-aligned")
+            }
+            PolygonError::ZeroLengthEdge(p) => write!(f, "zero-length edge at {p:?}"),
+            PolygonError::NotSimple => write!(f, "polygon boundary is not simple"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+/// A simple rectilinear polygon given by its boundary vertices (the
+/// closing edge back to the first vertex is implicit).
+///
+/// # Example
+///
+/// ```
+/// use mpld_geometry::Polygon;
+/// // An L-shape.
+/// let poly = Polygon::new(vec![
+///     (0, 0), (30, 0), (30, 10), (10, 10), (10, 30), (0, 30),
+/// ])?;
+/// let rects = poly.to_rects()?;
+/// let area: i64 = rects.iter().map(|r| r.area()).sum();
+/// assert_eq!(area, 30 * 10 + 10 * 20);
+/// # Ok::<(), mpld_geometry::PolygonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<(i64, i64)>,
+}
+
+impl Polygon {
+    /// Validates and creates a rectilinear polygon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PolygonError`] when the boundary is too short, has a
+    /// diagonal or zero-length edge.
+    pub fn new(vertices: Vec<(i64, i64)>) -> Result<Self, PolygonError> {
+        if vertices.len() < 4 {
+            return Err(PolygonError::TooFewVertices(vertices.len()));
+        }
+        for i in 0..vertices.len() {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % vertices.len()];
+            if a == b {
+                return Err(PolygonError::ZeroLengthEdge(a));
+            }
+            if a.0 != b.0 && a.1 != b.1 {
+                return Err(PolygonError::NotRectilinear { from: a, to: b });
+            }
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// The boundary vertices.
+    pub fn vertices(&self) -> &[(i64, i64)] {
+        &self.vertices
+    }
+
+    /// Decomposes the interior into non-overlapping rectangles by
+    /// horizontal slabs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolygonError::NotSimple`] if the boundary self-intersects
+    /// (odd crossing count in some slab).
+    pub fn to_rects(&self) -> Result<Vec<Rect>, PolygonError> {
+        // Vertical edges as (x, ylo, yhi).
+        let mut verticals: Vec<(i64, i64, i64)> = Vec::new();
+        let mut ys: Vec<i64> = Vec::new();
+        for i in 0..self.vertices.len() {
+            let (x1, y1) = self.vertices[i];
+            let (x2, y2) = self.vertices[(i + 1) % self.vertices.len()];
+            ys.push(y1);
+            if x1 == x2 {
+                verticals.push((x1, y1.min(y2), y1.max(y2)));
+            }
+        }
+        ys.sort_unstable();
+        ys.dedup();
+
+        let mut rects = Vec::new();
+        for slab in ys.windows(2) {
+            let (ylo, yhi) = (slab[0], slab[1]);
+            // Vertical edges fully spanning this slab, sorted by x.
+            let mut xs: Vec<i64> = verticals
+                .iter()
+                .filter(|&&(_, lo, hi)| lo <= ylo && hi >= yhi)
+                .map(|&(x, _, _)| x)
+                .collect();
+            xs.sort_unstable();
+            if xs.len() % 2 != 0 {
+                return Err(PolygonError::NotSimple);
+            }
+            for pair in xs.chunks(2) {
+                if pair[0] < pair[1] {
+                    rects.push(Rect::new(pair[0], ylo, pair[1], yhi));
+                }
+            }
+        }
+        if rects.is_empty() {
+            return Err(PolygonError::NotSimple);
+        }
+        Ok(rects)
+    }
+
+    /// Interior area (via the rectangle decomposition).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Polygon::to_rects`].
+    pub fn area(&self) -> Result<i64, PolygonError> {
+        Ok(self.to_rects()?.iter().map(Rect::area).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_decomposes_to_itself() {
+        let p = Polygon::new(vec![(0, 0), (10, 0), (10, 5), (0, 5)]).unwrap();
+        assert_eq!(p.to_rects().unwrap(), vec![Rect::new(0, 0, 10, 5)]);
+    }
+
+    #[test]
+    fn l_shape_decomposes_exactly() {
+        let p = Polygon::new(vec![(0, 0), (30, 0), (30, 10), (10, 10), (10, 30), (0, 30)])
+            .unwrap();
+        let rects = p.to_rects().unwrap();
+        let area: i64 = rects.iter().map(Rect::area).sum();
+        assert_eq!(area, 300 + 200);
+        // Non-overlapping.
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                let overlap_w = (a.xh.min(b.xh) - a.xl.max(b.xl)).max(0);
+                let overlap_h = (a.yh.min(b.yh) - a.yl.max(b.yl)).max(0);
+                assert_eq!(overlap_w * overlap_h, 0, "rects overlap: {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn u_shape_has_two_arms() {
+        // U: outer 30x30 with a 10-wide notch from the top.
+        let p = Polygon::new(vec![
+            (0, 0),
+            (30, 0),
+            (30, 30),
+            (20, 30),
+            (20, 10),
+            (10, 10),
+            (10, 30),
+            (0, 30),
+        ])
+        .unwrap();
+        let area = p.area().unwrap();
+        assert_eq!(area, 30 * 30 - 10 * 20);
+        // The top slab must contain two disjoint rectangles (the arms).
+        let rects = p.to_rects().unwrap();
+        let top_rects = rects.iter().filter(|r| r.yl >= 10).count();
+        assert!(top_rects >= 2);
+    }
+
+    #[test]
+    fn clockwise_and_counterclockwise_agree() {
+        let ccw = Polygon::new(vec![(0, 0), (10, 0), (10, 5), (0, 5)]).unwrap();
+        let cw = Polygon::new(vec![(0, 0), (0, 5), (10, 5), (10, 0)]).unwrap();
+        assert_eq!(ccw.area().unwrap(), cw.area().unwrap());
+    }
+
+    #[test]
+    fn diagonal_edge_rejected() {
+        assert!(matches!(
+            Polygon::new(vec![(0, 0), (10, 10), (10, 0), (0, 5)]),
+            Err(PolygonError::NotRectilinear { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_vertices_rejected() {
+        assert_eq!(
+            Polygon::new(vec![(0, 0), (1, 0), (1, 1)]),
+            Err(PolygonError::TooFewVertices(3))
+        );
+    }
+
+    #[test]
+    fn zero_length_edge_rejected() {
+        assert!(matches!(
+            Polygon::new(vec![(0, 0), (0, 0), (10, 0), (10, 5)]),
+            Err(PolygonError::ZeroLengthEdge(_))
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle in integer (nanometre) layout coordinates.
+///
+/// The invariant `xl <= xh && yl <= yh` is established by [`Rect::new`].
+/// Coordinates are half-open in spirit but all geometry in this workspace
+/// treats rectangles as closed regions; two rectangles sharing an edge have
+/// gap distance zero.
+///
+/// # Example
+///
+/// ```
+/// use mpld_geometry::Rect;
+/// let r = Rect::new(0, 0, 100, 20);
+/// assert_eq!(r.width(), 100);
+/// assert_eq!(r.height(), 20);
+/// assert_eq!(r.area(), 2000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left x coordinate.
+    pub xl: i64,
+    /// Bottom y coordinate.
+    pub yl: i64,
+    /// Right x coordinate.
+    pub xh: i64,
+    /// Top y coordinate.
+    pub yh: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalizing the corner order.
+    pub fn new(xl: i64, yl: i64, xh: i64, yh: i64) -> Self {
+        Rect {
+            xl: xl.min(xh),
+            yl: yl.min(yh),
+            xh: xl.max(xh),
+            yh: yl.max(yh),
+        }
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> i64 {
+        self.xh - self.xl
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> i64 {
+        self.yh - self.yl
+    }
+
+    /// Area in square nanometres.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Whether this rectangle overlaps (or touches) `other`.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xl <= other.xh && other.xl <= self.xh && self.yl <= other.yh && other.yl <= self.yh
+    }
+
+    /// The rectangle expanded by `margin` on all four sides.
+    pub fn expanded(&self, margin: i64) -> Rect {
+        Rect {
+            xl: self.xl - margin,
+            yl: self.yl - margin,
+            xh: self.xh + margin,
+            yh: self.yh + margin,
+        }
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            xl: self.xl.min(other.xl),
+            yl: self.yl.min(other.yl),
+            xh: self.xh.max(other.xh),
+            yh: self.yh.max(other.yh),
+        }
+    }
+
+    /// Splits the rectangle at `x` into a left and right part.
+    ///
+    /// Returns `None` when `x` is outside the open interior `(xl, xh)`.
+    pub fn split_at_x(&self, x: i64) -> Option<(Rect, Rect)> {
+        if x <= self.xl || x >= self.xh {
+            return None;
+        }
+        Some((
+            Rect::new(self.xl, self.yl, x, self.yh),
+            Rect::new(x, self.yl, self.xh, self.yh),
+        ))
+    }
+
+    /// Splits the rectangle at `y` into a bottom and top part.
+    ///
+    /// Returns `None` when `y` is outside the open interior `(yl, yh)`.
+    pub fn split_at_y(&self, y: i64) -> Option<(Rect, Rect)> {
+        if y <= self.yl || y >= self.yh {
+            return None;
+        }
+        Some((
+            Rect::new(self.xl, self.yl, self.xh, y),
+            Rect::new(self.xl, y, self.xh, self.yh),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!(r, Rect::new(0, 5, 10, 20));
+    }
+
+    #[test]
+    fn intersects_shared_edge() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn intersects_disjoint() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(11, 0, 20, 10);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn expanded_grows_all_sides() {
+        let r = Rect::new(0, 0, 10, 10).expanded(5);
+        assert_eq!(r, Rect::new(-5, -5, 15, 15));
+    }
+
+    #[test]
+    fn split_at_x_interior() {
+        let r = Rect::new(0, 0, 10, 4);
+        let (l, rr) = r.split_at_x(6).unwrap();
+        assert_eq!(l, Rect::new(0, 0, 6, 4));
+        assert_eq!(rr, Rect::new(6, 0, 10, 4));
+        assert_eq!(l.area() + rr.area(), r.area());
+    }
+
+    #[test]
+    fn split_at_x_boundary_is_none() {
+        let r = Rect::new(0, 0, 10, 4);
+        assert!(r.split_at_x(0).is_none());
+        assert!(r.split_at_x(10).is_none());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0, 0, 5, 5);
+        let b = Rect::new(10, -3, 12, 2);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0, -3, 12, 5));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the geometry kernel.
+
+use mpld_geometry::{feature_distance_sq, gap_distance_sq, Feature, GridIndex, Rect};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-1000i64..1000, -1000i64..1000, 1i64..200, 1i64..200)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_feature(id: u32) -> impl Strategy<Value = Feature> {
+    prop::collection::vec(arb_rect(), 1..4).prop_map(move |rects| Feature::new(id, rects))
+}
+
+proptest! {
+    #[test]
+    fn gap_distance_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(gap_distance_sq(&a, &b), gap_distance_sq(&b, &a));
+    }
+
+    #[test]
+    fn gap_distance_self_is_zero(a in arb_rect()) {
+        prop_assert_eq!(gap_distance_sq(&a, &a), 0);
+    }
+
+    #[test]
+    fn intersecting_rects_have_zero_distance(a in arb_rect(), b in arb_rect()) {
+        if a.intersects(&b) {
+            prop_assert_eq!(gap_distance_sq(&a, &b), 0);
+        } else {
+            prop_assert!(gap_distance_sq(&a, &b) > 0);
+        }
+    }
+
+    #[test]
+    fn translation_preserves_distance(a in arb_rect(), b in arb_rect(),
+                                      dx in -500i64..500, dy in -500i64..500) {
+        let ta = Rect::new(a.xl + dx, a.yl + dy, a.xh + dx, a.yh + dy);
+        let tb = Rect::new(b.xl + dx, b.yl + dy, b.xh + dx, b.yh + dy);
+        prop_assert_eq!(gap_distance_sq(&a, &b), gap_distance_sq(&ta, &tb));
+    }
+
+    #[test]
+    fn split_preserves_area(a in arb_rect(), frac in 1i64..99) {
+        let x = a.xl + a.width() * frac / 100;
+        if let Some((l, r)) = a.split_at_x(x) {
+            prop_assert_eq!(l.area() + r.area(), a.area());
+            prop_assert_eq!(l.union(&r), a);
+        }
+    }
+
+    #[test]
+    fn feature_distance_symmetric(a in arb_feature(0), b in arb_feature(1)) {
+        prop_assert_eq!(feature_distance_sq(&a, &b), feature_distance_sq(&b, &a));
+    }
+
+    #[test]
+    fn grid_index_matches_bruteforce(
+        feats in prop::collection::vec(arb_rect(), 2..25),
+        d in 1i64..300,
+    ) {
+        let feats: Vec<Feature> = feats
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Feature::new(i as u32, vec![r]))
+            .collect();
+        let index = GridIndex::build(&feats, d);
+        let got = index.conflict_pairs(&feats, d);
+        let mut expect = Vec::new();
+        for i in 0..feats.len() {
+            for j in (i + 1)..feats.len() {
+                if feature_distance_sq(&feats[i], &feats[j]) < d * d {
+                    expect.push((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+}

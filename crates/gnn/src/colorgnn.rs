@@ -1,0 +1,470 @@
+//! ColorGNN — the pure message-passing decomposer for non-stitch graphs
+//! (Section III-B of the paper, Algorithm 1 lines 9–13).
+//!
+//! Each node carries a belief vector over the `k` masks, initialized
+//! randomly. A layer applies the trainable weighted combination of Eq. (5):
+//! `c_v' = lambda_C * c_v + lambda_A * sum_{u in N'(v)} c_u`, where `N'`
+//! is a random subsample of the conflict neighbors (the randomness helps
+//! escape local optima, following the local-algorithms argument the paper
+//! cites). After the final layer each node takes the argmax mask; the
+//! whole network is executed `iter` times from different random
+//! initializations and the cheapest coloring wins.
+//!
+//! Training minimizes the unsupervised margin loss of Eq. (14): adjacent
+//! nodes should have belief vectors at squared distance `>= margin`.
+
+use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_tensor::{Adjacency, Graph, Matrix, Optimizer, ParamId, ParamSet, VarId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Training hyperparameters for ColorGNN.
+#[derive(Debug, Clone, Copy)]
+pub struct ColorGnnTrainConfig {
+    /// Passes over the training graphs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Margin `m` of Eq. (14).
+    pub margin: f32,
+}
+
+impl Default for ColorGnnTrainConfig {
+    fn default() -> Self {
+        ColorGnnTrainConfig { epochs: 40, lr: 0.02, margin: 1.0 }
+    }
+}
+
+/// The ColorGNN decomposer (see module docs).
+pub struct ColorGnn {
+    params: ParamSet,
+    /// `(lambda_C, lambda_A)` per layer.
+    lambdas: Vec<(ParamId, ParamId)>,
+    restarts: usize,
+    /// Probability of keeping each neighbor during sampled aggregation.
+    sample_keep: f64,
+    /// Interior mutability so `Decomposer::decompose(&self)` can both
+    /// drive the RNG and bind parameters.
+    state: RefCell<SmallRng>,
+}
+
+impl ColorGnn {
+    /// Builds the paper's configuration: 10 layers, 5 restarts.
+    pub fn new(seed: u64) -> Self {
+        Self::with_shape(10, 5, 0.8, seed)
+    }
+
+    /// Builds a custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0` or `restarts == 0` or `sample_keep` is not
+    /// in `(0, 1]`.
+    pub fn with_shape(layers: usize, restarts: usize, sample_keep: f64, seed: u64) -> Self {
+        assert!(layers > 0, "at least one layer");
+        assert!(restarts > 0, "at least one restart");
+        assert!(sample_keep > 0.0 && sample_keep <= 1.0, "keep probability in (0, 1]");
+        let mut params = ParamSet::new(Optimizer::Adam);
+        let lambdas = (0..layers)
+            .map(|_| {
+                (
+                    params.add(Matrix::from_vec(1, 1, vec![1.0])),
+                    params.add(Matrix::from_vec(1, 1, vec![-0.4])),
+                )
+            })
+            .collect();
+        ColorGnn {
+            params,
+            lambdas,
+            restarts,
+            sample_keep,
+            state: RefCell::new(SmallRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.lambdas.len()
+    }
+
+    /// Number of restarts (`iter` in Algorithm 1).
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Overrides the restart count.
+    pub fn set_restarts(&mut self, restarts: usize) {
+        assert!(restarts > 0, "at least one restart");
+        self.restarts = restarts;
+    }
+
+    /// Serializes the trained per-layer weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save_weights<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        self.params.write_values(writer)
+    }
+
+    /// Restores weights written by [`ColorGnn::save_weights`] into a model
+    /// with the same layer count.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` when the layer counts differ.
+    pub fn load_weights<R: std::io::Read>(&mut self, reader: R) -> std::io::Result<()> {
+        self.params.read_values(reader)
+    }
+
+    /// The current `(lambda_C, lambda_A)` values per layer.
+    pub fn lambda_values(&self) -> Vec<(f32, f32)> {
+        self.lambdas
+            .iter()
+            .map(|&(c, a)| (self.params.value(c).scalar(), self.params.value(a).scalar()))
+            .collect()
+    }
+
+    fn sampled_adjacency(&self, graph: &LayoutGraph, rng: &mut SmallRng) -> Arc<Adjacency> {
+        let n = graph.num_nodes();
+        let fwd = (0..n as u32)
+            .map(|v| {
+                let ns = graph.conflict_neighbors(v);
+                if self.sample_keep >= 1.0 || ns.len() <= 1 {
+                    return ns.to_vec();
+                }
+                let kept: Vec<u32> = ns
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(self.sample_keep))
+                    .collect();
+                if kept.is_empty() {
+                    vec![ns[rng.gen_range(0..ns.len())]]
+                } else {
+                    kept
+                }
+            })
+            .collect();
+        Arc::new(Adjacency::new(fwd))
+    }
+
+    fn random_beliefs(n: usize, k: u8, rng: &mut SmallRng) -> Matrix {
+        let mut x = Matrix::zeros(n, k as usize);
+        for r in 0..n {
+            let mut sum = 0.0;
+            for c in 0..k as usize {
+                let v: f32 = rng.gen_range(0.05..1.0);
+                x[(r, c)] = v;
+                sum += v;
+            }
+            for c in 0..k as usize {
+                x[(r, c)] /= sum;
+            }
+        }
+        x
+    }
+
+    /// One forward pass; returns the final belief var.
+    fn forward(
+        &self,
+        params: &mut ParamSet,
+        g: &mut Graph,
+        graph: &LayoutGraph,
+        init: Matrix,
+        rng: &mut SmallRng,
+    ) -> VarId {
+        let mut x = g.input(init);
+        for &(lc, la) in &self.lambdas {
+            let adj = self.sampled_adjacency(graph, rng);
+            let m = g.agg_sum(x, adj);
+            let lcv = params.bind(g, lc);
+            let lav = params.bind(g, la);
+            let own = g.scale_by_scalar(x, lcv);
+            let msg = g.scale_by_scalar(m, lav);
+            let mixed = g.add(own, msg);
+            // Per-layer row normalization keeps the belief dynamics
+            // bounded (argmax is invariant to positive row scaling, so
+            // inference is unaffected) and removes the degenerate
+            // "grow lambda_C" optimum from the margin loss.
+            x = g.row_l2_normalize(mixed);
+        }
+        x
+    }
+
+    /// Decomposes many non-stitch graphs in one batched pass over their
+    /// disjoint union: each restart runs the network once for all graphs,
+    /// and the best coloring is kept *per graph* (strictly better than
+    /// per-graph restarts at the same cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any graph contains stitch edges.
+    pub fn decompose_batch(
+        &self,
+        graphs: &[&LayoutGraph],
+        params: &DecomposeParams,
+    ) -> Vec<Decomposition> {
+        assert!(
+            graphs.iter().all(|g| !g.has_stitches()),
+            "ColorGNN handles non-stitch graphs only"
+        );
+        if graphs.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = self.state.borrow_mut();
+        let mut best: Vec<Option<Decomposition>> = vec![None; graphs.len()];
+        // Adaptive restarts: each round only re-runs graphs that still
+        // have conflicts, so the later rounds shrink quickly.
+        let mut active: Vec<usize> = (0..graphs.len()).collect();
+        for _ in 0..self.restarts {
+            if active.is_empty() {
+                break;
+            }
+            // Union adjacency over the active graphs (conflict only;
+            // graphs are homogeneous).
+            let mut offsets = Vec::with_capacity(active.len() + 1);
+            let mut union_edges: Vec<(u32, u32)> = Vec::new();
+            let mut base = 0u32;
+            for &gi in &active {
+                offsets.push(base as usize);
+                union_edges.extend(
+                    graphs[gi].conflict_edges().iter().map(|&(a, b)| (a + base, b + base)),
+                );
+                base += graphs[gi].num_nodes() as u32;
+            }
+            offsets.push(base as usize);
+            let union = LayoutGraph::homogeneous(base as usize, union_edges)
+                .expect("disjoint union of valid graphs is valid");
+
+            let mut g = Graph::new();
+            let init = Self::random_beliefs(base as usize, params.k, &mut rng);
+            let mut scratch = self.params.clone();
+            let x = self.forward(&mut scratch, &mut g, &union, init, &mut rng);
+            let beliefs = g.value(x);
+            for (ai, &gi) in active.iter().enumerate() {
+                let (lo, hi) = (offsets[ai], offsets[ai + 1]);
+                let coloring: Vec<u8> = (lo..hi)
+                    .map(|r| {
+                        beliefs
+                            .row(r)
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.total_cmp(b.1))
+                            .map(|(c, _)| c as u8)
+                            .expect("k >= 1")
+                    })
+                    .collect();
+                let cand = Decomposition::from_coloring(graphs[gi], coloring, params.alpha);
+                let better = match &best[gi] {
+                    None => true,
+                    Some(b) => cand.cost.better_than(&b.cost, params.alpha),
+                };
+                if better {
+                    best[gi] = Some(cand);
+                }
+            }
+            active.retain(|&gi| {
+                best[gi].as_ref().map(|d| d.cost.conflicts) != Some(0)
+            });
+        }
+        best.into_iter().map(|b| b.expect("restarts > 0")).collect()
+    }
+
+    /// Trains the per-layer combination weights on `graphs` with the
+    /// margin loss. Returns the final epoch's mean loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or any graph contains stitch edges.
+    pub fn train(
+        &mut self,
+        graphs: &[&LayoutGraph],
+        k: u8,
+        cfg: &ColorGnnTrainConfig,
+    ) -> f32 {
+        assert!(!graphs.is_empty(), "training set must not be empty");
+        assert!(
+            graphs.iter().all(|g| !g.has_stitches()),
+            "ColorGNN trains on non-stitch graphs"
+        );
+        let mut rng = self.state.borrow_mut().clone();
+        let mut last = 0.0;
+        for _ in 0..cfg.epochs {
+            last = 0.0;
+            for graph in graphs {
+                if graph.num_nodes() == 0 || graph.conflict_edges().is_empty() {
+                    continue;
+                }
+                let mut g = Graph::new();
+                let init = Self::random_beliefs(graph.num_nodes(), k, &mut rng);
+                // Temporarily move params out to satisfy the borrow checker.
+                let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
+                let x = self.forward(&mut params, &mut g, graph, init, &mut rng);
+                // Eq. (14) on the (already row-normalized) final beliefs.
+                let loss =
+                    g.margin_pair_loss(x, graph.conflict_edges().to_vec(), cfg.margin);
+                last += g.value(loss).scalar() / graph.conflict_edges().len().max(1) as f32;
+                g.backward(loss);
+                params.apply_grads(&g);
+                params.step(cfg.lr);
+                self.params = params;
+            }
+            last /= graphs.len() as f32;
+        }
+        *self.state.borrow_mut() = rng;
+        last
+    }
+}
+
+impl Decomposer for ColorGnn {
+    fn name(&self) -> &'static str {
+        "ColorGNN"
+    }
+
+    /// Algorithm 1 lines 9–13: run the network `iter` times from random
+    /// initializations and keep the cheapest argmax coloring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` contains stitch edges — merge them first (the
+    /// adaptive framework routes only predicted-redundant graphs here).
+    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
+        assert!(!graph.has_stitches(), "ColorGNN handles non-stitch graphs only");
+        let n = graph.num_nodes();
+        if n == 0 {
+            return Decomposition::from_coloring(graph, Vec::new(), params.alpha);
+        }
+        let mut rng = self.state.borrow_mut();
+        let mut best: Option<Decomposition> = None;
+        for _ in 0..self.restarts {
+            let mut g = Graph::new();
+            let init = Self::random_beliefs(n, params.k, &mut rng);
+            // Bind against a scratch clone: inference must not mutate
+            // training state.
+            let mut scratch = self.params.clone();
+            let x = self.forward(&mut scratch, &mut g, graph, init, &mut rng);
+            let beliefs = g.value(x);
+            let coloring: Vec<u8> = (0..n)
+                .map(|r| {
+                    let row = beliefs.row(r);
+                    row.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(c, _)| c as u8)
+                        .expect("k >= 1")
+                })
+                .collect();
+            let cand = Decomposition::from_coloring(graph, coloring, params.alpha);
+            let better = match &best {
+                None => true,
+                Some(b) => cand.cost.better_than(&b.cost, params.alpha),
+            };
+            if better {
+                best = Some(cand);
+            }
+            if best.as_ref().map(|b| b.cost.conflicts) == Some(0) {
+                break;
+            }
+        }
+        best.expect("restarts > 0")
+    }
+}
+
+impl std::fmt::Debug for ColorGnn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColorGnn")
+            .field("layers", &self.lambdas.len())
+            .field("restarts", &self.restarts)
+            .field("sample_keep", &self.sample_keep)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> LayoutGraph {
+        let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        LayoutGraph::homogeneous(n, edges).unwrap()
+    }
+
+    #[test]
+    fn colors_easy_graphs_after_training() {
+        let train: Vec<LayoutGraph> = (4..10).map(cycle).collect();
+        let refs: Vec<&LayoutGraph> = train.iter().collect();
+        let mut gnn = ColorGnn::new(42);
+        gnn.train(&refs, 3, &ColorGnnTrainConfig::default());
+        let p = DecomposeParams::tpl();
+        let mut failures = 0;
+        for n in [5usize, 7, 9, 11] {
+            let g = cycle(n);
+            let d = gnn.decompose(&g, &p);
+            if d.cost.conflicts != 0 {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0, "trained ColorGNN failed {failures} easy cycles");
+    }
+
+    #[test]
+    fn untrained_is_still_valid() {
+        let g = cycle(6);
+        let gnn = ColorGnn::new(1);
+        let d = gnn.decompose(&g, &DecomposeParams::tpl());
+        assert_eq!(d.coloring.len(), 6);
+        assert!(d.coloring.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = LayoutGraph::homogeneous(0, vec![]).unwrap();
+        let gnn = ColorGnn::new(1);
+        let d = gnn.decompose(&g, &DecomposeParams::tpl());
+        assert!(d.coloring.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-stitch")]
+    fn rejects_stitch_graphs() {
+        let g = LayoutGraph::new(vec![0, 0], vec![], vec![(0, 1)]).unwrap();
+        let gnn = ColorGnn::new(1);
+        let _ = gnn.decompose(&g, &DecomposeParams::tpl());
+    }
+
+    #[test]
+    fn training_reduces_margin_loss() {
+        let train: Vec<LayoutGraph> = (4..8).map(cycle).collect();
+        let refs: Vec<&LayoutGraph> = train.iter().collect();
+        let mut gnn = ColorGnn::new(3);
+        let first = gnn.train(&refs, 3, &ColorGnnTrainConfig { epochs: 1, lr: 0.02, margin: 1.0 });
+        let last = gnn.train(&refs, 3, &ColorGnnTrainConfig { epochs: 30, lr: 0.02, margin: 1.0 });
+        assert!(last <= first + 1e-3, "loss went up: {first} -> {last}");
+    }
+
+    #[test]
+    fn batch_decompose_matches_quality() {
+        let train: Vec<LayoutGraph> = (4..10).map(cycle).collect();
+        let refs: Vec<&LayoutGraph> = train.iter().collect();
+        let mut gnn = ColorGnn::new(21);
+        gnn.train(&refs, 3, &ColorGnnTrainConfig::default());
+        let tests: Vec<LayoutGraph> = [5usize, 6, 7, 9].iter().map(|&n| cycle(n)).collect();
+        let trefs: Vec<&LayoutGraph> = tests.iter().collect();
+        let results = gnn.decompose_batch(&trefs, &DecomposeParams::tpl());
+        assert_eq!(results.len(), tests.len());
+        for (g, d) in trefs.iter().zip(&results) {
+            assert_eq!(d.coloring.len(), g.num_nodes());
+            assert_eq!(d.cost.conflicts, 0, "batched ColorGNN failed a cycle");
+        }
+    }
+
+    #[test]
+    fn lambda_values_exposed() {
+        let gnn = ColorGnn::new(0);
+        let ls = gnn.lambda_values();
+        assert_eq!(ls.len(), 10);
+        assert!(ls.iter().all(|&(c, a)| c == 1.0 && a == -0.4));
+    }
+}

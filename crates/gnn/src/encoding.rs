@@ -1,0 +1,158 @@
+//! Graph → tensor encoding shared by all GNN models.
+
+use mpld_graph::LayoutGraph;
+use mpld_tensor::{Adjacency, Matrix};
+use std::sync::Arc;
+
+/// The per-node input feature of Eq. (8):
+/// `h0_i = sum_j 1{e_ij in CE} + alpha * 1{e_ij in SE}` with the paper's
+/// `alpha = -0.1` — i.e. conflict degree minus a tenth of the stitch
+/// degree, a one-dimensional, node-order-invariant signal.
+pub const INPUT_ALPHA: f32 = -0.1;
+
+/// Input features are divided by this constant so sum-pooled activations
+/// stay in a range where softmax gradients do not saturate (standard
+/// feature scaling; without it both classifier heads collapse to
+/// constant prior predictions).
+pub const INPUT_SCALE: f32 = 0.2;
+
+/// Tensor view of a layout graph: input features plus one adjacency per
+/// edge type, ready to feed the GNN layers.
+#[derive(Debug, Clone)]
+pub struct GraphEncoding {
+    /// `n x 1` input features (Eq. 8).
+    pub features: Matrix,
+    /// Conflict-edge adjacency.
+    pub conflict: Arc<Adjacency>,
+    /// Stitch-edge adjacency.
+    pub stitch: Arc<Adjacency>,
+}
+
+impl GraphEncoding {
+    /// Encodes `graph`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpld_graph::LayoutGraph;
+    /// use mpld_gnn::{GraphEncoding, INPUT_SCALE};
+    ///
+    /// let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2)]).unwrap();
+    /// let enc = GraphEncoding::new(&g);
+    /// assert_eq!(enc.features.rows(), 3);
+    /// assert_eq!(enc.features[(1, 0)], 2.0 * INPUT_SCALE); // conflict degree 2
+    /// ```
+    pub fn new(graph: &LayoutGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut features = Matrix::zeros(n, 1);
+        for v in 0..n as u32 {
+            features[(v as usize, 0)] = (graph.conflict_degree(v) as f32
+                + INPUT_ALPHA * graph.stitch_neighbors(v).len() as f32)
+                * INPUT_SCALE;
+        }
+        let conflict = Arc::new(Adjacency::new(
+            (0..n as u32).map(|v| graph.conflict_neighbors(v).to_vec()).collect(),
+        ));
+        let stitch = Arc::new(Adjacency::new(
+            (0..n as u32).map(|v| graph.stitch_neighbors(v).to_vec()).collect(),
+        ));
+        GraphEncoding { features, conflict, stitch }
+    }
+}
+
+/// A disjoint union of layout graphs encoded as one tensor batch —
+/// the paper batches simplified graphs for efficient inference.
+#[derive(Debug, Clone)]
+pub struct BatchEncoding {
+    /// `total_nodes x 1` input features.
+    pub features: Matrix,
+    /// Conflict adjacency over the union.
+    pub conflict: Arc<Adjacency>,
+    /// Stitch adjacency over the union.
+    pub stitch: Arc<Adjacency>,
+    /// `segment[r]` = index of the graph node `r` belongs to.
+    pub segment: Vec<u32>,
+    /// First node index of each graph (plus a final sentinel).
+    pub offsets: Vec<usize>,
+}
+
+impl BatchEncoding {
+    /// Encodes the disjoint union of `graphs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any graph has zero nodes (there is nothing to pool).
+    pub fn new(graphs: &[&LayoutGraph]) -> Self {
+        let total: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        let mut features = Matrix::zeros(total, 1);
+        let mut conflict = Vec::with_capacity(total);
+        let mut stitch = Vec::with_capacity(total);
+        let mut segment = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(graphs.len() + 1);
+        let mut base = 0u32;
+        for (gi, g) in graphs.iter().enumerate() {
+            assert!(g.num_nodes() > 0, "batched graphs must be non-empty");
+            offsets.push(base as usize);
+            for v in 0..g.num_nodes() as u32 {
+                features[((base + v) as usize, 0)] = (g.conflict_degree(v) as f32
+                    + INPUT_ALPHA * g.stitch_neighbors(v).len() as f32)
+                    * INPUT_SCALE;
+                conflict.push(g.conflict_neighbors(v).iter().map(|&w| w + base).collect());
+                stitch.push(g.stitch_neighbors(v).iter().map(|&w| w + base).collect());
+                segment.push(gi as u32);
+            }
+            base += g.num_nodes() as u32;
+        }
+        offsets.push(base as usize);
+        BatchEncoding {
+            features,
+            conflict: Arc::new(Adjacency::new(conflict)),
+            stitch: Arc::new(Adjacency::new(stitch)),
+            segment,
+            offsets,
+        }
+    }
+
+    /// Number of graphs in the batch.
+    pub fn num_graphs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_encoding_offsets_and_features() {
+        let a = LayoutGraph::homogeneous(2, vec![(0, 1)]).unwrap();
+        let b = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let enc = BatchEncoding::new(&[&a, &b]);
+        assert_eq!(enc.num_graphs(), 2);
+        assert_eq!(enc.offsets, vec![0, 2, 5]);
+        assert_eq!(enc.segment, vec![0, 0, 1, 1, 1]);
+        assert_eq!(enc.features[(0, 0)], 1.0 * INPUT_SCALE);
+        assert_eq!(enc.features[(2, 0)], 2.0 * INPUT_SCALE);
+    }
+
+    #[test]
+    fn features_follow_eq8() {
+        let g = LayoutGraph::new(vec![0, 0, 1], vec![(0, 2), (1, 2)], vec![(0, 1)]).unwrap();
+        let enc = GraphEncoding::new(&g);
+        assert_eq!(enc.features[(0, 0)], (1.0 - 0.1) * INPUT_SCALE);
+        assert_eq!(enc.features[(1, 0)], (1.0 - 0.1) * INPUT_SCALE);
+        assert_eq!(enc.features[(2, 0)], 2.0 * INPUT_SCALE);
+    }
+
+    #[test]
+    fn encoding_is_node_order_dependent_only_through_ids() {
+        // Same structure, different node order: multiset of features equal.
+        let g1 = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2)]).unwrap();
+        let g2 = LayoutGraph::homogeneous(3, vec![(1, 2), (0, 1)]).unwrap();
+        let mut f1: Vec<f32> = GraphEncoding::new(&g1).features.as_slice().to_vec();
+        let mut f2: Vec<f32> = GraphEncoding::new(&g2).features.as_slice().to_vec();
+        f1.sort_by(f32::total_cmp);
+        f2.sort_by(f32::total_cmp);
+        assert_eq!(f1, f2);
+    }
+}

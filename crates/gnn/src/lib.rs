@@ -1,0 +1,36 @@
+//! Graph neural networks for adaptive layout decomposition.
+//!
+//! This crate implements every learned component of the paper on top of
+//! the [`mpld_tensor`] autograd substrate:
+//!
+//! - [`GraphEncoding`] — Eq. (8) input features and per-edge-type
+//!   adjacency;
+//! - [`RgcnClassifier`] — the relational GCN with basis decomposition
+//!   (Eq. 6–7) behind graph embedding, decomposer selection and stitch
+//!   redundancy prediction;
+//! - [`GcnClassifier`] — the conventional-GCN baseline of Table III
+//!   (Eq. 15);
+//! - [`ColorGnn`] — the pure message-passing non-stitch decomposer
+//!   (Eq. 5, Algorithm 1) trained with the margin loss (Eq. 14).
+//!
+//! # Example
+//!
+//! ```
+//! use mpld_graph::{Decomposer, DecomposeParams, LayoutGraph};
+//! use mpld_gnn::ColorGnn;
+//!
+//! let g = LayoutGraph::homogeneous(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+//! let gnn = ColorGnn::new(7);
+//! let d = gnn.decompose(&g, &DecomposeParams::tpl());
+//! assert_eq!(d.coloring.len(), 5);
+//! ```
+
+mod colorgnn;
+mod encoding;
+mod gcn;
+mod rgcn;
+
+pub use colorgnn::{ColorGnn, ColorGnnTrainConfig};
+pub use encoding::{BatchEncoding, GraphEncoding, INPUT_ALPHA, INPUT_SCALE};
+pub use gcn::{GcnClassifier, GCN_STITCH_WEIGHT};
+pub use rgcn::{Readout, RgcnClassifier, TrainConfig};

@@ -1,0 +1,32 @@
+//! Regression test for the vacuous-margin-loss bug: with unnormalized
+//! belief dynamics, magnitudes grew so fast that every pairwise distance
+//! exceeded the margin and training never updated the lambdas.
+
+use mpld_gnn::{ColorGnn, ColorGnnTrainConfig};
+use mpld_graph::LayoutGraph;
+
+fn k4() -> LayoutGraph {
+    LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap()
+}
+
+fn wheel(rim: usize) -> LayoutGraph {
+    // Hub 0 plus a rim cycle 1..=rim.
+    let mut edges: Vec<(u32, u32)> = (1..=rim as u32).map(|v| (0, v)).collect();
+    for i in 0..rim as u32 {
+        edges.push((1 + i, 1 + (i + 1) % rim as u32));
+    }
+    LayoutGraph::homogeneous(rim + 1, edges).unwrap()
+}
+
+#[test]
+fn margin_loss_is_not_vacuous_and_lambdas_move() {
+    let graphs = vec![k4(), wheel(4), wheel(6), k4()];
+    let refs: Vec<&LayoutGraph> = graphs.iter().collect();
+    let mut gnn = ColorGnn::new(3);
+    let before = gnn.lambda_values();
+    let first = gnn.train(&refs, 3, &ColorGnnTrainConfig { epochs: 1, lr: 0.02, margin: 1.0 });
+    assert!(first > 1e-4, "margin loss is vacuous again: {first}");
+    gnn.train(&refs, 3, &ColorGnnTrainConfig { epochs: 30, lr: 0.02, margin: 1.0 });
+    let after = gnn.lambda_values();
+    assert_ne!(before, after, "lambdas did not move");
+}

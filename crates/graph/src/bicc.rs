@@ -1,0 +1,334 @@
+//! Biconnected-component decomposition (Tarjan) and block-cut-tree color
+//! merging.
+//!
+//! Splitting a conflict graph at articulation points lets each biconnected
+//! block be decomposed independently: conflict edges belong to exactly one
+//! block, so the total cost is the sum of block costs, and block colorings
+//! can always be reconciled at the shared cut vertex by a color
+//! permutation (mask names are interchangeable).
+
+use crate::{LayoutGraph, NodeId};
+
+/// The biconnected structure of a homogeneous conflict graph.
+#[derive(Debug, Clone)]
+pub struct BlockCutTree {
+    /// Each block as a sorted node list. Isolated nodes form singleton
+    /// blocks so that every node appears in at least one block.
+    pub blocks: Vec<Vec<NodeId>>,
+    /// `is_articulation[v]` — whether `v` is a cut vertex.
+    pub is_articulation: Vec<bool>,
+}
+
+/// Computes the biconnected components of the conflict graph (stitch edges,
+/// if any, are ignored — simplification runs before stitch insertion).
+///
+/// # Example
+///
+/// ```
+/// use mpld_graph::{biconnected_components, LayoutGraph};
+/// // Two triangles sharing node 2 ("bow tie"): node 2 is an articulation.
+/// let g = LayoutGraph::homogeneous(
+///     5,
+///     vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+/// ).unwrap();
+/// let bct = biconnected_components(&g);
+/// assert_eq!(bct.blocks.len(), 2);
+/// assert!(bct.is_articulation[2]);
+/// ```
+pub fn biconnected_components(g: &LayoutGraph) -> BlockCutTree {
+    let n = g.num_nodes();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut is_articulation = vec![false; n];
+    let mut blocks: Vec<Vec<NodeId>> = Vec::new();
+    let mut edge_stack: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut timer = 0u32;
+
+    struct Frame {
+        v: NodeId,
+        parent: Option<NodeId>,
+        ai: usize,
+        skipped_parent: bool,
+        children: u32,
+    }
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        if g.conflict_degree(root) == 0 {
+            disc[root as usize] = timer;
+            timer += 1;
+            blocks.push(vec![root]);
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        let mut stack = vec![Frame { v: root, parent: None, ai: 0, skipped_parent: false, children: 0 }];
+        let mut root_children = 0u32;
+
+        while let Some(frame) = stack.last_mut() {
+            let v = frame.v;
+            let adj = g.conflict_neighbors(v);
+            if frame.ai < adj.len() {
+                let w = adj[frame.ai];
+                frame.ai += 1;
+                if Some(w) == frame.parent && !frame.skipped_parent {
+                    frame.skipped_parent = true;
+                    continue;
+                }
+                if disc[w as usize] == u32::MAX {
+                    frame.children += 1;
+                    if v == root {
+                        root_children += 1;
+                    }
+                    edge_stack.push((v, w));
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push(Frame {
+                        v: w,
+                        parent: Some(v),
+                        ai: 0,
+                        skipped_parent: false,
+                        children: 0,
+                    });
+                } else if disc[w as usize] < disc[v as usize] {
+                    // Back edge.
+                    edge_stack.push((v, w));
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                let finished = stack.pop().expect("frame exists");
+                let _ = finished.children;
+                if let Some(p) = finished.parent {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] >= disc[p as usize] {
+                        if p != root {
+                            is_articulation[p as usize] = true;
+                        }
+                        // Pop the block's edges up to and including (p, v).
+                        let mut nodes = Vec::new();
+                        while let Some(&(a, b)) = edge_stack.last() {
+                            edge_stack.pop();
+                            nodes.push(a);
+                            nodes.push(b);
+                            if (a, b) == (p, v) {
+                                break;
+                            }
+                        }
+                        nodes.sort_unstable();
+                        nodes.dedup();
+                        blocks.push(nodes);
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_articulation[root as usize] = true;
+        }
+    }
+
+    BlockCutTree { blocks, is_articulation }
+}
+
+impl BlockCutTree {
+    /// Merges independent per-block colorings into one whole-graph coloring,
+    /// permuting block colors so shared articulation vertices agree.
+    ///
+    /// `block_colorings[i][j]` is the color of `blocks[i][j]`. The merged
+    /// coloring preserves every block's internal cost because mask names
+    /// are interchangeable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coloring's length does not match its block, a color is
+    /// `>= k`, or `num_nodes` is smaller than the largest block node.
+    pub fn merge_colorings(
+        &self,
+        num_nodes: usize,
+        k: u8,
+        block_colorings: &[Vec<u8>],
+    ) -> Vec<u8> {
+        self.merge_colorings_with_permutations(num_nodes, k, block_colorings).0
+    }
+
+    /// Like [`BlockCutTree::merge_colorings`], additionally returning, for
+    /// each block, the color permutation that was applied to it
+    /// (`perm[old_color] = new_color`). Callers that hold finer-grained
+    /// (e.g. subfeature-level) colorings for a block can re-apply the same
+    /// permutation to stay consistent with the merged result.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BlockCutTree::merge_colorings`]; additionally
+    /// requires `k <= 8`.
+    pub fn merge_colorings_with_permutations(
+        &self,
+        num_nodes: usize,
+        k: u8,
+        block_colorings: &[Vec<u8>],
+    ) -> (Vec<u8>, Vec<[u8; 8]>) {
+        assert_eq!(block_colorings.len(), self.blocks.len(), "one coloring per block");
+        assert!(k <= 8, "at most 8 masks supported by permutation tracking");
+        for (b, c) in self.blocks.iter().zip(block_colorings) {
+            assert_eq!(b.len(), c.len(), "coloring length must match block size");
+            assert!(c.iter().all(|&x| x < k), "color out of range");
+        }
+        let identity: [u8; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+        let mut permutations = vec![identity; self.blocks.len()];
+
+        // vertex -> blocks containing it
+        let mut blocks_of: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for &v in block {
+                blocks_of[v as usize].push(bi);
+            }
+        }
+
+        let mut global = vec![u8::MAX; num_nodes];
+        let mut done = vec![false; self.blocks.len()];
+        for start in 0..self.blocks.len() {
+            if done[start] {
+                continue;
+            }
+            // BFS over the block-cut tree of this connected region.
+            let mut queue = std::collections::VecDeque::from([start]);
+            done[start] = true;
+            while let Some(bi) = queue.pop_front() {
+                let block = &self.blocks[bi];
+                let mut colors = block_colorings[bi].clone();
+                // Find the (single, by tree structure) already-colored cut
+                // vertex, if any, and swap colors to match.
+                if let Some(pos) = block.iter().position(|&v| global[v as usize] != u8::MAX) {
+                    let want = global[block[pos] as usize];
+                    let have = colors[pos];
+                    if want != have {
+                        for c in colors.iter_mut() {
+                            if *c == want {
+                                *c = have;
+                            } else if *c == have {
+                                *c = want;
+                            }
+                        }
+                        let perm = &mut permutations[bi];
+                        perm.swap(want as usize, have as usize);
+                    }
+                }
+                for (&v, &c) in block.iter().zip(&colors) {
+                    debug_assert!(
+                        global[v as usize] == u8::MAX || global[v as usize] == c,
+                        "cut vertex color mismatch after permutation"
+                    );
+                    global[v as usize] = c;
+                }
+                // Enqueue unprocessed neighbor blocks through cut vertices.
+                for &v in block {
+                    if self.is_articulation[v as usize] {
+                        for &nb in &blocks_of[v as usize] {
+                            if !done[nb] {
+                                done[nb] = true;
+                                queue.push_back(nb);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Nodes not in any block cannot exist (isolated nodes get singleton
+        // blocks), but be defensive.
+        for c in global.iter_mut() {
+            if *c == u8::MAX {
+                *c = 0;
+            }
+        }
+        (global, permutations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> LayoutGraph {
+        let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        LayoutGraph::homogeneous(n, edges).unwrap()
+    }
+
+    #[test]
+    fn triangle_is_one_block() {
+        let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let bct = biconnected_components(&g);
+        assert_eq!(bct.blocks, vec![vec![0, 1, 2]]);
+        assert!(bct.is_articulation.iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn path_every_edge_is_a_block() {
+        let bct = biconnected_components(&path(4));
+        let mut blocks = bct.blocks.clone();
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert_eq!(bct.is_articulation, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn bow_tie_splits_at_center() {
+        let g = LayoutGraph::homogeneous(
+            5,
+            vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+        )
+        .unwrap();
+        let bct = biconnected_components(&g);
+        assert_eq!(bct.blocks.len(), 2);
+        assert!(bct.is_articulation[2]);
+        assert_eq!(bct.is_articulation.iter().filter(|&&a| a).count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_blocks() {
+        let g = LayoutGraph::homogeneous(3, vec![(0, 1)]).unwrap();
+        let bct = biconnected_components(&g);
+        let mut blocks = bct.blocks.clone();
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn merge_reconciles_cut_vertex() {
+        // Bow tie; color each triangle independently with clashing colors at
+        // the cut vertex, then merge.
+        let g = LayoutGraph::homogeneous(
+            5,
+            vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+        )
+        .unwrap();
+        let bct = biconnected_components(&g);
+        // Identify which block is which.
+        let colorings: Vec<Vec<u8>> = bct
+            .blocks
+            .iter()
+            .map(|b| (0..b.len() as u8).collect())
+            .collect();
+        let merged = bct.merge_colorings(5, 3, &colorings);
+        let cost = g.evaluate(&merged, 0.1);
+        assert_eq!(cost.conflicts, 0);
+    }
+
+    #[test]
+    fn merge_preserves_block_costs_on_path() {
+        let g = path(5);
+        let bct = biconnected_components(&g);
+        let colorings: Vec<Vec<u8>> = bct.blocks.iter().map(|_| vec![0, 1]).collect();
+        let merged = bct.merge_colorings(5, 3, &colorings);
+        assert_eq!(g.evaluate(&merged, 0.1).conflicts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one coloring per block")]
+    fn merge_rejects_wrong_block_count() {
+        let bct = biconnected_components(&path(3));
+        let _ = bct.merge_colorings(3, 3, &[vec![0, 1]]);
+    }
+}

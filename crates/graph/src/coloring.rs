@@ -1,0 +1,90 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A mask assignment: `coloring[v]` is the mask (color) of node `v`.
+pub type Coloring = Vec<u8>;
+
+/// The exact integer cost breakdown of a decomposition under Eq. (1):
+/// one unit per conflicting feature pair plus `alpha` per active stitch.
+///
+/// # Example
+///
+/// ```
+/// use mpld_graph::CostBreakdown;
+/// let c = CostBreakdown { conflicts: 2, stitches: 3 };
+/// assert!((c.value(0.1) - 2.3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Number of conflicting feature pairs (`cn#`).
+    pub conflicts: u32,
+    /// Number of stitch edges whose endpoints got different masks (`st#`).
+    pub stitches: u32,
+}
+
+impl CostBreakdown {
+    /// The scalar objective `conflicts + alpha * stitches`.
+    pub fn value(&self, alpha: f64) -> f64 {
+        f64::from(self.conflicts) + alpha * f64::from(self.stitches)
+    }
+
+    /// Component-wise sum, used when accumulating costs over independent
+    /// components of a simplified layout.
+    pub fn combine(self, other: CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            conflicts: self.conflicts + other.conflicts,
+            stitches: self.stitches + other.stitches,
+        }
+    }
+
+    /// Whether this cost is strictly better than `other` at weight `alpha`.
+    ///
+    /// Comparison is done in exact integer arithmetic for the standard
+    /// `alpha = p/q` rationals (we scale by 10 for `alpha = 0.1`), avoiding
+    /// float ties: `10 * conflicts + stitches` for `alpha = 0.1`.
+    pub fn better_than(&self, other: &CostBreakdown, alpha: f64) -> bool {
+        self.value(alpha) < other.value(alpha) - 1e-9
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cn#={} st#={}", self.conflicts, self.stitches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_weighs_stitches() {
+        let c = CostBreakdown { conflicts: 1, stitches: 4 };
+        assert!((c.value(0.1) - 1.4).abs() < 1e-12);
+        assert!((c.value(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_adds() {
+        let a = CostBreakdown { conflicts: 1, stitches: 2 };
+        let b = CostBreakdown { conflicts: 3, stitches: 4 };
+        assert_eq!(a.combine(b), CostBreakdown { conflicts: 4, stitches: 6 });
+    }
+
+    #[test]
+    fn better_than_orders_by_weighted_value() {
+        let a = CostBreakdown { conflicts: 0, stitches: 9 };
+        let b = CostBreakdown { conflicts: 1, stitches: 0 };
+        assert!(a.better_than(&b, 0.1)); // 0.9 < 1.0
+        assert!(!b.better_than(&a, 0.1));
+        let c = CostBreakdown { conflicts: 0, stitches: 10 };
+        assert!(!c.better_than(&b, 0.1)); // tie at 1.0
+        assert!(!b.better_than(&c, 0.1));
+    }
+
+    #[test]
+    fn display_shows_both_terms() {
+        let c = CostBreakdown { conflicts: 5, stitches: 7 };
+        assert_eq!(c.to_string(), "cn#=5 st#=7");
+    }
+}

@@ -1,0 +1,90 @@
+use crate::{Coloring, CostBreakdown, LayoutGraph};
+
+/// Parameters shared by every decomposition engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecomposeParams {
+    /// Number of masks `k` (3 for triple patterning).
+    pub k: u8,
+    /// Relative stitch weight `alpha` in the objective (usually 0.1).
+    pub alpha: f64,
+}
+
+impl Default for DecomposeParams {
+    fn default() -> Self {
+        DecomposeParams { k: crate::DEFAULT_MASKS, alpha: crate::DEFAULT_ALPHA }
+    }
+}
+
+impl DecomposeParams {
+    /// Triple-patterning parameters with the standard stitch weight.
+    pub fn tpl() -> Self {
+        Self::default()
+    }
+
+    /// Quadruple-patterning parameters with the standard stitch weight.
+    pub fn qpl() -> Self {
+        DecomposeParams { k: 4, alpha: crate::DEFAULT_ALPHA }
+    }
+}
+
+/// The result of decomposing one layout graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Per-node mask assignment.
+    pub coloring: Coloring,
+    /// Cost of `coloring` under the graph's objective.
+    pub cost: CostBreakdown,
+}
+
+impl Decomposition {
+    /// Builds a decomposition, evaluating the cost of `coloring` on `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coloring.len() != graph.num_nodes()`.
+    pub fn from_coloring(graph: &LayoutGraph, coloring: Coloring, alpha: f64) -> Self {
+        let cost = graph.evaluate(&coloring, alpha);
+        Decomposition { coloring, cost }
+    }
+}
+
+/// A layout decomposition engine.
+///
+/// Implementations in this workspace: the exact ILP engines
+/// (`mpld-ilp`), the SDP relaxation (`mpld-sdp`), the exact-cover engine
+/// (`mpld-ec`), and the GNN decomposer (`mpld-gnn`). All receive an
+/// already-simplified component graph.
+pub trait Decomposer {
+    /// Short stable identifier used in reports ("ILP", "EC", ...).
+    fn name(&self) -> &'static str;
+
+    /// Decomposes `graph` with `params.k` masks.
+    ///
+    /// The returned coloring always has `graph.num_nodes()` entries with
+    /// values in `0..params.k`, and the reported cost equals
+    /// `graph.evaluate(&coloring, params.alpha)`.
+    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_tpl() {
+        let p = DecomposeParams::default();
+        assert_eq!(p.k, 3);
+        assert!((p.alpha - 0.1).abs() < 1e-12);
+        assert_eq!(DecomposeParams::tpl(), p);
+        assert_eq!(DecomposeParams::qpl().k, 4);
+    }
+
+    #[test]
+    fn from_coloring_evaluates() {
+        let g = LayoutGraph::homogeneous(2, vec![(0, 1)]).unwrap();
+        let d = Decomposition::from_coloring(&g, vec![1, 1], 0.1);
+        assert_eq!(d.cost.conflicts, 1);
+        let d = Decomposition::from_coloring(&g, vec![0, 1], 0.1);
+        assert_eq!(d.cost.conflicts, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Precoloring constraints.
+//!
+//! MPLD inputs may pin features to specific masks (e.g. cells already
+//! assigned by a library, or anchoring patterns). Rather than teaching
+//! every engine about fixed colors, we encode precoloring with a standard
+//! **anchor-clique gadget**: `k` mutually conflicting anchor nodes are
+//! appended (they must take `k` distinct masks in any conflict-free
+//! solution), and each precolored node is connected to every anchor
+//! *except* the one standing for its mask. Any engine that minimizes
+//! conflicts then respects the precoloring — softly, in the same currency
+//! as every other conflict, which matches the cost-based objective.
+//!
+//! Colors are pinned up to a global mask permutation (masks are
+//! interchangeable); [`PrecoloringMap::extract`] reads the anchors'
+//! final colors and canonicalizes the permutation away.
+
+use crate::{GraphError, LayoutGraph, NodeId};
+
+/// A set of `(node, mask)` pins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Precoloring {
+    pins: Vec<(NodeId, u8)>,
+}
+
+impl Precoloring {
+    /// Creates an empty precoloring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins `node` to `mask`. Later pins override earlier ones.
+    pub fn pin(&mut self, node: NodeId, mask: u8) -> &mut Self {
+        self.pins.retain(|&(n, _)| n != node);
+        self.pins.push((node, mask));
+        self
+    }
+
+    /// The pins, in insertion order.
+    pub fn pins(&self) -> &[(NodeId, u8)] {
+        &self.pins
+    }
+
+    /// Whether no node is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+}
+
+impl FromIterator<(NodeId, u8)> for Precoloring {
+    fn from_iter<I: IntoIterator<Item = (NodeId, u8)>>(iter: I) -> Self {
+        let mut p = Precoloring::new();
+        for (n, m) in iter {
+            p.pin(n, m);
+        }
+        p
+    }
+}
+
+/// Bookkeeping to translate a gadget-graph coloring back to the original
+/// nodes (see module docs).
+#[derive(Debug, Clone)]
+pub struct PrecoloringMap {
+    /// Number of original nodes.
+    original_nodes: usize,
+    /// Node id of anchor for mask 0 (anchors are contiguous).
+    anchor_base: NodeId,
+    k: u8,
+}
+
+impl PrecoloringMap {
+    /// Translates a coloring of the gadget graph into a coloring of the
+    /// original graph, canonicalized so pinned nodes receive exactly their
+    /// pinned masks whenever the anchors ended up conflict-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coloring` does not cover the gadget graph.
+    pub fn extract(&self, coloring: &[u8]) -> Vec<u8> {
+        assert!(
+            coloring.len() >= self.original_nodes + self.k as usize,
+            "coloring does not cover the gadget graph"
+        );
+        // perm[mask] = color the anchor of `mask` received.
+        let mut perm = vec![u8::MAX; self.k as usize];
+        for m in 0..self.k {
+            perm[m as usize] = coloring[(self.anchor_base + m as u32) as usize];
+        }
+        // Invert when the anchors are properly colored (distinct colors);
+        // otherwise fall back to identity.
+        let mut inverse = vec![u8::MAX; self.k as usize];
+        let mut proper = true;
+        for (m, &c) in perm.iter().enumerate() {
+            if (c as usize) < inverse.len() && inverse[c as usize] == u8::MAX {
+                inverse[c as usize] = m as u8;
+            } else {
+                proper = false;
+            }
+        }
+        coloring[..self.original_nodes]
+            .iter()
+            .map(|&c| {
+                if proper && (c as usize) < inverse.len() {
+                    inverse[c as usize]
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+}
+
+/// Builds the gadget graph enforcing `pre` on `graph` with `k` masks.
+///
+/// Anchors are appended as `k` fresh features; each pinned node gains
+/// conflict edges to the `k - 1` anchors of the other masks.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if a pin references a missing node, a mask
+/// `>= k` (reported as `NodeOutOfRange` with the offending pair), or a
+/// duplicate pin-edge arises.
+pub fn apply_precoloring(
+    graph: &LayoutGraph,
+    pre: &Precoloring,
+    k: u8,
+) -> Result<(LayoutGraph, PrecoloringMap), GraphError> {
+    let n = graph.num_nodes() as u32;
+    for &(node, mask) in pre.pins() {
+        if node >= n || mask >= k {
+            return Err(GraphError::NodeOutOfRange { edge: (node, mask as u32), nodes: graph.num_nodes() });
+        }
+    }
+    let nf = graph.num_features() as u32;
+    let mut node_feature = graph.node_features().to_vec();
+    for m in 0..k as u32 {
+        node_feature.push(nf + m);
+    }
+    let mut conflicts = graph.conflict_edges().to_vec();
+    // Anchor clique.
+    for a in 0..k as u32 {
+        for b in (a + 1)..k as u32 {
+            conflicts.push((n + a, n + b));
+        }
+    }
+    // Pins: forbid every mask except the pinned one.
+    for &(node, mask) in pre.pins() {
+        for m in 0..k {
+            if m != mask {
+                conflicts.push((node, n + m as u32));
+            }
+        }
+    }
+    let gadget = LayoutGraph::new(node_feature, conflicts, graph.stitch_edges().to_vec())?;
+    Ok((gadget, PrecoloringMap { original_nodes: graph.num_nodes(), anchor_base: n, k }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecomposeParams, Decomposer};
+
+    /// Minimal exhaustive solver for the tests (graph crate cannot depend
+    /// on mpld-ilp).
+    struct Exhaustive;
+    impl Decomposer for Exhaustive {
+        fn name(&self) -> &'static str {
+            "exhaustive"
+        }
+        fn decompose(
+            &self,
+            graph: &LayoutGraph,
+            params: &DecomposeParams,
+        ) -> crate::Decomposition {
+            let n = graph.num_nodes();
+            assert!(n <= 12);
+            let mut best: Option<crate::Decomposition> = None;
+            let mut coloring = vec![0u8; n];
+            loop {
+                let cost = graph.evaluate(&coloring, params.alpha);
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| cost.better_than(&b.cost, params.alpha));
+                if better {
+                    best = Some(crate::Decomposition { coloring: coloring.clone(), cost });
+                }
+                let mut i = 0;
+                loop {
+                    if i == n {
+                        return best.expect("evaluated");
+                    }
+                    coloring[i] += 1;
+                    if coloring[i] < params.k {
+                        break;
+                    }
+                    coloring[i] = 0;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pins_are_respected_when_feasible() {
+        // A triangle; pin node 0 to mask 2 and node 1 to mask 0.
+        let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let pre: Precoloring = [(0u32, 2u8), (1, 0)].into_iter().collect();
+        let (gadget, map) = apply_precoloring(&g, &pre, 3).unwrap();
+        let d = Exhaustive.decompose(&gadget, &DecomposeParams::tpl());
+        assert_eq!(d.cost.conflicts, 0);
+        let colors = map.extract(&d.coloring);
+        assert_eq!(colors.len(), 3);
+        assert_eq!(colors[0], 2);
+        assert_eq!(colors[1], 0);
+        assert_eq!(colors[2], 1); // forced by the triangle
+    }
+
+    #[test]
+    fn infeasible_pins_cost_conflicts() {
+        // Two adjacent nodes pinned to the same mask: 1 conflict minimum.
+        let g = LayoutGraph::homogeneous(2, vec![(0, 1)]).unwrap();
+        let pre: Precoloring = [(0u32, 1u8), (1, 1)].into_iter().collect();
+        let (gadget, _) = apply_precoloring(&g, &pre, 3).unwrap();
+        let d = Exhaustive.decompose(&gadget, &DecomposeParams::tpl());
+        assert_eq!(d.cost.conflicts, 1);
+    }
+
+    #[test]
+    fn empty_precoloring_only_adds_anchor_clique() {
+        let g = LayoutGraph::homogeneous(2, vec![(0, 1)]).unwrap();
+        let (gadget, map) = apply_precoloring(&g, &Precoloring::new(), 3).unwrap();
+        assert_eq!(gadget.num_nodes(), 5);
+        assert_eq!(gadget.conflict_edges().len(), 1 + 3);
+        let d = Exhaustive.decompose(&gadget, &DecomposeParams::tpl());
+        assert_eq!(d.cost.conflicts, 0);
+        assert_eq!(map.extract(&d.coloring).len(), 2);
+    }
+
+    #[test]
+    fn pin_overrides_previous_pin() {
+        let mut pre = Precoloring::new();
+        pre.pin(0, 1).pin(0, 2);
+        assert_eq!(pre.pins(), &[(0, 2)]);
+    }
+
+    #[test]
+    fn out_of_range_pin_rejected() {
+        let g = LayoutGraph::homogeneous(2, vec![(0, 1)]).unwrap();
+        let pre: Precoloring = [(5u32, 0u8)].into_iter().collect();
+        assert!(apply_precoloring(&g, &pre, 3).is_err());
+        let pre: Precoloring = [(0u32, 7u8)].into_iter().collect();
+        assert!(apply_precoloring(&g, &pre, 3).is_err());
+    }
+
+    #[test]
+    fn extract_handles_permuted_anchors() {
+        // Color the gadget with anchors permuted: extraction must undo it.
+        let g = LayoutGraph::homogeneous(1, vec![]).unwrap();
+        let pre: Precoloring = [(0u32, 0u8)].into_iter().collect();
+        let (gadget, map) = apply_precoloring(&g, &pre, 3).unwrap();
+        assert_eq!(gadget.num_nodes(), 4);
+        // Anchors (nodes 1, 2, 3) colored (2, 0, 1); node 0 must avoid
+        // anchors 1 and 2 (masks 1 and 2): color in {anchor0's color} = 2.
+        let coloring = vec![2u8, 2, 0, 1];
+        let out = map.extract(&coloring);
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,433 @@
+//! Graph simplification pipeline and color recovery.
+//!
+//! The paper (Fig. 7) simplifies the raw layout graph before any
+//! decomposition with the standard OpenMPL level-3 techniques:
+//!
+//! 1. **Independent component computation (ICC)** — connected components
+//!    are decomposed independently.
+//! 2. **Hide small degree** — a node with conflict degree `< k` can always
+//!    be colored after its neighbors, so it is removed and pushed on a
+//!    stack; recovery pops the stack and picks any free mask.
+//! 3. **Biconnected decomposition** — components are further split at
+//!    articulation points; block colorings are merged back by color
+//!    permutation (see [`crate::BlockCutTree`]).
+//!
+//! The result is a set of small independent [`DecompUnit`]s. After each
+//! unit is decomposed (by any engine), [`Simplified::recover`] reassembles
+//! a full coloring whose cost is exactly the sum of unit costs — hidden
+//! nodes and cut-vertex merging never introduce additional conflicts.
+
+use crate::{biconnected_components, BlockCutTree, LayoutGraph, NodeId};
+
+/// Which simplification steps to run (ICC always runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifyOptions {
+    /// Iteratively hide nodes with conflict degree `< k`.
+    pub hide_small_degree: bool,
+    /// Split components at articulation points.
+    pub biconnected: bool,
+}
+
+impl Default for SimplifyOptions {
+    /// OpenMPL simplification level 3: everything on.
+    fn default() -> Self {
+        SimplifyOptions { hide_small_degree: true, biconnected: true }
+    }
+}
+
+/// One independent decomposition unit: a small homogeneous conflict graph
+/// plus the map from its local node ids to global node ids.
+#[derive(Debug, Clone)]
+pub struct DecompUnit {
+    /// The unit's conflict graph (homogeneous; stitch insertion happens
+    /// later, per unit).
+    pub graph: LayoutGraph,
+    /// `global_nodes[local]` = global node id.
+    pub global_nodes: Vec<NodeId>,
+    /// Index of the parent connected component.
+    pub component: usize,
+    /// Index of this block inside the component's block-cut tree.
+    pub block: usize,
+}
+
+/// Per-component bookkeeping needed to merge block colorings back.
+#[derive(Debug, Clone)]
+struct ComponentInfo {
+    /// Global ids of the component's nodes; local ids are positions here.
+    global_nodes: Vec<NodeId>,
+    bct: BlockCutTree,
+    /// `unit_of_block[b]` = index into `Simplified::units`.
+    unit_of_block: Vec<usize>,
+}
+
+/// The output of [`simplify`]: decomposition units plus everything needed
+/// for recovery.
+#[derive(Debug, Clone)]
+pub struct Simplified {
+    units: Vec<DecompUnit>,
+    components: Vec<ComponentInfo>,
+    /// Hidden nodes in hiding order (recovered in reverse).
+    hidden: Vec<NodeId>,
+    num_nodes: usize,
+}
+
+/// The reassembled global coloring.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// Global node → mask.
+    pub coloring: Vec<u8>,
+    /// For each unit, the color permutation applied during merging
+    /// (`perm[unit_color] = final_color`). Needed by callers that keep
+    /// finer-grained colorings (e.g. stitch subfeatures) per unit.
+    pub unit_permutations: Vec<[u8; 8]>,
+}
+
+/// Runs the simplification pipeline on a homogeneous conflict graph.
+///
+/// # Panics
+///
+/// Panics if `g` contains stitch edges (simplification precedes stitch
+/// insertion) or if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mpld_graph::simplify::{simplify, SimplifyOptions};
+/// use mpld_graph::LayoutGraph;
+///
+/// // A path hangs off a K4; the path is hidden (degree < 3) and the K4
+/// // remains as the single unit to decompose.
+/// let g = LayoutGraph::homogeneous(
+///     6,
+///     vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+/// ).unwrap();
+/// let s = simplify(&g, 3, SimplifyOptions::default());
+/// assert_eq!(s.units().len(), 1);
+/// assert_eq!(s.units()[0].graph.num_nodes(), 4);
+/// ```
+pub fn simplify(g: &LayoutGraph, k: u8, opts: SimplifyOptions) -> Simplified {
+    assert!(!g.has_stitches(), "simplify operates on the homogeneous graph");
+    assert!(k > 0, "at least one mask required");
+    let n = g.num_nodes();
+    let mut active = vec![true; n];
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| g.conflict_degree(v)).collect();
+    let mut hidden = Vec::new();
+
+    if opts.hide_small_degree {
+        let mut queue: Vec<NodeId> = (0..n as u32).filter(|&v| degree[v as usize] < k as usize).collect();
+        while let Some(v) = queue.pop() {
+            if !active[v as usize] {
+                continue;
+            }
+            active[v as usize] = false;
+            hidden.push(v);
+            for &w in g.conflict_neighbors(v) {
+                if active[w as usize] {
+                    degree[w as usize] -= 1;
+                    if degree[w as usize] < k as usize {
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+    }
+
+    // Connected components over the active subgraph.
+    let mut comp = vec![usize::MAX; n];
+    let mut comp_nodes: Vec<Vec<NodeId>> = Vec::new();
+    for s in 0..n as u32 {
+        if !active[s as usize] || comp[s as usize] != usize::MAX {
+            continue;
+        }
+        let c = comp_nodes.len();
+        let mut nodes = vec![s];
+        comp[s as usize] = c;
+        let mut stack = vec![s];
+        while let Some(v) = stack.pop() {
+            for &w in g.conflict_neighbors(v) {
+                if active[w as usize] && comp[w as usize] == usize::MAX {
+                    comp[w as usize] = c;
+                    nodes.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        nodes.sort_unstable();
+        comp_nodes.push(nodes);
+    }
+
+    let mut units = Vec::new();
+    let mut components = Vec::new();
+    for (ci, globals) in comp_nodes.into_iter().enumerate() {
+        // Induced subgraph on active component nodes, with local ids.
+        let mut local_of = std::collections::HashMap::new();
+        for (i, &v) in globals.iter().enumerate() {
+            local_of.insert(v, i as NodeId);
+        }
+        let mut edges = Vec::new();
+        for &v in &globals {
+            for &w in g.conflict_neighbors(v) {
+                if v < w {
+                    if let Some(&lw) = local_of.get(&w) {
+                        edges.push((local_of[&v], lw));
+                    }
+                }
+            }
+        }
+        let cg = LayoutGraph::homogeneous(globals.len(), edges)
+            .expect("induced component graph is valid");
+
+        let bct = if opts.biconnected {
+            biconnected_components(&cg)
+        } else {
+            BlockCutTree {
+                blocks: vec![(0..cg.num_nodes() as u32).collect()],
+                is_articulation: vec![false; cg.num_nodes()],
+            }
+        };
+
+        let mut unit_of_block = Vec::with_capacity(bct.blocks.len());
+        for (bi, block) in bct.blocks.iter().enumerate() {
+            let (bg, _) = cg.induced_subgraph(block);
+            let block_globals: Vec<NodeId> =
+                block.iter().map(|&lv| globals[lv as usize]).collect();
+            unit_of_block.push(units.len());
+            units.push(DecompUnit {
+                graph: bg,
+                global_nodes: block_globals,
+                component: ci,
+                block: bi,
+            });
+        }
+        components.push(ComponentInfo { global_nodes: globals, bct, unit_of_block });
+    }
+
+    Simplified { units, components, hidden, num_nodes: n }
+}
+
+impl Simplified {
+    /// The independent units to decompose, in a stable order.
+    pub fn units(&self) -> &[DecompUnit] {
+        &self.units
+    }
+
+    /// Nodes removed by hide-small-degree, in hiding order.
+    pub fn hidden_nodes(&self) -> &[NodeId] {
+        &self.hidden
+    }
+
+    /// Number of nodes of the original graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Reassembles a full coloring from per-unit (parent/feature-level)
+    /// colorings: merges blocks inside each component via color
+    /// permutation, then recovers hidden nodes greedily against the
+    /// original graph `g`.
+    ///
+    /// The total cost of the returned coloring equals the sum of unit
+    /// costs: block merging is cost-preserving and hidden nodes always find
+    /// a free mask (their live degree is `< k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_colorings.len() != self.units().len()`, a unit
+    /// coloring has the wrong length or colors `>= k`, or `g` is not the
+    /// graph this simplification was built from.
+    pub fn recover(&self, g: &LayoutGraph, k: u8, unit_colorings: &[Vec<u8>]) -> Recovered {
+        assert_eq!(unit_colorings.len(), self.units.len(), "one coloring per unit");
+        assert_eq!(g.num_nodes(), self.num_nodes, "graph mismatch");
+        let mut coloring = vec![0u8; self.num_nodes];
+        let mut assigned = vec![false; self.num_nodes];
+        let mut unit_permutations = vec![[0, 1, 2, 3, 4, 5, 6, 7]; self.units.len()];
+
+        for info in &self.components {
+            let block_colorings: Vec<Vec<u8>> = info
+                .unit_of_block
+                .iter()
+                .map(|&ui| unit_colorings[ui].clone())
+                .collect();
+            let (merged, perms) = info.bct.merge_colorings_with_permutations(
+                info.global_nodes.len(),
+                k,
+                &block_colorings,
+            );
+            for (local, &global) in info.global_nodes.iter().enumerate() {
+                coloring[global as usize] = merged[local];
+                assigned[global as usize] = true;
+            }
+            for (&ui, perm) in info.unit_of_block.iter().zip(&perms) {
+                unit_permutations[ui] = *perm;
+            }
+        }
+
+        // Hidden nodes, reverse hiding order: all conflict neighbors that
+        // were active at hiding time are already assigned.
+        for &v in self.hidden.iter().rev() {
+            let mut used = [false; 256];
+            for &w in g.conflict_neighbors(v) {
+                if assigned[w as usize] {
+                    used[coloring[w as usize] as usize] = true;
+                }
+            }
+            let c = (0..k).find(|&c| !used[c as usize]).unwrap_or(0);
+            coloring[v as usize] = c;
+            assigned[v as usize] = true;
+        }
+
+        Recovered { coloring, unit_permutations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostBreakdown;
+
+    fn decompose_greedy(g: &LayoutGraph, k: u8) -> Vec<u8> {
+        // Greedy coloring good enough for tests on tiny blocks.
+        let mut coloring = vec![0u8; g.num_nodes()];
+        for v in 0..g.num_nodes() as u32 {
+            let mut used = [false; 16];
+            for &w in g.conflict_neighbors(v) {
+                if w < v {
+                    used[coloring[w as usize] as usize] = true;
+                }
+            }
+            coloring[v as usize] = (0..k).find(|&c| !used[c as usize]).unwrap_or(0);
+        }
+        coloring
+    }
+
+    #[test]
+    fn hide_small_degree_strips_trees() {
+        // A pure tree: everything hidden, no units remain.
+        let g = LayoutGraph::homogeneous(5, vec![(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        let s = simplify(&g, 3, SimplifyOptions::default());
+        assert!(s.units().is_empty());
+        assert_eq!(s.hidden_nodes().len(), 5);
+        let rec = s.recover(&g, 3, &[]);
+        assert_eq!(g.evaluate(&rec.coloring, 0.1), CostBreakdown::default());
+    }
+
+    #[test]
+    fn triangle_is_fully_hidden_at_k3() {
+        // Every triangle node has degree 2 < 3, so the whole component is
+        // recovered greedily with zero cost.
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let s = simplify(&g, 3, SimplifyOptions::default());
+        assert!(s.units().is_empty());
+        let rec = s.recover(&g, 3, &[]);
+        assert_eq!(g.evaluate(&rec.coloring, 0.1), CostBreakdown::default());
+    }
+
+    #[test]
+    fn k4_with_pendant_survives_and_recovers() {
+        let g = LayoutGraph::homogeneous(
+            5,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        )
+        .unwrap();
+        let s = simplify(&g, 3, SimplifyOptions::default());
+        assert_eq!(s.units().len(), 1);
+        assert_eq!(s.units()[0].graph.num_nodes(), 4);
+        let colorings: Vec<Vec<u8>> =
+            s.units().iter().map(|u| decompose_greedy(&u.graph, 3)).collect();
+        let unit_conflicts: u32 = s
+            .units()
+            .iter()
+            .zip(&colorings)
+            .map(|(u, c)| u.graph.evaluate(c, 0.1).conflicts)
+            .sum();
+        let rec = s.recover(&g, 3, &colorings);
+        // K4 at k = 3 forces exactly the unit's conflicts; recovery adds none.
+        assert_eq!(g.evaluate(&rec.coloring, 0.1).conflicts, unit_conflicts);
+    }
+
+    #[test]
+    fn k4_is_one_unit_with_unavoidable_conflict_at_k3() {
+        let g = LayoutGraph::homogeneous(
+            4,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        let s = simplify(&g, 3, SimplifyOptions::default());
+        assert_eq!(s.units().len(), 1);
+        assert_eq!(s.units()[0].graph.num_nodes(), 4);
+        assert!(s.hidden_nodes().is_empty());
+    }
+
+    #[test]
+    fn recovery_cost_equals_unit_cost_sum() {
+        // Two K4s joined by a path; hide strips the path, bcc keeps the K4s
+        // apart. Greedy gives each K4 one conflict at k = 3.
+        let mut edges = vec![];
+        for &(a, b) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            edges.push((a, b));
+            edges.push((a + 4, b + 4));
+        }
+        edges.push((3, 8)); // path node 8
+        edges.push((8, 4));
+        let g = LayoutGraph::homogeneous(9, edges).unwrap();
+        let s = simplify(&g, 3, SimplifyOptions::default());
+        assert_eq!(s.units().len(), 2);
+        let colorings: Vec<Vec<u8>> =
+            s.units().iter().map(|u| decompose_greedy(&u.graph, 3)).collect();
+        let unit_cost: u32 = s
+            .units()
+            .iter()
+            .zip(&colorings)
+            .map(|(u, c)| u.graph.evaluate(c, 0.1).conflicts)
+            .sum();
+        let rec = s.recover(&g, 3, &colorings);
+        let total = g.evaluate(&rec.coloring, 0.1);
+        assert_eq!(total.conflicts, unit_cost);
+    }
+
+    #[test]
+    fn biconnected_split_reduces_unit_size() {
+        // Bow tie: two triangles sharing a vertex.
+        let g = LayoutGraph::homogeneous(
+            5,
+            vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+        )
+        .unwrap();
+        let s = simplify(&g, 3, SimplifyOptions { hide_small_degree: false, biconnected: true });
+        assert_eq!(s.units().len(), 2);
+        assert!(s.units().iter().all(|u| u.graph.num_nodes() == 3));
+        let colorings: Vec<Vec<u8>> =
+            s.units().iter().map(|u| decompose_greedy(&u.graph, 3)).collect();
+        let rec = s.recover(&g, 3, &colorings);
+        assert_eq!(g.evaluate(&rec.coloring, 0.1).conflicts, 0);
+    }
+
+    #[test]
+    fn no_simplification_keeps_whole_components() {
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let opts = SimplifyOptions { hide_small_degree: false, biconnected: false };
+        let s = simplify(&g, 3, opts);
+        assert_eq!(s.units().len(), 1);
+        assert_eq!(s.units()[0].graph.num_nodes(), 4);
+    }
+
+    #[test]
+    fn unit_global_nodes_are_consistent() {
+        // Two disjoint K4s; hide-small-degree removes nothing at k = 3.
+        let mut edges = vec![];
+        for &(a, b) in &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            edges.push((a, b));
+            edges.push((a + 4, b + 4));
+        }
+        let g = LayoutGraph::homogeneous(8, edges).unwrap();
+        let s = simplify(&g, 3, SimplifyOptions::default());
+        assert_eq!(s.units().len(), 2);
+        let mut all: Vec<u32> = s
+            .units()
+            .iter()
+            .flat_map(|u| u.global_nodes.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<u32>>());
+    }
+}

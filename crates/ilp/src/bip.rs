@@ -1,0 +1,371 @@
+//! A small exact 0-1 integer linear program (BIP) solver.
+//!
+//! Minimizes `c^T x` over binary `x` subject to linear constraints
+//! `a^T x <= b`, by depth-first branch and bound with unit propagation and
+//! an objective lower bound. It is deliberately simple — its job in this
+//! workspace is to solve the faithful TPLD encoding (see [`crate::encode`])
+//! on small component graphs and cross-validate the specialized engine.
+//!
+//! # Example
+//!
+//! ```
+//! use mpld_ilp::bip::Bip;
+//!
+//! // min x0 + 2 x1  s.t.  x0 + x1 >= 1  (written as -x0 - x1 <= -1)
+//! let mut m = Bip::new(2);
+//! m.set_objective(0, 1);
+//! m.set_objective(1, 2);
+//! m.add_constraint(vec![(0, -1), (1, -1)], -1);
+//! let sol = m.solve().expect("feasible");
+//! assert_eq!(sol.objective, 1);
+//! assert!(sol.values[0] && !sol.values[1]);
+//! ```
+
+/// A linear constraint `sum(coef * x_var) <= bound`.
+#[derive(Debug, Clone)]
+struct Constraint {
+    terms: Vec<(usize, i64)>,
+    bound: i64,
+}
+
+/// A 0-1 integer linear program (minimization).
+#[derive(Debug, Clone, Default)]
+pub struct Bip {
+    num_vars: usize,
+    objective: Vec<i64>,
+    constraints: Vec<Constraint>,
+}
+
+/// An optimal solution found by [`Bip::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipSolution {
+    /// Variable assignment.
+    pub values: Vec<bool>,
+    /// Objective value `c^T x`.
+    pub objective: i64,
+}
+
+impl Bip {
+    /// Creates a model with `num_vars` binary variables and zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        Bip { num_vars, objective: vec![0; num_vars], constraints: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficient of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn set_objective(&mut self, var: usize, coef: i64) {
+        assert!(var < self.num_vars, "variable out of range");
+        self.objective[var] = coef;
+    }
+
+    /// Adds the constraint `sum(coef * x_var) <= bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is out of range or appears twice.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, i64)>, bound: i64) {
+        let mut seen = std::collections::HashSet::new();
+        for &(v, _) in &terms {
+            assert!(v < self.num_vars, "variable out of range");
+            assert!(seen.insert(v), "variable repeated in constraint");
+        }
+        self.constraints.push(Constraint { terms, bound });
+    }
+
+    /// Solves the program to optimality.
+    ///
+    /// Returns `None` when the constraints are infeasible.
+    pub fn solve(&self) -> Option<BipSolution> {
+        let mut search = Search::new(self);
+        search.run();
+        search.best.map(|(values, objective)| BipSolution { values, objective })
+    }
+}
+
+struct Search<'m> {
+    model: &'m Bip,
+    /// Constraints each variable occurs in: `(constraint index, coef)`.
+    occurs: Vec<Vec<(usize, i64)>>,
+    best: Option<(Vec<bool>, i64)>,
+    /// Sum over all variables of `min(0, c)`, a constant lower-bound term.
+    neg_obj_total: i64,
+}
+
+#[derive(Clone)]
+struct State {
+    /// -1 unset, 0, 1.
+    fixed: Vec<i8>,
+    num_fixed: usize,
+    /// Per-constraint contribution of fixed variables.
+    sum_fixed: Vec<i64>,
+    /// Per-constraint minimum possible contribution of free variables
+    /// (sum of negative coefficients of free vars).
+    free_min: Vec<i64>,
+    obj_fixed: i64,
+    /// Sum of `min(0, c)` over free variables (for the objective bound).
+    obj_free_min: i64,
+}
+
+impl<'m> Search<'m> {
+    fn new(model: &'m Bip) -> Self {
+        let mut occurs = vec![Vec::new(); model.num_vars];
+        for (ci, c) in model.constraints.iter().enumerate() {
+            for &(v, a) in &c.terms {
+                occurs[v].push((ci, a));
+            }
+        }
+        let neg_obj_total = model.objective.iter().map(|&c| c.min(0)).sum();
+        Search { model, occurs, best: None, neg_obj_total }
+    }
+
+    fn initial_state(&self) -> State {
+        let m = self.model;
+        let free_min = m
+            .constraints
+            .iter()
+            .map(|c| c.terms.iter().map(|&(_, a)| a.min(0)).sum())
+            .collect();
+        State {
+            fixed: vec![-1; m.num_vars],
+            num_fixed: 0,
+            sum_fixed: vec![0; m.constraints.len()],
+            free_min,
+            obj_fixed: 0,
+            obj_free_min: self.neg_obj_total,
+        }
+    }
+
+    fn run(&mut self) {
+        let mut state = self.initial_state();
+        if self.propagate(&mut state) {
+            self.dfs(state);
+        }
+    }
+
+    /// Fixes `var := val`; returns false on immediate infeasibility.
+    fn fix(&self, state: &mut State, var: usize, val: bool) -> bool {
+        debug_assert_eq!(state.fixed[var], -1);
+        state.fixed[var] = i8::from(val);
+        state.num_fixed += 1;
+        let c = self.model.objective[var];
+        if val {
+            state.obj_fixed += c;
+        }
+        state.obj_free_min -= c.min(0);
+        for &(ci, a) in &self.occurs[var] {
+            state.free_min[ci] -= a.min(0);
+            if val {
+                state.sum_fixed[ci] += a;
+            }
+            if state.sum_fixed[ci] + state.free_min[ci] > self.model.constraints[ci].bound {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Unit propagation to fixpoint; returns false on infeasibility.
+    fn propagate(&self, state: &mut State) -> bool {
+        loop {
+            let mut changed = false;
+            for (ci, c) in self.model.constraints.iter().enumerate() {
+                let slack = c.bound - state.sum_fixed[ci] - state.free_min[ci];
+                if slack < 0 {
+                    return false;
+                }
+                for &(v, a) in &c.terms {
+                    if state.fixed[v] != -1 {
+                        continue;
+                    }
+                    if a > 0 && a > slack {
+                        if !self.fix(state, v, false) {
+                            return false;
+                        }
+                        changed = true;
+                    } else if a < 0 && -a > slack {
+                        if !self.fix(state, v, true) {
+                            return false;
+                        }
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn lower_bound(&self, state: &State) -> i64 {
+        state.obj_fixed + state.obj_free_min
+    }
+
+    fn dfs(&mut self, state: State) {
+        if let Some((_, best)) = &self.best {
+            if self.lower_bound(&state) >= *best {
+                return;
+            }
+        }
+        if state.num_fixed == self.model.num_vars {
+            let values: Vec<bool> = state.fixed.iter().map(|&f| f == 1).collect();
+            let objective = state.obj_fixed;
+            debug_assert!(self.check(&values));
+            match &self.best {
+                Some((_, b)) if objective >= *b => {}
+                _ => self.best = Some((values, objective)),
+            }
+            return;
+        }
+        // Branch on the lowest-index free variable: in the TPLD encoding
+        // the color bits come first, so the search assigns colors and lets
+        // propagation set the cost variables (branching on cost variables
+        // directly explores an exponential, uninformative space).
+        let var = (0..self.model.num_vars)
+            .find(|&v| state.fixed[v] == -1)
+            .expect("a free variable exists");
+        let cheap_first = self.model.objective[var] > 0;
+        for &val in if cheap_first { &[false, true] } else { &[true, false] } {
+            let mut child = state.clone();
+            if self.fix(&mut child, var, val) && self.propagate(&mut child) {
+                self.dfs(child);
+            }
+        }
+    }
+
+    fn check(&self, values: &[bool]) -> bool {
+        self.model.constraints.iter().all(|c| {
+            let lhs: i64 = c.terms.iter().map(|&(v, a)| if values[v] { a } else { 0 }).sum();
+            lhs <= c.bound
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_minimum_is_all_zero_for_positive_costs() {
+        let mut m = Bip::new(3);
+        for v in 0..3 {
+            m.set_objective(v, 5);
+        }
+        let s = m.solve().unwrap();
+        assert_eq!(s.objective, 0);
+        assert_eq!(s.values, vec![false; 3]);
+    }
+
+    #[test]
+    fn negative_costs_pull_variables_up() {
+        let mut m = Bip::new(2);
+        m.set_objective(0, -3);
+        m.set_objective(1, 2);
+        let s = m.solve().unwrap();
+        assert_eq!(s.objective, -3);
+        assert_eq!(s.values, vec![true, false]);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let mut m = Bip::new(1);
+        m.add_constraint(vec![(0, 1)], 0); // x0 <= 0
+        m.add_constraint(vec![(0, -1)], -1); // x0 >= 1
+        assert!(m.solve().is_none());
+    }
+
+    #[test]
+    fn covering_problem() {
+        // min x0 + x1 + x2, each pair constraint forces at least one of two.
+        let mut m = Bip::new(3);
+        for v in 0..3 {
+            m.set_objective(v, 1);
+        }
+        m.add_constraint(vec![(0, -1), (1, -1)], -1);
+        m.add_constraint(vec![(1, -1), (2, -1)], -1);
+        m.add_constraint(vec![(0, -1), (2, -1)], -1);
+        let s = m.solve().unwrap();
+        assert_eq!(s.objective, 2);
+    }
+
+    #[test]
+    fn knapsack_like() {
+        // max 4x0 + 5x1 + 3x2 s.t. 3x0 + 4x1 + 2x2 <= 6
+        // == min -4x0 - 5x1 - 3x2.
+        let mut m = Bip::new(3);
+        m.set_objective(0, -4);
+        m.set_objective(1, -5);
+        m.set_objective(2, -3);
+        m.add_constraint(vec![(0, 3), (1, 4), (2, 2)], 6);
+        let s = m.solve().unwrap();
+        assert_eq!(s.objective, -8); // x1 + x2 (value 8, weight 6)
+    }
+
+    #[test]
+    #[should_panic(expected = "variable repeated")]
+    fn duplicate_var_in_constraint_panics() {
+        let mut m = Bip::new(2);
+        m.add_constraint(vec![(0, 1), (0, 1)], 1);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_models() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..8usize);
+            let mut m = Bip::new(n);
+            for v in 0..n {
+                m.set_objective(v, rng.gen_range(-5i64..6));
+            }
+            for _ in 0..rng.gen_range(0..6usize) {
+                let mut terms = Vec::new();
+                for v in 0..n {
+                    if rng.gen_bool(0.5) {
+                        terms.push((v, rng.gen_range(-3i64..4)));
+                    }
+                }
+                if terms.is_empty() {
+                    continue;
+                }
+                let bound = rng.gen_range(-2i64..5);
+                m.add_constraint(terms, bound);
+            }
+            // Exhaustive reference.
+            let mut best: Option<i64> = None;
+            for mask in 0..(1u32 << n) {
+                let values: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
+                let ok = (0..m.num_constraints()).all(|ci| {
+                    let c = &m.constraints[ci];
+                    let lhs: i64 =
+                        c.terms.iter().map(|&(v, a)| if values[v] { a } else { 0 }).sum();
+                    lhs <= c.bound
+                });
+                if ok {
+                    let obj: i64 =
+                        (0..n).map(|v| if values[v] { m.objective[v] } else { 0 }).sum();
+                    best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+                }
+            }
+            let got = m.solve();
+            match (best, got) {
+                (None, None) => {}
+                (Some(b), Some(s)) => assert_eq!(s.objective, b),
+                (b, s) => panic!("mismatch: exhaustive={b:?} solver={s:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Specialized exact branch-and-bound over node colors.
+//!
+//! Branches on nodes in decreasing degree order, maintains the objective
+//! incrementally (per-feature-pair capped conflict cost plus stitch cost,
+//! in exact scaled-integer arithmetic), prunes on the admissible bound
+//! "already-incurred cost", and breaks mask-name symmetry by only allowing
+//! one fresh color per branch level.
+
+use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph, NodeId};
+use std::collections::HashMap;
+
+const UNSET: u8 = u8::MAX;
+
+/// The exact "ILP" decomposer of the workspace (see crate docs).
+///
+/// # Example
+///
+/// ```
+/// use mpld_graph::{Decomposer, DecomposeParams, LayoutGraph};
+/// use mpld_ilp::IlpDecomposer;
+///
+/// let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+/// let d = IlpDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+/// assert_eq!(d.cost.conflicts, 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IlpDecomposer {
+    _private: (),
+}
+
+impl IlpDecomposer {
+    /// Creates the exact decomposer.
+    pub fn new() -> Self {
+        IlpDecomposer { _private: () }
+    }
+}
+
+impl Decomposer for IlpDecomposer {
+    fn name(&self) -> &'static str {
+        "ILP-BB"
+    }
+
+    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
+        let mut solver = Solver::new(graph, params);
+        let coloring = solver.solve();
+        Decomposition::from_coloring(graph, coloring, params.alpha)
+    }
+}
+
+/// Scaled integer weights so the search is exact: conflict = 1000 units,
+/// stitch = `round(alpha * 1000)` units.
+fn weights(alpha: f64) -> (u64, u64) {
+    (1000, (alpha * 1000.0).round().max(0.0) as u64)
+}
+
+struct Solver<'g> {
+    g: &'g LayoutGraph,
+    k: u8,
+    cw: u64,
+    sw: u64,
+    /// Branch order: node ids sorted by decreasing total degree.
+    order: Vec<NodeId>,
+    color: Vec<u8>,
+    /// Same-color conflict-edge count per feature pair among assigned nodes.
+    pair_count: HashMap<(u32, u32), u32>,
+    cost: u64,
+    best_cost: u64,
+    best: Vec<u8>,
+}
+
+impl<'g> Solver<'g> {
+    fn new(g: &'g LayoutGraph, params: &DecomposeParams) -> Self {
+        let (cw, sw) = weights(params.alpha);
+        let mut order: Vec<NodeId> = (0..g.num_nodes() as u32).collect();
+        order.sort_by_key(|&v| {
+            std::cmp::Reverse(g.conflict_degree(v) + g.stitch_neighbors(v).len())
+        });
+        Solver {
+            g,
+            k: params.k,
+            cw,
+            sw,
+            order,
+            color: vec![UNSET; g.num_nodes()],
+            pair_count: HashMap::new(),
+            cost: 0,
+            best_cost: u64::MAX,
+            best: vec![0; g.num_nodes()],
+        }
+    }
+
+    fn pair_key(&self, u: NodeId, v: NodeId) -> (u32, u32) {
+        let (a, b) = (self.g.feature_of(u), self.g.feature_of(v));
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Incremental cost of assigning color `c` to `v`, and the bookkeeping
+    /// deltas (feature pairs whose same-color count went 0 → 1).
+    fn assign(&mut self, v: NodeId, c: u8) -> (u64, Vec<(u32, u32)>) {
+        let mut delta = 0u64;
+        let mut bumped = Vec::new();
+        for &w in self.g.conflict_neighbors(v) {
+            if self.color[w as usize] == c {
+                let key = self.pair_key(v, w);
+                let cnt = self.pair_count.entry(key).or_insert(0);
+                if *cnt == 0 {
+                    delta += self.cw;
+                }
+                *cnt += 1;
+                bumped.push(key);
+            }
+        }
+        for &w in self.g.stitch_neighbors(v) {
+            let cw = self.color[w as usize];
+            if cw != UNSET && cw != c {
+                delta += self.sw;
+            }
+        }
+        self.color[v as usize] = c;
+        self.cost += delta;
+        (delta, bumped)
+    }
+
+    fn unassign(&mut self, v: NodeId, delta: u64, bumped: Vec<(u32, u32)>) {
+        self.color[v as usize] = UNSET;
+        self.cost -= delta;
+        for key in bumped {
+            let cnt = self.pair_count.get_mut(&key).expect("bumped pair exists");
+            *cnt -= 1;
+            if *cnt == 0 {
+                self.pair_count.remove(&key);
+            }
+        }
+    }
+
+    /// Greedy warm start: assign nodes in branch order, picking the color
+    /// with the smallest incremental cost.
+    fn greedy(&mut self) {
+        let order = self.order.clone();
+        for &v in &order {
+            let mut best_c = 0u8;
+            let mut best_d = u64::MAX;
+            for c in 0..self.k {
+                let (d, bumped) = self.assign(v, c);
+                self.unassign(v, d, bumped);
+                if d < best_d {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+            let _ = self.assign(v, best_c);
+        }
+        self.best_cost = self.cost;
+        self.best = self.color.clone();
+        // Reset state for the exact search.
+        self.color = vec![UNSET; self.g.num_nodes()];
+        self.pair_count.clear();
+        self.cost = 0;
+    }
+
+    fn solve(&mut self) -> Vec<u8> {
+        if self.g.num_nodes() == 0 {
+            return Vec::new();
+        }
+        self.greedy();
+        if self.best_cost > 0 {
+            self.dfs(0, 0);
+        }
+        self.best.clone()
+    }
+
+    fn dfs(&mut self, depth: usize, colors_used: u8) {
+        if self.cost >= self.best_cost {
+            return; // admissible bound: remaining assignments cost >= 0
+        }
+        if depth == self.order.len() {
+            self.best_cost = self.cost;
+            self.best = self.color.clone();
+            return;
+        }
+        let v = self.order[depth];
+        // Symmetry breaking: allow at most one previously-unused color.
+        let limit = (colors_used + 1).min(self.k);
+        for c in 0..limit {
+            let (delta, bumped) = self.assign(v, c);
+            let next_used = colors_used.max(c + 1);
+            self.dfs(depth + 1, next_used);
+            self.unassign(v, delta, bumped);
+            if self.best_cost == 0 {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn params() -> DecomposeParams {
+        DecomposeParams::tpl()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LayoutGraph::homogeneous(0, vec![]).unwrap();
+        let d = IlpDecomposer::new().decompose(&g, &params());
+        assert!(d.coloring.is_empty());
+        assert_eq!(d.cost.conflicts, 0);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = LayoutGraph::homogeneous(1, vec![]).unwrap();
+        let d = IlpDecomposer::new().decompose(&g, &params());
+        assert_eq!(d.coloring.len(), 1);
+    }
+
+    #[test]
+    fn odd_cycle_is_three_colorable() {
+        let g = LayoutGraph::homogeneous(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let d = IlpDecomposer::new().decompose(&g, &params());
+        assert_eq!(d.cost.conflicts, 0);
+    }
+
+    #[test]
+    fn k5_needs_two_conflicts_at_k3() {
+        let mut edges = vec![];
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = LayoutGraph::homogeneous(5, edges).unwrap();
+        let d = IlpDecomposer::new().decompose(&g, &params());
+        let bf = brute_force(&g, &params());
+        assert_eq!(d.cost, bf.cost);
+    }
+
+    #[test]
+    fn stitch_allows_escaping_conflicts() {
+        // Feature A = {0, 1} split by a stitch. Subfeature 0 conflicts with
+        // B and C, subfeature 1 conflicts with D and E; {B, C} and {D, E}
+        // pairwise conflict and B-D, C-E conflict so colors are forced apart.
+        let g = LayoutGraph::new(
+            vec![0, 0, 1, 2, 3, 4],
+            vec![(0, 2), (0, 3), (1, 4), (1, 5), (2, 3), (4, 5), (2, 4), (3, 5)],
+            vec![(0, 1)],
+        )
+        .unwrap();
+        let d = IlpDecomposer::new().decompose(&g, &params());
+        let bf = brute_force(&g, &params());
+        assert_eq!(d.cost, bf.cost);
+    }
+
+    fn random_hetero(rng: &mut SmallRng, n_feat: usize, p_conflict: f64, p_split: f64) -> LayoutGraph {
+        // Random features, some split into two subfeatures with a stitch.
+        let mut node_feature = Vec::new();
+        let mut stitch_edges = Vec::new();
+        let mut sub_of_feat: Vec<Vec<u32>> = Vec::new();
+        for f in 0..n_feat {
+            let start = node_feature.len() as u32;
+            if rng.gen_bool(p_split) {
+                node_feature.extend([f as u32, f as u32]);
+                stitch_edges.push((start, start + 1));
+                sub_of_feat.push(vec![start, start + 1]);
+            } else {
+                node_feature.push(f as u32);
+                sub_of_feat.push(vec![start]);
+            }
+        }
+        let mut conflict_edges = Vec::new();
+        for a in 0..n_feat {
+            for b in (a + 1)..n_feat {
+                for &u in &sub_of_feat[a] {
+                    for &v in &sub_of_feat[b] {
+                        if rng.gen_bool(p_conflict) {
+                            conflict_edges.push((u, v));
+                        }
+                    }
+                }
+            }
+        }
+        LayoutGraph::new(node_feature, conflict_edges, stitch_edges).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..40 {
+            let g = random_hetero(&mut rng, 6, 0.5, 0.4);
+            if g.num_nodes() > 10 {
+                continue;
+            }
+            let d = IlpDecomposer::new().decompose(&g, &params());
+            let bf = brute_force(&g, &params());
+            assert_eq!(
+                d.cost.value(0.1),
+                bf.cost.value(0.1),
+                "graph: {:?}",
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_at_k4() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let p = DecomposeParams::qpl();
+        for _ in 0..20 {
+            let g = random_hetero(&mut rng, 6, 0.6, 0.3);
+            if g.num_nodes() > 9 {
+                continue;
+            }
+            let d = IlpDecomposer::new().decompose(&g, &p);
+            let bf = brute_force(&g, &p);
+            assert_eq!(d.cost.value(0.1), bf.cost.value(0.1));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The 15 synthetic benchmark circuits.
+//!
+//! The paper evaluates on scaled-down, modified ISCAS-85/89 layouts that
+//! are not redistributable. Per DESIGN.md we substitute a deterministic
+//! generator that emits circuits with the same names, the same minimum
+//! coloring distances (120 nm for the ten ISCAS-85 circuits, 100 nm for
+//! the five ISCAS-89 circuits), and feature counts scaled so the graph
+//! population after simplification matches the paper's qualitative shape.
+
+use crate::generator::{generate_layout, GeneratorParams};
+use crate::Layout;
+
+/// A named benchmark circuit: generation parameters plus the coloring
+/// distance used in the paper.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    /// Circuit name as used in the paper's tables (e.g. "C432").
+    pub name: &'static str,
+    /// Minimum coloring distance in nanometres.
+    pub d: i64,
+    /// Whether the paper groups this circuit with the "large" layouts.
+    pub large: bool,
+    params: GeneratorParams,
+}
+
+impl Circuit {
+    /// Generates the layout deterministically (same output every call).
+    pub fn generate(&self) -> Layout {
+        generate_layout(self.name, self.d, &self.params)
+    }
+
+    /// Approximate number of features the generator will emit.
+    pub fn approx_features(&self) -> usize {
+        self.params.tracks * self.params.track_units / 3
+    }
+}
+
+/// The full 15-circuit suite in the paper's order: ten ISCAS-85 circuits
+/// at `d = 120 nm`, then five ISCAS-89 circuits at `d = 100 nm`.
+///
+/// # Example
+///
+/// ```
+/// use mpld_layout::iscas_suite;
+/// let suite = iscas_suite();
+/// assert_eq!(suite.len(), 15);
+/// assert_eq!(suite[0].name, "C432");
+/// assert_eq!(suite[0].d, 120);
+/// assert_eq!(suite[14].d, 100);
+/// ```
+pub fn iscas_suite() -> Vec<Circuit> {
+    // (name, tracks, units, seed). Track/unit counts scale with the
+    // original circuit sizes (C432 smallest, S38584 largest), divided by
+    // ~10 so the full suite runs on one machine; see DESIGN.md.
+    let small: &[(&str, usize, usize, u64)] = &[
+        ("C432", 16, 110, 0xC432),
+        ("C499", 20, 130, 0xC499),
+        ("C880", 22, 150, 0xC880),
+        ("C1355", 24, 160, 0xC1355),
+        ("C1908", 26, 170, 0xC1908),
+        ("C2670", 30, 190, 0xC2670),
+        ("C3540", 32, 210, 0xC3540),
+        ("C5315", 36, 230, 0xC5315),
+        ("C6288", 40, 250, 0xC6288),
+        ("C7552", 42, 270, 0xC7552),
+    ];
+    let large: &[(&str, usize, usize, u64)] = &[
+        ("S1488", 48, 300, 0x51488),
+        ("S38417", 90, 520, 0x38417),
+        ("S35932", 100, 560, 0x35932),
+        ("S38584", 110, 600, 0x38584),
+        ("S15850", 80, 480, 0x15850),
+    ];
+    let mut out = Vec::new();
+    for &(name, tracks, track_units, seed) in small {
+        out.push(Circuit {
+            name,
+            d: 120,
+            large: false,
+            params: GeneratorParams { tracks, track_units, seed, ..GeneratorParams::default() },
+        });
+    }
+    for &(name, tracks, track_units, seed) in large {
+        out.push(Circuit {
+            name,
+            d: 100,
+            large: true,
+            params: GeneratorParams { tracks, track_units, seed, ..GeneratorParams::default() },
+        });
+    }
+    out
+}
+
+/// Looks a circuit up by name.
+pub fn circuit_by_name(name: &str) -> Option<Circuit> {
+    iscas_suite().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_setup() {
+        let suite = iscas_suite();
+        assert_eq!(suite.len(), 15);
+        assert!(suite[..10].iter().all(|c| c.d == 120 && !c.large));
+        assert!(suite[10..].iter().all(|c| c.d == 100 && c.large));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = circuit_by_name("C432").expect("exists");
+        let a = c.generate();
+        let b = c.generate();
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn sizes_grow_with_circuit() {
+        let suite = iscas_suite();
+        let first = suite[0].generate().features.len();
+        let last = suite[13].generate().features.len(); // S38584
+        assert!(last > 5 * first, "{first} vs {last}");
+    }
+
+    #[test]
+    fn unknown_circuit_is_none() {
+        assert!(circuit_by_name("C9999").is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! Deterministic wire-layout generator.
+//!
+//! Emits routed-layer geometry organized in **bands** of closely pitched
+//! horizontal tracks plus occasional **vertical wires** (via stacks /
+//! vertical routing) crossing two or three tracks. Horizontal wires
+//! conflict with overlapping wires one track away and — in rare *tight*
+//! bands — two tracks away; near gaps along a track add same-track
+//! conflicts with end-localized projections (prime stitch territory), and
+//! vertical wires close cycles through the bands, producing the
+//! 2-connected, min-degree-3, *mostly 3-colorable* structures that
+//! dominate real layouts after simplification. Periodic routing-free strap
+//! columns bound component width, so the conflict graph splits into many
+//! small independent components with occasional denser congested cores —
+//! the population shape of the scaled ISCAS benchmarks.
+
+use mpld_geometry::{Feature, Rect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Layout;
+
+/// Tunable knobs of the generator. The defaults, combined with per-circuit
+/// `tracks`/`track_units`/`seed`, produce the benchmark suite.
+#[derive(Debug, Clone)]
+pub struct GeneratorParams {
+    /// Number of horizontal routing tracks (across all bands).
+    pub tracks: usize,
+    /// Track length in grid units (one unit ≈ the coloring distance).
+    pub track_units: usize,
+    /// RNG seed; generation is fully deterministic per seed.
+    pub seed: u64,
+    /// Probability that a same-track gap is narrow (creates a horizontal
+    /// conflict edge).
+    pub horizontal_conflict_prob: f64,
+    /// Probability that a wire grows a vertical jog (L-shape).
+    pub jog_prob: f64,
+    /// Maximum tracks per band (bands are separated by wide gaps).
+    pub max_band: usize,
+    /// Column period in grid units: every `strap_period` units a routing-
+    /// free strap region interrupts all tracks (like power straps), which
+    /// bounds the width of connected components.
+    pub strap_period: usize,
+    /// Expected number of vertical wires per band and strap column.
+    pub vertical_density: f64,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> Self {
+        GeneratorParams {
+            tracks: 16,
+            track_units: 100,
+            seed: 1,
+            horizontal_conflict_prob: 0.3,
+            jog_prob: 0.03,
+            max_band: 5,
+            strap_period: 7,
+            vertical_density: 2.5,
+        }
+    }
+}
+
+/// Probability that a band is routed at the tight pitch, where wires two
+/// tracks apart still conflict — the rare congested pockets that make
+/// stitches genuinely useful and cause the occasional native conflict.
+const TIGHT_BAND_PROB: f64 = 0.05;
+
+
+/// Generates the layout for `name` with coloring distance `d`.
+pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let wire_h = d / 4;
+    // Loose bands: pitch 0.7 d — only adjacent tracks conflict (edge gap
+    // 0.45 d; two-apart 1.15 d is clear). Tight bands: pitch 0.6 d —
+    // two-apart tracks conflict too (edge gap 0.95 d). Between bands: 2 d.
+    let loose_pitch = 7 * d / 10;
+    let tight_pitch = 3 * d / 5;
+    let band_gap = 2 * d;
+    let unit = d;
+    let end = params.track_units as i64 * unit;
+    let strap = params.strap_period.max(2) as i64 * unit;
+    let strap_w = 6 * unit / 5;
+
+    let mut features: Vec<Feature> = Vec::new();
+
+    // Plan the bands: (start track, number of tracks, pitch).
+    let mut bands: Vec<(usize, usize, i64)> = Vec::new();
+    {
+        let mut t = 0;
+        while t < params.tracks {
+            let (n, pitch) = if rng.gen_bool(TIGHT_BAND_PROB) {
+                (3, tight_pitch)
+            } else {
+                (rng.gen_range(2..=params.max_band.max(2)), loose_pitch)
+            };
+            let n = n.min(params.tracks - t);
+            bands.push((t, n, pitch));
+            t += n;
+        }
+    }
+
+    let mut y = 0i64;
+    for &(_, band_tracks, pitch) in &bands {
+        // Vertical routing channels: narrow (≈ 0.95 d) aligned gaps cut
+        // through every track of the band, each hosting a vertical wire.
+        // The flanking horizontal wires conflict with the vertical (and
+        // with each other across the channel), closing even cycles — the
+        // hub-and-ladder wheels that dominate real simplified layouts.
+        let columns = (end / strap).max(1);
+        let mut channels: Vec<i64> = Vec::new();
+        for col in 0..columns {
+            let n = (params.vertical_density + rng.gen_range(0.0..1.0)).floor() as usize;
+            let x_lo = col * strap + strap_w + unit;
+            let x_hi = ((col + 1) * strap - unit).min(end);
+            for _ in 0..n {
+                if x_lo >= x_hi {
+                    break;
+                }
+                let cx = rng.gen_range(x_lo..x_hi);
+                if channels.iter().all(|&c| (c - cx).abs() > 2 * d) {
+                    channels.push(cx);
+                }
+            }
+        }
+        channels.sort_unstable();
+        let chan_w = 19 * d / 20; // 0.95 d: flanks conflict across it
+
+        // Tight bands model local congestion pockets, not chip-wide dense
+        // routing: restrict them to a randomly chosen 2-column window.
+        let (route_lo, route_hi) = if pitch == tight_pitch {
+            let col = rng.gen_range(0..columns);
+            (col * strap, ((col + 2) * strap).min(end))
+        } else {
+            (0, end)
+        };
+
+        // Horizontal wires per track, broken at straps and channels.
+        for bt in 0..band_tracks {
+            let ty = y + bt as i64 * pitch;
+            let mut x = route_lo + rng.gen_range(0..unit);
+            let end = route_hi;
+            while x < end {
+                let in_strap = x.rem_euclid(strap);
+                if in_strap < strap_w {
+                    x += strap_w - in_strap;
+                    continue;
+                }
+                // Skip channel footprints.
+                if let Some(&cx) =
+                    channels.iter().find(|&&c| x >= c - chan_w / 2 && x < c + chan_w / 2)
+                {
+                    x = cx + chan_w / 2;
+                    continue;
+                }
+                // Wires 0.7 d .. 3.2 d, clipped at straps and channels.
+                let len = rng.gen_range(7 * unit / 10..16 * unit / 5);
+                let next_strap = (x / strap + 1) * strap;
+                let next_channel = channels
+                    .iter()
+                    .copied()
+                    .find(|&c| c - chan_w / 2 >= x)
+                    .map(|c| c - chan_w / 2)
+                    .unwrap_or(i64::MAX);
+                let mut xh = (x + len).min(end).min(next_strap).min(next_channel);
+                // Wires ending just short of a channel are routed up to its
+                // edge (routers pack against vertical channels), so the
+                // flanks across the channel reliably sit 0.95 d apart.
+                if next_channel != i64::MAX
+                    && next_channel <= next_strap
+                    && next_channel <= end
+                    && xh < next_channel
+                    && next_channel - xh < 9 * d / 10
+                {
+                    xh = next_channel;
+                }
+                if xh - x >= unit / 2 {
+                    let id = features.len() as u32;
+                    let mut rects = vec![Rect::new(x, ty, xh, ty + wire_h)];
+                    if rng.gen_bool(params.jog_prob) && xh - x > unit {
+                        let jx = rng.gen_range(x + unit / 4..xh - unit / 4);
+                        rects.push(Rect::new(jx, ty + wire_h, jx + wire_h, ty + wire_h + d / 4));
+                    }
+                    features.push(Feature::new(id, rects));
+                }
+                if xh == next_channel {
+                    // The wire packed against a channel: resume exactly at
+                    // the channel's far edge so both flanks sit tight.
+                    x = xh + chan_w;
+                    continue;
+                }
+                let gap = if rng.gen_bool(params.horizontal_conflict_prob) {
+                    rng.gen_range(2 * d / 5..9 * d / 10)
+                } else {
+                    rng.gen_range(11 * d / 10..3 * d)
+                };
+                x = xh + gap;
+            }
+        }
+
+        // The vertical wire in each channel, spanning a random track range.
+        if band_tracks >= 2 {
+            for &cx in &channels {
+                let span_tracks = rng.gen_range(2..=band_tracks.min(3));
+                let t0 = rng.gen_range(0..=band_tracks - span_tracks);
+                let y0 = y + t0 as i64 * pitch;
+                let y1 = y + (t0 + span_tracks - 1) as i64 * pitch + wire_h;
+                let id = features.len() as u32;
+                features
+                    .push(Feature::new(id, vec![Rect::new(cx - wire_h / 2, y0, cx + wire_h / 2, y1)]));
+            }
+        }
+
+        y += (band_tracks - 1) as i64 * pitch + wire_h + band_gap;
+    }
+    Layout { name: name.to_string(), d, features }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpld_geometry::feature_distance_sq;
+
+    fn small() -> Layout {
+        generate_layout(
+            "T",
+            120,
+            &GeneratorParams { tracks: 8, track_units: 40, seed: 9, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn features_never_overlap() {
+        let l = small();
+        for (i, a) in l.features.iter().enumerate() {
+            for b in &l.features[i + 1..] {
+                assert!(
+                    feature_distance_sq(a, b) > 0,
+                    "features {} and {} touch",
+                    a.id(),
+                    b.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layout_has_conflicts_at_d() {
+        let l = small();
+        let dd = l.d * l.d;
+        let mut conflicts = 0;
+        for (i, a) in l.features.iter().enumerate() {
+            for b in &l.features[i + 1..] {
+                if feature_distance_sq(a, b) < dd {
+                    conflicts += 1;
+                }
+            }
+        }
+        assert!(conflicts > l.features.len() / 2, "too sparse: {conflicts}");
+    }
+
+    #[test]
+    fn feature_ids_are_dense() {
+        let l = small();
+        for (i, f) in l.features.iter().enumerate() {
+            assert_eq!(f.id() as usize, i);
+        }
+    }
+
+    #[test]
+    fn contains_vertical_wires() {
+        let l = small();
+        assert!(
+            l.features
+                .iter()
+                .any(|f| f.rects().len() == 1 && f.rects()[0].height() > f.rects()[0].width()),
+            "no vertical wires generated"
+        );
+    }
+
+    #[test]
+    fn contains_some_l_shapes() {
+        let l = generate_layout(
+            "T",
+            120,
+            &GeneratorParams {
+                tracks: 12,
+                track_units: 80,
+                seed: 3,
+                jog_prob: 0.2,
+                ..Default::default()
+            },
+        );
+        assert!(l.features.iter().any(|f| f.rects().len() > 1));
+    }
+}

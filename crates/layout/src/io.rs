@@ -1,0 +1,309 @@
+//! Plain-text layout interchange format.
+//!
+//! Real MPLD flows read GDSII/OASIS; this workspace uses a minimal
+//! line-oriented text format so users can bring their own layouts without
+//! a binary parser:
+//!
+//! ```text
+//! # comments start with '#'
+//! layout C432 d=120
+//! feature 0
+//! rect 0 0 100 30
+//! rect 80 30 110 130
+//! feature 1
+//! rect 200 0 400 30
+//! end
+//! ```
+//!
+//! Feature ids must be dense and ascending from 0; every feature needs at
+//! least one `rect`. [`write_layout`] and [`read_layout`] round-trip
+//! exactly (property-tested).
+
+use crate::Layout;
+use mpld_geometry::{Feature, Rect};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error parsing the text layout format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseLayoutError {
+    /// The `layout <name> d=<nm>` header is missing or malformed.
+    MissingHeader,
+    /// A line could not be parsed.
+    BadLine { line: usize, content: String },
+    /// Feature ids must be dense and ascending from zero.
+    BadFeatureId { line: usize, expected: u32, got: u32 },
+    /// A `rect` appeared before any `feature`.
+    RectOutsideFeature { line: usize },
+    /// A feature had no rectangles.
+    EmptyFeature { id: u32 },
+    /// Missing the final `end` line.
+    MissingEnd,
+    /// Underlying I/O failure (message only, so the type stays `Eq`).
+    Io(String),
+}
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLayoutError::MissingHeader => {
+                write!(f, "missing 'layout <name> d=<nm>' header")
+            }
+            ParseLayoutError::BadLine { line, content } => {
+                write!(f, "cannot parse line {line}: {content:?}")
+            }
+            ParseLayoutError::BadFeatureId { line, expected, got } => {
+                write!(f, "line {line}: expected feature id {expected}, got {got}")
+            }
+            ParseLayoutError::RectOutsideFeature { line } => {
+                write!(f, "line {line}: rect before any feature")
+            }
+            ParseLayoutError::EmptyFeature { id } => {
+                write!(f, "feature {id} has no rectangles")
+            }
+            ParseLayoutError::MissingEnd => write!(f, "missing final 'end' line"),
+            ParseLayoutError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+impl From<std::io::Error> for ParseLayoutError {
+    fn from(e: std::io::Error) -> Self {
+        ParseLayoutError::Io(e.to_string())
+    }
+}
+
+/// Reads a layout from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseLayoutError`] describing the first offending line.
+///
+/// # Example
+///
+/// ```
+/// use mpld_layout::read_layout;
+/// let text = "layout tiny d=120\nfeature 0\nrect 0 0 100 30\nend\n";
+/// let layout = read_layout(text.as_bytes())?;
+/// assert_eq!(layout.name, "tiny");
+/// assert_eq!(layout.features.len(), 1);
+/// # Ok::<(), mpld_layout::ParseLayoutError>(())
+/// ```
+pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
+    let mut name: Option<(String, i64)> = None;
+    let mut features: Vec<Feature> = Vec::new();
+    let mut current: Option<(u32, Vec<Rect>)> = None;
+    let mut ended = false;
+
+    let flush =
+        |current: &mut Option<(u32, Vec<Rect>)>, features: &mut Vec<Feature>| -> Result<(), ParseLayoutError> {
+            if let Some((id, rects)) = current.take() {
+                if rects.is_empty() {
+                    return Err(ParseLayoutError::EmptyFeature { id });
+                }
+                features.push(Feature::new(id, rects));
+            }
+            Ok(())
+        };
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(ParseLayoutError::BadLine { line: lineno, content: trimmed.into() });
+        }
+        let mut tokens = trimmed.split_whitespace();
+        match tokens.next() {
+            Some("layout") => {
+                let n = tokens.next().ok_or(ParseLayoutError::MissingHeader)?;
+                let d = tokens
+                    .next()
+                    .and_then(|t| t.strip_prefix("d="))
+                    .and_then(|t| t.parse::<i64>().ok())
+                    .filter(|&d| d > 0)
+                    .ok_or(ParseLayoutError::MissingHeader)?;
+                name = Some((n.to_string(), d));
+            }
+            Some("feature") => {
+                if name.is_none() {
+                    return Err(ParseLayoutError::MissingHeader);
+                }
+                flush(&mut current, &mut features)?;
+                let id: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseLayoutError::BadLine {
+                        line: lineno,
+                        content: trimmed.into(),
+                    })?;
+                let expected = features.len() as u32;
+                if id != expected {
+                    return Err(ParseLayoutError::BadFeatureId { line: lineno, expected, got: id });
+                }
+                current = Some((id, Vec::new()));
+            }
+            Some("rect") => {
+                let Some((_, rects)) = current.as_mut() else {
+                    return Err(ParseLayoutError::RectOutsideFeature { line: lineno });
+                };
+                let coords: Vec<i64> = tokens.filter_map(|t| t.parse().ok()).collect();
+                if coords.len() != 4 {
+                    return Err(ParseLayoutError::BadLine {
+                        line: lineno,
+                        content: trimmed.into(),
+                    });
+                }
+                rects.push(Rect::new(coords[0], coords[1], coords[2], coords[3]));
+            }
+            Some("poly") => {
+                // Rectilinear polygon boundary: x1 y1 x2 y2 ...; decomposed
+                // into rectangles on the spot.
+                let Some((_, rects)) = current.as_mut() else {
+                    return Err(ParseLayoutError::RectOutsideFeature { line: lineno });
+                };
+                let coords: Vec<i64> = tokens.filter_map(|t| t.parse().ok()).collect();
+                if coords.len() < 8 || coords.len() % 2 != 0 {
+                    return Err(ParseLayoutError::BadLine {
+                        line: lineno,
+                        content: trimmed.into(),
+                    });
+                }
+                let points: Vec<(i64, i64)> =
+                    coords.chunks(2).map(|c| (c[0], c[1])).collect();
+                let poly = mpld_geometry::Polygon::new(points).map_err(|_| {
+                    ParseLayoutError::BadLine { line: lineno, content: trimmed.into() }
+                })?;
+                let decomposed = poly.to_rects().map_err(|_| {
+                    ParseLayoutError::BadLine { line: lineno, content: trimmed.into() }
+                })?;
+                rects.extend(decomposed);
+            }
+            Some("end") => {
+                flush(&mut current, &mut features)?;
+                ended = true;
+            }
+            _ => {
+                return Err(ParseLayoutError::BadLine { line: lineno, content: trimmed.into() })
+            }
+        }
+    }
+    if !ended {
+        return Err(ParseLayoutError::MissingEnd);
+    }
+    let (name, d) = name.ok_or(ParseLayoutError::MissingHeader)?;
+    Ok(Layout { name, d, features })
+}
+
+/// Writes a layout in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_layout<W: Write>(layout: &Layout, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# mpld layout interchange v1")?;
+    writeln!(writer, "layout {} d={}", layout.name, layout.d)?;
+    for f in &layout.features {
+        writeln!(writer, "feature {}", f.id())?;
+        for r in f.rects() {
+            writeln!(writer, "rect {} {} {} {}", r.xl, r.yl, r.xh, r.yh)?;
+        }
+    }
+    writeln!(writer, "end")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit_by_name;
+
+    #[test]
+    fn round_trip_benchmark_layout() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let mut buf = Vec::new();
+        write_layout(&layout, &mut buf).expect("write");
+        let back = read_layout(buf.as_slice()).expect("parse");
+        assert_eq!(back, layout);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hi\n\nlayout t d=100\n# mid\nfeature 0\nrect 0 0 10 10\n\nend\n";
+        let l = read_layout(text.as_bytes()).expect("parse");
+        assert_eq!(l.d, 100);
+        assert_eq!(l.features.len(), 1);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let text = "feature 0\nrect 0 0 1 1\nend\n";
+        assert_eq!(read_layout(text.as_bytes()).unwrap_err(), ParseLayoutError::MissingHeader);
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let text = "layout t d=100\nfeature 1\nrect 0 0 1 1\nend\n";
+        assert!(matches!(
+            read_layout(text.as_bytes()).unwrap_err(),
+            ParseLayoutError::BadFeatureId { expected: 0, got: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rect_outside_feature_rejected() {
+        let text = "layout t d=100\nrect 0 0 1 1\nend\n";
+        assert!(matches!(
+            read_layout(text.as_bytes()).unwrap_err(),
+            ParseLayoutError::RectOutsideFeature { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_feature_rejected() {
+        let text = "layout t d=100\nfeature 0\nfeature 1\nrect 0 0 1 1\nend\n";
+        assert_eq!(
+            read_layout(text.as_bytes()).unwrap_err(),
+            ParseLayoutError::EmptyFeature { id: 0 }
+        );
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        let text = "layout t d=100\nfeature 0\nrect 0 0 1 1\n";
+        assert_eq!(read_layout(text.as_bytes()).unwrap_err(), ParseLayoutError::MissingEnd);
+    }
+
+    #[test]
+    fn poly_lines_decompose_into_rects() {
+        // An L-shaped feature from a polygon boundary.
+        let text = "layout t d=100\nfeature 0\npoly 0 0 30 0 30 10 10 10 10 30 0 30\nend\n";
+        let l = read_layout(text.as_bytes()).expect("parse");
+        assert_eq!(l.features.len(), 1);
+        let area: i64 = l.features[0].rects().iter().map(|r| r.area()).sum();
+        assert_eq!(area, 300 + 200);
+    }
+
+    #[test]
+    fn bad_poly_rejected() {
+        // Diagonal edge.
+        let text = "layout t d=100\nfeature 0\npoly 0 0 10 10 10 0 0 5\nend\n";
+        assert!(matches!(
+            read_layout(text.as_bytes()).unwrap_err(),
+            ParseLayoutError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_rect_rejected() {
+        let text = "layout t d=100\nfeature 0\nrect 0 0 1\nend\n";
+        assert!(matches!(
+            read_layout(text.as_bytes()).unwrap_err(),
+            ParseLayoutError::BadLine { .. }
+        ));
+    }
+}

@@ -1,0 +1,345 @@
+//! Projection-based stitch candidate insertion.
+//!
+//! Following the classic TPL flow the paper adopts, stitch candidates are
+//! generated per simplified component by **pattern projection**: each
+//! conflicting neighbor of a wire projects the portion of the wire it
+//! threatens onto the wire's long axis. A legal stitch position lies in a
+//! gap *not covered by any projection* with at least one projection on
+//! each side — splitting there separates the conflicts on the left of the
+//! stitch from those on the right without creating an always-conflicted
+//! subfeature.
+//!
+//! Only single-rectangle features receive candidates (the generator makes
+//! jogged features rare), and at most [`MAX_STITCHES_PER_FEATURE`]
+//! candidates are kept per feature, so a feature splits into at most three
+//! subfeatures — matching the practical behaviour of OpenMPL on the scaled
+//! benchmarks.
+
+use mpld_geometry::{feature_distance_sq, Feature, Rect};
+use mpld_graph::{GraphError, LayoutGraph, NodeId};
+
+/// Upper bound on stitch candidates inserted into one feature.
+pub const MAX_STITCHES_PER_FEATURE: usize = 2;
+
+/// The result of stitch insertion on one component.
+#[derive(Debug, Clone)]
+pub struct StitchedComponent {
+    /// Heterogeneous graph: nodes are subfeatures, `node_feature` maps to
+    /// the *local* feature index (position in the input slice).
+    pub graph: LayoutGraph,
+    /// Geometry of each node (parallel to graph nodes).
+    pub subfeatures: Vec<Rect>,
+}
+
+/// Inserts stitch candidates into the features of one simplified
+/// component and rebuilds the conflict graph at subfeature level.
+///
+/// `features` are the component's features (any order); `d` is the
+/// coloring distance. Feature-level conflicts are recomputed from
+/// geometry, so the caller's component structure is preserved exactly.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] only if the reconstructed edges violate the
+/// layout-graph rules, which indicates corrupt input geometry (overlapping
+/// features of different ids).
+///
+/// # Example
+///
+/// ```
+/// use mpld_geometry::{Feature, Rect};
+/// use mpld_layout::insert_stitch_candidates;
+///
+/// // A long wire flanked by two short wires above its left and right ends:
+/// // the gap between their projections admits one stitch.
+/// let long = Feature::new(0, vec![Rect::new(0, 0, 500, 40)]);
+/// let left = Feature::new(1, vec![Rect::new(0, 100, 120, 140)]);
+/// let right = Feature::new(2, vec![Rect::new(380, 100, 500, 140)]);
+/// let s = insert_stitch_candidates(&[long, left, right], 120).unwrap();
+/// assert_eq!(s.graph.stitch_edges().len(), 1);
+/// assert_eq!(s.graph.num_nodes(), 4); // long split into 2 subfeatures
+/// ```
+pub fn insert_stitch_candidates(
+    features: &[Feature],
+    d: i64,
+) -> Result<StitchedComponent, GraphError> {
+    insert_stitch_candidates_masked(features, d, &vec![true; features.len()])
+}
+
+/// Like [`insert_stitch_candidates`], but `splittable[i]` can veto stitch
+/// candidates for feature `i`. The adaptive framework uses this to keep
+/// articulation (cut-vertex) features whole, so block colorings can always
+/// be reconciled by a color permutation.
+///
+/// # Errors
+///
+/// Same conditions as [`insert_stitch_candidates`].
+///
+/// # Panics
+///
+/// Panics if `splittable.len() != features.len()`.
+pub fn insert_stitch_candidates_masked(
+    features: &[Feature],
+    d: i64,
+    splittable: &[bool],
+) -> Result<StitchedComponent, GraphError> {
+    assert_eq!(splittable.len(), features.len(), "one flag per feature");
+    let dd = d * d;
+    // Feature-level conflicts (the component is small; quadratic is fine).
+    let mut conflicts: Vec<Vec<usize>> = vec![Vec::new(); features.len()];
+    for i in 0..features.len() {
+        for j in (i + 1)..features.len() {
+            if feature_distance_sq(&features[i], &features[j]) < dd {
+                conflicts[i].push(j);
+                conflicts[j].push(i);
+            }
+        }
+    }
+
+    // Split each feature.
+    let mut subfeatures: Vec<Rect> = Vec::new();
+    let mut node_feature: Vec<u32> = Vec::new();
+    let mut stitch_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut nodes_of: Vec<Vec<NodeId>> = Vec::new();
+
+    for (fi, f) in features.iter().enumerate() {
+        let cuts = if splittable[fi] && f.rects().len() == 1 && !conflicts[fi].is_empty() {
+            stitch_positions(f.rects()[0], conflicts[fi].iter().map(|&j| &features[j]), d)
+        } else {
+            Vec::new()
+        };
+        let mut parts: Vec<Rect> = Vec::new();
+        if cuts.is_empty() {
+            parts.extend(f.rects().iter().copied());
+        } else {
+            let rect = f.rects()[0];
+            let horizontal = rect.width() >= rect.height();
+            let mut rest = rect;
+            for &c in &cuts {
+                let split = if horizontal { rest.split_at_x(c) } else { rest.split_at_y(c) };
+                match split {
+                    Some((a, b)) => {
+                        parts.push(a);
+                        rest = b;
+                    }
+                    None => {}
+                }
+            }
+            parts.push(rest);
+        }
+        let mut ids = Vec::new();
+        for (pi, part) in parts.iter().enumerate() {
+            let id = subfeatures.len() as NodeId;
+            subfeatures.push(*part);
+            node_feature.push(fi as u32);
+            if pi > 0 {
+                stitch_edges.push((id - 1, id));
+            }
+            ids.push(id);
+        }
+        nodes_of.push(ids);
+    }
+
+    // Subfeature-level conflict edges (only across conflicting features).
+    let mut conflict_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (fi, js) in conflicts.iter().enumerate() {
+        for &fj in js {
+            if fj <= fi {
+                continue;
+            }
+            for &u in &nodes_of[fi] {
+                for &v in &nodes_of[fj] {
+                    if crate::rect_distance_sq(&subfeatures[u as usize], &subfeatures[v as usize])
+                        < dd
+                    {
+                        conflict_edges.push((u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    let graph = LayoutGraph::new(node_feature, conflict_edges, stitch_edges)?;
+    Ok(StitchedComponent { graph, subfeatures })
+}
+
+/// Projection-based legal stitch positions along the long axis of `rect`.
+fn stitch_positions<'a, I>(rect: Rect, neighbors: I, d: i64) -> Vec<i64>
+where
+    I: Iterator<Item = &'a Feature>,
+{
+    let horizontal = rect.width() >= rect.height();
+    let (lo, hi) = if horizontal { (rect.xl, rect.xh) } else { (rect.yl, rect.yh) };
+    // A stitch needs room: skip short wires.
+    if hi - lo < d {
+        return Vec::new();
+    }
+
+    // Project each neighbor: the sub-interval of [lo, hi] within distance
+    // d of the neighbor, expanded by the interaction reach.
+    let mut intervals: Vec<(i64, i64)> = Vec::new();
+    for nb in neighbors {
+        for r in nb.rects() {
+            let (nlo, nhi) = if horizontal { (r.xl, r.xh) } else { (r.yl, r.yh) };
+            // Orthogonal gap between the wire and this rect.
+            let ortho_gap = if horizontal {
+                crate::axis_gap_pub(rect.yl, rect.yh, r.yl, r.yh)
+            } else {
+                crate::axis_gap_pub(rect.xl, rect.xh, r.xl, r.xh)
+            };
+            if ortho_gap >= d {
+                continue;
+            }
+            // Along-axis reach: positions within sqrt(d^2 - gap^2).
+            let reach = ((d * d - ortho_gap * ortho_gap) as f64).sqrt() as i64;
+            let a = (nlo - reach).max(lo);
+            let b = (nhi + reach).min(hi);
+            if a < b {
+                intervals.push((a, b));
+            }
+        }
+    }
+    if intervals.len() < 2 {
+        return Vec::new();
+    }
+    // Coverage sweep: legal stitch segments are maximal interior segments
+    // covered by at most ONE projection. A zero-coverage gap separates the
+    // conflicts on its two sides; a single-coverage segment splits so that
+    // the one covering neighbor is shared by both subfeatures — the
+    // standard generous candidate rule (most candidates end up redundant,
+    // as the paper's statistics show).
+    let mut events: Vec<(i64, i32)> = Vec::new();
+    for &(a, b) in &intervals {
+        events.push((a, 1));
+        events.push((b, -1));
+    }
+    events.sort_unstable();
+    let min_seg = d / 4; // a stitch needs some landing room
+    let mut cuts = Vec::new();
+    let mut coverage = 0i32;
+    let mut seg_start = lo;
+    let mut i = 0;
+    while i < events.len() {
+        let x = events[i].0;
+        // Close the current segment at x.
+        if coverage <= 1 {
+            let (a, b) = (seg_start.max(lo), x.min(hi));
+            // Interior only: splitting at the wire ends is meaningless.
+            if a > lo && b < hi && b - a >= min_seg {
+                cuts.push((a + b) / 2);
+                if cuts.len() == MAX_STITCHES_PER_FEATURE {
+                    break;
+                }
+            }
+        }
+        while i < events.len() && events[i].0 == x {
+            coverage += events[i].1;
+            i += 1;
+        }
+        seg_start = x;
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(id: u32, x0: i64, x1: i64, y: i64) -> Feature {
+        Feature::new(id, vec![Rect::new(x0, y, x1, y + 40)])
+    }
+
+    #[test]
+    fn isolated_feature_gets_no_stitch() {
+        let s = insert_stitch_candidates(&[wire(0, 0, 400, 0)], 120).unwrap();
+        assert!(s.graph.stitch_edges().is_empty());
+        assert_eq!(s.graph.num_nodes(), 1);
+    }
+
+    #[test]
+    fn single_projection_gets_no_stitch() {
+        // One neighbor covering the left end: no projection on both sides.
+        let a = wire(0, 0, 400, 0);
+        let b = wire(1, 0, 100, 100);
+        let s = insert_stitch_candidates(&[a, b], 120).unwrap();
+        assert!(s.graph.stitch_edges().is_empty());
+        assert_eq!(s.graph.conflict_edges().len(), 1);
+    }
+
+    #[test]
+    fn gap_between_projections_hosts_stitch() {
+        let long = wire(0, 0, 700, 0);
+        let left = wire(1, 0, 120, 100);
+        let right = wire(2, 580, 700, 100);
+        let s = insert_stitch_candidates(&[long, left, right], 120).unwrap();
+        assert_eq!(s.graph.stitch_edges().len(), 1);
+        assert_eq!(s.graph.num_nodes(), 4);
+        // Each subfeature conflicts only with its side's neighbor.
+        assert_eq!(s.graph.conflict_edges().len(), 2);
+    }
+
+    #[test]
+    fn stitch_resolves_conflict_chain() {
+        // Fig. 2-style case: splitting the middle wire makes the component
+        // 2-colorable at k = 2.
+        let long = wire(0, 0, 700, 0);
+        let left = wire(1, 0, 120, 100);
+        let right = wire(2, 580, 700, 100);
+        let s = insert_stitch_candidates(&[long, left, right], 120).unwrap();
+        // Color: left = 0, right = 1, long-left = 1, long-right = 0.
+        let g = &s.graph;
+        // Find subfeature nodes of feature 0.
+        let nodes0: Vec<u32> =
+            (0..g.num_nodes() as u32).filter(|&v| g.feature_of(v) == 0).collect();
+        assert_eq!(nodes0.len(), 2);
+        let mut coloring = vec![0u8; g.num_nodes()];
+        for v in 0..g.num_nodes() as u32 {
+            coloring[v as usize] = match g.feature_of(v) {
+                0 => {
+                    if v == nodes0[0] {
+                        1
+                    } else {
+                        0
+                    }
+                }
+                1 => 0,
+                _ => 1,
+            };
+        }
+        let cost = g.evaluate(&coloring, 0.1);
+        assert_eq!(cost.conflicts, 0);
+        assert_eq!(cost.stitches, 1);
+    }
+
+    #[test]
+    fn at_most_two_stitches_per_feature() {
+        // Many alternating neighbors above a very long wire.
+        let long = wire(0, 0, 3000, 0);
+        let mut feats = vec![long];
+        for (i, x) in (0..5).map(|i| (i, i * 600)).collect::<Vec<_>>() {
+            feats.push(wire(i as u32 + 1, x, x + 150, 100));
+        }
+        let s = insert_stitch_candidates(&feats, 120).unwrap();
+        let f0_nodes = (0..s.graph.num_nodes() as u32)
+            .filter(|&v| s.graph.feature_of(v) == 0)
+            .count();
+        assert!(f0_nodes <= MAX_STITCHES_PER_FEATURE + 1);
+        assert!(f0_nodes >= 2);
+    }
+
+    #[test]
+    fn subfeature_geometry_partitions_the_wire() {
+        let long = wire(0, 0, 700, 0);
+        let left = wire(1, 0, 120, 100);
+        let right = wire(2, 580, 700, 100);
+        let s = insert_stitch_candidates(&[long, left, right], 120).unwrap();
+        let parts: Vec<Rect> = (0..s.graph.num_nodes() as u32)
+            .filter(|&v| s.graph.feature_of(v) == 0)
+            .map(|v| s.subfeatures[v as usize])
+            .collect();
+        let area: i64 = parts.iter().map(Rect::area).sum();
+        assert_eq!(area, 700 * 40);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property test: the text interchange format round-trips arbitrary
+//! layouts exactly.
+
+use mpld_geometry::{Feature, Rect};
+use mpld_layout::{read_layout, write_layout, Layout};
+use proptest::prelude::*;
+
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    let rect = (-5000i64..5000, -5000i64..5000, 1i64..400, 1i64..400)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h));
+    let feature = prop::collection::vec(rect, 1..4);
+    (prop::collection::vec(feature, 1..30), 50i64..300).prop_map(|(feats, d)| Layout {
+        name: "prop".to_string(),
+        d,
+        features: feats
+            .into_iter()
+            .enumerate()
+            .map(|(i, rects)| Feature::new(i as u32, rects))
+            .collect(),
+    })
+}
+
+proptest! {
+    #[test]
+    fn write_read_round_trip(layout in arb_layout()) {
+        let mut buf = Vec::new();
+        write_layout(&layout, &mut buf).expect("write");
+        let back = read_layout(buf.as_slice()).expect("read");
+        prop_assert_eq!(back, layout);
+    }
+
+    #[test]
+    fn written_form_is_line_parseable(layout in arb_layout()) {
+        let mut buf = Vec::new();
+        write_layout(&layout, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        // Every non-comment line is one of the four verbs.
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            prop_assert!(
+                t.starts_with("layout ")
+                    || t.starts_with("feature ")
+                    || t.starts_with("rect ")
+                    || t == "end",
+                "unexpected line {t:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Canonical forms for small heterogeneous layout graphs.
+//!
+//! Two layout graphs are isomorphic iff a node bijection preserves both
+//! edge types (the feature partition is implied by the stitch edges). For
+//! the library sizes of interest (`n <= ~10`) we compute an exact
+//! canonical form: the lexicographically smallest typed edge list over all
+//! node permutations, pruned by degree-class ordering.
+
+use mpld_graph::{LayoutGraph, NodeId};
+
+/// A canonical key: graphs are isomorphic iff their keys are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalForm {
+    n: usize,
+    /// Sorted `(u, v, is_stitch)` triples under the canonical labeling.
+    edges: Vec<(u8, u8, bool)>,
+}
+
+/// Computes the canonical form of `g`.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 12 nodes (factorial blow-up guard).
+///
+/// # Example
+///
+/// ```
+/// use mpld_graph::LayoutGraph;
+/// use mpld_matching::canonical_form;
+///
+/// let a = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2)]).unwrap();
+/// let b = LayoutGraph::homogeneous(3, vec![(0, 2), (2, 1)]).unwrap();
+/// assert_eq!(canonical_form(&a), canonical_form(&b));
+/// ```
+pub fn canonical_form(g: &LayoutGraph) -> CanonicalForm {
+    let n = g.num_nodes();
+    assert!(n <= 12, "canonical form limited to 12 nodes");
+    if n == 0 {
+        return CanonicalForm { n: 0, edges: Vec::new() };
+    }
+
+    // Group nodes by invariant (conflict degree, stitch degree) and only
+    // permute within groups in class order — a sound pruning because any
+    // isomorphism preserves the invariant.
+    let class = |v: NodeId| (g.conflict_degree(v), g.stitch_neighbors(v).len());
+    let mut order: Vec<NodeId> = (0..n as u32).collect();
+    order.sort_by_key(|&v| class(v));
+
+    let mut best: Option<Vec<(u8, u8, bool)>> = None;
+    let mut perm = vec![0u8; n]; // perm[original] = canonical label
+    permute_classes(g, &order, 0, &mut perm, &mut vec![false; n], &mut best, &class);
+    CanonicalForm { n, edges: best.expect("at least one permutation") }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn permute_classes(
+    g: &LayoutGraph,
+    order: &[NodeId],
+    pos: usize,
+    perm: &mut Vec<u8>,
+    used: &mut Vec<bool>,
+    best: &mut Option<Vec<(u8, u8, bool)>>,
+    class: &dyn Fn(NodeId) -> (usize, usize),
+) {
+    let n = order.len();
+    if pos == n {
+        let mut edges: Vec<(u8, u8, bool)> = Vec::new();
+        for &(u, v) in g.conflict_edges() {
+            let (a, b) = (perm[u as usize], perm[v as usize]);
+            edges.push((a.min(b), a.max(b), false));
+        }
+        for &(u, v) in g.stitch_edges() {
+            let (a, b) = (perm[u as usize], perm[v as usize]);
+            edges.push((a.min(b), a.max(b), true));
+        }
+        edges.sort_unstable();
+        match best {
+            None => *best = Some(edges),
+            Some(b) => {
+                if edges < *b {
+                    *best = Some(edges);
+                }
+            }
+        }
+        return;
+    }
+    // The node receiving canonical label `pos` must come from the same
+    // invariant class as order[pos].
+    let want = class(order[pos]);
+    for &v in order {
+        if used[v as usize] || class(v) != want {
+            continue;
+        }
+        used[v as usize] = true;
+        perm[v as usize] = pos as u8;
+        permute_classes(g, order, pos + 1, perm, used, best, class);
+        used[v as usize] = false;
+    }
+}
+
+/// Whether two graphs are isomorphic (typed edges preserved), via
+/// canonical forms. Exact for graphs within the size guard.
+pub fn are_isomorphic(a: &LayoutGraph, b: &LayoutGraph) -> bool {
+    if a.num_nodes() != b.num_nodes()
+        || a.conflict_edges().len() != b.conflict_edges().len()
+        || a.stitch_edges().len() != b.stitch_edges().len()
+    {
+        return false;
+    }
+    canonical_form(a) == canonical_form(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabeled_triangle_matches() {
+        let a = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let b = LayoutGraph::homogeneous(4, vec![(3, 2), (2, 1), (3, 1), (1, 0)]).unwrap();
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn path_vs_star_differ() {
+        let path = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        let star = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(!are_isomorphic(&path, &star));
+    }
+
+    #[test]
+    fn edge_types_distinguish() {
+        let conflict = LayoutGraph::homogeneous(2, vec![(0, 1)]).unwrap();
+        let stitch = LayoutGraph::new(vec![0, 0], vec![], vec![(0, 1)]).unwrap();
+        assert!(!are_isomorphic(&conflict, &stitch));
+    }
+
+    #[test]
+    fn heterogeneous_relabeling_matches() {
+        // Feature {0,1} stitched; 2 conflicts with both.
+        let a = LayoutGraph::new(vec![0, 0, 1], vec![(0, 2), (1, 2)], vec![(0, 1)]).unwrap();
+        let b = LayoutGraph::new(vec![1, 0, 0], vec![(1, 0), (2, 0)], vec![(1, 2)]).unwrap();
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn canonical_is_invariant_under_relabeling() {
+        use rand::rngs::SmallRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..7usize);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.5) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = LayoutGraph::homogeneous(n, edges.clone()).unwrap();
+            let mut relabel: Vec<u32> = (0..n as u32).collect();
+            relabel.shuffle(&mut rng);
+            let edges2: Vec<(u32, u32)> = edges
+                .iter()
+                .map(|&(u, v)| (relabel[u as usize], relabel[v as usize]))
+                .collect();
+            let h = LayoutGraph::homogeneous(n, edges2).unwrap();
+            assert_eq!(canonical_form(&g), canonical_form(&h));
+        }
+    }
+
+    #[test]
+    fn empty_graph_canonical() {
+        let g = LayoutGraph::homogeneous(0, vec![]).unwrap();
+        assert_eq!(canonical_form(&g), canonical_form(&g));
+    }
+}

@@ -1,0 +1,397 @@
+//! The isomorphism-free graph library and embedding-based matching
+//! (Algorithm 2 and Section IV-D-1 of the paper).
+//!
+//! Offline, [`GraphLibrary::build`] enumerates every valid small parent
+//! graph and its stitch variants, uses normalized RGCN graph embeddings to
+//! skip isomorphic duplicates (`max(Lh · h) ≈ 1` ⇒ already stored), and
+//! stores each new graph with its optimal ILP decomposition and node
+//! embeddings.
+//!
+//! Online, [`GraphLibrary::lookup`] embeds the target graph, finds the
+//! entry with unit dot product, derives the node-to-node mapping by
+//! comparing node embeddings (falling back to exact search on ties), and
+//! transfers the stored optimal coloring through the mapping — after
+//! verifying the mapping really is an isomorphism, so a false embedding
+//! match can never produce a wrong decomposition.
+
+use crate::canon::{canonical_form, CanonicalForm};
+use crate::enumerate::{enumerate_parent_graphs, enumerate_stitch_variants};
+use crate::vf2::{find_isomorphism, full_candidates};
+use mpld_gnn::RgcnClassifier;
+use mpld_graph::{CostBreakdown, DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_ilp::IlpDecomposer;
+use mpld_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Library construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct LibraryConfig {
+    /// Largest parent (non-stitch) graph size enumerated (paper: < 7).
+    pub max_parent_size: usize,
+    /// Maximum nodes split per stitch variant.
+    pub max_splits: usize,
+    /// Hard cap on stored graph size (after splitting).
+    pub max_nodes: usize,
+    /// Whether to enumerate stitch variants at all.
+    pub stitches: bool,
+}
+
+impl Default for LibraryConfig {
+    fn default() -> Self {
+        LibraryConfig { max_parent_size: 6, max_splits: 1, max_nodes: 7, stitches: true }
+    }
+}
+
+/// One stored graph with its embeddings and optimal solution.
+#[derive(Debug, Clone)]
+pub struct LibraryEntry {
+    /// The stored graph.
+    pub graph: LayoutGraph,
+    /// L2-normalized graph embedding.
+    pub embedding: Vec<f32>,
+    /// Node embeddings (`n x D`), used for node-to-node mapping.
+    pub node_embeddings: Matrix,
+    /// Optimal coloring from the ILP decomposer.
+    pub solution: Vec<u8>,
+    /// Cost of `solution`.
+    pub cost: CostBreakdown,
+}
+
+/// Statistics gathered during construction and lookup.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LibraryStats {
+    /// Graphs skipped because an isomorphic entry existed.
+    pub duplicates_skipped: usize,
+    /// Isomorphic duplicates the embedding test failed to flag
+    /// (`max(Lh · h) < 1` although an isomorphic entry existed). Must be
+    /// zero — RGCN embeddings are permutation invariant, so this validates
+    /// the paper's dedup rule.
+    pub embedding_missed_duplicates: usize,
+    /// Distinct (non-isomorphic) graphs whose embeddings collided with a
+    /// stored entry. Collisions are harmless: the exact canonical check
+    /// arbitrates during construction and lookups verify every mapping.
+    pub embedding_collisions: usize,
+}
+
+/// The graph library (see module docs).
+#[derive(Debug)]
+pub struct GraphLibrary {
+    entries: Vec<LibraryEntry>,
+    /// Exact canonical index (ground truth behind the embedding index).
+    canon_index: HashMap<CanonicalForm, usize>,
+    max_nodes: usize,
+    stats: LibraryStats,
+}
+
+impl GraphLibrary {
+    /// Builds the library per Algorithm 2 using `embedder` for graph
+    /// embeddings and the exact ILP engine for solutions.
+    pub fn build(
+        embedder: &mut RgcnClassifier,
+        cfg: &LibraryConfig,
+        params: &DecomposeParams,
+    ) -> GraphLibrary {
+        let mut lib = GraphLibrary {
+            entries: Vec::new(),
+            canon_index: HashMap::new(),
+            max_nodes: cfg.max_nodes,
+            stats: LibraryStats::default(),
+        };
+        let parents = enumerate_parent_graphs(cfg.max_parent_size.min(cfg.max_nodes), params.k);
+        for parent in &parents {
+            lib.insert_graph(embedder, params, parent.clone());
+            if cfg.stitches {
+                for variant in
+                    enumerate_stitch_variants(parent, cfg.max_splits, cfg.max_nodes)
+                {
+                    lib.insert_graph(embedder, params, variant);
+                }
+            }
+        }
+        lib
+    }
+
+    /// Inserts `graph` unless an isomorphic entry exists (Algorithm 2
+    /// lines 7–12). Returns `true` when the graph was stored. The optimal
+    /// solution is computed with the exact ILP engine.
+    pub fn insert_graph(
+        &mut self,
+        embedder: &mut RgcnClassifier,
+        params: &DecomposeParams,
+        graph: LayoutGraph,
+    ) -> bool {
+        let ilp = IlpDecomposer::new();
+        let canon = canonical_form(&graph);
+        let embedding = normalize(embedder.graph_embedding(&graph));
+        // The paper's dedup: max dot with stored embeddings == 1.
+        let embedding_dup = self
+            .entries
+            .iter()
+            .any(|e| dot(&e.embedding, &embedding) > 1.0 - 1e-5);
+        let exact_dup = self.canon_index.contains_key(&canon);
+        if exact_dup && !embedding_dup {
+            self.stats.embedding_missed_duplicates += 1;
+        }
+        if embedding_dup && !exact_dup {
+            self.stats.embedding_collisions += 1;
+        }
+        if exact_dup {
+            self.stats.duplicates_skipped += 1;
+            return false;
+        }
+        let node_embeddings = embedder.node_embeddings(&graph);
+        let d = ilp.decompose(&graph, params);
+        self.canon_index.insert(canon, self.entries.len());
+        self.entries.push(LibraryEntry {
+            graph,
+            embedding,
+            node_embeddings,
+            solution: d.coloring,
+            cost: d.cost,
+        });
+        true
+    }
+
+    /// Number of stored graphs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored entries.
+    pub fn entries(&self) -> &[LibraryEntry] {
+        &self.entries
+    }
+
+    /// Construction/lookup statistics.
+    pub fn stats(&self) -> LibraryStats {
+        self.stats
+    }
+
+    /// The size cap; larger graphs are never matched.
+    pub fn max_nodes(&self) -> usize {
+        self.max_nodes
+    }
+
+    /// Attempts to decompose `graph` by matching it against the library.
+    ///
+    /// Returns the transferred optimal decomposition, or `None` when the
+    /// graph is too large, not in the library, or the mapping could not be
+    /// verified.
+    pub fn lookup(
+        &self,
+        embedder: &mut RgcnClassifier,
+        graph: &LayoutGraph,
+    ) -> Option<Decomposition> {
+        if graph.num_nodes() == 0 || graph.num_nodes() > self.max_nodes {
+            return None;
+        }
+        let h = embedder.graph_embedding(graph);
+        let u = embedder.node_embeddings(graph);
+        self.lookup_with_embeddings(graph, &h, &u)
+    }
+
+    /// Like [`GraphLibrary::lookup`], but with the graph and node
+    /// embeddings already computed (e.g. by batched inference). The graph
+    /// embedding need not be normalized.
+    pub fn lookup_with_embeddings(
+        &self,
+        graph: &LayoutGraph,
+        graph_embedding: &[f32],
+        node_embeddings: &Matrix,
+    ) -> Option<Decomposition> {
+        if graph.num_nodes() == 0 || graph.num_nodes() > self.max_nodes {
+            return None;
+        }
+        let h = normalize(graph_embedding.to_vec());
+        // arg max over stored embeddings (Eq. 10).
+        let mut candidates: Vec<usize> = (0..self.entries.len())
+            .filter(|&i| dot(&self.entries[i].embedding, &h) > 1.0 - 1e-4)
+            .collect();
+        // Cheap structural prefilter.
+        candidates.retain(|&i| {
+            let e = &self.entries[i];
+            e.graph.num_nodes() == graph.num_nodes()
+                && e.graph.conflict_edges().len() == graph.conflict_edges().len()
+                && e.graph.stitch_edges().len() == graph.stitch_edges().len()
+        });
+        if candidates.is_empty() {
+            return None;
+        }
+        let u = node_embeddings;
+        for &i in &candidates {
+            let entry = &self.entries[i];
+            // Candidate images per node by embedding proximity (Eq. 11).
+            let mut lists: Vec<Vec<u32>> = Vec::with_capacity(graph.num_nodes());
+            let mut degenerate = false;
+            for j in 0..graph.num_nodes() {
+                let row = u.row(j);
+                let scale = 1.0 + row.iter().map(|x| x.abs()).sum::<f32>();
+                let mut cand = Vec::new();
+                for k in 0..entry.graph.num_nodes() {
+                    let dist: f32 = row
+                        .iter()
+                        .zip(entry.node_embeddings.row(k))
+                        .map(|(a, b)| (a - b).abs())
+                        .sum();
+                    if dist < 1e-3 * scale {
+                        cand.push(k as u32);
+                    }
+                }
+                if cand.is_empty() {
+                    degenerate = true;
+                    break;
+                }
+                lists.push(cand);
+            }
+            let mapping = if degenerate {
+                find_isomorphism(graph, &entry.graph, &full_candidates(graph, &entry.graph))
+            } else {
+                find_isomorphism(graph, &entry.graph, &lists).or_else(|| {
+                    find_isomorphism(graph, &entry.graph, &full_candidates(graph, &entry.graph))
+                })
+            };
+            if let Some(m) = mapping {
+                // Transfer the stored solution (Eq. 12).
+                let coloring: Vec<u8> =
+                    (0..graph.num_nodes()).map(|j| entry.solution[m[j] as usize]).collect();
+                let cost = graph.evaluate(&coloring, 0.1);
+                debug_assert_eq!(cost, entry.cost, "verified mapping must preserve cost");
+                return Some(Decomposition { coloring, cost });
+            }
+        }
+        None
+    }
+}
+
+fn normalize(mut v: Vec<f32>) -> Vec<f32> {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpld_ilp::brute_force;
+    use rand::rngs::SmallRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn small_library() -> (GraphLibrary, RgcnClassifier) {
+        let mut embedder = RgcnClassifier::selector(0xAB);
+        let cfg = LibraryConfig { max_parent_size: 5, max_splits: 1, max_nodes: 6, stitches: true };
+        let lib = GraphLibrary::build(&mut embedder, &cfg, &DecomposeParams::tpl());
+        (lib, embedder)
+    }
+
+    #[test]
+    fn library_contains_parents_and_variants() {
+        let (lib, _) = small_library();
+        // 4 parents (K4 + three 5-node graphs) plus stitch variants.
+        let parents = lib.entries().iter().filter(|e| !e.graph.has_stitches()).count();
+        assert_eq!(parents, 4);
+        assert!(lib.len() > parents);
+    }
+
+    #[test]
+    fn solutions_are_optimal() {
+        let (lib, _) = small_library();
+        let p = DecomposeParams::tpl();
+        for e in lib.entries().iter().take(20) {
+            let bf = brute_force(&e.graph, &p);
+            assert_eq!(e.cost.value(0.1), bf.cost.value(0.1));
+        }
+    }
+
+    #[test]
+    fn embedding_never_misses_a_duplicate() {
+        let (mut lib, mut embedder) = small_library();
+        // Permutation invariance: every isomorphic duplicate is flagged.
+        assert_eq!(lib.stats().embedding_missed_duplicates, 0);
+        // Re-inserting a relabeled copy of a stored graph must be skipped.
+        let e = lib.entries()[0].graph.clone();
+        let n = e.num_nodes() as u32;
+        let relabel: Vec<u32> = (0..n).map(|v| (v + 1) % n).collect();
+        let ce = e
+            .conflict_edges()
+            .iter()
+            .map(|&(a, b)| (relabel[a as usize], relabel[b as usize]))
+            .collect();
+        let g = LayoutGraph::homogeneous(e.num_nodes(), ce).expect("relabeled copy");
+        let before = lib.len();
+        assert!(!lib.insert_graph(&mut embedder, &DecomposeParams::tpl(), g));
+        assert_eq!(lib.len(), before);
+        assert_eq!(lib.stats().duplicates_skipped, 1);
+        assert_eq!(lib.stats().embedding_missed_duplicates, 0);
+    }
+
+    #[test]
+    fn lookup_matches_relabeled_entries() {
+        let (lib, mut embedder) = small_library();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut matched = 0;
+        for e in lib.entries().iter().take(15) {
+            // Relabel the stored graph randomly and look it up.
+            let n = e.graph.num_nodes();
+            let mut relabel: Vec<u32> = (0..n as u32).collect();
+            relabel.shuffle(&mut rng);
+            let feat: Vec<u32> = {
+                // Features must follow stitch components: remap densely.
+                let mut feats = vec![0u32; n];
+                for v in 0..n {
+                    feats[relabel[v] as usize] = e.graph.feature_of(v as u32);
+                }
+                feats
+            };
+            let ce: Vec<(u32, u32)> = e
+                .graph
+                .conflict_edges()
+                .iter()
+                .map(|&(a, b)| (relabel[a as usize], relabel[b as usize]))
+                .collect();
+            let se: Vec<(u32, u32)> = e
+                .graph
+                .stitch_edges()
+                .iter()
+                .map(|&(a, b)| (relabel[a as usize], relabel[b as usize]))
+                .collect();
+            let g = LayoutGraph::new(feat, ce, se).expect("relabeling is valid");
+            let d = lib.lookup(&mut embedder, &g).expect("isomorphic entry must match");
+            assert_eq!(d.cost, e.cost);
+            // The transferred coloring must be valid for g.
+            assert_eq!(g.evaluate(&d.coloring, 0.1), e.cost);
+            matched += 1;
+        }
+        assert_eq!(matched, 15);
+    }
+
+    #[test]
+    fn lookup_rejects_unknown_graphs() {
+        let (lib, mut embedder) = small_library();
+        // A 4-cycle: min degree 2 < 3, never enumerated.
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(lib.lookup(&mut embedder, &g).is_none());
+    }
+
+    #[test]
+    fn lookup_respects_size_cap() {
+        let (lib, mut embedder) = small_library();
+        let n = lib.max_nodes() + 1;
+        let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let g = LayoutGraph::homogeneous(n, edges).unwrap();
+        assert!(lib.lookup(&mut embedder, &g).is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Backtracking graph isomorphism (VF2-style) for small typed graphs.
+//!
+//! Used as the exact fallback when embedding-based node matching is
+//! ambiguous, and by tests as ground truth. Candidate lists can be
+//! restricted by the caller (e.g. to embedding-similar nodes), which turns
+//! the search into the paper's embedding-guided mapping with exact
+//! verification.
+
+use mpld_graph::{LayoutGraph, NodeId};
+
+/// Finds a node bijection `f: a -> b` preserving conflict edges, stitch
+/// edges, and non-edges. `candidates[u]` restricts the images of `u`
+/// (pass full ranges for unrestricted search).
+///
+/// Returns `None` when no isomorphism respects the candidate lists.
+///
+/// # Panics
+///
+/// Panics if `candidates.len() != a.num_nodes()`.
+pub fn find_isomorphism(
+    a: &LayoutGraph,
+    b: &LayoutGraph,
+    candidates: &[Vec<NodeId>],
+) -> Option<Vec<NodeId>> {
+    assert_eq!(candidates.len(), a.num_nodes(), "one candidate list per node");
+    if a.num_nodes() != b.num_nodes()
+        || a.conflict_edges().len() != b.conflict_edges().len()
+        || a.stitch_edges().len() != b.stitch_edges().len()
+    {
+        return None;
+    }
+    let n = a.num_nodes();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Order nodes by ascending candidate count (most constrained first).
+    let mut order: Vec<NodeId> = (0..n as u32).collect();
+    order.sort_by_key(|&v| candidates[v as usize].len());
+
+    let mut mapping = vec![u32::MAX; n];
+    let mut used = vec![false; n];
+    if backtrack(a, b, &order, 0, candidates, &mut mapping, &mut used) {
+        Some(mapping)
+    } else {
+        None
+    }
+}
+
+fn compatible(a: &LayoutGraph, b: &LayoutGraph, u: NodeId, bu: NodeId, mapping: &[u32]) -> bool {
+    if a.conflict_degree(u) != b.conflict_degree(bu)
+        || a.stitch_neighbors(u).len() != b.stitch_neighbors(bu).len()
+    {
+        return false;
+    }
+    // Every already-mapped neighbor must map to a matching-typed neighbor.
+    for &w in a.conflict_neighbors(u) {
+        let bw = mapping[w as usize];
+        if bw != u32::MAX && !b.conflict_neighbors(bu).contains(&bw) {
+            return false;
+        }
+    }
+    for &w in a.stitch_neighbors(u) {
+        let bw = mapping[w as usize];
+        if bw != u32::MAX && !b.stitch_neighbors(bu).contains(&bw) {
+            return false;
+        }
+    }
+    // And non-edges must stay non-edges (counts are equal, so checking
+    // mapped neighbors of bu in reverse suffices).
+    for &bw in b.conflict_neighbors(bu) {
+        if let Some(w) = mapping.iter().position(|&m| m == bw) {
+            if !a.conflict_neighbors(u).contains(&(w as u32)) {
+                return false;
+            }
+        }
+    }
+    for &bw in b.stitch_neighbors(bu) {
+        if let Some(w) = mapping.iter().position(|&m| m == bw) {
+            if !a.stitch_neighbors(u).contains(&(w as u32)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn backtrack(
+    a: &LayoutGraph,
+    b: &LayoutGraph,
+    order: &[NodeId],
+    pos: usize,
+    candidates: &[Vec<NodeId>],
+    mapping: &mut Vec<u32>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if pos == order.len() {
+        return true;
+    }
+    let u = order[pos];
+    for &bu in &candidates[u as usize] {
+        if used[bu as usize] || !compatible(a, b, u, bu, mapping) {
+            continue;
+        }
+        mapping[u as usize] = bu;
+        used[bu as usize] = true;
+        if backtrack(a, b, order, pos + 1, candidates, mapping, used) {
+            return true;
+        }
+        mapping[u as usize] = u32::MAX;
+        used[bu as usize] = false;
+    }
+    false
+}
+
+/// Unrestricted candidate lists (every node of `b` allowed).
+pub fn full_candidates(a: &LayoutGraph, b: &LayoutGraph) -> Vec<Vec<NodeId>> {
+    vec![(0..b.num_nodes() as u32).collect(); a.num_nodes()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_triangle_mapping() {
+        let a = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let b = LayoutGraph::homogeneous(3, vec![(2, 1), (1, 0), (2, 0)]).unwrap();
+        let cands = full_candidates(&a, &b);
+        let m = find_isomorphism(&a, &b, &cands).expect("triangles are isomorphic");
+        // Verify the mapping preserves edges.
+        for &(u, v) in a.conflict_edges() {
+            let (bu, bv) = (m[u as usize], m[v as usize]);
+            assert!(b.conflict_neighbors(bu).contains(&bv));
+        }
+    }
+
+    #[test]
+    fn rejects_non_isomorphic() {
+        let path = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        let star = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3)]).unwrap();
+        let cands = full_candidates(&path, &star);
+        assert!(find_isomorphism(&path, &star, &cands).is_none());
+    }
+
+    #[test]
+    fn respects_candidate_restrictions() {
+        let a = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let b = a.clone();
+        // Force node 0 -> 1.
+        let cands = vec![vec![1], vec![0, 1, 2], vec![0, 1, 2]];
+        let m = find_isomorphism(&a, &b, &cands).expect("triangle automorphism exists");
+        assert_eq!(m[0], 1);
+    }
+
+    #[test]
+    fn stitch_types_must_match() {
+        let a = LayoutGraph::new(vec![0, 0, 1], vec![(0, 2), (1, 2)], vec![(0, 1)]).unwrap();
+        let b = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let cands = full_candidates(&a, &b);
+        assert!(find_isomorphism(&a, &b, &cands).is_none());
+    }
+
+    #[test]
+    fn empty_graphs_match_trivially() {
+        let a = LayoutGraph::homogeneous(0, vec![]).unwrap();
+        let m = find_isomorphism(&a, &a, &[]).expect("empty matches");
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,935 @@
+//! Tape-based reverse-mode automatic differentiation over [`Matrix`]
+//! values.
+//!
+//! A [`Graph`] records every forward operation; [`Graph::backward`]
+//! replays the tape in reverse, accumulating gradients. The operation set
+//! is exactly what the MPLD networks need: dense linear algebra, ReLU,
+//! sparse neighbor aggregation, sum/max readouts, softmax cross-entropy,
+//! and the pairwise margin loss that trains ColorGNN.
+
+use crate::Matrix;
+use std::sync::Arc;
+
+/// Handle to a value in the autodiff graph.
+pub type VarId = usize;
+
+/// Sparse adjacency used by [`Graph::agg_sum`]: `fwd[i]` lists the rows
+/// summed into output row `i`. The reverse lists are derived on
+/// construction so backprop is a plain re-aggregation.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    fwd: Vec<Vec<u32>>,
+    rev: Vec<Vec<u32>>,
+}
+
+impl Adjacency {
+    /// Builds an adjacency over `n` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbor index is out of range.
+    pub fn new(fwd: Vec<Vec<u32>>) -> Self {
+        let n = fwd.len();
+        let mut rev = vec![Vec::new(); n];
+        for (i, ns) in fwd.iter().enumerate() {
+            for &j in ns {
+                assert!((j as usize) < n, "neighbor index out of range");
+                rev[j as usize].push(i as u32);
+            }
+        }
+        Adjacency { fwd, rev }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Whether the adjacency is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+}
+
+enum Op {
+    Leaf,
+    /// C = A * B.
+    MatMul(VarId, VarId),
+    /// C = A + B (same shape).
+    Add(VarId, VarId),
+    /// C = A + row-broadcast b (1 x d).
+    AddRow(VarId, VarId),
+    /// C = relu(A).
+    Relu(VarId),
+    /// C = s * A for a constant s.
+    ScaleConst(VarId, f32),
+    /// C = scalar-var * A (scalar is a 1 x 1 var).
+    ScaleByScalar(VarId, VarId),
+    /// C[i] = sum_{j in adj[i]} A[j].
+    AggSum(VarId, Arc<Adjacency>),
+    /// 1 x d row: sum of all rows of A.
+    SumRows(VarId),
+    /// 1 x d row: column-wise max of A; remembers argmax rows.
+    MaxRows(VarId, Vec<u32>),
+    /// k x d: per-segment row sums (`seg[r]` = output row of input row r).
+    SegmentSum(VarId, Arc<Vec<u32>>),
+    /// k x d: per-segment column-wise max; remembers argmax rows.
+    SegmentMax(VarId, Vec<u32>),
+    /// Row-wise L2 normalization; caches the row norms.
+    RowNormalize(VarId, Vec<f32>),
+    /// Scalar: mean softmax cross-entropy of logits (n x C) vs labels.
+    SoftmaxCrossEntropy(VarId, Arc<Vec<u8>>, Matrix),
+    /// Scalar: sum over edges of max(margin - ||x_u - x_v||^2, 0).
+    MarginPairLoss(VarId, Arc<Vec<(u32, u32)>>, f32),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Option<Matrix>,
+    needs_grad: bool,
+}
+
+/// The autodiff tape (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use mpld_tensor::{Graph, Matrix};
+///
+/// let mut g = Graph::new();
+/// let x = g.param(Matrix::from_rows(&[&[2.0]]));
+/// let y = g.scale_const(x, 3.0); // y = 3x
+/// g.backward(y);
+/// assert_eq!(g.grad(x).scalar(), 3.0);
+/// ```
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> VarId {
+        self.nodes.push(Node { op, value, grad: None, needs_grad });
+        self.nodes.len() - 1
+    }
+
+    /// Inserts a constant input (no gradient is tracked).
+    pub fn input(&mut self, value: Matrix) -> VarId {
+        self.push(Op::Leaf, value, false)
+    }
+
+    /// Inserts a trainable leaf (gradient is accumulated).
+    pub fn param(&mut self, value: Matrix) -> VarId {
+        self.push(Op::Leaf, value, true)
+    }
+
+    /// The current value of `id`.
+    pub fn value(&self, id: VarId) -> &Matrix {
+        &self.nodes[id].value
+    }
+
+    /// The gradient of the last [`Graph::backward`] target w.r.t. `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no gradient was computed for `id` (not reachable from the
+    /// loss, or `backward` not called).
+    pub fn grad(&self, id: VarId) -> &Matrix {
+        self.nodes[id]
+            .grad
+            .as_ref()
+            .expect("gradient not computed; call backward on a reachable loss first")
+    }
+
+    /// The gradient of `id`, or `None` when `id` was not reached by the
+    /// last backward pass.
+    pub fn try_grad(&self, id: VarId) -> Option<&Matrix> {
+        self.nodes[id].grad.as_ref()
+    }
+
+    fn needs(&self, id: VarId) -> bool {
+        self.nodes[id].needs_grad
+    }
+
+    /// `a * b`.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.matmul(&self.nodes[b].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::MatMul(a, b), v, ng)
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let mut v = self.nodes[a].value.clone();
+        v.add_assign(&self.nodes[b].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Add(a, b), v, ng)
+    }
+
+    /// `a + bias` broadcasting the `1 x d` bias over rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x a.cols`.
+    pub fn add_row(&mut self, a: VarId, bias: VarId) -> VarId {
+        let b = &self.nodes[bias].value;
+        assert_eq!(b.rows(), 1, "bias must be a single row");
+        let a_val = &self.nodes[a].value;
+        assert_eq!(b.cols(), a_val.cols(), "bias width mismatch");
+        let mut v = a_val.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                v[(r, c)] += b[(0, c)];
+            }
+        }
+        let ng = self.needs(a) || self.needs(bias);
+        self.push(Op::AddRow(a, bias), v, ng)
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let mut v = self.nodes[a].value.clone();
+        for x in v.as_mut_slice() {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(Op::Relu(a), v, ng)
+    }
+
+    /// `s * a` for a constant scalar.
+    pub fn scale_const(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.nodes[a].value.scaled(s);
+        let ng = self.needs(a);
+        self.push(Op::ScaleConst(a, s), v, ng)
+    }
+
+    /// `scalar * a` where `scalar` is a trainable `1 x 1` variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalar` is not `1 x 1`.
+    pub fn scale_by_scalar(&mut self, a: VarId, scalar: VarId) -> VarId {
+        let s = self.nodes[scalar].value.scalar();
+        let v = self.nodes[a].value.scaled(s);
+        let ng = self.needs(a) || self.needs(scalar);
+        self.push(Op::ScaleByScalar(a, scalar), v, ng)
+    }
+
+    /// Sparse neighbor aggregation: `out[i] = sum_{j in adj[i]} a[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adj.len() != a.rows()`.
+    pub fn agg_sum(&mut self, a: VarId, adj: Arc<Adjacency>) -> VarId {
+        let x = &self.nodes[a].value;
+        assert_eq!(adj.len(), x.rows(), "adjacency size mismatch");
+        let mut v = Matrix::zeros(x.rows(), x.cols());
+        for (i, ns) in adj.fwd.iter().enumerate() {
+            for &j in ns {
+                let row = x.row(j as usize).to_vec();
+                for (c, val) in row.iter().enumerate() {
+                    v[(i, c)] += val;
+                }
+            }
+        }
+        let ng = self.needs(a);
+        self.push(Op::AggSum(a, adj), v, ng)
+    }
+
+    /// Graph readout: `1 x d` sum of all rows.
+    pub fn sum_rows(&mut self, a: VarId) -> VarId {
+        let x = &self.nodes[a].value;
+        let mut v = Matrix::zeros(1, x.cols());
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                v[(0, c)] += x[(r, c)];
+            }
+        }
+        let ng = self.needs(a);
+        self.push(Op::SumRows(a), v, ng)
+    }
+
+    /// Graph readout: `1 x d` column-wise max of all rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has no rows.
+    pub fn max_rows(&mut self, a: VarId) -> VarId {
+        let x = &self.nodes[a].value;
+        assert!(x.rows() > 0, "max over zero rows");
+        let mut v = Matrix::zeros(1, x.cols());
+        let mut arg = vec![0u32; x.cols()];
+        for c in 0..x.cols() {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..x.rows() {
+                if x[(r, c)] > best {
+                    best = x[(r, c)];
+                    arg[c] = r as u32;
+                }
+            }
+            v[(0, c)] = best;
+        }
+        let ng = self.needs(a);
+        self.push(Op::MaxRows(a, arg), v, ng)
+    }
+
+    /// Batched graph readout: `out[s] = sum of rows r with seg[r] == s`,
+    /// producing a `num_segments x d` matrix. Used to pool node embeddings
+    /// of a disjoint union of graphs into per-graph embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg.len() != a.rows()` or a segment id is
+    /// `>= num_segments`.
+    pub fn segment_sum(&mut self, a: VarId, seg: Vec<u32>, num_segments: usize) -> VarId {
+        let x = &self.nodes[a].value;
+        assert_eq!(seg.len(), x.rows(), "one segment id per row");
+        assert!(
+            seg.iter().all(|&s| (s as usize) < num_segments),
+            "segment id out of range"
+        );
+        let mut v = Matrix::zeros(num_segments, x.cols());
+        for (r, &s) in seg.iter().enumerate() {
+            for c in 0..x.cols() {
+                v[(s as usize, c)] += x[(r, c)];
+            }
+        }
+        let ng = self.needs(a);
+        self.push(Op::SegmentSum(a, Arc::new(seg)), v, ng)
+    }
+
+    /// Batched max readout: `out[s]` is the column-wise max over rows with
+    /// `seg[r] == s`. Every segment must be non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length/range mismatch or an empty segment.
+    pub fn segment_max(&mut self, a: VarId, seg: Vec<u32>, num_segments: usize) -> VarId {
+        let x = &self.nodes[a].value;
+        assert_eq!(seg.len(), x.rows(), "one segment id per row");
+        assert!(
+            seg.iter().all(|&s| (s as usize) < num_segments),
+            "segment id out of range"
+        );
+        let mut v = Matrix::zeros(num_segments, x.cols());
+        for e in v.as_mut_slice() {
+            *e = f32::NEG_INFINITY;
+        }
+        let mut arg = vec![u32::MAX; num_segments * x.cols()];
+        for (r, &s) in seg.iter().enumerate() {
+            for c in 0..x.cols() {
+                if x[(r, c)] > v[(s as usize, c)] {
+                    v[(s as usize, c)] = x[(r, c)];
+                    arg[s as usize * x.cols() + c] = r as u32;
+                }
+            }
+        }
+        assert!(arg.iter().all(|&r| r != u32::MAX), "empty segment in segment_max");
+        let ng = self.needs(a);
+        self.push(Op::SegmentMax(a, arg), v, ng)
+    }
+
+    /// Row-wise L2 normalization: `y_r = x_r / max(||x_r||, eps)`. Makes
+    /// downstream losses scale-invariant (used by the ColorGNN margin
+    /// loss so belief magnitudes cannot trivially satisfy the margin).
+    pub fn row_l2_normalize(&mut self, a: VarId) -> VarId {
+        let x = &self.nodes[a].value;
+        let mut v = x.clone();
+        let mut norms = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let norm = x.row(r).iter().map(|&e| e * e).sum::<f32>().sqrt().max(1e-6);
+            norms.push(norm);
+            for c in 0..x.cols() {
+                v[(r, c)] /= norm;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(Op::RowNormalize(a, norms), v, ng)
+    }
+
+    /// Mean softmax cross-entropy between `logits` (`n x C`) and integer
+    /// `labels` (`n` entries `< C`). Returns a `1 x 1` loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != logits.rows()` or a label is out of range.
+    pub fn softmax_cross_entropy(&mut self, logits: VarId, labels: Vec<u8>) -> VarId {
+        let x = &self.nodes[logits].value;
+        let (n, c) = (x.rows(), x.cols());
+        assert_eq!(labels.len(), n, "one label per row");
+        assert!(labels.iter().all(|&l| (l as usize) < c), "label out of range");
+        // Cache softmax probabilities for the backward pass.
+        let mut probs = Matrix::zeros(n, c);
+        let mut loss = 0.0f32;
+        for r in 0..n {
+            let row = x.row(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut z = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - max).exp();
+                probs[(r, j)] = e;
+                z += e;
+            }
+            for j in 0..c {
+                probs[(r, j)] /= z;
+            }
+            loss -= probs[(r, labels[r] as usize)].max(1e-12).ln();
+        }
+        loss /= n.max(1) as f32;
+        let ng = self.needs(logits);
+        self.push(
+            Op::SoftmaxCrossEntropy(logits, Arc::new(labels), probs),
+            Matrix::from_vec(1, 1, vec![loss]),
+            ng,
+        )
+    }
+
+    /// Softmax probabilities of `logits` (`n x C`), computed outside the
+    /// tape (no gradient).
+    pub fn softmax_values(&self, logits: VarId) -> Matrix {
+        let x = &self.nodes[logits].value;
+        let (n, c) = (x.rows(), x.cols());
+        let mut probs = Matrix::zeros(n, c);
+        for r in 0..n {
+            let row = x.row(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut z = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - max).exp();
+                probs[(r, j)] = e;
+                z += e;
+            }
+            for j in 0..c {
+                probs[(r, j)] /= z;
+            }
+        }
+        probs
+    }
+
+    /// The ColorGNN margin loss (Eq. 14): for each edge `(u, v)`,
+    /// `max(margin - ||x_u - x_v||^2, 0)`, summed. Returns a `1 x 1` loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range.
+    pub fn margin_pair_loss(
+        &mut self,
+        x: VarId,
+        edges: Vec<(u32, u32)>,
+        margin: f32,
+    ) -> VarId {
+        let m = &self.nodes[x].value;
+        let mut loss = 0.0f32;
+        for &(u, v) in &edges {
+            assert!((u as usize) < m.rows() && (v as usize) < m.rows(), "edge out of range");
+            let d2: f32 = m
+                .row(u as usize)
+                .iter()
+                .zip(m.row(v as usize))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            loss += (margin - d2).max(0.0);
+        }
+        let ng = self.needs(x);
+        self.push(
+            Op::MarginPairLoss(x, Arc::new(edges), margin),
+            Matrix::from_vec(1, 1, vec![loss]),
+            ng,
+        )
+    }
+
+    fn accumulate(&mut self, id: VarId, delta: Matrix) {
+        let node = &mut self.nodes[id];
+        match &mut node.grad {
+            Some(g) => g.add_assign(&delta),
+            None => node.grad = Some(delta),
+        }
+    }
+
+    /// Backpropagates from the `1 x 1` loss variable, filling gradients of
+    /// all reachable variables that need them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&mut self, loss: VarId) {
+        assert_eq!(
+            (self.nodes[loss].value.rows(), self.nodes[loss].value.cols()),
+            (1, 1),
+            "backward target must be a scalar"
+        );
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[loss].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for id in (0..self.nodes.len()).rev() {
+            if self.nodes[id].grad.is_none() || !self.nodes[id].needs_grad {
+                continue;
+            }
+            let grad = self.nodes[id].grad.clone().expect("checked above");
+            // Dispatch per op. Values are cloned where the borrow checker
+            // needs it; matrices are small.
+            match &self.nodes[id].op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    if self.needs(a) {
+                        let d = grad.matmul_nt(&self.nodes[b].value);
+                        self.accumulate(a, d);
+                    }
+                    if self.needs(b) {
+                        let d = self.nodes[a].value.matmul_tn(&grad);
+                        self.accumulate(b, d);
+                    }
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    if self.needs(a) {
+                        self.accumulate(a, grad.clone());
+                    }
+                    if self.needs(b) {
+                        self.accumulate(b, grad);
+                    }
+                }
+                Op::AddRow(a, bias) => {
+                    let (a, bias) = (*a, *bias);
+                    if self.needs(bias) {
+                        let mut d = Matrix::zeros(1, grad.cols());
+                        for r in 0..grad.rows() {
+                            for c in 0..grad.cols() {
+                                d[(0, c)] += grad[(r, c)];
+                            }
+                        }
+                        self.accumulate(bias, d);
+                    }
+                    if self.needs(a) {
+                        self.accumulate(a, grad);
+                    }
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let mut d = grad.clone();
+                        let inp = self.nodes[a].value.clone();
+                        for (g, &x) in d.as_mut_slice().iter_mut().zip(inp.as_slice()) {
+                            if x <= 0.0 {
+                                *g = 0.0;
+                            }
+                        }
+                        self.accumulate(a, d);
+                    }
+                }
+                Op::ScaleConst(a, s) => {
+                    let (a, s) = (*a, *s);
+                    if self.needs(a) {
+                        self.accumulate(a, grad.scaled(s));
+                    }
+                }
+                Op::ScaleByScalar(a, scalar) => {
+                    let (a, scalar) = (*a, *scalar);
+                    let s = self.nodes[scalar].value.scalar();
+                    if self.needs(a) {
+                        self.accumulate(a, grad.scaled(s));
+                    }
+                    if self.needs(scalar) {
+                        let dot: f32 = grad
+                            .as_slice()
+                            .iter()
+                            .zip(self.nodes[a].value.as_slice())
+                            .map(|(&g, &x)| g * x)
+                            .sum();
+                        self.accumulate(scalar, Matrix::from_vec(1, 1, vec![dot]));
+                    }
+                }
+                Op::AggSum(a, adj) => {
+                    let a = *a;
+                    let adj = Arc::clone(adj);
+                    if self.needs(a) {
+                        let mut d = Matrix::zeros(grad.rows(), grad.cols());
+                        for (j, srcs) in adj.rev.iter().enumerate() {
+                            for &i in srcs {
+                                for c in 0..grad.cols() {
+                                    d[(j, c)] += grad[(i as usize, c)];
+                                }
+                            }
+                        }
+                        self.accumulate(a, d);
+                    }
+                }
+                Op::SumRows(a) => {
+                    let a = *a;
+                    if self.needs(a) {
+                        let rows = self.nodes[a].value.rows();
+                        let mut d = Matrix::zeros(rows, grad.cols());
+                        for r in 0..rows {
+                            for c in 0..grad.cols() {
+                                d[(r, c)] = grad[(0, c)];
+                            }
+                        }
+                        self.accumulate(a, d);
+                    }
+                }
+                Op::MaxRows(a, arg) => {
+                    let (a, arg) = (*a, arg.clone());
+                    if self.needs(a) {
+                        let rows = self.nodes[a].value.rows();
+                        let mut d = Matrix::zeros(rows, grad.cols());
+                        for (c, &r) in arg.iter().enumerate() {
+                            d[(r as usize, c)] = grad[(0, c)];
+                        }
+                        self.accumulate(a, d);
+                    }
+                }
+                Op::SegmentSum(a, seg) => {
+                    let a = *a;
+                    let seg = Arc::clone(seg);
+                    if self.needs(a) {
+                        let rows = self.nodes[a].value.rows();
+                        let mut d = Matrix::zeros(rows, grad.cols());
+                        for (r, &s) in seg.iter().enumerate() {
+                            for c in 0..grad.cols() {
+                                d[(r, c)] = grad[(s as usize, c)];
+                            }
+                        }
+                        self.accumulate(a, d);
+                    }
+                }
+                Op::RowNormalize(a, norms) => {
+                    let (a, norms) = (*a, norms.clone());
+                    if self.needs(a) {
+                        // dL/dx_r = (g_r - y_r (y_r · g_r)) / norm_r
+                        let y = self.nodes[id].value.clone();
+                        let mut d = Matrix::zeros(grad.rows(), grad.cols());
+                        for r in 0..grad.rows() {
+                            let dot: f32 = (0..grad.cols())
+                                .map(|c| y[(r, c)] * grad[(r, c)])
+                                .sum();
+                            for c in 0..grad.cols() {
+                                d[(r, c)] = (grad[(r, c)] - y[(r, c)] * dot) / norms[r];
+                            }
+                        }
+                        self.accumulate(a, d);
+                    }
+                }
+                Op::SegmentMax(a, arg) => {
+                    let (a, arg) = (*a, arg.clone());
+                    if self.needs(a) {
+                        let rows = self.nodes[a].value.rows();
+                        let cols = grad.cols();
+                        let mut d = Matrix::zeros(rows, cols);
+                        for (i, &r) in arg.iter().enumerate() {
+                            let (s, c) = (i / cols, i % cols);
+                            d[(r as usize, c)] += grad[(s, c)];
+                        }
+                        self.accumulate(a, d);
+                    }
+                }
+                Op::SoftmaxCrossEntropy(logits, labels, probs) => {
+                    let logits = *logits;
+                    let labels = Arc::clone(labels);
+                    let probs = probs.clone();
+                    if self.needs(logits) {
+                        let g0 = grad.scalar();
+                        let n = probs.rows();
+                        let mut d = probs;
+                        for (r, &l) in labels.iter().enumerate() {
+                            d[(r, l as usize)] -= 1.0;
+                        }
+                        let d = d.scaled(g0 / n.max(1) as f32);
+                        self.accumulate(logits, d);
+                    }
+                }
+                Op::MarginPairLoss(x, edges, margin) => {
+                    let x = *x;
+                    let edges = Arc::clone(edges);
+                    let margin = *margin;
+                    if self.needs(x) {
+                        let g0 = grad.scalar();
+                        let m = self.nodes[x].value.clone();
+                        let mut d = Matrix::zeros(m.rows(), m.cols());
+                        for &(u, v) in edges.iter() {
+                            let (u, v) = (u as usize, v as usize);
+                            let d2: f32 = m
+                                .row(u)
+                                .iter()
+                                .zip(m.row(v))
+                                .map(|(&a, &b)| (a - b) * (a - b))
+                                .sum();
+                            if margin - d2 > 0.0 {
+                                // d/da of -(a-b)^2 = -2(a-b)
+                                for c in 0..m.cols() {
+                                    let diff = m[(u, c)] - m[(v, c)];
+                                    d[(u, c)] += g0 * -2.0 * diff;
+                                    d[(v, c)] += g0 * 2.0 * diff;
+                                }
+                            }
+                        }
+                        self.accumulate(x, d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite difference of `f` w.r.t. entry `(r, c)` of the leaf.
+    fn finite_diff<F: Fn(&Matrix) -> f32>(f: F, at: &Matrix, r: usize, c: usize) -> f32 {
+        let eps = 1e-2f32;
+        let mut plus = at.clone();
+        plus[(r, c)] += eps;
+        let mut minus = at.clone();
+        minus[(r, c)] -= eps;
+        (f(&plus) - f(&minus)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_difference() {
+        let a0 = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.3]]);
+        let b0 = Matrix::from_rows(&[&[1.0, 0.2], &[-0.4, 0.9]]);
+        let run = |a: &Matrix, b: &Matrix| -> f32 {
+            let mut g = Graph::new();
+            let va = g.param(a.clone());
+            let vb = g.param(b.clone());
+            let c = g.matmul(va, vb);
+            let s = g.sum_rows(c);
+            // Reduce to scalar via sum of the row (cols may be > 1): use
+            // margin-free trick: matmul with ones.
+            let ones = g.input(Matrix::from_rows(&[&[1.0], &[1.0]]));
+            let out = g.matmul(s, ones);
+            g.value(out).scalar()
+        };
+        let mut g = Graph::new();
+        let va = g.param(a0.clone());
+        let vb = g.param(b0.clone());
+        let c = g.matmul(va, vb);
+        let s = g.sum_rows(c);
+        let ones = g.input(Matrix::from_rows(&[&[1.0], &[1.0]]));
+        let out = g.matmul(s, ones);
+        g.backward(out);
+        for r in 0..2 {
+            for col in 0..2 {
+                let fd = finite_diff(|a| run(a, &b0), &a0, r, col);
+                assert!(
+                    (g.grad(va)[(r, col)] - fd).abs() < 1e-2,
+                    "dA[{r},{col}]: {} vs {fd}",
+                    g.grad(va)[(r, col)]
+                );
+                let fd = finite_diff(|b| run(&a0, b), &b0, r, col);
+                assert!(
+                    (g.grad(vb)[(r, col)] - fd).abs() < 1e-2,
+                    "dB[{r},{col}]: {} vs {fd}",
+                    g.grad(vb)[(r, col)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_blocks_negative_gradients() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[&[-1.0, 2.0]]));
+        let y = g.relu(x);
+        let ones = g.input(Matrix::from_rows(&[&[1.0], &[1.0]]));
+        let s = g.matmul(y, ones);
+        g.backward(s);
+        assert_eq!(g.grad(x).row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn agg_sum_forward_and_backward() {
+        // Path 0 - 1 - 2.
+        let adj = Arc::new(Adjacency::new(vec![vec![1], vec![0, 2], vec![1]]));
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]));
+        let y = g.agg_sum(x, adj);
+        assert_eq!(g.value(y).as_slice(), &[10.0, 101.0, 10.0]);
+        let w = g.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let s = g.matmul(w, y); // scalar: y0 + 2 y1 + 3 y2
+        g.backward(s);
+        // ds/dx0 = coefficient of x0 in 1*y0 + 2*y1 + 3*y2 = 2 (x0 only in y1)
+        // ds/dx1 = 1 + 3 = 4 ; ds/dx2 = 2.
+        assert_eq!(g.grad(x).as_slice(), &[2.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn max_rows_routes_gradient_to_argmax() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[&[1.0, 5.0], &[3.0, 2.0]]));
+        let y = g.max_rows(x);
+        let ones = g.input(Matrix::from_rows(&[&[1.0], &[1.0]]));
+        let s = g.matmul(y, ones);
+        assert_eq!(g.value(s).scalar(), 3.0 + 5.0);
+        g.backward(s);
+        assert_eq!(g.grad(x).as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_decreases_toward_label() {
+        let logits = Matrix::from_rows(&[&[0.0, 0.0, 0.0]]);
+        let mut g = Graph::new();
+        let x = g.param(logits);
+        let loss = g.softmax_cross_entropy(x, vec![1]);
+        let l0 = g.value(loss).scalar();
+        assert!((l0 - (3f32).ln()).abs() < 1e-5);
+        g.backward(loss);
+        let d = g.grad(x);
+        // Gradient pushes label logit up (negative grad) and others down.
+        assert!(d[(0, 1)] < 0.0);
+        assert!(d[(0, 0)] > 0.0 && d[(0, 2)] > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let x0 = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[0.1, 0.9, -0.5]]);
+        let labels = vec![2u8, 0u8];
+        let run = |m: &Matrix| -> f32 {
+            let mut g = Graph::new();
+            let x = g.param(m.clone());
+            let loss = g.softmax_cross_entropy(x, labels.clone());
+            g.value(loss).scalar()
+        };
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let loss = g.softmax_cross_entropy(x, labels.clone());
+        g.backward(loss);
+        for r in 0..2 {
+            for c in 0..3 {
+                let fd = finite_diff(run, &x0, r, c);
+                let an = g.grad(x)[(r, c)];
+                assert!((an - fd).abs() < 1e-2, "[{r},{c}] {an} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn margin_loss_gradient_matches_finite_difference() {
+        // Keep both hinge terms strictly active and away from the kink so
+        // finite differences are valid.
+        let x0 = Matrix::from_rows(&[&[0.2, 0.1], &[0.3, -0.2], &[-0.45, 0.4]]);
+        let edges = vec![(0u32, 1u32), (1, 2)];
+        let run = |m: &Matrix| -> f32 {
+            let mut g = Graph::new();
+            let x = g.param(m.clone());
+            let loss = g.margin_pair_loss(x, edges.clone(), 1.0);
+            g.value(loss).scalar()
+        };
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let loss = g.margin_pair_loss(x, edges.clone(), 1.0);
+        g.backward(loss);
+        for r in 0..3 {
+            for c in 0..2 {
+                let fd = finite_diff(run, &x0, r, c);
+                let an = g.grad(x)[(r, c)];
+                assert!((an - fd).abs() < 2e-2, "[{r},{c}] {an} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_by_scalar_gradients() {
+        let mut g = Graph::new();
+        let s = g.param(Matrix::from_vec(1, 1, vec![2.0]));
+        let x = g.param(Matrix::from_rows(&[&[3.0, -1.0]]));
+        let y = g.scale_by_scalar(x, s);
+        let ones = g.input(Matrix::from_rows(&[&[1.0], &[1.0]]));
+        let out = g.matmul(y, ones); // 2 * (3 - 1) = 4
+        assert_eq!(g.value(out).scalar(), 4.0);
+        g.backward(out);
+        assert_eq!(g.grad(s).scalar(), 2.0); // d/ds = 3 - 1
+        assert_eq!(g.grad(x).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn segment_sum_pools_per_segment() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[&[1.0], &[2.0], &[4.0], &[8.0]]));
+        let y = g.segment_sum(x, vec![0, 1, 0, 1], 2);
+        assert_eq!(g.value(y).as_slice(), &[5.0, 10.0]);
+        let w = g.input(Matrix::from_rows(&[&[1.0, 3.0]]));
+        let s = g.matmul(w, y); // 1*seg0 + 3*seg1
+        g.backward(s);
+        assert_eq!(g.grad(x).as_slice(), &[1.0, 3.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn segment_max_pools_and_routes_grads() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[&[1.0, 9.0], &[2.0, 3.0], &[5.0, 4.0]]));
+        let y = g.segment_max(x, vec![0, 0, 1], 2);
+        assert_eq!(g.value(y).as_slice(), &[2.0, 9.0, 5.0, 4.0]);
+        let ones = g.input(Matrix::from_rows(&[&[1.0], &[1.0]]));
+        let col = g.matmul(y, ones); // 2x1
+        let w = g.input(Matrix::from_rows(&[&[1.0, 1.0]]));
+        let s = g.matmul(w, col);
+        g.backward(s);
+        assert_eq!(g.grad(x).as_slice(), &[0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_normalize_forward_and_gradient() {
+        let x0 = Matrix::from_rows(&[&[3.0, 4.0], &[0.5, -0.2]]);
+        let run = |m: &Matrix| -> f32 {
+            let mut g = Graph::new();
+            let x = g.param(m.clone());
+            let y = g.row_l2_normalize(x);
+            // Scalar: weighted sum of normalized entries.
+            let w = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+            let wy = g.matmul(w, y); // (1x2)*(2x2) = 1x2
+            let ones = g.input(Matrix::from_rows(&[&[1.0], &[-0.5]]));
+            let s = g.matmul(wy, ones);
+            g.value(s).scalar()
+        };
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let y = g.row_l2_normalize(x);
+        assert!((g.value(y)[(0, 0)] - 0.6).abs() < 1e-6);
+        assert!((g.value(y)[(0, 1)] - 0.8).abs() < 1e-6);
+        let w = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let wy = g.matmul(w, y);
+        let ones = g.input(Matrix::from_rows(&[&[1.0], &[-0.5]]));
+        let s = g.matmul(wy, ones);
+        g.backward(s);
+        for r in 0..2 {
+            for c in 0..2 {
+                let fd = finite_diff(run, &x0, r, c);
+                let an = g.grad(x)[(r, c)];
+                assert!((an - fd).abs() < 2e-2, "[{r},{c}] {an} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty segment")]
+    fn segment_max_rejects_empty_segment() {
+        let mut g = Graph::new();
+        let x = g.param(Matrix::from_rows(&[&[1.0]]));
+        let _ = g.segment_max(x, vec![0], 2);
+    }
+
+    #[test]
+    fn unreachable_param_has_no_grad() {
+        let mut g = Graph::new();
+        let a = g.param(Matrix::from_vec(1, 1, vec![1.0]));
+        let b = g.param(Matrix::from_vec(1, 1, vec![1.0]));
+        let out = g.scale_const(a, 2.0);
+        g.backward(out);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = g.grad(b);
+        }))
+        .is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Principal component analysis via power iteration — used to project
+//! graph embeddings to 2-D for visualization (Fig. 1 of the paper shows
+//! layout graphs mapped into a vector space).
+
+use crate::Matrix;
+
+/// Projects the rows of `data` (`n x d`) onto their top two principal
+/// components, returning an `n x 2` matrix.
+///
+/// Deterministic: power iteration starts from a fixed vector. Degenerate
+/// inputs (constant columns, `d < 2`) yield zero coordinates in the
+/// affected components.
+///
+/// # Example
+///
+/// ```
+/// use mpld_tensor::{pca2, Matrix};
+/// // Points on a line y = 2x: the first component carries everything.
+/// let data = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+/// let p = pca2(&data);
+/// assert_eq!(p.rows(), 4);
+/// // Second component is (numerically) zero for collinear points.
+/// for r in 0..4 {
+///     assert!(p[(r, 1)].abs() < 1e-3);
+/// }
+/// ```
+pub fn pca2(data: &Matrix) -> Matrix {
+    let (n, d) = (data.rows(), data.cols());
+    let mut out = Matrix::zeros(n, 2);
+    if n == 0 || d == 0 {
+        return out;
+    }
+    // Center columns.
+    let mut centered = data.clone();
+    for c in 0..d {
+        let mean: f32 = (0..n).map(|r| data[(r, c)]).sum::<f32>() / n as f32;
+        for r in 0..n {
+            centered[(r, c)] -= mean;
+        }
+    }
+    // Covariance (d x d), unnormalized (scaling does not change PCs).
+    let cov = centered.matmul_tn(&centered);
+
+    let mut deflated = cov;
+    for comp in 0..2.min(d) {
+        let (eigval, eigvec) = power_iteration(&deflated, 200);
+        if eigval <= 1e-12 {
+            break;
+        }
+        // Project points onto the component.
+        for r in 0..n {
+            let dot: f32 = (0..d).map(|c| centered[(r, c)] * eigvec[c]).sum();
+            out[(r, comp)] = dot;
+        }
+        // Deflate: C <- C - lambda v v^T.
+        for i in 0..d {
+            for j in 0..d {
+                deflated[(i, j)] -= eigval * eigvec[i] * eigvec[j];
+            }
+        }
+    }
+    out
+}
+
+/// Dominant eigenpair of a symmetric matrix by power iteration.
+fn power_iteration(m: &Matrix, iters: usize) -> (f32, Vec<f32>) {
+    let d = m.rows();
+    let mut v: Vec<f32> = (0..d).map(|i| 1.0 + (i as f32) * 0.01).collect();
+    normalize(&mut v);
+    let mut eigval = 0.0;
+    for _ in 0..iters {
+        let mut next = vec![0.0f32; d];
+        for (i, nx) in next.iter_mut().enumerate() {
+            *nx = (0..d).map(|j| m[(i, j)] * v[j]).sum();
+        }
+        eigval = next.iter().zip(&v).map(|(a, b)| a * b).sum();
+        if normalize(&mut next) < 1e-12 {
+            return (0.0, v);
+        }
+        v = next;
+    }
+    (eigval, v)
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_clusters() {
+        // Two clusters far apart along a diagonal: PC1 separates them.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            rows.push(vec![i as f32 * 0.1, i as f32 * 0.1, 0.0]);
+            rows.push(vec![10.0 + i as f32 * 0.1, 10.0 + i as f32 * 0.1, 0.1]);
+        }
+        let data = Matrix::from_vec(10, 3, rows.concat());
+        let p = pca2(&data);
+        // Cluster memberships alternate; PC1 signs must separate them.
+        let a: Vec<f32> = (0..10).step_by(2).map(|r| p[(r, 0)]).collect();
+        let b: Vec<f32> = (1..10).step_by(2).map(|r| p[(r, 0)]).collect();
+        let (amax, bmin) = (
+            a.iter().cloned().fold(f32::MIN, f32::max),
+            b.iter().cloned().fold(f32::MAX, f32::min),
+        );
+        assert!(amax < bmin || b.iter().cloned().fold(f32::MIN, f32::max) < a.iter().cloned().fold(f32::MAX, f32::min));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let p = pca2(&Matrix::zeros(0, 4));
+        assert_eq!(p.rows(), 0);
+        let p = pca2(&Matrix::zeros(3, 0));
+        assert_eq!(p.rows(), 3);
+    }
+
+    #[test]
+    fn constant_data_yields_zeros() {
+        let data = Matrix::from_vec(4, 3, vec![2.5; 12]);
+        let p = pca2(&data);
+        for v in p.as_slice() {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let data = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 1.0], &[0.5, 2.0]]);
+        assert_eq!(pca2(&data), pca2(&data));
+    }
+}

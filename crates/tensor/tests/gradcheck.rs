@@ -1,0 +1,96 @@
+//! Property-based gradient checking: random small computation graphs must
+//! match central finite differences.
+
+use mpld_tensor::{Adjacency, Graph, Matrix};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Builds `scalar(f(x))` for a fixed op chain, so we can probe ∂f/∂x.
+fn chain(x: &Matrix, w: &Matrix, adj: &Arc<Adjacency>) -> (Graph, usize, usize) {
+    let mut g = Graph::new();
+    let xv = g.param(x.clone());
+    let wv = g.param(w.clone());
+    let agg = g.agg_sum(xv, adj.clone());
+    let lin = g.matmul(agg, wv);
+    let act = g.relu(lin);
+    let pooled = g.sum_rows(act);
+    let out_cols = w.cols();
+    let loss = {
+        let ones = g.input(Matrix::from_vec(out_cols, 1, vec![0.5; out_cols]));
+        g.matmul(pooled, ones)
+    };
+    g.backward(loss);
+    (g, xv, wv)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chained_ops_match_finite_differences(
+        x in arb_matrix(4, 3),
+        w in arb_matrix(3, 2),
+    ) {
+        // Path adjacency over 4 rows.
+        let adj = Arc::new(Adjacency::new(vec![vec![1], vec![0, 2], vec![1, 3], vec![2]]));
+        let (g, xv, _) = chain(&x, &w, &adj);
+        let eps = 1e-2f32;
+        let value = |m: &Matrix| -> f32 {
+            let mut g2 = Graph::new();
+            let xv2 = g2.input(m.clone());
+            let wv2 = g2.input(w.clone());
+            let agg = g2.agg_sum(xv2, adj.clone());
+            let lin = g2.matmul(agg, wv2);
+            let act = g2.relu(lin);
+            let pooled = g2.sum_rows(act);
+            let ones = g2.input(Matrix::from_vec(2, 1, vec![0.5; 2]));
+            let loss = g2.matmul(pooled, ones);
+            g2.value(loss).scalar()
+        };
+        for r in 0..4 {
+            for c in 0..3 {
+                let mut plus = x.clone();
+                plus[(r, c)] += eps;
+                let mut minus = x.clone();
+                minus[(r, c)] -= eps;
+                let fd = (value(&plus) - value(&minus)) / (2.0 * eps);
+                let an = g.grad(xv)[(r, c)];
+                // ReLU kinks can make FD noisy; accept either a close match
+                // or proximity to a kink (output changed between probes).
+                let kinked = (value(&plus) - value(&minus)).abs() > 0.0
+                    && (an - fd).abs() >= 3e-2
+                    && {
+                        // Check sub-gradient window: re-probe with tiny eps.
+                        let e2 = 1e-3f32;
+                        let mut p2 = x.clone();
+                        p2[(r, c)] += e2;
+                        let mut m2 = x.clone();
+                        m2[(r, c)] -= e2;
+                        let fd2 = (value(&p2) - value(&m2)) / (2.0 * e2);
+                        (an - fd2).abs() >= 3e-2
+                    };
+                prop_assert!(!kinked || (an - fd).abs() < 0.5,
+                    "grad[{r},{c}] = {an} vs fd {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_then_scale_gradients(x in arb_matrix(3, 2), s in -2.0f32..2.0) {
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let scaled = g.scale_const(xv, s);
+        let pooled = g.sum_rows(scaled);
+        let ones = g.input(Matrix::from_vec(2, 1, vec![1.0; 2]));
+        let loss = g.matmul(pooled, ones);
+        g.backward(loss);
+        for v in g.grad(xv).as_slice() {
+            prop_assert!((v - s).abs() < 1e-5);
+        }
+    }
+}

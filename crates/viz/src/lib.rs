@@ -1,0 +1,30 @@
+//! SVG rendering for MPLD layouts and decompositions.
+//!
+//! Renders a [`Layout`](mpld_layout::Layout) to a standalone SVG document: features filled by
+//! their assigned mask color, optional overlays for conflict edges (red
+//! lines between same-mask conflicting features) and stitch cuts. Useful
+//! for debugging decompositions and producing documentation figures.
+//!
+//! # Example
+//!
+//! ```
+//! use mpld_geometry::{Feature, Rect};
+//! use mpld_layout::Layout;
+//! use mpld_viz::{render_svg, SvgOptions};
+//!
+//! let layout = Layout {
+//!     name: "demo".into(),
+//!     d: 100,
+//!     features: vec![
+//!         Feature::new(0, vec![Rect::new(0, 0, 300, 40)]),
+//!         Feature::new(1, vec![Rect::new(0, 80, 300, 120)]),
+//!     ],
+//! };
+//! let svg = render_svg(&layout, Some(&[0, 1]), &SvgOptions::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("rect"));
+//! ```
+
+mod svg;
+
+pub use svg::{render_svg, SvgOptions, MASK_PALETTE};

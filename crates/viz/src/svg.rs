@@ -1,0 +1,212 @@
+//! SVG document generation.
+
+use mpld_geometry::GridIndex;
+use mpld_layout::Layout;
+use std::fmt::Write as _;
+
+/// Fill colors per mask (mask 0..8). Chosen for print contrast.
+pub const MASK_PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#edc948", "#76b7b2", "#9c755f",
+];
+
+/// Color used when no mask assignment is supplied.
+const UNCOLORED: &str = "#9aa0a6";
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Target image width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Draw red lines between conflicting features that share a mask.
+    pub show_violations: bool,
+    /// Canvas margin in layout units.
+    pub margin: i64,
+    /// Background color.
+    pub background: &'static str,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width_px: 1200.0, show_violations: true, margin: 200, background: "#ffffff" }
+    }
+}
+
+/// Renders `layout` to a standalone SVG string. With `colors`
+/// (per-feature masks), features are filled by mask; violations (same-mask
+/// conflicting pairs at the layout's `d`) are overlaid as red lines when
+/// enabled.
+///
+/// # Panics
+///
+/// Panics if `colors` is provided with the wrong length or a mask `>= 8`.
+pub fn render_svg(layout: &Layout, colors: Option<&[u8]>, opts: &SvgOptions) -> String {
+    if let Some(c) = colors {
+        assert_eq!(c.len(), layout.features.len(), "one mask per feature");
+        assert!(c.iter().all(|&m| (m as usize) < MASK_PALETTE.len()), "mask out of palette");
+    }
+
+    // Bounding box.
+    let (mut xl, mut yl, mut xh, mut yh) = (i64::MAX, i64::MAX, i64::MIN, i64::MIN);
+    for f in &layout.features {
+        let bb = f.bounding_box();
+        xl = xl.min(bb.xl);
+        yl = yl.min(bb.yl);
+        xh = xh.max(bb.xh);
+        yh = yh.max(bb.yh);
+    }
+    if layout.features.is_empty() {
+        (xl, yl, xh, yh) = (0, 0, 1, 1);
+    }
+    let (xl, yl) = (xl - opts.margin, yl - opts.margin);
+    let (xh, yh) = (xh + opts.margin, yh + opts.margin);
+    let (w, h) = ((xh - xl) as f64, (yh - yl) as f64);
+    let scale = opts.width_px / w.max(1.0);
+    let height_px = h * scale;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"0 0 {:.1} {:.1}\">",
+        opts.width_px, height_px, opts.width_px, height_px
+    );
+    let _ = write!(
+        out,
+        "<rect x=\"0\" y=\"0\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{}\"/>",
+        opts.width_px, height_px, opts.background
+    );
+
+    // Y grows upward in layout space, downward in SVG: flip.
+    let tx = |x: i64| (x - xl) as f64 * scale;
+    let ty = |y: i64| height_px - (y - yl) as f64 * scale;
+
+    for (i, f) in layout.features.iter().enumerate() {
+        let fill = match colors {
+            Some(c) => MASK_PALETTE[c[i] as usize],
+            None => UNCOLORED,
+        };
+        for r in f.rects() {
+            let _ = write!(
+                out,
+                "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+                 fill=\"{fill}\" stroke=\"#222\" stroke-width=\"0.4\"/>",
+                tx(r.xl),
+                ty(r.yh),
+                (r.xh - r.xl) as f64 * scale,
+                (r.yh - r.yl) as f64 * scale,
+            );
+        }
+    }
+
+    if opts.show_violations {
+        if let Some(c) = colors {
+            let index = GridIndex::build(&layout.features, layout.d);
+            for (a, b) in index.conflict_pairs(&layout.features, layout.d) {
+                if c[a] == c[b] {
+                    let ba = layout.features[a].bounding_box();
+                    let bb = layout.features[b].bounding_box();
+                    let _ = write!(
+                        out,
+                        "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" \
+                         stroke=\"#d00\" stroke-width=\"2\" stroke-dasharray=\"4 2\"/>",
+                        tx((ba.xl + ba.xh) / 2),
+                        ty((ba.yl + ba.yh) / 2),
+                        tx((bb.xl + bb.xh) / 2),
+                        ty((bb.yl + bb.yh) / 2),
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpld_geometry::{Feature, Rect};
+
+    fn demo() -> Layout {
+        Layout {
+            name: "demo".into(),
+            d: 100,
+            features: vec![
+                Feature::new(0, vec![Rect::new(0, 0, 300, 40)]),
+                Feature::new(1, vec![Rect::new(0, 80, 300, 120)]),
+                Feature::new(2, vec![Rect::new(0, 160, 300, 200)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_features() {
+        let svg = render_svg(&demo(), Some(&[0, 1, 2]), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // 1 background + 3 feature rects.
+        assert_eq!(svg.matches("<rect").count(), 4);
+        for mask in &MASK_PALETTE[..3] {
+            assert!(svg.contains(mask), "missing {mask}");
+        }
+    }
+
+    #[test]
+    fn violations_drawn_for_same_mask_conflicts() {
+        // Features 0 and 1 are 40 apart (< d): same mask => violation line.
+        let svg = render_svg(&demo(), Some(&[0, 0, 1]), &SvgOptions::default());
+        assert!(svg.contains("<line"));
+        let clean = render_svg(&demo(), Some(&[0, 1, 0]), &SvgOptions::default());
+        assert!(!clean.contains("<line"));
+    }
+
+    #[test]
+    fn uncolored_rendering_works() {
+        let svg = render_svg(&demo(), None, &SvgOptions::default());
+        assert!(svg.contains(UNCOLORED));
+        assert!(!svg.contains("<line"));
+    }
+
+    #[test]
+    fn empty_layout_is_safe() {
+        let layout = Layout { name: "e".into(), d: 100, features: vec![] };
+        let svg = render_svg(&layout, None, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one mask per feature")]
+    fn wrong_color_count_panics() {
+        let _ = render_svg(&demo(), Some(&[0]), &SvgOptions::default());
+    }
+
+    #[test]
+    fn end_to_end_render_of_decomposition() {
+        use mpld::{prepare, run_pipeline};
+        use mpld_graph::DecomposeParams;
+        use mpld_ilp::IlpDecomposer;
+        let layout = mpld_layout::circuit_by_name("C432").expect("exists").generate();
+        let params = DecomposeParams::tpl();
+        let prep = prepare(&layout, &params);
+        let r = run_pipeline(&prep, &IlpDecomposer::new(), &params);
+        let svg = render_svg(
+            &layout,
+            Some(&r.decomposition.feature_colors),
+            &SvgOptions::default(),
+        );
+        // Feature-level rendering uses representative colors for split
+        // features, so the line count is an upper bound on true conflicts
+        // (a stitch-split feature can look violated at the parent level).
+        let lines = svg.matches("<line").count();
+        assert!(lines >= r.cost.conflicts as usize);
+        assert!(
+            lines <= (r.cost.conflicts + r.cost.stitches) as usize,
+            "{lines} lines vs {:?}",
+            r.cost
+        );
+        assert_eq!(
+            svg.matches("<rect").count(),
+            1 + layout.features.iter().map(|f| f.rects().len()).sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The full adaptive workflow of the paper: train the GNNs and the graph
+//! library on a few circuits, then adaptively decompose a held-out
+//! circuit and report which engine handled each graph.
+//!
+//! ```sh
+//! cargo run --release -p mpld --example adaptive_circuit
+//! ```
+
+use mpld::{prepare, train_framework, OfflineConfig, TrainingData};
+use mpld_graph::DecomposeParams;
+use mpld_layout::iscas_suite;
+
+fn main() {
+    let params = DecomposeParams::tpl();
+    let suite = iscas_suite();
+
+    // Offline phase: label units of four training circuits with the exact
+    // engines, train RGCN / RGCN_r / ColorGNN, build the graph library.
+    println!("offline phase: training on C499, C880, C1355, C1908 ...");
+    let mut data = TrainingData::default();
+    let train_preps: Vec<_> = suite[1..5].iter().map(|c| prepare(&c.generate(), &params)).collect();
+    for prep in &train_preps {
+        data.add_layout_capped(prep, &params, 120);
+    }
+    let mut framework = train_framework(&data, &params, &OfflineConfig::default());
+    println!(
+        "trained: {} units labeled, library holds {} graphs",
+        data.units.len(),
+        framework.library.len()
+    );
+
+    // Online phase: adaptively decompose the held-out C432.
+    let test = prepare(&suite[0].generate(), &params);
+    let result = framework.decompose_prepared(&test);
+    println!(
+        "\n{}: cost {} in {:?}",
+        test.name, result.pipeline.cost, result.pipeline.decompose_time
+    );
+    println!(
+        "engine usage: matching {}  ColorGNN {}  EC {}  ILP {}  (fallbacks {})",
+        result.usage.matching,
+        result.usage.colorgnn,
+        result.usage.ec,
+        result.usage.ilp,
+        result.usage.colorgnn_fallbacks
+    );
+    println!(
+        "runtime: selection {:?}  matching {:?}  redundancy {:?}  ColorGNN {:?}  EC {:?}  ILP {:?}",
+        result.timing.selection,
+        result.timing.matching,
+        result.timing.redundancy,
+        result.timing.colorgnn,
+        result.timing.ec,
+        result.timing.ilp
+    );
+}

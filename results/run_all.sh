@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper's evaluation.
+# Prefer run_final.sh, which trains each fold once (main_results) instead
+# of retraining per table; this script runs every standalone binary.
+set -x
+cd /root/repo
+for bin in fig3 fig1 table1 table2 table3 table4 table5 table6 table7 fig9 fig10 ablations; do
+  cargo run --release -p mpld-bench --bin $bin > results/$bin.txt 2> results/$bin.log || echo "FAILED: $bin" >> results/failures.txt
+done
+echo ALL_DONE > results/done.marker

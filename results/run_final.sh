@@ -1,0 +1,10 @@
+#!/bin/bash
+set -x
+cd /root/repo
+MPLD_EPOCHS=15 cargo run --release -p mpld-bench --bin main_results > results/main_results.txt 2> results/main_results.log || echo "FAILED: main_results" >> results/failures.txt
+MPLD_EPOCHS=25 cargo run --release -p mpld-bench --bin table3 > results/table3.txt 2> results/table3.log || echo "FAILED: table3" >> results/failures.txt
+MPLD_EPOCHS=40 cargo run --release -p mpld-bench --bin table6 > results/table6.txt 2> results/table6.log || echo "FAILED: table6" >> results/failures.txt
+for bin in fig3 fig1 table1 table2 ablations; do
+  cargo run --release -p mpld-bench --bin $bin > results/$bin.txt 2> results/$bin.log || echo "FAILED: $bin" >> results/failures.txt
+done
+echo ALL_DONE > results/final.marker

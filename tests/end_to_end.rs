@@ -1,0 +1,119 @@
+//! End-to-end test of the adaptive framework: offline training on a few
+//! circuits, online decomposition of a held-out circuit, checked against
+//! the exact optimum.
+
+use mpld::{prepare, run_pipeline, train_framework, OfflineConfig, TrainingData};
+use mpld_gnn::TrainConfig;
+use mpld_graph::DecomposeParams;
+use mpld_ilp::IlpDecomposer;
+use mpld_layout::iscas_suite;
+
+fn quick_config() -> OfflineConfig {
+    OfflineConfig {
+        rgcn: TrainConfig { epochs: 4, lr: 0.01, batch: 16, balance: true },
+        ..OfflineConfig::default()
+    }
+}
+
+#[test]
+fn adaptive_framework_is_optimal_on_held_out_circuit() {
+    let params = DecomposeParams::tpl();
+    let suite = iscas_suite();
+
+    // Train on C499 + C880, hold out C432.
+    let train_preps: Vec<_> =
+        suite[1..3].iter().map(|c| prepare(&c.generate(), &params)).collect();
+    let mut data = TrainingData::default();
+    for p in &train_preps {
+        data.add_layout_capped(p, &params, 60);
+    }
+    let mut fw = train_framework(&data, &params, &quick_config());
+
+    let test = prepare(&suite[0].generate(), &params);
+    let adaptive = fw.decompose_prepared(&test);
+    let optimal = run_pipeline(&test, &IlpDecomposer::new(), &params);
+
+    // The paper's headline: the adaptive framework preserves optimality.
+    assert_eq!(
+        adaptive.pipeline.cost.value(params.alpha),
+        optimal.cost.value(params.alpha),
+        "adaptive decomposition is not optimal: {:?} vs {:?}",
+        adaptive.pipeline.cost,
+        optimal.cost
+    );
+
+    // Every unit was routed somewhere and the counts add up.
+    let u = &adaptive.usage;
+    assert_eq!(u.matching + u.colorgnn + u.ilp + u.ec, test.units.len());
+    assert!(u.colorgnn + u.matching > 0, "no GNN-driven decompositions at all");
+}
+
+#[test]
+fn batched_and_unbatched_framework_agree() {
+    let params = DecomposeParams::tpl();
+    let suite = iscas_suite();
+    let train_prep = prepare(&suite[1].generate(), &params);
+    let mut data = TrainingData::default();
+    data.add_layout_capped(&train_prep, &params, 50);
+    let mut fw = train_framework(&data, &params, &quick_config());
+
+    let test = prepare(&suite[0].generate(), &params);
+    let batched = fw.decompose_prepared(&test);
+    let unbatched = fw.decompose_prepared_unbatched(&test);
+    // Engines may differ only through ColorGNN randomness; the cost value
+    // must agree because both paths guard ColorGNN results and fall back
+    // to exact engines otherwise.
+    assert_eq!(
+        batched.pipeline.cost.value(params.alpha),
+        unbatched.pipeline.cost.value(params.alpha)
+    );
+    assert_eq!(batched.usage.matching, unbatched.usage.matching);
+}
+
+#[test]
+fn quadruple_patterning_pipeline_is_trivially_free() {
+    // At k = 4 the hide-small-degree rule (conflict degree < 4) strips the
+    // benchmark layouts almost entirely — greedy recovery colors them with
+    // zero cost. This is the "more masks make decomposition easy" story
+    // behind the paper's flexibility claim.
+    let params = DecomposeParams::qpl();
+    let suite = iscas_suite();
+    for circuit in &suite[..3] {
+        let prep = prepare(&circuit.generate(), &params);
+        let r = run_pipeline(&prep, &IlpDecomposer::new(), &params);
+        assert_eq!(
+            r.cost.value(params.alpha),
+            0.0,
+            "{} should be free at k = 4, got {}",
+            circuit.name,
+            r.cost
+        );
+        assert!(r.decomposition.feature_colors.iter().all(|&c| c < 4));
+        // The TPL decomposition of the same circuit costs something.
+        let tpl_prep = prepare(&circuit.generate(), &DecomposeParams::tpl());
+        let tpl = run_pipeline(&tpl_prep, &IlpDecomposer::new(), &DecomposeParams::tpl());
+        assert!(tpl.cost.value(0.1) > 0.0, "{} unexpectedly free at k = 3", circuit.name);
+    }
+}
+
+#[test]
+fn disabling_colorgnn_preserves_cost() {
+    let params = DecomposeParams::tpl();
+    let suite = iscas_suite();
+    let train_prep = prepare(&suite[2].generate(), &params);
+    let mut data = TrainingData::default();
+    data.add_layout_capped(&train_prep, &params, 50);
+    let mut fw = train_framework(&data, &params, &quick_config());
+
+    let test = prepare(&suite[0].generate(), &params);
+    fw.use_colorgnn = true;
+    let with_gnn = fw.decompose_prepared(&test);
+    fw.use_colorgnn = false;
+    let without = fw.decompose_prepared(&test);
+    assert_eq!(
+        with_gnn.pipeline.cost.value(params.alpha),
+        without.pipeline.cost.value(params.alpha),
+        "'Ours' and 'Ours w. GNN' must both stay optimal"
+    );
+    assert_eq!(without.usage.colorgnn, 0);
+}
