@@ -16,8 +16,7 @@ fn units_by_size() -> Vec<(usize, Vec<LayoutGraph>)> {
     let params = DecomposeParams::tpl();
     let layout = circuit_by_name("C2670").expect("known circuit").generate();
     let prep = prepare(&layout, &params);
-    let mut classes: Vec<(usize, Vec<LayoutGraph>)> =
-        vec![(5, vec![]), (9, vec![]), (13, vec![])];
+    let mut classes: Vec<(usize, Vec<LayoutGraph>)> = vec![(5, vec![]), (9, vec![]), (13, vec![])];
     for u in &prep.units {
         let n = u.hetero.num_nodes();
         for (cap, bucket) in classes.iter_mut() {

@@ -12,7 +12,11 @@ fn unit_graphs(n: usize) -> Vec<LayoutGraph> {
     let params = DecomposeParams::tpl();
     let layout = circuit_by_name("C1355").expect("known circuit").generate();
     let prep = prepare(&layout, &params);
-    prep.units.iter().take(n).map(|u| u.hetero.clone()).collect()
+    prep.units
+        .iter()
+        .take(n)
+        .map(|u| u.hetero.clone())
+        .collect()
 }
 
 fn bench_embedding(c: &mut Criterion) {
@@ -21,7 +25,7 @@ fn bench_embedding(c: &mut Criterion) {
     let mut group = c.benchmark_group("rgcn_inference");
 
     group.bench_function("single_graph_x64", |b| {
-        let mut model = RgcnClassifier::selector(7);
+        let model = RgcnClassifier::selector(7);
         b.iter(|| {
             let mut acc = 0f32;
             for g in &refs {
@@ -32,7 +36,7 @@ fn bench_embedding(c: &mut Criterion) {
     });
 
     group.bench_function("batched_x64", |b| {
-        let mut model = RgcnClassifier::selector(7);
+        let model = RgcnClassifier::selector(7);
         b.iter(|| {
             let probs = model.predict_batch(&refs);
             probs.iter().map(|p| p[0]).sum::<f32>()
@@ -40,7 +44,7 @@ fn bench_embedding(c: &mut Criterion) {
     });
 
     group.bench_function("embeddings_batched_x64", |b| {
-        let mut model = RgcnClassifier::selector(7);
+        let model = RgcnClassifier::selector(7);
         b.iter(|| model.embeddings_batch(&refs).len())
     });
 

@@ -30,17 +30,20 @@ fn bench_matching(c: &mut Criterion) {
     let graphs = library_sized_graphs();
     let mut group = c.benchmark_group("matching");
 
-    let mut embedder = RgcnClassifier::selector(3);
+    let embedder = RgcnClassifier::selector(3);
     let lib = GraphLibrary::build(
-        &mut embedder,
-        &LibraryConfig { stitches: false, ..LibraryConfig::default() },
+        &embedder,
+        &LibraryConfig {
+            stitches: false,
+            ..LibraryConfig::default()
+        },
         &params,
     );
     group.bench_function("library_lookup", |b| {
         b.iter(|| {
             let mut hits = 0;
             for g in &graphs {
-                if lib.lookup(&mut embedder, g).is_some() {
+                if lib.lookup(&embedder, g).is_some() {
                     hits += 1;
                 }
             }
@@ -64,14 +67,14 @@ fn bench_matching(c: &mut Criterion) {
     for max in [4usize, 5, 6] {
         group.bench_with_input(BenchmarkId::new("build", max), &max, |b, &max| {
             b.iter(|| {
-                let mut embedder = RgcnClassifier::selector(3);
+                let embedder = RgcnClassifier::selector(3);
                 let cfg = LibraryConfig {
                     max_parent_size: max,
                     max_splits: 1,
                     max_nodes: max + 1,
                     stitches: true,
                 };
-                GraphLibrary::build(&mut embedder, &cfg, &params).len()
+                GraphLibrary::build(&embedder, &cfg, &params).len()
             })
         });
     }

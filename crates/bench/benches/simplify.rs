@@ -17,7 +17,11 @@ fn bench_simplify(c: &mut Criterion) {
         });
         let graph = layout.to_conflict_graph();
         group.bench_with_input(BenchmarkId::new("simplify_l3", name), &graph, |b, g| {
-            b.iter(|| simplify(g, params.k, SimplifyOptions::default()).units().len())
+            b.iter(|| {
+                simplify(g, params.k, SimplifyOptions::default())
+                    .units()
+                    .len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("full_prepare", name), &layout, |b, l| {
             b.iter(|| prepare(l, &params).units.len())

@@ -15,7 +15,10 @@ use std::time::Instant;
 fn main() {
     let bench = Bench::load();
     let epochs = env_usize("MPLD_EPOCHS", 12);
-    let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
     let n = bench.circuits.len();
     let split = (n / 2).max(1);
     let train_idx: Vec<usize> = (0..split).collect();
@@ -28,17 +31,26 @@ fn main() {
     type LabelFn = fn(&mpld::TrainingData) -> Vec<(usize, u8)>;
     let tasks: [(&str, LabelFn); 2] = [
         ("selector", |d| {
-            d.selector_labels.iter().enumerate().map(|(i, &l)| (i, l)).collect()
+            d.selector_labels
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (i, l))
+                .collect()
         }),
         ("redundancy", |d| d.redundancy_labels.clone()),
     ];
     for (task, labels_of) in tasks {
         for readout in [Readout::Sum, Readout::Max] {
-            let head: Vec<usize> =
-                if task == "selector" { vec![64, 2] } else { vec![64, 32, 2] };
+            let head: Vec<usize> = if task == "selector" {
+                vec![64, 2]
+            } else {
+                vec![64, 32, 2]
+            };
             let mut model = RgcnClassifier::new(&[1, 32, 64], 2, readout, &head, 11);
-            let data: Vec<(&LayoutGraph, u8)> =
-                labels_of(&train).iter().map(|&(i, l)| (&train.units[i], l)).collect();
+            let data: Vec<(&LayoutGraph, u8)> = labels_of(&train)
+                .iter()
+                .map(|&(i, l)| (&train.units[i], l))
+                .collect();
             if data.is_empty() {
                 continue;
             }
@@ -77,8 +89,10 @@ fn main() {
         .collect();
     let refs: Vec<&LayoutGraph> = parents.iter().collect();
     let ilp = IlpDecomposer::new();
-    let optima: Vec<u32> =
-        refs.iter().map(|g| ilp.decompose(g, &bench.params).cost.conflicts).collect();
+    let optima: Vec<u32> = refs
+        .iter()
+        .map(|g| ilp.decompose(g, &bench.params).cost.conflicts)
+        .collect();
     let train_parents: Vec<LayoutGraph> = train
         .units
         .iter()
@@ -88,14 +102,15 @@ fn main() {
     let train_refs: Vec<&LayoutGraph> = train_parents.iter().collect();
 
     let mut rows = Vec::new();
-    for (restarts, sample_keep) in
-        [(1usize, 0.8), (5, 0.8), (10, 0.8), (25, 0.8), (25, 1.0)]
-    {
+    for (restarts, sample_keep) in [(1usize, 0.8), (5, 0.8), (10, 0.8), (25, 0.8), (25, 1.0)] {
         let mut gnn = ColorGnn::with_shape(10, restarts, sample_keep, 0xC01);
         gnn.train(
             &train_refs,
             bench.params.k,
-            &ColorGnnTrainConfig { epochs: env_usize("MPLD_COLORGNN_EPOCHS", 15), ..Default::default() },
+            &ColorGnnTrainConfig {
+                epochs: env_usize("MPLD_COLORGNN_EPOCHS", 15),
+                ..Default::default()
+            },
         );
         let t = Instant::now();
         let results = gnn.decompose_batch(&refs, &bench.params);
@@ -112,7 +127,10 @@ fn main() {
             mpld_bench::fmt_duration(elapsed),
         ]);
     }
-    print_table(&["restarts", "neighbor keep p", "optimal", "runtime"], &rows);
+    print_table(
+        &["restarts", "neighbor keep p", "optimal", "runtime"],
+        &rows,
+    );
     println!("paper uses iter = 5 with GPU batching; sampling helps escape local optima.\n");
 
     // ---------------------------------------------------------------
@@ -130,8 +148,11 @@ fn main() {
             let mut cm = ConfusionMatrix::new();
             for &ci in &test_idx {
                 let d = &bench.data[ci];
-                let graphs: Vec<&LayoutGraph> =
-                    d.redundancy_labels.iter().map(|&(i, _)| &d.units[i]).collect();
+                let graphs: Vec<&LayoutGraph> = d
+                    .redundancy_labels
+                    .iter()
+                    .map(|&(i, _)| &d.units[i])
+                    .collect();
                 if graphs.is_empty() {
                     continue;
                 }
@@ -148,7 +169,10 @@ fn main() {
                 format!("{:.3}", cm.recall()),
             ]);
         }
-        print_table(&["bar", "pred-redundant TP", "FP", "precision", "recall"], &rows);
+        print_table(
+            &["bar", "pred-redundant TP", "FP", "precision", "recall"],
+            &rows,
+        );
         println!("higher bars trade recall (fewer ColorGNN routes) for precision.");
     }
 }

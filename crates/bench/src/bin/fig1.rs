@@ -15,7 +15,7 @@ fn main() {
     let n = bench.circuits.len();
     let train_idx: Vec<usize> = (0..n / 2).collect();
     let test_idx: Vec<usize> = (n / 2..n).collect();
-    let mut fw = train_fold(&bench, &train_idx);
+    let fw = train_fold(&bench, &train_idx);
 
     let mut graphs: Vec<&LayoutGraph> = Vec::new();
     for &ci in &test_idx {
@@ -53,8 +53,7 @@ fn main() {
 
     // ASCII scatter: markers by size class.
     let (w, h) = (72usize, 24usize);
-    let (mut xmin, mut xmax, mut ymin, mut ymax) =
-        (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
+    let (mut xmin, mut xmax, mut ymin, mut ymax) = (f32::MAX, f32::MIN, f32::MAX, f32::MIN);
     for r in 0..coords.rows() {
         xmin = xmin.min(coords[(r, 0)]);
         xmax = xmax.max(coords[(r, 0)]);
@@ -73,7 +72,10 @@ fn main() {
         grid[h - 1 - y][x] = marker;
     }
     println!("Fig. 1: unit-graph embeddings projected to 2-D (PCA)");
-    println!("markers: '.' <=6 nodes, 'o' 7-10, '#' >10   ({} graphs)\n", graphs.len());
+    println!(
+        "markers: '.' <=6 nodes, 'o' 7-10, '#' >10   ({} graphs)\n",
+        graphs.len()
+    );
     for row in grid {
         println!("{}", row.into_iter().collect::<String>());
     }

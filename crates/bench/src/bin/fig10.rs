@@ -11,7 +11,7 @@ fn main() {
         if train_idx.is_empty() {
             continue;
         }
-        let mut fw = train_fold(&bench, &train_idx);
+        let fw = train_fold(&bench, &train_idx);
         for &ci in &test_idx {
             let r = fw.decompose_prepared(&bench.prepared[ci]);
             usage.matching += r.usage.matching;
@@ -29,8 +29,16 @@ fn main() {
     print_table(
         &["engine", "graphs", "share"],
         &[
-            vec!["ColorGNN".into(), usage.colorgnn.to_string(), pct(usage.colorgnn)],
-            vec!["library matching".into(), usage.matching.to_string(), pct(usage.matching)],
+            vec![
+                "ColorGNN".into(),
+                usage.colorgnn.to_string(),
+                pct(usage.colorgnn),
+            ],
+            vec![
+                "library matching".into(),
+                usage.matching.to_string(),
+                pct(usage.matching),
+            ],
             vec!["EC".into(), usage.ec.to_string(), pct(usage.ec)],
             vec!["ILP".into(), usage.ilp.to_string(), pct(usage.ilp)],
         ],

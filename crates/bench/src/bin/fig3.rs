@@ -6,7 +6,7 @@ use mpld::layout_stats;
 use mpld_bench::{print_table, Bench};
 
 fn bar(value: usize, max: usize, width: usize) -> String {
-    let filled = if max == 0 { 0 } else { value * width / max };
+    let filled = (value * width).checked_div(max).unwrap_or(0);
     "#".repeat(filled)
 }
 
@@ -40,7 +40,10 @@ fn main() {
                 bar(*ns, max, 30),
             ]);
         }
-        print_table(&["circuit", "|G|", "|G| bar", "|ns-G|", "|ns-G| bar"], &table);
+        print_table(
+            &["circuit", "|G|", "|G| bar", "|ns-G|", "|ns-G| bar"],
+            &table,
+        );
         let tot_g: usize = rows.iter().map(|r| r.1).sum();
         let tot_ns: usize = rows.iter().map(|r| r.2).sum();
         println!(

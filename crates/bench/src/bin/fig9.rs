@@ -13,7 +13,7 @@ fn main() {
         if train_idx.is_empty() {
             continue;
         }
-        let mut fw = train_fold(&bench, &train_idx);
+        let fw = train_fold(&bench, &train_idx);
         for &ci in &test_idx {
             let r = fw.decompose_prepared(&bench.prepared[ci]);
             total.matching += r.timing.matching;
@@ -32,15 +32,31 @@ fn main() {
     print_table(
         &["category", "time", "share"],
         &[
-            vec!["ILP decomposition".into(), fmt_duration(total.ilp), pct(total.ilp)],
-            vec!["EC decomposition".into(), fmt_duration(total.ec), pct(total.ec)],
-            vec!["ColorGNN decomposition".into(), fmt_duration(total.colorgnn), pct(total.colorgnn)],
+            vec![
+                "ILP decomposition".into(),
+                fmt_duration(total.ilp),
+                pct(total.ilp),
+            ],
+            vec![
+                "EC decomposition".into(),
+                fmt_duration(total.ec),
+                pct(total.ec),
+            ],
+            vec![
+                "ColorGNN decomposition".into(),
+                fmt_duration(total.colorgnn),
+                pct(total.colorgnn),
+            ],
             vec![
                 "selection (embed + match index)".into(),
                 fmt_duration(total.selection),
                 pct(total.selection),
             ],
-            vec!["library matching".into(), fmt_duration(total.matching), pct(total.matching)],
+            vec![
+                "library matching".into(),
+                fmt_duration(total.matching),
+                pct(total.matching),
+            ],
             vec![
                 "redundancy prediction".into(),
                 fmt_duration(total.redundancy),

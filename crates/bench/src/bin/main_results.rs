@@ -77,8 +77,10 @@ fn main() {
                 t7_gnn_time[ci] = t.elapsed();
                 t7_gnn_cost[ci] = results.iter().map(|d| d.cost.value(a)).sum();
                 let t = Instant::now();
-                t7_ilp_cost[ci] =
-                    refs.iter().map(|g| exact.decompose(g, &bench.params).cost.value(a)).sum();
+                t7_ilp_cost[ci] = refs
+                    .iter()
+                    .map(|g| exact.decompose(g, &bench.params).cost.value(a))
+                    .sum();
                 t7_ilp_time[ci] = t.elapsed();
             }
         }
@@ -95,8 +97,20 @@ fn main() {
         let ilp = run_pipeline(prep, &BipDecomposer::new(), &bench.params);
         let sdp = run_pipeline(prep, &SdpDecomposer::new(), &bench.params);
         let ec = run_pipeline(prep, &EcDecomposer::new(), &bench.params);
-        let c4 = [ilp.cost.value(a), sdp.cost.value(a), ec.cost.value(a), ours_cost[ci], gnn_cost[ci]];
-        let c5 = [ilp.decompose_time, sdp.decompose_time, ec.decompose_time, ours_time[ci], gnn_time[ci]];
+        let c4 = [
+            ilp.cost.value(a),
+            sdp.cost.value(a),
+            ec.cost.value(a),
+            ours_cost[ci],
+            gnn_cost[ci],
+        ];
+        let c5 = [
+            ilp.decompose_time,
+            sdp.decompose_time,
+            ec.decompose_time,
+            ours_time[ci],
+            gnn_time[ci],
+        ];
         for (t, v) in totals4.iter_mut().zip(c4) {
             if !v.is_nan() {
                 *t += v;
@@ -110,8 +124,16 @@ fn main() {
             format!("{:.1}", c4[0]),
             format!("{:.1}", c4[1]),
             format!("{:.1}", c4[2]),
-            if c4[3].is_nan() { "-".into() } else { format!("{:.1}", c4[3]) },
-            if c4[4].is_nan() { "-".into() } else { format!("{:.1}", c4[4]) },
+            if c4[3].is_nan() {
+                "-".into()
+            } else {
+                format!("{:.1}", c4[3])
+            },
+            if c4[4].is_nan() {
+                "-".into()
+            } else {
+                format!("{:.1}", c4[4])
+            },
         ]);
         rows5.push(vec![
             bench.circuits[ci].name.to_string(),
@@ -132,9 +154,20 @@ fn main() {
         format!("{:.1}", totals4[3]),
         format!("{:.1}", totals4[4]),
     ]);
-    rows4.push(vec!["ratio".into(), "1.000".into(), ratio4(1), ratio4(2), ratio4(3), ratio4(4)]);
-    let ratio5 =
-        |i: usize| format!("{:.3}", totals5[i].as_secs_f64() / totals5[0].as_secs_f64().max(1e-12));
+    rows4.push(vec![
+        "ratio".into(),
+        "1.000".into(),
+        ratio4(1),
+        ratio4(2),
+        ratio4(3),
+        ratio4(4),
+    ]);
+    let ratio5 = |i: usize| {
+        format!(
+            "{:.3}",
+            totals5[i].as_secs_f64() / totals5[0].as_secs_f64().max(1e-12)
+        )
+    };
     rows5.push(vec![
         "total".into(),
         fmt_duration(totals5[0]),
@@ -143,14 +176,27 @@ fn main() {
         fmt_duration(totals5[3]),
         fmt_duration(totals5[4]),
     ]);
-    rows5.push(vec!["ratio".into(), "1.000".into(), ratio5(1), ratio5(2), ratio5(3), ratio5(4)]);
+    rows5.push(vec![
+        "ratio".into(),
+        "1.000".into(),
+        ratio5(1),
+        ratio5(2),
+        ratio5(3),
+        ratio5(4),
+    ]);
 
     println!("\nTable IV: decomposition cost (cn# + 0.1 st#)\n");
-    print_table(&["circuit", "ILP", "SDP", "EC", "Ours", "Ours w. GNN"], &rows4);
+    print_table(
+        &["circuit", "ILP", "SDP", "EC", "Ours", "Ours w. GNN"],
+        &rows4,
+    );
     println!("\npaper shape: ILP optimal; EC/SDP slightly above; Ours and Ours w. GNN match ILP.");
 
     println!("\nTable V: decomposition runtime (one thread; preprocessing excluded)\n");
-    print_table(&["circuit", "ILP", "SDP", "EC", "Ours", "Ours w. GNN"], &rows5);
+    print_table(
+        &["circuit", "ILP", "SDP", "EC", "Ours", "Ours w. GNN"],
+        &rows5,
+    );
     println!("\npaper shape: ILP slowest by far; Ours ~12.3% of ILP; Ours w. GNN ~4.2% of ILP.");
 
     // Table VII.
@@ -187,7 +233,17 @@ fn main() {
     ]);
     println!("\nTable VII: layout statistics and GNN decomposer results\n");
     print_table(
-        &["circuit", "|G|", "|nsc-G|", "|ns-G|", "|pred ns-G|", "ILP cost", "GNN cost", "ILP time", "GNN time"],
+        &[
+            "circuit",
+            "|G|",
+            "|nsc-G|",
+            "|ns-G|",
+            "|pred ns-G|",
+            "ILP cost",
+            "GNN cost",
+            "ILP time",
+            "GNN time",
+        ],
         &rows7,
     );
     println!(
@@ -202,12 +258,36 @@ fn main() {
     print_table(
         &["category", "time", "share"],
         &[
-            vec!["ILP decomposition".into(), fmt_duration(timing.ilp), pct(timing.ilp)],
-            vec!["EC decomposition".into(), fmt_duration(timing.ec), pct(timing.ec)],
-            vec!["ColorGNN decomposition".into(), fmt_duration(timing.colorgnn), pct(timing.colorgnn)],
-            vec!["selection (embed)".into(), fmt_duration(timing.selection), pct(timing.selection)],
-            vec!["library matching".into(), fmt_duration(timing.matching), pct(timing.matching)],
-            vec!["redundancy prediction".into(), fmt_duration(timing.redundancy), pct(timing.redundancy)],
+            vec![
+                "ILP decomposition".into(),
+                fmt_duration(timing.ilp),
+                pct(timing.ilp),
+            ],
+            vec![
+                "EC decomposition".into(),
+                fmt_duration(timing.ec),
+                pct(timing.ec),
+            ],
+            vec![
+                "ColorGNN decomposition".into(),
+                fmt_duration(timing.colorgnn),
+                pct(timing.colorgnn),
+            ],
+            vec![
+                "selection (embed)".into(),
+                fmt_duration(timing.selection),
+                pct(timing.selection),
+            ],
+            vec![
+                "library matching".into(),
+                fmt_duration(timing.matching),
+                pct(timing.matching),
+            ],
+            vec![
+                "redundancy prediction".into(),
+                fmt_duration(timing.redundancy),
+                pct(timing.redundancy),
+            ],
         ],
     );
     let selected = timing.ilp + timing.ec + timing.colorgnn;
@@ -223,8 +303,16 @@ fn main() {
     print_table(
         &["engine", "graphs", "share"],
         &[
-            vec!["ColorGNN".into(), usage.colorgnn.to_string(), upct(usage.colorgnn)],
-            vec!["library matching".into(), usage.matching.to_string(), upct(usage.matching)],
+            vec![
+                "ColorGNN".into(),
+                usage.colorgnn.to_string(),
+                upct(usage.colorgnn),
+            ],
+            vec![
+                "library matching".into(),
+                usage.matching.to_string(),
+                upct(usage.matching),
+            ],
             vec!["EC".into(), usage.ec.to_string(), upct(usage.ec)],
             vec!["ILP".into(), usage.ilp.to_string(), upct(usage.ilp)],
         ],

@@ -1,0 +1,166 @@
+//! Perf-baseline harness: measures suite preparation time, per-engine
+//! decomposition throughput, and serial-vs-parallel adaptive wall time,
+//! then writes the numbers to `BENCH_pipeline.json` (hand-rolled JSON, no
+//! serde) so perf regressions show up as artifact diffs.
+//!
+//! Usage: `cargo run --release -p mpld-bench --bin perf_baseline [out.json]`
+//!
+//! Knobs: `MPLD_CIRCUITS`, `MPLD_TRAIN_CAP`, `MPLD_EPOCHS` as usual, plus
+//! `MPLD_THREADS` for the parallel adaptive path (default: available
+//! parallelism, at least 4 so the scheduling path is always exercised).
+
+use mpld::{prepare, train_framework, PreparedLayout, TrainingData};
+use mpld_bench::env_usize;
+use mpld_ec::EcDecomposer;
+use mpld_graph::{DecomposeParams, Decomposer};
+use mpld_ilp::encode::BipDecomposer;
+use mpld_ilp::IlpDecomposer;
+use mpld_layout::iscas_suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let params = DecomposeParams::tpl();
+    let limit = env_usize("MPLD_CIRCUITS", 15).clamp(1, 15);
+    let threads = mpld::default_threads().max(4);
+
+    // 1. Suite preparation (generation + conflict graph + simplification +
+    // stitch insertion for every circuit).
+    let circuits: Vec<_> = iscas_suite().into_iter().take(limit).collect();
+    let t = Instant::now();
+    let prepared: Vec<PreparedLayout> = circuits
+        .iter()
+        .map(|c| prepare(&c.generate(), &params))
+        .collect();
+    let prepare_seconds = t.elapsed().as_secs_f64();
+    let total_units: usize = prepared.iter().map(|p| p.units.len()).sum();
+    eprintln!("prepared {limit} circuits ({total_units} units) in {prepare_seconds:.2}s");
+
+    // 2. Per-engine throughput on the unit population of the largest
+    // prepared circuit (capped so the exact engines stay bounded).
+    let biggest = prepared
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| p.units.len())
+        .map(|(i, _)| i)
+        .expect("non-empty suite");
+    let sample: Vec<_> = prepared[biggest]
+        .units
+        .iter()
+        .take(env_usize("MPLD_BENCH_UNITS", 300))
+        .collect();
+    let engines: Vec<(&str, Box<dyn Decomposer>)> = vec![
+        ("ilp_eq3", Box::new(BipDecomposer::new())),
+        ("ilp_bb", Box::new(IlpDecomposer::new())),
+        ("ec", Box::new(EcDecomposer::new())),
+    ];
+    let mut engine_rows = Vec::new();
+    for (name, engine) in &engines {
+        let t = Instant::now();
+        for u in &sample {
+            std::hint::black_box(engine.decompose(&u.hetero, &params));
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let per_sec = sample.len() as f64 / secs.max(1e-12);
+        eprintln!(
+            "{name}: {} units in {secs:.2}s ({per_sec:.0} units/s)",
+            sample.len()
+        );
+        engine_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"units\": {}, \"seconds\": {secs:.4}, \"units_per_second\": {per_sec:.1}}}",
+            sample.len()
+        ));
+    }
+
+    // 3. Adaptive framework: serial (batched) vs parallel (largest-first
+    // work-stealing + isomorphism memo cache) wall time per circuit. The
+    // ColorGNN RNG is reseeded before every run so both paths see the
+    // same stream and the cost comparison is exact.
+    let mut data = TrainingData::default();
+    let cap = env_usize("MPLD_TRAIN_CAP", 150);
+    for p in prepared.iter().take(2) {
+        data.add_layout_capped(p, &params, cap);
+    }
+    let mut cfg = mpld::OfflineConfig::default();
+    cfg.rgcn.epochs = env_usize("MPLD_EPOCHS", 12);
+    let t = Instant::now();
+    let fw = train_framework(&data, &params, &cfg);
+    eprintln!("trained framework in {:.2}s", t.elapsed().as_secs_f64());
+
+    let mut circuit_rows = Vec::new();
+    let (mut serial_total, mut parallel_total) = (0.0f64, 0.0f64);
+    let mut memo_total = 0usize;
+    for (c, prep) in circuits.iter().zip(&prepared) {
+        fw.colorgnn.reseed(0xBEEF);
+        let t = Instant::now();
+        let serial = fw.decompose_prepared(prep);
+        let s_secs = t.elapsed().as_secs_f64();
+
+        fw.colorgnn.reseed(0xBEEF);
+        let t = Instant::now();
+        let parallel = fw.decompose_prepared_parallel(prep, threads);
+        let p_secs = t.elapsed().as_secs_f64();
+
+        assert_eq!(
+            serial.pipeline.cost, parallel.pipeline.cost,
+            "{}: parallel adaptive cost diverged from serial",
+            c.name
+        );
+        serial_total += s_secs;
+        parallel_total += p_secs;
+        memo_total += parallel.memo_hits;
+        eprintln!(
+            "{}: serial {s_secs:.3}s, parallel {p_secs:.3}s ({} units, {} memo hits) [serial ilp {:.3}s ec {:.3}s gnn {:.3}s match {:.3}s sel {:.3}s red {:.3}s]",
+            c.name,
+            prep.units.len(),
+            parallel.memo_hits,
+            serial.timing.ilp.as_secs_f64(),
+            serial.timing.ec.as_secs_f64(),
+            serial.timing.colorgnn.as_secs_f64(),
+            serial.timing.matching.as_secs_f64(),
+            serial.timing.selection.as_secs_f64(),
+            serial.timing.redundancy.as_secs_f64(),
+        );
+        circuit_rows.push(format!(
+            "      {{\"name\": \"{}\", \"units\": {}, \"serial_seconds\": {s_secs:.4}, \"parallel_seconds\": {p_secs:.4}, \"memo_hits\": {}, \"cost_equal\": true}}",
+            c.name,
+            prep.units.len(),
+            parallel.memo_hits
+        ));
+    }
+    let speedup = serial_total / parallel_total.max(1e-12);
+    eprintln!(
+        "adaptive suite: serial {serial_total:.2}s, parallel {parallel_total:.2}s -> {speedup:.2}x ({threads} threads, {memo_total} memo hits)"
+    );
+
+    let mut json = String::new();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"cpu_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"speedup is parallel-tail + isomorphism-memo wall-clock gain over the serial batched path; thread scaling requires cpu_cores > 1\","
+    );
+    let _ = writeln!(json, "  \"circuits\": {limit},");
+    let _ = writeln!(json, "  \"total_units\": {total_units},");
+    let _ = writeln!(json, "  \"prepare_seconds\": {prepare_seconds:.4},");
+    let _ = writeln!(json, "  \"engine_throughput\": [");
+    let _ = writeln!(json, "{}", engine_rows.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"adaptive\": {{");
+    let _ = writeln!(json, "    \"serial_seconds\": {serial_total:.4},");
+    let _ = writeln!(json, "    \"parallel_seconds\": {parallel_total:.4},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "    \"memo_hits\": {memo_total},");
+    let _ = writeln!(json, "    \"per_circuit\": [");
+    let _ = writeln!(json, "{}", circuit_rows.join(",\n"));
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write artifact");
+    println!("wrote {out_path}");
+}

@@ -13,11 +13,35 @@ use mpld_sdp::SdpDecomposer;
 fn main() {
     println!("Table I: comparison among different decomposers\n");
     print_table(
-        &["decomposer", "quality", "efficiency", "flexibility", "stitch"],
         &[
-            vec!["ILP".into(), "optimal".into(), "low".into(), "low".into(), "yes".into()],
-            vec!["SDP".into(), "near-opt".into(), "medium".into(), "medium".into(), "yes".into()],
-            vec!["EC".into(), "near-opt".into(), "high".into(), "high".into(), "yes".into()],
+            "decomposer",
+            "quality",
+            "efficiency",
+            "flexibility",
+            "stitch",
+        ],
+        &[
+            vec![
+                "ILP".into(),
+                "optimal".into(),
+                "low".into(),
+                "low".into(),
+                "yes".into(),
+            ],
+            vec![
+                "SDP".into(),
+                "near-opt".into(),
+                "medium".into(),
+                "medium".into(),
+                "yes".into(),
+            ],
+            vec![
+                "EC".into(),
+                "near-opt".into(),
+                "high".into(),
+                "high".into(),
+                "yes".into(),
+            ],
             vec![
                 "Matching".into(),
                 "optimal*".into(),

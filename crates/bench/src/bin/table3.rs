@@ -42,7 +42,10 @@ fn main() {
         .flat_map(|l| l.iter())
         .filter(|&&l| l == 0)
         .count();
-    eprintln!("{positives} ILP-labeled units of {}", labels.iter().map(Vec::len).sum::<usize>());
+    eprintln!(
+        "{positives} ILP-labeled units of {}",
+        labels.iter().map(Vec::len).sum::<usize>()
+    );
 
     let mut rgcn_cm = ConfusionMatrix::new();
     let mut gcn_cm = ConfusionMatrix::new();
@@ -68,8 +71,11 @@ fn main() {
         if graphs.is_empty() {
             continue;
         }
-        let data: Vec<(&LayoutGraph, u8)> =
-            graphs.iter().copied().zip(train_labels.iter().copied()).collect();
+        let data: Vec<(&LayoutGraph, u8)> = graphs
+            .iter()
+            .copied()
+            .zip(train_labels.iter().copied())
+            .collect();
         let mut rgcn = RgcnClassifier::selector(fold as u64);
         rgcn.train(&data, &cfg);
         let mut gcn = GcnClassifier::selector(fold as u64);
@@ -92,7 +98,10 @@ fn main() {
     }
 
     println!("Table III: decomposer-selection quality (class 0 = ILP; labels vs baseline EC)\n");
-    for (title, cm) in [("(a) proposed RGCN", rgcn_cm), ("(b) conventional GCN", gcn_cm)] {
+    for (title, cm) in [
+        ("(a) proposed RGCN", rgcn_cm),
+        ("(b) conventional GCN", gcn_cm),
+    ] {
         println!("{title}");
         print_table(
             &["", "labeled ILP", "labeled EC"],

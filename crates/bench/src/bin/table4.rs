@@ -57,8 +57,10 @@ fn main() {
             format!("{:.1}", vals[0]),
             format!("{:.1}", vals[1]),
             format!("{:.1}", vals[2]),
-            o.map(|c| format!("{:.1}", c.value(a))).unwrap_or_else(|| "-".into()),
-            og.map(|c| format!("{:.1}", c.value(a))).unwrap_or_else(|| "-".into()),
+            o.map(|c| format!("{:.1}", c.value(a)))
+                .unwrap_or_else(|| "-".into()),
+            og.map(|c| format!("{:.1}", c.value(a)))
+                .unwrap_or_else(|| "-".into()),
         ]);
         eprintln!("{} measured", bench.circuits[ci].name);
     }
@@ -77,9 +79,19 @@ fn main() {
             "1.000".into()
         }
     };
-    rows.push(vec!["ratio".into(), "1.000".into(), ratio(1), ratio(2), ratio(3), ratio(4)]);
+    rows.push(vec![
+        "ratio".into(),
+        "1.000".into(),
+        ratio(1),
+        ratio(2),
+        ratio(3),
+        ratio(4),
+    ]);
 
     println!("\nTable IV: decomposition cost (cn# + 0.1 st#)\n");
-    print_table(&["circuit", "ILP", "SDP", "EC", "Ours", "Ours w. GNN"], &rows);
+    print_table(
+        &["circuit", "ILP", "SDP", "EC", "Ours", "Ours w. GNN"],
+        &rows,
+    );
     println!("\npaper shape: ILP optimal; EC/SDP slightly above; Ours and Ours w. GNN match ILP.");
 }

@@ -24,10 +24,17 @@ fn main() {
         let mut fw = train_fold(&bench, &train_idx);
         for &ci in &test_idx {
             fw.use_colorgnn = false;
-            ours[ci] = Some(fw.decompose_prepared(&bench.prepared[ci]).pipeline.decompose_time);
+            ours[ci] = Some(
+                fw.decompose_prepared(&bench.prepared[ci])
+                    .pipeline
+                    .decompose_time,
+            );
             fw.use_colorgnn = true;
-            ours_gnn[ci] =
-                Some(fw.decompose_prepared(&bench.prepared[ci]).pipeline.decompose_time);
+            ours_gnn[ci] = Some(
+                fw.decompose_prepared(&bench.prepared[ci])
+                    .pipeline
+                    .decompose_time,
+            );
         }
         eprintln!("fold tested {test_idx:?}");
     }
@@ -61,9 +68,19 @@ fn main() {
         fmt_duration(totals[4]),
     ]);
     let ratio = |i: usize| format!("{:.3}", totals[i].as_secs_f64() / totals[0].as_secs_f64());
-    rows.push(vec!["ratio".into(), "1.000".into(), ratio(1), ratio(2), ratio(3), ratio(4)]);
+    rows.push(vec![
+        "ratio".into(),
+        "1.000".into(),
+        ratio(1),
+        ratio(2),
+        ratio(3),
+        ratio(4),
+    ]);
 
     println!("\nTable V: decomposition runtime (one thread; preprocessing excluded)\n");
-    print_table(&["circuit", "ILP", "SDP", "EC", "Ours", "Ours w. GNN"], &rows);
+    print_table(
+        &["circuit", "ILP", "SDP", "EC", "Ours", "Ours w. GNN"],
+        &rows,
+    );
     println!("\npaper shape: ILP slowest by far; Ours ~12.3% of ILP; Ours w. GNN ~4.2% of ILP.");
 }

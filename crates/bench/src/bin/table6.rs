@@ -38,8 +38,11 @@ fn main() {
         model.train(&data, &cfg);
         for &ci in test_idx {
             let test = &bench.data[ci];
-            let graphs: Vec<&LayoutGraph> =
-                test.redundancy_labels.iter().map(|&(i, _)| &test.units[i]).collect();
+            let graphs: Vec<&LayoutGraph> = test
+                .redundancy_labels
+                .iter()
+                .map(|&(i, _)| &test.units[i])
+                .collect();
             if graphs.is_empty() {
                 continue;
             }
@@ -57,15 +60,20 @@ fn main() {
     }
 
     println!("Table VI: stitch-redundancy prediction (class 0 = redundant)\n");
-    for (title, cm) in
-        [("(a) all instances".to_string(), all), (format!("(b) confidence > {bar}"), above)]
-    {
+    for (title, cm) in [
+        ("(a) all instances".to_string(), all),
+        (format!("(b) confidence > {bar}"), above),
+    ] {
         println!("{title}");
         print_table(
             &["", "labeled redun.", "labeled not redun."],
             &[
                 vec!["pred redun.".into(), cm.tp.to_string(), cm.fp.to_string()],
-                vec!["pred not redun.".into(), cm.fn_.to_string(), cm.tn.to_string()],
+                vec![
+                    "pred not redun.".into(),
+                    cm.fn_.to_string(),
+                    cm.tn.to_string(),
+                ],
             ],
         );
         println!(

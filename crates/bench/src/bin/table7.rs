@@ -26,7 +26,7 @@ fn main() {
         if train_idx.is_empty() {
             continue;
         }
-        let mut fw = train_fold(&bench, &train_idx);
+        let fw = train_fold(&bench, &train_idx);
         let ilp = BipDecomposer::new();
         for &ci in &test_idx {
             let prep = &bench.prepared[ci];
@@ -49,8 +49,10 @@ fn main() {
             let t = Instant::now();
             let results = fw.colorgnn.decompose_batch(&parent_refs, &bench.params);
             gnn_time[ci] = t.elapsed();
-            gnn_cost[ci] =
-                results.iter().map(|d| d.cost.value(bench.params.alpha)).sum();
+            gnn_cost[ci] = results
+                .iter()
+                .map(|d| d.cost.value(bench.params.alpha))
+                .sum();
             // ILP on the same set.
             let t = Instant::now();
             let mut total = 0f64;

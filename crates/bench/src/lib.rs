@@ -33,7 +33,10 @@ pub struct Bench {
 
 /// Reads a `usize` environment knob.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl Bench {
@@ -43,8 +46,10 @@ impl Bench {
         let limit = env_usize("MPLD_CIRCUITS", 15).clamp(1, 15);
         let train_cap = env_usize("MPLD_TRAIN_CAP", 150);
         let circuits: Vec<Circuit> = iscas_suite().into_iter().take(limit).collect();
-        let prepared: Vec<PreparedLayout> =
-            circuits.iter().map(|c| prepare(&c.generate(), &params)).collect();
+        let prepared: Vec<PreparedLayout> = circuits
+            .iter()
+            .map(|c| prepare(&c.generate(), &params))
+            .collect();
         let data = prepared
             .iter()
             .map(|p| {
@@ -53,7 +58,13 @@ impl Bench {
                 d
             })
             .collect();
-        Bench { params, circuits, prepared, data, train_cap }
+        Bench {
+            params,
+            circuits,
+            prepared,
+            data,
+            train_cap,
+        }
     }
 
     /// Offline config honoring the environment knobs.
@@ -114,8 +125,7 @@ impl Bench {
         let wanted = env_usize("MPLD_FOLDS", all_folds).clamp(1, all_folds);
         (0..wanted)
             .map(|f| {
-                let test: Vec<usize> =
-                    [2 * f, 2 * f + 1].into_iter().filter(|&i| i < n).collect();
+                let test: Vec<usize> = [2 * f, 2 * f + 1].into_iter().filter(|&i| i < n).collect();
                 let train: Vec<usize> = (0..n).filter(|i| !test.contains(i)).collect();
                 (train, test)
             })
@@ -151,7 +161,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in rows {
         line(row);
@@ -177,8 +191,10 @@ mod tests {
     fn tiny() -> Bench {
         let params = DecomposeParams::tpl();
         let circuits: Vec<Circuit> = iscas_suite().into_iter().take(2).collect();
-        let prepared: Vec<PreparedLayout> =
-            circuits.iter().map(|c| prepare(&c.generate(), &params)).collect();
+        let prepared: Vec<PreparedLayout> = circuits
+            .iter()
+            .map(|c| prepare(&c.generate(), &params))
+            .collect();
         let data = prepared
             .iter()
             .map(|p| {
@@ -187,7 +203,13 @@ mod tests {
                 d
             })
             .collect();
-        Bench { params, circuits, prepared, data, train_cap: 30 }
+        Bench {
+            params,
+            circuits,
+            prepared,
+            data,
+            train_cap: 30,
+        }
     }
 
     #[test]

@@ -62,7 +62,15 @@ mod tests {
 
     #[test]
     fn positionals_and_options_mix() {
-        let p = parse(&strs(&["decompose", "C432", "--engine", "ec", "-o", "out.txt"])).unwrap();
+        let p = parse(&strs(&[
+            "decompose",
+            "C432",
+            "--engine",
+            "ec",
+            "-o",
+            "out.txt",
+        ]))
+        .unwrap();
         assert_eq!(p.positional(0), Some("decompose"));
         assert_eq!(p.positional(1), Some("C432"));
         assert_eq!(p.option("engine"), Some("ec"));

@@ -27,6 +27,9 @@ commands:
       --cap <n> --epochs <n>         limits (default 150, 12)
       -o <file>                      model output (default model.bin)
   adaptive <layout> --model <file>   adaptive decomposition with a model
+      --threads <n>                  ILP/EC tail worker threads (default:
+                                     MPLD_THREADS env or the machine's
+                                     available parallelism)
   render <layout> -o out.svg         render to SVG
       --engine ilp|ilp-bb|sdp|ec     color by a decomposition (optional)
 
@@ -70,7 +73,10 @@ fn params_from(parsed: &Parsed) -> Result<DecomposeParams, String> {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<10} {:>6} {:>10} {:>7}", "circuit", "d(nm)", "~features", "group");
+    println!(
+        "{:<10} {:>6} {:>10} {:>7}",
+        "circuit", "d(nm)", "~features", "group"
+    );
     for c in iscas_suite() {
         println!(
             "{:<10} {:>6} {:>10} {:>7}",
@@ -84,7 +90,9 @@ fn cmd_list() -> Result<(), String> {
 }
 
 fn cmd_generate(parsed: &Parsed) -> Result<(), String> {
-    let name = parsed.positional(1).ok_or("generate: missing circuit name")?;
+    let name = parsed
+        .positional(1)
+        .ok_or("generate: missing circuit name")?;
     let layout = load_layout(name)?;
     match parsed.option("o") {
         Some(path) => {
@@ -105,14 +113,23 @@ fn cmd_stats(parsed: &Parsed) -> Result<(), String> {
     let params = params_from(parsed)?;
     let layout = load_layout(arg)?;
     let prep = prepare(&layout, &params);
-    println!("layout {}: {} features, d = {} nm", layout.name, layout.features.len(), layout.d);
+    println!(
+        "layout {}: {} features, d = {} nm",
+        layout.name,
+        layout.features.len(),
+        layout.d
+    );
     println!(
         "conflict graph: {} edges; {} features hidden by simplification",
         prep.graph.conflict_edges().len(),
         prep.simplified.hidden_nodes().len()
     );
     let sizes: Vec<usize> = prep.units.iter().map(|u| u.hetero.num_nodes()).collect();
-    let stitchy = prep.units.iter().filter(|u| u.hetero.has_stitches()).count();
+    let stitchy = prep
+        .units
+        .iter()
+        .filter(|u| u.hetero.has_stitches())
+        .count();
     println!(
         "{} unit graphs (max {} nodes, {} with stitch candidates)",
         prep.units.len(),
@@ -181,7 +198,11 @@ fn cmd_train(parsed: &Parsed) -> Result<(), String> {
     for name in names.split(',') {
         let layout = load_layout(name.trim())?;
         let prep = prepare(&layout, &params);
-        eprintln!("labeling {} ({} units, cap {cap})...", layout.name, prep.units.len());
+        eprintln!(
+            "labeling {} ({} units, cap {cap})...",
+            layout.name,
+            prep.units.len()
+        );
         data.add_layout_capped(&prep, &params, cap);
     }
     let mut cfg = OfflineConfig::default();
@@ -190,30 +211,44 @@ fn cmd_train(parsed: &Parsed) -> Result<(), String> {
     let fw = mpld::train_framework(&data, &params, &cfg);
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     fw.save(BufWriter::new(file)).map_err(|e| e.to_string())?;
-    println!("saved framework (library {} graphs) to {out}", fw.library.len());
+    println!(
+        "saved framework (library {} graphs) to {out}",
+        fw.library.len()
+    );
     Ok(())
 }
 
 fn cmd_adaptive(parsed: &Parsed) -> Result<(), String> {
     let arg = parsed.positional(1).ok_or("adaptive: missing layout")?;
-    let model = parsed.option("model").ok_or("adaptive: missing --model <file>")?;
+    let model = parsed
+        .option("model")
+        .ok_or("adaptive: missing --model <file>")?;
     let params = params_from(parsed)?;
     let file = File::open(model).map_err(|e| format!("cannot open {model}: {e}"))?;
-    let mut fw = AdaptiveFramework::load(BufReader::new(file), &params, &OfflineConfig::default())
+    let fw = AdaptiveFramework::load(BufReader::new(file), &params, &OfflineConfig::default())
         .map_err(|e| format!("cannot load {model}: {e}"))?;
     let layout = load_layout(arg)?;
     let prep = prepare(&layout, &params);
-    let r = fw.decompose_prepared(&prep);
+    let threads: usize = parsed.option_or("threads", mpld::default_threads())?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let r = fw.decompose_prepared_parallel(&prep, threads);
     println!(
-        "adaptive on {}: {} (objective {:.1}) in {:?}",
+        "adaptive on {}: {} (objective {:.1}) in {:?} ({threads} threads)",
         layout.name,
         r.pipeline.cost,
         r.pipeline.cost.value(params.alpha),
         r.pipeline.decompose_time
     );
     println!(
-        "usage: matching {}  ColorGNN {}  EC {}  ILP {}  (fallbacks {})",
-        r.usage.matching, r.usage.colorgnn, r.usage.ec, r.usage.ilp, r.usage.colorgnn_fallbacks
+        "usage: matching {}  ColorGNN {}  EC {}  ILP {}  (fallbacks {}, memo hits {})",
+        r.usage.matching,
+        r.usage.colorgnn,
+        r.usage.ec,
+        r.usage.ilp,
+        r.usage.colorgnn_fallbacks,
+        r.memo_hits
     );
     if let Some(path) = parsed.option("o") {
         write_masks(path, &r.pipeline.decomposition.feature_colors)?;
@@ -318,7 +353,12 @@ mod tests {
 
     #[test]
     fn bad_engine_rejected() {
-        let r = dispatch(&["decompose".into(), "C432".into(), "--engine".into(), "magic".into()]);
+        let r = dispatch(&[
+            "decompose".into(),
+            "C432".into(),
+            "--engine".into(),
+            "magic".into(),
+        ]);
         assert!(r.is_err());
     }
 }

@@ -91,7 +91,11 @@ mod tests {
         let prep = prepare(&layout, &params);
         let r = run_pipeline(&prep, &IlpDecomposer::new(), &params);
         let d = mask_densities(&layout, &r.decomposition.feature_colors, params.k);
-        assert!(density_imbalance(&d) < 0.5, "imbalance {:.2}", density_imbalance(&d));
+        assert!(
+            density_imbalance(&d) < 0.5,
+            "imbalance {:.2}",
+            density_imbalance(&d)
+        );
     }
 
     #[test]

@@ -13,13 +13,19 @@
 //! Runtime is accounted per category so Fig. 9 (runtime breakdown) and
 //! Fig. 10 (usage breakdown) can be reproduced.
 
+use crate::parallel::run_largest_first;
 use crate::pipeline::{assemble, PipelineResult, PreparedLayout};
 use mpld_ec::EcDecomposer;
 use mpld_gnn::{ColorGnn, RgcnClassifier};
 use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph};
 use mpld_ilp::encode::BipDecomposer;
-use mpld_matching::GraphLibrary;
+use mpld_matching::{canonical_form_labeled, CanonicalForm, GraphLibrary};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Largest unit eligible for the session memo cache: the exact canonical
+/// form in `mpld-matching` is factorial-guarded at 12 nodes.
+const MEMO_MAX_NODES: usize = 12;
 
 /// Which engine decomposed a unit (for Fig. 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +92,10 @@ pub struct AdaptiveResult {
     pub timing: TimingBreakdown,
     /// Which engine handled each unit.
     pub unit_engines: Vec<EngineKind>,
+    /// ILP/EC-tail units resolved by transferring an isomorphic unit's
+    /// solution from the session memo cache (parallel path only; always
+    /// zero on the serial paths).
+    pub memo_hits: usize,
 }
 
 /// The trained adaptive framework (see module docs).
@@ -119,14 +129,14 @@ pub struct AdaptiveFramework {
 impl AdaptiveFramework {
     /// Predicted probability that all stitch candidates of `g` are
     /// redundant.
-    pub fn redundancy_confidence(&mut self, g: &LayoutGraph) -> f32 {
+    pub fn redundancy_confidence(&self, g: &LayoutGraph) -> f32 {
         // Class 0 = "redundant" by the training-label convention.
         self.redundancy.predict(g)[0]
     }
 
     /// Selector decision for `g`: 0 = ILP, 1 = EC (requires the EC
     /// confidence to clear [`AdaptiveFramework::ec_threshold`]).
-    pub fn select_engine(&mut self, g: &LayoutGraph) -> u8 {
+    pub fn select_engine(&self, g: &LayoutGraph) -> u8 {
         let p = self.selector.predict(g);
         u8::from(p[1] > self.ec_threshold)
     }
@@ -138,7 +148,7 @@ impl AdaptiveFramework {
     /// This is the structural version of the paper's 100%-ILP-recall
     /// selector.
     fn decompose_with_selection(
-        &mut self,
+        &self,
         g: &LayoutGraph,
         ec_first: bool,
         timing: &mut TimingBreakdown,
@@ -150,11 +160,17 @@ impl AdaptiveFramework {
             if certified {
                 return (d, EngineKind::Ec);
             }
+            // Verify the uncertified EC result against the exact ILP with
+            // the EC cost as the branch-and-bound's starting incumbent:
+            // `None` proves the EC result optimal without the cold search
+            // ever having to rediscover a solution of that quality.
             let t = Instant::now();
-            let exact = self.ilp.decompose(g, &self.params);
+            let exact = self.ilp.decompose_below(g, &self.params, &d.cost);
             timing.ilp += t.elapsed();
-            if exact.cost.better_than(&d.cost, self.params.alpha) {
-                return (exact, EngineKind::Ilp);
+            if let Some(exact) = exact {
+                if exact.cost.better_than(&d.cost, self.params.alpha) {
+                    return (exact, EngineKind::Ilp);
+                }
             }
             (d, EngineKind::Ec)
         } else {
@@ -168,14 +184,14 @@ impl AdaptiveFramework {
     /// Decomposes one unit graph, returning the decomposition, the engine
     /// used, and whether a ColorGNN fallback occurred.
     fn decompose_unit(
-        &mut self,
+        &self,
         hetero: &LayoutGraph,
         timing: &mut TimingBreakdown,
     ) -> (Decomposition, EngineKind, bool) {
         // 1. Library matching.
         if hetero.num_nodes() <= self.library.max_nodes() {
             let t = Instant::now();
-            let hit = self.library.lookup(&mut self.selector, hetero);
+            let hit = self.library.lookup(&self.selector, hetero);
             timing.matching += t.elapsed();
             if let Some(d) = hit {
                 return (d, EngineKind::Matching, false);
@@ -200,8 +216,7 @@ impl AdaptiveFramework {
                 if pd.cost.conflicts == 0 {
                     // Expand the parent coloring to subfeatures (no stitch
                     // is activated, so the cost carries over exactly).
-                    let coloring: Vec<u8> =
-                        map.iter().map(|&p| pd.coloring[p as usize]).collect();
+                    let coloring: Vec<u8> = map.iter().map(|&p| pd.coloring[p as usize]).collect();
                     let d = Decomposition::from_coloring(hetero, coloring, self.params.alpha);
                     return (d, EngineKind::ColorGnn, false);
                 }
@@ -222,7 +237,7 @@ impl AdaptiveFramework {
     /// Adaptively decomposes a prepared layout, one unit at a time (no
     /// batched inference). Mostly useful for comparison with the batched
     /// default, [`AdaptiveFramework::decompose_prepared`].
-    pub fn decompose_prepared_unbatched(&mut self, prep: &PreparedLayout) -> AdaptiveResult {
+    pub fn decompose_prepared_unbatched(&self, prep: &PreparedLayout) -> AdaptiveResult {
         let start = Instant::now();
         let mut timing = TimingBreakdown::default();
         let mut usage = UsageBreakdown::default();
@@ -244,45 +259,39 @@ impl AdaptiveFramework {
         }
         let decompose_time = start.elapsed();
         let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
-        AdaptiveResult { pipeline, usage, timing, unit_engines }
+        AdaptiveResult {
+            pipeline,
+            usage,
+            timing,
+            unit_engines,
+            memo_hits: 0,
+        }
     }
 
-    /// Adaptively decomposes a prepared layout with batched GNN inference
-    /// (the paper batches all simplified graphs for efficiency): one RGCN
-    /// pass computes embeddings + selector probabilities for every unit,
-    /// one `RGCN_r` pass the redundancy confidences, and one batched
-    /// ColorGNN run decomposes all predicted-redundant parent graphs.
-    pub fn decompose_prepared(&mut self, prep: &PreparedLayout) -> AdaptiveResult {
-        let start = Instant::now();
-        let mut timing = TimingBreakdown::default();
-        let mut usage = UsageBreakdown::default();
-        let n = prep.units.len();
-        let graphs: Vec<&LayoutGraph> = prep.units.iter().map(|u| &u.hetero).collect();
-        if n == 0 {
-            let pipeline = assemble(prep, &self.params, Vec::new(), start.elapsed());
-            return AdaptiveResult {
-                pipeline,
-                usage,
-                timing,
-                unit_engines: Vec::new(),
-            };
-        }
+    /// Shared prefix of the batched online flow: one selector pass
+    /// (embeddings + ILP/EC probabilities), one redundancy pass, library
+    /// matching with the precomputed embeddings, and the batched ColorGNN
+    /// run over predicted-redundant units. Returns the routing state with
+    /// the ILP/EC tail still unsolved (`unit_results[i] == None`).
+    fn route_units(&self, graphs: &[&LayoutGraph], routed: &mut RoutedUnits) {
+        let n = graphs.len();
+        let timing = &mut routed.timing;
 
         // Batched selector pass: embeddings (shared with matching) and
         // ILP/EC probabilities.
         let t = Instant::now();
-        let embeddings = self.selector.embeddings_batch(&graphs);
-        let selector_probs = self.selector.predict_batch(&graphs);
+        let embeddings = self.selector.embeddings_batch(graphs);
+        routed.selector_probs = self.selector.predict_batch(graphs);
         timing.selection += t.elapsed();
 
         // Batched redundancy pass.
         let t = Instant::now();
-        let redundancy_probs = self.redundancy.predict_batch(&graphs);
+        let redundancy_probs = self.redundancy.predict_batch(graphs);
         timing.redundancy += t.elapsed();
 
-        let mut unit_results: Vec<Option<Decomposition>> = vec![None; n];
-        let mut unit_engines: Vec<Option<EngineKind>> = vec![None; n];
-        let mut guard_failed = vec![false; n];
+        routed.unit_results = vec![None; n];
+        routed.unit_engines = vec![None; n];
+        routed.guard_failed = vec![false; n];
 
         // 1. Library matching with the precomputed embeddings.
         let t = Instant::now();
@@ -290,9 +299,9 @@ impl AdaptiveFramework {
             if g.num_nodes() <= self.library.max_nodes() {
                 let (emb, nodes) = &embeddings[i];
                 if let Some(d) = self.library.lookup_with_embeddings(g, emb, nodes) {
-                    unit_results[i] = Some(d);
-                    unit_engines[i] = Some(EngineKind::Matching);
-                    usage.matching += 1;
+                    routed.unit_results[i] = Some(d);
+                    routed.unit_engines[i] = Some(EngineKind::Matching);
+                    routed.usage.matching += 1;
                 }
             }
         }
@@ -305,11 +314,10 @@ impl AdaptiveFramework {
             let mut parents = Vec::new();
             let mut maps = Vec::new();
             for (i, g) in graphs.iter().enumerate() {
-                if unit_results[i].is_some() || g.num_nodes() == 0 {
+                if routed.unit_results[i].is_some() || g.num_nodes() == 0 {
                     continue;
                 }
-                let redundant =
-                    !g.has_stitches() || redundancy_probs[i][0] > self.redundancy_bar;
+                let redundant = !g.has_stitches() || redundancy_probs[i][0] > self.redundancy_bar;
                 if redundant {
                     let (parent, map) = g.merge_stitch_edges();
                     idx.push(i);
@@ -321,20 +329,49 @@ impl AdaptiveFramework {
             let results = self.colorgnn.decompose_batch(&parent_refs, &self.params);
             for ((&i, pd), map) in idx.iter().zip(results).zip(&maps) {
                 if pd.cost.conflicts == 0 {
-                    let coloring: Vec<u8> =
-                        map.iter().map(|&p| pd.coloring[p as usize]).collect();
-                    let d =
-                        Decomposition::from_coloring(graphs[i], coloring, self.params.alpha);
-                    unit_results[i] = Some(d);
-                    unit_engines[i] = Some(EngineKind::ColorGnn);
-                    usage.colorgnn += 1;
+                    let coloring: Vec<u8> = map.iter().map(|&p| pd.coloring[p as usize]).collect();
+                    let d = Decomposition::from_coloring(graphs[i], coloring, self.params.alpha);
+                    routed.unit_results[i] = Some(d);
+                    routed.unit_engines[i] = Some(EngineKind::ColorGnn);
+                    routed.usage.colorgnn += 1;
                 } else {
-                    usage.colorgnn_fallbacks += 1;
-                    guard_failed[i] = true;
+                    routed.usage.colorgnn_fallbacks += 1;
+                    routed.guard_failed[i] = true;
                 }
             }
             timing.colorgnn += t.elapsed();
         }
+    }
+
+    /// Adaptively decomposes a prepared layout with batched GNN inference
+    /// (the paper batches all simplified graphs for efficiency): one RGCN
+    /// pass computes embeddings + selector probabilities for every unit,
+    /// one `RGCN_r` pass the redundancy confidences, and one batched
+    /// ColorGNN run decomposes all predicted-redundant parent graphs.
+    pub fn decompose_prepared(&self, prep: &PreparedLayout) -> AdaptiveResult {
+        let start = Instant::now();
+        let n = prep.units.len();
+        let graphs: Vec<&LayoutGraph> = prep.units.iter().map(|u| &u.hetero).collect();
+        if n == 0 {
+            let pipeline = assemble(prep, &self.params, Vec::new(), start.elapsed());
+            return AdaptiveResult {
+                pipeline,
+                usage: UsageBreakdown::default(),
+                timing: TimingBreakdown::default(),
+                unit_engines: Vec::new(),
+                memo_hits: 0,
+            };
+        }
+        let mut routed = RoutedUnits::default();
+        self.route_units(&graphs, &mut routed);
+        let RoutedUnits {
+            mut unit_results,
+            mut unit_engines,
+            mut usage,
+            mut timing,
+            guard_failed,
+            selector_probs,
+        } = routed;
 
         // 3. Remaining units (including ColorGNN-guard failures): ILP/EC
         // per the selector, with certified EC acceptance (see
@@ -343,8 +380,7 @@ impl AdaptiveFramework {
             if unit_results[i].is_some() {
                 continue;
             }
-            let ec_first =
-                guard_failed[i] || selector_probs[i][1] > self.ec_threshold;
+            let ec_first = guard_failed[i] || selector_probs[i][1] > self.ec_threshold;
             let (d, engine) = self.decompose_with_selection(g, ec_first, &mut timing);
             match engine {
                 EngineKind::Ilp => usage.ilp += 1,
@@ -354,14 +390,222 @@ impl AdaptiveFramework {
             unit_engines[i] = Some(engine);
         }
 
-        let unit_results: Vec<Decomposition> =
-            unit_results.into_iter().map(|d| d.expect("every unit decomposed")).collect();
-        let unit_engines: Vec<EngineKind> =
-            unit_engines.into_iter().map(|e| e.expect("every unit routed")).collect();
+        let unit_results: Vec<Decomposition> = unit_results
+            .into_iter()
+            .map(|d| d.expect("every unit decomposed"))
+            .collect();
+        let unit_engines: Vec<EngineKind> = unit_engines
+            .into_iter()
+            .map(|e| e.expect("every unit routed"))
+            .collect();
         let decompose_time = start.elapsed();
         let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
-        AdaptiveResult { pipeline, usage, timing, unit_engines }
+        AdaptiveResult {
+            pipeline,
+            usage,
+            timing,
+            unit_engines,
+            memo_hits: 0,
+        }
     }
+
+    /// Like [`AdaptiveFramework::decompose_prepared`], but fans the
+    /// ILP/EC tail out to `threads` workers scheduled largest-unit-first,
+    /// with a session-scoped memo cache: tail units that are isomorphic
+    /// (same canonical certificate from `mpld-matching`, same routing
+    /// flag) are solved once — the first representative in unit order —
+    /// and every other member receives the representative's coloring
+    /// transferred through the shared canonical label space, re-verified
+    /// against the member's own cost function before acceptance.
+    ///
+    /// The batched GNN passes (selection, redundancy, matching, ColorGNN)
+    /// stay serial: they are a single inference pass each and consume the
+    /// ColorGNN RNG stream in unit order, which keeps results independent
+    /// of `threads`. Consequently cost, usage and per-unit engines are
+    /// identical for any thread count.
+    ///
+    /// Timing semantics: `timing.ilp`/`timing.ec` sum the *per-unit solver
+    /// time* across workers (the paper's Fig. 9/Table V accounting), so
+    /// they can exceed the wall-clock `pipeline.decompose_time`, which is
+    /// reported separately.
+    pub fn decompose_prepared_parallel(
+        &self,
+        prep: &PreparedLayout,
+        threads: usize,
+    ) -> AdaptiveResult {
+        let start = Instant::now();
+        let n = prep.units.len();
+        let graphs: Vec<&LayoutGraph> = prep.units.iter().map(|u| &u.hetero).collect();
+        if n == 0 {
+            let pipeline = assemble(prep, &self.params, Vec::new(), start.elapsed());
+            return AdaptiveResult {
+                pipeline,
+                usage: UsageBreakdown::default(),
+                timing: TimingBreakdown::default(),
+                unit_engines: Vec::new(),
+                memo_hits: 0,
+            };
+        }
+        let mut routed = RoutedUnits::default();
+        self.route_units(&graphs, &mut routed);
+        let RoutedUnits {
+            mut unit_results,
+            mut unit_engines,
+            mut usage,
+            mut timing,
+            guard_failed,
+            selector_probs,
+        } = routed;
+
+        // 3. The ILP/EC tail. `tail` is in unit order; `ecf[t]` is the
+        // routing flag of tail unit `t` (it is part of the memo key
+        // because it decides which engines may answer).
+        let tail: Vec<usize> = (0..n).filter(|&i| unit_results[i].is_none()).collect();
+        let ecf: Vec<bool> = tail
+            .iter()
+            .map(|&i| guard_failed[i] || selector_probs[i][1] > self.ec_threshold)
+            .collect();
+
+        // Group memoizable tail units by canonical certificate. A cheap
+        // structural fingerprint goes first: isomorphic graphs always share
+        // it, so canonicalization — the expensive step — is only paid for
+        // units whose fingerprints actually collide. The labeling realizing
+        // each certificate is kept for the transfer.
+        let mut finger: HashMap<(usize, usize, Vec<u8>, bool), Vec<usize>> = HashMap::new();
+        for (t, &i) in tail.iter().enumerate() {
+            let g = graphs[i];
+            if g.num_nodes() <= MEMO_MAX_NODES {
+                let mut degs: Vec<u8> = (0..g.num_nodes() as u32)
+                    .map(|v| (g.conflict_degree(v) as u8) << 4 | g.stitch_neighbors(v).len() as u8)
+                    .collect();
+                degs.sort_unstable();
+                finger
+                    .entry((
+                        g.conflict_edges().len(),
+                        g.stitch_edges().len(),
+                        degs,
+                        ecf[t],
+                    ))
+                    .or_default()
+                    .push(t);
+            }
+        }
+        let mut labelings: Vec<Option<Vec<u8>>> = vec![None; tail.len()];
+        let mut groups: HashMap<(CanonicalForm, bool), Vec<usize>> = HashMap::new();
+        for bucket in finger.into_values() {
+            if bucket.len() < 2 {
+                continue;
+            }
+            for t in bucket {
+                let (form, perm) = canonical_form_labeled(graphs[tail[t]]);
+                labelings[t] = Some(perm);
+                groups.entry((form, ecf[t])).or_default().push(t);
+            }
+        }
+        // Work items: one per certificate group (members in unit order,
+        // first member is the representative) plus one singleton per
+        // unmemoizable unit. Sorted by representative so scheduling is
+        // deterministic.
+        let mut items: Vec<Vec<usize>> = groups.into_values().collect();
+        items.extend(
+            (0..tail.len())
+                .filter(|&t| labelings[t].is_none())
+                .map(|t| vec![t]),
+        );
+        items.sort_by_key(|members| members[0]);
+
+        // Solve one representative per item, largest units first.
+        let solved: Vec<(Decomposition, EngineKind, TimingBreakdown)> = run_largest_first(
+            items.len(),
+            threads,
+            |j| graphs[tail[items[j][0]]].num_nodes(),
+            |j| {
+                let mut t = TimingBreakdown::default();
+                let rep = items[j][0];
+                let (d, engine) =
+                    self.decompose_with_selection(graphs[tail[rep]], ecf[rep], &mut t);
+                (d, engine, t)
+            },
+        );
+
+        // Scatter representatives, transfer to the remaining members, and
+        // re-verify every transfer against the member's own cost.
+        let mut memo_hits = 0usize;
+        let mut unverified: Vec<usize> = Vec::new();
+        for (members, (d, engine, t)) in items.iter().zip(&solved) {
+            timing.ilp += t.ilp;
+            timing.ec += t.ec;
+            let rep = members[0];
+            unit_results[tail[rep]] = Some(d.clone());
+            unit_engines[tail[rep]] = Some(*engine);
+            for &t_pos in &members[1..] {
+                let i = tail[t_pos];
+                let rep_perm = labelings[rep].as_ref().expect("grouped units are labeled");
+                let mem_perm = labelings[t_pos]
+                    .as_ref()
+                    .expect("grouped units are labeled");
+                let nn = graphs[i].num_nodes();
+                let mut canon_colors = vec![0u8; nn];
+                for v in 0..nn {
+                    canon_colors[rep_perm[v] as usize] = d.coloring[v];
+                }
+                let coloring: Vec<u8> = (0..nn)
+                    .map(|v| canon_colors[mem_perm[v] as usize])
+                    .collect();
+                let cost = graphs[i].evaluate(&coloring, self.params.alpha);
+                if cost == d.cost {
+                    unit_results[i] = Some(Decomposition { coloring, cost });
+                    unit_engines[i] = Some(*engine);
+                    memo_hits += 1;
+                } else {
+                    // A certificate collision would land here; solve the
+                    // member directly rather than trust the transfer.
+                    unverified.push(t_pos);
+                }
+            }
+        }
+        for t_pos in unverified {
+            let i = tail[t_pos];
+            let (d, engine) = self.decompose_with_selection(graphs[i], ecf[t_pos], &mut timing);
+            unit_results[i] = Some(d);
+            unit_engines[i] = Some(engine);
+        }
+        for &i in &tail {
+            match unit_engines[i].expect("every tail unit solved") {
+                EngineKind::Ilp => usage.ilp += 1,
+                _ => usage.ec += 1,
+            }
+        }
+
+        let unit_results: Vec<Decomposition> = unit_results
+            .into_iter()
+            .map(|d| d.expect("every unit decomposed"))
+            .collect();
+        let unit_engines: Vec<EngineKind> = unit_engines
+            .into_iter()
+            .map(|e| e.expect("every unit routed"))
+            .collect();
+        let decompose_time = start.elapsed();
+        let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
+        AdaptiveResult {
+            pipeline,
+            usage,
+            timing,
+            unit_engines,
+            memo_hits,
+        }
+    }
+}
+
+/// Routing state produced by [`AdaptiveFramework::route_units`].
+#[derive(Default)]
+struct RoutedUnits {
+    unit_results: Vec<Option<Decomposition>>,
+    unit_engines: Vec<Option<EngineKind>>,
+    usage: UsageBreakdown,
+    timing: TimingBreakdown,
+    guard_failed: Vec<bool>,
+    selector_probs: Vec<Vec<f32>>,
 }
 
 impl std::fmt::Debug for AdaptiveFramework {
@@ -391,8 +635,12 @@ mod tests {
         let mut cfg = OfflineConfig::default();
         cfg.rgcn.epochs = 1;
         cfg.colorgnn.epochs = 1;
-        cfg.library =
-            mpld_matching::LibraryConfig { max_parent_size: 4, max_splits: 1, max_nodes: 5, stitches: false };
+        cfg.library = mpld_matching::LibraryConfig {
+            max_parent_size: 4,
+            max_splits: 1,
+            max_nodes: 5,
+            stitches: false,
+        };
         train_framework(&data, &params, &cfg)
     }
 
@@ -426,7 +674,7 @@ mod tests {
         };
         let prep = prepare(&layout, &params);
         assert!(prep.units.is_empty());
-        let mut fw = tiny_framework();
+        let fw = tiny_framework();
         let r = fw.decompose_prepared(&prep);
         assert_eq!(r.pipeline.cost.conflicts, 0);
         assert_eq!(r.usage, UsageBreakdown::default());
@@ -439,7 +687,7 @@ mod tests {
         let params = DecomposeParams::tpl();
         let layout = circuit_by_name("C432").expect("exists").generate();
         let prep = prepare(&layout, &params);
-        let mut fw = tiny_framework();
+        let fw = tiny_framework();
         let r = fw.decompose_prepared(&prep);
         let u = &r.usage;
         assert_eq!(u.matching + u.colorgnn + u.ilp + u.ec, prep.units.len());

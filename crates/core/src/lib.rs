@@ -43,6 +43,7 @@
 mod density;
 mod framework;
 mod metrics;
+pub mod parallel;
 mod pipeline;
 mod stats;
 mod training;
@@ -52,6 +53,7 @@ pub use framework::{
     AdaptiveFramework, AdaptiveResult, EngineKind, TimingBreakdown, UsageBreakdown,
 };
 pub use metrics::ConfusionMatrix;
+pub use parallel::default_threads;
 pub use pipeline::{
     prepare, run_pipeline, run_pipeline_parallel, PipelineResult, PreparedLayout, UnitInstance,
 };

@@ -1,0 +1,143 @@
+//! Scoped worker-pool scheduling shared by every parallel path in the
+//! framework: the single-engine pipeline, the adaptive ILP/EC tail, and
+//! offline training-label generation.
+//!
+//! The scheduling policy is **largest-first work stealing**: job indices
+//! are sorted by descending size and workers pull from a shared atomic
+//! cursor. Layout decomposition runtime is dominated by a handful of large
+//! exact-solver units (Fig. 9 of the paper: ILP decomposes ~2% of units
+//! yet dominates end-to-end time), so starting the big units first bounds
+//! the tail latency of the whole batch — a worker finishing a large unit
+//! back-fills with small ones instead of the reverse.
+//!
+//! Results are collected **without per-slot locks**: each worker appends
+//! `(index, value)` pairs to its own local vector, and the pairs are
+//! scattered into an owned `Vec` after the scope joins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves the default worker count: the `MPLD_THREADS` environment
+/// variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    std::env::var("MPLD_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `job(i)` for every `i in 0..n` on up to `threads` scoped workers,
+/// scheduling jobs in descending `size(i)` order, and returns the results
+/// in index order.
+///
+/// With `threads <= 1` the jobs run on the calling thread (still in
+/// largest-first order, so per-job side effects like timing accumulate in
+/// the same schedule regardless of thread count). Worker panics propagate.
+pub fn run_largest_first<T, S, J>(n: usize, threads: usize, size: S, job: J) -> Vec<T>
+where
+    T: Send,
+    S: Fn(usize) -> usize,
+    J: Fn(usize) -> T + Sync,
+{
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(size(i)));
+
+    let threads = threads.max(1).min(n.max(1));
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+
+    if threads <= 1 {
+        for &i in &order {
+            slots[i] = Some(job(i));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (order_ref, job_ref, cursor_ref) = (&order, &job, &cursor);
+        let partials: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let k = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                            if k >= n {
+                                break;
+                            }
+                            let i = order_ref[k];
+                            local.push((i, job_ref(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        for part in partials {
+            for (i, v) in part {
+                slots[i] = Some(v);
+            }
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 8] {
+            let out = run_largest_first(20, threads, |i| i, |i| i * 10);
+            assert_eq!(out, (0..20).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = run_largest_first(0, 4, |_| 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_largest_first(
+            100,
+            8,
+            |_| 1,
+            |i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn single_thread_schedule_is_largest_first() {
+        let trace = Mutex::new(Vec::new());
+        let sizes = [3usize, 9, 1, 7];
+        run_largest_first(4, 1, |i| sizes[i], |i| trace.lock().unwrap().push(i));
+        assert_eq!(*trace.lock().unwrap(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -73,11 +73,17 @@ pub fn prepare(layout: &Layout, params: &DecomposeParams) -> PreparedLayout {
                 .iter()
                 .map(|&g| layout.features[g as usize].clone())
                 .collect();
-            let splittable: Vec<bool> =
-                unit.global_nodes.iter().map(|g| occurrences[g] == 1).collect();
+            let splittable: Vec<bool> = unit
+                .global_nodes
+                .iter()
+                .map(|g| occurrences[g] == 1)
+                .collect();
             let stitched = insert_stitch_candidates_masked(&feats, layout.d, &splittable)
                 .expect("unit geometry is valid");
-            UnitInstance { hetero: stitched.graph, unit_index: i }
+            UnitInstance {
+                hetero: stitched.graph,
+                unit_index: i,
+            }
         })
         .collect();
 
@@ -111,16 +117,20 @@ pub fn run_pipeline(
     params: &DecomposeParams,
 ) -> PipelineResult {
     let start = Instant::now();
-    let unit_results: Vec<Decomposition> =
-        prep.units.iter().map(|u| engine.decompose(&u.hetero, params)).collect();
+    let unit_results: Vec<Decomposition> = prep
+        .units
+        .iter()
+        .map(|u| engine.decompose(&u.hetero, params))
+        .collect();
     let decompose_time = start.elapsed();
     assemble(prep, params, unit_results, decompose_time)
 }
 
 /// Decomposes units in parallel with `threads` workers (engines are run on
-/// `&dyn` references, so the engine must be `Sync`). Timing reflects
-/// wall-clock, which is why the paper's single-thread tables use
-/// [`run_pipeline`] instead.
+/// shared references, so the engine must be `Sync`), scheduled
+/// largest-unit-first to bound tail latency. Timing reflects wall-clock,
+/// which is why the paper's single-thread tables use [`run_pipeline`]
+/// instead.
 pub fn run_pipeline_parallel<E: Decomposer + Sync>(
     prep: &PreparedLayout,
     engine: &E,
@@ -128,27 +138,12 @@ pub fn run_pipeline_parallel<E: Decomposer + Sync>(
     threads: usize,
 ) -> PipelineResult {
     let start = Instant::now();
-    let n = prep.units.len();
-    let results: Vec<parking_lot::Mutex<Option<Decomposition>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let d = engine.decompose(&prep.units[i].hetero, params);
-                *results[i].lock() = Some(d);
-            });
-        }
-    })
-    .expect("worker threads never panic");
-    let unit_results: Vec<Decomposition> = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every unit processed"))
-        .collect();
+    let unit_results: Vec<Decomposition> = crate::parallel::run_largest_first(
+        prep.units.len(),
+        threads,
+        |i| prep.units[i].hetero.num_nodes(),
+        |i| engine.decompose(&prep.units[i].hetero, params),
+    );
     let decompose_time = start.elapsed();
     assemble(prep, params, unit_results, decompose_time)
 }
@@ -162,7 +157,9 @@ pub(crate) fn assemble(
     decompose_time: Duration,
 ) -> PipelineResult {
     let unit_costs: Vec<CostBreakdown> = unit_results.iter().map(|d| d.cost).collect();
-    let cost = unit_costs.iter().fold(CostBreakdown::default(), |a, &b| a.combine(b));
+    let cost = unit_costs
+        .iter()
+        .fold(CostBreakdown::default(), |a, &b| a.combine(b));
 
     // Parent-level coloring per unit: representative color of each
     // feature (articulation features are never split, so their color is
@@ -186,7 +183,9 @@ pub(crate) fn assemble(
         })
         .collect();
 
-    let recovered = prep.simplified.recover(&prep.graph, params.k, &parent_colorings);
+    let recovered = prep
+        .simplified
+        .recover(&prep.graph, params.k, &parent_colorings);
 
     // Subfeature colorings with the merge permutations applied.
     let unit_subfeature_colorings: Vec<Vec<u8>> = unit_results
@@ -262,7 +261,10 @@ mod tests {
             .iter()
             .fold(CostBreakdown::default(), |a, &b| a.combine(b));
         assert_eq!(res.cost, sum);
-        assert_eq!(res.decomposition.feature_colors.len(), prep.graph.num_nodes());
+        assert_eq!(
+            res.decomposition.feature_colors.len(),
+            prep.graph.num_nodes()
+        );
         assert!(res
             .decomposition
             .feature_colors

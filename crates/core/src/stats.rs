@@ -29,7 +29,10 @@ pub struct LayoutStats {
 /// engine per unit to determine `|ns-G|`.
 pub fn layout_stats(prep: &PreparedLayout, params: &DecomposeParams) -> LayoutStats {
     let ilp = IlpDecomposer::new();
-    let mut stats = LayoutStats { name: prep.name.clone(), ..LayoutStats::default() };
+    let mut stats = LayoutStats {
+        name: prep.name.clone(),
+        ..LayoutStats::default()
+    };
     for unit in &prep.units {
         stats.graphs += 1;
         stats.total_nodes += unit.hetero.num_nodes();

@@ -49,12 +49,26 @@ impl TrainingData {
         params: &DecomposeParams,
         cap: usize,
     ) {
+        // Both exact engines run per unit — the expensive part of the
+        // offline phase — so fan the solves out largest-unit-first. The
+        // results come back in unit order, making the labels identical
+        // for any thread count.
         let ilp = IlpDecomposer::new();
         let ec = EcDecomposer::new();
-        for unit in prep.units.iter().take(cap) {
-            let g = unit.hetero.clone();
-            let di = ilp.decompose(&g, params);
-            let de = ec.decompose(&g, params);
+        let units: Vec<&LayoutGraph> = prep.units.iter().take(cap).map(|u| &u.hetero).collect();
+        let solved = crate::parallel::run_largest_first(
+            units.len(),
+            crate::parallel::default_threads(),
+            |i| units[i].num_nodes(),
+            |i| {
+                (
+                    ilp.decompose(units[i], params),
+                    ec.decompose(units[i], params),
+                )
+            },
+        );
+        for (g, (di, de)) in units.into_iter().zip(solved) {
+            let g = g.clone();
             let selector_label = u8::from(!di.cost.better_than(&de.cost, params.alpha));
             let idx = self.units.len();
             if g.has_stitches() {
@@ -168,7 +182,7 @@ pub fn train_framework(
     }
 
     // Library built with the trained selector as the embedder.
-    let library = GraphLibrary::build(&mut selector, &cfg.library, params);
+    let library = GraphLibrary::build(&selector, &cfg.library, params);
 
     AdaptiveFramework {
         selector,
@@ -218,7 +232,10 @@ impl AdaptiveFramework {
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
         if &magic != b"MPLDFW01" {
-            return Err(Error::new(ErrorKind::InvalidData, "bad framework-file magic"));
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "bad framework-file magic",
+            ));
         }
         let mut f32buf = [0u8; 4];
         reader.read_exact(&mut f32buf)?;
@@ -237,7 +254,7 @@ impl AdaptiveFramework {
         colorgnn.load_weights(&mut reader)?;
         colorgnn.set_restarts(restarts.max(1));
 
-        let library = GraphLibrary::build(&mut selector, &cfg.library, params);
+        let library = GraphLibrary::build(&selector, &cfg.library, params);
         Ok(AdaptiveFramework {
             selector,
             redundancy,
@@ -295,11 +312,11 @@ mod tests {
         let mut cfg = OfflineConfig::default();
         cfg.rgcn.epochs = 2;
         cfg.colorgnn.epochs = 2;
-        let mut fw = train_framework(&data, &params, &cfg);
+        let fw = train_framework(&data, &params, &cfg);
 
         let mut buf = Vec::new();
         fw.save(&mut buf).expect("save");
-        let mut loaded = AdaptiveFramework::load(buf.as_slice(), &params, &cfg).expect("load");
+        let loaded = AdaptiveFramework::load(buf.as_slice(), &params, &cfg).expect("load");
 
         assert_eq!(loaded.redundancy_bar, fw.redundancy_bar);
         assert_eq!(loaded.ec_threshold, fw.ec_threshold);

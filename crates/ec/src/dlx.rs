@@ -228,8 +228,10 @@ impl Dlx {
         }
         let root = self.num_cols as u32;
         if self.right[root as usize] == root {
-            let rows: Vec<usize> =
-                stack.iter().map(|&n| self.row_of[n as usize] as usize).collect();
+            let rows: Vec<usize> = stack
+                .iter()
+                .map(|&n| self.row_of[n as usize] as usize)
+                .collect();
             *best = Some((rows, cost));
             return;
         }

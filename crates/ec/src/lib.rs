@@ -45,7 +45,10 @@ pub struct EcDecomposer {
 
 impl Default for EcDecomposer {
     fn default() -> Self {
-        EcDecomposer { budget: 200_000, enumeration: true }
+        EcDecomposer {
+            budget: 200_000,
+            enumeration: true,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ impl EcDecomposer {
     /// Creates the decomposer with a custom search-node budget. Smaller
     /// budgets are faster but more likely to return suboptimal results.
     pub fn with_budget(budget: u64) -> Self {
-        EcDecomposer { budget, enumeration: true }
+        EcDecomposer {
+            budget,
+            enumeration: true,
+        }
     }
 
     /// The *baseline* grade without the certified single-pair relaxation
@@ -66,7 +72,10 @@ impl EcDecomposer {
     /// to (fast, near-optimal, no certificates). Used by the Table III
     /// harness so the ILP/EC selection task has both classes populated.
     pub fn basic() -> Self {
-        EcDecomposer { budget: 200_000, enumeration: false }
+        EcDecomposer {
+            budget: 200_000,
+            enumeration: false,
+        }
     }
 }
 
@@ -116,8 +125,11 @@ impl EcDecomposer {
         }
 
         // Phase 2: multi-start greedy assignment with local repair.
-        let mut best =
-            instance.repair(graph, params, instance.greedy(graph, params, GreedyOrder::DegreeDesc));
+        let mut best = instance.repair(
+            graph,
+            params,
+            instance.greedy(graph, params, GreedyOrder::DegreeDesc),
+        );
         for order in [GreedyOrder::DegreeAsc, GreedyOrder::Natural] {
             let cand = instance.repair(graph, params, instance.greedy(graph, params, order));
             if cand.cost.better_than(&best.cost, params.alpha) {
@@ -229,8 +241,10 @@ impl Instance {
                         }
                     }
                     cost += violated.len() as u64 * 1000;
-                    let is_current =
-                        nodes.iter().enumerate().all(|(i, &u)| coloring[u as usize] == combo[i]);
+                    let is_current = nodes
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &u)| coloring[u as usize] == combo[i]);
                     if is_current {
                         current_cost = cost;
                     }
@@ -333,7 +347,10 @@ impl Instance {
                 }
             })
             .collect();
-        Instance { feature_nodes, combos }
+        Instance {
+            feature_nodes,
+            combos,
+        }
     }
 
     /// Builds and solves the DLX matrix, treating edges in `relaxed` as
@@ -351,7 +368,11 @@ impl Instance {
         let nf = self.feature_nodes.len();
         if nf == 0 {
             return (
-                Some(Decomposition::from_coloring(graph, Vec::new(), params.alpha)),
+                Some(Decomposition::from_coloring(
+                    graph,
+                    Vec::new(),
+                    params.alpha,
+                )),
                 false,
             );
         }
@@ -498,11 +519,8 @@ mod tests {
 
     #[test]
     fn k4_falls_back_to_one_conflict() {
-        let g = LayoutGraph::homogeneous(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         let d = EcDecomposer::new().decompose(&g, &tpl());
         assert_eq!(d.cost.conflicts, 1);
     }
@@ -511,7 +529,16 @@ mod tests {
     fn stitch_used_to_avoid_conflict() {
         let g = LayoutGraph::new(
             vec![0, 0, 1, 2, 3, 4],
-            vec![(0, 2), (0, 3), (1, 4), (1, 5), (2, 3), (4, 5), (2, 4), (3, 5)],
+            vec![
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (4, 5),
+                (2, 4),
+                (3, 5),
+            ],
             vec![(0, 1)],
         )
         .unwrap();
@@ -547,7 +574,16 @@ mod tests {
     fn tiny_budget_still_returns_valid_solution() {
         let g = LayoutGraph::homogeneous(
             6,
-            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (3, 5)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 2),
+                (3, 5),
+            ],
         )
         .unwrap();
         let d = EcDecomposer::with_budget(2).decompose(&g, &tpl());

@@ -1,14 +1,39 @@
 use mpld_ec::EcDecomposer;
-use mpld_graph::{DecomposeParams, Decomposer, LayoutGraph};
+use mpld_graph::{DecomposeParams, LayoutGraph};
 
 fn unit329() -> LayoutGraph {
     LayoutGraph::new(
         vec![0, 0, 1, 2, 3, 4, 5, 6, 6, 7, 8, 9],
-        vec![(0, 2), (0, 10), (1, 2), (1, 4), (1, 6), (1, 10), (2, 3), (2, 4), (2, 10), (2, 11),
-             (3, 5), (3, 11), (4, 5), (4, 7), (4, 8), (4, 10), (4, 11), (5, 9), (5, 11),
-             (6, 7), (6, 10), (7, 10), (8, 9), (8, 11), (9, 11)],
+        vec![
+            (0, 2),
+            (0, 10),
+            (1, 2),
+            (1, 4),
+            (1, 6),
+            (1, 10),
+            (2, 3),
+            (2, 4),
+            (2, 10),
+            (2, 11),
+            (3, 5),
+            (3, 11),
+            (4, 5),
+            (4, 7),
+            (4, 8),
+            (4, 10),
+            (4, 11),
+            (5, 9),
+            (5, 11),
+            (6, 7),
+            (6, 10),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (9, 11),
+        ],
         vec![(0, 1), (7, 8)],
-    ).unwrap()
+    )
+    .unwrap()
 }
 
 #[test]
@@ -17,5 +42,9 @@ fn s15850_unit_329_is_solved_optimally() {
     let g = unit329();
     let (d, cert) = EcDecomposer::new().decompose_certified(&g, &params);
     // Known ILP optimum: one conflict, zero stitches.
-    assert!(d.cost.value(0.1) <= 1.0 + 1e-9, "EC got {} (cert={cert})", d.cost);
+    assert!(
+        d.cost.value(0.1) <= 1.0 + 1e-9,
+        "EC got {} (cert={cert})",
+        d.cost
+    );
 }

@@ -1,5 +1,4 @@
 use crate::Rect;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a polygonal feature within a layout.
 pub type FeatureId = u32;
@@ -23,7 +22,7 @@ pub type FeatureId = u32;
 /// assert_eq!(l_shape.id(), 7);
 /// assert_eq!(l_shape.bounding_box(), Rect::new(0, 0, 100, 120));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Feature {
     id: FeatureId,
     rects: Vec<Rect>,
@@ -36,7 +35,10 @@ impl Feature {
     ///
     /// Panics if `rects` is empty: a feature must occupy some area.
     pub fn new(id: FeatureId, rects: Vec<Rect>) -> Self {
-        assert!(!rects.is_empty(), "a feature must contain at least one rectangle");
+        assert!(
+            !rects.is_empty(),
+            "a feature must contain at least one rectangle"
+        );
         Feature { id, rects }
     }
 

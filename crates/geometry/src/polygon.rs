@@ -6,7 +6,6 @@
 //! decomposition that the rest of the workspace consumes.
 
 use crate::Rect;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error validating a polygon boundary.
@@ -54,7 +53,7 @@ impl std::error::Error for PolygonError {}
 /// assert_eq!(area, 30 * 10 + 10 * 20);
 /// # Ok::<(), mpld_geometry::PolygonError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Polygon {
     vertices: Vec<(i64, i64)>,
 }
@@ -120,7 +119,7 @@ impl Polygon {
                 .map(|&(x, _, _)| x)
                 .collect();
             xs.sort_unstable();
-            if xs.len() % 2 != 0 {
+            if !xs.len().is_multiple_of(2) {
                 return Err(PolygonError::NotSimple);
             }
             for pair in xs.chunks(2) {
@@ -157,8 +156,7 @@ mod tests {
 
     #[test]
     fn l_shape_decomposes_exactly() {
-        let p = Polygon::new(vec![(0, 0), (30, 0), (30, 10), (10, 10), (10, 30), (0, 30)])
-            .unwrap();
+        let p = Polygon::new(vec![(0, 0), (30, 0), (30, 10), (10, 10), (10, 30), (0, 30)]).unwrap();
         let rects = p.to_rects().unwrap();
         let area: i64 = rects.iter().map(Rect::area).sum();
         assert_eq!(area, 300 + 200);

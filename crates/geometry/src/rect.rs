@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// An axis-aligned rectangle in integer (nanometre) layout coordinates.
 ///
 /// The invariant `xl <= xh && yl <= yh` is established by [`Rect::new`].
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(r.height(), 20);
 /// assert_eq!(r.area(), 2000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Rect {
     /// Left x coordinate.
     pub xl: i64,

@@ -17,8 +17,7 @@ use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph};
 use mpld_tensor::{Adjacency, Graph, Matrix, Optimizer, ParamId, ParamSet, VarId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Training hyperparameters for ColorGNN.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +32,11 @@ pub struct ColorGnnTrainConfig {
 
 impl Default for ColorGnnTrainConfig {
     fn default() -> Self {
-        ColorGnnTrainConfig { epochs: 40, lr: 0.02, margin: 1.0 }
+        ColorGnnTrainConfig {
+            epochs: 40,
+            lr: 0.02,
+            margin: 1.0,
+        }
     }
 }
 
@@ -45,9 +48,10 @@ pub struct ColorGnn {
     restarts: usize,
     /// Probability of keeping each neighbor during sampled aggregation.
     sample_keep: f64,
-    /// Interior mutability so `Decomposer::decompose(&self)` can both
-    /// drive the RNG and bind parameters.
-    state: RefCell<SmallRng>,
+    /// Interior mutability so `Decomposer::decompose(&self)` can drive the
+    /// RNG; a `Mutex` (not `RefCell`) so the model is `Sync` and shareable
+    /// across decomposition worker threads.
+    state: Mutex<SmallRng>,
 }
 
 impl ColorGnn {
@@ -65,7 +69,10 @@ impl ColorGnn {
     pub fn with_shape(layers: usize, restarts: usize, sample_keep: f64, seed: u64) -> Self {
         assert!(layers > 0, "at least one layer");
         assert!(restarts > 0, "at least one restart");
-        assert!(sample_keep > 0.0 && sample_keep <= 1.0, "keep probability in (0, 1]");
+        assert!(
+            sample_keep > 0.0 && sample_keep <= 1.0,
+            "keep probability in (0, 1]"
+        );
         let mut params = ParamSet::new(Optimizer::Adam);
         let lambdas = (0..layers)
             .map(|_| {
@@ -80,7 +87,7 @@ impl ColorGnn {
             lambdas,
             restarts,
             sample_keep,
-            state: RefCell::new(SmallRng::seed_from_u64(seed)),
+            state: Mutex::new(SmallRng::seed_from_u64(seed)),
         }
     }
 
@@ -98,6 +105,14 @@ impl ColorGnn {
     pub fn set_restarts(&mut self, restarts: usize) {
         assert!(restarts > 0, "at least one restart");
         self.restarts = restarts;
+    }
+
+    /// Resets the sampling RNG to a fresh stream. Decomposition results
+    /// depend on the RNG stream, so resetting it before two runs makes
+    /// them reproduce each other exactly (used by the parallel-vs-serial
+    /// equivalence tests and the perf-baseline harness).
+    pub fn reseed(&self, seed: u64) {
+        *self.state.lock().expect("rng lock") = SmallRng::seed_from_u64(seed);
     }
 
     /// Serializes the trained per-layer weights.
@@ -166,21 +181,23 @@ impl ColorGnn {
         x
     }
 
-    /// One forward pass; returns the final belief var.
+    /// One forward pass; returns the final belief var. The binder decides
+    /// whether parameters enter the tape as trainable leaves (training) or
+    /// frozen constants (inference, which therefore stays `&self`).
     fn forward(
         &self,
-        params: &mut ParamSet,
         g: &mut Graph,
         graph: &LayoutGraph,
         init: Matrix,
         rng: &mut SmallRng,
+        bind: &mut dyn FnMut(&mut Graph, ParamId) -> VarId,
     ) -> VarId {
         let mut x = g.input(init);
         for &(lc, la) in &self.lambdas {
             let adj = self.sampled_adjacency(graph, rng);
             let m = g.agg_sum(x, adj);
-            let lcv = params.bind(g, lc);
-            let lav = params.bind(g, la);
+            let lcv = bind(g, lc);
+            let lav = bind(g, la);
             let own = g.scale_by_scalar(x, lcv);
             let msg = g.scale_by_scalar(m, lav);
             let mixed = g.add(own, msg);
@@ -213,7 +230,7 @@ impl ColorGnn {
         if graphs.is_empty() {
             return Vec::new();
         }
-        let mut rng = self.state.borrow_mut();
+        let mut rng = self.state.lock().expect("rng lock");
         let mut best: Vec<Option<Decomposition>> = vec![None; graphs.len()];
         // Adaptive restarts: each round only re-runs graphs that still
         // have conflicts, so the later rounds shrink quickly.
@@ -230,7 +247,10 @@ impl ColorGnn {
             for &gi in &active {
                 offsets.push(base as usize);
                 union_edges.extend(
-                    graphs[gi].conflict_edges().iter().map(|&(a, b)| (a + base, b + base)),
+                    graphs[gi]
+                        .conflict_edges()
+                        .iter()
+                        .map(|&(a, b)| (a + base, b + base)),
                 );
                 base += graphs[gi].num_nodes() as u32;
             }
@@ -240,8 +260,9 @@ impl ColorGnn {
 
             let mut g = Graph::new();
             let init = Self::random_beliefs(base as usize, params.k, &mut rng);
-            let mut scratch = self.params.clone();
-            let x = self.forward(&mut scratch, &mut g, &union, init, &mut rng);
+            let x = self.forward(&mut g, &union, init, &mut rng, &mut |g, pid| {
+                self.params.bind_frozen(g, pid)
+            });
             let beliefs = g.value(x);
             for (ai, &gi) in active.iter().enumerate() {
                 let (lo, hi) = (offsets[ai], offsets[ai + 1]);
@@ -265,9 +286,7 @@ impl ColorGnn {
                     best[gi] = Some(cand);
                 }
             }
-            active.retain(|&gi| {
-                best[gi].as_ref().map(|d| d.cost.conflicts) != Some(0)
-            });
+            active.retain(|&gi| best[gi].as_ref().map(|d| d.cost.conflicts) != Some(0));
         }
         best.into_iter().map(|b| b.expect("restarts > 0")).collect()
     }
@@ -278,18 +297,13 @@ impl ColorGnn {
     /// # Panics
     ///
     /// Panics if `graphs` is empty or any graph contains stitch edges.
-    pub fn train(
-        &mut self,
-        graphs: &[&LayoutGraph],
-        k: u8,
-        cfg: &ColorGnnTrainConfig,
-    ) -> f32 {
+    pub fn train(&mut self, graphs: &[&LayoutGraph], k: u8, cfg: &ColorGnnTrainConfig) -> f32 {
         assert!(!graphs.is_empty(), "training set must not be empty");
         assert!(
             graphs.iter().all(|g| !g.has_stitches()),
             "ColorGNN trains on non-stitch graphs"
         );
-        let mut rng = self.state.borrow_mut().clone();
+        let mut rng = self.state.lock().expect("rng lock").clone();
         let mut last = 0.0;
         for _ in 0..cfg.epochs {
             last = 0.0;
@@ -300,11 +314,13 @@ impl ColorGnn {
                 let mut g = Graph::new();
                 let init = Self::random_beliefs(graph.num_nodes(), k, &mut rng);
                 // Temporarily move params out to satisfy the borrow checker.
-                let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
-                let x = self.forward(&mut params, &mut g, graph, init, &mut rng);
+                let mut params =
+                    std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
+                let x = self.forward(&mut g, graph, init, &mut rng, &mut |g, pid| {
+                    params.bind(g, pid)
+                });
                 // Eq. (14) on the (already row-normalized) final beliefs.
-                let loss =
-                    g.margin_pair_loss(x, graph.conflict_edges().to_vec(), cfg.margin);
+                let loss = g.margin_pair_loss(x, graph.conflict_edges().to_vec(), cfg.margin);
                 last += g.value(loss).scalar() / graph.conflict_edges().len().max(1) as f32;
                 g.backward(loss);
                 params.apply_grads(&g);
@@ -313,7 +329,7 @@ impl ColorGnn {
             }
             last /= graphs.len() as f32;
         }
-        *self.state.borrow_mut() = rng;
+        *self.state.lock().expect("rng lock") = rng;
         last
     }
 }
@@ -331,20 +347,23 @@ impl Decomposer for ColorGnn {
     /// Panics if `graph` contains stitch edges — merge them first (the
     /// adaptive framework routes only predicted-redundant graphs here).
     fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
-        assert!(!graph.has_stitches(), "ColorGNN handles non-stitch graphs only");
+        assert!(
+            !graph.has_stitches(),
+            "ColorGNN handles non-stitch graphs only"
+        );
         let n = graph.num_nodes();
         if n == 0 {
             return Decomposition::from_coloring(graph, Vec::new(), params.alpha);
         }
-        let mut rng = self.state.borrow_mut();
+        let mut rng = self.state.lock().expect("rng lock");
         let mut best: Option<Decomposition> = None;
         for _ in 0..self.restarts {
             let mut g = Graph::new();
             let init = Self::random_beliefs(n, params.k, &mut rng);
-            // Bind against a scratch clone: inference must not mutate
-            // training state.
-            let mut scratch = self.params.clone();
-            let x = self.forward(&mut scratch, &mut g, graph, init, &mut rng);
+            // Frozen binds: inference never mutates training state.
+            let x = self.forward(&mut g, graph, init, &mut rng, &mut |g, pid| {
+                self.params.bind_frozen(g, pid)
+            });
             let beliefs = g.value(x);
             let coloring: Vec<u8> = (0..n)
                 .map(|r| {
@@ -406,7 +425,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert_eq!(failures, 0, "trained ColorGNN failed {failures} easy cycles");
+        assert_eq!(
+            failures, 0,
+            "trained ColorGNN failed {failures} easy cycles"
+        );
     }
 
     #[test]
@@ -439,8 +461,24 @@ mod tests {
         let train: Vec<LayoutGraph> = (4..8).map(cycle).collect();
         let refs: Vec<&LayoutGraph> = train.iter().collect();
         let mut gnn = ColorGnn::new(3);
-        let first = gnn.train(&refs, 3, &ColorGnnTrainConfig { epochs: 1, lr: 0.02, margin: 1.0 });
-        let last = gnn.train(&refs, 3, &ColorGnnTrainConfig { epochs: 30, lr: 0.02, margin: 1.0 });
+        let first = gnn.train(
+            &refs,
+            3,
+            &ColorGnnTrainConfig {
+                epochs: 1,
+                lr: 0.02,
+                margin: 1.0,
+            },
+        );
+        let last = gnn.train(
+            &refs,
+            3,
+            &ColorGnnTrainConfig {
+                epochs: 30,
+                lr: 0.02,
+                margin: 1.0,
+            },
+        );
         assert!(last <= first + 1e-3, "loss went up: {first} -> {last}");
     }
 

@@ -51,12 +51,20 @@ impl GraphEncoding {
                 * INPUT_SCALE;
         }
         let conflict = Arc::new(Adjacency::new(
-            (0..n as u32).map(|v| graph.conflict_neighbors(v).to_vec()).collect(),
+            (0..n as u32)
+                .map(|v| graph.conflict_neighbors(v).to_vec())
+                .collect(),
         ));
         let stitch = Arc::new(Adjacency::new(
-            (0..n as u32).map(|v| graph.stitch_neighbors(v).to_vec()).collect(),
+            (0..n as u32)
+                .map(|v| graph.stitch_neighbors(v).to_vec())
+                .collect(),
         ));
-        GraphEncoding { features, conflict, stitch }
+        GraphEncoding {
+            features,
+            conflict,
+            stitch,
+        }
     }
 }
 

@@ -64,7 +64,14 @@ impl GcnClassifier {
                 (weight, bias)
             })
             .collect();
-        GcnClassifier { params, layers, head, readout, dims: dims.to_vec(), seed }
+        GcnClassifier {
+            params,
+            layers,
+            head,
+            readout,
+            dims: dims.to_vec(),
+            seed,
+        }
     }
 
     /// Total trainable scalars.
@@ -72,26 +79,23 @@ impl GcnClassifier {
         self.params.num_weights()
     }
 
-    fn backbone(&mut self, g: &mut Graph, enc: &GraphEncoding) -> VarId {
-        self.backbone_raw(g, enc.features.clone(), enc.conflict.clone(), enc.stitch.clone())
-    }
-
     fn backbone_raw(
-        &mut self,
+        &self,
         g: &mut Graph,
         features: Matrix,
         conflict: std::sync::Arc<mpld_tensor::Adjacency>,
         stitch: std::sync::Arc<mpld_tensor::Adjacency>,
+        bind: &mut dyn FnMut(&mut Graph, ParamId) -> VarId,
     ) -> VarId {
         let mut h = g.input(features);
-        for (w, w_self) in self.layers.clone() {
+        for &(w, w_self) in &self.layers {
             let agg_c = g.agg_sum(h, conflict.clone());
             let agg_s = g.agg_sum(h, stitch.clone());
             let weighted_s = g.scale_const(agg_s, GCN_STITCH_WEIGHT);
             let mixed = g.add(agg_c, weighted_s);
-            let wv = self.params.bind(g, w);
+            let wv = bind(g, w);
             let msg = g.matmul(mixed, wv);
-            let wsv = self.params.bind(g, w_self);
+            let wsv = bind(g, w_self);
             let own = g.matmul(h, wsv);
             let total = g.add(msg, own);
             h = g.relu(total);
@@ -99,16 +103,16 @@ impl GcnClassifier {
         h
     }
 
-    fn pooled_logits(&mut self, g: &mut Graph, enc: &GraphEncoding) -> VarId {
-        let node_emb = self.backbone(g, enc);
-        let mut x = match self.readout {
-            Readout::Sum => g.sum_rows(node_emb),
-            Readout::Max => g.max_rows(node_emb),
-        };
+    fn head_raw(
+        &self,
+        g: &mut Graph,
+        mut x: VarId,
+        bind: &mut dyn FnMut(&mut Graph, ParamId) -> VarId,
+    ) -> VarId {
         let n_layers = self.head.len();
-        for (i, (w, b)) in self.head.clone().into_iter().enumerate() {
-            let wv = self.params.bind(g, w);
-            let bv = self.params.bind(g, b);
+        for (i, &(w, b)) in self.head.iter().enumerate() {
+            let wv = bind(g, w);
+            let bv = bind(g, b);
             let lin = g.matmul(x, wv);
             x = g.add_row(lin, bv);
             if i + 1 < n_layers {
@@ -118,13 +122,31 @@ impl GcnClassifier {
         x
     }
 
+    fn pooled_logits(&self, g: &mut Graph, enc: &GraphEncoding) -> VarId {
+        let node_emb = self.backbone_raw(
+            g,
+            enc.features.clone(),
+            enc.conflict.clone(),
+            enc.stitch.clone(),
+            &mut |g, pid| self.params.bind_frozen(g, pid),
+        );
+        let x = match self.readout {
+            Readout::Sum => g.sum_rows(node_emb),
+            Readout::Max => g.max_rows(node_emb),
+        };
+        self.head_raw(g, x, &mut |g, pid| self.params.bind_frozen(g, pid))
+    }
+
     /// Trains with cross-entropy on batched disjoint unions (same regime
     /// as the RGCN, for a fair Table III comparison); returns the final
     /// epoch's mean loss.
     pub fn train(&mut self, data: &[(&LayoutGraph, u8)], cfg: &TrainConfig) -> f32 {
         assert!(!data.is_empty(), "training set must not be empty");
-        let mut data =
-            if cfg.balance { crate::rgcn::balance_classes(data) } else { data.to_vec() };
+        let mut data = if cfg.balance {
+            crate::rgcn::balance_classes(data)
+        } else {
+            data.to_vec()
+        };
         // Shuffle so minibatches mix classes (see the RGCN trainer).
         use rand::seq::SliceRandom;
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x5u64);
@@ -137,6 +159,9 @@ impl GcnClassifier {
                 (crate::BatchEncoding::new(&graphs), labels)
             })
             .collect();
+        // Move the parameters out so the binder closure can borrow them
+        // mutably while `self` lends the architecture immutably.
+        let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
         let mut last = 0.0;
         for _ in 0..cfg.epochs {
             last = 0.0;
@@ -147,29 +172,22 @@ impl GcnClassifier {
                     enc.features.clone(),
                     enc.conflict.clone(),
                     enc.stitch.clone(),
+                    &mut |g, pid| params.bind(g, pid),
                 );
-                let mut x = match self.readout {
+                let x = match self.readout {
                     Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), labels.len()),
                     Readout::Max => g.segment_max(node_emb, enc.segment.clone(), labels.len()),
                 };
-                let n_layers = self.head.len();
-                for (i, (w, b)) in self.head.clone().into_iter().enumerate() {
-                    let wv = self.params.bind(&mut g, w);
-                    let bv = self.params.bind(&mut g, b);
-                    let lin = g.matmul(x, wv);
-                    x = g.add_row(lin, bv);
-                    if i + 1 < n_layers {
-                        x = g.relu(x);
-                    }
-                }
+                let x = self.head_raw(&mut g, x, &mut |g, pid| params.bind(g, pid));
                 let loss = g.softmax_cross_entropy(x, labels.clone());
                 last += g.value(loss).scalar() * labels.len() as f32;
                 g.backward(loss);
-                self.params.apply_grads(&g);
-                self.params.step(cfg.lr);
+                params.apply_grads(&g);
+                params.step(cfg.lr);
             }
             last /= data.len() as f32;
         }
+        self.params = params;
         last
     }
 
@@ -178,7 +196,7 @@ impl GcnClassifier {
     /// # Panics
     ///
     /// Panics if any graph is empty.
-    pub fn predict_batch(&mut self, graphs: &[&LayoutGraph]) -> Vec<Vec<f32>> {
+    pub fn predict_batch(&self, graphs: &[&LayoutGraph]) -> Vec<Vec<f32>> {
         if graphs.is_empty() {
             return Vec::new();
         }
@@ -189,35 +207,23 @@ impl GcnClassifier {
             enc.features.clone(),
             enc.conflict.clone(),
             enc.stitch.clone(),
+            &mut |g, pid| self.params.bind_frozen(g, pid),
         );
-        let mut x = match self.readout {
+        let x = match self.readout {
             Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), graphs.len()),
             Readout::Max => g.segment_max(node_emb, enc.segment.clone(), graphs.len()),
         };
-        let n_layers = self.head.len();
-        for (i, (w, b)) in self.head.clone().into_iter().enumerate() {
-            let wv = self.params.bind(&mut g, w);
-            let bv = self.params.bind(&mut g, b);
-            let lin = g.matmul(x, wv);
-            x = g.add_row(lin, bv);
-            if i + 1 < n_layers {
-                x = g.relu(x);
-            }
-        }
+        let x = self.head_raw(&mut g, x, &mut |g, pid| self.params.bind_frozen(g, pid));
         let probs = g.softmax_values(x);
-        self.params.apply_grads(&g);
-        self.params.zero_grads();
         (0..graphs.len()).map(|i| probs.row(i).to_vec()).collect()
     }
 
     /// Class probabilities for one graph.
-    pub fn predict(&mut self, graph: &LayoutGraph) -> Vec<f32> {
+    pub fn predict(&self, graph: &LayoutGraph) -> Vec<f32> {
         let enc = GraphEncoding::new(graph);
         let mut g = Graph::new();
         let logits = self.pooled_logits(&mut g, &enc);
         let probs = g.softmax_values(logits);
-        self.params.apply_grads(&g);
-        self.params.zero_grads();
         probs.row(0).to_vec()
     }
 }
@@ -242,7 +248,15 @@ mod tests {
         let path = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2)]).unwrap();
         let data = vec![(&tri, 0u8), (&path, 1u8)];
         let mut model = GcnClassifier::selector(1);
-        let loss = model.train(&data, &TrainConfig { epochs: 80, lr: 0.02, batch: 2, balance: true });
+        let loss = model.train(
+            &data,
+            &TrainConfig {
+                epochs: 80,
+                lr: 0.02,
+                batch: 2,
+                balance: true,
+            },
+        );
         assert!(loss < 0.4, "loss did not decrease: {loss}");
         assert!(model.predict(&tri)[0] > 0.5);
         assert!(model.predict(&path)[1] > 0.5);

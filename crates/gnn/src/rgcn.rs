@@ -45,16 +45,19 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 30, lr: 0.01, batch: 16, balance: true }
+        TrainConfig {
+            epochs: 30,
+            lr: 0.01,
+            batch: 16,
+            balance: true,
+        }
     }
 }
 
 /// Oversamples the minority class (by duplicating references) so the two
 /// classes have roughly equal counts. Returns the input order interleaved
 /// deterministically.
-pub(crate) fn balance_classes<'a>(
-    data: &[(&'a LayoutGraph, u8)],
-) -> Vec<(&'a LayoutGraph, u8)> {
+pub(crate) fn balance_classes<'a>(data: &[(&'a LayoutGraph, u8)]) -> Vec<(&'a LayoutGraph, u8)> {
     let n1 = data.iter().filter(|(_, l)| *l == 1).count();
     let n0 = data.len() - n1;
     if n0 == 0 || n1 == 0 || n0 == n1 {
@@ -64,8 +67,11 @@ pub(crate) fn balance_classes<'a>(
     // ILP-labeled graphs among thousands), full balancing makes the few
     // minority graphs dominate every batch and the network collapses to
     // constant output (observed: dead embeddings, majority-class flips).
-    let (minority, factor) =
-        if n0 < n1 { (0u8, (n1 / n0.max(1)).min(10)) } else { (1u8, (n0 / n1.max(1)).min(10)) };
+    let (minority, factor) = if n0 < n1 {
+        (0u8, (n1 / n0.max(1)).min(10))
+    } else {
+        (1u8, (n0 / n1.max(1)).min(10))
+    };
     let mut out = Vec::with_capacity(data.len() * 2);
     for &(g, l) in data {
         out.push((g, l));
@@ -131,13 +137,18 @@ impl RgcnClassifier {
         let mut layers = Vec::new();
         for w in dims.windows(2) {
             let (din, dout) = (w[0], w[1]);
-            let bases =
-                (0..num_bases).map(|_| params.add(Matrix::glorot(din, dout, &mut rng))).collect();
+            let bases = (0..num_bases)
+                .map(|_| params.add(Matrix::glorot(din, dout, &mut rng)))
+                .collect();
             let delta = (0..2 * num_bases)
                 .map(|_| params.add(Matrix::from_vec(1, 1, vec![1.0 / num_bases as f32])))
                 .collect();
             let w_self = params.add(Matrix::glorot(din, dout, &mut rng));
-            layers.push(Layer { bases, delta, w_self });
+            layers.push(Layer {
+                bases,
+                delta,
+                w_self,
+            });
         }
         let head = head_dims
             .windows(2)
@@ -147,7 +158,15 @@ impl RgcnClassifier {
                 (weight, bias)
             })
             .collect();
-        RgcnClassifier { params, layers, head, readout, dims: dims.to_vec(), num_bases, seed }
+        RgcnClassifier {
+            params,
+            layers,
+            head,
+            readout,
+            dims: dims.to_vec(),
+            num_bases,
+            seed,
+        }
     }
 
     /// The paper's selector model: 2 layers `[1, 32, 64]`, sum readout,
@@ -192,16 +211,18 @@ impl RgcnClassifier {
         self.params.read_values(reader)
     }
 
-    /// Runs the backbone, returning the node-embedding var (`n x D`).
-    fn backbone(&mut self, g: &mut Graph, enc: &GraphEncoding) -> VarId {
-        self.backbone_raw(g, enc.features.clone(), [enc.conflict.clone(), enc.stitch.clone()])
-    }
-
+    /// Runs the backbone with a caller-supplied parameter binder,
+    /// returning the node-embedding var (`n x D`).
+    ///
+    /// Training passes a binder that records bindings in a (mutably held)
+    /// parameter set; inference passes [`ParamSet::bind_frozen`] so the
+    /// whole forward pass is `&self` and shareable across threads.
     fn backbone_raw(
-        &mut self,
+        &self,
         g: &mut Graph,
         features: Matrix,
         adjacencies: [std::sync::Arc<mpld_tensor::Adjacency>; 2],
+        bind: &mut dyn FnMut(&mut Graph, ParamId) -> VarId,
     ) -> VarId {
         let mut h = g.input(features);
         for li in 0..self.layers.len() {
@@ -209,7 +230,7 @@ impl RgcnClassifier {
             let base_vars: Vec<VarId> = (0..self.num_bases)
                 .map(|b| {
                     let pid = self.layers[li].bases[b];
-                    self.params.bind(g, pid)
+                    bind(g, pid)
                 })
                 .collect();
             let mut sum: Option<VarId> = None;
@@ -217,7 +238,7 @@ impl RgcnClassifier {
                 let mut w_e: Option<VarId> = None;
                 for (b, &v_b) in base_vars.iter().enumerate() {
                     let d_pid = self.layers[li].delta[e * self.num_bases + b];
-                    let d = self.params.bind(g, d_pid);
+                    let d = bind(g, d_pid);
                     let scaled = g.scale_by_scalar(v_b, d);
                     w_e = Some(match w_e {
                         None => scaled,
@@ -232,12 +253,22 @@ impl RgcnClassifier {
                     Some(acc) => g.add(acc, msg),
                 });
             }
-            let w_self = self.params.bind(g, self.layers[li].w_self);
+            let w_self = bind(g, self.layers[li].w_self);
             let own = g.matmul(h, w_self);
             let total = g.add(sum.expect("two edge types"), own);
             h = g.relu(total);
         }
         h
+    }
+
+    /// Inference-path backbone over one encoded graph (frozen binds).
+    fn backbone_frozen(&self, g: &mut Graph, enc: &GraphEncoding) -> VarId {
+        self.backbone_raw(
+            g,
+            enc.features.clone(),
+            [enc.conflict.clone(), enc.stitch.clone()],
+            &mut |g, pid| self.params.bind_frozen(g, pid),
+        )
     }
 
     fn readout(&self, g: &mut Graph, node_emb: VarId) -> VarId {
@@ -247,11 +278,16 @@ impl RgcnClassifier {
         }
     }
 
-    fn head(&mut self, g: &mut Graph, mut x: VarId) -> VarId {
+    fn head_raw(
+        &self,
+        g: &mut Graph,
+        mut x: VarId,
+        bind: &mut dyn FnMut(&mut Graph, ParamId) -> VarId,
+    ) -> VarId {
         let n_layers = self.head.len();
-        for (i, (w, b)) in self.head.clone().into_iter().enumerate() {
-            let wv = self.params.bind(g, w);
-            let bv = self.params.bind(g, b);
+        for (i, &(w, b)) in self.head.iter().enumerate() {
+            let wv = bind(g, w);
+            let bv = bind(g, b);
             let lin = g.matmul(x, wv);
             x = g.add_row(lin, bv);
             if i + 1 < n_layers {
@@ -261,12 +297,20 @@ impl RgcnClassifier {
         x
     }
 
+    /// Inference-path head (frozen binds).
+    fn head_frozen(&self, g: &mut Graph, x: VarId) -> VarId {
+        self.head_raw(g, x, &mut |g, pid| self.params.bind_frozen(g, pid))
+    }
+
     /// Trains on `(graph, label)` pairs with cross-entropy. Returns the
     /// mean loss of the final epoch.
     pub fn train(&mut self, data: &[(&LayoutGraph, u8)], cfg: &TrainConfig) -> f32 {
         assert!(!data.is_empty(), "training set must not be empty");
-        let mut data =
-            if cfg.balance { crate::rgcn::balance_classes(data) } else { data.to_vec() };
+        let mut data = if cfg.balance {
+            crate::rgcn::balance_classes(data)
+        } else {
+            data.to_vec()
+        };
         // Shuffle so minibatches mix classes: balanced duplicates would
         // otherwise cluster into same-class runs and per-batch steps would
         // oscillate without net progress (observed as a frozen loss).
@@ -284,6 +328,9 @@ impl RgcnClassifier {
                 (crate::BatchEncoding::new(&graphs), labels)
             })
             .collect();
+        // Take the parameter set out of `self` so the shared backbone/head
+        // builders (which borrow `&self`) can bind into it mutably.
+        let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
         let mut last_epoch_loss = 0.0;
         for _epoch in 0..cfg.epochs {
             last_epoch_loss = 0.0;
@@ -293,20 +340,22 @@ impl RgcnClassifier {
                     &mut g,
                     enc.features.clone(),
                     [enc.conflict.clone(), enc.stitch.clone()],
+                    &mut |g, pid| params.bind(g, pid),
                 );
                 let pooled = match self.readout {
                     Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), labels.len()),
                     Readout::Max => g.segment_max(node_emb, enc.segment.clone(), labels.len()),
                 };
-                let logits = self.head(&mut g, pooled);
+                let logits = self.head_raw(&mut g, pooled, &mut |g, pid| params.bind(g, pid));
                 let loss = g.softmax_cross_entropy(logits, labels.clone());
                 last_epoch_loss += g.value(loss).scalar() * labels.len() as f32;
                 g.backward(loss);
-                self.params.apply_grads(&g);
-                self.params.step(cfg.lr);
+                params.apply_grads(&g);
+                params.step(cfg.lr);
             }
             last_epoch_loss /= data.len() as f32;
         }
+        self.params = params;
         last_epoch_loss
     }
 
@@ -317,22 +366,25 @@ impl RgcnClassifier {
         let graphs: Vec<&LayoutGraph> = data.iter().map(|(g, _)| *g).collect();
         let labels: Vec<u8> = data.iter().map(|(_, l)| *l).collect();
         let enc = crate::BatchEncoding::new(&graphs);
+        let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
         let mut g = Graph::new();
         let node_emb = self.backbone_raw(
             &mut g,
             enc.features.clone(),
             [enc.conflict.clone(), enc.stitch.clone()],
+            &mut |g, pid| params.bind(g, pid),
         );
         let pooled = match self.readout {
             Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), labels.len()),
             Readout::Max => g.segment_max(node_emb, enc.segment.clone(), labels.len()),
         };
-        let logits = self.head(&mut g, pooled);
+        let logits = self.head_raw(&mut g, pooled, &mut |g, pid| params.bind(g, pid));
         let loss = g.softmax_cross_entropy(logits, labels);
         g.backward(loss);
-        self.params.apply_grads(&g);
-        let norms = self.params.debug_grad_norms();
-        self.params.zero_grads();
+        params.apply_grads(&g);
+        let norms = params.debug_grad_norms();
+        params.zero_grads();
+        self.params = params;
         norms
     }
 
@@ -342,22 +394,24 @@ impl RgcnClassifier {
     /// # Panics
     ///
     /// Panics if any graph is empty.
-    pub fn predict_batch(&mut self, graphs: &[&LayoutGraph]) -> Vec<Vec<f32>> {
+    pub fn predict_batch(&self, graphs: &[&LayoutGraph]) -> Vec<Vec<f32>> {
         if graphs.is_empty() {
             return Vec::new();
         }
         let enc = crate::BatchEncoding::new(graphs);
         let mut g = Graph::new();
-        let node_emb =
-            self.backbone_raw(&mut g, enc.features.clone(), [enc.conflict.clone(), enc.stitch.clone()]);
+        let node_emb = self.backbone_raw(
+            &mut g,
+            enc.features.clone(),
+            [enc.conflict.clone(), enc.stitch.clone()],
+            &mut |g, pid| self.params.bind_frozen(g, pid),
+        );
         let pooled = match self.readout {
             Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), graphs.len()),
             Readout::Max => g.segment_max(node_emb, enc.segment.clone(), graphs.len()),
         };
-        let logits = self.head(&mut g, pooled);
+        let logits = self.head_frozen(&mut g, pooled);
         let probs = g.softmax_values(logits);
-        self.params.apply_grads(&g);
-        self.params.zero_grads();
         (0..graphs.len()).map(|i| probs.row(i).to_vec()).collect()
     }
 
@@ -367,25 +421,24 @@ impl RgcnClassifier {
     /// # Panics
     ///
     /// Panics if any graph is empty.
-    pub fn embeddings_batch(
-        &mut self,
-        graphs: &[&LayoutGraph],
-    ) -> Vec<(Vec<f32>, Matrix)> {
+    pub fn embeddings_batch(&self, graphs: &[&LayoutGraph]) -> Vec<(Vec<f32>, Matrix)> {
         if graphs.is_empty() {
             return Vec::new();
         }
         let enc = crate::BatchEncoding::new(graphs);
         let mut g = Graph::new();
-        let node_emb =
-            self.backbone_raw(&mut g, enc.features.clone(), [enc.conflict.clone(), enc.stitch.clone()]);
+        let node_emb = self.backbone_raw(
+            &mut g,
+            enc.features.clone(),
+            [enc.conflict.clone(), enc.stitch.clone()],
+            &mut |g, pid| self.params.bind_frozen(g, pid),
+        );
         let pooled = match self.readout {
             Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), graphs.len()),
             Readout::Max => g.segment_max(node_emb, enc.segment.clone(), graphs.len()),
         };
         let nodes = g.value(node_emb).clone();
         let pools = g.value(pooled).clone();
-        self.params.apply_grads(&g);
-        self.params.zero_grads();
         (0..graphs.len())
             .map(|i| {
                 let (lo, hi) = (enc.offsets[i], enc.offsets[i + 1]);
@@ -401,39 +454,31 @@ impl RgcnClassifier {
     }
 
     /// Class probabilities for one graph.
-    pub fn predict(&mut self, graph: &LayoutGraph) -> Vec<f32> {
+    pub fn predict(&self, graph: &LayoutGraph) -> Vec<f32> {
         let enc = GraphEncoding::new(graph);
         let mut g = Graph::new();
-        let node_emb = self.backbone(&mut g, &enc);
+        let node_emb = self.backbone_frozen(&mut g, &enc);
         let pooled = self.readout(&mut g, node_emb);
-        let logits = self.head(&mut g, pooled);
+        let logits = self.head_frozen(&mut g, pooled);
         let probs = g.softmax_values(logits);
-        self.params.apply_grads(&g); // clear bindings without stepping
-        self.params.zero_grads();
         probs.row(0).to_vec()
     }
 
     /// The graph embedding (readout of the final layer), `D` floats.
-    pub fn graph_embedding(&mut self, graph: &LayoutGraph) -> Vec<f32> {
+    pub fn graph_embedding(&self, graph: &LayoutGraph) -> Vec<f32> {
         let enc = GraphEncoding::new(graph);
         let mut g = Graph::new();
-        let node_emb = self.backbone(&mut g, &enc);
+        let node_emb = self.backbone_frozen(&mut g, &enc);
         let pooled = self.readout(&mut g, node_emb);
-        let out = g.value(pooled).row(0).to_vec();
-        self.params.apply_grads(&g);
-        self.params.zero_grads();
-        out
+        g.value(pooled).row(0).to_vec()
     }
 
     /// Node embeddings (`n x D`) of the final layer.
-    pub fn node_embeddings(&mut self, graph: &LayoutGraph) -> Matrix {
+    pub fn node_embeddings(&self, graph: &LayoutGraph) -> Matrix {
         let enc = GraphEncoding::new(graph);
         let mut g = Graph::new();
-        let node_emb = self.backbone(&mut g, &enc);
-        let out = g.value(node_emb).clone();
-        self.params.apply_grads(&g);
-        self.params.zero_grads();
-        out
+        let node_emb = self.backbone_frozen(&mut g, &enc);
+        g.value(node_emb).clone()
     }
 }
 
@@ -476,7 +521,15 @@ mod tests {
             .collect();
         let data: Vec<(&LayoutGraph, u8)> = graphs.iter().map(|(g, l)| (g, *l)).collect();
         let mut model = RgcnClassifier::selector(1);
-        model.train(&data, &TrainConfig { epochs: 60, lr: 0.01, batch: 4, balance: true });
+        model.train(
+            &data,
+            &TrainConfig {
+                epochs: 60,
+                lr: 0.01,
+                batch: 4,
+                balance: true,
+            },
+        );
         let mut correct = 0;
         for (g, l) in &data {
             let p = model.predict(g);
@@ -484,7 +537,11 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= data.len() - 1, "only {correct}/{} correct", data.len());
+        assert!(
+            correct >= data.len() - 1,
+            "only {correct}/{} correct",
+            data.len()
+        );
     }
 
     #[test]
@@ -492,7 +549,7 @@ mod tests {
         // The same triangle with relabeled nodes must embed identically.
         let g1 = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
         let g2 = LayoutGraph::homogeneous(4, vec![(3, 2), (2, 1), (3, 1), (1, 0)]).unwrap();
-        let mut model = RgcnClassifier::selector(7);
+        let model = RgcnClassifier::selector(7);
         let e1 = model.graph_embedding(&g1);
         let e2 = model.graph_embedding(&g2);
         for (a, b) in e1.iter().zip(&e2) {
@@ -506,7 +563,7 @@ mod tests {
         // relation weight).
         let hom = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2)]).unwrap();
         let het = LayoutGraph::new(vec![0, 0, 1], vec![(0, 2), (1, 2)], vec![(0, 1)]).unwrap();
-        let mut model = RgcnClassifier::selector(3);
+        let model = RgcnClassifier::selector(3);
         let e1 = model.graph_embedding(&hom);
         let e2 = model.graph_embedding(&het);
         let diff: f32 = e1.iter().zip(&e2).map(|(a, b)| (a - b).abs()).sum();
@@ -517,12 +574,9 @@ mod tests {
     fn max_readout_ignores_duplicated_components() {
         // Max pooling: embedding of G equals embedding of G + disjoint copy.
         let tri = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-        let two = LayoutGraph::homogeneous(
-            6,
-            vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
-        )
-        .unwrap();
-        let mut model = RgcnClassifier::redundancy(5);
+        let two = LayoutGraph::homogeneous(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .unwrap();
+        let model = RgcnClassifier::redundancy(5);
         let e1 = model.graph_embedding(&tri);
         let e2 = model.graph_embedding(&two);
         for (a, b) in e1.iter().zip(&e2) {
@@ -533,7 +587,7 @@ mod tests {
     #[test]
     fn predict_outputs_distribution() {
         let g = sparse_path(5);
-        let mut model = RgcnClassifier::selector(11);
+        let model = RgcnClassifier::selector(11);
         let p = model.predict(&g);
         assert_eq!(p.len(), 2);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
@@ -542,9 +596,9 @@ mod tests {
 
     #[test]
     fn batch_prediction_matches_individual() {
-        let graphs = vec![dense(4), sparse_path(5), dense(6), sparse_path(7)];
+        let graphs = [dense(4), sparse_path(5), dense(6), sparse_path(7)];
         let refs: Vec<&LayoutGraph> = graphs.iter().collect();
-        let mut model = RgcnClassifier::selector(2);
+        let model = RgcnClassifier::selector(2);
         let batch = model.predict_batch(&refs);
         for (g, b) in refs.iter().zip(&batch) {
             let solo = model.predict(g);
@@ -556,9 +610,9 @@ mod tests {
 
     #[test]
     fn batch_embeddings_match_individual() {
-        let graphs = vec![dense(4), sparse_path(6)];
+        let graphs = [dense(4), sparse_path(6)];
         let refs: Vec<&LayoutGraph> = graphs.iter().collect();
-        let mut model = RgcnClassifier::redundancy(2);
+        let model = RgcnClassifier::redundancy(2);
         let batch = model.embeddings_batch(&refs);
         for (g, (emb, nodes)) in refs.iter().zip(&batch) {
             let solo_emb = model.graph_embedding(g);

@@ -20,13 +20,29 @@ fn wheel(rim: usize) -> LayoutGraph {
 
 #[test]
 fn margin_loss_is_not_vacuous_and_lambdas_move() {
-    let graphs = vec![k4(), wheel(4), wheel(6), k4()];
+    let graphs = [k4(), wheel(4), wheel(6), k4()];
     let refs: Vec<&LayoutGraph> = graphs.iter().collect();
     let mut gnn = ColorGnn::new(3);
     let before = gnn.lambda_values();
-    let first = gnn.train(&refs, 3, &ColorGnnTrainConfig { epochs: 1, lr: 0.02, margin: 1.0 });
+    let first = gnn.train(
+        &refs,
+        3,
+        &ColorGnnTrainConfig {
+            epochs: 1,
+            lr: 0.02,
+            margin: 1.0,
+        },
+    );
     assert!(first > 1e-4, "margin loss is vacuous again: {first}");
-    gnn.train(&refs, 3, &ColorGnnTrainConfig { epochs: 30, lr: 0.02, margin: 1.0 });
+    gnn.train(
+        &refs,
+        3,
+        &ColorGnnTrainConfig {
+            epochs: 30,
+            lr: 0.02,
+            margin: 1.0,
+        },
+    );
     let after = gnn.lambda_values();
     assert_ne!(before, after, "lambdas did not move");
 }

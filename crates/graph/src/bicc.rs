@@ -65,7 +65,13 @@ pub fn biconnected_components(g: &LayoutGraph) -> BlockCutTree {
         disc[root as usize] = timer;
         low[root as usize] = timer;
         timer += 1;
-        let mut stack = vec![Frame { v: root, parent: None, ai: 0, skipped_parent: false, children: 0 }];
+        let mut stack = vec![Frame {
+            v: root,
+            parent: None,
+            ai: 0,
+            skipped_parent: false,
+            children: 0,
+        }];
         let mut root_children = 0u32;
 
         while let Some(frame) = stack.last_mut() {
@@ -130,7 +136,10 @@ pub fn biconnected_components(g: &LayoutGraph) -> BlockCutTree {
         }
     }
 
-    BlockCutTree { blocks, is_articulation }
+    BlockCutTree {
+        blocks,
+        is_articulation,
+    }
 }
 
 impl BlockCutTree {
@@ -145,13 +154,9 @@ impl BlockCutTree {
     ///
     /// Panics if a coloring's length does not match its block, a color is
     /// `>= k`, or `num_nodes` is smaller than the largest block node.
-    pub fn merge_colorings(
-        &self,
-        num_nodes: usize,
-        k: u8,
-        block_colorings: &[Vec<u8>],
-    ) -> Vec<u8> {
-        self.merge_colorings_with_permutations(num_nodes, k, block_colorings).0
+    pub fn merge_colorings(&self, num_nodes: usize, k: u8, block_colorings: &[Vec<u8>]) -> Vec<u8> {
+        self.merge_colorings_with_permutations(num_nodes, k, block_colorings)
+            .0
     }
 
     /// Like [`BlockCutTree::merge_colorings`], additionally returning, for
@@ -170,7 +175,11 @@ impl BlockCutTree {
         k: u8,
         block_colorings: &[Vec<u8>],
     ) -> (Vec<u8>, Vec<[u8; 8]>) {
-        assert_eq!(block_colorings.len(), self.blocks.len(), "one coloring per block");
+        assert_eq!(
+            block_colorings.len(),
+            self.blocks.len(),
+            "one coloring per block"
+        );
         assert!(k <= 8, "at most 8 masks supported by permutation tracking");
         for (b, c) in self.blocks.iter().zip(block_colorings) {
             assert_eq!(b.len(), c.len(), "coloring length must match block size");
@@ -275,11 +284,8 @@ mod tests {
 
     #[test]
     fn bow_tie_splits_at_center() {
-        let g = LayoutGraph::homogeneous(
-            5,
-            vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
-        )
-        .unwrap();
+        let g = LayoutGraph::homogeneous(5, vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+            .unwrap();
         let bct = biconnected_components(&g);
         assert_eq!(bct.blocks.len(), 2);
         assert!(bct.is_articulation[2]);
@@ -299,11 +305,8 @@ mod tests {
     fn merge_reconciles_cut_vertex() {
         // Bow tie; color each triangle independently with clashing colors at
         // the cut vertex, then merge.
-        let g = LayoutGraph::homogeneous(
-            5,
-            vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
-        )
-        .unwrap();
+        let g = LayoutGraph::homogeneous(5, vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+            .unwrap();
         let bct = biconnected_components(&g);
         // Identify which block is which.
         let colorings: Vec<Vec<u8>> = bct

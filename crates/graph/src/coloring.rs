@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A mask assignment: `coloring[v]` is the mask (color) of node `v`.
@@ -14,7 +13,7 @@ pub type Coloring = Vec<u8>;
 /// let c = CostBreakdown { conflicts: 2, stitches: 3 };
 /// assert!((c.value(0.1) - 2.3).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CostBreakdown {
     /// Number of conflicting feature pairs (`cn#`).
     pub conflicts: u32,
@@ -59,32 +58,59 @@ mod tests {
 
     #[test]
     fn value_weighs_stitches() {
-        let c = CostBreakdown { conflicts: 1, stitches: 4 };
+        let c = CostBreakdown {
+            conflicts: 1,
+            stitches: 4,
+        };
         assert!((c.value(0.1) - 1.4).abs() < 1e-12);
         assert!((c.value(0.0) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn combine_adds() {
-        let a = CostBreakdown { conflicts: 1, stitches: 2 };
-        let b = CostBreakdown { conflicts: 3, stitches: 4 };
-        assert_eq!(a.combine(b), CostBreakdown { conflicts: 4, stitches: 6 });
+        let a = CostBreakdown {
+            conflicts: 1,
+            stitches: 2,
+        };
+        let b = CostBreakdown {
+            conflicts: 3,
+            stitches: 4,
+        };
+        assert_eq!(
+            a.combine(b),
+            CostBreakdown {
+                conflicts: 4,
+                stitches: 6
+            }
+        );
     }
 
     #[test]
     fn better_than_orders_by_weighted_value() {
-        let a = CostBreakdown { conflicts: 0, stitches: 9 };
-        let b = CostBreakdown { conflicts: 1, stitches: 0 };
+        let a = CostBreakdown {
+            conflicts: 0,
+            stitches: 9,
+        };
+        let b = CostBreakdown {
+            conflicts: 1,
+            stitches: 0,
+        };
         assert!(a.better_than(&b, 0.1)); // 0.9 < 1.0
         assert!(!b.better_than(&a, 0.1));
-        let c = CostBreakdown { conflicts: 0, stitches: 10 };
+        let c = CostBreakdown {
+            conflicts: 0,
+            stitches: 10,
+        };
         assert!(!c.better_than(&b, 0.1)); // tie at 1.0
         assert!(!b.better_than(&c, 0.1));
     }
 
     #[test]
     fn display_shows_both_terms() {
-        let c = CostBreakdown { conflicts: 5, stitches: 7 };
+        let c = CostBreakdown {
+            conflicts: 5,
+            stitches: 7,
+        };
         assert_eq!(c.to_string(), "cn#=5 st#=7");
     }
 }

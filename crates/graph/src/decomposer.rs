@@ -11,7 +11,10 @@ pub struct DecomposeParams {
 
 impl Default for DecomposeParams {
     fn default() -> Self {
-        DecomposeParams { k: crate::DEFAULT_MASKS, alpha: crate::DEFAULT_ALPHA }
+        DecomposeParams {
+            k: crate::DEFAULT_MASKS,
+            alpha: crate::DEFAULT_ALPHA,
+        }
     }
 }
 
@@ -23,7 +26,10 @@ impl DecomposeParams {
 
     /// Quadruple-patterning parameters with the standard stitch weight.
     pub fn qpl() -> Self {
-        DecomposeParams { k: 4, alpha: crate::DEFAULT_ALPHA }
+        DecomposeParams {
+            k: 4,
+            alpha: crate::DEFAULT_ALPHA,
+        }
     }
 }
 

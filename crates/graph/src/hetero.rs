@@ -1,5 +1,4 @@
 use crate::coloring::CostBreakdown;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -7,7 +6,7 @@ use std::fmt;
 pub type NodeId = u32;
 
 /// The two edge types of the heterogeneous layout graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// Two (sub)features of *different* parent features closer than the
     /// minimum coloring distance; same color ⇒ conflict cost.
@@ -21,7 +20,10 @@ pub enum EdgeKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// An edge endpoint is `>= node count`.
-    NodeOutOfRange { edge: (NodeId, NodeId), nodes: usize },
+    NodeOutOfRange {
+        edge: (NodeId, NodeId),
+        nodes: usize,
+    },
     /// An edge connects a node to itself.
     SelfLoop(NodeId),
     /// The same unordered node pair appears twice (in either edge set).
@@ -38,7 +40,11 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { edge, nodes } => {
-                write!(f, "edge ({}, {}) references a node outside 0..{}", edge.0, edge.1, nodes)
+                write!(
+                    f,
+                    "edge ({}, {}) references a node outside 0..{}",
+                    edge.0, edge.1, nodes
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self loop at node {v}"),
             GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
@@ -64,7 +70,7 @@ impl std::error::Error for GraphError {}
 /// loops, no duplicate edges, conflict edges across features only, stitch
 /// edges within one feature only), so every downstream algorithm can rely
 /// on them.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayoutGraph {
     num_nodes: usize,
     /// `node_feature[v]` is the parent-feature index of node `v` (local to
@@ -92,14 +98,21 @@ impl LayoutGraph {
         stitch_edges: Vec<(NodeId, NodeId)>,
     ) -> Result<Self, GraphError> {
         let num_nodes = node_feature.len();
-        let num_features = node_feature.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let num_features = node_feature
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
 
         let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
         let norm = |(u, v): (NodeId, NodeId)| if u < v { (u, v) } else { (v, u) };
 
         let mut check = |(u, v): (NodeId, NodeId)| -> Result<(NodeId, NodeId), GraphError> {
             if u as usize >= num_nodes || v as usize >= num_nodes {
-                return Err(GraphError::NodeOutOfRange { edge: (u, v), nodes: num_nodes });
+                return Err(GraphError::NodeOutOfRange {
+                    edge: (u, v),
+                    nodes: num_nodes,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop(u));
@@ -247,7 +260,10 @@ impl LayoutGraph {
                 stitches += 1;
             }
         }
-        CostBreakdown { conflicts: bad_pairs.len() as u32, stitches }
+        CostBreakdown {
+            conflicts: bad_pairs.len() as u32,
+            stitches,
+        }
     }
 
     /// Merges all stitch edges, returning the homogeneous *parent graph*
@@ -288,7 +304,11 @@ impl LayoutGraph {
         let mut local_of = vec![u32::MAX; self.num_nodes];
         for (i, &v) in nodes.iter().enumerate() {
             assert!((v as usize) < self.num_nodes, "node out of range");
-            assert_eq!(local_of[v as usize], u32::MAX, "duplicate node in subgraph set");
+            assert_eq!(
+                local_of[v as usize],
+                u32::MAX,
+                "duplicate node in subgraph set"
+            );
             local_of[v as usize] = i as u32;
         }
         let mut feat_map: Vec<u32> = Vec::new();
@@ -306,17 +326,13 @@ impl LayoutGraph {
         let conflict_edges: Vec<(NodeId, NodeId)> = self
             .conflict_edges
             .iter()
-            .filter(|(u, v)| {
-                local_of[*u as usize] != u32::MAX && local_of[*v as usize] != u32::MAX
-            })
+            .filter(|(u, v)| local_of[*u as usize] != u32::MAX && local_of[*v as usize] != u32::MAX)
             .map(|&(u, v)| (local_of[u as usize], local_of[v as usize]))
             .collect();
         let stitch_edges: Vec<(NodeId, NodeId)> = self
             .stitch_edges
             .iter()
-            .filter(|(u, v)| {
-                local_of[*u as usize] != u32::MAX && local_of[*v as usize] != u32::MAX
-            })
+            .filter(|(u, v)| local_of[*u as usize] != u32::MAX && local_of[*v as usize] != u32::MAX)
             .map(|&(u, v)| (local_of[u as usize], local_of[v as usize]))
             .collect();
         let g = LayoutGraph::new(node_feature, conflict_edges, stitch_edges)
@@ -403,9 +419,27 @@ mod tests {
     #[test]
     fn evaluate_counts_conflicts() {
         let g = tri();
-        assert_eq!(g.evaluate(&[0, 0, 0], 0.1), CostBreakdown { conflicts: 3, stitches: 0 });
-        assert_eq!(g.evaluate(&[0, 1, 2], 0.1), CostBreakdown { conflicts: 0, stitches: 0 });
-        assert_eq!(g.evaluate(&[0, 0, 1], 0.1), CostBreakdown { conflicts: 1, stitches: 0 });
+        assert_eq!(
+            g.evaluate(&[0, 0, 0], 0.1),
+            CostBreakdown {
+                conflicts: 3,
+                stitches: 0
+            }
+        );
+        assert_eq!(
+            g.evaluate(&[0, 1, 2], 0.1),
+            CostBreakdown {
+                conflicts: 0,
+                stitches: 0
+            }
+        );
+        assert_eq!(
+            g.evaluate(&[0, 0, 1], 0.1),
+            CostBreakdown {
+                conflicts: 1,
+                stitches: 0
+            }
+        );
     }
 
     #[test]
@@ -414,7 +448,13 @@ mod tests {
         // conflict with B. Same color everywhere ⇒ a single conflict (Eq. 1b).
         let g = LayoutGraph::new(vec![0, 0, 1], vec![(0, 2), (1, 2)], vec![(0, 1)]).unwrap();
         let cost = g.evaluate(&[0, 0, 0], 0.1);
-        assert_eq!(cost, CostBreakdown { conflicts: 1, stitches: 0 });
+        assert_eq!(
+            cost,
+            CostBreakdown {
+                conflicts: 1,
+                stitches: 0
+            }
+        );
     }
 
     #[test]
@@ -422,22 +462,36 @@ mod tests {
         let g = LayoutGraph::new(vec![0, 0, 1], vec![(0, 2), (1, 2)], vec![(0, 1)]).unwrap();
         // Splitting the feature: subfeature 1 escapes the conflict with 2.
         let cost = g.evaluate(&[0, 1, 1], 0.1);
-        assert_eq!(cost, CostBreakdown { conflicts: 1, stitches: 1 });
+        assert_eq!(
+            cost,
+            CostBreakdown {
+                conflicts: 1,
+                stitches: 1
+            }
+        );
         let cost = g.evaluate(&[1, 0, 1], 0.1);
-        assert_eq!(cost, CostBreakdown { conflicts: 1, stitches: 1 });
+        assert_eq!(
+            cost,
+            CostBreakdown {
+                conflicts: 1,
+                stitches: 1
+            }
+        );
         let cost = g.evaluate(&[1, 2, 0], 0.1);
-        assert_eq!(cost, CostBreakdown { conflicts: 0, stitches: 1 });
+        assert_eq!(
+            cost,
+            CostBreakdown {
+                conflicts: 0,
+                stitches: 1
+            }
+        );
     }
 
     #[test]
     fn merge_stitch_edges_builds_parent_graph() {
         // Fig. 2 of the paper: p1 = {v1}, p2 = {v2}, p3 = {v3, v4}.
-        let g = LayoutGraph::new(
-            vec![0, 1, 2, 2],
-            vec![(0, 2), (1, 3), (0, 1)],
-            vec![(2, 3)],
-        )
-        .unwrap();
+        let g =
+            LayoutGraph::new(vec![0, 1, 2, 2], vec![(0, 2), (1, 3), (0, 1)], vec![(2, 3)]).unwrap();
         let (gp, map) = g.merge_stitch_edges();
         assert_eq!(gp.num_nodes(), 3);
         assert_eq!(gp.conflict_edges(), &[(0, 1), (0, 2), (1, 2)]);
@@ -447,12 +501,8 @@ mod tests {
 
     #[test]
     fn induced_subgraph_remaps() {
-        let g = LayoutGraph::new(
-            vec![0, 1, 2, 2],
-            vec![(0, 2), (1, 3), (0, 1)],
-            vec![(2, 3)],
-        )
-        .unwrap();
+        let g =
+            LayoutGraph::new(vec![0, 1, 2, 2], vec![(0, 2), (1, 3), (0, 1)], vec![(2, 3)]).unwrap();
         let (sub, map) = g.induced_subgraph(&[2, 3, 1]);
         assert_eq!(map, vec![2, 3, 1]);
         assert_eq!(sub.num_nodes(), 3);

@@ -127,7 +127,10 @@ pub fn apply_precoloring(
     let n = graph.num_nodes() as u32;
     for &(node, mask) in pre.pins() {
         if node >= n || mask >= k {
-            return Err(GraphError::NodeOutOfRange { edge: (node, mask as u32), nodes: graph.num_nodes() });
+            return Err(GraphError::NodeOutOfRange {
+                edge: (node, mask as u32),
+                nodes: graph.num_nodes(),
+            });
         }
     }
     let nf = graph.num_features() as u32;
@@ -151,7 +154,14 @@ pub fn apply_precoloring(
         }
     }
     let gadget = LayoutGraph::new(node_feature, conflicts, graph.stitch_edges().to_vec())?;
-    Ok((gadget, PrecoloringMap { original_nodes: graph.num_nodes(), anchor_base: n, k }))
+    Ok((
+        gadget,
+        PrecoloringMap {
+            original_nodes: graph.num_nodes(),
+            anchor_base: n,
+            k,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -166,11 +176,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "exhaustive"
         }
-        fn decompose(
-            &self,
-            graph: &LayoutGraph,
-            params: &DecomposeParams,
-        ) -> crate::Decomposition {
+        fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> crate::Decomposition {
             let n = graph.num_nodes();
             assert!(n <= 12);
             let mut best: Option<crate::Decomposition> = None;
@@ -179,9 +185,12 @@ mod tests {
                 let cost = graph.evaluate(&coloring, params.alpha);
                 let better = best
                     .as_ref()
-                    .map_or(true, |b| cost.better_than(&b.cost, params.alpha));
+                    .is_none_or(|b| cost.better_than(&b.cost, params.alpha));
                 if better {
-                    best = Some(crate::Decomposition { coloring: coloring.clone(), cost });
+                    best = Some(crate::Decomposition {
+                        coloring: coloring.clone(),
+                        cost,
+                    });
                 }
                 let mut i = 0;
                 loop {

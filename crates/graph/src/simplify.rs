@@ -31,7 +31,10 @@ pub struct SimplifyOptions {
 impl Default for SimplifyOptions {
     /// OpenMPL simplification level 3: everything on.
     fn default() -> Self {
-        SimplifyOptions { hide_small_degree: true, biconnected: true }
+        SimplifyOptions {
+            hide_small_degree: true,
+            biconnected: true,
+        }
     }
 }
 
@@ -106,7 +109,10 @@ pub struct Recovered {
 /// assert_eq!(s.units()[0].graph.num_nodes(), 4);
 /// ```
 pub fn simplify(g: &LayoutGraph, k: u8, opts: SimplifyOptions) -> Simplified {
-    assert!(!g.has_stitches(), "simplify operates on the homogeneous graph");
+    assert!(
+        !g.has_stitches(),
+        "simplify operates on the homogeneous graph"
+    );
     assert!(k > 0, "at least one mask required");
     let n = g.num_nodes();
     let mut active = vec![true; n];
@@ -114,7 +120,9 @@ pub fn simplify(g: &LayoutGraph, k: u8, opts: SimplifyOptions) -> Simplified {
     let mut hidden = Vec::new();
 
     if opts.hide_small_degree {
-        let mut queue: Vec<NodeId> = (0..n as u32).filter(|&v| degree[v as usize] < k as usize).collect();
+        let mut queue: Vec<NodeId> = (0..n as u32)
+            .filter(|&v| degree[v as usize] < k as usize)
+            .collect();
         while let Some(v) = queue.pop() {
             if !active[v as usize] {
                 continue;
@@ -189,8 +197,7 @@ pub fn simplify(g: &LayoutGraph, k: u8, opts: SimplifyOptions) -> Simplified {
         let mut unit_of_block = Vec::with_capacity(bct.blocks.len());
         for (bi, block) in bct.blocks.iter().enumerate() {
             let (bg, _) = cg.induced_subgraph(block);
-            let block_globals: Vec<NodeId> =
-                block.iter().map(|&lv| globals[lv as usize]).collect();
+            let block_globals: Vec<NodeId> = block.iter().map(|&lv| globals[lv as usize]).collect();
             unit_of_block.push(units.len());
             units.push(DecompUnit {
                 graph: bg,
@@ -199,10 +206,19 @@ pub fn simplify(g: &LayoutGraph, k: u8, opts: SimplifyOptions) -> Simplified {
                 block: bi,
             });
         }
-        components.push(ComponentInfo { global_nodes: globals, bct, unit_of_block });
+        components.push(ComponentInfo {
+            global_nodes: globals,
+            bct,
+            unit_of_block,
+        });
     }
 
-    Simplified { units, components, hidden, num_nodes: n }
+    Simplified {
+        units,
+        components,
+        hidden,
+        num_nodes: n,
+    }
 }
 
 impl Simplified {
@@ -236,7 +252,11 @@ impl Simplified {
     /// coloring has the wrong length or colors `>= k`, or `g` is not the
     /// graph this simplification was built from.
     pub fn recover(&self, g: &LayoutGraph, k: u8, unit_colorings: &[Vec<u8>]) -> Recovered {
-        assert_eq!(unit_colorings.len(), self.units.len(), "one coloring per unit");
+        assert_eq!(
+            unit_colorings.len(),
+            self.units.len(),
+            "one coloring per unit"
+        );
         assert_eq!(g.num_nodes(), self.num_nodes, "graph mismatch");
         let mut coloring = vec![0u8; self.num_nodes];
         let mut assigned = vec![false; self.num_nodes];
@@ -276,7 +296,10 @@ impl Simplified {
             assigned[v as usize] = true;
         }
 
-        Recovered { coloring, unit_permutations }
+        Recovered {
+            coloring,
+            unit_permutations,
+        }
     }
 }
 
@@ -332,8 +355,11 @@ mod tests {
         let s = simplify(&g, 3, SimplifyOptions::default());
         assert_eq!(s.units().len(), 1);
         assert_eq!(s.units()[0].graph.num_nodes(), 4);
-        let colorings: Vec<Vec<u8>> =
-            s.units().iter().map(|u| decompose_greedy(&u.graph, 3)).collect();
+        let colorings: Vec<Vec<u8>> = s
+            .units()
+            .iter()
+            .map(|u| decompose_greedy(&u.graph, 3))
+            .collect();
         let unit_conflicts: u32 = s
             .units()
             .iter()
@@ -347,11 +373,8 @@ mod tests {
 
     #[test]
     fn k4_is_one_unit_with_unavoidable_conflict_at_k3() {
-        let g = LayoutGraph::homogeneous(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         let s = simplify(&g, 3, SimplifyOptions::default());
         assert_eq!(s.units().len(), 1);
         assert_eq!(s.units()[0].graph.num_nodes(), 4);
@@ -372,8 +395,11 @@ mod tests {
         let g = LayoutGraph::homogeneous(9, edges).unwrap();
         let s = simplify(&g, 3, SimplifyOptions::default());
         assert_eq!(s.units().len(), 2);
-        let colorings: Vec<Vec<u8>> =
-            s.units().iter().map(|u| decompose_greedy(&u.graph, 3)).collect();
+        let colorings: Vec<Vec<u8>> = s
+            .units()
+            .iter()
+            .map(|u| decompose_greedy(&u.graph, 3))
+            .collect();
         let unit_cost: u32 = s
             .units()
             .iter()
@@ -388,16 +414,23 @@ mod tests {
     #[test]
     fn biconnected_split_reduces_unit_size() {
         // Bow tie: two triangles sharing a vertex.
-        let g = LayoutGraph::homogeneous(
-            5,
-            vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
-        )
-        .unwrap();
-        let s = simplify(&g, 3, SimplifyOptions { hide_small_degree: false, biconnected: true });
+        let g = LayoutGraph::homogeneous(5, vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+            .unwrap();
+        let s = simplify(
+            &g,
+            3,
+            SimplifyOptions {
+                hide_small_degree: false,
+                biconnected: true,
+            },
+        );
         assert_eq!(s.units().len(), 2);
         assert!(s.units().iter().all(|u| u.graph.num_nodes() == 3));
-        let colorings: Vec<Vec<u8>> =
-            s.units().iter().map(|u| decompose_greedy(&u.graph, 3)).collect();
+        let colorings: Vec<Vec<u8>> = s
+            .units()
+            .iter()
+            .map(|u| decompose_greedy(&u.graph, 3))
+            .collect();
         let rec = s.recover(&g, 3, &colorings);
         assert_eq!(g.evaluate(&rec.coloring, 0.1).conflicts, 0);
     }
@@ -405,7 +438,10 @@ mod tests {
     #[test]
     fn no_simplification_keeps_whole_components() {
         let g = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
-        let opts = SimplifyOptions { hide_small_degree: false, biconnected: false };
+        let opts = SimplifyOptions {
+            hide_small_degree: false,
+            biconnected: false,
+        };
         let s = simplify(&g, 3, opts);
         assert_eq!(s.units().len(), 1);
         assert_eq!(s.units()[0].graph.num_nodes(), 4);

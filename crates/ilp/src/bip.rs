@@ -48,7 +48,11 @@ pub struct BipSolution {
 impl Bip {
     /// Creates a model with `num_vars` binary variables and zero objective.
     pub fn new(num_vars: usize) -> Self {
-        Bip { num_vars, objective: vec![0; num_vars], constraints: Vec::new() }
+        Bip {
+            num_vars,
+            objective: vec![0; num_vars],
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -89,9 +93,25 @@ impl Bip {
     ///
     /// Returns `None` when the constraints are infeasible.
     pub fn solve(&self) -> Option<BipSolution> {
+        self.solve_bounded(None)
+    }
+
+    /// Solves to optimality among solutions with objective strictly below
+    /// `cutoff` (when given). Returns `None` when no such solution exists —
+    /// which, with `cutoff` set to the objective of a known feasible
+    /// solution, is a proof that the known solution is already optimal.
+    ///
+    /// The cutoff acts as an incumbent the search starts with: branches
+    /// whose objective lower bound reaches it are pruned immediately, so
+    /// proving a near-optimal warm start optimal is far cheaper than a cold
+    /// solve that must first stumble onto a good leaf before it can prune.
+    pub fn solve_bounded(&self, cutoff: Option<i64>) -> Option<BipSolution> {
         let mut search = Search::new(self);
+        search.cutoff = cutoff;
         search.run();
-        search.best.map(|(values, objective)| BipSolution { values, objective })
+        search
+            .best
+            .map(|(values, objective)| BipSolution { values, objective })
     }
 }
 
@@ -100,6 +120,8 @@ struct Search<'m> {
     /// Constraints each variable occurs in: `(constraint index, coef)`.
     occurs: Vec<Vec<(usize, i64)>>,
     best: Option<(Vec<bool>, i64)>,
+    /// Only solutions with objective strictly below this count.
+    cutoff: Option<i64>,
     /// Sum over all variables of `min(0, c)`, a constant lower-bound term.
     neg_obj_total: i64,
 }
@@ -128,7 +150,21 @@ impl<'m> Search<'m> {
             }
         }
         let neg_obj_total = model.objective.iter().map(|&c| c.min(0)).sum();
-        Search { model, occurs, best: None, neg_obj_total }
+        Search {
+            model,
+            occurs,
+            best: None,
+            cutoff: None,
+            neg_obj_total,
+        }
+    }
+
+    /// The objective any acceptable solution must stay strictly below.
+    fn bar(&self) -> Option<i64> {
+        match (self.best.as_ref().map(|(_, b)| *b), self.cutoff) {
+            (Some(b), Some(c)) => Some(b.min(c)),
+            (b, c) => b.or(c),
+        }
     }
 
     fn initial_state(&self) -> State {
@@ -214,8 +250,8 @@ impl<'m> Search<'m> {
     }
 
     fn dfs(&mut self, state: State) {
-        if let Some((_, best)) = &self.best {
-            if self.lower_bound(&state) >= *best {
+        if let Some(bar) = self.bar() {
+            if self.lower_bound(&state) >= bar {
                 return;
             }
         }
@@ -223,9 +259,8 @@ impl<'m> Search<'m> {
             let values: Vec<bool> = state.fixed.iter().map(|&f| f == 1).collect();
             let objective = state.obj_fixed;
             debug_assert!(self.check(&values));
-            match &self.best {
-                Some((_, b)) if objective >= *b => {}
-                _ => self.best = Some((values, objective)),
+            if self.bar().is_none_or(|bar| objective < bar) {
+                self.best = Some((values, objective));
             }
             return;
         }
@@ -237,7 +272,11 @@ impl<'m> Search<'m> {
             .find(|&v| state.fixed[v] == -1)
             .expect("a free variable exists");
         let cheap_first = self.model.objective[var] > 0;
-        for &val in if cheap_first { &[false, true] } else { &[true, false] } {
+        for &val in if cheap_first {
+            &[false, true]
+        } else {
+            &[true, false]
+        } {
             let mut child = state.clone();
             if self.fix(&mut child, var, val) && self.propagate(&mut child) {
                 self.dfs(child);
@@ -247,7 +286,11 @@ impl<'m> Search<'m> {
 
     fn check(&self, values: &[bool]) -> bool {
         self.model.constraints.iter().all(|c| {
-            let lhs: i64 = c.terms.iter().map(|&(v, a)| if values[v] { a } else { 0 }).sum();
+            let lhs: i64 = c
+                .terms
+                .iter()
+                .map(|&(v, a)| if values[v] { a } else { 0 })
+                .sum();
             lhs <= c.bound
         })
     }
@@ -321,6 +364,55 @@ mod tests {
     }
 
     #[test]
+    fn bounded_solve_proves_optimality_and_finds_improvements() {
+        // min x0 + 2 x1  s.t.  x0 + x1 >= 1 — optimum is 1.
+        let mut m = Bip::new(2);
+        m.set_objective(0, 1);
+        m.set_objective(1, 2);
+        m.add_constraint(vec![(0, -1), (1, -1)], -1);
+        // Cutoff at the optimum: nothing strictly better exists.
+        assert_eq!(m.solve_bounded(Some(1)), None);
+        // Cutoff above the optimum: the optimum is returned.
+        let s = m.solve_bounded(Some(2)).unwrap();
+        assert_eq!(s.objective, 1);
+    }
+
+    #[test]
+    fn bounded_solve_agrees_with_cold_solve_on_random_models() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..8usize);
+            let mut m = Bip::new(n);
+            for v in 0..n {
+                m.set_objective(v, rng.gen_range(-5i64..6));
+            }
+            for _ in 0..rng.gen_range(0..6usize) {
+                let mut terms = Vec::new();
+                for v in 0..n {
+                    if rng.gen_bool(0.5) {
+                        terms.push((v, rng.gen_range(-3i64..4)));
+                    }
+                }
+                if terms.is_empty() {
+                    continue;
+                }
+                m.add_constraint(terms, rng.gen_range(-2i64..5));
+            }
+            let Some(cold) = m.solve() else {
+                assert_eq!(m.solve_bounded(Some(100)), None);
+                continue;
+            };
+            // Any cutoff above the optimum returns the same objective;
+            // the optimum itself as cutoff proves optimality.
+            let warm = m.solve_bounded(Some(cold.objective + 1)).unwrap();
+            assert_eq!(warm.objective, cold.objective);
+            assert_eq!(m.solve_bounded(Some(cold.objective)), None);
+        }
+    }
+
+    #[test]
     fn matches_exhaustive_on_random_models() {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
@@ -350,13 +442,17 @@ mod tests {
                 let values: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
                 let ok = (0..m.num_constraints()).all(|ci| {
                     let c = &m.constraints[ci];
-                    let lhs: i64 =
-                        c.terms.iter().map(|&(v, a)| if values[v] { a } else { 0 }).sum();
+                    let lhs: i64 = c
+                        .terms
+                        .iter()
+                        .map(|&(v, a)| if values[v] { a } else { 0 })
+                        .sum();
                     lhs <= c.bound
                 });
                 if ok {
-                    let obj: i64 =
-                        (0..n).map(|v| if values[v] { m.objective[v] } else { 0 }).sum();
+                    let obj: i64 = (0..n)
+                        .map(|v| if values[v] { m.objective[v] } else { 0 })
+                        .sum();
                     best = Some(best.map_or(obj, |b: i64| b.min(obj)));
                 }
             }

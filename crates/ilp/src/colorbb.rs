@@ -251,7 +251,16 @@ mod tests {
         // pairwise conflict and B-D, C-E conflict so colors are forced apart.
         let g = LayoutGraph::new(
             vec![0, 0, 1, 2, 3, 4],
-            vec![(0, 2), (0, 3), (1, 4), (1, 5), (2, 3), (4, 5), (2, 4), (3, 5)],
+            vec![
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (4, 5),
+                (2, 4),
+                (3, 5),
+            ],
             vec![(0, 1)],
         )
         .unwrap();
@@ -260,7 +269,12 @@ mod tests {
         assert_eq!(d.cost, bf.cost);
     }
 
-    fn random_hetero(rng: &mut SmallRng, n_feat: usize, p_conflict: f64, p_split: f64) -> LayoutGraph {
+    fn random_hetero(
+        rng: &mut SmallRng,
+        n_feat: usize,
+        p_conflict: f64,
+        p_split: f64,
+    ) -> LayoutGraph {
         // Random features, some split into two subfeatures with a stitch.
         let mut node_feature = Vec::new();
         let mut stitch_edges = Vec::new();
@@ -301,12 +315,7 @@ mod tests {
             }
             let d = IlpDecomposer::new().decompose(&g, &params());
             let bf = brute_force(&g, &params());
-            assert_eq!(
-                d.cost.value(0.1),
-                bf.cost.value(0.1),
-                "graph: {:?}",
-                g
-            );
+            assert_eq!(d.cost.value(0.1), bf.cost.value(0.1), "graph: {:?}", g);
         }
     }
 

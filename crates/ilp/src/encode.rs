@@ -9,7 +9,7 @@
 //! subfeatures take different colors.
 
 use crate::bip::Bip;
-use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_graph::{CostBreakdown, DecomposeParams, Decomposer, Decomposition, LayoutGraph};
 use std::collections::HashMap;
 
 /// Scale factor turning the fractional stitch weight into integers.
@@ -49,9 +49,37 @@ impl Decomposer for BipDecomposer {
 
     fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
         let model = encode_tpld(graph, params);
-        let sol = model.bip.solve().expect("the TPLD encoding is always feasible");
+        let sol = model
+            .bip
+            .solve()
+            .expect("the TPLD encoding is always feasible");
         let coloring = model.decode(&sol.values);
         Decomposition::from_coloring(graph, coloring, params.alpha)
+    }
+}
+
+impl BipDecomposer {
+    /// Searches for a decomposition strictly cheaper than `known`, or
+    /// returns `None` as a proof that `known` is already optimal.
+    ///
+    /// The known cost becomes the branch-and-bound's starting incumbent
+    /// (see [`Bip::solve_bounded`]): verifying a warm start from another
+    /// engine is orders of magnitude cheaper than a cold exact solve,
+    /// while the outcome is identical — either the strictly better optimum
+    /// or the certainty that none exists.
+    pub fn decompose_below(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        known: &CostBreakdown,
+    ) -> Option<Decomposition> {
+        let model = encode_tpld(graph, params);
+        let conflict_w = SCALE as i64;
+        let stitch_w = (params.alpha * SCALE).round() as i64;
+        let cutoff = i64::from(known.conflicts) * conflict_w + i64::from(known.stitches) * stitch_w;
+        let sol = model.bip.solve_bounded(Some(cutoff))?;
+        let coloring = model.decode(&sol.values);
+        Some(Decomposition::from_coloring(graph, coloring, params.alpha))
     }
 }
 
@@ -134,6 +162,27 @@ pub fn encode_tpld(graph: &LayoutGraph, params: &DecomposeParams) -> TpldModel {
         }
     }
 
+    // Symmetry breaking (not in Eq. 3, but cost-preserving): the objective
+    // never mentions colors, only agreement, so solutions come in orbits of
+    // the k! color permutations. Pin the highest-conflict-degree node to
+    // color 0, and one of its neighbors to {0, 1} — every orbit has a
+    // representative of this shape, and the branch-and-bound no longer
+    // proves the same bound k!/(k-2)! times.
+    if n > 0 {
+        let u = (0..n as u32)
+            .max_by_key(|&v| graph.conflict_degree(v))
+            .unwrap_or(0);
+        bip.add_constraint(vec![(x1(u as usize), 1)], 0);
+        bip.add_constraint(vec![(x2(u as usize), 1)], 0);
+        if let Some(&v) = graph
+            .conflict_neighbors(u)
+            .iter()
+            .max_by_key(|&&v| graph.conflict_degree(v))
+        {
+            bip.add_constraint(vec![(x2(v as usize), 1)], 0);
+        }
+    }
+
     // Eq. (3c)–(3g) per conflict edge.
     for (e, &(u, v)) in graph.conflict_edges().iter().enumerate() {
         let (i, j) = (u as usize, v as usize);
@@ -159,7 +208,11 @@ pub fn encode_tpld(graph: &LayoutGraph, params: &DecomposeParams) -> TpldModel {
         bip.add_constraint(vec![(x2(i), -1), (x2(j), 1), (sij(s), -1)], 0);
     }
 
-    TpldModel { bip, x_bit: (0..n).map(|i| (x1(i), x2(i))).collect(), k: params.k }
+    TpldModel {
+        bip,
+        x_bit: (0..n).map(|i| (x1(i), x2(i))).collect(),
+        k: params.k,
+    }
 }
 
 #[cfg(test)]
@@ -178,11 +231,8 @@ mod tests {
 
     #[test]
     fn k4_one_conflict() {
-        let g = LayoutGraph::homogeneous(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         let d = BipDecomposer::new().decompose(&g, &DecomposeParams::tpl());
         assert_eq!(d.cost.conflicts, 1);
         let d4 = BipDecomposer::new().decompose(&g, &DecomposeParams::qpl());
@@ -195,7 +245,16 @@ mod tests {
         // uses the stitch to avoid a conflict (0.1 < 1).
         let g = LayoutGraph::new(
             vec![0, 0, 1, 2, 3, 4],
-            vec![(0, 2), (0, 3), (1, 4), (1, 5), (2, 3), (4, 5), (2, 4), (3, 5)],
+            vec![
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (4, 5),
+                (2, 4),
+                (3, 5),
+            ],
             vec![(0, 1)],
         )
         .unwrap();
@@ -225,9 +284,7 @@ mod tests {
             let mut conflicts = Vec::new();
             for u in 0..total {
                 for v in (u + 1)..total {
-                    if node_feature[u as usize] != node_feature[v as usize]
-                        && rng.gen_bool(0.45)
-                    {
+                    if node_feature[u as usize] != node_feature[v as usize] && rng.gen_bool(0.45) {
                         conflicts.push((u, v));
                     }
                 }
@@ -253,7 +310,7 @@ mod tests {
         let m = encode_tpld(&g, &DecomposeParams::tpl());
         // 2*3 color bits + 2*3 edge bits + 3 pair bits + 0 stitches.
         assert_eq!(m.bip.num_vars(), 15);
-        // 3 exclusion + 5 per edge * 3 edges.
-        assert_eq!(m.bip.num_constraints(), 18);
+        // 3 exclusion + 3 symmetry-breaking + 5 per edge * 3 edges.
+        assert_eq!(m.bip.num_constraints(), 21);
     }
 }

@@ -60,7 +60,10 @@ pub fn brute_force(graph: &LayoutGraph, params: &DecomposeParams) -> Decompositi
             Some(b) => cost.better_than(&b.cost, params.alpha),
         };
         if better {
-            best = Some(Decomposition { coloring: coloring.clone(), cost });
+            best = Some(Decomposition {
+                coloring: coloring.clone(),
+                cost,
+            });
         }
         // Odometer increment over base-k strings.
         let mut i = 0;
@@ -91,11 +94,8 @@ mod tests {
 
     #[test]
     fn brute_force_k4_has_one_conflict() {
-        let g = LayoutGraph::homogeneous(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         let d = brute_force(&g, &DecomposeParams::tpl());
         assert_eq!(d.cost.conflicts, 1);
         // At k = 4 the conflict disappears.
@@ -110,7 +110,17 @@ mod tests {
         // clash somewhere; with it the cost is a single stitch (0.1).
         let g = mpld_graph::LayoutGraph::new(
             vec![0, 0, 1, 2, 3],
-            vec![(0, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (0, 3), (0, 4), (1, 2)],
+            vec![
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+            ],
             vec![(0, 1)],
         )
         .unwrap();

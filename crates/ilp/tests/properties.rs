@@ -10,8 +10,12 @@ use proptest::prelude::*;
 /// Random heterogeneous layout graph: up to 7 features, some split in two
 /// subfeatures with a stitch edge.
 fn arb_hetero() -> impl Strategy<Value = LayoutGraph> {
-    (2usize..7, prop::collection::vec(prop::bool::ANY, 8), 0u64..10_000).prop_map(
-        |(nf, splits, seed)| {
+    (
+        2usize..7,
+        prop::collection::vec(prop::bool::ANY, 8),
+        0u64..10_000,
+    )
+        .prop_map(|(nf, splits, seed)| {
             use rand::rngs::SmallRng;
             use rand::{Rng, SeedableRng};
             let mut rng = SmallRng::seed_from_u64(seed);
@@ -42,8 +46,7 @@ fn arb_hetero() -> impl Strategy<Value = LayoutGraph> {
                 }
             }
             LayoutGraph::new(node_feature, conflicts, stitch).expect("valid")
-        },
-    )
+        })
 }
 
 proptest! {

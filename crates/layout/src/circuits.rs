@@ -77,7 +77,12 @@ pub fn iscas_suite() -> Vec<Circuit> {
             name,
             d: 120,
             large: false,
-            params: GeneratorParams { tracks, track_units, seed, ..GeneratorParams::default() },
+            params: GeneratorParams {
+                tracks,
+                track_units,
+                seed,
+                ..GeneratorParams::default()
+            },
         });
     }
     for &(name, tracks, track_units, seed) in large {
@@ -85,7 +90,12 @@ pub fn iscas_suite() -> Vec<Circuit> {
             name,
             d: 100,
             large: true,
-            params: GeneratorParams { tracks, track_units, seed, ..GeneratorParams::default() },
+            params: GeneratorParams {
+                tracks,
+                track_units,
+                seed,
+                ..GeneratorParams::default()
+            },
         });
     }
     out

@@ -64,7 +64,6 @@ impl Default for GeneratorParams {
 /// stitches genuinely useful and cause the occasional native conflict.
 const TIGHT_BAND_PROB: f64 = 0.05;
 
-
 /// Generates the layout for `name` with coloring distance `d`.
 pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
     let mut rng = SmallRng::seed_from_u64(params.seed);
@@ -108,7 +107,7 @@ pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
         let columns = (end / strap).max(1);
         let mut channels: Vec<i64> = Vec::new();
         for col in 0..columns {
-            let n = (params.vertical_density + rng.gen_range(0.0..1.0)).floor() as usize;
+            let n = (params.vertical_density + rng.gen_range(0.0f64..1.0)).floor() as usize;
             let x_lo = col * strap + strap_w + unit;
             let x_hi = ((col + 1) * strap - unit).min(end);
             for _ in 0..n {
@@ -145,8 +144,9 @@ pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
                     continue;
                 }
                 // Skip channel footprints.
-                if let Some(&cx) =
-                    channels.iter().find(|&&c| x >= c - chan_w / 2 && x < c + chan_w / 2)
+                if let Some(&cx) = channels
+                    .iter()
+                    .find(|&&c| x >= c - chan_w / 2 && x < c + chan_w / 2)
                 {
                     x = cx + chan_w / 2;
                     continue;
@@ -204,14 +204,20 @@ pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
                 let y0 = y + t0 as i64 * pitch;
                 let y1 = y + (t0 + span_tracks - 1) as i64 * pitch + wire_h;
                 let id = features.len() as u32;
-                features
-                    .push(Feature::new(id, vec![Rect::new(cx - wire_h / 2, y0, cx + wire_h / 2, y1)]));
+                features.push(Feature::new(
+                    id,
+                    vec![Rect::new(cx - wire_h / 2, y0, cx + wire_h / 2, y1)],
+                ));
             }
         }
 
         y += (band_tracks - 1) as i64 * pitch + wire_h + band_gap;
     }
-    Layout { name: name.to_string(), d, features }
+    Layout {
+        name: name.to_string(),
+        d,
+        features,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +229,12 @@ mod tests {
         generate_layout(
             "T",
             120,
-            &GeneratorParams { tracks: 8, track_units: 40, seed: 9, ..Default::default() },
+            &GeneratorParams {
+                tracks: 8,
+                track_units: 40,
+                seed: 9,
+                ..Default::default()
+            },
         )
     }
 

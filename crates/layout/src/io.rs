@@ -32,7 +32,11 @@ pub enum ParseLayoutError {
     /// A line could not be parsed.
     BadLine { line: usize, content: String },
     /// Feature ids must be dense and ascending from zero.
-    BadFeatureId { line: usize, expected: u32, got: u32 },
+    BadFeatureId {
+        line: usize,
+        expected: u32,
+        got: u32,
+    },
     /// A `rect` appeared before any `feature`.
     RectOutsideFeature { line: usize },
     /// A feature had no rectangles.
@@ -52,7 +56,11 @@ impl fmt::Display for ParseLayoutError {
             ParseLayoutError::BadLine { line, content } => {
                 write!(f, "cannot parse line {line}: {content:?}")
             }
-            ParseLayoutError::BadFeatureId { line, expected, got } => {
+            ParseLayoutError::BadFeatureId {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected feature id {expected}, got {got}")
             }
             ParseLayoutError::RectOutsideFeature { line } => {
@@ -97,16 +105,17 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
     let mut current: Option<(u32, Vec<Rect>)> = None;
     let mut ended = false;
 
-    let flush =
-        |current: &mut Option<(u32, Vec<Rect>)>, features: &mut Vec<Feature>| -> Result<(), ParseLayoutError> {
-            if let Some((id, rects)) = current.take() {
-                if rects.is_empty() {
-                    return Err(ParseLayoutError::EmptyFeature { id });
-                }
-                features.push(Feature::new(id, rects));
+    let flush = |current: &mut Option<(u32, Vec<Rect>)>,
+                 features: &mut Vec<Feature>|
+     -> Result<(), ParseLayoutError> {
+        if let Some((id, rects)) = current.take() {
+            if rects.is_empty() {
+                return Err(ParseLayoutError::EmptyFeature { id });
             }
-            Ok(())
-        };
+            features.push(Feature::new(id, rects));
+        }
+        Ok(())
+    };
 
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
@@ -116,7 +125,10 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
             continue;
         }
         if ended {
-            return Err(ParseLayoutError::BadLine { line: lineno, content: trimmed.into() });
+            return Err(ParseLayoutError::BadLine {
+                line: lineno,
+                content: trimmed.into(),
+            });
         }
         let mut tokens = trimmed.split_whitespace();
         match tokens.next() {
@@ -135,16 +147,19 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
                     return Err(ParseLayoutError::MissingHeader);
                 }
                 flush(&mut current, &mut features)?;
-                let id: u32 = tokens
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| ParseLayoutError::BadLine {
+                let id: u32 = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                    ParseLayoutError::BadLine {
                         line: lineno,
                         content: trimmed.into(),
-                    })?;
+                    }
+                })?;
                 let expected = features.len() as u32;
                 if id != expected {
-                    return Err(ParseLayoutError::BadFeatureId { line: lineno, expected, got: id });
+                    return Err(ParseLayoutError::BadFeatureId {
+                        line: lineno,
+                        expected,
+                        got: id,
+                    });
                 }
                 current = Some((id, Vec::new()));
             }
@@ -168,19 +183,21 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
                     return Err(ParseLayoutError::RectOutsideFeature { line: lineno });
                 };
                 let coords: Vec<i64> = tokens.filter_map(|t| t.parse().ok()).collect();
-                if coords.len() < 8 || coords.len() % 2 != 0 {
+                if coords.len() < 8 || !coords.len().is_multiple_of(2) {
                     return Err(ParseLayoutError::BadLine {
                         line: lineno,
                         content: trimmed.into(),
                     });
                 }
-                let points: Vec<(i64, i64)> =
-                    coords.chunks(2).map(|c| (c[0], c[1])).collect();
-                let poly = mpld_geometry::Polygon::new(points).map_err(|_| {
-                    ParseLayoutError::BadLine { line: lineno, content: trimmed.into() }
-                })?;
-                let decomposed = poly.to_rects().map_err(|_| {
-                    ParseLayoutError::BadLine { line: lineno, content: trimmed.into() }
+                let points: Vec<(i64, i64)> = coords.chunks(2).map(|c| (c[0], c[1])).collect();
+                let poly =
+                    mpld_geometry::Polygon::new(points).map_err(|_| ParseLayoutError::BadLine {
+                        line: lineno,
+                        content: trimmed.into(),
+                    })?;
+                let decomposed = poly.to_rects().map_err(|_| ParseLayoutError::BadLine {
+                    line: lineno,
+                    content: trimmed.into(),
                 })?;
                 rects.extend(decomposed);
             }
@@ -189,7 +206,10 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
                 ended = true;
             }
             _ => {
-                return Err(ParseLayoutError::BadLine { line: lineno, content: trimmed.into() })
+                return Err(ParseLayoutError::BadLine {
+                    line: lineno,
+                    content: trimmed.into(),
+                })
             }
         }
     }
@@ -242,7 +262,10 @@ mod tests {
     #[test]
     fn missing_header_rejected() {
         let text = "feature 0\nrect 0 0 1 1\nend\n";
-        assert_eq!(read_layout(text.as_bytes()).unwrap_err(), ParseLayoutError::MissingHeader);
+        assert_eq!(
+            read_layout(text.as_bytes()).unwrap_err(),
+            ParseLayoutError::MissingHeader
+        );
     }
 
     #[test]
@@ -250,7 +273,11 @@ mod tests {
         let text = "layout t d=100\nfeature 1\nrect 0 0 1 1\nend\n";
         assert!(matches!(
             read_layout(text.as_bytes()).unwrap_err(),
-            ParseLayoutError::BadFeatureId { expected: 0, got: 1, .. }
+            ParseLayoutError::BadFeatureId {
+                expected: 0,
+                got: 1,
+                ..
+            }
         ));
     }
 
@@ -275,7 +302,10 @@ mod tests {
     #[test]
     fn missing_end_rejected() {
         let text = "layout t d=100\nfeature 0\nrect 0 0 1 1\n";
-        assert_eq!(read_layout(text.as_bytes()).unwrap_err(), ParseLayoutError::MissingEnd);
+        assert_eq!(
+            read_layout(text.as_bytes()).unwrap_err(),
+            ParseLayoutError::MissingEnd
+        );
     }
 
     #[test]

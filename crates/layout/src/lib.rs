@@ -37,10 +37,9 @@ pub use stitch::{
 
 use mpld_geometry::{Feature, GridIndex, Rect};
 use mpld_graph::LayoutGraph;
-use serde::{Deserialize, Serialize};
 
 /// A routed-layer layout: named geometry plus its coloring distance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layout {
     /// Circuit name ("C432", ...).
     pub name: String,
@@ -56,7 +55,10 @@ impl Layout {
     pub fn to_conflict_graph(&self) -> LayoutGraph {
         let index = GridIndex::build(&self.features, self.d);
         let pairs = index.conflict_pairs(&self.features, self.d);
-        let edges = pairs.into_iter().map(|(a, b)| (a as u32, b as u32)).collect();
+        let edges = pairs
+            .into_iter()
+            .map(|(a, b)| (a as u32, b as u32))
+            .collect();
         LayoutGraph::homogeneous(self.features.len(), edges)
             .expect("generated layouts produce valid conflict graphs")
     }
@@ -100,7 +102,11 @@ mod tests {
             let layout = c.generate();
             assert!(!layout.features.is_empty(), "{} empty", c.name);
             let g = layout.to_conflict_graph();
-            assert!(!g.conflict_edges().is_empty(), "{} has no conflicts", c.name);
+            assert!(
+                !g.conflict_edges().is_empty(),
+                "{} has no conflicts",
+                c.name
+            );
         }
     }
 }

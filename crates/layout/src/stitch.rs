@@ -116,13 +116,14 @@ pub fn insert_stitch_candidates_masked(
             let horizontal = rect.width() >= rect.height();
             let mut rest = rect;
             for &c in &cuts {
-                let split = if horizontal { rest.split_at_x(c) } else { rest.split_at_y(c) };
-                match split {
-                    Some((a, b)) => {
-                        parts.push(a);
-                        rest = b;
-                    }
-                    None => {}
+                let split = if horizontal {
+                    rest.split_at_x(c)
+                } else {
+                    rest.split_at_y(c)
+                };
+                if let Some((a, b)) = split {
+                    parts.push(a);
+                    rest = b;
                 }
             }
             parts.push(rest);
@@ -169,7 +170,11 @@ where
     I: Iterator<Item = &'a Feature>,
 {
     let horizontal = rect.width() >= rect.height();
-    let (lo, hi) = if horizontal { (rect.xl, rect.xh) } else { (rect.yl, rect.yh) };
+    let (lo, hi) = if horizontal {
+        (rect.xl, rect.xh)
+    } else {
+        (rect.yl, rect.yh)
+    };
     // A stitch needs room: skip short wires.
     if hi - lo < d {
         return Vec::new();
@@ -180,7 +185,11 @@ where
     let mut intervals: Vec<(i64, i64)> = Vec::new();
     for nb in neighbors {
         for r in nb.rects() {
-            let (nlo, nhi) = if horizontal { (r.xl, r.xh) } else { (r.yl, r.yh) };
+            let (nlo, nhi) = if horizontal {
+                (r.xl, r.xh)
+            } else {
+                (r.yl, r.yh)
+            };
             // Orthogonal gap between the wire and this rect.
             let ortho_gap = if horizontal {
                 crate::axis_gap_pub(rect.yl, rect.yh, r.yl, r.yh)
@@ -291,8 +300,9 @@ mod tests {
         // Color: left = 0, right = 1, long-left = 1, long-right = 0.
         let g = &s.graph;
         // Find subfeature nodes of feature 0.
-        let nodes0: Vec<u32> =
-            (0..g.num_nodes() as u32).filter(|&v| g.feature_of(v) == 0).collect();
+        let nodes0: Vec<u32> = (0..g.num_nodes() as u32)
+            .filter(|&v| g.feature_of(v) == 0)
+            .collect();
         assert_eq!(nodes0.len(), 2);
         let mut coloring = vec![0u8; g.num_nodes()];
         for v in 0..g.num_nodes() as u32 {

@@ -33,10 +33,33 @@ pub struct CanonicalForm {
 /// assert_eq!(canonical_form(&a), canonical_form(&b));
 /// ```
 pub fn canonical_form(g: &LayoutGraph) -> CanonicalForm {
+    canonical_form_labeled(g).0
+}
+
+/// Like [`canonical_form`], additionally returning the canonical labeling
+/// that realizes it: `perm[original_node] = canonical_label`.
+///
+/// Two isomorphic graphs `a` and `b` with labelings `pa` and `pb` are
+/// related by the isomorphism `a_node -> b_node` where
+/// `pb[b_node] == pa[a_node]` — which lets a decomposition solved on one
+/// graph be transferred to any isomorphic graph through the shared
+/// canonical label space (the adaptive framework's memo cache relies on
+/// this).
+///
+/// # Panics
+///
+/// Panics if `g` has more than 12 nodes (factorial blow-up guard).
+pub fn canonical_form_labeled(g: &LayoutGraph) -> (CanonicalForm, Vec<u8>) {
     let n = g.num_nodes();
     assert!(n <= 12, "canonical form limited to 12 nodes");
     if n == 0 {
-        return CanonicalForm { n: 0, edges: Vec::new() };
+        return (
+            CanonicalForm {
+                n: 0,
+                edges: Vec::new(),
+            },
+            Vec::new(),
+        );
     }
 
     // Group nodes by invariant (conflict degree, stitch degree) and only
@@ -46,20 +69,31 @@ pub fn canonical_form(g: &LayoutGraph) -> CanonicalForm {
     let mut order: Vec<NodeId> = (0..n as u32).collect();
     order.sort_by_key(|&v| class(v));
 
-    let mut best: Option<Vec<(u8, u8, bool)>> = None;
+    let mut best: Option<Labeled> = None;
     let mut perm = vec![0u8; n]; // perm[original] = canonical label
-    permute_classes(g, &order, 0, &mut perm, &mut vec![false; n], &mut best, &class);
-    CanonicalForm { n, edges: best.expect("at least one permutation") }
+    permute_classes(
+        g,
+        &order,
+        0,
+        &mut perm,
+        &mut vec![false; n],
+        &mut best,
+        &class,
+    );
+    let (edges, labeling) = best.expect("at least one permutation");
+    (CanonicalForm { n, edges }, labeling)
 }
 
-#[allow(clippy::too_many_arguments)]
+/// A canonical edge list together with the labeling that realizes it.
+type Labeled = (Vec<(u8, u8, bool)>, Vec<u8>);
+
 fn permute_classes(
     g: &LayoutGraph,
     order: &[NodeId],
     pos: usize,
     perm: &mut Vec<u8>,
     used: &mut Vec<bool>,
-    best: &mut Option<Vec<(u8, u8, bool)>>,
+    best: &mut Option<Labeled>,
     class: &dyn Fn(NodeId) -> (usize, usize),
 ) {
     let n = order.len();
@@ -75,10 +109,10 @@ fn permute_classes(
         }
         edges.sort_unstable();
         match best {
-            None => *best = Some(edges),
-            Some(b) => {
+            None => *best = Some((edges, perm.clone())),
+            Some((b, _)) => {
                 if edges < *b {
-                    *best = Some(edges);
+                    *best = Some((edges, perm.clone()));
                 }
             }
         }
@@ -168,6 +202,47 @@ mod tests {
                 .collect();
             let h = LayoutGraph::homogeneous(n, edges2).unwrap();
             assert_eq!(canonical_form(&g), canonical_form(&h));
+        }
+    }
+
+    #[test]
+    fn labeling_transfers_colorings_between_isomorphic_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..8usize);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.4) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let a = LayoutGraph::homogeneous(n, edges.clone()).unwrap();
+            let mut relabel: Vec<u32> = (0..n as u32).collect();
+            relabel.shuffle(&mut rng);
+            let edges2: Vec<(u32, u32)> = edges
+                .iter()
+                .map(|&(u, v)| (relabel[u as usize], relabel[v as usize]))
+                .collect();
+            let b = LayoutGraph::homogeneous(n, edges2).unwrap();
+
+            let (ca, pa) = canonical_form_labeled(&a);
+            let (cb, pb) = canonical_form_labeled(&b);
+            assert_eq!(ca, cb);
+
+            // Any coloring of `a`, pushed through the shared canonical
+            // label space, must evaluate identically on `b`.
+            let coloring_a: Vec<u8> = (0..n).map(|_| rng.gen_range(0..3u8)).collect();
+            let mut canon_colors = vec![0u8; n];
+            for v in 0..n {
+                canon_colors[pa[v] as usize] = coloring_a[v];
+            }
+            let coloring_b: Vec<u8> = (0..n).map(|v| canon_colors[pb[v] as usize]).collect();
+            assert_eq!(a.evaluate(&coloring_a, 0.1), b.evaluate(&coloring_b, 0.1));
         }
     }
 

@@ -36,7 +36,7 @@ mod enumerate;
 mod library;
 mod vf2;
 
-pub use canon::{are_isomorphic, canonical_form, CanonicalForm};
+pub use canon::{are_isomorphic, canonical_form, canonical_form_labeled, CanonicalForm};
 pub use enumerate::{enumerate_parent_graphs, enumerate_stitch_variants, is_valid_parent};
 pub use library::{GraphLibrary, LibraryConfig, LibraryEntry, LibraryStats};
 pub use vf2::{find_isomorphism, full_candidates};

@@ -38,7 +38,12 @@ pub struct LibraryConfig {
 
 impl Default for LibraryConfig {
     fn default() -> Self {
-        LibraryConfig { max_parent_size: 6, max_splits: 1, max_nodes: 7, stitches: true }
+        LibraryConfig {
+            max_parent_size: 6,
+            max_splits: 1,
+            max_nodes: 7,
+            stitches: true,
+        }
     }
 }
 
@@ -87,7 +92,7 @@ impl GraphLibrary {
     /// Builds the library per Algorithm 2 using `embedder` for graph
     /// embeddings and the exact ILP engine for solutions.
     pub fn build(
-        embedder: &mut RgcnClassifier,
+        embedder: &RgcnClassifier,
         cfg: &LibraryConfig,
         params: &DecomposeParams,
     ) -> GraphLibrary {
@@ -101,9 +106,7 @@ impl GraphLibrary {
         for parent in &parents {
             lib.insert_graph(embedder, params, parent.clone());
             if cfg.stitches {
-                for variant in
-                    enumerate_stitch_variants(parent, cfg.max_splits, cfg.max_nodes)
-                {
+                for variant in enumerate_stitch_variants(parent, cfg.max_splits, cfg.max_nodes) {
                     lib.insert_graph(embedder, params, variant);
                 }
             }
@@ -116,7 +119,7 @@ impl GraphLibrary {
     /// solution is computed with the exact ILP engine.
     pub fn insert_graph(
         &mut self,
-        embedder: &mut RgcnClassifier,
+        embedder: &RgcnClassifier,
         params: &DecomposeParams,
         graph: LayoutGraph,
     ) -> bool {
@@ -182,11 +185,7 @@ impl GraphLibrary {
     /// Returns the transferred optimal decomposition, or `None` when the
     /// graph is too large, not in the library, or the mapping could not be
     /// verified.
-    pub fn lookup(
-        &self,
-        embedder: &mut RgcnClassifier,
-        graph: &LayoutGraph,
-    ) -> Option<Decomposition> {
+    pub fn lookup(&self, embedder: &RgcnClassifier, graph: &LayoutGraph) -> Option<Decomposition> {
         if graph.num_nodes() == 0 || graph.num_nodes() > self.max_nodes {
             return None;
         }
@@ -257,8 +256,9 @@ impl GraphLibrary {
             };
             if let Some(m) = mapping {
                 // Transfer the stored solution (Eq. 12).
-                let coloring: Vec<u8> =
-                    (0..graph.num_nodes()).map(|j| entry.solution[m[j] as usize]).collect();
+                let coloring: Vec<u8> = (0..graph.num_nodes())
+                    .map(|j| entry.solution[m[j] as usize])
+                    .collect();
                 let cost = graph.evaluate(&coloring, 0.1);
                 debug_assert_eq!(cost, entry.cost, "verified mapping must preserve cost");
                 return Some(Decomposition { coloring, cost });
@@ -291,9 +291,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_library() -> (GraphLibrary, RgcnClassifier) {
-        let mut embedder = RgcnClassifier::selector(0xAB);
-        let cfg = LibraryConfig { max_parent_size: 5, max_splits: 1, max_nodes: 6, stitches: true };
-        let lib = GraphLibrary::build(&mut embedder, &cfg, &DecomposeParams::tpl());
+        let embedder = RgcnClassifier::selector(0xAB);
+        let cfg = LibraryConfig {
+            max_parent_size: 5,
+            max_splits: 1,
+            max_nodes: 6,
+            stitches: true,
+        };
+        let lib = GraphLibrary::build(&embedder, &cfg, &DecomposeParams::tpl());
         (lib, embedder)
     }
 
@@ -301,7 +306,11 @@ mod tests {
     fn library_contains_parents_and_variants() {
         let (lib, _) = small_library();
         // 4 parents (K4 + three 5-node graphs) plus stitch variants.
-        let parents = lib.entries().iter().filter(|e| !e.graph.has_stitches()).count();
+        let parents = lib
+            .entries()
+            .iter()
+            .filter(|e| !e.graph.has_stitches())
+            .count();
         assert_eq!(parents, 4);
         assert!(lib.len() > parents);
     }
@@ -318,7 +327,7 @@ mod tests {
 
     #[test]
     fn embedding_never_misses_a_duplicate() {
-        let (mut lib, mut embedder) = small_library();
+        let (mut lib, embedder) = small_library();
         // Permutation invariance: every isomorphic duplicate is flagged.
         assert_eq!(lib.stats().embedding_missed_duplicates, 0);
         // Re-inserting a relabeled copy of a stored graph must be skipped.
@@ -332,7 +341,7 @@ mod tests {
             .collect();
         let g = LayoutGraph::homogeneous(e.num_nodes(), ce).expect("relabeled copy");
         let before = lib.len();
-        assert!(!lib.insert_graph(&mut embedder, &DecomposeParams::tpl(), g));
+        assert!(!lib.insert_graph(&embedder, &DecomposeParams::tpl(), g));
         assert_eq!(lib.len(), before);
         assert_eq!(lib.stats().duplicates_skipped, 1);
         assert_eq!(lib.stats().embedding_missed_duplicates, 0);
@@ -340,7 +349,7 @@ mod tests {
 
     #[test]
     fn lookup_matches_relabeled_entries() {
-        let (lib, mut embedder) = small_library();
+        let (lib, embedder) = small_library();
         let mut rng = SmallRng::seed_from_u64(17);
         let mut matched = 0;
         for e in lib.entries().iter().take(15) {
@@ -369,7 +378,9 @@ mod tests {
                 .map(|&(a, b)| (relabel[a as usize], relabel[b as usize]))
                 .collect();
             let g = LayoutGraph::new(feat, ce, se).expect("relabeling is valid");
-            let d = lib.lookup(&mut embedder, &g).expect("isomorphic entry must match");
+            let d = lib
+                .lookup(&embedder, &g)
+                .expect("isomorphic entry must match");
             assert_eq!(d.cost, e.cost);
             // The transferred coloring must be valid for g.
             assert_eq!(g.evaluate(&d.coloring, 0.1), e.cost);
@@ -380,18 +391,18 @@ mod tests {
 
     #[test]
     fn lookup_rejects_unknown_graphs() {
-        let (lib, mut embedder) = small_library();
+        let (lib, embedder) = small_library();
         // A 4-cycle: min degree 2 < 3, never enumerated.
         let g = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
-        assert!(lib.lookup(&mut embedder, &g).is_none());
+        assert!(lib.lookup(&embedder, &g).is_none());
     }
 
     #[test]
     fn lookup_respects_size_cap() {
-        let (lib, mut embedder) = small_library();
+        let (lib, embedder) = small_library();
         let n = lib.max_nodes() + 1;
         let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         let g = LayoutGraph::homogeneous(n, edges).unwrap();
-        assert!(lib.lookup(&mut embedder, &g).is_none());
+        assert!(lib.lookup(&embedder, &g).is_none());
     }
 }

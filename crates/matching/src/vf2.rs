@@ -22,7 +22,11 @@ pub fn find_isomorphism(
     b: &LayoutGraph,
     candidates: &[Vec<NodeId>],
 ) -> Option<Vec<NodeId>> {
-    assert_eq!(candidates.len(), a.num_nodes(), "one candidate list per node");
+    assert_eq!(
+        candidates.len(),
+        a.num_nodes(),
+        "one candidate list per node"
+    );
     if a.num_nodes() != b.num_nodes()
         || a.conflict_edges().len() != b.conflict_edges().len()
         || a.stitch_edges().len() != b.stitch_edges().len()

@@ -45,7 +45,11 @@ pub struct SdpDecomposer {
 
 impl Default for SdpDecomposer {
     fn default() -> Self {
-        SdpDecomposer { restarts: 3, iterations: 200, seed: 0x5D9 }
+        SdpDecomposer {
+            restarts: 3,
+            iterations: 200,
+            seed: 0x5D9,
+        }
     }
 }
 
@@ -223,7 +227,9 @@ fn round_and_repair(
             .collect();
         let coloring = repair(graph, params, coloring);
         let value = graph.evaluate(&coloring, params.alpha).value(params.alpha);
-        let better = best_coloring.as_ref().map_or(true, |(_, v)| value < *v - 1e-12);
+        let better = best_coloring
+            .as_ref()
+            .is_none_or(|(_, v)| value < *v - 1e-12);
         if better {
             best_coloring = Some((coloring, value));
         }
@@ -296,30 +302,23 @@ mod tests {
 
     #[test]
     fn odd_cycle_conflict_free() {
-        let g =
-            LayoutGraph::homogeneous(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let g = LayoutGraph::homogeneous(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let d = SdpDecomposer::new().decompose(&g, &tpl());
         assert_eq!(d.cost.conflicts, 0);
     }
 
     #[test]
     fn k4_gets_exactly_one_conflict() {
-        let g = LayoutGraph::homogeneous(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         let d = SdpDecomposer::new().decompose(&g, &tpl());
         assert_eq!(d.cost.conflicts, 1);
     }
 
     #[test]
     fn quadruple_patterning_colors_k4_free() {
-        let g = LayoutGraph::homogeneous(
-            4,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
         let d = SdpDecomposer::new().decompose(&g, &DecomposeParams::qpl());
         assert_eq!(d.cost.conflicts, 0);
         assert!(d.coloring.iter().all(|&c| c < 4));
@@ -351,9 +350,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let g =
-            LayoutGraph::homogeneous(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-                .unwrap();
+        let g = LayoutGraph::homogeneous(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .unwrap();
         let a = SdpDecomposer::new().with_seed(7).decompose(&g, &tpl());
         let b = SdpDecomposer::new().with_seed(7).decompose(&g, &tpl());
         assert_eq!(a.coloring, b.coloring);

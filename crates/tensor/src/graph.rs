@@ -115,7 +115,12 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> VarId {
-        self.nodes.push(Node { op, value, grad: None, needs_grad });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+            needs_grad,
+        });
         self.nodes.len() - 1
     }
 
@@ -332,7 +337,10 @@ impl Graph {
                 }
             }
         }
-        assert!(arg.iter().all(|&r| r != u32::MAX), "empty segment in segment_max");
+        assert!(
+            arg.iter().all(|&r| r != u32::MAX),
+            "empty segment in segment_max"
+        );
         let ng = self.needs(a);
         self.push(Op::SegmentMax(a, arg), v, ng)
     }
@@ -345,7 +353,13 @@ impl Graph {
         let mut v = x.clone();
         let mut norms = Vec::with_capacity(x.rows());
         for r in 0..x.rows() {
-            let norm = x.row(r).iter().map(|&e| e * e).sum::<f32>().sqrt().max(1e-6);
+            let norm = x
+                .row(r)
+                .iter()
+                .map(|&e| e * e)
+                .sum::<f32>()
+                .sqrt()
+                .max(1e-6);
             norms.push(norm);
             for c in 0..x.cols() {
                 v[(r, c)] /= norm;
@@ -365,7 +379,10 @@ impl Graph {
         let x = &self.nodes[logits].value;
         let (n, c) = (x.rows(), x.cols());
         assert_eq!(labels.len(), n, "one label per row");
-        assert!(labels.iter().all(|&l| (l as usize) < c), "label out of range");
+        assert!(
+            labels.iter().all(|&l| (l as usize) < c),
+            "label out of range"
+        );
         // Cache softmax probabilities for the backward pass.
         let mut probs = Matrix::zeros(n, c);
         let mut loss = 0.0f32;
@@ -420,16 +437,14 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if an edge endpoint is out of range.
-    pub fn margin_pair_loss(
-        &mut self,
-        x: VarId,
-        edges: Vec<(u32, u32)>,
-        margin: f32,
-    ) -> VarId {
+    pub fn margin_pair_loss(&mut self, x: VarId, edges: Vec<(u32, u32)>, margin: f32) -> VarId {
         let m = &self.nodes[x].value;
         let mut loss = 0.0f32;
         for &(u, v) in &edges {
-            assert!((u as usize) < m.rows() && (v as usize) < m.rows(), "edge out of range");
+            assert!(
+                (u as usize) < m.rows() && (v as usize) < m.rows(),
+                "edge out of range"
+            );
             let d2: f32 = m
                 .row(u as usize)
                 .iter()
@@ -610,9 +625,7 @@ impl Graph {
                         let y = self.nodes[id].value.clone();
                         let mut d = Matrix::zeros(grad.rows(), grad.cols());
                         for r in 0..grad.rows() {
-                            let dot: f32 = (0..grad.cols())
-                                .map(|c| y[(r, c)] * grad[(r, c)])
-                                .sum();
+                            let dot: f32 = (0..grad.cols()).map(|c| y[(r, c)] * grad[(r, c)]).sum();
                             for c in 0..grad.cols() {
                                 d[(r, c)] = (grad[(r, c)] - y[(r, c)] * dot) / norms[r];
                             }

@@ -6,13 +6,12 @@
 //! followed by an optimizer step.
 
 use crate::{Graph, Matrix, VarId};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a parameter inside a [`ParamSet`].
 pub type ParamId = usize;
 
 /// Which update rule [`ParamSet::step`] applies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Optimizer {
     /// Plain stochastic gradient descent.
     Sgd,
@@ -45,7 +44,7 @@ pub enum Optimizer {
 /// }
 /// assert!((params.value(w).scalar() - 3.0).abs() < 0.05);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ParamSet {
     values: Vec<Matrix>,
     grads: Vec<Matrix>,
@@ -53,7 +52,6 @@ pub struct ParamSet {
     v: Vec<Matrix>,
     t: u64,
     optimizer: Optimizer,
-    #[serde(skip)]
     bindings: Vec<(ParamId, VarId)>,
 }
 
@@ -121,6 +119,16 @@ impl ParamSet {
         let var = graph.param(self.values[id].clone());
         self.bindings.push((id, var));
         var
+    }
+
+    /// Inserts the parameter into `graph` as a **constant** leaf: no
+    /// gradient is tracked and no binding is recorded, so the set itself
+    /// stays immutable. This is the inference-path counterpart of
+    /// [`ParamSet::bind`] — it makes forward passes `&self` and therefore
+    /// shareable across threads (per-call tape state lives in `graph`,
+    /// never in the parameter set).
+    pub fn bind_frozen(&self, graph: &mut Graph, id: ParamId) -> VarId {
+        graph.input(self.values[id].clone())
     }
 
     /// Accumulates the gradients of all bound parameters from `graph`
@@ -193,7 +201,10 @@ impl ParamSet {
         if count != self.values.len() {
             return Err(Error::new(
                 ErrorKind::InvalidData,
-                format!("parameter count mismatch: file {count}, model {}", self.values.len()),
+                format!(
+                    "parameter count mismatch: file {count}, model {}",
+                    self.values.len()
+                ),
             ));
         }
         for m in &mut self.values {

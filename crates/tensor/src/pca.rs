@@ -113,7 +113,11 @@ mod tests {
             a.iter().cloned().fold(f32::MIN, f32::max),
             b.iter().cloned().fold(f32::MAX, f32::min),
         );
-        assert!(amax < bmin || b.iter().cloned().fold(f32::MIN, f32::max) < a.iter().cloned().fold(f32::MAX, f32::min));
+        assert!(
+            amax < bmin
+                || b.iter().cloned().fold(f32::MIN, f32::max)
+                    < a.iter().cloned().fold(f32::MAX, f32::min)
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Property tests pinning the register-tiled matmul kernels to the naive
+//! triple-loop reference oracles. Tiling reorders floating-point
+//! accumulation, so equality is up to an FP tolerance, not bit-exact.
+
+use mpld_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Shape triples covering tile-aligned, sub-tile, and ragged-edge sizes
+/// relative to the MR x NR microkernel.
+fn arb_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..24, 1usize..24, 1usize..24)
+}
+
+fn assert_close(a: &Matrix, b: &Matrix) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        let tol = 1e-4f32 * (1.0 + x.abs().max(y.abs()));
+        assert!(
+            (x - y).abs() <= tol,
+            "tiled {x} vs naive {y} differ beyond tolerance {tol}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tiled_matmul_matches_naive(dims in arb_dims(), seed in 0u64..1000) {
+        let (m, k, n) = dims;
+        let a = arb_sample(m, k, seed);
+        let b = arb_sample(k, n, seed.wrapping_add(1));
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn tiled_matmul_tn_matches_naive(dims in arb_dims(), seed in 0u64..1000) {
+        let (k, m, n) = dims;
+        let a = arb_sample(k, m, seed);
+        let b = arb_sample(k, n, seed.wrapping_add(2));
+        assert_close(&a.matmul_tn(&b), &a.matmul_tn_naive(&b));
+    }
+
+    #[test]
+    fn tiled_matmul_nt_matches_naive(dims in arb_dims(), seed in 0u64..1000) {
+        let (m, k, n) = dims;
+        let a = arb_sample(m, k, seed);
+        let b = arb_sample(n, k, seed.wrapping_add(3));
+        assert_close(&a.matmul_nt(&b), &a.matmul_nt_naive(&b));
+    }
+
+    #[test]
+    fn tiled_matmul_matches_naive_random_entries(
+        av in prop::collection::vec(-2.0f32..2.0, 5 * 13),
+        bv in prop::collection::vec(-2.0f32..2.0, 13 * 9),
+    ) {
+        let a = Matrix::from_vec(5, 13, av);
+        let b = Matrix::from_vec(13, 9, bv);
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+}
+
+/// Deterministic pseudo-random matrix from a seed (keeps the proptest case
+/// space to shapes while still varying entries).
+fn arb_sample(rows: usize, cols: usize, seed: u64) -> Matrix {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-1.5f32..1.5))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[test]
+fn tile_aligned_shapes_match() {
+    // Exactly tile-aligned 128x128 (the bench shape) plus a zero-heavy
+    // matrix exercising the naive kernel's zero-skip path.
+    let a = arb_sample(128, 128, 7);
+    let mut b = arb_sample(128, 128, 8);
+    for (i, v) in b.as_mut_slice().iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *v = 0.0;
+        }
+    }
+    assert_close(&a.matmul(&b), &a.matmul_naive(&b));
+    assert_close(&a.matmul_tn(&b), &a.matmul_tn_naive(&b));
+    assert_close(&a.matmul_nt(&b), &a.matmul_nt_naive(&b));
+}
+
+#[test]
+fn identity_still_exact() {
+    let a = arb_sample(17, 17, 3);
+    let eye = Matrix::eye(17);
+    // Products with identity involve no reassociation, so they stay exact.
+    assert_eq!(a.matmul(&eye), a);
+    assert_eq!(eye.matmul(&a), a);
+}

@@ -27,7 +27,12 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width_px: 1200.0, show_violations: true, margin: 200, background: "#ffffff" }
+        SvgOptions {
+            width_px: 1200.0,
+            show_violations: true,
+            margin: 200,
+            background: "#ffffff",
+        }
     }
 }
 
@@ -42,7 +47,10 @@ impl Default for SvgOptions {
 pub fn render_svg(layout: &Layout, colors: Option<&[u8]>, opts: &SvgOptions) -> String {
     if let Some(c) = colors {
         assert_eq!(c.len(), layout.features.len(), "one mask per feature");
-        assert!(c.iter().all(|&m| (m as usize) < MASK_PALETTE.len()), "mask out of palette");
+        assert!(
+            c.iter().all(|&m| (m as usize) < MASK_PALETTE.len()),
+            "mask out of palette"
+        );
     }
 
     // Bounding box.
@@ -169,7 +177,11 @@ mod tests {
 
     #[test]
     fn empty_layout_is_safe() {
-        let layout = Layout { name: "e".into(), d: 100, features: vec![] };
+        let layout = Layout {
+            name: "e".into(),
+            d: 100,
+            features: vec![],
+        };
         let svg = render_svg(&layout, None, &SvgOptions::default());
         assert!(svg.starts_with("<svg"));
     }
@@ -185,7 +197,9 @@ mod tests {
         use mpld::{prepare, run_pipeline};
         use mpld_graph::DecomposeParams;
         use mpld_ilp::IlpDecomposer;
-        let layout = mpld_layout::circuit_by_name("C432").expect("exists").generate();
+        let layout = mpld_layout::circuit_by_name("C432")
+            .expect("exists")
+            .generate();
         let params = DecomposeParams::tpl();
         let prep = prepare(&layout, &params);
         let r = run_pipeline(&prep, &IlpDecomposer::new(), &params);
@@ -206,7 +220,11 @@ mod tests {
         );
         assert_eq!(
             svg.matches("<rect").count(),
-            1 + layout.features.iter().map(|f| f.rects().len()).sum::<usize>()
+            1 + layout
+                .features
+                .iter()
+                .map(|f| f.rects().len())
+                .sum::<usize>()
         );
     }
 }

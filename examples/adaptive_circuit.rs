@@ -18,11 +18,14 @@ fn main() {
     // engines, train RGCN / RGCN_r / ColorGNN, build the graph library.
     println!("offline phase: training on C499, C880, C1355, C1908 ...");
     let mut data = TrainingData::default();
-    let train_preps: Vec<_> = suite[1..5].iter().map(|c| prepare(&c.generate(), &params)).collect();
+    let train_preps: Vec<_> = suite[1..5]
+        .iter()
+        .map(|c| prepare(&c.generate(), &params))
+        .collect();
     for prep in &train_preps {
         data.add_layout_capped(prep, &params, 120);
     }
-    let mut framework = train_framework(&data, &params, &OfflineConfig::default());
+    let framework = train_framework(&data, &params, &OfflineConfig::default());
     println!(
         "trained: {} units labeled, library holds {} graphs",
         data.units.len(),

@@ -16,7 +16,9 @@ use mpld_layout::circuit_by_name;
 use mpld_sdp::SdpDecomposer;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "C880".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "C880".to_string());
     let circuit = match circuit_by_name(&name) {
         Some(c) => c,
         None => {
@@ -40,7 +42,10 @@ fn main() {
         Box::new(SdpDecomposer::new()),
         Box::new(EcDecomposer::new()),
     ];
-    println!("{:<8} {:>10} {:>6} {:>6} {:>12}", "engine", "cost", "cn#", "st#", "runtime");
+    println!(
+        "{:<8} {:>10} {:>6} {:>6} {:>12}",
+        "engine", "cost", "cn#", "st#", "runtime"
+    );
     for engine in &engines {
         let r = run_pipeline(&prep, engine.as_ref(), &params);
         println!(

@@ -20,12 +20,15 @@ fn main() {
         let count = parents.iter().filter(|g| g.num_nodes() == n).count();
         println!("  {n} nodes: {count}");
     }
-    println!("  total: {} (paper/classic literature: 23)\n", parents.len());
+    println!(
+        "  total: {} (paper/classic literature: 23)\n",
+        parents.len()
+    );
 
     // Build the library with stitch variants and ILP-optimal solutions.
-    let mut embedder = RgcnClassifier::selector(0xDAC);
+    let embedder = RgcnClassifier::selector(0xDAC);
     let cfg = LibraryConfig::default();
-    let library = GraphLibrary::build(&mut embedder, &cfg, &params);
+    let library = GraphLibrary::build(&embedder, &cfg, &params);
     println!(
         "library: {} graphs (dedup skipped {}, embedding collisions {}, missed dups {})",
         library.len(),
@@ -33,16 +36,17 @@ fn main() {
         library.stats().embedding_collisions,
         library.stats().embedding_missed_duplicates,
     );
-    let with_stitch = library.entries().iter().filter(|e| e.graph.has_stitches()).count();
+    let with_stitch = library
+        .entries()
+        .iter()
+        .filter(|e| e.graph.has_stitches())
+        .count();
     println!("  {} entries carry stitch edges\n", with_stitch);
 
     // Match a relabeled K4 and transfer the stored optimal solution.
-    let k4 = LayoutGraph::homogeneous(
-        4,
-        vec![(3, 1), (3, 2), (3, 0), (1, 2), (1, 0), (2, 0)],
-    )
-    .expect("valid graph");
-    match library.lookup(&mut embedder, &k4) {
+    let k4 = LayoutGraph::homogeneous(4, vec![(3, 1), (3, 2), (3, 0), (1, 2), (1, 0), (2, 0)])
+        .expect("valid graph");
+    match library.lookup(&embedder, &k4) {
         Some(d) => println!(
             "matched K4: transferred optimal coloring {:?} with cost {}",
             d.coloring, d.cost
@@ -51,10 +55,10 @@ fn main() {
     }
 
     // A graph that cannot be in the library (min degree 2).
-    let square = LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)])
-        .expect("valid graph");
+    let square =
+        LayoutGraph::homogeneous(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).expect("valid graph");
     println!(
         "4-cycle lookup (not irreducible, must miss): {:?}",
-        library.lookup(&mut embedder, &square).map(|d| d.cost)
+        library.lookup(&embedder, &square).map(|d| d.cost)
     );
 }

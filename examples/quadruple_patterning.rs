@@ -13,7 +13,9 @@ use mpld_ilp::IlpDecomposer;
 use mpld_layout::circuit_by_name;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "C1355".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "C1355".to_string());
     let Some(circuit) = circuit_by_name(&name) else {
         eprintln!("unknown circuit {name}");
         std::process::exit(1);
@@ -32,8 +34,10 @@ fn main() {
             r.cost.value(params.alpha),
             r.decompose_time
         );
-        let pretty: Vec<String> =
-            densities.iter().map(|d| format!("{:.1}%", d * 100.0)).collect();
+        let pretty: Vec<String> = densities
+            .iter()
+            .map(|d| format!("{:.1}%", d * 100.0))
+            .collect();
         println!("       mask area shares: [{}]", pretty.join(", "));
     }
     println!("\nmore masks can only lower the optimal cost. Note how the extra");

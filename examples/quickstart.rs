@@ -13,7 +13,12 @@ fn main() {
     // 1. Generate the C432 benchmark layout (triple patterning, d = 120nm).
     let params = DecomposeParams::tpl();
     let layout = circuit_by_name("C432").expect("known circuit").generate();
-    println!("layout {}: {} features, d = {} nm", layout.name, layout.features.len(), layout.d);
+    println!(
+        "layout {}: {} features, d = {} nm",
+        layout.name,
+        layout.features.len(),
+        layout.d
+    );
 
     // 2. Preprocess: conflict graph, simplification, stitch insertion.
     let prep = prepare(&layout, &params);

@@ -1,0 +1,236 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! benchmarking surface the workspace uses: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated so one batch of
+//! iterations runs long enough to be timeable (≥ ~25 ms), then several
+//! batches are timed and the **median per-iteration wall time** is
+//! reported. There is no statistical regression analysis or HTML report —
+//! results are printed to stdout in a stable, greppable format:
+//!
+//! ```text
+//! group/name/param        time: 123.45 µs/iter  (median of 5 batches)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// When true (cargo test passes `--test`), benches are registered but
+    /// not executed, matching real criterion's smoke-test behavior.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named benchmark identifier with a parameter, e.g. `ilp/n<=9`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.test_mode, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", id.function, id.parameter);
+        run_one(
+            &self.name,
+            &label,
+            self.test_mode,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, label: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let full = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if test_mode {
+        println!("{full}: skipped (--test)");
+        return;
+    }
+    let mut bencher = Bencher {
+        median_ns: None,
+        batches: 0,
+    };
+    f(&mut bencher);
+    match bencher.median_ns {
+        Some(ns) => println!(
+            "{full:<48} time: {}/iter  (median of {} batches)",
+            format_ns(ns),
+            bencher.batches
+        ),
+        None => println!("{full:<48} time: <no iter() call>"),
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    median_ns: Option<f64>,
+    batches: usize,
+}
+
+const TARGET_BATCH: Duration = Duration::from_millis(25);
+const NUM_BATCHES: usize = 5;
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: grow the batch size until one batch is long enough to
+        // time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_BATCH || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if elapsed.as_nanos() == 0 {
+                16
+            } else {
+                ((TARGET_BATCH.as_nanos() / elapsed.as_nanos()) + 1).min(16) as u64
+            };
+            iters = iters.saturating_mul(grow.max(2));
+        }
+        // Measure.
+        let mut samples = Vec::with_capacity(NUM_BATCHES);
+        for _ in 0..NUM_BATCHES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = Some(samples[samples.len() / 2]);
+        self.batches = NUM_BATCHES;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_a_median() {
+        let mut b = Bencher {
+            median_ns: None,
+            batches: 0,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.median_ns.is_some());
+        assert_eq!(b.batches, NUM_BATCHES);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+    }
+}

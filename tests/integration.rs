@@ -30,7 +30,11 @@ fn every_engine_produces_valid_colorings() {
         let r = run_pipeline(&p, engine.as_ref(), &params);
         assert_eq!(r.decomposition.feature_colors.len(), p.graph.num_nodes());
         assert!(r.decomposition.feature_colors.iter().all(|&c| c < params.k));
-        for (u, coloring) in p.units.iter().zip(&r.decomposition.unit_subfeature_colorings) {
+        for (u, coloring) in p
+            .units
+            .iter()
+            .zip(&r.decomposition.unit_subfeature_colorings)
+        {
             assert_eq!(coloring.len(), u.hetero.num_nodes());
         }
     }
@@ -45,7 +49,10 @@ fn exact_engines_agree_and_heuristics_never_beat_them() {
     let ec = run_pipeline(&p, &EcDecomposer::new(), &params);
     let sdp = run_pipeline(&p, &SdpDecomposer::new(), &params);
     let a = params.alpha;
-    assert!((bb.cost.value(a) - bip.cost.value(a)).abs() < 1e-9, "exact engines disagree");
+    assert!(
+        (bb.cost.value(a) - bip.cost.value(a)).abs() < 1e-9,
+        "exact engines disagree"
+    );
     assert!(ec.cost.value(a) >= bb.cost.value(a) - 1e-9);
     assert!(sdp.cost.value(a) >= bb.cost.value(a) - 1e-9);
 }
@@ -58,7 +65,9 @@ fn unit_costs_sum_to_total() {
     let sum = r
         .unit_costs
         .iter()
-        .fold(mpld_graph::CostBreakdown::default(), |acc, &c| acc.combine(c));
+        .fold(mpld_graph::CostBreakdown::default(), |acc, &c| {
+            acc.combine(c)
+        });
     assert_eq!(r.cost, sum);
 }
 
@@ -68,13 +77,13 @@ fn library_matches_are_exactly_optimal_on_real_units() {
     // optimum — matching can accelerate, never degrade.
     let params = DecomposeParams::tpl();
     let p = prep("C432");
-    let mut embedder = RgcnClassifier::selector(0xBEEF);
+    let embedder = RgcnClassifier::selector(0xBEEF);
     let cfg = LibraryConfig::default();
-    let library = GraphLibrary::build(&mut embedder, &cfg, &params);
+    let library = GraphLibrary::build(&embedder, &cfg, &params);
     let ilp = IlpDecomposer::new();
     let mut hits = 0;
     for unit in &p.units {
-        if let Some(d) = library.lookup(&mut embedder, &unit.hetero) {
+        if let Some(d) = library.lookup(&embedder, &unit.hetero) {
             let opt = ilp.decompose(&unit.hetero, &params);
             assert_eq!(
                 d.cost.value(params.alpha),
