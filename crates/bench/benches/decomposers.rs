@@ -49,7 +49,7 @@ fn bench_decomposers(c: &mut Criterion) {
                     b.iter(|| {
                         let mut total = 0u32;
                         for g in graphs {
-                            total += engine.decompose(g, &params).cost.conflicts;
+                            total += engine.decompose_unbounded(g, &params).cost.conflicts;
                         }
                         total
                     })

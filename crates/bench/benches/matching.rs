@@ -57,7 +57,7 @@ fn bench_matching(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0u32;
             for g in &graphs {
-                total += ilp.decompose(g, &params).cost.conflicts;
+                total += ilp.decompose_unbounded(g, &params).cost.conflicts;
             }
             total
         })

@@ -8,7 +8,7 @@
 use mpld::ConfusionMatrix;
 use mpld_bench::{env_usize, print_table, Bench};
 use mpld_gnn::{ColorGnn, ColorGnnTrainConfig, Readout, RgcnClassifier, TrainConfig};
-use mpld_graph::{Decomposer, LayoutGraph};
+use mpld_graph::{Budget, Decomposer, LayoutGraph};
 use mpld_ilp::IlpDecomposer;
 use std::time::Instant;
 
@@ -91,7 +91,7 @@ fn main() {
     let ilp = IlpDecomposer::new();
     let optima: Vec<u32> = refs
         .iter()
-        .map(|g| ilp.decompose(g, &bench.params).cost.conflicts)
+        .map(|g| ilp.decompose_unbounded(g, &bench.params).cost.conflicts)
         .collect();
     let train_parents: Vec<LayoutGraph> = train
         .units
@@ -113,7 +113,7 @@ fn main() {
             },
         );
         let t = Instant::now();
-        let results = gnn.decompose_batch(&refs, &bench.params);
+        let results = gnn.decompose_batch(&refs, &bench.params, &Budget::unlimited());
         let elapsed = t.elapsed();
         let optimal = results
             .iter()

@@ -8,7 +8,7 @@
 use mpld::{layout_stats, run_pipeline, TimingBreakdown, UsageBreakdown};
 use mpld_bench::{fmt_duration, print_table, train_fold, Bench};
 use mpld_ec::EcDecomposer;
-use mpld_graph::{Decomposer, LayoutGraph};
+use mpld_graph::{Budget, Decomposer, LayoutGraph};
 use mpld_ilp::encode::BipDecomposer;
 use mpld_sdp::SdpDecomposer;
 use std::time::{Duration, Instant};
@@ -73,13 +73,15 @@ fn main() {
                 pred_ns[ci] = parents.len();
                 let refs: Vec<&LayoutGraph> = parents.iter().collect();
                 let t = Instant::now();
-                let results = fw.colorgnn.decompose_batch(&refs, &bench.params);
+                let results =
+                    fw.colorgnn
+                        .decompose_batch(&refs, &bench.params, &Budget::unlimited());
                 t7_gnn_time[ci] = t.elapsed();
                 t7_gnn_cost[ci] = results.iter().map(|d| d.cost.value(a)).sum();
                 let t = Instant::now();
                 t7_ilp_cost[ci] = refs
                     .iter()
-                    .map(|g| exact.decompose(g, &bench.params).cost.value(a))
+                    .map(|g| exact.decompose_unbounded(g, &bench.params).cost.value(a))
                     .sum();
                 t7_ilp_time[ci] = t.elapsed();
             }

@@ -9,7 +9,7 @@
 //! `MPLD_THREADS` for the parallel adaptive path (default: available
 //! parallelism, at least 4 so the scheduling path is always exercised).
 
-use mpld::{prepare, train_framework, PreparedLayout, TrainingData};
+use mpld::{prepare, train_framework, BudgetPolicy, EngineKind, PreparedLayout, TrainingData};
 use mpld_bench::env_usize;
 use mpld_ec::EcDecomposer;
 use mpld_graph::{DecomposeParams, Decomposer};
@@ -17,7 +17,7 @@ use mpld_ilp::encode::BipDecomposer;
 use mpld_ilp::IlpDecomposer;
 use mpld_layout::iscas_suite;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let out_path = std::env::args()
@@ -61,7 +61,7 @@ fn main() {
     for (name, engine) in &engines {
         let t = Instant::now();
         for u in &sample {
-            std::hint::black_box(engine.decompose(&u.hetero, &params));
+            std::hint::black_box(engine.decompose_unbounded(&u.hetero, &params));
         }
         let secs = t.elapsed().as_secs_f64();
         let per_sec = sample.len() as f64 / secs.max(1e-12);
@@ -136,6 +136,59 @@ fn main() {
         "adaptive suite: serial {serial_total:.2}s, parallel {parallel_total:.2}s -> {speedup:.2}x ({threads} threads, {memo_total} memo hits)"
     );
 
+    // 4. Budget-exhaustion profile: the whole suite again under a tight
+    // per-unit deadline, recording per-solver exhaustion and fallback
+    // counts (the anytime-contract numbers the framework reports).
+    let unit_limit_ms = env_usize("MPLD_BENCH_UNIT_LIMIT_MS", 1);
+    let policy = BudgetPolicy {
+        per_unit: Some(Duration::from_millis(unit_limit_ms as u64)),
+        ..BudgetPolicy::unlimited()
+    };
+    let (mut certified, mut heuristic, mut exhausted, mut fallbacks) = (0usize, 0, 0, 0);
+    let mut by_engine = [
+        (EngineKind::Matching, 0usize, 0usize),
+        (EngineKind::ColorGnn, 0, 0),
+        (EngineKind::Ilp, 0, 0),
+        (EngineKind::Ec, 0, 0),
+    ];
+    let t = Instant::now();
+    for prep in &prepared {
+        fw.colorgnn.reseed(0xBEEF);
+        let r = fw
+            .decompose_prepared_parallel_with(prep, threads, &policy)
+            .expect("budget exhaustion is not an error");
+        certified += r.budget.certified;
+        heuristic += r.budget.heuristic;
+        exhausted += r.budget.budget_exhausted;
+        fallbacks += r.budget.budget_fallbacks;
+        for o in &r.unit_outcomes {
+            for row in &mut by_engine {
+                if row.0 == o.engine {
+                    row.1 += usize::from(o.certainty == mpld_graph::Certainty::BudgetExhausted);
+                    row.2 += usize::from(o.budget_fallback);
+                }
+            }
+        }
+    }
+    let budgeted_seconds = t.elapsed().as_secs_f64();
+    eprintln!(
+        "budgeted suite ({unit_limit_ms}ms/unit): {certified} certified, {heuristic} heuristic, {exhausted} budget-exhausted, {fallbacks} fallbacks in {budgeted_seconds:.2}s"
+    );
+    let engine_label = |e: EngineKind| match e {
+        EngineKind::Matching => "matching",
+        EngineKind::ColorGnn => "colorgnn",
+        EngineKind::Ilp => "ilp",
+        EngineKind::Ec => "ec",
+    };
+    let exhausted_rows: Vec<String> = by_engine
+        .iter()
+        .map(|(e, x, _)| format!("\"{}\": {x}", engine_label(*e)))
+        .collect();
+    let fallback_rows: Vec<String> = by_engine
+        .iter()
+        .map(|(e, _, f)| format!("\"{}\": {f}", engine_label(*e)))
+        .collect();
+
     let mut json = String::new();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let _ = writeln!(json, "{{");
@@ -159,6 +212,24 @@ fn main() {
     let _ = writeln!(json, "    \"per_circuit\": [");
     let _ = writeln!(json, "{}", circuit_rows.join(",\n"));
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"budgeted\": {{");
+    let _ = writeln!(json, "    \"unit_time_limit_ms\": {unit_limit_ms},");
+    let _ = writeln!(json, "    \"seconds\": {budgeted_seconds:.4},");
+    let _ = writeln!(json, "    \"certified\": {certified},");
+    let _ = writeln!(json, "    \"heuristic\": {heuristic},");
+    let _ = writeln!(json, "    \"budget_exhausted\": {exhausted},");
+    let _ = writeln!(json, "    \"budget_fallbacks\": {fallbacks},");
+    let _ = writeln!(
+        json,
+        "    \"exhausted_by_engine\": {{{}}},",
+        exhausted_rows.join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "    \"fallbacks_by_engine\": {{{}}}",
+        fallback_rows.join(", ")
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, json).expect("write artifact");

@@ -31,7 +31,7 @@ fn main() {
                 .iter()
                 .zip(&d.ilp_costs)
                 .map(|(g, ilp)| {
-                    let ec = basic.decompose(g, &bench.params).cost;
+                    let ec = basic.decompose_unbounded(g, &bench.params).cost;
                     u8::from(!ilp.better_than(&ec, bench.params.alpha))
                 })
                 .collect()

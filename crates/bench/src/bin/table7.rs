@@ -7,7 +7,7 @@
 
 use mpld::layout_stats;
 use mpld_bench::{fmt_duration, print_table, train_fold, Bench};
-use mpld_graph::{Decomposer, LayoutGraph};
+use mpld_graph::{Budget, Decomposer, LayoutGraph};
 use mpld_ilp::encode::BipDecomposer;
 use std::time::{Duration, Instant};
 
@@ -47,7 +47,9 @@ fn main() {
             let parent_refs: Vec<&LayoutGraph> = parents.iter().collect();
             // ColorGNN on the predicted set (batched, like the framework).
             let t = Instant::now();
-            let results = fw.colorgnn.decompose_batch(&parent_refs, &bench.params);
+            let results =
+                fw.colorgnn
+                    .decompose_batch(&parent_refs, &bench.params, &Budget::unlimited());
             gnn_time[ci] = t.elapsed();
             gnn_cost[ci] = results
                 .iter()
@@ -57,7 +59,7 @@ fn main() {
             let t = Instant::now();
             let mut total = 0f64;
             for (g, gd) in parent_refs.iter().zip(&results) {
-                let d = ilp.decompose(g, &bench.params);
+                let d = ilp.decompose_unbounded(g, &bench.params);
                 total += d.cost.value(bench.params.alpha);
                 if gd.cost.value(bench.params.alpha) > d.cost.value(bench.params.alpha) + 1e-9 {
                     gnn_optimal[ci] = false;

@@ -12,6 +12,9 @@
 //! - `MPLD_FOLDS=n` — number of leave-2-out folds actually executed
 //!   (default: all 8).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 use mpld::{prepare, OfflineConfig, PreparedLayout, TrainingData};
 use mpld_graph::DecomposeParams;
 use mpld_layout::{iscas_suite, Circuit};

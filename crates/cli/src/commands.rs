@@ -1,15 +1,85 @@
 //! Subcommand implementations.
 
 use crate::args::{parse, Parsed};
-use mpld::{layout_stats, prepare, run_pipeline, AdaptiveFramework, OfflineConfig, TrainingData};
+use mpld::{
+    layout_stats, prepare, run_pipeline, AdaptiveFramework, BudgetPolicy, OfflineConfig,
+    TrainingData,
+};
 use mpld_ec::EcDecomposer;
-use mpld_graph::{DecomposeParams, Decomposer};
+use mpld_graph::{DecomposeParams, Decomposer, MpldError};
 use mpld_ilp::encode::BipDecomposer;
 use mpld_ilp::IlpDecomposer;
 use mpld_layout::{circuit_by_name, iscas_suite, read_layout, write_layout, Layout};
 use mpld_sdp::SdpDecomposer;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::time::Duration;
+
+/// CLI failure: either a usage/environment problem (exit code 2) or a
+/// typed solver error surfaced from the decomposition stack (exit code 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments, unreadable files, unknown engines, ...
+    Usage(String),
+    /// A typed [`MpldError`] from the decomposition layers.
+    Solver(MpldError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => f.write_str(m),
+            CliError::Solver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Usage(m.to_string())
+    }
+}
+
+impl From<MpldError> for CliError {
+    fn from(e: MpldError) -> Self {
+        CliError::Solver(e)
+    }
+}
+
+/// Parses a human-friendly duration: `250ms`, `1.5s`, or a bare number of
+/// seconds (`30`). Used by `--time-limit` / `--unit-time-limit`.
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, scale) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e-6)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("cannot parse duration {s:?} (try 250ms, 1.5s, or 30)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("duration {s:?} must be a non-negative number"));
+    }
+    Ok(Duration::from_secs_f64(v * scale))
+}
+
+fn option_duration(parsed: &Parsed, name: &str) -> Result<Option<Duration>, String> {
+    parsed
+        .option(name)
+        .map(|v| parse_duration(v).map_err(|e| format!("--{name}: {e}")))
+        .transpose()
+}
 
 const USAGE: &str = "\
 usage: mpld <command> [args]
@@ -30,6 +100,13 @@ commands:
       --threads <n>                  ILP/EC tail worker threads (default:
                                      MPLD_THREADS env or the machine's
                                      available parallelism)
+      --time-limit <dur>             wall-clock budget for the whole run
+                                     (250ms, 1.5s, or bare seconds); on
+                                     exhaustion the best incumbent per
+                                     unit is kept, never an error
+      --unit-time-limit <dur>        per-unit solver budget; exact solves
+                                     that expire fall back to the next
+                                     cheapest engine's incumbent
   render <layout> -o out.svg         render to SVG
       --engine ilp|ilp-bb|sdp|ec     color by a decomposition (optional)
 
@@ -37,7 +114,7 @@ commands:
 layout file in the text interchange format.";
 
 /// Dispatches the parsed command line.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let parsed = parse(argv)?;
     match parsed.positional(0) {
         None | Some("help") | Some("--help") => {
@@ -51,16 +128,20 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("train") => cmd_train(&parsed),
         Some("adaptive") => cmd_adaptive(&parsed),
         Some("render") => cmd_render(&parsed),
-        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     }
 }
 
-fn load_layout(arg: &str) -> Result<Layout, String> {
+fn load_layout(arg: &str) -> Result<Layout, CliError> {
     if let Some(c) = circuit_by_name(arg) {
         return Ok(c.generate());
     }
     let file = File::open(arg).map_err(|e| format!("cannot open {arg}: {e}"))?;
-    read_layout(BufReader::new(file)).map_err(|e| format!("cannot parse {arg}: {e}"))
+    // Malformed layout files surface as typed parse errors (exit code 1,
+    // with the offending line number), not as usage errors.
+    read_layout(BufReader::new(file)).map_err(|e| CliError::Solver(MpldError::from(e)))
 }
 
 fn params_from(parsed: &Parsed) -> Result<DecomposeParams, String> {
@@ -72,7 +153,7 @@ fn params_from(parsed: &Parsed) -> Result<DecomposeParams, String> {
     Ok(DecomposeParams { k, alpha })
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CliError> {
     println!(
         "{:<10} {:>6} {:>10} {:>7}",
         "circuit", "d(nm)", "~features", "group"
@@ -89,7 +170,7 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(parsed: &Parsed) -> Result<(), String> {
+fn cmd_generate(parsed: &Parsed) -> Result<(), CliError> {
     let name = parsed
         .positional(1)
         .ok_or("generate: missing circuit name")?;
@@ -107,7 +188,7 @@ fn cmd_generate(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(parsed: &Parsed) -> Result<(), String> {
+fn cmd_stats(parsed: &Parsed) -> Result<(), CliError> {
     let arg = parsed.positional(1).ok_or("stats: missing layout")?;
     let exact: bool = parsed.option_or("exact", false)?;
     let params = params_from(parsed)?;
@@ -148,7 +229,7 @@ fn cmd_stats(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_decompose(parsed: &Parsed) -> Result<(), String> {
+fn cmd_decompose(parsed: &Parsed) -> Result<(), CliError> {
     let arg = parsed.positional(1).ok_or("decompose: missing layout")?;
     let params = params_from(parsed)?;
     let layout = load_layout(arg)?;
@@ -159,7 +240,7 @@ fn cmd_decompose(parsed: &Parsed) -> Result<(), String> {
         "ilp-bb" => Box::new(IlpDecomposer::new()),
         "sdp" => Box::new(SdpDecomposer::new()),
         "ec" => Box::new(EcDecomposer::new()),
-        other => return Err(format!("unknown engine {other:?} (ilp|ilp-bb|sdp|ec)")),
+        other => return Err(format!("unknown engine {other:?} (ilp|ilp-bb|sdp|ec)").into()),
     };
     let result = run_pipeline(&prep, engine.as_ref(), &params);
     println!(
@@ -187,7 +268,7 @@ fn write_masks(path: &str, colors: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(parsed: &Parsed) -> Result<(), String> {
+fn cmd_train(parsed: &Parsed) -> Result<(), CliError> {
     let params = params_from(parsed)?;
     let names = parsed.option("circuits").unwrap_or("C499,C880,C1355,C1908");
     let cap: usize = parsed.option_or("cap", 150)?;
@@ -218,22 +299,27 @@ fn cmd_train(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_adaptive(parsed: &Parsed) -> Result<(), String> {
+fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
     let arg = parsed.positional(1).ok_or("adaptive: missing layout")?;
     let model = parsed
         .option("model")
         .ok_or("adaptive: missing --model <file>")?;
     let params = params_from(parsed)?;
+    let threads: usize = parsed.option_or("threads", mpld::default_threads())?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let policy = BudgetPolicy {
+        total: option_duration(parsed, "time-limit")?,
+        per_unit: option_duration(parsed, "unit-time-limit")?,
+        ..BudgetPolicy::unlimited()
+    };
     let file = File::open(model).map_err(|e| format!("cannot open {model}: {e}"))?;
     let fw = AdaptiveFramework::load(BufReader::new(file), &params, &OfflineConfig::default())
         .map_err(|e| format!("cannot load {model}: {e}"))?;
     let layout = load_layout(arg)?;
     let prep = prepare(&layout, &params);
-    let threads: usize = parsed.option_or("threads", mpld::default_threads())?;
-    if threads == 0 {
-        return Err("--threads must be positive".into());
-    }
-    let r = fw.decompose_prepared_parallel(&prep, threads);
+    let r = fw.decompose_prepared_parallel_with(&prep, threads, &policy)?;
     println!(
         "adaptive on {}: {} (objective {:.1}) in {:?} ({threads} threads)",
         layout.name,
@@ -250,6 +336,15 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), String> {
         r.usage.colorgnn_fallbacks,
         r.memo_hits
     );
+    if !policy.is_unlimited() {
+        println!(
+            "budget: {} certified  {} heuristic  {} budget-exhausted  {} fallbacks",
+            r.budget.certified,
+            r.budget.heuristic,
+            r.budget.budget_exhausted,
+            r.budget.budget_fallbacks
+        );
+    }
     if let Some(path) = parsed.option("o") {
         write_masks(path, &r.pipeline.decomposition.feature_colors)?;
         println!("wrote mask assignment to {path}");
@@ -257,7 +352,7 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_render(parsed: &Parsed) -> Result<(), String> {
+fn cmd_render(parsed: &Parsed) -> Result<(), CliError> {
     let arg = parsed.positional(1).ok_or("render: missing layout")?;
     let out = parsed.option("o").ok_or("render: missing -o <file.svg>")?;
     let params = params_from(parsed)?;
@@ -270,7 +365,7 @@ fn cmd_render(parsed: &Parsed) -> Result<(), String> {
                 "ilp-bb" => Box::new(IlpDecomposer::new()),
                 "sdp" => Box::new(SdpDecomposer::new()),
                 "ec" => Box::new(EcDecomposer::new()),
-                other => return Err(format!("unknown engine {other:?}")),
+                other => return Err(format!("unknown engine {other:?}").into()),
             };
             let prep = prepare(&layout, &params);
             let r = run_pipeline(&prep, engine.as_ref(), &params);
@@ -309,7 +404,32 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         let argv = vec!["frobnicate".to_string()];
-        assert!(dispatch(&argv).is_err());
+        assert!(matches!(dispatch(&argv), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn durations_parse_with_suffixes() {
+        assert_eq!(parse_duration("250ms").unwrap(), Duration::from_millis(250));
+        assert_eq!(parse_duration("1.5s").unwrap(), Duration::from_millis(1500));
+        assert_eq!(parse_duration("30").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_duration("500us").unwrap(), Duration::from_micros(500));
+        assert_eq!(parse_duration("0").unwrap(), Duration::ZERO);
+        assert!(parse_duration("fast").is_err());
+        assert!(parse_duration("-1s").is_err());
+        assert!(parse_duration("1m").is_err());
+    }
+
+    #[test]
+    fn bad_time_limit_is_a_usage_error() {
+        let r = dispatch(&[
+            "adaptive".into(),
+            "C432".into(),
+            "--model".into(),
+            "/nonexistent/model.bin".into(),
+            "--time-limit".into(),
+            "soon".into(),
+        ]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -22,9 +22,14 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        // Typed solver errors (exit 1) vs usage/environment problems (exit 2).
+        Err(e @ commands::CliError::Solver(_)) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(e @ commands::CliError::Usage(_)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
         }
     }
 }

@@ -17,15 +17,132 @@ use crate::parallel::run_largest_first;
 use crate::pipeline::{assemble, PipelineResult, PreparedLayout};
 use mpld_ec::EcDecomposer;
 use mpld_gnn::{ColorGnn, RgcnClassifier};
-use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_graph::{
+    Budget, CancelToken, Certainty, Clock, DecomposeParams, Decomposer, Decomposition, LayoutGraph,
+    MpldError, SystemClock,
+};
 use mpld_ilp::encode::BipDecomposer;
 use mpld_matching::{canonical_form_labeled, CanonicalForm, GraphLibrary};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Largest unit eligible for the session memo cache: the exact canonical
 /// form in `mpld-matching` is factorial-guarded at 12 nodes.
 const MEMO_MAX_NODES: usize = 12;
+
+/// Wall-clock limits for one adaptive decomposition run.
+///
+/// `total` bounds the whole run; `per_unit` additionally bounds each
+/// unit's exact-solver time (each unit still gets at most the remaining
+/// layout-wide budget). `cancel` aborts cooperatively from another
+/// thread. `clock` overrides the time source (a
+/// [`MockClock`](mpld_graph::MockClock) makes timeout tests
+/// deterministic); `None` uses real wall-clock time.
+///
+/// The default policy is unlimited, and an unlimited policy is guaranteed
+/// to produce bit-identical results to the budget-free code path.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetPolicy {
+    /// Layout-wide wall-clock limit.
+    pub total: Option<Duration>,
+    /// Per-unit wall-clock limit for the exact ILP/EC tail.
+    pub per_unit: Option<Duration>,
+    /// Cooperative cancellation shared with the caller.
+    pub cancel: Option<CancelToken>,
+    /// Time source; `None` means a fresh [`SystemClock`].
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl BudgetPolicy {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Whether no limit of any kind is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.total.is_none() && self.per_unit.is_none() && self.cancel.is_none()
+    }
+
+    /// The layout-wide budget this policy describes, anchored at "now" on
+    /// the policy's clock.
+    fn total_budget(&self) -> Budget {
+        if self.is_unlimited() {
+            return Budget::unlimited();
+        }
+        let clock: Arc<dyn Clock> = self
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(SystemClock::new()));
+        let mut b = match self.total {
+            Some(limit) => Budget::with_deadline_on(clock, limit),
+            None => Budget::on_clock(clock),
+        };
+        if let Some(t) = &self.cancel {
+            b = b.and_cancel(t.clone());
+        }
+        b
+    }
+
+    /// The budget for one unit solve starting now: the per-unit limit
+    /// narrowed against whatever remains of `total`.
+    fn unit_budget(&self, total: &Budget) -> Budget {
+        match self.per_unit {
+            Some(limit) => total.narrowed(Some(limit), None),
+            None => total.clone(),
+        }
+    }
+}
+
+/// Per-unit record of how a unit was decomposed (tentpole stats: solver
+/// used, certification, budget effects, exact-solver time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitOutcome {
+    /// Engine whose coloring was kept.
+    pub engine: EngineKind,
+    /// How much that engine vouches for the result.
+    pub certainty: Certainty,
+    /// Whether the exact path was cut short by the budget and a cheaper
+    /// engine's (or unverified) result was used instead.
+    pub budget_fallback: bool,
+    /// Exact-solver (ILP + EC) time spent on this unit. Zero for units
+    /// resolved by matching, batched ColorGNN, or memo transfer, whose
+    /// cost is accounted in [`TimingBreakdown`] only.
+    pub time: Duration,
+}
+
+/// Aggregate budget statistics over one adaptive run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetBreakdown {
+    /// Units whose result carries an optimality certificate.
+    pub certified: usize,
+    /// Units resolved heuristically (ColorGNN / uncertified EC).
+    pub heuristic: usize,
+    /// Units whose search was cut short by the budget (best-so-far
+    /// incumbent kept).
+    pub budget_exhausted: usize,
+    /// Units that fell back to a cheaper engine (or skipped exact
+    /// verification) because the budget expired mid-solve.
+    pub budget_fallbacks: usize,
+}
+
+impl BudgetBreakdown {
+    fn from_outcomes(outcomes: &[UnitOutcome]) -> Self {
+        let mut b = BudgetBreakdown::default();
+        for o in outcomes {
+            match o.certainty {
+                Certainty::Certified => b.certified += 1,
+                Certainty::Heuristic => b.heuristic += 1,
+                Certainty::BudgetExhausted => b.budget_exhausted += 1,
+            }
+            if o.budget_fallback {
+                b.budget_fallbacks += 1;
+            }
+        }
+        b
+    }
+}
 
 /// Which engine decomposed a unit (for Fig. 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +213,10 @@ pub struct AdaptiveResult {
     /// solution from the session memo cache (parallel path only; always
     /// zero on the serial paths).
     pub memo_hits: usize,
+    /// Per-unit outcome records, parallel to `unit_engines`.
+    pub unit_outcomes: Vec<UnitOutcome>,
+    /// Aggregate budget statistics derived from `unit_outcomes`.
+    pub budget: BudgetBreakdown,
 }
 
 /// The trained adaptive framework (see module docs).
@@ -147,54 +268,96 @@ impl AdaptiveFramework {
     /// Everything else is decided by (or verified against) the exact ILP.
     /// This is the structural version of the paper's 100%-ILP-recall
     /// selector.
+    ///
+    /// Anytime behavior under `budget`: if the exact ILP runs out of
+    /// budget it returns its incumbent, and the framework falls back to
+    /// the next-cheapest engine (EC's greedy + repair phase runs even on
+    /// an expired budget) keeping whichever result is cheaper. The third
+    /// tuple element reports whether such a budget fallback occurred.
     fn decompose_with_selection(
         &self,
         g: &LayoutGraph,
         ec_first: bool,
+        budget: &Budget,
         timing: &mut TimingBreakdown,
-    ) -> (Decomposition, EngineKind) {
+    ) -> Result<(Decomposition, EngineKind, bool), MpldError> {
         if ec_first {
             let t = Instant::now();
-            let (d, certified) = self.ec.decompose_certified(g, &self.params);
+            let (d, certified) = self.ec.decompose_certified(g, &self.params, budget)?;
             timing.ec += t.elapsed();
             if certified {
-                return (d, EngineKind::Ec);
+                return Ok((d, EngineKind::Ec, false));
+            }
+            if budget.exhausted() {
+                // No budget left for exact verification: keep the EC
+                // incumbent, flagged as budget-limited.
+                return Ok((
+                    d.with_certainty(Certainty::BudgetExhausted),
+                    EngineKind::Ec,
+                    true,
+                ));
             }
             // Verify the uncertified EC result against the exact ILP with
             // the EC cost as the branch-and-bound's starting incumbent:
             // `None` proves the EC result optimal without the cold search
             // ever having to rediscover a solution of that quality.
             let t = Instant::now();
-            let exact = self.ilp.decompose_below(g, &self.params, &d.cost);
+            let (exact, ilp_exhausted) =
+                self.ilp
+                    .decompose_below_within(g, &self.params, &d.cost, budget);
             timing.ilp += t.elapsed();
             if let Some(exact) = exact {
                 if exact.cost.better_than(&d.cost, self.params.alpha) {
-                    return (exact, EngineKind::Ilp);
+                    return Ok((exact, EngineKind::Ilp, ilp_exhausted));
                 }
             }
-            (d, EngineKind::Ec)
+            // An exhausted verification proves nothing: the EC result
+            // stands but without a certificate.
+            let d = if ilp_exhausted {
+                d.with_certainty(Certainty::BudgetExhausted)
+            } else {
+                d
+            };
+            Ok((d, EngineKind::Ec, ilp_exhausted))
         } else {
             let t = Instant::now();
-            let d = self.ilp.decompose(g, &self.params);
+            let d = self.ilp.decompose(g, &self.params, budget)?;
             timing.ilp += t.elapsed();
-            (d, EngineKind::Ilp)
+            if d.certainty != Certainty::BudgetExhausted {
+                return Ok((d, EngineKind::Ilp, false));
+            }
+            // The exact solver timed out on its incumbent: fall back to
+            // the next-cheapest engine and keep the better coloring.
+            let t = Instant::now();
+            let fallback = self.ec.decompose_certified(g, &self.params, budget);
+            timing.ec += t.elapsed();
+            match fallback {
+                Ok((e, _)) if e.cost.better_than(&d.cost, self.params.alpha) => Ok((
+                    e.with_certainty(Certainty::BudgetExhausted),
+                    EngineKind::Ec,
+                    true,
+                )),
+                _ => Ok((d, EngineKind::Ilp, true)),
+            }
         }
     }
 
     /// Decomposes one unit graph, returning the decomposition, the engine
-    /// used, and whether a ColorGNN fallback occurred.
+    /// used, whether a ColorGNN fallback occurred, and whether a budget
+    /// fallback occurred.
     fn decompose_unit(
         &self,
         hetero: &LayoutGraph,
+        budget: &Budget,
         timing: &mut TimingBreakdown,
-    ) -> (Decomposition, EngineKind, bool) {
+    ) -> Result<(Decomposition, EngineKind, bool, bool), MpldError> {
         // 1. Library matching.
         if hetero.num_nodes() <= self.library.max_nodes() {
             let t = Instant::now();
             let hit = self.library.lookup(&self.selector, hetero);
             timing.matching += t.elapsed();
             if let Some(d) = hit {
-                return (d, EngineKind::Matching, false);
+                return Ok((d, EngineKind::Matching, false, false));
             }
         }
 
@@ -211,14 +374,14 @@ impl AdaptiveFramework {
             if redundant {
                 let t = Instant::now();
                 let (parent, map) = hetero.merge_stitch_edges();
-                let pd = self.colorgnn.decompose(&parent, &self.params);
+                let pd = self.colorgnn.decompose(&parent, &self.params, budget)?;
                 timing.colorgnn += t.elapsed();
                 if pd.cost.conflicts == 0 {
                     // Expand the parent coloring to subfeatures (no stitch
                     // is activated, so the cost carries over exactly).
                     let coloring: Vec<u8> = map.iter().map(|&p| pd.coloring[p as usize]).collect();
-                    let d = Decomposition::from_coloring(hetero, coloring, self.params.alpha);
-                    return (d, EngineKind::ColorGnn, false);
+                    let d = Decomposition::try_from_coloring(hetero, coloring, self.params.alpha)?;
+                    return Ok((d, EngineKind::ColorGnn, false, false));
                 }
                 // The parent graph may genuinely need conflicts or
                 // stitches; defer to the exact engines.
@@ -230,21 +393,43 @@ impl AdaptiveFramework {
         let t = Instant::now();
         let ec_first = fallback || self.select_engine(hetero) == 1;
         timing.selection += t.elapsed();
-        let (d, engine) = self.decompose_with_selection(hetero, ec_first, timing);
-        (d, engine, fallback)
+        let (d, engine, budget_fallback) =
+            self.decompose_with_selection(hetero, ec_first, budget, timing)?;
+        Ok((d, engine, fallback, budget_fallback))
     }
 
     /// Adaptively decomposes a prepared layout, one unit at a time (no
     /// batched inference). Mostly useful for comparison with the batched
     /// default, [`AdaptiveFramework::decompose_prepared`].
     pub fn decompose_prepared_unbatched(&self, prep: &PreparedLayout) -> AdaptiveResult {
+        unwrap_unlimited(self.decompose_prepared_unbatched_with(prep, &BudgetPolicy::unlimited()))
+    }
+
+    /// Budgeted variant of
+    /// [`AdaptiveFramework::decompose_prepared_unbatched`].
+    ///
+    /// # Errors
+    ///
+    /// Budget exhaustion is not an error (units keep their best-so-far
+    /// incumbents, see [`BudgetBreakdown`]); `Err` means an engine
+    /// rejected its input outright.
+    pub fn decompose_prepared_unbatched_with(
+        &self,
+        prep: &PreparedLayout,
+        policy: &BudgetPolicy,
+    ) -> Result<AdaptiveResult, MpldError> {
         let start = Instant::now();
+        let total = policy.total_budget();
         let mut timing = TimingBreakdown::default();
         let mut usage = UsageBreakdown::default();
         let mut unit_engines = Vec::with_capacity(prep.units.len());
         let mut unit_results = Vec::with_capacity(prep.units.len());
+        let mut unit_outcomes = Vec::with_capacity(prep.units.len());
         for unit in &prep.units {
-            let (d, engine, fell_back) = self.decompose_unit(&unit.hetero, &mut timing);
+            let unit_budget = policy.unit_budget(&total);
+            let solver_before = timing.ilp + timing.ec;
+            let (d, engine, fell_back, budget_fallback) =
+                self.decompose_unit(&unit.hetero, &unit_budget, &mut timing)?;
             match engine {
                 EngineKind::Matching => usage.matching += 1,
                 EngineKind::ColorGnn => usage.colorgnn += 1,
@@ -254,18 +439,26 @@ impl AdaptiveFramework {
             if fell_back {
                 usage.colorgnn_fallbacks += 1;
             }
+            unit_outcomes.push(UnitOutcome {
+                engine,
+                certainty: d.certainty,
+                budget_fallback,
+                time: timing.ilp + timing.ec - solver_before,
+            });
             unit_engines.push(engine);
             unit_results.push(d);
         }
         let decompose_time = start.elapsed();
         let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
-        AdaptiveResult {
+        Ok(AdaptiveResult {
             pipeline,
             usage,
             timing,
             unit_engines,
             memo_hits: 0,
-        }
+            budget: BudgetBreakdown::from_outcomes(&unit_outcomes),
+            unit_outcomes,
+        })
     }
 
     /// Shared prefix of the batched online flow: one selector pass
@@ -273,7 +466,12 @@ impl AdaptiveFramework {
     /// matching with the precomputed embeddings, and the batched ColorGNN
     /// run over predicted-redundant units. Returns the routing state with
     /// the ILP/EC tail still unsolved (`unit_results[i] == None`).
-    fn route_units(&self, graphs: &[&LayoutGraph], routed: &mut RoutedUnits) {
+    fn route_units(
+        &self,
+        graphs: &[&LayoutGraph],
+        budget: &Budget,
+        routed: &mut RoutedUnits,
+    ) -> Result<(), MpldError> {
         let n = graphs.len();
         let timing = &mut routed.timing;
 
@@ -326,11 +524,14 @@ impl AdaptiveFramework {
                 }
             }
             let parent_refs: Vec<&LayoutGraph> = parents.iter().collect();
-            let results = self.colorgnn.decompose_batch(&parent_refs, &self.params);
+            let results = self
+                .colorgnn
+                .decompose_batch(&parent_refs, &self.params, budget);
             for ((&i, pd), map) in idx.iter().zip(results).zip(&maps) {
                 if pd.cost.conflicts == 0 {
                     let coloring: Vec<u8> = map.iter().map(|&p| pd.coloring[p as usize]).collect();
-                    let d = Decomposition::from_coloring(graphs[i], coloring, self.params.alpha);
+                    let d =
+                        Decomposition::try_from_coloring(graphs[i], coloring, self.params.alpha)?;
                     routed.unit_results[i] = Some(d);
                     routed.unit_engines[i] = Some(EngineKind::ColorGnn);
                     routed.usage.colorgnn += 1;
@@ -341,6 +542,7 @@ impl AdaptiveFramework {
             }
             timing.colorgnn += t.elapsed();
         }
+        Ok(())
     }
 
     /// Adaptively decomposes a prepared layout with batched GNN inference
@@ -349,21 +551,37 @@ impl AdaptiveFramework {
     /// one `RGCN_r` pass the redundancy confidences, and one batched
     /// ColorGNN run decomposes all predicted-redundant parent graphs.
     pub fn decompose_prepared(&self, prep: &PreparedLayout) -> AdaptiveResult {
+        unwrap_unlimited(self.decompose_prepared_with(prep, &BudgetPolicy::unlimited()))
+    }
+
+    /// Budgeted variant of [`AdaptiveFramework::decompose_prepared`].
+    ///
+    /// With an unlimited `policy` the result is bit-identical to
+    /// [`AdaptiveFramework::decompose_prepared`]. Under a limit, units
+    /// whose exact solver runs out of budget keep their best-so-far
+    /// incumbent ([`Certainty::BudgetExhausted`]) or fall back to the
+    /// next-cheapest engine; every unit still receives a full valid
+    /// coloring.
+    ///
+    /// # Errors
+    ///
+    /// `Err` means an engine rejected its input outright (unsupported
+    /// parameters, mismatched coloring); budget exhaustion is never an
+    /// error.
+    pub fn decompose_prepared_with(
+        &self,
+        prep: &PreparedLayout,
+        policy: &BudgetPolicy,
+    ) -> Result<AdaptiveResult, MpldError> {
         let start = Instant::now();
         let n = prep.units.len();
         let graphs: Vec<&LayoutGraph> = prep.units.iter().map(|u| &u.hetero).collect();
         if n == 0 {
-            let pipeline = assemble(prep, &self.params, Vec::new(), start.elapsed());
-            return AdaptiveResult {
-                pipeline,
-                usage: UsageBreakdown::default(),
-                timing: TimingBreakdown::default(),
-                unit_engines: Vec::new(),
-                memo_hits: 0,
-            };
+            return Ok(empty_result(prep, &self.params, start));
         }
+        let total = policy.total_budget();
         let mut routed = RoutedUnits::default();
-        self.route_units(&graphs, &mut routed);
+        self.route_units(&graphs, &total, &mut routed)?;
         let RoutedUnits {
             mut unit_results,
             mut unit_engines,
@@ -372,6 +590,8 @@ impl AdaptiveFramework {
             guard_failed,
             selector_probs,
         } = routed;
+        let mut budget_fallback = vec![false; n];
+        let mut unit_time = vec![Duration::ZERO; n];
 
         // 3. Remaining units (including ColorGNN-guard failures): ILP/EC
         // per the selector, with certified EC acceptance (see
@@ -381,32 +601,32 @@ impl AdaptiveFramework {
                 continue;
             }
             let ec_first = guard_failed[i] || selector_probs[i][1] > self.ec_threshold;
-            let (d, engine) = self.decompose_with_selection(g, ec_first, &mut timing);
+            let unit_budget = policy.unit_budget(&total);
+            let solver_before = timing.ilp + timing.ec;
+            let (d, engine, fell_back) =
+                self.decompose_with_selection(g, ec_first, &unit_budget, &mut timing)?;
             match engine {
                 EngineKind::Ilp => usage.ilp += 1,
                 _ => usage.ec += 1,
             }
+            budget_fallback[i] = fell_back;
+            unit_time[i] = timing.ilp + timing.ec - solver_before;
             unit_results[i] = Some(d);
             unit_engines[i] = Some(engine);
         }
 
-        let unit_results: Vec<Decomposition> = unit_results
-            .into_iter()
-            .map(|d| d.expect("every unit decomposed"))
-            .collect();
-        let unit_engines: Vec<EngineKind> = unit_engines
-            .into_iter()
-            .map(|e| e.expect("every unit routed"))
-            .collect();
-        let decompose_time = start.elapsed();
-        let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
-        AdaptiveResult {
-            pipeline,
+        Ok(finish(
+            prep,
+            &self.params,
+            unit_results,
+            unit_engines,
+            budget_fallback,
+            unit_time,
             usage,
             timing,
-            unit_engines,
-            memo_hits: 0,
-        }
+            0,
+            start,
+        ))
     }
 
     /// Like [`AdaptiveFramework::decompose_prepared`], but fans the
@@ -433,21 +653,38 @@ impl AdaptiveFramework {
         prep: &PreparedLayout,
         threads: usize,
     ) -> AdaptiveResult {
+        unwrap_unlimited(self.decompose_prepared_parallel_with(
+            prep,
+            threads,
+            &BudgetPolicy::unlimited(),
+        ))
+    }
+
+    /// Budgeted variant of
+    /// [`AdaptiveFramework::decompose_prepared_parallel`]. Per-unit
+    /// budgets are anchored when a worker *starts* a unit, so a per-unit
+    /// limit bounds each solve regardless of queueing; the layout-wide
+    /// deadline is shared by all workers.
+    ///
+    /// # Errors
+    ///
+    /// `Err` means an engine rejected its input outright; budget
+    /// exhaustion is never an error.
+    pub fn decompose_prepared_parallel_with(
+        &self,
+        prep: &PreparedLayout,
+        threads: usize,
+        policy: &BudgetPolicy,
+    ) -> Result<AdaptiveResult, MpldError> {
         let start = Instant::now();
         let n = prep.units.len();
         let graphs: Vec<&LayoutGraph> = prep.units.iter().map(|u| &u.hetero).collect();
         if n == 0 {
-            let pipeline = assemble(prep, &self.params, Vec::new(), start.elapsed());
-            return AdaptiveResult {
-                pipeline,
-                usage: UsageBreakdown::default(),
-                timing: TimingBreakdown::default(),
-                unit_engines: Vec::new(),
-                memo_hits: 0,
-            };
+            return Ok(empty_result(prep, &self.params, start));
         }
+        let total = policy.total_budget();
         let mut routed = RoutedUnits::default();
-        self.route_units(&graphs, &mut routed);
+        self.route_units(&graphs, &total, &mut routed)?;
         let RoutedUnits {
             mut unit_results,
             mut unit_engines,
@@ -514,33 +751,48 @@ impl AdaptiveFramework {
         );
         items.sort_by_key(|members| members[0]);
 
-        // Solve one representative per item, largest units first.
-        let solved: Vec<(Decomposition, EngineKind, TimingBreakdown)> = run_largest_first(
-            items.len(),
-            threads,
-            |j| graphs[tail[items[j][0]]].num_nodes(),
-            |j| {
-                let mut t = TimingBreakdown::default();
-                let rep = items[j][0];
-                let (d, engine) =
-                    self.decompose_with_selection(graphs[tail[rep]], ecf[rep], &mut t);
-                (d, engine, t)
-            },
-        );
+        // Solve one representative per item, largest units first. Each
+        // worker anchors the per-unit budget when it picks the item up.
+        let solved: Vec<Result<(Decomposition, EngineKind, bool, TimingBreakdown), MpldError>> =
+            run_largest_first(
+                items.len(),
+                threads,
+                |j| graphs[tail[items[j][0]]].num_nodes(),
+                |j| {
+                    let mut t = TimingBreakdown::default();
+                    let rep = items[j][0];
+                    let unit_budget = policy.unit_budget(&total);
+                    let (d, engine, fell_back) = self.decompose_with_selection(
+                        graphs[tail[rep]],
+                        ecf[rep],
+                        &unit_budget,
+                        &mut t,
+                    )?;
+                    Ok((d, engine, fell_back, t))
+                },
+            );
+        let solved: Vec<(Decomposition, EngineKind, bool, TimingBreakdown)> =
+            solved.into_iter().collect::<Result<_, _>>()?;
 
         // Scatter representatives, transfer to the remaining members, and
         // re-verify every transfer against the member's own cost.
+        let mut budget_fallback = vec![false; n];
+        let mut unit_time = vec![Duration::ZERO; n];
         let mut memo_hits = 0usize;
         let mut unverified: Vec<usize> = Vec::new();
-        for (members, (d, engine, t)) in items.iter().zip(&solved) {
+        for (members, (d, engine, fell_back, t)) in items.iter().zip(&solved) {
             timing.ilp += t.ilp;
             timing.ec += t.ec;
             let rep = members[0];
             unit_results[tail[rep]] = Some(d.clone());
             unit_engines[tail[rep]] = Some(*engine);
+            budget_fallback[tail[rep]] = *fell_back;
+            unit_time[tail[rep]] = t.ilp + t.ec;
             for &t_pos in &members[1..] {
                 let i = tail[t_pos];
+                #[allow(clippy::expect_used)] // grouped units were labeled above
                 let rep_perm = labelings[rep].as_ref().expect("grouped units are labeled");
+                #[allow(clippy::expect_used)] // grouped units were labeled above
                 let mem_perm = labelings[t_pos]
                     .as_ref()
                     .expect("grouped units are labeled");
@@ -554,8 +806,13 @@ impl AdaptiveFramework {
                     .collect();
                 let cost = graphs[i].evaluate(&coloring, self.params.alpha);
                 if cost == d.cost {
-                    unit_results[i] = Some(Decomposition { coloring, cost });
+                    unit_results[i] = Some(Decomposition {
+                        coloring,
+                        cost,
+                        certainty: d.certainty,
+                    });
                     unit_engines[i] = Some(*engine);
+                    budget_fallback[i] = *fell_back;
                     memo_hits += 1;
                 } else {
                     // A certificate collision would land here; solve the
@@ -566,34 +823,107 @@ impl AdaptiveFramework {
         }
         for t_pos in unverified {
             let i = tail[t_pos];
-            let (d, engine) = self.decompose_with_selection(graphs[i], ecf[t_pos], &mut timing);
+            let unit_budget = policy.unit_budget(&total);
+            let solver_before = timing.ilp + timing.ec;
+            let (d, engine, fell_back) =
+                self.decompose_with_selection(graphs[i], ecf[t_pos], &unit_budget, &mut timing)?;
+            budget_fallback[i] = fell_back;
+            unit_time[i] = timing.ilp + timing.ec - solver_before;
             unit_results[i] = Some(d);
             unit_engines[i] = Some(engine);
         }
         for &i in &tail {
+            #[allow(clippy::expect_used)] // every tail unit was solved above
             match unit_engines[i].expect("every tail unit solved") {
                 EngineKind::Ilp => usage.ilp += 1,
                 _ => usage.ec += 1,
             }
         }
 
-        let unit_results: Vec<Decomposition> = unit_results
-            .into_iter()
-            .map(|d| d.expect("every unit decomposed"))
-            .collect();
-        let unit_engines: Vec<EngineKind> = unit_engines
-            .into_iter()
-            .map(|e| e.expect("every unit routed"))
-            .collect();
-        let decompose_time = start.elapsed();
-        let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
-        AdaptiveResult {
-            pipeline,
+        Ok(finish(
+            prep,
+            &self.params,
+            unit_results,
+            unit_engines,
+            budget_fallback,
+            unit_time,
             usage,
             timing,
-            unit_engines,
             memo_hits,
-        }
+            start,
+        ))
+    }
+}
+
+/// Propagates an impossible unlimited-budget error as a panic (the
+/// infallible legacy entry points delegate through this).
+fn unwrap_unlimited(r: Result<AdaptiveResult, MpldError>) -> AdaptiveResult {
+    match r {
+        Ok(res) => res,
+        Err(e) => panic!("adaptive framework failed on an unlimited budget: {e}"),
+    }
+}
+
+/// The empty-layout result shared by every entry point.
+fn empty_result(prep: &PreparedLayout, params: &DecomposeParams, start: Instant) -> AdaptiveResult {
+    let pipeline = assemble(prep, params, Vec::new(), start.elapsed());
+    AdaptiveResult {
+        pipeline,
+        usage: UsageBreakdown::default(),
+        timing: TimingBreakdown::default(),
+        unit_engines: Vec::new(),
+        memo_hits: 0,
+        unit_outcomes: Vec::new(),
+        budget: BudgetBreakdown::default(),
+    }
+}
+
+/// Assembles the final [`AdaptiveResult`] from fully-populated routing
+/// state, deriving per-unit outcomes and the budget breakdown.
+#[allow(clippy::too_many_arguments)] // internal assembly of one result
+fn finish(
+    prep: &PreparedLayout,
+    params: &DecomposeParams,
+    unit_results: Vec<Option<Decomposition>>,
+    unit_engines: Vec<Option<EngineKind>>,
+    budget_fallback: Vec<bool>,
+    unit_time: Vec<Duration>,
+    usage: UsageBreakdown,
+    timing: TimingBreakdown,
+    memo_hits: usize,
+    start: Instant,
+) -> AdaptiveResult {
+    #[allow(clippy::expect_used)] // the entry points decompose every unit
+    let unit_results: Vec<Decomposition> = unit_results
+        .into_iter()
+        .map(|d| d.expect("every unit decomposed"))
+        .collect();
+    #[allow(clippy::expect_used)] // the entry points route every unit
+    let unit_engines: Vec<EngineKind> = unit_engines
+        .into_iter()
+        .map(|e| e.expect("every unit routed"))
+        .collect();
+    let unit_outcomes: Vec<UnitOutcome> = unit_results
+        .iter()
+        .zip(&unit_engines)
+        .zip(budget_fallback.iter().zip(&unit_time))
+        .map(|((d, &engine), (&fell_back, &time))| UnitOutcome {
+            engine,
+            certainty: d.certainty,
+            budget_fallback: fell_back,
+            time,
+        })
+        .collect();
+    let decompose_time = start.elapsed();
+    let pipeline = assemble(prep, params, unit_results, decompose_time);
+    AdaptiveResult {
+        pipeline,
+        usage,
+        timing,
+        unit_engines,
+        memo_hits,
+        budget: BudgetBreakdown::from_outcomes(&unit_outcomes),
+        unit_outcomes,
     }
 }
 

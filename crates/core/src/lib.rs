@@ -40,6 +40,9 @@
 //! `mpld-sdp`) → autograd + GNNs (`mpld-tensor`, `mpld-gnn`) → graph
 //! library (`mpld-matching`) → this crate, the adaptive framework.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod density;
 mod framework;
 mod metrics;
@@ -50,12 +53,14 @@ mod training;
 
 pub use density::{density_imbalance, mask_densities};
 pub use framework::{
-    AdaptiveFramework, AdaptiveResult, EngineKind, TimingBreakdown, UsageBreakdown,
+    AdaptiveFramework, AdaptiveResult, BudgetBreakdown, BudgetPolicy, EngineKind, TimingBreakdown,
+    UnitOutcome, UsageBreakdown,
 };
 pub use metrics::ConfusionMatrix;
 pub use parallel::default_threads;
 pub use pipeline::{
-    prepare, run_pipeline, run_pipeline_parallel, PipelineResult, PreparedLayout, UnitInstance,
+    prepare, run_pipeline, run_pipeline_budgeted, run_pipeline_parallel, PipelineResult,
+    PreparedLayout, UnitInstance,
 };
 pub use stats::{layout_stats, LayoutStats};
 pub use training::{train_framework, OfflineConfig, TrainingData};

@@ -76,7 +76,7 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
         for part in partials {
@@ -86,6 +86,7 @@ where
         }
     }
 
+    #[allow(clippy::expect_used)] // the cursor walks every index exactly once
     slots
         .into_iter()
         .map(|s| s.expect("every job index produced a result"))

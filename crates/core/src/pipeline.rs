@@ -10,7 +10,9 @@
 
 use crate::LayoutDecomposition;
 use mpld_graph::simplify::{simplify, Simplified, SimplifyOptions};
-use mpld_graph::{CostBreakdown, DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_graph::{
+    Budget, CostBreakdown, DecomposeParams, Decomposer, Decomposition, LayoutGraph, MpldError,
+};
 use mpld_layout::{insert_stitch_candidates_masked, Layout};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -78,6 +80,7 @@ pub fn prepare(layout: &Layout, params: &DecomposeParams) -> PreparedLayout {
                 .iter()
                 .map(|g| occurrences[g] == 1)
                 .collect();
+            #[allow(clippy::expect_used)] // generator geometry is validated upstream
             let stitched = insert_stitch_candidates_masked(&feats, layout.d, &splittable)
                 .expect("unit geometry is valid");
             UnitInstance {
@@ -111,19 +114,46 @@ pub struct PipelineResult {
 }
 
 /// Decomposes every unit with `engine` and reassembles the global result.
+///
+/// # Panics
+///
+/// Panics if `engine` rejects a unit (cannot happen for the workspace
+/// engines on `k` in `{3, 4}`). Use [`run_pipeline_budgeted`] for the
+/// fallible, budget-aware variant.
 pub fn run_pipeline(
     prep: &PreparedLayout,
     engine: &dyn Decomposer,
     params: &DecomposeParams,
 ) -> PipelineResult {
+    match run_pipeline_budgeted(prep, engine, params, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(e) => panic!("{} failed on an unlimited budget: {e}", engine.name()),
+    }
+}
+
+/// Like [`run_pipeline`], but every unit solve shares `budget`: a unit
+/// that exhausts it returns its best-so-far incumbent (tagged
+/// [`mpld_graph::Certainty::BudgetExhausted`]) and the remaining units
+/// finish on their engines' cheapest anytime paths.
+///
+/// # Errors
+///
+/// Returns the first engine error (unsupported parameters, mismatched
+/// coloring); budget exhaustion is never an error.
+pub fn run_pipeline_budgeted(
+    prep: &PreparedLayout,
+    engine: &dyn Decomposer,
+    params: &DecomposeParams,
+    budget: &Budget,
+) -> Result<PipelineResult, MpldError> {
     let start = Instant::now();
     let unit_results: Vec<Decomposition> = prep
         .units
         .iter()
-        .map(|u| engine.decompose(&u.hetero, params))
-        .collect();
+        .map(|u| engine.decompose(&u.hetero, params, budget))
+        .collect::<Result<_, _>>()?;
     let decompose_time = start.elapsed();
-    assemble(prep, params, unit_results, decompose_time)
+    Ok(assemble(prep, params, unit_results, decompose_time))
 }
 
 /// Decomposes units in parallel with `threads` workers (engines are run on
@@ -142,7 +172,7 @@ pub fn run_pipeline_parallel<E: Decomposer + Sync>(
         prep.units.len(),
         threads,
         |i| prep.units[i].hetero.num_nodes(),
-        |i| engine.decompose(&prep.units[i].hetero, params),
+        |i| engine.decompose_unbounded(&prep.units[i].hetero, params),
     );
     let decompose_time = start.elapsed();
     assemble(prep, params, unit_results, decompose_time)

@@ -42,7 +42,7 @@ pub fn layout_stats(prep: &PreparedLayout, params: &DecomposeParams) -> LayoutSt
             stats.no_stitch_optimal += 1;
             continue;
         }
-        let d = ilp.decompose(&unit.hetero, params);
+        let d = ilp.decompose_unbounded(&unit.hetero, params);
         if d.cost.stitches == 0 {
             stats.no_stitch_optimal += 1;
         }

@@ -62,8 +62,8 @@ impl TrainingData {
             |i| units[i].num_nodes(),
             |i| {
                 (
-                    ilp.decompose(units[i], params),
-                    ec.decompose(units[i], params),
+                    ilp.decompose_unbounded(units[i], params),
+                    ec.decompose_unbounded(units[i], params),
                 )
             },
         );

@@ -7,6 +7,8 @@
 //! total row cost, optionally under a search-node budget (returning the
 //! best cover found so far when the budget runs out).
 
+use mpld_graph::Budget;
+
 /// Marker for "no best solution yet".
 const NO_NODE: u32 = u32::MAX;
 
@@ -199,11 +201,32 @@ impl Dlx {
     /// this is what makes the EC decomposer fast but occasionally
     /// suboptimal, as characterized in the paper.
     pub fn solve_min_cost(&mut self, budget: Option<u64>) -> Option<(Vec<usize>, u64)> {
+        self.solve_min_cost_within(budget, &Budget::unlimited())
+    }
+
+    /// [`Dlx::solve_min_cost`] under a wall-clock [`Budget`] in addition to
+    /// the node budget: the node limits compose (the smaller wins) and the
+    /// deadline/cancellation is polled every 256 search nodes. With an
+    /// unlimited wall budget this is bit-identical to `solve_min_cost`.
+    pub fn solve_min_cost_within(
+        &mut self,
+        node_budget: Option<u64>,
+        wall: &Budget,
+    ) -> Option<(Vec<usize>, u64)> {
         self.search_nodes = 0;
         self.exhausted = false;
+        let node_budget = match (node_budget, wall.node_limit()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let wall = if wall.is_unlimited() {
+            None
+        } else {
+            Some(wall)
+        };
         let mut stack = Vec::new();
         let mut best: Option<(Vec<usize>, u64)> = None;
-        self.search(&mut stack, 0, &mut best, budget);
+        self.search(&mut stack, 0, &mut best, node_budget, wall);
         best
     }
 
@@ -213,10 +236,17 @@ impl Dlx {
         cost: u64,
         best: &mut Option<(Vec<usize>, u64)>,
         budget: Option<u64>,
+        wall: Option<&Budget>,
     ) {
         self.search_nodes += 1;
         if let Some(b) = budget {
             if self.search_nodes > b {
+                self.exhausted = true;
+                return;
+            }
+        }
+        if let Some(w) = wall {
+            if self.search_nodes.is_multiple_of(256) && w.exhausted() {
                 self.exhausted = true;
                 return;
             }
@@ -260,7 +290,7 @@ impl Dlx {
                 self.cover(self.col_of[j as usize]);
                 j = self.right[j as usize];
             }
-            self.search(stack, cost + row_cost, best, budget);
+            self.search(stack, cost + row_cost, best, budget, wall);
             let mut j = self.left[r as usize];
             while j != r {
                 self.uncover(self.col_of[j as usize]);

@@ -26,14 +26,19 @@
 //! use mpld_ec::EcDecomposer;
 //!
 //! let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-//! let d = EcDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+//! let d = EcDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
 //! assert_eq!(d.cost.conflicts, 0);
 //! ```
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dlx;
 
 use dlx::Dlx;
-use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph, NodeId};
+use mpld_graph::{
+    Budget, Certainty, DecomposeParams, Decomposer, Decomposition, LayoutGraph, MpldError, NodeId,
+};
 use std::collections::HashSet;
 
 /// The exact-cover decomposer (see crate docs).
@@ -84,8 +89,13 @@ impl Decomposer for EcDecomposer {
         "EC"
     }
 
-    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
-        self.decompose_certified(graph, params).0
+    fn decompose(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        budget: &Budget,
+    ) -> Result<Decomposition, MpldError> {
+        Ok(self.decompose_certified(graph, params, budget)?.0)
     }
 }
 
@@ -108,19 +118,24 @@ impl EcDecomposer {
         &self,
         graph: &LayoutGraph,
         params: &DecomposeParams,
-    ) -> (Decomposition, bool) {
+        budget: &Budget,
+    ) -> Result<(Decomposition, bool), MpldError> {
         let instance = Instance::build(graph, params);
 
-        // Phase 1: conflict-free minimum-stitch cover.
-        let (exact, p1_exhausted) =
-            instance.solve_tracked(graph, params, &HashSet::new(), self.budget);
+        // Phase 1: conflict-free minimum-stitch cover (skipped outright
+        // when the wall budget already expired on arrival).
+        let (exact, p1_exhausted) = if budget.exhausted() {
+            (None, true)
+        } else {
+            instance.solve_tracked(graph, params, &HashSet::new(), self.budget, budget)
+        };
         let zero_conflict_resolved = !p1_exhausted;
         if let Some(d) = &exact {
             if d.cost.conflicts == 0
                 && zero_conflict_resolved
                 && d.cost.value(params.alpha) < 1.0 - 1e-9
             {
-                return (d.clone(), true);
+                return Ok((d.clone().with_certainty(Certainty::Certified), true));
             }
         }
 
@@ -160,9 +175,13 @@ impl EcDecomposer {
         if needs_enumeration && best.cost.conflicts <= 2 && pair_edges.len() <= 64 {
             enumeration_complete = true;
             for edges in pair_edges.values() {
+                if budget.exhausted() {
+                    enumeration_complete = false;
+                    break;
+                }
                 let relaxed: HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
                 let (cand, exhausted) =
-                    instance.solve_tracked(graph, params, &relaxed, self.budget);
+                    instance.solve_tracked(graph, params, &relaxed, self.budget, budget);
                 if exhausted {
                     enumeration_complete = false;
                 }
@@ -178,16 +197,20 @@ impl EcDecomposer {
         // Certificate check before the (uncertified) iterative fallback.
         let value = best.cost.value(params.alpha);
         if best.cost.conflicts == 0 && zero_conflict_resolved && value < 1.0 - 1e-9 {
-            return (best, true);
+            return Ok((best.with_certainty(Certainty::Certified), true));
         }
         if zero_conflict_resolved && enumeration_complete && value < 2.0 - 1e-9 {
-            return (best, true);
+            return Ok((best.with_certainty(Certainty::Certified), true));
         }
 
         // Iterative relax-and-repair fallback (heuristic).
         let mut violated = violated_edges(graph, &best.coloring);
         for _ in 0..3 {
-            let (relaxed, _) = instance.solve_tracked(graph, params, &violated, self.budget);
+            if budget.exhausted() {
+                break;
+            }
+            let (relaxed, _) =
+                instance.solve_tracked(graph, params, &violated, self.budget, budget);
             let Some(relaxed) = relaxed else {
                 break;
             };
@@ -201,7 +224,12 @@ impl EcDecomposer {
             }
             violated = next_violated;
         }
-        (best, false)
+        let certainty = if budget.exhausted() {
+            Certainty::BudgetExhausted
+        } else {
+            Certainty::Heuristic
+        };
+        Ok((best.with_certainty(certainty), false))
     }
 }
 
@@ -320,12 +348,12 @@ impl Instance {
                     for (i, &u) in nodes.iter().enumerate() {
                         for &w in graph.stitch_neighbors(u) {
                             if w > u {
-                                let j = nodes
-                                    .iter()
-                                    .position(|&x| x == w)
-                                    .expect("stitch neighbor belongs to the same feature");
-                                if combo[i] != combo[j] {
-                                    stitches += 1;
+                                // Graph validation guarantees stitch edges
+                                // stay within one feature.
+                                if let Some(j) = nodes.iter().position(|&x| x == w) {
+                                    if combo[i] != combo[j] {
+                                        stitches += 1;
+                                    }
                                 }
                             }
                         }
@@ -363,6 +391,7 @@ impl Instance {
         params: &DecomposeParams,
         relaxed: &HashSet<(NodeId, NodeId)>,
         budget: u64,
+        wall: &Budget,
     ) -> (Option<Decomposition>, bool) {
         let k = params.k as usize;
         let nf = self.feature_nodes.len();
@@ -411,7 +440,7 @@ impl Instance {
             }
         }
 
-        let solved = m.solve_min_cost(Some(budget));
+        let solved = m.solve_min_cost_within(Some(budget), wall);
         let exhausted = m.last_search_exhausted();
         let Some((rows, _cost)) = solved else {
             return (None, exhausted);
@@ -505,14 +534,14 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = LayoutGraph::homogeneous(0, vec![]).unwrap();
-        let d = EcDecomposer::new().decompose(&g, &tpl());
+        let d = EcDecomposer::new().decompose_unbounded(&g, &tpl());
         assert!(d.coloring.is_empty());
     }
 
     #[test]
     fn triangle_conflict_free() {
         let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-        let d = EcDecomposer::new().decompose(&g, &tpl());
+        let d = EcDecomposer::new().decompose_unbounded(&g, &tpl());
         assert_eq!(d.cost.conflicts, 0);
         assert_eq!(d.cost.stitches, 0);
     }
@@ -521,7 +550,7 @@ mod tests {
     fn k4_falls_back_to_one_conflict() {
         let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
             .unwrap();
-        let d = EcDecomposer::new().decompose(&g, &tpl());
+        let d = EcDecomposer::new().decompose_unbounded(&g, &tpl());
         assert_eq!(d.cost.conflicts, 1);
     }
 
@@ -543,7 +572,7 @@ mod tests {
         )
         .unwrap();
         let bf = brute_force(&g, &tpl());
-        let d = EcDecomposer::new().decompose(&g, &tpl());
+        let d = EcDecomposer::new().decompose_unbounded(&g, &tpl());
         assert_eq!(d.cost.value(0.1), bf.cost.value(0.1));
     }
 
@@ -563,8 +592,8 @@ mod tests {
                 }
             }
             let g = LayoutGraph::homogeneous(n, edges).unwrap();
-            let ec = EcDecomposer::new().decompose(&g, &tpl());
-            let ilp = IlpDecomposer::new().decompose(&g, &tpl());
+            let ec = EcDecomposer::new().decompose_unbounded(&g, &tpl());
+            let ilp = IlpDecomposer::new().decompose_unbounded(&g, &tpl());
             assert!(ec.cost.value(0.1) >= ilp.cost.value(0.1) - 1e-9);
             assert_eq!(ec.cost.value(0.1), ilp.cost.value(0.1), "graph {g:?}");
         }
@@ -586,7 +615,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let d = EcDecomposer::with_budget(2).decompose(&g, &tpl());
+        let d = EcDecomposer::with_budget(2).decompose_unbounded(&g, &tpl());
         assert_eq!(d.coloring.len(), 6);
         assert!(d.coloring.iter().all(|&c| c < 3));
         assert_eq!(d.cost, g.evaluate(&d.coloring, 0.1));
@@ -597,7 +626,7 @@ mod tests {
         // One feature with 3 subfeatures in a stitch chain and no conflicts:
         // optimal cover picks a same-color combo with zero stitch cost.
         let g = LayoutGraph::new(vec![0, 0, 0], vec![], vec![(0, 1), (1, 2)]).unwrap();
-        let d = EcDecomposer::new().decompose(&g, &tpl());
+        let d = EcDecomposer::new().decompose_unbounded(&g, &tpl());
         assert_eq!(d.cost.stitches, 0);
         assert!(d.coloring.iter().all(|&c| c == d.coloring[0]));
     }

@@ -30,11 +30,11 @@ proptest! {
     #[test]
     fn ec_is_valid_and_never_beats_ilp(g in arb_graph()) {
         let p = DecomposeParams::tpl();
-        let (ec, certified) = EcDecomposer::new().decompose_certified(&g, &p);
+        let (ec, certified) = EcDecomposer::new().decompose_certified(&g, &p, &mpld_graph::Budget::unlimited()).unwrap();
         prop_assert_eq!(ec.coloring.len(), g.num_nodes());
         prop_assert!(ec.coloring.iter().all(|&c| c < p.k));
         prop_assert_eq!(ec.cost, g.evaluate(&ec.coloring, 0.1));
-        let opt = IlpDecomposer::new().decompose(&g, &p);
+        let opt = IlpDecomposer::new().decompose_unbounded(&g, &p);
         prop_assert!(ec.cost.value(0.1) >= opt.cost.value(0.1) - 1e-9);
         // The certificate is the hard quality invariant: a certified
         // result must be exactly optimal. (Uncertified results on dense
@@ -51,9 +51,9 @@ proptest! {
     #[test]
     fn ec_finds_zero_cost_whenever_one_exists(g in arb_graph()) {
         let p = DecomposeParams::tpl();
-        let opt = IlpDecomposer::new().decompose(&g, &p);
+        let opt = IlpDecomposer::new().decompose_unbounded(&g, &p);
         if opt.cost.conflicts == 0 && opt.cost.stitches == 0 {
-            let ec = EcDecomposer::new().decompose(&g, &p);
+            let ec = EcDecomposer::new().decompose_unbounded(&g, &p);
             prop_assert_eq!(ec.cost.conflicts, 0, "missed a conflict-free cover");
         }
     }

@@ -40,7 +40,9 @@ fn unit329() -> LayoutGraph {
 fn s15850_unit_329_is_solved_optimally() {
     let params = DecomposeParams::tpl();
     let g = unit329();
-    let (d, cert) = EcDecomposer::new().decompose_certified(&g, &params);
+    let (d, cert) = EcDecomposer::new()
+        .decompose_certified(&g, &params, &mpld_graph::Budget::unlimited())
+        .unwrap();
     // Known ILP optimum: one conflict, zero stitches.
     assert!(
         d.cost.value(0.1) <= 1.0 + 1e-9,

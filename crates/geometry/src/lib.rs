@@ -19,6 +19,9 @@
 //! assert_eq!(pairs, vec![(0, 1)]);
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod feature;
 mod index;
 mod polygon;

@@ -13,7 +13,9 @@
 //! Training minimizes the unsupervised margin loss of Eq. (14): adjacent
 //! nodes should have belief vectors at squared distance `>= margin`.
 
-use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_graph::{
+    Budget, Certainty, DecomposeParams, Decomposer, Decomposition, LayoutGraph, MpldError,
+};
 use mpld_tensor::{Adjacency, Graph, Matrix, Optimizer, ParamId, ParamSet, VarId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -112,7 +114,7 @@ impl ColorGnn {
     /// them reproduce each other exactly (used by the parallel-vs-serial
     /// equivalence tests and the perf-baseline harness).
     pub fn reseed(&self, seed: u64) {
-        *self.state.lock().expect("rng lock") = SmallRng::seed_from_u64(seed);
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = SmallRng::seed_from_u64(seed);
     }
 
     /// Serializes the trained per-layer weights.
@@ -222,6 +224,7 @@ impl ColorGnn {
         &self,
         graphs: &[&LayoutGraph],
         params: &DecomposeParams,
+        budget: &Budget,
     ) -> Vec<Decomposition> {
         assert!(
             graphs.iter().all(|g| !g.has_stitches()),
@@ -230,13 +233,20 @@ impl ColorGnn {
         if graphs.is_empty() {
             return Vec::new();
         }
-        let mut rng = self.state.lock().expect("rng lock");
+        let mut rng = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let mut best: Vec<Option<Decomposition>> = vec![None; graphs.len()];
         // Adaptive restarts: each round only re-runs graphs that still
-        // have conflicts, so the later rounds shrink quickly.
+        // have conflicts, so the later rounds shrink quickly. The first
+        // round always runs (every graph needs an incumbent); later
+        // rounds stop once the budget expires.
+        let mut cut = false;
         let mut active: Vec<usize> = (0..graphs.len()).collect();
-        for _ in 0..self.restarts {
+        for round in 0..self.restarts {
             if active.is_empty() {
+                break;
+            }
+            if round > 0 && budget.exhausted() {
+                cut = true;
                 break;
             }
             // Union adjacency over the active graphs (conflict only;
@@ -255,6 +265,7 @@ impl ColorGnn {
                 base += graphs[gi].num_nodes() as u32;
             }
             offsets.push(base as usize);
+            #[allow(clippy::expect_used)] // structural invariant
             let union = LayoutGraph::homogeneous(base as usize, union_edges)
                 .expect("disjoint union of valid graphs is valid");
 
@@ -273,8 +284,7 @@ impl ColorGnn {
                             .iter()
                             .enumerate()
                             .max_by(|a, b| a.1.total_cmp(b.1))
-                            .map(|(c, _)| c as u8)
-                            .expect("k >= 1")
+                            .map_or(0, |(c, _)| c as u8)
                     })
                     .collect();
                 let cand = Decomposition::from_coloring(graphs[gi], coloring, params.alpha);
@@ -288,7 +298,17 @@ impl ColorGnn {
             }
             active.retain(|&gi| best[gi].as_ref().map(|d| d.cost.conflicts) != Some(0));
         }
-        best.into_iter().map(|b| b.expect("restarts > 0")).collect()
+        let certainty = if cut {
+            Certainty::BudgetExhausted
+        } else {
+            Certainty::Heuristic
+        };
+        best.into_iter()
+            .map(|b| {
+                #[allow(clippy::expect_used)] // round 0 always populates every slot
+                b.expect("restarts > 0").with_certainty(certainty)
+            })
+            .collect()
     }
 
     /// Trains the per-layer combination weights on `graphs` with the
@@ -303,7 +323,7 @@ impl ColorGnn {
             graphs.iter().all(|g| !g.has_stitches()),
             "ColorGNN trains on non-stitch graphs"
         );
-        let mut rng = self.state.lock().expect("rng lock").clone();
+        let mut rng = self.state.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let mut last = 0.0;
         for _ in 0..cfg.epochs {
             last = 0.0;
@@ -329,7 +349,7 @@ impl ColorGnn {
             }
             last /= graphs.len() as f32;
         }
-        *self.state.lock().expect("rng lock") = rng;
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = rng;
         last
     }
 }
@@ -342,22 +362,36 @@ impl Decomposer for ColorGnn {
     /// Algorithm 1 lines 9–13: run the network `iter` times from random
     /// initializations and keep the cheapest argmax coloring.
     ///
-    /// # Panics
-    ///
-    /// Panics if `graph` contains stitch edges — merge them first (the
-    /// adaptive framework routes only predicted-redundant graphs here).
-    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
-        assert!(
-            !graph.has_stitches(),
-            "ColorGNN handles non-stitch graphs only"
-        );
+    /// Stitch graphs are rejected with [`MpldError::Unsupported`] — merge
+    /// them first (the adaptive framework routes only predicted-redundant
+    /// graphs here).
+    fn decompose(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        budget: &Budget,
+    ) -> Result<Decomposition, MpldError> {
+        if graph.has_stitches() {
+            return Err(MpldError::Unsupported {
+                engine: self.name(),
+                reason: "ColorGNN handles non-stitch graphs only; merge stitch edges first".into(),
+            });
+        }
         let n = graph.num_nodes();
         if n == 0 {
-            return Decomposition::from_coloring(graph, Vec::new(), params.alpha);
+            return Decomposition::try_from_coloring(graph, Vec::new(), params.alpha);
         }
-        let mut rng = self.state.lock().expect("rng lock");
+        let mut rng = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cut = false;
         let mut best: Option<Decomposition> = None;
-        for _ in 0..self.restarts {
+        for round in 0..self.restarts {
+            // The first restart always runs (the anytime contract needs an
+            // incumbent); later restarts are skipped once the budget is
+            // gone.
+            if round > 0 && budget.exhausted() {
+                cut = true;
+                break;
+            }
             let mut g = Graph::new();
             let init = Self::random_beliefs(n, params.k, &mut rng);
             // Frozen binds: inference never mutates training state.
@@ -371,11 +405,10 @@ impl Decomposer for ColorGnn {
                     row.iter()
                         .enumerate()
                         .max_by(|a, b| a.1.total_cmp(b.1))
-                        .map(|(c, _)| c as u8)
-                        .expect("k >= 1")
+                        .map_or(0, |(c, _)| c as u8)
                 })
                 .collect();
-            let cand = Decomposition::from_coloring(graph, coloring, params.alpha);
+            let cand = Decomposition::try_from_coloring(graph, coloring, params.alpha)?;
             let better = match &best {
                 None => true,
                 Some(b) => cand.cost.better_than(&b.cost, params.alpha),
@@ -387,7 +420,18 @@ impl Decomposer for ColorGnn {
                 break;
             }
         }
-        best.expect("restarts > 0")
+        let certainty = if cut {
+            Certainty::BudgetExhausted
+        } else {
+            Certainty::Heuristic
+        };
+        match best {
+            Some(d) => Ok(d.with_certainty(certainty)),
+            None => Err(MpldError::Infeasible {
+                engine: self.name(),
+                reason: "no restart produced a coloring".into(),
+            }),
+        }
     }
 }
 
@@ -420,7 +464,7 @@ mod tests {
         let mut failures = 0;
         for n in [5usize, 7, 9, 11] {
             let g = cycle(n);
-            let d = gnn.decompose(&g, &p);
+            let d = gnn.decompose_unbounded(&g, &p);
             if d.cost.conflicts != 0 {
                 failures += 1;
             }
@@ -435,7 +479,7 @@ mod tests {
     fn untrained_is_still_valid() {
         let g = cycle(6);
         let gnn = ColorGnn::new(1);
-        let d = gnn.decompose(&g, &DecomposeParams::tpl());
+        let d = gnn.decompose_unbounded(&g, &DecomposeParams::tpl());
         assert_eq!(d.coloring.len(), 6);
         assert!(d.coloring.iter().all(|&c| c < 3));
     }
@@ -444,16 +488,18 @@ mod tests {
     fn empty_graph_ok() {
         let g = LayoutGraph::homogeneous(0, vec![]).unwrap();
         let gnn = ColorGnn::new(1);
-        let d = gnn.decompose(&g, &DecomposeParams::tpl());
+        let d = gnn.decompose_unbounded(&g, &DecomposeParams::tpl());
         assert!(d.coloring.is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "non-stitch")]
     fn rejects_stitch_graphs() {
         let g = LayoutGraph::new(vec![0, 0], vec![], vec![(0, 1)]).unwrap();
         let gnn = ColorGnn::new(1);
-        let _ = gnn.decompose(&g, &DecomposeParams::tpl());
+        let err = gnn
+            .decompose(&g, &DecomposeParams::tpl(), &Budget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, MpldError::Unsupported { .. }), "{err}");
     }
 
     #[test]
@@ -490,7 +536,7 @@ mod tests {
         gnn.train(&refs, 3, &ColorGnnTrainConfig::default());
         let tests: Vec<LayoutGraph> = [5usize, 6, 7, 9].iter().map(|&n| cycle(n)).collect();
         let trefs: Vec<&LayoutGraph> = tests.iter().collect();
-        let results = gnn.decompose_batch(&trefs, &DecomposeParams::tpl());
+        let results = gnn.decompose_batch(&trefs, &DecomposeParams::tpl(), &Budget::unlimited());
         assert_eq!(results.len(), tests.len());
         for (g, d) in trefs.iter().zip(&results) {
             assert_eq!(d.coloring.len(), g.num_nodes());

@@ -21,9 +21,12 @@
 //!
 //! let g = LayoutGraph::homogeneous(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
 //! let gnn = ColorGnn::new(7);
-//! let d = gnn.decompose(&g, &DecomposeParams::tpl());
+//! let d = gnn.decompose_unbounded(&g, &DecomposeParams::tpl());
 //! assert_eq!(d.coloring.len(), 5);
 //! ```
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod colorgnn;
 mod encoding;

@@ -183,7 +183,10 @@ impl RgcnClassifier {
 
     /// Embedding width.
     pub fn embedding_dim(&self) -> usize {
-        *self.dims.last().expect("dims nonempty")
+        #[allow(clippy::expect_used)] // dims is validated non-empty at construction
+        {
+            *self.dims.last().expect("dims nonempty")
+        }
     }
 
     /// Total trainable scalars.
@@ -245,6 +248,7 @@ impl RgcnClassifier {
                         Some(acc) => g.add(acc, scaled),
                     });
                 }
+                #[allow(clippy::expect_used)] // num_bases >= 1 is validated at construction
                 let w_e = w_e.expect("at least one basis");
                 let agg = g.agg_sum(h, adj.clone());
                 let msg = g.matmul(agg, w_e);
@@ -255,6 +259,7 @@ impl RgcnClassifier {
             }
             let w_self = bind(g, self.layers[li].w_self);
             let own = g.matmul(h, w_self);
+            #[allow(clippy::expect_used)] // the edge-type loop always runs at least once
             let total = g.add(sum.expect("two edge types"), own);
             h = g.relu(total);
         }

@@ -106,6 +106,8 @@ pub fn biconnected_components(g: &LayoutGraph) -> BlockCutTree {
                     low[v as usize] = low[v as usize].min(disc[w as usize]);
                 }
             } else {
+                // Invariant: a frame is pushed for every visit before this pop.
+                #[allow(clippy::expect_used)]
                 let finished = stack.pop().expect("frame exists");
                 let _ = finished.children;
                 if let Some(p) = finished.parent {

@@ -287,6 +287,7 @@ impl LayoutGraph {
             .collect();
         edges.sort_unstable();
         edges.dedup();
+        #[allow(clippy::expect_used)] // structural invariant of a validated graph
         let gp = LayoutGraph::homogeneous(self.num_features, edges)
             .expect("parent graph construction cannot fail on a valid layout graph");
         (gp, map)
@@ -335,6 +336,7 @@ impl LayoutGraph {
             .filter(|(u, v)| local_of[*u as usize] != u32::MAX && local_of[*v as usize] != u32::MAX)
             .map(|&(u, v)| (local_of[u as usize], local_of[v as usize]))
             .collect();
+        #[allow(clippy::expect_used)] // structural invariant of a validated graph
         let g = LayoutGraph::new(node_feature, conflict_edges, stitch_edges)
             .expect("induced subgraph of a valid graph is valid");
         (g, nodes.to_vec())

@@ -30,16 +30,23 @@
 //! assert_eq!(cost, CostBreakdown { conflicts: 0, stitches: 0 });
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod bicc;
+mod budget;
 mod coloring;
 mod decomposer;
+mod error;
 mod hetero;
 mod precolor;
 pub mod simplify;
 
 pub use bicc::{biconnected_components, BlockCutTree};
+pub use budget::{Budget, BudgetGauge, CancelToken, Clock, MockClock, SystemClock};
 pub use coloring::{Coloring, CostBreakdown};
-pub use decomposer::{DecomposeParams, Decomposer, Decomposition};
+pub use decomposer::{greedy_coloring, Certainty, DecomposeParams, Decomposer, Decomposition};
+pub use error::MpldError;
 pub use hetero::{EdgeKind, GraphError, LayoutGraph, NodeId};
 pub use precolor::{apply_precoloring, Precoloring, PrecoloringMap};
 

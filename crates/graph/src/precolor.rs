@@ -176,7 +176,12 @@ mod tests {
         fn name(&self) -> &'static str {
             "exhaustive"
         }
-        fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> crate::Decomposition {
+        fn decompose(
+            &self,
+            graph: &LayoutGraph,
+            params: &DecomposeParams,
+            _budget: &crate::Budget,
+        ) -> Result<crate::Decomposition, crate::MpldError> {
             let n = graph.num_nodes();
             assert!(n <= 12);
             let mut best: Option<crate::Decomposition> = None;
@@ -190,12 +195,13 @@ mod tests {
                     best = Some(crate::Decomposition {
                         coloring: coloring.clone(),
                         cost,
+                        certainty: crate::Certainty::Certified,
                     });
                 }
                 let mut i = 0;
                 loop {
                     if i == n {
-                        return best.expect("evaluated");
+                        return Ok(best.expect("evaluated"));
                     }
                     coloring[i] += 1;
                     if coloring[i] < params.k {
@@ -214,7 +220,7 @@ mod tests {
         let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
         let pre: Precoloring = [(0u32, 2u8), (1, 0)].into_iter().collect();
         let (gadget, map) = apply_precoloring(&g, &pre, 3).unwrap();
-        let d = Exhaustive.decompose(&gadget, &DecomposeParams::tpl());
+        let d = Exhaustive.decompose_unbounded(&gadget, &DecomposeParams::tpl());
         assert_eq!(d.cost.conflicts, 0);
         let colors = map.extract(&d.coloring);
         assert_eq!(colors.len(), 3);
@@ -229,7 +235,7 @@ mod tests {
         let g = LayoutGraph::homogeneous(2, vec![(0, 1)]).unwrap();
         let pre: Precoloring = [(0u32, 1u8), (1, 1)].into_iter().collect();
         let (gadget, _) = apply_precoloring(&g, &pre, 3).unwrap();
-        let d = Exhaustive.decompose(&gadget, &DecomposeParams::tpl());
+        let d = Exhaustive.decompose_unbounded(&gadget, &DecomposeParams::tpl());
         assert_eq!(d.cost.conflicts, 1);
     }
 
@@ -239,7 +245,7 @@ mod tests {
         let (gadget, map) = apply_precoloring(&g, &Precoloring::new(), 3).unwrap();
         assert_eq!(gadget.num_nodes(), 5);
         assert_eq!(gadget.conflict_edges().len(), 1 + 3);
-        let d = Exhaustive.decompose(&gadget, &DecomposeParams::tpl());
+        let d = Exhaustive.decompose_unbounded(&gadget, &DecomposeParams::tpl());
         assert_eq!(d.cost.conflicts, 0);
         assert_eq!(map.extract(&d.coloring).len(), 2);
     }

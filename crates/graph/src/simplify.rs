@@ -182,6 +182,7 @@ pub fn simplify(g: &LayoutGraph, k: u8, opts: SimplifyOptions) -> Simplified {
                 }
             }
         }
+        #[allow(clippy::expect_used)] // structural invariant of a validated graph
         let cg = LayoutGraph::homogeneous(globals.len(), edges)
             .expect("induced component graph is valid");
 

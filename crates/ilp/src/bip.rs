@@ -21,6 +21,8 @@
 //! assert!(sol.values[0] && !sol.values[1]);
 //! ```
 
+use mpld_graph::{Budget, BudgetGauge};
+
 /// A linear constraint `sum(coef * x_var) <= bound`.
 #[derive(Debug, Clone)]
 struct Constraint {
@@ -106,12 +108,28 @@ impl Bip {
     /// proving a near-optimal warm start optimal is far cheaper than a cold
     /// solve that must first stumble onto a good leaf before it can prune.
     pub fn solve_bounded(&self, cutoff: Option<i64>) -> Option<BipSolution> {
-        let mut search = Search::new(self);
+        self.solve_under(cutoff, &Budget::unlimited()).0
+    }
+
+    /// Budgeted [`Bip::solve_bounded`]: searches among solutions strictly
+    /// below `cutoff` until the tree is exhausted or `budget` expires.
+    ///
+    /// Returns the best solution found (if any) and whether the search was
+    /// cut short. When the flag is `false`, the result carries the same
+    /// optimality guarantee as [`Bip::solve_bounded`]; when `true`, the
+    /// returned solution (if any) is the best-so-far incumbent. With an
+    /// unlimited budget the search is bit-identical to `solve_bounded`.
+    pub fn solve_under(&self, cutoff: Option<i64>, budget: &Budget) -> (Option<BipSolution>, bool) {
+        let mut search = Search::new(self, budget);
         search.cutoff = cutoff;
         search.run();
-        search
-            .best
-            .map(|(values, objective)| BipSolution { values, objective })
+        let exhausted = search.gauge.is_exhausted();
+        (
+            search
+                .best
+                .map(|(values, objective)| BipSolution { values, objective }),
+            exhausted,
+        )
     }
 }
 
@@ -124,6 +142,8 @@ struct Search<'m> {
     cutoff: Option<i64>,
     /// Sum over all variables of `min(0, c)`, a constant lower-bound term.
     neg_obj_total: i64,
+    /// Strided budget checker ticked once per search node.
+    gauge: BudgetGauge<'m>,
 }
 
 #[derive(Clone)]
@@ -142,7 +162,7 @@ struct State {
 }
 
 impl<'m> Search<'m> {
-    fn new(model: &'m Bip) -> Self {
+    fn new(model: &'m Bip, budget: &'m Budget) -> Self {
         let mut occurs = vec![Vec::new(); model.num_vars];
         for (ci, c) in model.constraints.iter().enumerate() {
             for &(v, a) in &c.terms {
@@ -156,6 +176,7 @@ impl<'m> Search<'m> {
             best: None,
             cutoff: None,
             neg_obj_total,
+            gauge: BudgetGauge::new(budget),
         }
     }
 
@@ -250,6 +271,9 @@ impl<'m> Search<'m> {
     }
 
     fn dfs(&mut self, state: State) {
+        if self.gauge.tick() {
+            return;
+        }
         if let Some(bar) = self.bar() {
             if self.lower_bound(&state) >= bar {
                 return;
@@ -268,9 +292,9 @@ impl<'m> Search<'m> {
         // the color bits come first, so the search assigns colors and lets
         // propagation set the cost variables (branching on cost variables
         // directly explores an exponential, uninformative space).
-        let var = (0..self.model.num_vars)
-            .find(|&v| state.fixed[v] == -1)
-            .expect("a free variable exists");
+        let Some(var) = (0..self.model.num_vars).find(|&v| state.fixed[v] == -1) else {
+            return; // unreachable: num_fixed < num_vars above
+        };
         let cheap_first = self.model.objective[var] > 0;
         for &val in if cheap_first {
             &[false, true]

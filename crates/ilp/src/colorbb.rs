@@ -6,7 +6,10 @@
 //! "already-incurred cost", and breaks mask-name symmetry by only allowing
 //! one fresh color per branch level.
 
-use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph, NodeId};
+use mpld_graph::{
+    Budget, BudgetGauge, Certainty, DecomposeParams, Decomposer, Decomposition, LayoutGraph,
+    MpldError, NodeId,
+};
 use std::collections::HashMap;
 
 const UNSET: u8 = u8::MAX;
@@ -20,7 +23,7 @@ const UNSET: u8 = u8::MAX;
 /// use mpld_ilp::IlpDecomposer;
 ///
 /// let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-/// let d = IlpDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+/// let d = IlpDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
 /// assert_eq!(d.cost.conflicts, 0);
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,10 +43,23 @@ impl Decomposer for IlpDecomposer {
         "ILP-BB"
     }
 
-    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
-        let mut solver = Solver::new(graph, params);
+    fn decompose(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        budget: &Budget,
+    ) -> Result<Decomposition, MpldError> {
+        let mut solver = Solver::new(graph, params, budget);
         let coloring = solver.solve();
-        Decomposition::from_coloring(graph, coloring, params.alpha)
+        let certainty = if solver.gauge.is_exhausted() {
+            Certainty::BudgetExhausted
+        } else {
+            Certainty::Certified
+        };
+        Ok(
+            Decomposition::try_from_coloring(graph, coloring, params.alpha)?
+                .with_certainty(certainty),
+        )
     }
 }
 
@@ -66,10 +82,12 @@ struct Solver<'g> {
     cost: u64,
     best_cost: u64,
     best: Vec<u8>,
+    /// Strided budget checker ticked once per search node.
+    gauge: BudgetGauge<'g>,
 }
 
 impl<'g> Solver<'g> {
-    fn new(g: &'g LayoutGraph, params: &DecomposeParams) -> Self {
+    fn new(g: &'g LayoutGraph, params: &DecomposeParams, budget: &'g Budget) -> Self {
         let (cw, sw) = weights(params.alpha);
         let mut order: Vec<NodeId> = (0..g.num_nodes() as u32).collect();
         order.sort_by_key(|&v| {
@@ -86,6 +104,7 @@ impl<'g> Solver<'g> {
             cost: 0,
             best_cost: u64::MAX,
             best: vec![0; g.num_nodes()],
+            gauge: BudgetGauge::new(budget),
         }
     }
 
@@ -129,10 +148,12 @@ impl<'g> Solver<'g> {
         self.color[v as usize] = UNSET;
         self.cost -= delta;
         for key in bumped {
-            let cnt = self.pair_count.get_mut(&key).expect("bumped pair exists");
-            *cnt -= 1;
-            if *cnt == 0 {
-                self.pair_count.remove(&key);
+            // Invariant: every bumped pair was inserted during assign.
+            if let Some(cnt) = self.pair_count.get_mut(&key) {
+                *cnt -= 1;
+                if *cnt == 0 {
+                    self.pair_count.remove(&key);
+                }
             }
         }
     }
@@ -174,6 +195,9 @@ impl<'g> Solver<'g> {
     }
 
     fn dfs(&mut self, depth: usize, colors_used: u8) {
+        if self.gauge.tick() {
+            return; // budget expired: keep the greedy/best-so-far incumbent
+        }
         if self.cost >= self.best_cost {
             return; // admissible bound: remaining assignments cost >= 0
         }
@@ -211,7 +235,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = LayoutGraph::homogeneous(0, vec![]).unwrap();
-        let d = IlpDecomposer::new().decompose(&g, &params());
+        let d = IlpDecomposer::new().decompose_unbounded(&g, &params());
         assert!(d.coloring.is_empty());
         assert_eq!(d.cost.conflicts, 0);
     }
@@ -219,14 +243,14 @@ mod tests {
     #[test]
     fn single_node() {
         let g = LayoutGraph::homogeneous(1, vec![]).unwrap();
-        let d = IlpDecomposer::new().decompose(&g, &params());
+        let d = IlpDecomposer::new().decompose_unbounded(&g, &params());
         assert_eq!(d.coloring.len(), 1);
     }
 
     #[test]
     fn odd_cycle_is_three_colorable() {
         let g = LayoutGraph::homogeneous(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
-        let d = IlpDecomposer::new().decompose(&g, &params());
+        let d = IlpDecomposer::new().decompose_unbounded(&g, &params());
         assert_eq!(d.cost.conflicts, 0);
     }
 
@@ -239,7 +263,7 @@ mod tests {
             }
         }
         let g = LayoutGraph::homogeneous(5, edges).unwrap();
-        let d = IlpDecomposer::new().decompose(&g, &params());
+        let d = IlpDecomposer::new().decompose_unbounded(&g, &params());
         let bf = brute_force(&g, &params());
         assert_eq!(d.cost, bf.cost);
     }
@@ -264,7 +288,7 @@ mod tests {
             vec![(0, 1)],
         )
         .unwrap();
-        let d = IlpDecomposer::new().decompose(&g, &params());
+        let d = IlpDecomposer::new().decompose_unbounded(&g, &params());
         let bf = brute_force(&g, &params());
         assert_eq!(d.cost, bf.cost);
     }
@@ -313,7 +337,7 @@ mod tests {
             if g.num_nodes() > 10 {
                 continue;
             }
-            let d = IlpDecomposer::new().decompose(&g, &params());
+            let d = IlpDecomposer::new().decompose_unbounded(&g, &params());
             let bf = brute_force(&g, &params());
             assert_eq!(d.cost.value(0.1), bf.cost.value(0.1), "graph: {:?}", g);
         }
@@ -328,7 +352,7 @@ mod tests {
             if g.num_nodes() > 9 {
                 continue;
             }
-            let d = IlpDecomposer::new().decompose(&g, &p);
+            let d = IlpDecomposer::new().decompose_unbounded(&g, &p);
             let bf = brute_force(&g, &p);
             assert_eq!(d.cost.value(0.1), bf.cost.value(0.1));
         }

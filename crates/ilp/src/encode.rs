@@ -9,7 +9,10 @@
 //! subfeatures take different colors.
 
 use crate::bip::Bip;
-use mpld_graph::{CostBreakdown, DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_graph::{
+    greedy_coloring, Budget, Certainty, CostBreakdown, DecomposeParams, Decomposer, Decomposition,
+    LayoutGraph, MpldError,
+};
 use std::collections::HashMap;
 
 /// Scale factor turning the fractional stitch weight into integers.
@@ -27,7 +30,7 @@ const SCALE: f64 = 1000.0;
 /// use mpld_ilp::encode::BipDecomposer;
 ///
 /// let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-/// let d = BipDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+/// let d = BipDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
 /// assert_eq!(d.cost.conflicts, 0);
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,14 +50,41 @@ impl Decomposer for BipDecomposer {
         "ILP"
     }
 
-    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
+    fn decompose(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        budget: &Budget,
+    ) -> Result<Decomposition, MpldError> {
+        if params.k != 3 && params.k != 4 {
+            return Err(MpldError::Unsupported {
+                engine: self.name(),
+                reason: format!(
+                    "the two-bit Eq. (3) encoding supports k = 3 or 4, got k = {}",
+                    params.k
+                ),
+            });
+        }
         let model = encode_tpld(graph, params);
-        let sol = model
-            .bip
-            .solve()
-            .expect("the TPLD encoding is always feasible");
-        let coloring = model.decode(&sol.values);
-        Decomposition::from_coloring(graph, coloring, params.alpha)
+        let (sol, exhausted) = model.bip.solve_under(None, budget);
+        let (coloring, certainty) = match (sol, exhausted) {
+            (Some(s), false) => (model.decode(&s.values), Certainty::Certified),
+            (Some(s), true) => (model.decode(&s.values), Certainty::BudgetExhausted),
+            // Budget expired before the search reached any leaf: fall back
+            // to the linear-time greedy incumbent (the anytime contract —
+            // a valid coloring, never an error).
+            (None, true) => (greedy_coloring(graph, params.k), Certainty::BudgetExhausted),
+            (None, false) => {
+                return Err(MpldError::Infeasible {
+                    engine: self.name(),
+                    reason: "the TPLD encoding admits every coloring, yet no leaf was found".into(),
+                })
+            }
+        };
+        Ok(
+            Decomposition::try_from_coloring(graph, coloring, params.alpha)?
+                .with_certainty(certainty),
+        )
     }
 }
 
@@ -73,13 +103,40 @@ impl BipDecomposer {
         params: &DecomposeParams,
         known: &CostBreakdown,
     ) -> Option<Decomposition> {
+        self.decompose_below_within(graph, params, known, &Budget::unlimited())
+            .0
+    }
+
+    /// Budgeted [`BipDecomposer::decompose_below`].
+    ///
+    /// Returns the strictly-better decomposition (if one was found) and
+    /// whether the search was cut short. When the flag is `true` and no
+    /// improvement was returned, `known` has **not** been proven optimal —
+    /// the caller must treat it as budget-exhausted, not certified.
+    pub fn decompose_below_within(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        known: &CostBreakdown,
+        budget: &Budget,
+    ) -> (Option<Decomposition>, bool) {
         let model = encode_tpld(graph, params);
         let conflict_w = SCALE as i64;
         let stitch_w = (params.alpha * SCALE).round() as i64;
         let cutoff = i64::from(known.conflicts) * conflict_w + i64::from(known.stitches) * stitch_w;
-        let sol = model.bip.solve_bounded(Some(cutoff))?;
-        let coloring = model.decode(&sol.values);
-        Some(Decomposition::from_coloring(graph, coloring, params.alpha))
+        let (sol, exhausted) = model.bip.solve_under(Some(cutoff), budget);
+        let certainty = if exhausted {
+            Certainty::BudgetExhausted
+        } else {
+            Certainty::Certified
+        };
+        let d = sol
+            .and_then(|s| {
+                // decode always yields one color per node.
+                Decomposition::try_from_coloring(graph, model.decode(&s.values), params.alpha).ok()
+            })
+            .map(|d| d.with_certainty(certainty));
+        (d, exhausted)
     }
 }
 
@@ -225,7 +282,7 @@ mod tests {
     #[test]
     fn triangle_zero_cost() {
         let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-        let d = BipDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+        let d = BipDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
         assert_eq!(d.cost.conflicts, 0);
     }
 
@@ -233,9 +290,9 @@ mod tests {
     fn k4_one_conflict() {
         let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
             .unwrap();
-        let d = BipDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+        let d = BipDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
         assert_eq!(d.cost.conflicts, 1);
-        let d4 = BipDecomposer::new().decompose(&g, &DecomposeParams::qpl());
+        let d4 = BipDecomposer::new().decompose_unbounded(&g, &DecomposeParams::qpl());
         assert_eq!(d4.cost.conflicts, 0);
     }
 
@@ -259,7 +316,7 @@ mod tests {
         )
         .unwrap();
         let bf = brute_force(&g, &DecomposeParams::tpl());
-        let d = BipDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+        let d = BipDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
         assert_eq!(d.cost.value(0.1), bf.cost.value(0.1));
     }
 
@@ -290,8 +347,8 @@ mod tests {
                 }
             }
             let g = LayoutGraph::new(node_feature, conflicts, stitch).unwrap();
-            let a = BipDecomposer::new().decompose(&g, &p);
-            let b = IlpDecomposer::new().decompose(&g, &p);
+            let a = BipDecomposer::new().decompose_unbounded(&g, &p);
+            let b = IlpDecomposer::new().decompose_unbounded(&g, &p);
             assert_eq!(a.cost.value(0.1), b.cost.value(0.1), "graph: {g:?}");
         }
     }

@@ -1,3 +1,5 @@
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 //! Exact (ILP-equivalent) decomposers for MPLD.
 //!
 //! The paper's optimal baseline solves the integer linear program of
@@ -26,7 +28,7 @@
 //!     4,
 //!     vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
 //! ).unwrap();
-//! let d = IlpDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+//! let d = IlpDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
 //! assert_eq!(d.cost.conflicts, 1);
 //! ```
 
@@ -63,12 +65,14 @@ pub fn brute_force(graph: &LayoutGraph, params: &DecomposeParams) -> Decompositi
             best = Some(Decomposition {
                 coloring: coloring.clone(),
                 cost,
+                certainty: mpld_graph::Certainty::Certified,
             });
         }
         // Odometer increment over base-k strings.
         let mut i = 0;
         loop {
             if i == n {
+                #[allow(clippy::expect_used)] // the zero coloring was evaluated first
                 return best.expect("at least one coloring evaluated");
             }
             coloring[i] += 1;

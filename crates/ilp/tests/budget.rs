@@ -1,0 +1,148 @@
+//! Deterministic budget-exhaustion tests for the exact ILP engines,
+//! driven by a [`MockClock`] so no real time passes: the clock advances a
+//! fixed tick per read, which makes the exact trip point of the
+//! branch-and-bound's strided deadline checks reproducible.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mpld_graph::{
+    Budget, Certainty, Clock, DecomposeParams, Decomposer, Decomposition, LayoutGraph, MockClock,
+};
+use mpld_ilp::encode::BipDecomposer;
+use mpld_ilp::IlpDecomposer;
+
+/// An instance whose branch-and-bound search comfortably exceeds one
+/// gauge stride (256 nodes) before proving optimality — three disjoint
+/// K4s (one unavoidable conflict each, which the bound must prove) plus a
+/// 15-cycle — while still solving to optimality in well under a second.
+fn hard_instance() -> LayoutGraph {
+    let mut edges = Vec::new();
+    let mut base = 0u32;
+    for _ in 0..3 {
+        for a in 0..4u32 {
+            for b in (a + 1)..4u32 {
+                edges.push((base + a, base + b));
+            }
+        }
+        base += 4;
+    }
+    let cycle = 15u32;
+    for i in 0..cycle {
+        edges.push((base + i, base + (i + 1) % cycle));
+    }
+    LayoutGraph::homogeneous((base + cycle) as usize, edges).expect("valid instance")
+}
+
+/// A tiny instance for full-solve comparisons: K4 plus a pentagon.
+fn small_instance() -> LayoutGraph {
+    let mut edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    for i in 0..5u32 {
+        edges.push((4 + i, 4 + (i + 1) % 5));
+    }
+    LayoutGraph::homogeneous(9, edges).expect("valid instance")
+}
+
+fn assert_valid_incumbent(g: &LayoutGraph, d: &Decomposition, k: u8, alpha: f64) {
+    assert_eq!(d.coloring.len(), g.num_nodes(), "full coverage");
+    assert!(d.coloring.iter().all(|&c| c < k), "colors in 0..k");
+    assert_eq!(
+        d.cost,
+        g.evaluate(&d.coloring, alpha),
+        "reported cost must equal the graph's own evaluation"
+    );
+}
+
+#[test]
+fn colorbb_mid_search_expiry_returns_valid_incumbent() {
+    let g = hard_instance();
+    let params = DecomposeParams::tpl();
+    // Each clock read advances 2µs against a 1µs deadline: constructing
+    // the budget consumes the t=0 read, so the branch-and-bound's first
+    // strided clock read (search node 256) observes 2µs >= 1µs and trips —
+    // a deterministic mid-search cut, no real time involved.
+    let clock = Arc::new(MockClock::ticking(Duration::from_micros(2)));
+    let budget = Budget::with_deadline_on(clock, Duration::from_micros(1));
+    let d = IlpDecomposer::new()
+        .decompose(&g, &params, &budget)
+        .expect("budget exhaustion is not an error");
+    assert_eq!(d.certainty, Certainty::BudgetExhausted);
+    assert_valid_incumbent(&g, &d, params.k, params.alpha);
+
+    // The same search with no budget proves a cost no worse than the
+    // interrupted incumbent's.
+    let full = IlpDecomposer::new().decompose_unbounded(&g, &params);
+    assert_eq!(full.certainty, Certainty::Certified);
+    assert!(full.cost.value(params.alpha) <= d.cost.value(params.alpha));
+}
+
+#[test]
+fn bip_mid_search_expiry_returns_valid_incumbent() {
+    let g = hard_instance();
+    let params = DecomposeParams::tpl();
+    let clock = Arc::new(MockClock::ticking(Duration::from_micros(2)));
+    let budget = Budget::with_deadline_on(clock, Duration::from_micros(1));
+    let d = BipDecomposer::new()
+        .decompose(&g, &params, &budget)
+        .expect("budget exhaustion is not an error");
+    assert_eq!(d.certainty, Certainty::BudgetExhausted);
+    assert_valid_incumbent(&g, &d, params.k, params.alpha);
+}
+
+#[test]
+fn already_expired_budget_still_yields_full_coloring() {
+    let g = hard_instance();
+    let params = DecomposeParams::tpl();
+    let clock = Arc::new(MockClock::new());
+    let budget = Budget::with_deadline_on(
+        Arc::clone(&clock) as Arc<dyn Clock>,
+        Duration::from_nanos(1),
+    );
+    clock.advance(Duration::from_secs(1));
+    assert!(budget.exhausted());
+    for engine in [
+        &IlpDecomposer::new() as &dyn Decomposer,
+        &BipDecomposer::new(),
+    ] {
+        let d = engine
+            .decompose(&g, &params, &budget)
+            .expect("anytime contract: an expired budget still returns an incumbent");
+        assert_eq!(d.certainty, Certainty::BudgetExhausted, "{}", engine.name());
+        assert_valid_incumbent(&g, &d, params.k, params.alpha);
+    }
+}
+
+#[test]
+fn node_limit_cuts_search_deterministically() {
+    let g = hard_instance();
+    let params = DecomposeParams::tpl();
+    let budget = Budget::unlimited().and_node_limit(100);
+    let d = IlpDecomposer::new()
+        .decompose(&g, &params, &budget)
+        .expect("node-limit exhaustion is not an error");
+    assert_eq!(d.certainty, Certainty::BudgetExhausted);
+    assert_valid_incumbent(&g, &d, params.k, params.alpha);
+    // Deterministic: the same limit yields the same incumbent.
+    let again = IlpDecomposer::new()
+        .decompose(&g, &params, &budget)
+        .expect("same");
+    assert_eq!(again.coloring, d.coloring);
+}
+
+#[test]
+fn unlimited_budget_is_bit_identical_to_unbounded() {
+    let g = small_instance();
+    let params = DecomposeParams::tpl();
+    for engine in [
+        &IlpDecomposer::new() as &dyn Decomposer,
+        &BipDecomposer::new(),
+    ] {
+        let budgeted = engine
+            .decompose(&g, &params, &Budget::unlimited())
+            .expect("unlimited");
+        let unbounded = engine.decompose_unbounded(&g, &params);
+        assert_eq!(budgeted.coloring, unbounded.coloring, "{}", engine.name());
+        assert_eq!(budgeted.cost, unbounded.cost);
+        assert_eq!(budgeted.certainty, unbounded.certainty);
+    }
+}

@@ -58,7 +58,7 @@ proptest! {
             return Ok(());
         }
         let p = DecomposeParams::tpl();
-        let d = IlpDecomposer::new().decompose(&g, &p);
+        let d = IlpDecomposer::new().decompose_unbounded(&g, &p);
         let bf = brute_force(&g, &p);
         prop_assert!((d.cost.value(0.1) - bf.cost.value(0.1)).abs() < 1e-9);
         // Reported cost matches independent evaluation.
@@ -68,16 +68,16 @@ proptest! {
     #[test]
     fn both_exact_engines_agree(g in arb_hetero()) {
         let p = DecomposeParams::tpl();
-        let a = IlpDecomposer::new().decompose(&g, &p);
-        let b = BipDecomposer::new().decompose(&g, &p);
+        let a = IlpDecomposer::new().decompose_unbounded(&g, &p);
+        let b = BipDecomposer::new().decompose_unbounded(&g, &p);
         prop_assert!((a.cost.value(0.1) - b.cost.value(0.1)).abs() < 1e-9,
             "BB {:?} vs BIP {:?}", a.cost, b.cost);
     }
 
     #[test]
     fn quadruple_never_costs_more_than_triple(g in arb_hetero()) {
-        let t = IlpDecomposer::new().decompose(&g, &DecomposeParams::tpl());
-        let q = IlpDecomposer::new().decompose(&g, &DecomposeParams::qpl());
+        let t = IlpDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
+        let q = IlpDecomposer::new().decompose_unbounded(&g, &DecomposeParams::qpl());
         prop_assert!(q.cost.value(0.1) <= t.cost.value(0.1) + 1e-9);
     }
 
@@ -88,11 +88,11 @@ proptest! {
             return Ok(());
         }
         let p = DecomposeParams::tpl();
-        let base = IlpDecomposer::new().decompose(&g, &p);
+        let base = IlpDecomposer::new().decompose_unbounded(&g, &p);
         // Pin node 0 to `pin_mask`.
         let pre: Precoloring = [(0u32, pin_mask)].into_iter().collect();
         let (gadget, map) = apply_precoloring(&g, &pre, p.k).expect("valid pins");
-        let d = IlpDecomposer::new().decompose(&gadget, &p);
+        let d = IlpDecomposer::new().decompose_unbounded(&gadget, &p);
         let colors = map.extract(&d.coloring);
         // A single pin never changes the optimal cost (masks are symmetric),
         // and the pinned node must get its mask.
@@ -103,7 +103,7 @@ proptest! {
     #[test]
     fn colorings_are_always_in_range(g in arb_hetero()) {
         let p = DecomposeParams::tpl();
-        let d = IlpDecomposer::new().decompose(&g, &p);
+        let d = IlpDecomposer::new().decompose_unbounded(&g, &p);
         prop_assert_eq!(d.coloring.len(), g.num_nodes());
         prop_assert!(d.coloring.iter().all(|&c| c < p.k));
     }

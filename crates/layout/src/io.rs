@@ -83,6 +83,27 @@ impl From<std::io::Error> for ParseLayoutError {
     }
 }
 
+impl From<ParseLayoutError> for mpld_graph::MpldError {
+    /// Maps parse failures into the workspace error hierarchy, preserving
+    /// the offending line number where one exists (`line == 0` marks
+    /// failures not attributable to a line, e.g. a truncated file).
+    fn from(e: ParseLayoutError) -> Self {
+        let line = match &e {
+            ParseLayoutError::BadLine { line, .. }
+            | ParseLayoutError::BadFeatureId { line, .. }
+            | ParseLayoutError::RectOutsideFeature { line } => *line,
+            _ => 0,
+        };
+        match e {
+            ParseLayoutError::Io(msg) => mpld_graph::MpldError::Io(msg),
+            other => mpld_graph::MpldError::Parse {
+                line,
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
 /// Reads a layout from the text format.
 ///
 /// # Errors
@@ -241,6 +262,68 @@ pub fn write_layout<W: Write>(layout: &Layout, mut writer: W) -> std::io::Result
 mod tests {
     use super::*;
     use crate::circuit_by_name;
+
+    #[test]
+    fn parse_errors_convert_to_mpld_errors_with_line_numbers() {
+        use mpld_graph::MpldError;
+        let text = "layout t d=100\nfeature 0\nrect zero 0 1 1\nend\n";
+        let err: MpldError = read_layout(text.as_bytes()).unwrap_err().into();
+        assert_eq!(
+            err,
+            MpldError::Parse {
+                line: 3,
+                reason: "cannot parse line 3: \"rect zero 0 1 1\"".into(),
+            }
+        );
+        // Failures without a line report line 0 and omit it in Display.
+        let err: MpldError = read_layout(b"layout t d=1\n".as_slice())
+            .unwrap_err()
+            .into();
+        assert!(matches!(err, MpldError::Parse { line: 0, .. }), "{err}");
+        let err: MpldError = ParseLayoutError::Io("boom".into()).into();
+        assert_eq!(err, MpldError::Io("boom".into()));
+    }
+
+    #[test]
+    fn garbage_input_never_panics() {
+        // Fuzz-ish sweep: corrupted, truncated, and outright binary inputs
+        // must all return Err (or a valid layout) without panicking.
+        let valid =
+            "layout t d=120\nfeature 0\nrect 0 0 100 30\nfeature 1\nrect 0 60 100 90\nend\n";
+        let mut cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![0u8; 64],
+            vec![0xFF; 64],
+            b"\xF0\x9F\xA6\x80 not a layout".to_vec(),
+            b"layout".to_vec(),
+            b"layout t".to_vec(),
+            b"layout t d=".to_vec(),
+            b"layout t d=abc\nend\n".to_vec(),
+            b"layout t d=-5\nfeature 0\nrect 0 0 1 1\nend\n".to_vec(),
+            b"layout t d=100\nrect 0 0 1 1\nend\n".to_vec(),
+            b"layout t d=100\nfeature 0\nrect 1 1 0 0\nend\n".to_vec(),
+            b"layout t d=100\nfeature 0\nrect 0 0 1 1 9\nend\n".to_vec(),
+            b"layout t d=100\nfeature 0\nrect 0 0 99999999999999999999 1\nend\n".to_vec(),
+            b"layout t d=100\nfeature 4294967296\nrect 0 0 1 1\nend\n".to_vec(),
+            b"end\n".to_vec(),
+        ];
+        // Every prefix of a valid file (truncation at each byte).
+        for cut in 0..valid.len() {
+            cases.push(valid.as_bytes()[..cut].to_vec());
+        }
+        // Single-byte corruptions of a valid file at every position.
+        for pos in 0..valid.len() {
+            for corrupt in [0u8, b'\n', 0xFF] {
+                let mut bytes = valid.as_bytes().to_vec();
+                bytes[pos] = corrupt;
+                cases.push(bytes);
+            }
+        }
+        for case in cases {
+            // Must not panic; both Ok and Err are acceptable.
+            let _ = read_layout(case.as_slice());
+        }
+    }
 
     #[test]
     fn round_trip_benchmark_layout() {

@@ -22,6 +22,9 @@
 //! assert!(!graph.conflict_edges().is_empty());
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod circuits;
 mod generator;
 mod io;
@@ -59,6 +62,7 @@ impl Layout {
             .into_iter()
             .map(|(a, b)| (a as u32, b as u32))
             .collect();
+        #[allow(clippy::expect_used)] // the grid index yields valid, deduplicated pairs
         LayoutGraph::homogeneous(self.features.len(), edges)
             .expect("generated layouts produce valid conflict graphs")
     }

@@ -80,6 +80,7 @@ pub fn canonical_form_labeled(g: &LayoutGraph) -> (CanonicalForm, Vec<u8>) {
         &mut best,
         &class,
     );
+    #[allow(clippy::expect_used)] // the permutation loop always runs at least once
     let (edges, labeling) = best.expect("at least one permutation");
     (CanonicalForm { n, edges }, labeling)
 }

@@ -31,6 +31,9 @@
 //! assert_eq!(d.cost.conflicts, 1); // K4 at k = 3: one unavoidable conflict
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod canon;
 mod enumerate;
 mod library;

@@ -18,7 +18,9 @@ use crate::canon::{canonical_form, CanonicalForm};
 use crate::enumerate::{enumerate_parent_graphs, enumerate_stitch_variants};
 use crate::vf2::{find_isomorphism, full_candidates};
 use mpld_gnn::RgcnClassifier;
-use mpld_graph::{CostBreakdown, DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+use mpld_graph::{
+    Budget, Certainty, CostBreakdown, DecomposeParams, Decomposer, Decomposition, LayoutGraph,
+};
 use mpld_ilp::IlpDecomposer;
 use mpld_tensor::Matrix;
 use std::collections::HashMap;
@@ -143,7 +145,12 @@ impl GraphLibrary {
             return false;
         }
         let node_embeddings = embedder.node_embeddings(&graph);
-        let d = ilp.decompose(&graph, params);
+        // Library solutions must be certified optimal, so the offline build
+        // always runs the exact engine to completion.
+        #[allow(clippy::expect_used)] // ILP serves every k the enumerator emits
+        let d = ilp
+            .decompose(&graph, params, &Budget::unlimited())
+            .expect("exact ILP on an unlimited budget");
         self.canon_index.insert(canon, self.entries.len());
         self.entries.push(LibraryEntry {
             graph,
@@ -255,13 +262,21 @@ impl GraphLibrary {
                 })
             };
             if let Some(m) = mapping {
-                // Transfer the stored solution (Eq. 12).
-                let coloring: Vec<u8> = (0..graph.num_nodes())
-                    .map(|j| entry.solution[m[j] as usize])
+                // Transfer the stored solution (Eq. 12). A stored solution
+                // whose length disagrees with its graph (a corrupt entry)
+                // must surface as an error, not index out of bounds, so the
+                // transfer goes through the checked constructor.
+                let coloring: Option<Vec<u8>> = (0..graph.num_nodes())
+                    .map(|j| entry.solution.get(m[j] as usize).copied())
                     .collect();
-                let cost = graph.evaluate(&coloring, 0.1);
-                debug_assert_eq!(cost, entry.cost, "verified mapping must preserve cost");
-                return Some(Decomposition { coloring, cost });
+                let Some(coloring) = coloring else { continue };
+                match Decomposition::try_from_coloring(graph, coloring, 0.1) {
+                    Ok(d) => {
+                        debug_assert_eq!(d.cost, entry.cost, "verified mapping must preserve cost");
+                        return Some(d.with_certainty(Certainty::Certified));
+                    }
+                    Err(_) => continue,
+                }
             }
         }
         None

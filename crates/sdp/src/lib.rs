@@ -24,11 +24,16 @@
 //! use mpld_sdp::SdpDecomposer;
 //!
 //! let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-//! let d = SdpDecomposer::new().decompose(&g, &DecomposeParams::tpl());
+//! let d = SdpDecomposer::new().decompose_unbounded(&g, &DecomposeParams::tpl());
 //! assert_eq!(d.cost.conflicts, 0);
 //! ```
 
-use mpld_graph::{DecomposeParams, Decomposer, Decomposition, LayoutGraph};
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use mpld_graph::{
+    Budget, Certainty, DecomposeParams, Decomposer, Decomposition, LayoutGraph, MpldError,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,24 +83,43 @@ impl Decomposer for SdpDecomposer {
         "SDP"
     }
 
-    fn decompose(&self, graph: &LayoutGraph, params: &DecomposeParams) -> Decomposition {
-        assert!(
-            params.k == 3 || params.k == 4,
-            "the vector program supports k = 3 or 4"
-        );
+    fn decompose(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        budget: &Budget,
+    ) -> Result<Decomposition, MpldError> {
+        if params.k != 3 && params.k != 4 {
+            return Err(MpldError::Unsupported {
+                engine: self.name(),
+                reason: format!(
+                    "the vector program supports k = 3 or 4, got k = {}",
+                    params.k
+                ),
+            });
+        }
         let n = graph.num_nodes();
         if n == 0 {
-            return Decomposition::from_coloring(graph, Vec::new(), params.alpha);
+            return Decomposition::try_from_coloring(graph, Vec::new(), params.alpha);
         }
         let dim = if params.k == 3 { 2 } else { 3 };
         let targets = targets(params.k);
         let mut rng = SmallRng::seed_from_u64(self.seed);
 
+        // The first restart always runs to completion of rounding (the
+        // anytime contract: SDP always has an incumbent); later restarts
+        // are skipped once the budget expires.
+        let mut exhausted = false;
         let mut best: Option<Decomposition> = None;
-        for _ in 0..self.restarts {
-            let vectors = self.optimize(graph, params, dim, &mut rng);
+        for r in 0..self.restarts.max(1) {
+            if r > 0 && budget.exhausted() {
+                exhausted = true;
+                break;
+            }
+            let (vectors, cut) = self.optimize(graph, params, dim, &mut rng, budget);
+            exhausted |= cut;
             let coloring = round_and_repair(graph, params, &vectors, dim, &targets);
-            let cand = Decomposition::from_coloring(graph, coloring, params.alpha);
+            let cand = Decomposition::try_from_coloring(graph, coloring, params.alpha)?;
             let better = match &best {
                 None => true,
                 Some(b) => cand.cost.better_than(&b.cost, params.alpha),
@@ -104,7 +128,18 @@ impl Decomposer for SdpDecomposer {
                 best = Some(cand);
             }
         }
-        best.expect("at least one restart ran")
+        let certainty = if exhausted {
+            Certainty::BudgetExhausted
+        } else {
+            Certainty::Heuristic
+        };
+        match best {
+            Some(d) => Ok(d.with_certainty(certainty)),
+            None => Err(MpldError::Infeasible {
+                engine: self.name(),
+                reason: "no restart produced a coloring".into(),
+            }),
+        }
     }
 }
 
@@ -127,13 +162,16 @@ fn targets(k: u8) -> Vec<[f64; MAX_DIM]> {
 impl SdpDecomposer {
     /// Projected gradient descent on unit vectors minimizing
     /// `sum_CE v_i·v_j - alpha * sum_SE v_i·v_j`.
+    /// Returns the optimized vectors plus whether the iteration loop was
+    /// cut short by `budget`.
     fn optimize(
         &self,
         graph: &LayoutGraph,
         params: &DecomposeParams,
         dim: usize,
         rng: &mut SmallRng,
-    ) -> Vec<[f64; MAX_DIM]> {
+        budget: &Budget,
+    ) -> (Vec<[f64; MAX_DIM]>, bool) {
         let n = graph.num_nodes();
         let mut v: Vec<[f64; MAX_DIM]> = (0..n)
             .map(|_| {
@@ -147,7 +185,15 @@ impl SdpDecomposer {
             .collect();
 
         let mut lr = 0.2;
+        let mut cut = false;
         for _ in 0..self.iterations {
+            // Each iteration is O(E); checking the deadline per iteration
+            // is cheap by comparison (and free when the budget is
+            // unlimited).
+            if budget.exhausted() {
+                cut = true;
+                break;
+            }
             let mut grad = vec![[0.0f64; MAX_DIM]; n];
             for &(a, b) in graph.conflict_edges() {
                 for d in 0..dim {
@@ -171,7 +217,7 @@ impl SdpDecomposer {
             }
             lr *= 0.995;
         }
-        v
+        (v, cut)
     }
 }
 
@@ -234,6 +280,7 @@ fn round_and_repair(
             best_coloring = Some((coloring, value));
         }
     }
+    #[allow(clippy::expect_used)] // rotations >= 1, so one candidate exists
     best_coloring.expect("at least one rotation tried").0
 }
 
@@ -259,7 +306,7 @@ fn repair(graph: &LayoutGraph, params: &DecomposeParams, mut coloring: Vec<u8>) 
             let best = (0..k).min_by(|&a, &b| {
                 cost[a as usize]
                     .partial_cmp(&cost[b as usize])
-                    .expect("costs are finite")
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             if let Some(best) = best {
                 if cost[best as usize] + 1e-12 < cost[cur as usize] {
@@ -289,21 +336,21 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = LayoutGraph::homogeneous(0, vec![]).unwrap();
-        let d = SdpDecomposer::new().decompose(&g, &tpl());
+        let d = SdpDecomposer::new().decompose_unbounded(&g, &tpl());
         assert!(d.coloring.is_empty());
     }
 
     #[test]
     fn triangle_conflict_free() {
         let g = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-        let d = SdpDecomposer::new().decompose(&g, &tpl());
+        let d = SdpDecomposer::new().decompose_unbounded(&g, &tpl());
         assert_eq!(d.cost.conflicts, 0);
     }
 
     #[test]
     fn odd_cycle_conflict_free() {
         let g = LayoutGraph::homogeneous(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
-        let d = SdpDecomposer::new().decompose(&g, &tpl());
+        let d = SdpDecomposer::new().decompose_unbounded(&g, &tpl());
         assert_eq!(d.cost.conflicts, 0);
     }
 
@@ -311,7 +358,7 @@ mod tests {
     fn k4_gets_exactly_one_conflict() {
         let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
             .unwrap();
-        let d = SdpDecomposer::new().decompose(&g, &tpl());
+        let d = SdpDecomposer::new().decompose_unbounded(&g, &tpl());
         assert_eq!(d.cost.conflicts, 1);
     }
 
@@ -319,7 +366,7 @@ mod tests {
     fn quadruple_patterning_colors_k4_free() {
         let g = LayoutGraph::homogeneous(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
             .unwrap();
-        let d = SdpDecomposer::new().decompose(&g, &DecomposeParams::qpl());
+        let d = SdpDecomposer::new().decompose_unbounded(&g, &DecomposeParams::qpl());
         assert_eq!(d.cost.conflicts, 0);
         assert!(d.coloring.iter().all(|&c| c < 4));
     }
@@ -339,8 +386,8 @@ mod tests {
                 }
             }
             let g = LayoutGraph::homogeneous(n, edges).unwrap();
-            let sdp = SdpDecomposer::new().decompose(&g, &tpl());
-            let ilp = IlpDecomposer::new().decompose(&g, &tpl());
+            let sdp = SdpDecomposer::new().decompose_unbounded(&g, &tpl());
+            let ilp = IlpDecomposer::new().decompose_unbounded(&g, &tpl());
             assert!(sdp.cost.value(0.1) >= ilp.cost.value(0.1) - 1e-9);
             total_gap += sdp.cost.value(0.1) - ilp.cost.value(0.1);
         }
@@ -352,16 +399,22 @@ mod tests {
     fn deterministic_per_seed() {
         let g = LayoutGraph::homogeneous(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
             .unwrap();
-        let a = SdpDecomposer::new().with_seed(7).decompose(&g, &tpl());
-        let b = SdpDecomposer::new().with_seed(7).decompose(&g, &tpl());
+        let a = SdpDecomposer::new()
+            .with_seed(7)
+            .decompose_unbounded(&g, &tpl());
+        let b = SdpDecomposer::new()
+            .with_seed(7)
+            .decompose_unbounded(&g, &tpl());
         assert_eq!(a.coloring, b.coloring);
     }
 
     #[test]
-    #[should_panic(expected = "k = 3 or 4")]
     fn rejects_unsupported_k() {
         let g = LayoutGraph::homogeneous(2, vec![(0, 1)]).unwrap();
         let params = DecomposeParams { k: 6, alpha: 0.1 };
-        let _ = SdpDecomposer::new().decompose(&g, &params);
+        let err = SdpDecomposer::new()
+            .decompose(&g, &params, &Budget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, MpldError::Unsupported { .. }), "{err}");
     }
 }

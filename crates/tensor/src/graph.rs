@@ -146,6 +146,7 @@ impl Graph {
     /// Panics if no gradient was computed for `id` (not reachable from the
     /// loss, or `backward` not called).
     pub fn grad(&self, id: VarId) -> &Matrix {
+        #[allow(clippy::expect_used)] // documented panic contract (see above)
         self.nodes[id]
             .grad
             .as_ref()
@@ -490,6 +491,7 @@ impl Graph {
             if self.nodes[id].grad.is_none() || !self.nodes[id].needs_grad {
                 continue;
             }
+            #[allow(clippy::expect_used)] // `is_none` checked at the top of the loop
             let grad = self.nodes[id].grad.clone().expect("checked above");
             // Dispatch per op. Values are cloned where the borrow checker
             // needs it; matrices are small.

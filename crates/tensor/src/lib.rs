@@ -27,6 +27,9 @@
 //! assert_eq!(g.grad(x).row(0), &[1.0, 0.0]);
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod graph;
 mod matrix;
 mod optim;

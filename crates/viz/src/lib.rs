@@ -25,6 +25,9 @@
 //! assert!(svg.contains("rect"));
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod svg;
 
 pub use svg::{render_svg, SvgOptions, MASK_PALETTE};

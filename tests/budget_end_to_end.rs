@@ -1,0 +1,172 @@
+//! Budget-aware adaptive decomposition, end to end: anytime behavior
+//! (every unit keeps a full valid coloring no matter how tight the
+//! budget), bit-identical results under an unlimited policy, and
+//! cooperative cancellation.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use mpld::{
+    prepare, train_framework, AdaptiveFramework, BudgetPolicy, OfflineConfig, PreparedLayout,
+    TrainingData,
+};
+use mpld_graph::{CancelToken, Certainty, Clock, DecomposeParams, MockClock};
+use mpld_layout::circuit_by_name;
+use proptest::prelude::*;
+
+fn fixture() -> &'static (AdaptiveFramework, PreparedLayout) {
+    static FIXTURE: OnceLock<(AdaptiveFramework, PreparedLayout)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let params = DecomposeParams::tpl();
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let prep = prepare(&layout, &params);
+        let mut data = TrainingData::default();
+        data.add_layout_capped(&prep, &params, 8);
+        let mut cfg = OfflineConfig::default();
+        cfg.rgcn.epochs = 1;
+        cfg.colorgnn.epochs = 1;
+        cfg.library = mpld_matching::LibraryConfig {
+            max_parent_size: 4,
+            max_splits: 1,
+            max_nodes: 5,
+            stitches: false,
+        };
+        (train_framework(&data, &params, &cfg), prep)
+    })
+}
+
+/// The anytime contract: whatever the budget, every unit ends with a
+/// full-coverage coloring whose values lie in `0..k` and whose summed
+/// cost matches the per-unit costs.
+fn assert_anytime_contract(
+    fw: &AdaptiveFramework,
+    prep: &PreparedLayout,
+    r: &mpld::AdaptiveResult,
+) {
+    assert_eq!(r.unit_outcomes.len(), prep.units.len());
+    assert_eq!(
+        r.pipeline.decomposition.unit_subfeature_colorings.len(),
+        prep.units.len()
+    );
+    for (u, coloring) in prep
+        .units
+        .iter()
+        .zip(&r.pipeline.decomposition.unit_subfeature_colorings)
+    {
+        assert_eq!(coloring.len(), u.hetero.num_nodes(), "full coverage");
+        assert!(coloring.iter().all(|&c| c < fw.params.k), "colors in 0..k");
+    }
+    assert!(r
+        .pipeline
+        .decomposition
+        .feature_colors
+        .iter()
+        .all(|&c| c < fw.params.k));
+    let b = &r.budget;
+    assert_eq!(
+        b.certified + b.heuristic + b.budget_exhausted,
+        prep.units.len(),
+        "every unit has exactly one certainty"
+    );
+    assert_eq!(
+        b.budget_fallbacks,
+        r.unit_outcomes.iter().filter(|o| o.budget_fallback).count()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Budget-exhausted adaptive runs still produce full-coverage
+    /// colorings in `0..k`, for a sweep of mock-clock speeds and
+    /// per-unit deadlines (several of which expire almost immediately).
+    #[test]
+    fn budget_exhausted_runs_keep_valid_colorings(
+        tick_us in 1u64..400,
+        per_unit_us in 1u64..200,
+        total_sel in 0u8..2,
+    ) {
+        let total = total_sel == 1;
+        let (fw, prep) = fixture();
+        fw.colorgnn.reseed(0xC432);
+        let clock = Arc::new(MockClock::ticking(Duration::from_micros(tick_us)));
+        let policy = BudgetPolicy {
+            total: total.then(|| Duration::from_micros(per_unit_us * 4)),
+            per_unit: Some(Duration::from_micros(per_unit_us)),
+            cancel: None,
+            clock: Some(clock as Arc<dyn Clock>),
+        };
+        let r = fw
+            .decompose_prepared_with(prep, &policy)
+            .expect("budget exhaustion is not an error");
+        assert_anytime_contract(fw, prep, &r);
+    }
+}
+
+#[test]
+fn unlimited_policy_is_bit_identical_to_legacy_entry_point() {
+    let (fw, prep) = fixture();
+    let params = fw.params;
+    fw.colorgnn.reseed(7);
+    let legacy = fw.decompose_prepared(prep);
+    fw.colorgnn.reseed(7);
+    let budgeted = fw
+        .decompose_prepared_with(prep, &BudgetPolicy::unlimited())
+        .expect("unlimited policy cannot fail");
+    assert_eq!(
+        legacy.pipeline.decomposition, budgeted.pipeline.decomposition,
+        "unlimited policy must be bit-identical"
+    );
+    assert_eq!(legacy.pipeline.cost, budgeted.pipeline.cost);
+    assert_eq!(legacy.unit_engines, budgeted.unit_engines);
+    assert_eq!(legacy.usage, budgeted.usage);
+    assert_eq!(budgeted.budget.budget_exhausted, 0);
+    assert_eq!(budgeted.budget.budget_fallbacks, 0);
+    assert_eq!(
+        legacy.pipeline.cost.value(params.alpha),
+        budgeted.pipeline.cost.value(params.alpha)
+    );
+}
+
+#[test]
+fn cancelled_run_still_covers_every_unit() {
+    let (fw, prep) = fixture();
+    fw.colorgnn.reseed(11);
+    let token = CancelToken::new();
+    token.cancel(); // cancelled before the run even starts
+    let policy = BudgetPolicy {
+        total: None,
+        per_unit: None,
+        cancel: Some(token),
+        clock: None,
+    };
+    let r = fw
+        .decompose_prepared_with(prep, &policy)
+        .expect("cancellation with incumbents is not an error");
+    assert_anytime_contract(fw, prep, &r);
+    // Cancellation can only downgrade certainty (searches that finish
+    // within one gauge stride may still certify); every downgraded unit
+    // must still carry a recorded engine.
+    assert_eq!(r.unit_engines.len(), r.unit_outcomes.len());
+    for (e, o) in r.unit_engines.iter().zip(&r.unit_outcomes) {
+        assert_eq!(*e, o.engine);
+        assert!(o.certainty != Certainty::Certified || !o.budget_fallback);
+    }
+}
+
+#[test]
+fn tight_budget_parallel_matches_contract_and_reports_fallbacks() {
+    let (fw, prep) = fixture();
+    fw.colorgnn.reseed(23);
+    let clock = Arc::new(MockClock::ticking(Duration::from_micros(300)));
+    let policy = BudgetPolicy {
+        total: None,
+        per_unit: Some(Duration::from_micros(1)),
+        cancel: None,
+        clock: Some(clock as Arc<dyn Clock>),
+    };
+    let r = fw
+        .decompose_prepared_parallel_with(prep, 2, &policy)
+        .expect("budget exhaustion is not an error");
+    assert_anytime_contract(fw, prep, &r);
+}

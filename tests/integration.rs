@@ -84,7 +84,7 @@ fn library_matches_are_exactly_optimal_on_real_units() {
     let mut hits = 0;
     for unit in &p.units {
         if let Some(d) = library.lookup(&embedder, &unit.hetero) {
-            let opt = ilp.decompose(&unit.hetero, &params);
+            let opt = ilp.decompose_unbounded(&unit.hetero, &params);
             assert_eq!(
                 d.cost.value(params.alpha),
                 opt.cost.value(params.alpha),
