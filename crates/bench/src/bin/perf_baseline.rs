@@ -7,7 +7,9 @@
 //!
 //! Knobs: `MPLD_CIRCUITS`, `MPLD_TRAIN_CAP`, `MPLD_EPOCHS` as usual, plus
 //! `MPLD_THREADS` for the parallel adaptive path (default: available
-//! parallelism, at least 4 so the scheduling path is always exercised).
+//! parallelism, at least 4 so the scheduling path is always exercised) and
+//! `MPLD_SEED` for the ColorGNN sampling RNG (recorded in the artifact so
+//! a run is reproducible from the JSON alone).
 
 use mpld::{prepare, train_framework, BudgetPolicy, EngineKind, PreparedLayout, TrainingData};
 use mpld_bench::env_usize;
@@ -26,6 +28,10 @@ fn main() {
     let params = DecomposeParams::tpl();
     let limit = env_usize("MPLD_CIRCUITS", 15).clamp(1, 15);
     let threads = mpld::default_threads().max(4);
+    let seed: u64 = std::env::var("MPLD_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xBEEF);
 
     // 1. Suite preparation (generation + conflict graph + simplification +
     // stitch insertion for every circuit).
@@ -93,13 +99,14 @@ fn main() {
     let mut circuit_rows = Vec::new();
     let (mut serial_total, mut parallel_total) = (0.0f64, 0.0f64);
     let mut memo_total = 0usize;
+    let (mut audit_rejections, mut quarantined) = (0usize, 0usize);
     for (c, prep) in circuits.iter().zip(&prepared) {
-        fw.colorgnn.reseed(0xBEEF);
+        fw.colorgnn.reseed(seed);
         let t = Instant::now();
         let serial = fw.decompose_prepared(prep);
         let s_secs = t.elapsed().as_secs_f64();
 
-        fw.colorgnn.reseed(0xBEEF);
+        fw.colorgnn.reseed(seed);
         let t = Instant::now();
         let parallel = fw.decompose_prepared_parallel(prep, threads);
         let p_secs = t.elapsed().as_secs_f64();
@@ -112,6 +119,8 @@ fn main() {
         serial_total += s_secs;
         parallel_total += p_secs;
         memo_total += parallel.memo_hits;
+        audit_rejections += parallel.budget.audit_rejections;
+        quarantined += parallel.budget.quarantined;
         eprintln!(
             "{}: serial {s_secs:.3}s, parallel {p_secs:.3}s ({} units, {} memo hits) [serial ilp {:.3}s ec {:.3}s gnn {:.3}s match {:.3}s sel {:.3}s red {:.3}s]",
             c.name,
@@ -133,7 +142,7 @@ fn main() {
     }
     let speedup = serial_total / parallel_total.max(1e-12);
     eprintln!(
-        "adaptive suite: serial {serial_total:.2}s, parallel {parallel_total:.2}s -> {speedup:.2}x ({threads} threads, {memo_total} memo hits)"
+        "adaptive suite: serial {serial_total:.2}s, parallel {parallel_total:.2}s -> {speedup:.2}x ({threads} threads, {memo_total} memo hits, seed {seed}, {audit_rejections} audit rejections, {quarantined} quarantined)"
     );
 
     // 4. Budget-exhaustion profile: the whole suite again under a tight
@@ -145,6 +154,7 @@ fn main() {
         ..BudgetPolicy::unlimited()
     };
     let (mut certified, mut heuristic, mut exhausted, mut fallbacks) = (0usize, 0, 0, 0);
+    let (mut b_audit_rejections, mut b_quarantined) = (0usize, 0usize);
     let mut by_engine = [
         (EngineKind::Matching, 0usize, 0usize),
         (EngineKind::ColorGnn, 0, 0),
@@ -153,7 +163,7 @@ fn main() {
     ];
     let t = Instant::now();
     for prep in &prepared {
-        fw.colorgnn.reseed(0xBEEF);
+        fw.colorgnn.reseed(seed);
         let r = fw
             .decompose_prepared_parallel_with(prep, threads, &policy)
             .expect("budget exhaustion is not an error");
@@ -161,6 +171,8 @@ fn main() {
         heuristic += r.budget.heuristic;
         exhausted += r.budget.budget_exhausted;
         fallbacks += r.budget.budget_fallbacks;
+        b_audit_rejections += r.budget.audit_rejections;
+        b_quarantined += r.budget.quarantined;
         for o in &r.unit_outcomes {
             for row in &mut by_engine {
                 if row.0 == o.engine {
@@ -172,7 +184,7 @@ fn main() {
     }
     let budgeted_seconds = t.elapsed().as_secs_f64();
     eprintln!(
-        "budgeted suite ({unit_limit_ms}ms/unit): {certified} certified, {heuristic} heuristic, {exhausted} budget-exhausted, {fallbacks} fallbacks in {budgeted_seconds:.2}s"
+        "budgeted suite ({unit_limit_ms}ms/unit): {certified} certified, {heuristic} heuristic, {exhausted} budget-exhausted, {fallbacks} fallbacks, {b_audit_rejections} audit rejections, {b_quarantined} quarantined in {budgeted_seconds:.2}s"
     );
     let engine_label = |e: EngineKind| match e {
         EngineKind::Matching => "matching",
@@ -194,6 +206,7 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"cpu_cores\": {cores},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(
         json,
         "  \"note\": \"speedup is parallel-tail + isomorphism-memo wall-clock gain over the serial batched path; thread scaling requires cpu_cores > 1\","
@@ -209,6 +222,8 @@ fn main() {
     let _ = writeln!(json, "    \"parallel_seconds\": {parallel_total:.4},");
     let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "    \"memo_hits\": {memo_total},");
+    let _ = writeln!(json, "    \"audit_rejections\": {audit_rejections},");
+    let _ = writeln!(json, "    \"quarantined\": {quarantined},");
     let _ = writeln!(json, "    \"per_circuit\": [");
     let _ = writeln!(json, "{}", circuit_rows.join(",\n"));
     let _ = writeln!(json, "    ]");
@@ -220,6 +235,8 @@ fn main() {
     let _ = writeln!(json, "    \"heuristic\": {heuristic},");
     let _ = writeln!(json, "    \"budget_exhausted\": {exhausted},");
     let _ = writeln!(json, "    \"budget_fallbacks\": {fallbacks},");
+    let _ = writeln!(json, "    \"audit_rejections\": {b_audit_rejections},");
+    let _ = writeln!(json, "    \"quarantined\": {b_quarantined},");
     let _ = writeln!(
         json,
         "    \"exhausted_by_engine\": {{{}}},",

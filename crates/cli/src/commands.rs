@@ -2,8 +2,8 @@
 
 use crate::args::{parse, Parsed};
 use mpld::{
-    layout_stats, prepare, run_pipeline, AdaptiveFramework, BudgetPolicy, OfflineConfig,
-    TrainingData,
+    layout_stats, prepare, run_pipeline, AdaptiveFramework, BudgetPolicy, Checkpoint,
+    CheckpointHeader, JournalWriter, OfflineConfig, Recovery, TrainingData,
 };
 use mpld_ec::EcDecomposer;
 use mpld_graph::{DecomposeParams, Decomposer, MpldError};
@@ -107,6 +107,13 @@ commands:
       --unit-time-limit <dur>        per-unit solver budget; exact solves
                                      that expire fall back to the next
                                      cheapest engine's incumbent
+      --seed <n>                     reseed the ColorGNN restart RNG
+                                     (echoed in the run summary); same
+                                     seed => same results
+      --checkpoint <file>            append-only JSONL journal of the
+                                     ILP/EC-tail solves; a journal left by
+                                     a killed run is audited and resumed
+                                     instead of re-solved
   render <layout> -o out.svg         render to SVG
       --engine ilp|ilp-bb|sdp|ec     color by a decomposition (optional)
 
@@ -314,18 +321,74 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
         per_unit: option_duration(parsed, "unit-time-limit")?,
         ..BudgetPolicy::unlimited()
     };
+    let seed: Option<u64> = parsed
+        .option("seed")
+        .map(|v| v.parse().map_err(|_| format!("cannot parse --seed {v}")))
+        .transpose()?;
     let file = File::open(model).map_err(|e| format!("cannot open {model}: {e}"))?;
     let fw = AdaptiveFramework::load(BufReader::new(file), &params, &OfflineConfig::default())
         .map_err(|e| format!("cannot load {model}: {e}"))?;
+    if let Some(s) = seed {
+        fw.colorgnn.reseed(s);
+    }
     let layout = load_layout(arg)?;
     let prep = prepare(&layout, &params);
-    let r = fw.decompose_prepared_parallel_with(&prep, threads, &policy)?;
+
+    // Crash-safe checkpointing: resume from (and keep appending to) an
+    // on-disk journal of the ILP/EC-tail solves.
+    let mut resume = None;
+    let mut journal = None;
+    if let Some(path) = parsed.option("checkpoint") {
+        let p = std::path::Path::new(path);
+        if let Some(cp) = Checkpoint::load(p)? {
+            if !cp.matches(&layout.name, params.k, params.alpha, prep.units.len()) {
+                return Err(format!(
+                    "--checkpoint {path}: journal belongs to a different run \
+                     (layout {:?}, k {}, {} units)",
+                    cp.header().layout,
+                    cp.header().k,
+                    cp.header().units
+                )
+                .into());
+            }
+            resume = Some(cp);
+        }
+        let header = CheckpointHeader {
+            layout: layout.name.clone(),
+            k: params.k,
+            alpha: params.alpha,
+            units: prep.units.len(),
+        };
+        journal = Some(JournalWriter::append(p, &header)?);
+    }
+    let recovery = Recovery {
+        resume: resume.as_ref(),
+        journal: journal.as_ref(),
+    };
+    // Deterministic fault injection for chaos testing: only compiled in
+    // with `--features failpoints`, only active when MPLD_FAILPOINTS is
+    // set (e.g. MPLD_FAILPOINTS="seed=7,rate=0.02"), and armed only for
+    // the fault-isolated online pipeline — the offline library rebuild
+    // inside model loading requires the exact engine to run fault-free.
+    #[cfg(feature = "failpoints")]
+    if let Some((fp_seed, rate)) = mpld_graph::failpoints::configure_from_env() {
+        eprintln!("failpoints: enabled (seed={fp_seed}, rate={rate})");
+        // Injected panics are expected and quarantined; swap the default
+        // hook's multi-line backtrace for a one-line note (quarantined
+        // units are listed in the run summary anyway).
+        std::panic::set_hook(Box::new(|info| eprintln!("chaos: {info}")));
+    }
+    let r = fw.decompose_prepared_parallel_recoverable(&prep, threads, &policy, recovery)?;
     println!(
-        "adaptive on {}: {} (objective {:.1}) in {:?} ({threads} threads)",
+        "adaptive on {}: {} (objective {:.1}) in {:?} ({threads} threads{})",
         layout.name,
         r.pipeline.cost,
         r.pipeline.cost.value(params.alpha),
-        r.pipeline.decompose_time
+        r.pipeline.decompose_time,
+        match seed {
+            Some(s) => format!(", seed {s}"),
+            None => String::new(),
+        }
     );
     println!(
         "usage: matching {}  ColorGNN {}  EC {}  ILP {}  (fallbacks {}, memo hits {})",
@@ -344,6 +407,22 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
             r.budget.budget_exhausted,
             r.budget.budget_fallbacks
         );
+    }
+    if r.resumed_units > 0 {
+        println!(
+            "checkpoint: resumed {} of {} units from the journal",
+            r.resumed_units,
+            prep.units.len()
+        );
+    }
+    if r.budget.quarantined > 0 || r.budget.audit_rejections > 0 {
+        println!(
+            "faults: {} quarantined  {} audit rejections",
+            r.budget.quarantined, r.budget.audit_rejections
+        );
+        for (unit, e) in &r.quarantines {
+            eprintln!("  unit {unit}: {e}");
+        }
     }
     if let Some(path) = parsed.option("o") {
         write_masks(path, &r.pipeline.decomposition.feature_colors)?;

@@ -1,0 +1,522 @@
+//! Crash-safe checkpoint/resume for adaptive decomposition runs.
+//!
+//! The parallel adaptive pipeline appends one JSONL record per solved
+//! ILP/EC-tail unit to a journal file (after a header identifying the
+//! layout and parameters). A later run loads the journal, audits every
+//! recorded coloring against the unit graph it claims to color, and skips
+//! the already-completed units — a killed run resumes where it stopped
+//! instead of restarting from zero.
+//!
+//! The format is deliberately tolerant of the crash it exists for: the
+//! loader ignores a truncated or garbled trailing line (the unit is simply
+//! re-solved), keeps the *last* record when a unit appears twice (resumed
+//! runs append to the same file), and rejects the whole journal only when
+//! its header disagrees with the present layout/parameters.
+//!
+//! The GNN routing passes (selector, redundancy, matching, ColorGNN) are
+//! deterministic given the model seed and always re-run on resume; only
+//! the expensive exact-solver tail is journaled. With the same `--seed`, a
+//! resumed run therefore reproduces the uninterrupted run's outcomes for
+//! every journaled unit bit-identically.
+
+use mpld_graph::{Certainty, CostBreakdown, LayoutGraph, MpldError};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::framework::EngineKind;
+
+/// Journal format version.
+const VERSION: u32 = 1;
+
+/// A structural fingerprint of one unit graph, stored with each record so
+/// a journal from a different layout (or a changed generator) can never be
+/// replayed onto the wrong unit.
+pub fn unit_fingerprint(g: &LayoutGraph) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |x: u64| {
+        h = (h ^ x).wrapping_mul(0x100000001b3);
+    };
+    mix(g.num_nodes() as u64);
+    for v in 0..g.num_nodes() as u32 {
+        mix(u64::from(g.feature_of(v)) + 1);
+    }
+    for &(u, v) in g.conflict_edges() {
+        mix((u64::from(u) << 32) | u64::from(v));
+    }
+    mix(0x5711);
+    for &(u, v) in g.stitch_edges() {
+        mix((u64::from(u) << 32) | u64::from(v));
+    }
+    h
+}
+
+/// One journaled unit outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEntry {
+    /// Index of the unit within the prepared layout.
+    pub unit: usize,
+    /// [`unit_fingerprint`] of the unit graph at record time.
+    pub fingerprint: u64,
+    /// Engine whose coloring was kept.
+    pub engine: EngineKind,
+    /// The recorded certainty.
+    pub certainty: Certainty,
+    /// Whether the unit fell back due to budget exhaustion.
+    pub budget_fallback: bool,
+    /// The coloring.
+    pub coloring: Vec<u8>,
+    /// The recorded cost (re-audited before any resume accepts it).
+    pub cost: CostBreakdown,
+}
+
+/// Identification header of a journal: the layout and parameters it
+/// belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointHeader {
+    /// Layout name.
+    pub layout: String,
+    /// Mask count.
+    pub k: u8,
+    /// Stitch weight.
+    pub alpha: f64,
+    /// Number of units in the prepared layout.
+    pub units: usize,
+}
+
+/// A loaded journal: header plus the last record per unit.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    header: CheckpointHeader,
+    entries: HashMap<usize, CheckpointEntry>,
+    skipped_lines: usize,
+}
+
+impl Checkpoint {
+    /// Loads a journal from `path`.
+    ///
+    /// Returns `Ok(None)` when the file does not exist (a fresh run).
+    /// Malformed or truncated lines are skipped, not fatal; a missing or
+    /// malformed *header* is.
+    ///
+    /// # Errors
+    ///
+    /// [`MpldError::Io`] on read failure, [`MpldError::Parse`] when no
+    /// valid header line is present.
+    pub fn load(path: &Path) -> Result<Option<Checkpoint>, MpldError> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(MpldError::Io(e.to_string())),
+        };
+        Ok(Some(Self::read(BufReader::new(file))?))
+    }
+
+    /// Loads a journal from any reader (see [`Checkpoint::load`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MpldError::Io`] on read failure, [`MpldError::Parse`] when the
+    /// first line is not a valid header.
+    pub fn read<R: BufRead>(reader: R) -> Result<Checkpoint, MpldError> {
+        let mut lines = reader.lines();
+        let header_line = match lines.next() {
+            Some(Ok(l)) => l,
+            Some(Err(e)) => return Err(MpldError::Io(e.to_string())),
+            None => {
+                return Err(MpldError::Parse {
+                    line: 1,
+                    reason: "empty checkpoint journal".into(),
+                })
+            }
+        };
+        let header = parse_header(&header_line).ok_or_else(|| MpldError::Parse {
+            line: 1,
+            reason: "malformed checkpoint header".into(),
+        })?;
+        let mut entries = HashMap::new();
+        let mut skipped_lines = 0usize;
+        for line in lines {
+            let Ok(line) = line else {
+                skipped_lines += 1;
+                continue;
+            };
+            match parse_entry(&line) {
+                // Last record wins: resumed runs append to the same file.
+                Some(e) => {
+                    entries.insert(e.unit, e);
+                }
+                None => {
+                    if !line.trim().is_empty() {
+                        skipped_lines += 1;
+                    }
+                }
+            }
+        }
+        Ok(Checkpoint {
+            header,
+            entries,
+            skipped_lines,
+        })
+    }
+
+    /// The journal's identification header.
+    pub fn header(&self) -> &CheckpointHeader {
+        &self.header
+    }
+
+    /// Whether this journal belongs to the given layout/parameters.
+    pub fn matches(&self, layout: &str, k: u8, alpha: f64, units: usize) -> bool {
+        self.header.layout == layout
+            && self.header.k == k
+            && (self.header.alpha - alpha).abs() < 1e-9
+            && self.header.units == units
+    }
+
+    /// The record for `unit`, provided its stored fingerprint equals the
+    /// present graph's `fingerprint` (a mismatch means the unit changed —
+    /// the record is ignored).
+    pub fn get(&self, unit: usize, fingerprint: u64) -> Option<&CheckpointEntry> {
+        self.entries
+            .get(&unit)
+            .filter(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Number of usable records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no records were recovered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of malformed / truncated lines the loader skipped.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+}
+
+/// Append-only journal writer shared by the pipeline's workers.
+///
+/// Every record is a single `write` + flush under a mutex, so a crash can
+/// lose at most the line being written — which the loader skips.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending, writing the header first when the file
+    /// is new or empty. Pass the header of the *present* run; resuming
+    /// onto a journal whose header disagrees should be rejected by the
+    /// caller before ever writing (see [`Checkpoint::matches`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MpldError::Io`] when the file cannot be opened or written.
+    pub fn append(path: &Path, header: &CheckpointHeader) -> Result<JournalWriter, MpldError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| MpldError::Io(e.to_string()))?;
+        let is_empty = file
+            .metadata()
+            .map(|m| m.len() == 0)
+            .map_err(|e| MpldError::Io(e.to_string()))?;
+        let mut w = BufWriter::new(file);
+        if is_empty {
+            writeln!(
+                w,
+                "{{\"v\":{VERSION},\"layout\":{},\"k\":{},\"alpha\":{},\"units\":{}}}",
+                json_string(&header.layout),
+                header.k,
+                header.alpha,
+                header.units
+            )
+            .map_err(|e| MpldError::Io(e.to_string()))?;
+            w.flush().map_err(|e| MpldError::Io(e.to_string()))?;
+        }
+        Ok(JournalWriter {
+            file: Mutex::new(w),
+        })
+    }
+
+    /// Appends one unit record and flushes it to the OS. Best-effort by
+    /// design: callers treat a failed append as a lost checkpoint, never
+    /// as a failed solve.
+    ///
+    /// # Errors
+    ///
+    /// [`MpldError::Io`] when the record cannot be written.
+    pub fn record(&self, e: &CheckpointEntry) -> Result<(), MpldError> {
+        let mut line = format!(
+            "{{\"unit\":{},\"fp\":{},\"engine\":\"{}\",\"certainty\":\"{}\",\"budget_fallback\":{},\"conflicts\":{},\"stitches\":{},\"coloring\":[",
+            e.unit,
+            e.fingerprint,
+            engine_str(e.engine),
+            certainty_str(e.certainty),
+            e.budget_fallback,
+            e.cost.conflicts,
+            e.cost.stitches,
+        );
+        for (i, c) in e.coloring.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&c.to_string());
+        }
+        line.push_str("]}");
+        let mut w = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        writeln!(w, "{line}").map_err(|e| MpldError::Io(e.to_string()))?;
+        w.flush().map_err(|e| MpldError::Io(e.to_string()))
+    }
+}
+
+fn engine_str(e: EngineKind) -> &'static str {
+    match e {
+        EngineKind::Matching => "matching",
+        EngineKind::ColorGnn => "colorgnn",
+        EngineKind::Ilp => "ilp",
+        EngineKind::Ec => "ec",
+    }
+}
+
+fn engine_from_str(s: &str) -> Option<EngineKind> {
+    match s {
+        "matching" => Some(EngineKind::Matching),
+        "colorgnn" => Some(EngineKind::ColorGnn),
+        "ilp" => Some(EngineKind::Ilp),
+        "ec" => Some(EngineKind::Ec),
+        _ => None,
+    }
+}
+
+fn certainty_str(c: Certainty) -> &'static str {
+    match c {
+        Certainty::Certified => "certified",
+        Certainty::Heuristic => "heuristic",
+        Certainty::BudgetExhausted => "budget_exhausted",
+        Certainty::Degraded => "degraded",
+    }
+}
+
+fn certainty_from_str(s: &str) -> Option<Certainty> {
+    match s {
+        "certified" => Some(Certainty::Certified),
+        "heuristic" => Some(Certainty::Heuristic),
+        "budget_exhausted" => Some(Certainty::BudgetExhausted),
+        "degraded" => Some(Certainty::Degraded),
+        _ => None,
+    }
+}
+
+/// Escapes a string for embedding in a JSON line (quotes + backslashes +
+/// control characters; layout names are ASCII identifiers in practice).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extracts the raw token following `"key":` in a single-line JSON
+/// object. Strings return their unescaped contents, scalars the bare
+/// token, arrays the bracketed body.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let rest = rest.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else if let Some(stripped) = rest.strip_prefix('[') {
+        let end = stripped.find(']')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn parse_header(line: &str) -> Option<CheckpointHeader> {
+    let v: u32 = field(line, "v")?.parse().ok()?;
+    if v != VERSION {
+        return None;
+    }
+    Some(CheckpointHeader {
+        layout: field(line, "layout")?.to_string(),
+        k: field(line, "k")?.parse().ok()?,
+        alpha: field(line, "alpha")?.parse().ok()?,
+        units: field(line, "units")?.parse().ok()?,
+    })
+}
+
+fn parse_entry(line: &str) -> Option<CheckpointEntry> {
+    // A truncated trailing line misses the closing bracket/brace and
+    // fails one of the extractions below — exactly the tolerance needed.
+    if !line.trim_end().ends_with('}') {
+        return None;
+    }
+    let coloring: Vec<u8> = {
+        let body = field(line, "coloring")?;
+        if body.trim().is_empty() {
+            Vec::new()
+        } else {
+            body.split(',')
+                .map(|t| t.trim().parse::<u8>())
+                .collect::<Result<_, _>>()
+                .ok()?
+        }
+    };
+    Some(CheckpointEntry {
+        unit: field(line, "unit")?.parse().ok()?,
+        fingerprint: field(line, "fp")?.parse().ok()?,
+        engine: engine_from_str(field(line, "engine")?)?,
+        certainty: certainty_from_str(field(line, "certainty")?)?,
+        budget_fallback: field(line, "budget_fallback")?.parse().ok()?,
+        coloring,
+        cost: CostBreakdown {
+            conflicts: field(line, "conflicts")?.parse().ok()?,
+            stitches: field(line, "stitches")?.parse().ok()?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_entry(unit: usize) -> CheckpointEntry {
+        CheckpointEntry {
+            unit,
+            fingerprint: 0xDEAD + unit as u64,
+            engine: EngineKind::Ec,
+            certainty: Certainty::Certified,
+            budget_fallback: false,
+            coloring: vec![0, 1, 2, 0],
+            cost: CostBreakdown {
+                conflicts: 0,
+                stitches: 1,
+            },
+        }
+    }
+
+    fn header() -> CheckpointHeader {
+        CheckpointHeader {
+            layout: "C432".into(),
+            k: 3,
+            alpha: 0.1,
+            units: 7,
+        }
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("mpld-checkpoint-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let w = JournalWriter::append(&path, &header()).unwrap();
+        w.record(&sample_entry(0)).unwrap();
+        w.record(&sample_entry(3)).unwrap();
+        drop(w);
+        // Re-append (a resumed run) and add one more record.
+        let w = JournalWriter::append(&path, &header()).unwrap();
+        w.record(&sample_entry(5)).unwrap();
+        drop(w);
+
+        let cp = Checkpoint::load(&path).unwrap().expect("journal exists");
+        assert!(cp.matches("C432", 3, 0.1, 7));
+        assert!(!cp.matches("C499", 3, 0.1, 7));
+        assert_eq!(cp.len(), 3);
+        assert_eq!(cp.get(3, 0xDEAD + 3), Some(&sample_entry(3)));
+        assert!(cp.get(3, 0xBEEF).is_none(), "fingerprint mismatch ignored");
+        assert_eq!(cp.skipped_lines(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_run() {
+        let path = std::env::temp_dir().join("mpld-checkpoint-test-nonexistent.jsonl");
+        assert!(Checkpoint::load(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_garbled_lines_are_skipped() {
+        let text = concat!(
+            "{\"v\":1,\"layout\":\"C432\",\"k\":3,\"alpha\":0.1,\"units\":7}\n",
+            "{\"unit\":0,\"fp\":57005,\"engine\":\"ilp\",\"certainty\":\"certified\",\"budget_fallback\":false,\"conflicts\":1,\"stitches\":0,\"coloring\":[2,2,1]}\n",
+            "not json at all\n",
+            "{\"unit\":1,\"fp\":57006,\"engine\":\"ec\",\"certainty\":\"heuri", // truncated mid-write
+        );
+        let cp = Checkpoint::read(Cursor::new(text)).unwrap();
+        assert_eq!(cp.len(), 1);
+        assert_eq!(cp.skipped_lines(), 2);
+        let e = cp.get(0, 57005).unwrap();
+        assert_eq!(e.engine, EngineKind::Ilp);
+        assert_eq!(e.coloring, vec![2, 2, 1]);
+        assert_eq!(e.cost.conflicts, 1);
+    }
+
+    #[test]
+    fn last_record_per_unit_wins() {
+        let text = concat!(
+            "{\"v\":1,\"layout\":\"x\",\"k\":3,\"alpha\":0.1,\"units\":2}\n",
+            "{\"unit\":0,\"fp\":9,\"engine\":\"ilp\",\"certainty\":\"budget_exhausted\",\"budget_fallback\":true,\"conflicts\":5,\"stitches\":0,\"coloring\":[0]}\n",
+            "{\"unit\":0,\"fp\":9,\"engine\":\"ilp\",\"certainty\":\"certified\",\"budget_fallback\":false,\"conflicts\":2,\"stitches\":0,\"coloring\":[1]}\n",
+        );
+        let cp = Checkpoint::read(Cursor::new(text)).unwrap();
+        let e = cp.get(0, 9).unwrap();
+        assert_eq!(e.certainty, Certainty::Certified);
+        assert_eq!(e.coloring, vec![1]);
+    }
+
+    #[test]
+    fn bad_header_is_fatal() {
+        let err = Checkpoint::read(Cursor::new("nonsense\n")).unwrap_err();
+        assert!(matches!(err, MpldError::Parse { .. }));
+        let err = Checkpoint::read(Cursor::new("")).unwrap_err();
+        assert!(matches!(err, MpldError::Parse { .. }));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs() {
+        let a = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2)]).unwrap();
+        let b = LayoutGraph::homogeneous(3, vec![(0, 1), (0, 2)]).unwrap();
+        assert_ne!(unit_fingerprint(&a), unit_fingerprint(&b));
+        assert_eq!(unit_fingerprint(&a), unit_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn degraded_certainty_roundtrips() {
+        let mut e = sample_entry(2);
+        e.certainty = Certainty::Degraded;
+        e.engine = EngineKind::Ilp;
+        let dir = std::env::temp_dir().join("mpld-checkpoint-test-degraded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let w = JournalWriter::append(&path, &header()).unwrap();
+        w.record(&e).unwrap();
+        drop(w);
+        let cp = Checkpoint::load(&path).unwrap().unwrap();
+        assert_eq!(cp.get(2, e.fingerprint), Some(&e));
+        let _ = std::fs::remove_file(&path);
+    }
+}

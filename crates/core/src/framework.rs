@@ -13,17 +13,19 @@
 //! Runtime is accounted per category so Fig. 9 (runtime breakdown) and
 //! Fig. 10 (usage breakdown) can be reproduced.
 
-use crate::parallel::run_largest_first;
+use crate::checkpoint::{unit_fingerprint, Checkpoint, CheckpointEntry, JournalWriter};
+use crate::parallel::{panic_payload_string, run_largest_first_quarantined};
 use crate::pipeline::{assemble, PipelineResult, PreparedLayout};
 use mpld_ec::EcDecomposer;
 use mpld_gnn::{ColorGnn, RgcnClassifier};
 use mpld_graph::{
-    Budget, CancelToken, Certainty, Clock, DecomposeParams, Decomposer, Decomposition, LayoutGraph,
-    MpldError, SystemClock,
+    audit_coloring, audit_decomposition, greedy_coloring, Budget, CancelToken, Certainty, Clock,
+    DecomposeParams, Decomposer, Decomposition, LayoutGraph, MpldError, SystemClock,
 };
 use mpld_ilp::encode::BipDecomposer;
 use mpld_matching::{canonical_form_labeled, CanonicalForm, GraphLibrary};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -110,6 +112,9 @@ pub struct UnitOutcome {
     /// resolved by matching, batched ColorGNN, or memo transfer, whose
     /// cost is accounted in [`TimingBreakdown`] only.
     pub time: Duration,
+    /// Whether the independent audit rejected at least one candidate
+    /// result for this unit (the kept result is the re-routed recovery).
+    pub audit_rejected: bool,
 }
 
 /// Aggregate budget statistics over one adaptive run.
@@ -125,6 +130,13 @@ pub struct BudgetBreakdown {
     /// Units that fell back to a cheaper engine (or skipped exact
     /// verification) because the budget expired mid-solve.
     pub budget_fallbacks: usize,
+    /// Units quarantined with a greedy-fallback coloring after their
+    /// routed engine panicked or kept failing the independent audit
+    /// ([`Certainty::Degraded`]).
+    pub quarantined: usize,
+    /// Units for which the independent audit rejected at least one
+    /// candidate result (the kept result is the re-routed recovery).
+    pub audit_rejections: usize,
 }
 
 impl BudgetBreakdown {
@@ -135,9 +147,13 @@ impl BudgetBreakdown {
                 Certainty::Certified => b.certified += 1,
                 Certainty::Heuristic => b.heuristic += 1,
                 Certainty::BudgetExhausted => b.budget_exhausted += 1,
+                Certainty::Degraded => b.quarantined += 1,
             }
             if o.budget_fallback {
                 b.budget_fallbacks += 1;
+            }
+            if o.audit_rejected {
+                b.audit_rejections += 1;
             }
         }
         b
@@ -217,6 +233,39 @@ pub struct AdaptiveResult {
     pub unit_outcomes: Vec<UnitOutcome>,
     /// Aggregate budget statistics derived from `unit_outcomes`.
     pub budget: BudgetBreakdown,
+    /// Units whose routed solve panicked or errored and were quarantined
+    /// with a greedy-fallback coloring: `(unit index, recorded fault)`.
+    pub quarantines: Vec<(usize, MpldError)>,
+    /// ILP/EC-tail units restored from a checkpoint journal instead of
+    /// being re-solved (see [`Recovery`]).
+    pub resumed_units: usize,
+}
+
+/// Checkpoint hookup for
+/// [`AdaptiveFramework::decompose_prepared_parallel_recoverable`]: an
+/// optional journal of a previous (killed) run to resume from, and an
+/// optional writer recording this run's ILP/EC-tail solves as they
+/// complete.
+///
+/// Resumed entries are never trusted blindly: each one is audited against
+/// the present unit graph (structural fingerprint, coloring validity, and
+/// recorded-vs-recomputed cost) and silently re-solved on any mismatch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Recovery<'a> {
+    /// Journal of a previous run to resume from.
+    pub resume: Option<&'a Checkpoint>,
+    /// Journal writer for this run's tail solves.
+    pub journal: Option<&'a JournalWriter>,
+}
+
+/// One guarded ILP/EC-tail solve: the kept decomposition plus the fault
+/// bookkeeping the framework folds into the layout-level result.
+struct UnitSolve {
+    d: Decomposition,
+    engine: EngineKind,
+    budget_fallback: bool,
+    audit_rejected: bool,
+    quarantine: Option<MpldError>,
 }
 
 /// The trained adaptive framework (see module docs).
@@ -342,22 +391,175 @@ impl AdaptiveFramework {
         }
     }
 
-    /// Decomposes one unit graph, returning the decomposition, the engine
-    /// used, whether a ColorGNN fallback occurred, and whether a budget
-    /// fallback occurred.
+    /// Whether `d`'s coloring and claimed cost survive the independent
+    /// audit (`mpld_graph::audit`, a from-scratch Eq. (1) recomputation
+    /// against the unsimplified unit graph).
+    fn audit_ok(&self, g: &LayoutGraph, d: &Decomposition) -> bool {
+        audit_decomposition(g, d, self.params.k).is_ok()
+    }
+
+    /// The quarantine fallback: a greedy coloring tagged
+    /// [`Certainty::Degraded`]. Always valid, never trusted for quality.
+    fn greedy_degraded(&self, g: &LayoutGraph) -> Decomposition {
+        Decomposition::from_coloring(g, greedy_coloring(g, self.params.k), self.params.alpha)
+            .with_certainty(Certainty::Degraded)
+    }
+
+    /// Panic-guarded run of the exact ILP, used as the most-trusted rung
+    /// of the degradation ladder. Returns `None` when the ILP itself
+    /// panics, errors, or produces a result the audit rejects.
+    fn ilp_retry_guarded(
+        &self,
+        g: &LayoutGraph,
+        budget: &Budget,
+        timing: &mut TimingBreakdown,
+    ) -> Option<Decomposition> {
+        let t = Instant::now();
+        let retried = catch_unwind(AssertUnwindSafe(|| {
+            self.ilp.decompose(g, &self.params, budget)
+        }));
+        timing.ilp += t.elapsed();
+        match retried {
+            Ok(Ok(d)) if self.audit_ok(g, &d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Folds one tail-solve attempt through the degradation ladder:
+    /// audit-clean results pass through; audit-rejected or errored results
+    /// are re-routed to the most-trusted engine (the exact ILP, itself
+    /// guarded and audited); and when even that fails the unit is
+    /// quarantined with a greedy [`Certainty::Degraded`] coloring. Never
+    /// fails: every unit always receives a full valid coloring.
+    fn audited_tail_result(
+        &self,
+        g: &LayoutGraph,
+        attempt: Result<(Decomposition, EngineKind, bool), MpldError>,
+        budget: &Budget,
+        timing: &mut TimingBreakdown,
+    ) -> UnitSolve {
+        match attempt {
+            Ok((d, engine, budget_fallback)) => {
+                if self.audit_ok(g, &d) {
+                    return UnitSolve {
+                        d,
+                        engine,
+                        budget_fallback,
+                        audit_rejected: false,
+                        quarantine: None,
+                    };
+                }
+                if engine != EngineKind::Ilp {
+                    if let Some(d2) = self.ilp_retry_guarded(g, budget, timing) {
+                        return UnitSolve {
+                            d: d2,
+                            engine: EngineKind::Ilp,
+                            budget_fallback,
+                            audit_rejected: true,
+                            quarantine: None,
+                        };
+                    }
+                }
+                UnitSolve {
+                    d: self.greedy_degraded(g),
+                    engine,
+                    budget_fallback,
+                    audit_rejected: true,
+                    quarantine: None,
+                }
+            }
+            Err(e) => {
+                if let Some(d2) = self.ilp_retry_guarded(g, budget, timing) {
+                    return UnitSolve {
+                        d: d2,
+                        engine: EngineKind::Ilp,
+                        budget_fallback: false,
+                        audit_rejected: false,
+                        quarantine: None,
+                    };
+                }
+                UnitSolve {
+                    d: self.greedy_degraded(g),
+                    engine: EngineKind::Ilp,
+                    budget_fallback: false,
+                    audit_rejected: false,
+                    quarantine: Some(e),
+                }
+            }
+        }
+    }
+
+    /// Fault-isolated ILP/EC-tail solve for one unit: runs
+    /// [`AdaptiveFramework::decompose_with_selection`] under
+    /// `catch_unwind`, converting a panic into an
+    /// [`MpldError::Panicked`] quarantine, and passes everything else
+    /// through the audit ladder ([`AdaptiveFramework::audited_tail_result`]).
+    fn solve_tail_guarded(
+        &self,
+        unit: usize,
+        g: &LayoutGraph,
+        ec_first: bool,
+        budget: &Budget,
+        timing: &mut TimingBreakdown,
+    ) -> UnitSolve {
+        let attempt = {
+            let timing = &mut *timing;
+            catch_unwind(AssertUnwindSafe(move || {
+                self.decompose_with_selection(g, ec_first, budget, timing)
+            }))
+        };
+        match attempt {
+            Ok(r) => self.audited_tail_result(g, r, budget, timing),
+            Err(p) => UnitSolve {
+                d: self.greedy_degraded(g),
+                engine: if ec_first {
+                    EngineKind::Ec
+                } else {
+                    EngineKind::Ilp
+                },
+                budget_fallback: false,
+                audit_rejected: false,
+                quarantine: Some(MpldError::Panicked {
+                    unit,
+                    payload: panic_payload_string(p.as_ref()),
+                }),
+            },
+        }
+    }
+
+    /// Decomposes one unit graph through the full adaptive flow with
+    /// fault isolation, returning the guarded solve plus whether a
+    /// ColorGNN guard fallback occurred. Infallible: panics and engine
+    /// errors degrade per the ladder instead of propagating.
     fn decompose_unit(
         &self,
+        unit: usize,
         hetero: &LayoutGraph,
         budget: &Budget,
         timing: &mut TimingBreakdown,
-    ) -> Result<(Decomposition, EngineKind, bool, bool), MpldError> {
-        // 1. Library matching.
+    ) -> (UnitSolve, bool) {
+        let mut audit_rejected = false;
+
+        // 1. Library matching (audited: a stale or corrupted library
+        // transfer falls through to the engines below).
         if hetero.num_nodes() <= self.library.max_nodes() {
             let t = Instant::now();
             let hit = self.library.lookup(&self.selector, hetero);
             timing.matching += t.elapsed();
             if let Some(d) = hit {
-                return Ok((d, EngineKind::Matching, false, false));
+                if self.audit_ok(hetero, &d) {
+                    return (
+                        UnitSolve {
+                            d,
+                            engine: EngineKind::Matching,
+                            budget_fallback: false,
+                            audit_rejected,
+                            quarantine: None,
+                        },
+                        false,
+                    );
+                }
+                audit_rejected = true;
             }
         }
 
@@ -374,28 +576,56 @@ impl AdaptiveFramework {
             if redundant {
                 let t = Instant::now();
                 let (parent, map) = hetero.merge_stitch_edges();
-                let pd = self.colorgnn.decompose(&parent, &self.params, budget)?;
+                // Guarded: a panicking or erroring ColorGNN is a guard
+                // failure, not a layout failure.
+                let pd = catch_unwind(AssertUnwindSafe(|| {
+                    self.colorgnn.decompose(&parent, &self.params, budget)
+                }));
                 timing.colorgnn += t.elapsed();
-                if pd.cost.conflicts == 0 {
-                    // Expand the parent coloring to subfeatures (no stitch
-                    // is activated, so the cost carries over exactly).
-                    let coloring: Vec<u8> = map.iter().map(|&p| pd.coloring[p as usize]).collect();
-                    let d = Decomposition::try_from_coloring(hetero, coloring, self.params.alpha)?;
-                    return Ok((d, EngineKind::ColorGnn, false, false));
+                match pd {
+                    Ok(Ok(pd)) if pd.cost.conflicts == 0 => {
+                        // Expand the parent coloring to subfeatures (no
+                        // stitch is activated, so the cost carries over
+                        // exactly) and audit the expansion: an honest
+                        // accepted expansion reproduces the parent cost
+                        // bit-for-bit.
+                        let coloring: Vec<u8> =
+                            map.iter().map(|&p| pd.coloring[p as usize]).collect();
+                        match Decomposition::try_from_coloring(hetero, coloring, self.params.alpha)
+                        {
+                            Ok(d) if d.cost == pd.cost => {
+                                return (
+                                    UnitSolve {
+                                        d,
+                                        engine: EngineKind::ColorGnn,
+                                        budget_fallback: false,
+                                        audit_rejected,
+                                        quarantine: None,
+                                    },
+                                    false,
+                                );
+                            }
+                            _ => {
+                                audit_rejected = true;
+                                fallback = true;
+                            }
+                        }
+                    }
+                    // The parent graph may genuinely need conflicts or
+                    // stitches; defer to the exact engines.
+                    Ok(Ok(_)) => fallback = true,
+                    Ok(Err(_)) | Err(_) => fallback = true,
                 }
-                // The parent graph may genuinely need conflicts or
-                // stitches; defer to the exact engines.
-                fallback = true;
             }
         }
 
-        // 3. ILP/EC selection with certified EC acceptance.
+        // 3. ILP/EC selection with certified EC acceptance, guarded.
         let t = Instant::now();
         let ec_first = fallback || self.select_engine(hetero) == 1;
         timing.selection += t.elapsed();
-        let (d, engine, budget_fallback) =
-            self.decompose_with_selection(hetero, ec_first, budget, timing)?;
-        Ok((d, engine, fallback, budget_fallback))
+        let mut solve = self.solve_tail_guarded(unit, hetero, ec_first, budget, timing);
+        solve.audit_rejected |= audit_rejected;
+        (solve, fallback)
     }
 
     /// Adaptively decomposes a prepared layout, one unit at a time (no
@@ -425,12 +655,13 @@ impl AdaptiveFramework {
         let mut unit_engines = Vec::with_capacity(prep.units.len());
         let mut unit_results = Vec::with_capacity(prep.units.len());
         let mut unit_outcomes = Vec::with_capacity(prep.units.len());
-        for unit in &prep.units {
+        let mut quarantines = Vec::new();
+        for (i, unit) in prep.units.iter().enumerate() {
             let unit_budget = policy.unit_budget(&total);
             let solver_before = timing.ilp + timing.ec;
-            let (d, engine, fell_back, budget_fallback) =
-                self.decompose_unit(&unit.hetero, &unit_budget, &mut timing)?;
-            match engine {
+            let (solve, fell_back) =
+                self.decompose_unit(i, &unit.hetero, &unit_budget, &mut timing);
+            match solve.engine {
                 EngineKind::Matching => usage.matching += 1,
                 EngineKind::ColorGnn => usage.colorgnn += 1,
                 EngineKind::Ilp => usage.ilp += 1,
@@ -439,14 +670,18 @@ impl AdaptiveFramework {
             if fell_back {
                 usage.colorgnn_fallbacks += 1;
             }
+            if let Some(q) = solve.quarantine {
+                quarantines.push((i, q));
+            }
             unit_outcomes.push(UnitOutcome {
-                engine,
-                certainty: d.certainty,
-                budget_fallback,
+                engine: solve.engine,
+                certainty: solve.d.certainty,
+                budget_fallback: solve.budget_fallback,
                 time: timing.ilp + timing.ec - solver_before,
+                audit_rejected: solve.audit_rejected,
             });
-            unit_engines.push(engine);
-            unit_results.push(d);
+            unit_engines.push(solve.engine);
+            unit_results.push(solve.d);
         }
         let decompose_time = start.elapsed();
         let pipeline = assemble(prep, &self.params, unit_results, decompose_time);
@@ -458,6 +693,8 @@ impl AdaptiveFramework {
             memo_hits: 0,
             budget: BudgetBreakdown::from_outcomes(&unit_outcomes),
             unit_outcomes,
+            quarantines,
+            resumed_units: 0,
         })
     }
 
@@ -490,16 +727,23 @@ impl AdaptiveFramework {
         routed.unit_results = vec![None; n];
         routed.unit_engines = vec![None; n];
         routed.guard_failed = vec![false; n];
+        routed.audit_rejected = vec![false; n];
 
-        // 1. Library matching with the precomputed embeddings.
+        // 1. Library matching with the precomputed embeddings. Every hit
+        // is audited; a stale or corrupted library transfer is rejected
+        // and the unit falls through to the engines below.
         let t = Instant::now();
         for (i, g) in graphs.iter().enumerate() {
             if g.num_nodes() <= self.library.max_nodes() {
                 let (emb, nodes) = &embeddings[i];
                 if let Some(d) = self.library.lookup_with_embeddings(g, emb, nodes) {
-                    routed.unit_results[i] = Some(d);
-                    routed.unit_engines[i] = Some(EngineKind::Matching);
-                    routed.usage.matching += 1;
+                    if self.audit_ok(g, &d) {
+                        routed.unit_results[i] = Some(d);
+                        routed.unit_engines[i] = Some(EngineKind::Matching);
+                        routed.usage.matching += 1;
+                    } else {
+                        routed.audit_rejected[i] = true;
+                    }
                 }
             }
         }
@@ -524,20 +768,48 @@ impl AdaptiveFramework {
                 }
             }
             let parent_refs: Vec<&LayoutGraph> = parents.iter().collect();
-            let results = self
-                .colorgnn
-                .decompose_batch(&parent_refs, &self.params, budget);
-            for ((&i, pd), map) in idx.iter().zip(results).zip(&maps) {
-                if pd.cost.conflicts == 0 {
-                    let coloring: Vec<u8> = map.iter().map(|&p| pd.coloring[p as usize]).collect();
-                    let d =
-                        Decomposition::try_from_coloring(graphs[i], coloring, self.params.alpha)?;
-                    routed.unit_results[i] = Some(d);
-                    routed.unit_engines[i] = Some(EngineKind::ColorGnn);
-                    routed.usage.colorgnn += 1;
-                } else {
-                    routed.usage.colorgnn_fallbacks += 1;
-                    routed.guard_failed[i] = true;
+            // Guarded: a panicking batch costs a guard fallback for every
+            // batched unit, never the layout.
+            let results = catch_unwind(AssertUnwindSafe(|| {
+                self.colorgnn
+                    .decompose_batch(&parent_refs, &self.params, budget)
+            }));
+            match results {
+                Ok(results) => {
+                    for ((&i, pd), map) in idx.iter().zip(results).zip(&maps) {
+                        if pd.cost.conflicts == 0 {
+                            let coloring: Vec<u8> =
+                                map.iter().map(|&p| pd.coloring[p as usize]).collect();
+                            match Decomposition::try_from_coloring(
+                                graphs[i],
+                                coloring,
+                                self.params.alpha,
+                            ) {
+                                // An honest accepted expansion reproduces
+                                // the parent cost bit-for-bit; anything
+                                // else is an audit rejection.
+                                Ok(d) if d.cost == pd.cost => {
+                                    routed.unit_results[i] = Some(d);
+                                    routed.unit_engines[i] = Some(EngineKind::ColorGnn);
+                                    routed.usage.colorgnn += 1;
+                                }
+                                _ => {
+                                    routed.usage.colorgnn_fallbacks += 1;
+                                    routed.guard_failed[i] = true;
+                                    routed.audit_rejected[i] = true;
+                                }
+                            }
+                        } else {
+                            routed.usage.colorgnn_fallbacks += 1;
+                            routed.guard_failed[i] = true;
+                        }
+                    }
+                }
+                Err(_) => {
+                    for &i in &idx {
+                        routed.usage.colorgnn_fallbacks += 1;
+                        routed.guard_failed[i] = true;
+                    }
                 }
             }
             timing.colorgnn += t.elapsed();
@@ -589,13 +861,15 @@ impl AdaptiveFramework {
             mut timing,
             guard_failed,
             selector_probs,
+            mut audit_rejected,
         } = routed;
         let mut budget_fallback = vec![false; n];
         let mut unit_time = vec![Duration::ZERO; n];
+        let mut quarantines = Vec::new();
 
         // 3. Remaining units (including ColorGNN-guard failures): ILP/EC
         // per the selector, with certified EC acceptance (see
-        // `decompose_with_selection`).
+        // `decompose_with_selection`), each solve guarded and audited.
         for (i, g) in graphs.iter().enumerate() {
             if unit_results[i].is_some() {
                 continue;
@@ -603,28 +877,36 @@ impl AdaptiveFramework {
             let ec_first = guard_failed[i] || selector_probs[i][1] > self.ec_threshold;
             let unit_budget = policy.unit_budget(&total);
             let solver_before = timing.ilp + timing.ec;
-            let (d, engine, fell_back) =
-                self.decompose_with_selection(g, ec_first, &unit_budget, &mut timing)?;
-            match engine {
+            let solve = self.solve_tail_guarded(i, g, ec_first, &unit_budget, &mut timing);
+            match solve.engine {
                 EngineKind::Ilp => usage.ilp += 1,
                 _ => usage.ec += 1,
             }
-            budget_fallback[i] = fell_back;
+            budget_fallback[i] = solve.budget_fallback;
             unit_time[i] = timing.ilp + timing.ec - solver_before;
-            unit_results[i] = Some(d);
-            unit_engines[i] = Some(engine);
+            audit_rejected[i] |= solve.audit_rejected;
+            if let Some(q) = solve.quarantine {
+                quarantines.push((i, q));
+            }
+            unit_results[i] = Some(solve.d);
+            unit_engines[i] = Some(solve.engine);
         }
 
         Ok(finish(
             prep,
             &self.params,
-            unit_results,
-            unit_engines,
-            budget_fallback,
-            unit_time,
-            usage,
-            timing,
-            0,
+            FinishParts {
+                unit_results,
+                unit_engines,
+                budget_fallback,
+                unit_time,
+                audit_rejected,
+                usage,
+                timing,
+                memo_hits: 0,
+                quarantines,
+                resumed_units: 0,
+            },
             start,
         ))
     }
@@ -676,6 +958,33 @@ impl AdaptiveFramework {
         threads: usize,
         policy: &BudgetPolicy,
     ) -> Result<AdaptiveResult, MpldError> {
+        self.decompose_prepared_parallel_recoverable(prep, threads, policy, Recovery::default())
+    }
+
+    /// Crash-safe variant of
+    /// [`AdaptiveFramework::decompose_prepared_parallel_with`]: with
+    /// `recovery.journal` set, every ILP/EC-tail solve is appended to a
+    /// truncation-tolerant JSONL journal as it completes; with
+    /// `recovery.resume` set, units recorded in a previous run's journal
+    /// are restored instead of re-solved (after each record passes the
+    /// independent audit against the present unit graph).
+    ///
+    /// The GNN routing passes always re-run — they are deterministic given
+    /// the model seed — so a resumed run is bit-identical to the
+    /// uninterrupted one for every journaled unit.
+    ///
+    /// # Errors
+    ///
+    /// `Err` means an engine rejected its input outright; budget
+    /// exhaustion is never an error, and journal write failures are
+    /// swallowed (a lost checkpoint, never a lost solve).
+    pub fn decompose_prepared_parallel_recoverable(
+        &self,
+        prep: &PreparedLayout,
+        threads: usize,
+        policy: &BudgetPolicy,
+        recovery: Recovery<'_>,
+    ) -> Result<AdaptiveResult, MpldError> {
         let start = Instant::now();
         let n = prep.units.len();
         let graphs: Vec<&LayoutGraph> = prep.units.iter().map(|u| &u.hetero).collect();
@@ -692,16 +1001,46 @@ impl AdaptiveFramework {
             mut timing,
             guard_failed,
             selector_probs,
+            mut audit_rejected,
         } = routed;
+
+        let mut budget_fallback = vec![false; n];
+        let mut unit_time = vec![Duration::ZERO; n];
+        let mut quarantines: Vec<(usize, MpldError)> = Vec::new();
+        let mut resumed_units = 0usize;
 
         // 3. The ILP/EC tail. `tail` is in unit order; `ecf[t]` is the
         // routing flag of tail unit `t` (it is part of the memo key
-        // because it decides which engines may answer).
+        // because it decides which engines may answer). Resumed units stay
+        // in `tail` so the usage accounting below covers them.
         let tail: Vec<usize> = (0..n).filter(|&i| unit_results[i].is_none()).collect();
         let ecf: Vec<bool> = tail
             .iter()
             .map(|&i| guard_failed[i] || selector_probs[i][1] > self.ec_threshold)
             .collect();
+
+        // Resume: restore journaled tail units whose records survive the
+        // audit (fingerprint match, valid coloring, recorded cost equal to
+        // the from-scratch recomputation). Anything else is re-solved.
+        if let Some(cp) = recovery.resume {
+            for &i in &tail {
+                let Some(e) = cp.get(i, unit_fingerprint(graphs[i])) else {
+                    continue;
+                };
+                match audit_coloring(graphs[i], &e.coloring, self.params.k) {
+                    Ok(recomputed) if recomputed == e.cost => {}
+                    _ => continue,
+                }
+                unit_results[i] = Some(Decomposition {
+                    coloring: e.coloring.clone(),
+                    cost: e.cost,
+                    certainty: e.certainty,
+                });
+                unit_engines[i] = Some(e.engine);
+                budget_fallback[i] = e.budget_fallback;
+                resumed_units += 1;
+            }
+        }
 
         // Group memoizable tail units by canonical certificate. A cheap
         // structural fingerprint goes first: isomorphic graphs always share
@@ -711,6 +1050,9 @@ impl AdaptiveFramework {
         let mut finger: HashMap<(usize, usize, Vec<u8>, bool), Vec<usize>> = HashMap::new();
         for (t, &i) in tail.iter().enumerate() {
             let g = graphs[i];
+            if unit_results[i].is_some() {
+                continue; // restored from the checkpoint journal
+            }
             if g.num_nodes() <= MEMO_MAX_NODES {
                 let mut degs: Vec<u8> = (0..g.num_nodes() as u32)
                     .map(|v| (g.conflict_degree(v) as u8) << 4 | g.stitch_neighbors(v).len() as u8)
@@ -746,49 +1088,85 @@ impl AdaptiveFramework {
         let mut items: Vec<Vec<usize>> = groups.into_values().collect();
         items.extend(
             (0..tail.len())
-                .filter(|&t| labelings[t].is_none())
+                .filter(|&t| labelings[t].is_none() && unit_results[tail[t]].is_none())
                 .map(|t| vec![t]),
         );
         items.sort_by_key(|members| members[0]);
 
         // Solve one representative per item, largest units first. Each
-        // worker anchors the per-unit budget when it picks the item up.
-        let solved: Vec<Result<(Decomposition, EngineKind, bool, TimingBreakdown), MpldError>> =
-            run_largest_first(
+        // worker anchors the per-unit budget when it picks the item up,
+        // runs the fault-isolated guarded solve (so the job itself never
+        // fails), and journals the result before returning. The outer
+        // quarantined runner is a second line of defense: should a job
+        // still panic, only that item degrades.
+        let solved: Vec<Result<(UnitSolve, TimingBreakdown), String>> =
+            run_largest_first_quarantined(
                 items.len(),
                 threads,
                 |j| graphs[tail[items[j][0]]].num_nodes(),
                 |j| {
                     let mut t = TimingBreakdown::default();
                     let rep = items[j][0];
+                    let i = tail[rep];
                     let unit_budget = policy.unit_budget(&total);
-                    let (d, engine, fell_back) = self.decompose_with_selection(
-                        graphs[tail[rep]],
-                        ecf[rep],
-                        &unit_budget,
-                        &mut t,
-                    )?;
-                    Ok((d, engine, fell_back, t))
+                    let s = self.solve_tail_guarded(i, graphs[i], ecf[rep], &unit_budget, &mut t);
+                    journal_record(
+                        recovery.journal,
+                        i,
+                        graphs[i],
+                        &s.d,
+                        s.engine,
+                        s.budget_fallback,
+                    );
+                    (s, t)
                 },
             );
-        let solved: Vec<(Decomposition, EngineKind, bool, TimingBreakdown)> =
-            solved.into_iter().collect::<Result<_, _>>()?;
 
         // Scatter representatives, transfer to the remaining members, and
         // re-verify every transfer against the member's own cost.
-        let mut budget_fallback = vec![false; n];
-        let mut unit_time = vec![Duration::ZERO; n];
         let mut memo_hits = 0usize;
         let mut unverified: Vec<usize> = Vec::new();
-        for (members, (d, engine, fell_back, t)) in items.iter().zip(&solved) {
+        for (members, solved_j) in items.iter().zip(solved) {
+            let rep = members[0];
+            let ri = tail[rep];
+            let (s, t) = match solved_j {
+                Ok(pair) => pair,
+                Err(payload) => {
+                    // Second line of defense: the worker job itself
+                    // panicked. Quarantine the representative and re-solve
+                    // the remaining group members individually.
+                    quarantines.push((ri, MpldError::Panicked { unit: ri, payload }));
+                    unit_results[ri] = Some(self.greedy_degraded(graphs[ri]));
+                    unit_engines[ri] = Some(if ecf[rep] {
+                        EngineKind::Ec
+                    } else {
+                        EngineKind::Ilp
+                    });
+                    unverified.extend(members[1..].iter().copied());
+                    continue;
+                }
+            };
             timing.ilp += t.ilp;
             timing.ec += t.ec;
-            let rep = members[0];
-            unit_results[tail[rep]] = Some(d.clone());
-            unit_engines[tail[rep]] = Some(*engine);
-            budget_fallback[tail[rep]] = *fell_back;
-            unit_time[tail[rep]] = t.ilp + t.ec;
+            // A quarantined or degraded representative must not spread its
+            // fallback coloring to isomorphic members: they re-solve.
+            let transferable = s.quarantine.is_none() && s.d.certainty != Certainty::Degraded;
+            audit_rejected[ri] |= s.audit_rejected;
+            budget_fallback[ri] = s.budget_fallback;
+            unit_time[ri] = t.ilp + t.ec;
+            unit_engines[ri] = Some(s.engine);
+            let engine = s.engine;
+            let fell_back = s.budget_fallback;
+            if let Some(q) = s.quarantine {
+                quarantines.push((ri, q));
+            }
+            let d = s.d;
+            unit_results[ri] = Some(d.clone());
             for &t_pos in &members[1..] {
+                if !transferable {
+                    unverified.push(t_pos);
+                    continue;
+                }
                 let i = tail[t_pos];
                 #[allow(clippy::expect_used)] // grouped units were labeled above
                 let rep_perm = labelings[rep].as_ref().expect("grouped units are labeled");
@@ -801,22 +1179,33 @@ impl AdaptiveFramework {
                 for v in 0..nn {
                     canon_colors[rep_perm[v] as usize] = d.coloring[v];
                 }
-                let coloring: Vec<u8> = (0..nn)
+                #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+                let mut coloring: Vec<u8> = (0..nn)
                     .map(|v| canon_colors[mem_perm[v] as usize])
                     .collect();
+                #[cfg(feature = "failpoints")]
+                mpld_graph::failpoints::corrupt_coloring(
+                    "memo.transfer",
+                    &mut coloring,
+                    self.params.k,
+                );
                 let cost = graphs[i].evaluate(&coloring, self.params.alpha);
                 if cost == d.cost {
-                    unit_results[i] = Some(Decomposition {
+                    let md = Decomposition {
                         coloring,
                         cost,
                         certainty: d.certainty,
-                    });
-                    unit_engines[i] = Some(*engine);
-                    budget_fallback[i] = *fell_back;
+                    };
+                    journal_record(recovery.journal, i, graphs[i], &md, engine, fell_back);
+                    unit_results[i] = Some(md);
+                    unit_engines[i] = Some(engine);
+                    budget_fallback[i] = fell_back;
                     memo_hits += 1;
                 } else {
-                    // A certificate collision would land here; solve the
-                    // member directly rather than trust the transfer.
+                    // A certificate collision or a corrupted transfer
+                    // lands here; solve the member directly rather than
+                    // trust the transfer.
+                    audit_rejected[i] = true;
                     unverified.push(t_pos);
                 }
             }
@@ -825,12 +1214,23 @@ impl AdaptiveFramework {
             let i = tail[t_pos];
             let unit_budget = policy.unit_budget(&total);
             let solver_before = timing.ilp + timing.ec;
-            let (d, engine, fell_back) =
-                self.decompose_with_selection(graphs[i], ecf[t_pos], &unit_budget, &mut timing)?;
-            budget_fallback[i] = fell_back;
+            let s = self.solve_tail_guarded(i, graphs[i], ecf[t_pos], &unit_budget, &mut timing);
+            budget_fallback[i] = s.budget_fallback;
             unit_time[i] = timing.ilp + timing.ec - solver_before;
-            unit_results[i] = Some(d);
-            unit_engines[i] = Some(engine);
+            audit_rejected[i] |= s.audit_rejected;
+            if let Some(q) = s.quarantine {
+                quarantines.push((i, q));
+            }
+            journal_record(
+                recovery.journal,
+                i,
+                graphs[i],
+                &s.d,
+                s.engine,
+                s.budget_fallback,
+            );
+            unit_results[i] = Some(s.d);
+            unit_engines[i] = Some(s.engine);
         }
         for &i in &tail {
             #[allow(clippy::expect_used)] // every tail unit was solved above
@@ -843,16 +1243,43 @@ impl AdaptiveFramework {
         Ok(finish(
             prep,
             &self.params,
-            unit_results,
-            unit_engines,
-            budget_fallback,
-            unit_time,
-            usage,
-            timing,
-            memo_hits,
+            FinishParts {
+                unit_results,
+                unit_engines,
+                budget_fallback,
+                unit_time,
+                audit_rejected,
+                usage,
+                timing,
+                memo_hits,
+                quarantines,
+                resumed_units,
+            },
             start,
         ))
     }
+}
+
+/// Best-effort append of one solved tail unit to the checkpoint journal
+/// (a failed write is a lost checkpoint, never a failed solve).
+fn journal_record(
+    journal: Option<&JournalWriter>,
+    unit: usize,
+    g: &LayoutGraph,
+    d: &Decomposition,
+    engine: EngineKind,
+    budget_fallback: bool,
+) {
+    let Some(j) = journal else { return };
+    let _ = j.record(&CheckpointEntry {
+        unit,
+        fingerprint: unit_fingerprint(g),
+        engine,
+        certainty: d.certainty,
+        budget_fallback,
+        coloring: d.coloring.clone(),
+        cost: d.cost,
+    });
 }
 
 /// Propagates an impossible unlimited-budget error as a panic (the
@@ -875,55 +1302,72 @@ fn empty_result(prep: &PreparedLayout, params: &DecomposeParams, start: Instant)
         memo_hits: 0,
         unit_outcomes: Vec::new(),
         budget: BudgetBreakdown::default(),
+        quarantines: Vec::new(),
+        resumed_units: 0,
     }
 }
 
-/// Assembles the final [`AdaptiveResult`] from fully-populated routing
-/// state, deriving per-unit outcomes and the budget breakdown.
-#[allow(clippy::too_many_arguments)] // internal assembly of one result
-fn finish(
-    prep: &PreparedLayout,
-    params: &DecomposeParams,
+/// Fully-populated per-unit state handed to [`finish`].
+struct FinishParts {
     unit_results: Vec<Option<Decomposition>>,
     unit_engines: Vec<Option<EngineKind>>,
     budget_fallback: Vec<bool>,
     unit_time: Vec<Duration>,
+    audit_rejected: Vec<bool>,
     usage: UsageBreakdown,
     timing: TimingBreakdown,
     memo_hits: usize,
+    quarantines: Vec<(usize, MpldError)>,
+    resumed_units: usize,
+}
+
+/// Assembles the final [`AdaptiveResult`] from fully-populated routing
+/// state, deriving per-unit outcomes and the budget breakdown.
+fn finish(
+    prep: &PreparedLayout,
+    params: &DecomposeParams,
+    parts: FinishParts,
     start: Instant,
 ) -> AdaptiveResult {
     #[allow(clippy::expect_used)] // the entry points decompose every unit
-    let unit_results: Vec<Decomposition> = unit_results
+    let unit_results: Vec<Decomposition> = parts
+        .unit_results
         .into_iter()
         .map(|d| d.expect("every unit decomposed"))
         .collect();
     #[allow(clippy::expect_used)] // the entry points route every unit
-    let unit_engines: Vec<EngineKind> = unit_engines
+    let unit_engines: Vec<EngineKind> = parts
+        .unit_engines
         .into_iter()
         .map(|e| e.expect("every unit routed"))
         .collect();
     let unit_outcomes: Vec<UnitOutcome> = unit_results
         .iter()
         .zip(&unit_engines)
-        .zip(budget_fallback.iter().zip(&unit_time))
-        .map(|((d, &engine), (&fell_back, &time))| UnitOutcome {
-            engine,
-            certainty: d.certainty,
-            budget_fallback: fell_back,
-            time,
-        })
+        .zip(parts.budget_fallback.iter().zip(&parts.unit_time))
+        .zip(&parts.audit_rejected)
+        .map(
+            |(((d, &engine), (&fell_back, &time)), &audit_rejected)| UnitOutcome {
+                engine,
+                certainty: d.certainty,
+                budget_fallback: fell_back,
+                time,
+                audit_rejected,
+            },
+        )
         .collect();
     let decompose_time = start.elapsed();
     let pipeline = assemble(prep, params, unit_results, decompose_time);
     AdaptiveResult {
         pipeline,
-        usage,
-        timing,
+        usage: parts.usage,
+        timing: parts.timing,
         unit_engines,
-        memo_hits,
+        memo_hits: parts.memo_hits,
         budget: BudgetBreakdown::from_outcomes(&unit_outcomes),
         unit_outcomes,
+        quarantines: parts.quarantines,
+        resumed_units: parts.resumed_units,
     }
 }
 
@@ -936,6 +1380,7 @@ struct RoutedUnits {
     timing: TimingBreakdown,
     guard_failed: Vec<bool>,
     selector_probs: Vec<Vec<f32>>,
+    audit_rejected: Vec<bool>,
 }
 
 impl std::fmt::Debug for AdaptiveFramework {

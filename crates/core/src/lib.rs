@@ -43,6 +43,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 mod density;
 mod framework;
 mod metrics;
@@ -51,10 +52,13 @@ mod pipeline;
 mod stats;
 mod training;
 
+pub use checkpoint::{
+    unit_fingerprint, Checkpoint, CheckpointEntry, CheckpointHeader, JournalWriter,
+};
 pub use density::{density_imbalance, mask_densities};
 pub use framework::{
-    AdaptiveFramework, AdaptiveResult, BudgetBreakdown, BudgetPolicy, EngineKind, TimingBreakdown,
-    UnitOutcome, UsageBreakdown,
+    AdaptiveFramework, AdaptiveResult, BudgetBreakdown, BudgetPolicy, EngineKind, Recovery,
+    TimingBreakdown, UnitOutcome, UsageBreakdown,
 };
 pub use metrics::ConfusionMatrix;
 pub use parallel::default_threads;

@@ -13,7 +13,12 @@
 //! Results are collected **without per-slot locks**: each worker appends
 //! `(index, value)` pairs to its own local vector, and the pairs are
 //! scattered into an owned `Vec` after the scope joins.
+//!
+//! Fault isolation: [`run_largest_first_quarantined`] catches each job's
+//! panic with `catch_unwind`, so one poisoned unit costs exactly that
+//! unit — every other worker's completed result is preserved and returned.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolves the default worker count: the `MPLD_THREADS` environment
@@ -31,6 +36,18 @@ pub fn default_threads() -> usize {
         })
 }
 
+/// Renders a caught panic payload: `&str` / `String` payloads verbatim,
+/// anything else as a placeholder.
+pub fn panic_payload_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `job(i)` for every `i in 0..n` on up to `threads` scoped workers,
 /// scheduling jobs in descending `size(i)` order, and returns the results
 /// in index order.
@@ -44,20 +61,54 @@ where
     S: Fn(usize) -> usize,
     J: Fn(usize) -> T + Sync,
 {
+    let results = run_largest_first_quarantined(n, threads, size, job);
+    let mut out = Vec::with_capacity(n);
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => panic!("{payload}"),
+        }
+    }
+    out
+}
+
+/// Panic-quarantining [`run_largest_first`]: each job runs under
+/// `catch_unwind`, and the per-index result is `Err(payload)` for a job
+/// that panicked instead of tearing down the whole batch.
+///
+/// One panicking job costs exactly that job — all other results (including
+/// those completed by the panicking worker before and after the fault) are
+/// preserved. The worker thread itself survives the panic and keeps
+/// pulling jobs from the shared cursor.
+pub fn run_largest_first_quarantined<T, S, J>(
+    n: usize,
+    threads: usize,
+    size: S,
+    job: J,
+) -> Vec<Result<T, String>>
+where
+    T: Send,
+    S: Fn(usize) -> usize,
+    J: Fn(usize) -> T + Sync,
+{
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(size(i)));
 
     let threads = threads.max(1).min(n.max(1));
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
+
+    let guarded = |i: usize| -> Result<T, String> {
+        catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|p| panic_payload_string(p.as_ref()))
+    };
 
     if threads <= 1 {
         for &i in &order {
-            slots[i] = Some(job(i));
+            slots[i] = Some(guarded(i));
         }
     } else {
         let cursor = AtomicUsize::new(0);
-        let (order_ref, job_ref, cursor_ref) = (&order, &job, &cursor);
-        let partials: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let (order_ref, job_ref, cursor_ref) = (&order, &guarded, &cursor);
+        let partials: Vec<Vec<(usize, Result<T, String>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(move || {
@@ -76,6 +127,8 @@ where
                 .collect();
             handles
                 .into_iter()
+                // Workers cannot panic (every job is caught above), but a
+                // defensive join keeps the invariant local.
                 .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
@@ -98,6 +151,16 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
+
+    /// Silences the default panic hook while a closure deliberately
+    /// panics, restoring it afterwards (hooks are process-global).
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
 
     #[test]
     fn results_are_in_index_order() {
@@ -135,6 +198,61 @@ mod tests {
         let sizes = [3usize, 9, 1, 7];
         run_largest_first(4, 1, |i| sizes[i], |i| trace.lock().unwrap().push(i));
         assert_eq!(*trace.lock().unwrap(), vec![1, 3, 0, 2]);
+    }
+
+    /// The completed-work-preserved property: a panicking job must not
+    /// discard results other workers (or the same worker, before and after
+    /// the fault) already produced.
+    #[test]
+    fn panicking_job_preserves_all_completed_results() {
+        for threads in [1, 2, 4] {
+            let out: Vec<Result<usize, String>> = with_quiet_panics(|| {
+                run_largest_first_quarantined(
+                    50,
+                    threads,
+                    |i| i,
+                    |i| {
+                        if i == 17 || i == 31 {
+                            panic!("injected failure on job {i}");
+                        }
+                        i * 2
+                    },
+                )
+            });
+            assert_eq!(out.len(), 50);
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) if i != 17 && i != 31 => assert_eq!(*v, i * 2),
+                    Err(p) if i == 17 || i == 31 => {
+                        assert!(p.contains("injected failure"), "payload: {p}")
+                    }
+                    other => panic!("job {i} produced {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagating_wrapper_still_panics() {
+        let r = with_quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_largest_first(
+                    4,
+                    1,
+                    |_| 1,
+                    |i| {
+                        if i == 2 {
+                            panic!("boom");
+                        }
+                        i
+                    },
+                )
+            }))
+        });
+        assert!(
+            r.is_err(),
+            "run_largest_first keeps the propagating contract"
+        );
     }
 
     #[test]

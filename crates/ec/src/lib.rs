@@ -120,6 +120,23 @@ impl EcDecomposer {
         params: &DecomposeParams,
         budget: &Budget,
     ) -> Result<(Decomposition, bool), MpldError> {
+        #[cfg(feature = "failpoints")]
+        mpld_graph::failpoints::inject_error("ec.result", "EC")?;
+        #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+        let mut r = self.decompose_certified_inner(graph, params, budget)?;
+        #[cfg(feature = "failpoints")]
+        // Corrupt after cost evaluation so only the independent audit can
+        // tell the claimed cost (and certificate) is a lie.
+        mpld_graph::failpoints::corrupt_coloring("ec.result", &mut r.0.coloring, params.k);
+        Ok(r)
+    }
+
+    fn decompose_certified_inner(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        budget: &Budget,
+    ) -> Result<(Decomposition, bool), MpldError> {
         let instance = Instance::build(graph, params);
 
         // Phase 1: conflict-free minimum-stitch cover (skipped outright
@@ -179,6 +196,8 @@ impl EcDecomposer {
                     enumeration_complete = false;
                     break;
                 }
+                #[cfg(feature = "failpoints")]
+                mpld_graph::failpoints::tick("ec.search");
                 let relaxed: HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
                 let (cand, exhausted) =
                     instance.solve_tracked(graph, params, &relaxed, self.budget, budget);
@@ -209,6 +228,8 @@ impl EcDecomposer {
             if budget.exhausted() {
                 break;
             }
+            #[cfg(feature = "failpoints")]
+            mpld_graph::failpoints::tick("ec.search");
             let (relaxed, _) =
                 instance.solve_tracked(graph, params, &violated, self.budget, budget);
             let Some(relaxed) = relaxed else {

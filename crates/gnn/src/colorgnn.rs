@@ -249,6 +249,8 @@ impl ColorGnn {
                 cut = true;
                 break;
             }
+            #[cfg(feature = "failpoints")]
+            mpld_graph::failpoints::tick("colorgnn.restart");
             // Union adjacency over the active graphs (conflict only;
             // graphs are homogeneous).
             let mut offsets = Vec::with_capacity(active.len() + 1);
@@ -306,7 +308,16 @@ impl ColorGnn {
         best.into_iter()
             .map(|b| {
                 #[allow(clippy::expect_used)] // round 0 always populates every slot
-                b.expect("restarts > 0").with_certainty(certainty)
+                #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+                let mut d = b.expect("restarts > 0").with_certainty(certainty);
+                #[cfg(feature = "failpoints")]
+                // Stale-cost corruption, caught downstream by the audit.
+                mpld_graph::failpoints::corrupt_coloring(
+                    "colorgnn.result",
+                    &mut d.coloring,
+                    params.k,
+                );
+                d
             })
             .collect()
     }
@@ -392,6 +403,8 @@ impl Decomposer for ColorGnn {
                 cut = true;
                 break;
             }
+            #[cfg(feature = "failpoints")]
+            mpld_graph::failpoints::tick("colorgnn.restart");
             let mut g = Graph::new();
             let init = Self::random_beliefs(n, params.k, &mut rng);
             // Frozen binds: inference never mutates training state.
@@ -426,7 +439,17 @@ impl Decomposer for ColorGnn {
             Certainty::Heuristic
         };
         match best {
-            Some(d) => Ok(d.with_certainty(certainty)),
+            Some(d) => {
+                #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+                let mut d = d.with_certainty(certainty);
+                #[cfg(feature = "failpoints")]
+                mpld_graph::failpoints::corrupt_coloring(
+                    "colorgnn.result",
+                    &mut d.coloring,
+                    params.k,
+                );
+                Ok(d)
+            }
             None => Err(MpldError::Infeasible {
                 engine: self.name(),
                 reason: "no restart produced a coloring".into(),

@@ -45,6 +45,10 @@ pub enum Certainty {
     /// The search was cut short by a [`Budget`]; the coloring is the
     /// best-so-far incumbent, valid but possibly suboptimal.
     BudgetExhausted,
+    /// The routed engine panicked (or kept failing the independent audit)
+    /// and the unit was quarantined with a greedy-fallback coloring. The
+    /// coloring is valid but carries no quality guarantee.
+    Degraded,
 }
 
 /// The result of decomposing one layout graph.

@@ -45,6 +45,18 @@ pub enum MpldError {
     },
     /// The solve was cancelled before any incumbent existed.
     Cancelled,
+    /// A per-unit solve panicked and was quarantined by the framework.
+    ///
+    /// The unit is reported with a greedy-fallback coloring tagged
+    /// [`Certainty::Degraded`](crate::Certainty::Degraded); this variant
+    /// records which unit failed and the panic payload for diagnostics.
+    Panicked {
+        /// Index of the quarantined unit within the prepared layout.
+        unit: usize,
+        /// Stringified panic payload (`&str`/`String` payloads verbatim,
+        /// otherwise a placeholder).
+        payload: String,
+    },
     /// Layout-graph construction failed (invalid edges, etc.).
     Graph(String),
     /// Underlying I/O failure (message only, so the type stays `Eq`).
@@ -74,6 +86,9 @@ impl fmt::Display for MpldError {
                 write!(f, "{engine}: no valid coloring: {reason}")
             }
             MpldError::Cancelled => write!(f, "solve cancelled"),
+            MpldError::Panicked { unit, payload } => {
+                write!(f, "unit {unit} panicked and was quarantined: {payload}")
+            }
             MpldError::Graph(e) => write!(f, "graph error: {e}"),
             MpldError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -117,6 +132,11 @@ mod tests {
         assert!(e.to_string().contains("3 entries"));
         assert!(e.to_string().contains("5 nodes"));
         assert_eq!(MpldError::Cancelled.to_string(), "solve cancelled");
+        let e = MpldError::Panicked {
+            unit: 4,
+            payload: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "unit 4 panicked and was quarantined: boom");
     }
 
     #[test]

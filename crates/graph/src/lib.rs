@@ -14,6 +14,9 @@
 //! - [`Coloring`] and [`CostBreakdown`] with the exact paper cost function;
 //! - [`Decomposer`] — the trait every decomposition engine in the workspace
 //!   implements;
+//! - [`audit`] — independent re-verification of any decomposition against
+//!   the raw conflict/stitch edges (and, behind the `failpoints` feature,
+//!   [`failpoints`] — deterministic fault injection for chaos tests);
 //! - [`simplify`] — the OpenMPL-style simplification pipeline (independent
 //!   component computation, hide-small-degree, biconnected decomposition)
 //!   together with sound color recovery.
@@ -33,15 +36,19 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod audit;
 mod bicc;
 mod budget;
 mod coloring;
 mod decomposer;
 mod error;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 mod hetero;
 mod precolor;
 pub mod simplify;
 
+pub use audit::{audit_coloring, audit_decomposition, audit_with_precoloring, AuditError};
 pub use bicc::{biconnected_components, BlockCutTree};
 pub use budget::{Budget, BudgetGauge, CancelToken, Clock, MockClock, SystemClock};
 pub use coloring::{Coloring, CostBreakdown};

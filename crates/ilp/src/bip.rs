@@ -274,6 +274,8 @@ impl<'m> Search<'m> {
         if self.gauge.tick() {
             return;
         }
+        #[cfg(feature = "failpoints")]
+        mpld_graph::failpoints::tick("ilp.bip.search");
         if let Some(bar) = self.bar() {
             if self.lower_bound(&state) >= bar {
                 return;

@@ -56,10 +56,16 @@ impl Decomposer for IlpDecomposer {
         } else {
             Certainty::Certified
         };
-        Ok(
-            Decomposition::try_from_coloring(graph, coloring, params.alpha)?
-                .with_certainty(certainty),
-        )
+        #[cfg(feature = "failpoints")]
+        mpld_graph::failpoints::inject_error("ilp.bb.result", "ILP-BB")?;
+        #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+        let mut d = Decomposition::try_from_coloring(graph, coloring, params.alpha)?
+            .with_certainty(certainty);
+        #[cfg(feature = "failpoints")]
+        // Flip a color after the cost was evaluated: the decomposition now
+        // lies about its cost, which only the independent audit can catch.
+        mpld_graph::failpoints::corrupt_coloring("ilp.bb.result", &mut d.coloring, params.k);
+        Ok(d)
     }
 }
 
@@ -198,6 +204,8 @@ impl<'g> Solver<'g> {
         if self.gauge.tick() {
             return; // budget expired: keep the greedy/best-so-far incumbent
         }
+        #[cfg(feature = "failpoints")]
+        mpld_graph::failpoints::tick("ilp.bb.search");
         if self.cost >= self.best_cost {
             return; // admissible bound: remaining assignments cost >= 0
         }

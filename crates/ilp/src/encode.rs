@@ -81,10 +81,16 @@ impl Decomposer for BipDecomposer {
                 })
             }
         };
-        Ok(
-            Decomposition::try_from_coloring(graph, coloring, params.alpha)?
-                .with_certainty(certainty),
-        )
+        #[cfg(feature = "failpoints")]
+        mpld_graph::failpoints::inject_error("ilp.bip.result", "ILP")?;
+        #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+        let mut d = Decomposition::try_from_coloring(graph, coloring, params.alpha)?
+            .with_certainty(certainty);
+        #[cfg(feature = "failpoints")]
+        // Corrupt after cost evaluation so only the independent audit can
+        // tell the claimed cost is a lie.
+        mpld_graph::failpoints::corrupt_coloring("ilp.bip.result", &mut d.coloring, params.k);
+        Ok(d)
     }
 }
 

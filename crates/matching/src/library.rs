@@ -177,6 +177,17 @@ impl GraphLibrary {
         &self.entries
     }
 
+    /// Test-only corruption of a stored solution: overwrites the coloring
+    /// with a monochromatic one while leaving the stored cost untouched,
+    /// exactly what a bit-rotted or wrongly-transferred entry looks like
+    /// to the lookup re-verification.
+    #[doc(hidden)]
+    pub fn corrupt_entry_solution_for_tests(&mut self, idx: usize) {
+        for c in &mut self.entries[idx].solution {
+            *c = 0;
+        }
+    }
+
     /// Construction/lookup statistics.
     pub fn stats(&self) -> LibraryStats {
         self.stats
@@ -272,8 +283,29 @@ impl GraphLibrary {
                 let Some(coloring) = coloring else { continue };
                 match Decomposition::try_from_coloring(graph, coloring, 0.1) {
                     Ok(d) => {
-                        debug_assert_eq!(d.cost, entry.cost, "verified mapping must preserve cost");
-                        return Some(d.with_certainty(Certainty::Certified));
+                        // Re-verification: a corrupt stored solution (or a
+                        // wrong mapping) transfers to a coloring whose
+                        // evaluated cost disagrees with the stored optimum.
+                        // Reject it so the caller falls through to a fresh
+                        // solve instead of propagating a wrong coloring.
+                        if d.cost != entry.cost {
+                            continue;
+                        }
+                        #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+                        let mut d = d.with_certainty(Certainty::Certified);
+                        #[cfg(feature = "failpoints")]
+                        {
+                            // Corrupt *after* re-verification: the stale
+                            // claimed cost is exactly what the framework's
+                            // independent audit must catch.
+                            let k = (1 + d.coloring.iter().copied().max().unwrap_or(0)).max(3);
+                            mpld_graph::failpoints::corrupt_coloring(
+                                "matching.transfer",
+                                &mut d.coloring,
+                                k,
+                            );
+                        }
+                        return Some(d);
                     }
                     Err(_) => continue,
                 }
@@ -402,6 +434,30 @@ mod tests {
             matched += 1;
         }
         assert_eq!(matched, 15);
+    }
+
+    #[test]
+    fn corrupted_transfer_is_rejected_and_falls_through_to_a_fresh_solve() {
+        use mpld_graph::{Budget, Decomposer};
+        let (mut lib, embedder) = small_library();
+        let g = lib.entries()[0].graph.clone();
+        // Sanity: the healthy entry matches its own graph.
+        assert!(lib.lookup(&embedder, &g).is_some());
+        // Corrupt the stored canonical solution (color flipped, stored
+        // cost untouched): the transferred coloring now evaluates to a
+        // cost disagreeing with the claimed optimum, so re-verification
+        // must reject the hit instead of propagating a wrong coloring.
+        lib.corrupt_entry_solution_for_tests(0);
+        assert!(
+            lib.lookup(&embedder, &g).is_none(),
+            "corrupted transfer must be rejected by cost re-verification"
+        );
+        // The adaptive framework treats the miss as any other miss: a
+        // fresh exact solve still recovers the true optimum.
+        let fresh = mpld_ilp::IlpDecomposer::new()
+            .decompose(&g, &DecomposeParams::tpl(), &Budget::unlimited())
+            .expect("fresh solve succeeds");
+        assert_eq!(fresh.cost, lib.entries()[0].cost);
     }
 
     #[test]

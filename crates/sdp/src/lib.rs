@@ -116,6 +116,8 @@ impl Decomposer for SdpDecomposer {
                 exhausted = true;
                 break;
             }
+            #[cfg(feature = "failpoints")]
+            mpld_graph::failpoints::tick("sdp.round");
             let (vectors, cut) = self.optimize(graph, params, dim, &mut rng, budget);
             exhausted |= cut;
             let coloring = round_and_repair(graph, params, &vectors, dim, &targets);
@@ -134,7 +136,16 @@ impl Decomposer for SdpDecomposer {
             Certainty::Heuristic
         };
         match best {
-            Some(d) => Ok(d.with_certainty(certainty)),
+            Some(d) => {
+                #[cfg(feature = "failpoints")]
+                mpld_graph::failpoints::inject_error("sdp.result", "SDP")?;
+                #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+                let mut d = d.with_certainty(certainty);
+                #[cfg(feature = "failpoints")]
+                // Stale-cost corruption: only the independent audit sees it.
+                mpld_graph::failpoints::corrupt_coloring("sdp.result", &mut d.coloring, params.k);
+                Ok(d)
+            }
             None => Err(MpldError::Infeasible {
                 engine: self.name(),
                 reason: "no restart produced a coloring".into(),

@@ -64,7 +64,7 @@ fn assert_anytime_contract(
         .all(|&c| c < fw.params.k));
     let b = &r.budget;
     assert_eq!(
-        b.certified + b.heuristic + b.budget_exhausted,
+        b.certified + b.heuristic + b.budget_exhausted + b.quarantined,
         prep.units.len(),
         "every unit has exactly one certainty"
     );
@@ -72,6 +72,20 @@ fn assert_anytime_contract(
         b.budget_fallbacks,
         r.unit_outcomes.iter().filter(|o| o.budget_fallback).count()
     );
+    assert_eq!(
+        b.audit_rejections,
+        r.unit_outcomes.iter().filter(|o| o.audit_rejected).count()
+    );
+    // Every reported per-unit coloring must survive the independent
+    // audit's validity checks, faults or not.
+    for (u, coloring) in prep
+        .units
+        .iter()
+        .zip(&r.pipeline.decomposition.unit_subfeature_colorings)
+    {
+        mpld_graph::audit_coloring(&u.hetero, coloring, fw.params.k)
+            .expect("reported coloring must be audit-valid");
+    }
 }
 
 proptest! {
@@ -122,6 +136,11 @@ fn unlimited_policy_is_bit_identical_to_legacy_entry_point() {
     assert_eq!(legacy.usage, budgeted.usage);
     assert_eq!(budgeted.budget.budget_exhausted, 0);
     assert_eq!(budgeted.budget.budget_fallbacks, 0);
+    // The always-on audit layer must be invisible on an honest run.
+    assert_eq!(budgeted.budget.audit_rejections, 0);
+    assert_eq!(budgeted.budget.quarantined, 0);
+    assert!(budgeted.quarantines.is_empty());
+    assert_eq!(budgeted.resumed_units, 0);
     assert_eq!(
         legacy.pipeline.cost.value(params.alpha),
         budgeted.pipeline.cost.value(params.alpha)

@@ -1,0 +1,144 @@
+//! Chaos suite: under random deterministic fault injection (panics,
+//! engine errors, delays, and wrong colorings at every named failpoint
+//! site), the adaptive pipeline must still return `Ok`, every final
+//! per-unit coloring must pass the independent audit, and no panic may
+//! escape to the caller.
+//!
+//! Compiled only with `--features failpoints`; without the feature this
+//! binary is empty.
+
+#![cfg(feature = "failpoints")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes the tests in this binary: the failpoint registry and the
+/// panic hook are process-global.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+use mpld::{
+    prepare, train_framework, AdaptiveFramework, AdaptiveResult, BudgetPolicy, OfflineConfig,
+    PreparedLayout, TrainingData,
+};
+use mpld_graph::{audit_coloring, failpoints, DecomposeParams};
+use mpld_layout::circuit_by_name;
+
+fn fixture() -> &'static (AdaptiveFramework, PreparedLayout) {
+    static FIXTURE: OnceLock<(AdaptiveFramework, PreparedLayout)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let params = DecomposeParams::tpl();
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let prep = prepare(&layout, &params);
+        let mut data = TrainingData::default();
+        data.add_layout_capped(&prep, &params, 8);
+        let mut cfg = OfflineConfig::default();
+        cfg.rgcn.epochs = 1;
+        cfg.colorgnn.epochs = 1;
+        cfg.library = mpld_matching::LibraryConfig {
+            max_parent_size: 4,
+            max_splits: 1,
+            max_nodes: 5,
+            stitches: false,
+        };
+        (train_framework(&data, &params, &cfg), prep)
+    })
+}
+
+/// The chaos invariants for one faulted run.
+fn assert_chaos_contract(fw: &AdaptiveFramework, prep: &PreparedLayout, r: &AdaptiveResult) {
+    for (u, coloring) in prep
+        .units
+        .iter()
+        .zip(&r.pipeline.decomposition.unit_subfeature_colorings)
+    {
+        assert_eq!(coloring.len(), u.hetero.num_nodes(), "full coverage");
+        audit_coloring(&u.hetero, coloring, fw.params.k)
+            .expect("every final coloring passes the independent audit");
+    }
+    let b = &r.budget;
+    assert_eq!(
+        b.certified + b.heuristic + b.budget_exhausted + b.quarantined,
+        prep.units.len(),
+        "every unit has exactly one certainty"
+    );
+    // Every quarantine record names a unit that actually exists.
+    for (unit, _) in &r.quarantines {
+        assert!(*unit < prep.units.len());
+    }
+}
+
+/// One test function (not several) because the process-global quiet panic
+/// hook and the process-global failpoint state must not race across the
+/// harness's test threads.
+#[test]
+fn chaos_injection_never_escapes_and_results_stay_audit_clean() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (fw, prep) = fixture();
+    // Injected panics are expected; silence the default hook's backtrace
+    // spam while the chaos rounds run.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut hits = 0u64;
+
+        // Parallel path (the default), a sweep of injection seeds at 5%.
+        for seed in 0..6u64 {
+            failpoints::configure(seed, 0.05);
+            fw.colorgnn.reseed(seed ^ 0x5EED);
+            let r = fw
+                .decompose_prepared_parallel_with(prep, 2, &BudgetPolicy::unlimited())
+                .expect("faults must degrade units, never fail the layout");
+            assert_chaos_contract(fw, prep, &r);
+            hits += failpoints::total_hits();
+        }
+
+        // Serial batched path.
+        failpoints::configure(101, 0.05);
+        fw.colorgnn.reseed(0xA);
+        let r = fw
+            .decompose_prepared_with(prep, &BudgetPolicy::unlimited())
+            .expect("faults must degrade units, never fail the layout");
+        assert_chaos_contract(fw, prep, &r);
+        hits += failpoints::total_hits();
+
+        // Serial unbatched path.
+        failpoints::configure(202, 0.05);
+        fw.colorgnn.reseed(0xB);
+        let r = fw
+            .decompose_prepared_unbatched_with(prep, &BudgetPolicy::unlimited())
+            .expect("faults must degrade units, never fail the layout");
+        assert_chaos_contract(fw, prep, &r);
+        hits += failpoints::total_hits();
+
+        assert!(
+            hits > 0,
+            "the sweep must actually inject faults (0 hits means the \
+             failpoint sites were never reached)"
+        );
+    }));
+    failpoints::disable();
+    std::panic::set_hook(hook);
+    if let Err(p) = outcome {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Rate 0 must be a true no-op even with the feature compiled in: results
+/// are bit-identical to a run with failpoints disabled.
+#[test]
+fn zero_rate_is_bit_identical_to_disabled() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (fw, prep) = fixture();
+    failpoints::disable();
+    fw.colorgnn.reseed(77);
+    let off = fw.decompose_prepared(prep);
+    failpoints::configure(1234, 0.0);
+    fw.colorgnn.reseed(77);
+    let zero = fw.decompose_prepared(prep);
+    failpoints::disable();
+    assert_eq!(off.pipeline.decomposition, zero.pipeline.decomposition);
+    assert_eq!(off.pipeline.cost, zero.pipeline.cost);
+    assert_eq!(off.unit_engines, zero.unit_engines);
+    assert_eq!(zero.budget.quarantined, 0);
+    assert_eq!(zero.budget.audit_rejections, 0);
+}
