@@ -1,0 +1,74 @@
+//! Criterion bench: routing inference with the autodiff tape versus the
+//! frozen (tape-free) engine, per-unit and batched. Quantifies the
+//! tentpole claim that frozen-weight folding + scratch-buffer SpMM +
+//! block-diagonal batching make the learned router cheap enough to run
+//! on every decomposition unit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpld::prepare;
+use mpld_gnn::{InferBatch, RgcnClassifier};
+use mpld_graph::{DecomposeParams, LayoutGraph};
+use mpld_layout::circuit_by_name;
+
+fn unit_graphs(n: usize) -> Vec<LayoutGraph> {
+    let params = DecomposeParams::tpl();
+    let layout = circuit_by_name("C1355").expect("known circuit").generate();
+    let prep = prepare(&layout, &params);
+    prep.units
+        .iter()
+        .take(n)
+        .map(|u| u.hetero.clone())
+        .collect()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let graphs = unit_graphs(64);
+    let refs: Vec<&LayoutGraph> = graphs.iter().collect();
+    let mut group = c.benchmark_group("routing_inference");
+
+    // The full routing cost per unit: one selector and one redundancy
+    // forward, as the adaptive framework pays them.
+    group.bench_function("tape_per_unit_x64", |b| {
+        let sel = RgcnClassifier::selector(7);
+        let red = RgcnClassifier::redundancy(7);
+        b.iter(|| {
+            let mut acc = 0f32;
+            for g in &refs {
+                acc += sel.predict(g)[0] + red.predict(g)[0];
+            }
+            acc
+        })
+    });
+
+    group.bench_function("frozen_per_unit_x64", |b| {
+        let sel = RgcnClassifier::selector(7).freeze();
+        let red = RgcnClassifier::redundancy(7).freeze();
+        b.iter(|| {
+            let mut acc = 0f32;
+            for g in &refs {
+                acc += sel.predict(g)[0] + red.predict(g)[0];
+            }
+            acc
+        })
+    });
+
+    group.bench_function("frozen_batched_x64", |b| {
+        let sel = RgcnClassifier::selector(7).freeze();
+        let red = RgcnClassifier::redundancy(7).freeze();
+        b.iter(|| {
+            let enc = InferBatch::new(&refs);
+            let s = sel.infer_encoded(&enc);
+            let r = red.predict_encoded(&enc);
+            s.probs
+                .iter()
+                .zip(&r.probs)
+                .map(|(a, b)| a[0] + b[0])
+                .sum::<f32>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

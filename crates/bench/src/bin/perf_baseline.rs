@@ -91,7 +91,8 @@ fn main() {
         data.add_layout_capped(p, &params, cap);
     }
     let mut cfg = mpld::OfflineConfig::default();
-    cfg.rgcn.epochs = env_usize("MPLD_EPOCHS", 12);
+    let epochs = env_usize("MPLD_EPOCHS", 12);
+    cfg.rgcn.epochs = epochs;
     let t = Instant::now();
     let fw = train_framework(&data, &params, &cfg);
     eprintln!("trained framework in {:.2}s", t.elapsed().as_secs_f64());
@@ -100,6 +101,8 @@ fn main() {
     let (mut serial_total, mut parallel_total) = (0.0f64, 0.0f64);
     let mut memo_total = 0usize;
     let (mut audit_rejections, mut quarantined) = (0usize, 0usize);
+    let (mut infer_memo_hits, mut infer_units) = (0usize, 0usize);
+    let mut scratch_high_water = 0usize;
     for (c, prep) in circuits.iter().zip(&prepared) {
         fw.colorgnn.reseed(seed);
         let t = Instant::now();
@@ -121,6 +124,9 @@ fn main() {
         memo_total += parallel.memo_hits;
         audit_rejections += parallel.budget.audit_rejections;
         quarantined += parallel.budget.quarantined;
+        infer_memo_hits += serial.inference.memo_hits;
+        infer_units += serial.inference.units_inferred;
+        scratch_high_water = scratch_high_water.max(serial.inference.scratch_high_water_bytes);
         eprintln!(
             "{}: serial {s_secs:.3}s, parallel {p_secs:.3}s ({} units, {} memo hits) [serial ilp {:.3}s ec {:.3}s gnn {:.3}s match {:.3}s sel {:.3}s red {:.3}s]",
             c.name,
@@ -133,16 +139,75 @@ fn main() {
             serial.timing.selection.as_secs_f64(),
             serial.timing.redundancy.as_secs_f64(),
         );
+        // Routing/cost digest: deterministic per (model seed, circuit),
+        // so the CI perf_baseline step can diff it against the committed
+        // artifact to catch any change in routing decisions or final
+        // costs (compared only when `fp_kernel` matches — the last bits
+        // of the forward pass depend on the GEMM microkernel).
         circuit_rows.push(format!(
-            "      {{\"name\": \"{}\", \"units\": {}, \"serial_seconds\": {s_secs:.4}, \"parallel_seconds\": {p_secs:.4}, \"memo_hits\": {}, \"cost_equal\": true}}",
+            "      {{\"name\": \"{}\", \"units\": {}, \"serial_seconds\": {s_secs:.4}, \"parallel_seconds\": {p_secs:.4}, \"memo_hits\": {}, \"cost_equal\": true, \"conflicts\": {}, \"stitches\": {}, \"engines\": {{\"matching\": {}, \"colorgnn\": {}, \"ilp\": {}, \"ec\": {}}}}}",
             c.name,
             prep.units.len(),
-            parallel.memo_hits
+            parallel.memo_hits,
+            serial.pipeline.cost.conflicts,
+            serial.pipeline.cost.stitches,
+            serial.usage.matching,
+            serial.usage.colorgnn,
+            serial.usage.ilp,
+            serial.usage.ec,
         ));
     }
     let speedup = serial_total / parallel_total.max(1e-12);
     eprintln!(
         "adaptive suite: serial {serial_total:.2}s, parallel {parallel_total:.2}s -> {speedup:.2}x ({threads} threads, {memo_total} memo hits, seed {seed}, {audit_rejections} audit rejections, {quarantined} quarantined)"
+    );
+    eprintln!(
+        "routing inference: {infer_units} units inferred, {infer_memo_hits} embedding-memo hits, scratch high-water {scratch_high_water} bytes"
+    );
+
+    // 3b. Routing-inference throughput: the tape path (per-unit autodiff
+    // forwards, the pre-frozen implementation) vs the frozen engine,
+    // per-unit and batched (the adaptive default). One "unit" is the full
+    // routing cost: one selector and one redundancy forward.
+    let infer_graphs: Vec<&mpld_graph::LayoutGraph> = sample.iter().map(|u| &u.hetero).collect();
+    let reps = env_usize("MPLD_INFER_REPS", 5);
+    let time_pass = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let tape_secs = time_pass(&mut || {
+        for g in &infer_graphs {
+            std::hint::black_box(fw.selector.predict(g));
+            std::hint::black_box(fw.redundancy.predict(g));
+        }
+    });
+    let frozen_sel = fw.selector.freeze();
+    let frozen_red = fw.redundancy.freeze();
+    let frozen_secs = time_pass(&mut || {
+        for g in &infer_graphs {
+            std::hint::black_box(frozen_sel.predict(g));
+            std::hint::black_box(frozen_red.predict(g));
+        }
+    });
+    let batched_secs = time_pass(&mut || {
+        let enc = mpld_gnn::InferBatch::new(&infer_graphs);
+        std::hint::black_box(frozen_sel.infer_encoded(&enc));
+        std::hint::black_box(frozen_red.predict_encoded(&enc));
+    });
+    scratch_high_water = scratch_high_water
+        .max(frozen_sel.scratch_high_water_bytes())
+        .max(frozen_red.scratch_high_water_bytes());
+    let n_inf = (reps * infer_graphs.len()) as f64;
+    let tape_ups = n_inf / tape_secs.max(1e-12);
+    let frozen_ups = n_inf / frozen_secs.max(1e-12);
+    let batched_ups = n_inf / batched_secs.max(1e-12);
+    let infer_speedup = batched_ups / tape_ups.max(1e-12);
+    eprintln!(
+        "inference throughput ({} units x {reps}): tape {tape_ups:.0}/s, frozen {frozen_ups:.0}/s, frozen-batched {batched_ups:.0}/s ({infer_speedup:.1}x)",
+        infer_graphs.len()
     );
 
     // 4. Budget-exhaustion profile: the whole suite again under a tight
@@ -207,6 +272,15 @@ fn main() {
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"cpu_cores\": {cores},");
     let _ = writeln!(json, "  \"seed\": {seed},");
+    // Training config determines the model weights and therefore the
+    // routing digest; the digest checker skips comparison on mismatch.
+    let _ = writeln!(json, "  \"train_cap\": {cap},");
+    let _ = writeln!(json, "  \"epochs\": {epochs},");
+    let _ = writeln!(
+        json,
+        "  \"fp_kernel\": \"{}\",",
+        mpld_tensor::infer::kernel_name()
+    );
     let _ = writeln!(
         json,
         "  \"note\": \"speedup is parallel-tail + isomorphism-memo wall-clock gain over the serial batched path; thread scaling requires cpu_cores > 1\","
@@ -227,6 +301,26 @@ fn main() {
     let _ = writeln!(json, "    \"per_circuit\": [");
     let _ = writeln!(json, "{}", circuit_rows.join(",\n"));
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"inference\": {{");
+    let _ = writeln!(json, "    \"sample_units\": {},", infer_graphs.len());
+    let _ = writeln!(json, "    \"reps\": {reps},");
+    let _ = writeln!(json, "    \"tape_units_per_second\": {tape_ups:.1},");
+    let _ = writeln!(json, "    \"frozen_units_per_second\": {frozen_ups:.1},");
+    let _ = writeln!(
+        json,
+        "    \"frozen_batched_units_per_second\": {batched_ups:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"batched_speedup_over_tape\": {infer_speedup:.2},"
+    );
+    let _ = writeln!(json, "    \"routing_memo_hits\": {infer_memo_hits},");
+    let _ = writeln!(json, "    \"routing_units_inferred\": {infer_units},");
+    let _ = writeln!(
+        json,
+        "    \"scratch_high_water_bytes\": {scratch_high_water}"
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"budgeted\": {{");
     let _ = writeln!(json, "    \"unit_time_limit_ms\": {unit_limit_ms},");

@@ -35,22 +35,9 @@ const VERSION: u32 = 1;
 /// a journal from a different layout (or a changed generator) can never be
 /// replayed onto the wrong unit.
 pub fn unit_fingerprint(g: &LayoutGraph) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    let mut mix = |x: u64| {
-        h = (h ^ x).wrapping_mul(0x100000001b3);
-    };
-    mix(g.num_nodes() as u64);
-    for v in 0..g.num_nodes() as u32 {
-        mix(u64::from(g.feature_of(v)) + 1);
-    }
-    for &(u, v) in g.conflict_edges() {
-        mix((u64::from(u) << 32) | u64::from(v));
-    }
-    mix(0x5711);
-    for &(u, v) in g.stitch_edges() {
-        mix((u64::from(u) << 32) | u64::from(v));
-    }
-    h
+    // Shared with the routing-stage embedding memo: one fingerprint
+    // definition keeps journal records and memo keys consistent.
+    mpld_matching::graph_fingerprint(g)
 }
 
 /// One journaled unit outcome.

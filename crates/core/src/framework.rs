@@ -14,10 +14,11 @@
 //! Fig. 10 (usage breakdown) can be reproduced.
 
 use crate::checkpoint::{unit_fingerprint, Checkpoint, CheckpointEntry, JournalWriter};
+use crate::memo::EmbeddingMemo;
 use crate::parallel::{panic_payload_string, run_largest_first_quarantined};
 use crate::pipeline::{assemble, PipelineResult, PreparedLayout};
 use mpld_ec::EcDecomposer;
-use mpld_gnn::{ColorGnn, RgcnClassifier};
+use mpld_gnn::{ColorGnn, InferBatch, RgcnClassifier};
 use mpld_graph::{
     audit_coloring, audit_decomposition, greedy_coloring, Budget, CancelToken, Certainty, Clock,
     DecomposeParams, Decomposer, Decomposition, LayoutGraph, MpldError, SystemClock,
@@ -160,6 +161,27 @@ impl BudgetBreakdown {
     }
 }
 
+/// Statistics of the tape-free routing-inference engine for one adaptive
+/// run: how much work the embedding memo deduplicated away and how much
+/// scratch memory the frozen forwards touched.
+///
+/// Always zero on the unbatched comparison path
+/// ([`AdaptiveFramework::decompose_prepared_unbatched`]), which keeps the
+/// per-unit autodiff-tape forwards as the reference implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InferenceStats {
+    /// Units whose selector/redundancy inference was served from the
+    /// embedding memo (structurally identical to an earlier unit of the
+    /// same layout) instead of a fresh forward pass.
+    pub memo_hits: usize,
+    /// Distinct representative units actually run through the frozen
+    /// RGCN forwards (`memo_hits + units_inferred` = total units).
+    pub units_inferred: usize,
+    /// High-water mark of frozen scratch-buffer bytes across both RGCN
+    /// heads (the steady-state inference memory footprint).
+    pub scratch_high_water_bytes: usize,
+}
+
 /// Which engine decomposed a unit (for Fig. 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
@@ -229,6 +251,8 @@ pub struct AdaptiveResult {
     /// solution from the session memo cache (parallel path only; always
     /// zero on the serial paths).
     pub memo_hits: usize,
+    /// Routing-inference statistics (embedding memo, frozen scratch).
+    pub inference: InferenceStats,
     /// Per-unit outcome records, parallel to `unit_engines`.
     pub unit_outcomes: Vec<UnitOutcome>,
     /// Aggregate budget statistics derived from `unit_outcomes`.
@@ -691,6 +715,7 @@ impl AdaptiveFramework {
             timing,
             unit_engines,
             memo_hits: 0,
+            inference: InferenceStats::default(),
             budget: BudgetBreakdown::from_outcomes(&unit_outcomes),
             unit_outcomes,
             quarantines,
@@ -712,17 +737,52 @@ impl AdaptiveFramework {
         let n = graphs.len();
         let timing = &mut routed.timing;
 
-        // Batched selector pass: embeddings (shared with matching) and
-        // ILP/EC probabilities.
+        // Tape-free routing inference: freeze both RGCNs (folding the
+        // basis decomposition into per-edge-type dense weights), dedup
+        // structurally identical units through the embedding memo, and
+        // run one block-diagonal frozen pass per head over the
+        // representatives only. Frozen forwards are bit-identical to the
+        // tape (property-tested in `mpld-gnn`), and a verified memo hit
+        // means the *same graph*, so every probability and embedding a
+        // duplicate receives is exactly what its own forward pass would
+        // have produced.
         let t = Instant::now();
-        let embeddings = self.selector.embeddings_batch(graphs);
-        routed.selector_probs = self.selector.predict_batch(graphs);
+        let frozen_sel = self.selector.freeze();
+        let mut memo = EmbeddingMemo::new();
+        let mut rep_slot = Vec::with_capacity(n);
+        let mut reps: Vec<&LayoutGraph> = Vec::new();
+        for &g in graphs {
+            rep_slot.push(match memo.find(g) {
+                Some(slot) => slot,
+                None => {
+                    memo.insert(g, reps.len());
+                    reps.push(g);
+                    reps.len() - 1
+                }
+            });
+        }
+        let enc = InferBatch::new(&reps);
+        // One pass yields selector probabilities plus the graph and node
+        // embeddings the library matcher consumes below (the tape needed
+        // a second traversal for the embeddings).
+        let sel = frozen_sel.infer_encoded(&enc);
+        routed.selector_probs = rep_slot.iter().map(|&s| sel.probs[s].clone()).collect();
         timing.selection += t.elapsed();
 
-        // Batched redundancy pass.
+        // Batched redundancy pass over the same representatives
+        // (probabilities only — no readout of embeddings).
         let t = Instant::now();
-        let redundancy_probs = self.redundancy.predict_batch(graphs);
+        let frozen_red = self.redundancy.freeze();
+        let red = frozen_red.predict_encoded(&enc);
         timing.redundancy += t.elapsed();
+
+        routed.inference = InferenceStats {
+            memo_hits: memo.hits(),
+            units_inferred: reps.len(),
+            scratch_high_water_bytes: frozen_sel
+                .scratch_high_water_bytes()
+                .max(frozen_red.scratch_high_water_bytes()),
+        };
 
         routed.unit_results = vec![None; n];
         routed.unit_engines = vec![None; n];
@@ -735,7 +795,8 @@ impl AdaptiveFramework {
         let t = Instant::now();
         for (i, g) in graphs.iter().enumerate() {
             if g.num_nodes() <= self.library.max_nodes() {
-                let (emb, nodes) = &embeddings[i];
+                let s = rep_slot[i];
+                let (emb, nodes) = (&sel.graph_embeddings[s], &sel.node_embeddings[s]);
                 if let Some(d) = self.library.lookup_with_embeddings(g, emb, nodes) {
                     if self.audit_ok(g, &d) {
                         routed.unit_results[i] = Some(d);
@@ -759,7 +820,8 @@ impl AdaptiveFramework {
                 if routed.unit_results[i].is_some() || g.num_nodes() == 0 {
                     continue;
                 }
-                let redundant = !g.has_stitches() || redundancy_probs[i][0] > self.redundancy_bar;
+                let redundant =
+                    !g.has_stitches() || red.probs[rep_slot[i]][0] > self.redundancy_bar;
                 if redundant {
                     let (parent, map) = g.merge_stitch_edges();
                     idx.push(i);
@@ -862,6 +924,7 @@ impl AdaptiveFramework {
             guard_failed,
             selector_probs,
             mut audit_rejected,
+            inference,
         } = routed;
         let mut budget_fallback = vec![false; n];
         let mut unit_time = vec![Duration::ZERO; n];
@@ -904,6 +967,7 @@ impl AdaptiveFramework {
                 usage,
                 timing,
                 memo_hits: 0,
+                inference,
                 quarantines,
                 resumed_units: 0,
             },
@@ -1002,6 +1066,7 @@ impl AdaptiveFramework {
             guard_failed,
             selector_probs,
             mut audit_rejected,
+            inference,
         } = routed;
 
         let mut budget_fallback = vec![false; n];
@@ -1252,6 +1317,7 @@ impl AdaptiveFramework {
                 usage,
                 timing,
                 memo_hits,
+                inference,
                 quarantines,
                 resumed_units,
             },
@@ -1300,6 +1366,7 @@ fn empty_result(prep: &PreparedLayout, params: &DecomposeParams, start: Instant)
         timing: TimingBreakdown::default(),
         unit_engines: Vec::new(),
         memo_hits: 0,
+        inference: InferenceStats::default(),
         unit_outcomes: Vec::new(),
         budget: BudgetBreakdown::default(),
         quarantines: Vec::new(),
@@ -1317,6 +1384,7 @@ struct FinishParts {
     usage: UsageBreakdown,
     timing: TimingBreakdown,
     memo_hits: usize,
+    inference: InferenceStats,
     quarantines: Vec<(usize, MpldError)>,
     resumed_units: usize,
 }
@@ -1364,6 +1432,7 @@ fn finish(
         timing: parts.timing,
         unit_engines,
         memo_hits: parts.memo_hits,
+        inference: parts.inference,
         budget: BudgetBreakdown::from_outcomes(&unit_outcomes),
         unit_outcomes,
         quarantines: parts.quarantines,
@@ -1381,6 +1450,7 @@ struct RoutedUnits {
     guard_failed: Vec<bool>,
     selector_probs: Vec<Vec<f32>>,
     audit_rejected: Vec<bool>,
+    inference: InferenceStats,
 }
 
 impl std::fmt::Debug for AdaptiveFramework {

@@ -46,6 +46,7 @@
 pub mod checkpoint;
 mod density;
 mod framework;
+mod memo;
 mod metrics;
 pub mod parallel;
 mod pipeline;
@@ -57,9 +58,10 @@ pub use checkpoint::{
 };
 pub use density::{density_imbalance, mask_densities};
 pub use framework::{
-    AdaptiveFramework, AdaptiveResult, BudgetBreakdown, BudgetPolicy, EngineKind, Recovery,
-    TimingBreakdown, UnitOutcome, UsageBreakdown,
+    AdaptiveFramework, AdaptiveResult, BudgetBreakdown, BudgetPolicy, EngineKind, InferenceStats,
+    Recovery, TimingBreakdown, UnitOutcome, UsageBreakdown,
 };
+pub use memo::EmbeddingMemo;
 pub use metrics::ConfusionMatrix;
 pub use parallel::default_threads;
 pub use pipeline::{

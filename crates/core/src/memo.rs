@@ -1,0 +1,103 @@
+//! Embedding/logit memoization for the routing stage.
+//!
+//! Real layouts repeat small units constantly (the same 2–6-node motifs
+//! occur hundreds of times per circuit), so running the GNN forward pass
+//! once per *distinct* unit and scattering the result is a large win.
+//! [`EmbeddingMemo`] keys units on the matcher's structural
+//! [`graph_fingerprint`](mpld_matching::graph_fingerprint) and — because
+//! GNN readouts are not bitwise permutation-invariant and hashes can in
+//! principle collide — verifies every hit with exact structural equality
+//! ([`graphs_identical`](mpld_matching::graphs_identical)) before it
+//! serves a cached slot. A hit therefore means *the same graph*, so the
+//! representative's probabilities and embeddings are bit-identical to
+//! what a fresh forward pass on the duplicate would have produced.
+
+use mpld_graph::LayoutGraph;
+use mpld_matching::{graph_fingerprint, graphs_identical};
+use std::collections::HashMap;
+
+/// Deduplication memo mapping structurally identical unit graphs to a
+/// shared "representative" slot (an index the caller assigns, typically
+/// into a batched inference result).
+#[derive(Debug, Default)]
+pub struct EmbeddingMemo<'a> {
+    buckets: HashMap<u64, Vec<(&'a LayoutGraph, usize)>>,
+    hits: usize,
+}
+
+impl<'a> EmbeddingMemo<'a> {
+    /// Empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a graph; on a verified hit returns the representative slot
+    /// and counts it. A fingerprint match with a structurally different
+    /// graph is *not* a hit.
+    pub fn find(&mut self, g: &LayoutGraph) -> Option<usize> {
+        let fp = graph_fingerprint(g);
+        let slot = self
+            .buckets
+            .get(&fp)?
+            .iter()
+            .find(|(rep, _)| graphs_identical(rep, g))
+            .map(|&(_, slot)| slot)?;
+        self.hits += 1;
+        Some(slot)
+    }
+
+    /// Register `g` as the representative for its structure class,
+    /// associated with `slot`.
+    pub fn insert(&mut self, g: &'a LayoutGraph, slot: usize) {
+        self.buckets
+            .entry(graph_fingerprint(g))
+            .or_default()
+            .push((g, slot));
+    }
+
+    /// Verified hits served so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_graph_hits_and_counts() {
+        let a = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2)]).unwrap();
+        let b = LayoutGraph::homogeneous(3, vec![(0, 1), (1, 2)]).unwrap();
+        let mut memo = EmbeddingMemo::new();
+        assert_eq!(memo.find(&a), None);
+        memo.insert(&a, 7);
+        assert_eq!(memo.find(&b), Some(7));
+        assert_eq!(memo.hits(), 1);
+    }
+
+    #[test]
+    fn different_graph_misses() {
+        let a = LayoutGraph::homogeneous(3, vec![(0, 1)]).unwrap();
+        let b = LayoutGraph::homogeneous(3, vec![(1, 2)]).unwrap();
+        let mut memo = EmbeddingMemo::new();
+        memo.insert(&a, 0);
+        assert_eq!(memo.find(&b), None);
+        assert_eq!(memo.hits(), 0);
+    }
+
+    #[test]
+    fn fingerprint_collision_is_rejected_by_equality_check() {
+        // Force a synthetic collision by inserting under the *wrong*
+        // bucket: find() must still refuse to serve a structurally
+        // different graph even when the fingerprints agree.
+        let a = LayoutGraph::homogeneous(4, vec![(0, 1), (2, 3)]).unwrap();
+        let b = LayoutGraph::homogeneous(4, vec![(0, 2), (1, 3)]).unwrap();
+        let mut memo = EmbeddingMemo::new();
+        memo.buckets
+            .entry(graph_fingerprint(&b))
+            .or_default()
+            .push((&a, 3));
+        assert_eq!(memo.find(&b), None);
+    }
+}

@@ -144,6 +144,16 @@ impl ColorGnn {
             .collect()
     }
 
+    /// Compiles the current weights into a tape-free inference engine
+    /// (the per-layer lambda scalars read out once). The frozen engine
+    /// draws from whatever RNG it is handed in exactly the tape path's
+    /// order, so the public [`ColorGnn::decompose_batch`] /
+    /// [`Decomposer::decompose`] entry points run it against the model's
+    /// own RNG stream and stay bit-identical to the tape oracles.
+    pub fn freeze(&self) -> crate::FrozenColorGnn {
+        crate::FrozenColorGnn::from_parts(self.lambda_values(), self.restarts, self.sample_keep)
+    }
+
     fn sampled_adjacency(&self, graph: &LayoutGraph, rng: &mut SmallRng) -> Arc<Adjacency> {
         let n = graph.num_nodes();
         let fwd = (0..n as u32)
@@ -217,10 +227,33 @@ impl ColorGnn {
     /// and the best coloring is kept *per graph* (strictly better than
     /// per-graph restarts at the same cost).
     ///
+    /// Runs on the frozen tape-free engine;
+    /// [`ColorGnn::decompose_batch_tape`] is the tape oracle it is
+    /// property-tested against.
+    ///
     /// # Panics
     ///
     /// Panics if any graph contains stitch edges.
     pub fn decompose_batch(
+        &self,
+        graphs: &[&LayoutGraph],
+        params: &DecomposeParams,
+        budget: &Budget,
+    ) -> Vec<Decomposition> {
+        let mut rng = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.freeze()
+            .decompose_batch_with_rng(graphs, params, budget, &mut rng)
+    }
+
+    /// The original tape-based batched decomposition, retained as the
+    /// correctness oracle for the frozen engine (identical RNG draws,
+    /// identical restart schedule — `tests/frozen_equivalence.rs` checks
+    /// the outputs match bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any graph contains stitch edges.
+    pub fn decompose_batch_tape(
         &self,
         graphs: &[&LayoutGraph],
         params: &DecomposeParams,
@@ -365,18 +398,16 @@ impl ColorGnn {
     }
 }
 
-impl Decomposer for ColorGnn {
-    fn name(&self) -> &'static str {
-        "ColorGNN"
-    }
-
-    /// Algorithm 1 lines 9–13: run the network `iter` times from random
-    /// initializations and keep the cheapest argmax coloring.
+impl ColorGnn {
+    /// The original tape-based single-graph decomposition (Algorithm 1
+    /// lines 9–13), retained as the correctness oracle for the frozen
+    /// engine behind [`Decomposer::decompose`].
     ///
-    /// Stitch graphs are rejected with [`MpldError::Unsupported`] — merge
-    /// them first (the adaptive framework routes only predicted-redundant
-    /// graphs here).
-    fn decompose(
+    /// # Errors
+    ///
+    /// [`MpldError::Unsupported`] for stitch graphs;
+    /// [`MpldError::Infeasible`] when no restart yields a coloring.
+    pub fn decompose_tape(
         &self,
         graph: &LayoutGraph,
         params: &DecomposeParams,
@@ -455,6 +486,33 @@ impl Decomposer for ColorGnn {
                 reason: "no restart produced a coloring".into(),
             }),
         }
+    }
+}
+
+impl Decomposer for ColorGnn {
+    fn name(&self) -> &'static str {
+        "ColorGNN"
+    }
+
+    /// Algorithm 1 lines 9–13: run the network `iter` times from random
+    /// initializations and keep the cheapest argmax coloring.
+    ///
+    /// Runs on the frozen tape-free engine against the model's own RNG
+    /// stream — bit-identical to [`ColorGnn::decompose_tape`] from the
+    /// same RNG state.
+    ///
+    /// Stitch graphs are rejected with [`MpldError::Unsupported`] — merge
+    /// them first (the adaptive framework routes only predicted-redundant
+    /// graphs here).
+    fn decompose(
+        &self,
+        graph: &LayoutGraph,
+        params: &DecomposeParams,
+        budget: &Budget,
+    ) -> Result<Decomposition, MpldError> {
+        let mut rng = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.freeze()
+            .decompose_with_rng(graph, params, budget, &mut rng)
     }
 }
 

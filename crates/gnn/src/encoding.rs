@@ -1,6 +1,7 @@
 //! Graph → tensor encoding shared by all GNN models.
 
 use mpld_graph::LayoutGraph;
+use mpld_tensor::infer::{Csr, CsrBuilder};
 use mpld_tensor::{Adjacency, Matrix};
 use std::sync::Arc;
 
@@ -20,8 +21,9 @@ pub const INPUT_SCALE: f32 = 0.2;
 /// edge type, ready to feed the GNN layers.
 #[derive(Debug, Clone)]
 pub struct GraphEncoding {
-    /// `n x 1` input features (Eq. 8).
-    pub features: Matrix,
+    /// `n x 1` input features (Eq. 8), shared so forward passes can put
+    /// them on the tape without cloning the data.
+    pub features: Arc<Matrix>,
     /// Conflict-edge adjacency.
     pub conflict: Arc<Adjacency>,
     /// Stitch-edge adjacency.
@@ -61,7 +63,7 @@ impl GraphEncoding {
                 .collect(),
         ));
         GraphEncoding {
-            features,
+            features: Arc::new(features),
             conflict,
             stitch,
         }
@@ -72,8 +74,9 @@ impl GraphEncoding {
 /// the paper batches simplified graphs for efficient inference.
 #[derive(Debug, Clone)]
 pub struct BatchEncoding {
-    /// `total_nodes x 1` input features.
-    pub features: Matrix,
+    /// `total_nodes x 1` input features, shared so forward passes can
+    /// put them on the tape without cloning the data.
+    pub features: Arc<Matrix>,
     /// Conflict adjacency over the union.
     pub conflict: Arc<Adjacency>,
     /// Stitch adjacency over the union.
@@ -113,7 +116,7 @@ impl BatchEncoding {
         }
         offsets.push(base as usize);
         BatchEncoding {
-            features,
+            features: Arc::new(features),
             conflict: Arc::new(Adjacency::new(conflict)),
             stitch: Arc::new(Adjacency::new(stitch)),
             segment,
@@ -124,6 +127,83 @@ impl BatchEncoding {
     /// Number of graphs in the batch.
     pub fn num_graphs(&self) -> usize {
         self.offsets.len() - 1
+    }
+}
+
+/// The tape-free twin of [`BatchEncoding`]: the same disjoint-union
+/// features (identical formula, identical order, hence identical bits)
+/// with CSR adjacencies instead of [`Adjacency`] — no reverse lists, no
+/// per-node `Vec`s — ready for the frozen inference engines.
+#[derive(Debug, Clone)]
+pub struct InferBatch {
+    /// `total_nodes x 1` input features, flattened row-major.
+    pub features: Vec<f32>,
+    /// Conflict CSR over the union.
+    pub conflict: Csr,
+    /// Stitch CSR over the union.
+    pub stitch: Csr,
+    /// `segment[r]` = index of the graph node `r` belongs to.
+    pub segment: Vec<u32>,
+    /// First node index of each graph (plus a final sentinel).
+    pub offsets: Vec<usize>,
+}
+
+impl InferBatch {
+    /// Encodes the disjoint union of `graphs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any graph has zero nodes (there is nothing to pool).
+    pub fn new(graphs: &[&LayoutGraph]) -> Self {
+        let total: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+        let mut features = Vec::with_capacity(total);
+        let mut conflict = CsrBuilder::new(total);
+        let mut stitch = CsrBuilder::new(total);
+        let mut segment = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(graphs.len() + 1);
+        let mut base = 0u32;
+        for (gi, g) in graphs.iter().enumerate() {
+            assert!(g.num_nodes() > 0, "batched graphs must be non-empty");
+            offsets.push(base as usize);
+            for v in 0..g.num_nodes() as u32 {
+                features.push(
+                    (g.conflict_degree(v) as f32
+                        + INPUT_ALPHA * g.stitch_neighbors(v).len() as f32)
+                        * INPUT_SCALE,
+                );
+                conflict.push_row(g.conflict_neighbors(v).iter().map(|&w| w + base));
+                stitch.push_row(g.stitch_neighbors(v).iter().map(|&w| w + base));
+                segment.push(gi as u32);
+            }
+            base += g.num_nodes() as u32;
+        }
+        offsets.push(base as usize);
+        InferBatch {
+            features,
+            conflict: conflict.finish(),
+            stitch: stitch.finish(),
+            segment,
+            offsets,
+        }
+    }
+
+    /// Encodes a single graph (a batch of one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has zero nodes.
+    pub fn single(graph: &LayoutGraph) -> Self {
+        InferBatch::new(&[graph])
+    }
+
+    /// Number of graphs in the batch.
+    pub fn num_graphs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total node count across the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.features.len()
     }
 }
 

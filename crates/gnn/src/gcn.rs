@@ -82,12 +82,12 @@ impl GcnClassifier {
     fn backbone_raw(
         &self,
         g: &mut Graph,
-        features: Matrix,
+        features: std::sync::Arc<Matrix>,
         conflict: std::sync::Arc<mpld_tensor::Adjacency>,
         stitch: std::sync::Arc<mpld_tensor::Adjacency>,
         bind: &mut dyn FnMut(&mut Graph, ParamId) -> VarId,
     ) -> VarId {
-        let mut h = g.input(features);
+        let mut h = g.input_shared(features);
         for &(w, w_self) in &self.layers {
             let agg_c = g.agg_sum(h, conflict.clone());
             let agg_s = g.agg_sum(h, stitch.clone());

@@ -30,10 +30,12 @@
 
 mod colorgnn;
 mod encoding;
+pub(crate) mod frozen;
 mod gcn;
 mod rgcn;
 
 pub use colorgnn::{ColorGnn, ColorGnnTrainConfig};
-pub use encoding::{BatchEncoding, GraphEncoding, INPUT_ALPHA, INPUT_SCALE};
+pub use encoding::{BatchEncoding, GraphEncoding, InferBatch, INPUT_ALPHA, INPUT_SCALE};
+pub use frozen::{FrozenColorGnn, FrozenOutputs, FrozenRgcn};
 pub use gcn::{GcnClassifier, GCN_STITCH_WEIGHT};
 pub use rgcn::{Readout, RgcnClassifier, TrainConfig};

@@ -214,6 +214,48 @@ impl RgcnClassifier {
         self.params.read_values(reader)
     }
 
+    /// Compiles the current weights into a tape-free inference engine.
+    ///
+    /// The per-layer basis decomposition `W_e = Σ_b δ_eb V_b` is folded
+    /// once, with the exact scale-then-accumulate order the tape uses on
+    /// every forward pass — so the folded weights, and hence every frozen
+    /// output, are bit-identical to the tape path. The result snapshots
+    /// the weights: retrain or mutate the classifier and freeze again.
+    pub fn freeze(&self) -> crate::FrozenRgcn {
+        let layers = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let w_edge = [0usize, 1].map(|e| {
+                    let mut acc: Option<Matrix> = None;
+                    for (b, &v_b) in layer.bases.iter().enumerate() {
+                        let d = self
+                            .params
+                            .value(layer.delta[e * self.num_bases + b])
+                            .scalar();
+                        let scaled = self.params.value(v_b).scaled(d);
+                        match &mut acc {
+                            None => acc = Some(scaled),
+                            Some(a) => a.add_assign(&scaled),
+                        }
+                    }
+                    #[allow(clippy::expect_used)] // num_bases >= 1 at construction
+                    acc.expect("at least one basis")
+                });
+                crate::frozen::FrozenLayer {
+                    w_edge,
+                    w_self: self.params.value(layer.w_self).clone(),
+                }
+            })
+            .collect();
+        let head = self
+            .head
+            .iter()
+            .map(|&(w, b)| (self.params.value(w).clone(), self.params.value(b).clone()))
+            .collect();
+        crate::FrozenRgcn::from_parts(layers, head, self.readout)
+    }
+
     /// Runs the backbone with a caller-supplied parameter binder,
     /// returning the node-embedding var (`n x D`).
     ///
@@ -223,11 +265,13 @@ impl RgcnClassifier {
     fn backbone_raw(
         &self,
         g: &mut Graph,
-        features: Matrix,
+        features: std::sync::Arc<Matrix>,
         adjacencies: [std::sync::Arc<mpld_tensor::Adjacency>; 2],
         bind: &mut dyn FnMut(&mut Graph, ParamId) -> VarId,
     ) -> VarId {
-        let mut h = g.input(features);
+        // Shared input: the encoding keeps owning the feature matrix, so
+        // no per-forward clone of the data is made.
+        let mut h = g.input_shared(features);
         for li in 0..self.layers.len() {
             // Materialize W_e = sum_b delta_eb V_b per edge type.
             let base_vars: Vec<VarId> = (0..self.num_bases)
@@ -267,6 +311,7 @@ impl RgcnClassifier {
     }
 
     /// Inference-path backbone over one encoded graph (frozen binds).
+    /// `enc.features.clone()` below is an `Arc` bump, not a data copy.
     fn backbone_frozen(&self, g: &mut Graph, enc: &GraphEncoding) -> VarId {
         self.backbone_raw(
             g,
@@ -442,17 +487,20 @@ impl RgcnClassifier {
             Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), graphs.len()),
             Readout::Max => g.segment_max(node_emb, enc.segment.clone(), graphs.len()),
         };
-        let nodes = g.value(node_emb).clone();
-        let pools = g.value(pooled).clone();
+        let nodes = g.value(node_emb);
+        let pools = g.value(pooled);
+        let cols = nodes.cols();
         (0..graphs.len())
             .map(|i| {
+                // Each graph's node block is a contiguous row range of the
+                // batched matrix: carve it in one slice copy instead of a
+                // zeroed intermediate plus element-wise writes.
                 let (lo, hi) = (enc.offsets[i], enc.offsets[i + 1]);
-                let mut m = Matrix::zeros(hi - lo, nodes.cols());
-                for r in lo..hi {
-                    for c in 0..nodes.cols() {
-                        m[(r - lo, c)] = nodes[(r, c)];
-                    }
-                }
+                let m = Matrix::from_vec(
+                    hi - lo,
+                    cols,
+                    nodes.as_slice()[lo * cols..hi * cols].to_vec(),
+                );
                 (pools.row(i).to_vec(), m)
             })
             .collect()

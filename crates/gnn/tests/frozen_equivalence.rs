@@ -1,0 +1,187 @@
+//! Property tests: the frozen (tape-free) inference engines are
+//! bit-identical to the autodiff-tape oracles.
+//!
+//! This is the contract that lets the adaptive framework route on frozen
+//! inference without changing a single decision: same GEMM microkernel,
+//! same accumulation orders, same RNG draw order — so outputs match to
+//! the last ulp, not within a tolerance.
+
+use mpld_gnn::{ColorGnn, InferBatch, RgcnClassifier};
+use mpld_graph::{Budget, DecomposeParams, Decomposer, LayoutGraph};
+use proptest::prelude::*;
+
+/// Random heterogeneous layout graph on 1..=10 nodes: every vertex pair
+/// is independently a conflict edge, a stitch edge, or absent — so
+/// single-node units and empty-stitch (homogeneous) units both occur.
+fn arb_layout() -> impl Strategy<Value = LayoutGraph> {
+    (1usize..=10).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        let np = pairs.len();
+        (
+            prop::collection::vec(proptest::prelude::prop::bool::ANY, np.max(1)),
+            prop::collection::vec(0u32..3, n),
+        )
+            .prop_map(move |(present, feats)| {
+                // A pair's edge type follows the feature labels (the
+                // layout-graph invariant: conflicts join different
+                // features, stitches join same-feature nodes), so graphs
+                // with no stitch edges arise whenever features are all
+                // distinct.
+                let mut conflict = Vec::new();
+                let mut stitch = Vec::new();
+                for (&(u, v), &keep) in pairs.iter().zip(&present) {
+                    if !keep {
+                        continue;
+                    }
+                    if feats[u as usize] == feats[v as usize] {
+                        stitch.push((u, v));
+                    } else {
+                        conflict.push((u, v));
+                    }
+                }
+                LayoutGraph::new(feats, conflict, stitch).expect("valid random graph")
+            })
+    })
+}
+
+/// Random homogeneous (no-stitch) graph for ColorGNN, which rejects
+/// stitch edges.
+fn arb_homogeneous() -> impl Strategy<Value = LayoutGraph> {
+    (1usize..=9).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        prop::collection::vec(proptest::prelude::prop::bool::ANY, pairs.len().max(1)).prop_map(
+            move |mask| {
+                let edges = pairs
+                    .iter()
+                    .zip(&mask)
+                    .filter(|(_, &m)| m)
+                    .map(|(&e, _)| e)
+                    .collect();
+                LayoutGraph::homogeneous(n, edges).expect("valid random graph")
+            },
+        )
+    })
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Router (sum readout, linear head) and redundancy (max readout,
+    /// MLP head): frozen single-graph forwards equal the tape bitwise.
+    #[test]
+    fn frozen_rgcn_single_matches_tape(g in arb_layout(), seed in 0u64..500) {
+        for model in [RgcnClassifier::selector(seed), RgcnClassifier::redundancy(seed)] {
+            let frozen = model.freeze();
+            assert_bits_eq(&frozen.predict(&g), &model.predict(&g), "probs");
+            assert_bits_eq(
+                &frozen.graph_embedding(&g),
+                &model.graph_embedding(&g),
+                "graph embedding",
+            );
+            let fn_nodes = frozen.node_embeddings(&g);
+            let tp_nodes = model.node_embeddings(&g);
+            prop_assert_eq!(fn_nodes.rows(), tp_nodes.rows());
+            assert_bits_eq(fn_nodes.as_slice(), tp_nodes.as_slice(), "node embeddings");
+        }
+    }
+
+    /// Batched (block-diagonal) frozen forwards equal the tape's batched
+    /// forwards bitwise, for both heads, including the single-pass
+    /// embeddings that replace the tape's separate second traversal.
+    #[test]
+    fn frozen_rgcn_batch_matches_tape(
+        gs in prop::collection::vec(arb_layout(), 1..5),
+        seed in 0u64..500,
+    ) {
+        let refs: Vec<&LayoutGraph> = gs.iter().collect();
+        for model in [RgcnClassifier::selector(seed), RgcnClassifier::redundancy(seed)] {
+            let frozen = model.freeze();
+            let enc = InferBatch::new(&refs);
+            let out = frozen.infer_encoded(&enc);
+
+            let tape_probs = model.predict_batch(&refs);
+            prop_assert_eq!(out.probs.len(), tape_probs.len());
+            for (f, t) in out.probs.iter().zip(&tape_probs) {
+                assert_bits_eq(f, t, "batched probs");
+            }
+
+            let tape_embs = model.embeddings_batch(&refs);
+            prop_assert_eq!(out.graph_embeddings.len(), tape_embs.len());
+            for ((fe, fnodes), (te, tnodes)) in out
+                .graph_embeddings
+                .iter()
+                .zip(&out.node_embeddings)
+                .zip(tape_embs.iter().map(|(e, n)| (e, n)))
+            {
+                assert_bits_eq(fe, te, "batched graph embedding");
+                prop_assert_eq!(fnodes.rows(), tnodes.rows());
+                assert_bits_eq(fnodes.as_slice(), tnodes.as_slice(), "batched node embeddings");
+            }
+        }
+    }
+
+    /// The batched tape path (which carves per-graph embeddings out of
+    /// the batch's node matrix without intermediate copies) agrees
+    /// bitwise with the per-graph tape forwards on a batch of one — the
+    /// two code paths share every accumulation order.
+    #[test]
+    fn embeddings_batch_matches_per_graph(g in arb_layout(), seed in 0u64..500) {
+        for model in [RgcnClassifier::selector(seed), RgcnClassifier::redundancy(seed)] {
+            let batched = model.embeddings_batch(&[&g]);
+            prop_assert_eq!(batched.len(), 1);
+            let (emb, nodes) = &batched[0];
+            assert_bits_eq(emb, &model.graph_embedding(&g), "graph embedding");
+            let single_nodes = model.node_embeddings(&g);
+            prop_assert_eq!(nodes.rows(), single_nodes.rows());
+            assert_bits_eq(nodes.as_slice(), single_nodes.as_slice(), "node embeddings");
+        }
+    }
+
+    /// ColorGNN: from the same reseeded RNG stream, the frozen engine
+    /// (the `Decomposer::decompose` / `decompose_batch` default) and the
+    /// tape oracle produce identical colorings, costs and certainty.
+    #[test]
+    fn frozen_colorgnn_matches_tape(
+        gs in prop::collection::vec(arb_homogeneous(), 1..4),
+        seed in 0u64..500,
+    ) {
+        let refs: Vec<&LayoutGraph> = gs.iter().collect();
+        let gnn = ColorGnn::new(seed);
+        let params = DecomposeParams::tpl();
+        let budget = Budget::unlimited();
+
+        gnn.reseed(seed ^ 0xA5);
+        let tape = gnn.decompose_batch_tape(&refs, &params, &budget);
+        gnn.reseed(seed ^ 0xA5);
+        let frozen = gnn.decompose_batch(&refs, &params, &budget);
+        prop_assert_eq!(tape.len(), frozen.len());
+        for (t, f) in tape.iter().zip(&frozen) {
+            prop_assert_eq!(&t.coloring, &f.coloring);
+            prop_assert_eq!(t.cost, f.cost);
+            prop_assert_eq!(t.certainty, f.certainty);
+        }
+
+        // Single-graph path (early exit on conflict-free colorings).
+        gnn.reseed(seed ^ 0x3C);
+        let t = gnn.decompose_tape(&gs[0], &params, &budget).expect("tape decompose");
+        gnn.reseed(seed ^ 0x3C);
+        let f = gnn.decompose(&gs[0], &params, &budget).expect("frozen decompose");
+        prop_assert_eq!(t.coloring, f.coloring);
+        prop_assert_eq!(t.cost, f.cost);
+        prop_assert_eq!(t.certainty, f.certainty);
+    }
+}

@@ -49,6 +49,12 @@ impl Adjacency {
     pub fn is_empty(&self) -> bool {
         self.fwd.is_empty()
     }
+
+    /// The rows summed into output row `i` (the forward neighbor list, in
+    /// insertion order — the order [`Graph::agg_sum`] accumulates in).
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.fwd[i]
+    }
 }
 
 enum Op {
@@ -83,9 +89,27 @@ enum Op {
     MarginPairLoss(VarId, Arc<Vec<(u32, u32)>>, f32),
 }
 
+/// Storage for a node's forward value. Computed nodes own their matrix;
+/// inputs inserted via [`Graph::input_shared`] borrow one through an
+/// `Arc`, so hot callers (the GNN encodings, whose feature matrices
+/// outlive any single tape) stop cloning them onto every forward pass.
+enum Stored {
+    Owned(Matrix),
+    Shared(Arc<Matrix>),
+}
+
+impl Stored {
+    fn get(&self) -> &Matrix {
+        match self {
+            Stored::Owned(m) => m,
+            Stored::Shared(m) => m,
+        }
+    }
+}
+
 struct Node {
     op: Op,
-    value: Matrix,
+    value: Stored,
     grad: Option<Matrix>,
     needs_grad: bool,
 }
@@ -117,7 +141,7 @@ impl Graph {
     fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> VarId {
         self.nodes.push(Node {
             op,
-            value,
+            value: Stored::Owned(value),
             grad: None,
             needs_grad,
         });
@@ -129,6 +153,18 @@ impl Graph {
         self.push(Op::Leaf, value, false)
     }
 
+    /// Inserts a constant input backed by a shared matrix (no gradient,
+    /// and — unlike [`Graph::input`] — no copy of the data).
+    pub fn input_shared(&mut self, value: Arc<Matrix>) -> VarId {
+        self.nodes.push(Node {
+            op: Op::Leaf,
+            value: Stored::Shared(value),
+            grad: None,
+            needs_grad: false,
+        });
+        self.nodes.len() - 1
+    }
+
     /// Inserts a trainable leaf (gradient is accumulated).
     pub fn param(&mut self, value: Matrix) -> VarId {
         self.push(Op::Leaf, value, true)
@@ -136,7 +172,7 @@ impl Graph {
 
     /// The current value of `id`.
     pub fn value(&self, id: VarId) -> &Matrix {
-        &self.nodes[id].value
+        self.nodes[id].value.get()
     }
 
     /// The gradient of the last [`Graph::backward`] target w.r.t. `id`.
@@ -165,15 +201,15 @@ impl Graph {
 
     /// `a * b`.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.matmul(&self.nodes[b].value);
+        let v = self.nodes[a].value.get().matmul(self.nodes[b].value.get());
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::MatMul(a, b), v, ng)
     }
 
     /// `a + b` (same shape).
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let mut v = self.nodes[a].value.clone();
-        v.add_assign(&self.nodes[b].value);
+        let mut v = self.nodes[a].value.get().clone();
+        v.add_assign(self.nodes[b].value.get());
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::Add(a, b), v, ng)
     }
@@ -184,9 +220,9 @@ impl Graph {
     ///
     /// Panics if `bias` is not `1 x a.cols`.
     pub fn add_row(&mut self, a: VarId, bias: VarId) -> VarId {
-        let b = &self.nodes[bias].value;
+        let b = self.nodes[bias].value.get();
         assert_eq!(b.rows(), 1, "bias must be a single row");
-        let a_val = &self.nodes[a].value;
+        let a_val = self.nodes[a].value.get();
         assert_eq!(b.cols(), a_val.cols(), "bias width mismatch");
         let mut v = a_val.clone();
         for r in 0..v.rows() {
@@ -200,7 +236,7 @@ impl Graph {
 
     /// Element-wise ReLU.
     pub fn relu(&mut self, a: VarId) -> VarId {
-        let mut v = self.nodes[a].value.clone();
+        let mut v = self.nodes[a].value.get().clone();
         for x in v.as_mut_slice() {
             if *x < 0.0 {
                 *x = 0.0;
@@ -212,7 +248,7 @@ impl Graph {
 
     /// `s * a` for a constant scalar.
     pub fn scale_const(&mut self, a: VarId, s: f32) -> VarId {
-        let v = self.nodes[a].value.scaled(s);
+        let v = self.nodes[a].value.get().scaled(s);
         let ng = self.needs(a);
         self.push(Op::ScaleConst(a, s), v, ng)
     }
@@ -223,8 +259,8 @@ impl Graph {
     ///
     /// Panics if `scalar` is not `1 x 1`.
     pub fn scale_by_scalar(&mut self, a: VarId, scalar: VarId) -> VarId {
-        let s = self.nodes[scalar].value.scalar();
-        let v = self.nodes[a].value.scaled(s);
+        let s = self.nodes[scalar].value.get().scalar();
+        let v = self.nodes[a].value.get().scaled(s);
         let ng = self.needs(a) || self.needs(scalar);
         self.push(Op::ScaleByScalar(a, scalar), v, ng)
     }
@@ -235,7 +271,7 @@ impl Graph {
     ///
     /// Panics if `adj.len() != a.rows()`.
     pub fn agg_sum(&mut self, a: VarId, adj: Arc<Adjacency>) -> VarId {
-        let x = &self.nodes[a].value;
+        let x = self.nodes[a].value.get();
         assert_eq!(adj.len(), x.rows(), "adjacency size mismatch");
         let mut v = Matrix::zeros(x.rows(), x.cols());
         for (i, ns) in adj.fwd.iter().enumerate() {
@@ -252,7 +288,7 @@ impl Graph {
 
     /// Graph readout: `1 x d` sum of all rows.
     pub fn sum_rows(&mut self, a: VarId) -> VarId {
-        let x = &self.nodes[a].value;
+        let x = self.nodes[a].value.get();
         let mut v = Matrix::zeros(1, x.cols());
         for r in 0..x.rows() {
             for c in 0..x.cols() {
@@ -269,7 +305,7 @@ impl Graph {
     ///
     /// Panics if `a` has no rows.
     pub fn max_rows(&mut self, a: VarId) -> VarId {
-        let x = &self.nodes[a].value;
+        let x = self.nodes[a].value.get();
         assert!(x.rows() > 0, "max over zero rows");
         let mut v = Matrix::zeros(1, x.cols());
         let mut arg = vec![0u32; x.cols()];
@@ -296,7 +332,7 @@ impl Graph {
     /// Panics if `seg.len() != a.rows()` or a segment id is
     /// `>= num_segments`.
     pub fn segment_sum(&mut self, a: VarId, seg: Vec<u32>, num_segments: usize) -> VarId {
-        let x = &self.nodes[a].value;
+        let x = self.nodes[a].value.get();
         assert_eq!(seg.len(), x.rows(), "one segment id per row");
         assert!(
             seg.iter().all(|&s| (s as usize) < num_segments),
@@ -319,7 +355,7 @@ impl Graph {
     ///
     /// Panics on length/range mismatch or an empty segment.
     pub fn segment_max(&mut self, a: VarId, seg: Vec<u32>, num_segments: usize) -> VarId {
-        let x = &self.nodes[a].value;
+        let x = self.nodes[a].value.get();
         assert_eq!(seg.len(), x.rows(), "one segment id per row");
         assert!(
             seg.iter().all(|&s| (s as usize) < num_segments),
@@ -350,7 +386,7 @@ impl Graph {
     /// downstream losses scale-invariant (used by the ColorGNN margin
     /// loss so belief magnitudes cannot trivially satisfy the margin).
     pub fn row_l2_normalize(&mut self, a: VarId) -> VarId {
-        let x = &self.nodes[a].value;
+        let x = self.nodes[a].value.get();
         let mut v = x.clone();
         let mut norms = Vec::with_capacity(x.rows());
         for r in 0..x.rows() {
@@ -377,7 +413,7 @@ impl Graph {
     ///
     /// Panics if `labels.len() != logits.rows()` or a label is out of range.
     pub fn softmax_cross_entropy(&mut self, logits: VarId, labels: Vec<u8>) -> VarId {
-        let x = &self.nodes[logits].value;
+        let x = self.nodes[logits].value.get();
         let (n, c) = (x.rows(), x.cols());
         assert_eq!(labels.len(), n, "one label per row");
         assert!(
@@ -413,7 +449,7 @@ impl Graph {
     /// Softmax probabilities of `logits` (`n x C`), computed outside the
     /// tape (no gradient).
     pub fn softmax_values(&self, logits: VarId) -> Matrix {
-        let x = &self.nodes[logits].value;
+        let x = self.nodes[logits].value.get();
         let (n, c) = (x.rows(), x.cols());
         let mut probs = Matrix::zeros(n, c);
         for r in 0..n {
@@ -439,7 +475,7 @@ impl Graph {
     ///
     /// Panics if an edge endpoint is out of range.
     pub fn margin_pair_loss(&mut self, x: VarId, edges: Vec<(u32, u32)>, margin: f32) -> VarId {
-        let m = &self.nodes[x].value;
+        let m = self.nodes[x].value.get();
         let mut loss = 0.0f32;
         for &(u, v) in &edges {
             assert!(
@@ -478,7 +514,10 @@ impl Graph {
     /// Panics if `loss` is not `1 x 1`.
     pub fn backward(&mut self, loss: VarId) {
         assert_eq!(
-            (self.nodes[loss].value.rows(), self.nodes[loss].value.cols()),
+            (
+                self.nodes[loss].value.get().rows(),
+                self.nodes[loss].value.get().cols()
+            ),
             (1, 1),
             "backward target must be a scalar"
         );
@@ -500,11 +539,11 @@ impl Graph {
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
                     if self.needs(a) {
-                        let d = grad.matmul_nt(&self.nodes[b].value);
+                        let d = grad.matmul_nt(self.nodes[b].value.get());
                         self.accumulate(a, d);
                     }
                     if self.needs(b) {
-                        let d = self.nodes[a].value.matmul_tn(&grad);
+                        let d = self.nodes[a].value.get().matmul_tn(&grad);
                         self.accumulate(b, d);
                     }
                 }
@@ -536,7 +575,7 @@ impl Graph {
                     let a = *a;
                     if self.needs(a) {
                         let mut d = grad.clone();
-                        let inp = self.nodes[a].value.clone();
+                        let inp = self.nodes[a].value.get().clone();
                         for (g, &x) in d.as_mut_slice().iter_mut().zip(inp.as_slice()) {
                             if x <= 0.0 {
                                 *g = 0.0;
@@ -553,7 +592,7 @@ impl Graph {
                 }
                 Op::ScaleByScalar(a, scalar) => {
                     let (a, scalar) = (*a, *scalar);
-                    let s = self.nodes[scalar].value.scalar();
+                    let s = self.nodes[scalar].value.get().scalar();
                     if self.needs(a) {
                         self.accumulate(a, grad.scaled(s));
                     }
@@ -561,7 +600,7 @@ impl Graph {
                         let dot: f32 = grad
                             .as_slice()
                             .iter()
-                            .zip(self.nodes[a].value.as_slice())
+                            .zip(self.nodes[a].value.get().as_slice())
                             .map(|(&g, &x)| g * x)
                             .sum();
                         self.accumulate(scalar, Matrix::from_vec(1, 1, vec![dot]));
@@ -585,7 +624,7 @@ impl Graph {
                 Op::SumRows(a) => {
                     let a = *a;
                     if self.needs(a) {
-                        let rows = self.nodes[a].value.rows();
+                        let rows = self.nodes[a].value.get().rows();
                         let mut d = Matrix::zeros(rows, grad.cols());
                         for r in 0..rows {
                             for c in 0..grad.cols() {
@@ -598,7 +637,7 @@ impl Graph {
                 Op::MaxRows(a, arg) => {
                     let (a, arg) = (*a, arg.clone());
                     if self.needs(a) {
-                        let rows = self.nodes[a].value.rows();
+                        let rows = self.nodes[a].value.get().rows();
                         let mut d = Matrix::zeros(rows, grad.cols());
                         for (c, &r) in arg.iter().enumerate() {
                             d[(r as usize, c)] = grad[(0, c)];
@@ -610,7 +649,7 @@ impl Graph {
                     let a = *a;
                     let seg = Arc::clone(seg);
                     if self.needs(a) {
-                        let rows = self.nodes[a].value.rows();
+                        let rows = self.nodes[a].value.get().rows();
                         let mut d = Matrix::zeros(rows, grad.cols());
                         for (r, &s) in seg.iter().enumerate() {
                             for c in 0..grad.cols() {
@@ -624,7 +663,7 @@ impl Graph {
                     let (a, norms) = (*a, norms.clone());
                     if self.needs(a) {
                         // dL/dx_r = (g_r - y_r (y_r · g_r)) / norm_r
-                        let y = self.nodes[id].value.clone();
+                        let y = self.nodes[id].value.get().clone();
                         let mut d = Matrix::zeros(grad.rows(), grad.cols());
                         for r in 0..grad.rows() {
                             let dot: f32 = (0..grad.cols()).map(|c| y[(r, c)] * grad[(r, c)]).sum();
@@ -638,7 +677,7 @@ impl Graph {
                 Op::SegmentMax(a, arg) => {
                     let (a, arg) = (*a, arg.clone());
                     if self.needs(a) {
-                        let rows = self.nodes[a].value.rows();
+                        let rows = self.nodes[a].value.get().rows();
                         let cols = grad.cols();
                         let mut d = Matrix::zeros(rows, cols);
                         for (i, &r) in arg.iter().enumerate() {
@@ -669,7 +708,7 @@ impl Graph {
                     let margin = *margin;
                     if self.needs(x) {
                         let g0 = grad.scalar();
-                        let m = self.nodes[x].value.clone();
+                        let m = self.nodes[x].value.get().clone();
                         let mut d = Matrix::zeros(m.rows(), m.cols());
                         for &(u, v) in edges.iter() {
                             let (u, v) = (u as usize, v as usize);

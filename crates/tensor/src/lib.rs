@@ -31,6 +31,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod graph;
+pub mod infer;
 mod matrix;
 mod optim;
 mod pca;

@@ -26,6 +26,74 @@ const MR: usize = 4;
 /// loop autovectorizes at the baseline x86-64 target.
 const NR: usize = 8;
 
+/// The row-major `C = A * B` kernel shared by [`Matrix::matmul`] and the
+/// tape-free [`crate::infer`] primitives. Keeping a single entry point
+/// guarantees both paths produce bit-identical results: the frozen
+/// inference engine promises outputs that match the autodiff tape to the
+/// last ulp, which only holds if they dispatch to the same microkernel.
+///
+/// `c` is fully overwritten (no accumulate-into semantics).
+pub(crate) fn gemm_nn(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), kk * n);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if x86::have_avx2_fma() {
+        // SAFETY: the AVX2+FMA feature check just passed.
+        unsafe { x86::gemm_wide(m, kk, n, a, kk, 1, b, c) };
+        return;
+    }
+    let mut i = 0;
+    while i < m {
+        let ib = (m - i).min(MR);
+        let mut j = 0;
+        while j < n {
+            let jb = (n - j).min(NR);
+            if ib == MR && jb == NR {
+                // Full MR x NR microkernel: the C tile lives in local
+                // accumulators across the whole k loop, so the inner
+                // loop is pure load-a/load-b/FMA and autovectorizes.
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..kk {
+                    let bs = &b[p * n + j..p * n + j + NR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = a[(i + r) * kk + p];
+                        for (o, &bv) in accr.iter_mut().zip(bs) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+                }
+            } else {
+                for r in 0..ib {
+                    for col in 0..jb {
+                        let mut s = 0.0;
+                        for p in 0..kk {
+                            s += a[(i + r) * kk + p] * b[p * n + j + col];
+                        }
+                        c[(i + r) * n + j + col] = s;
+                    }
+                }
+            }
+            j += jb;
+        }
+        i += ib;
+    }
+}
+
+/// Name of the GEMM microkernel selected at runtime (`"avx2fma"` or
+/// `"scalar"`). Recorded in benchmark artifacts so CI only compares
+/// floating-point-sensitive digests between runs on the same kernel.
+pub fn kernel_name() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if x86::have_avx2_fma() {
+        return "avx2fma";
+    }
+    "scalar"
+}
+
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -128,53 +196,7 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let (m, kk, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        let a = &self.data;
-        let b = &other.data;
-        let c = &mut out.data;
-        #[cfg(target_arch = "x86_64")]
-        if x86::have_avx2_fma() {
-            // SAFETY: the AVX2+FMA feature check just passed.
-            unsafe { x86::gemm_wide(m, kk, n, a, kk, 1, b, c) };
-            return out;
-        }
-        let mut i = 0;
-        while i < m {
-            let ib = (m - i).min(MR);
-            let mut j = 0;
-            while j < n {
-                let jb = (n - j).min(NR);
-                if ib == MR && jb == NR {
-                    // Full MR x NR microkernel: the C tile lives in local
-                    // accumulators across the whole k loop, so the inner
-                    // loop is pure load-a/load-b/FMA and autovectorizes.
-                    let mut acc = [[0.0f32; NR]; MR];
-                    for p in 0..kk {
-                        let bs = &b[p * n + j..p * n + j + NR];
-                        for (r, accr) in acc.iter_mut().enumerate() {
-                            let av = a[(i + r) * kk + p];
-                            for (o, &bv) in accr.iter_mut().zip(bs) {
-                                *o += av * bv;
-                            }
-                        }
-                    }
-                    for (r, accr) in acc.iter().enumerate() {
-                        c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
-                    }
-                } else {
-                    for r in 0..ib {
-                        for col in 0..jb {
-                            let mut s = 0.0;
-                            for p in 0..kk {
-                                s += a[(i + r) * kk + p] * b[p * n + j + col];
-                            }
-                            c[(i + r) * n + j + col] = s;
-                        }
-                    }
-                }
-                j += jb;
-            }
-            i += ib;
-        }
+        gemm_nn(m, kk, n, &self.data, &other.data, &mut out.data);
         out
     }
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_baseline run against the committed artifact.
+
+Usage: check_perf_digest.py <fresh.json> <committed.json>
+
+Fails (exit 1) if any circuit's routing decisions (per-engine unit
+counts) or final costs (conflicts/stitches) differ from the committed
+BENCH_pipeline.json. Timing fields are ignored — they vary by host; the
+digest fields are deterministic given the model seed and the GEMM
+microkernel. When the two runs used different kernels (`fp_kernel`), the
+comparison is skipped: the forward pass's last bits differ legitimately,
+so threshold decisions near the boundary may too.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    fresh_path, committed_path = sys.argv[1], sys.argv[2]
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(committed_path) as f:
+        committed = json.load(f)
+
+    if fresh.get("fp_kernel") != committed.get("fp_kernel"):
+        print(
+            f"fp_kernel mismatch ({fresh.get('fp_kernel')} vs "
+            f"{committed.get('fp_kernel')}): skipping digest comparison"
+        )
+        return 0
+    if fresh.get("seed") != committed.get("seed"):
+        print(
+            f"seed mismatch ({fresh.get('seed')} vs {committed.get('seed')}): "
+            "skipping digest comparison"
+        )
+        return 0
+    # Training config determines the model weights and hence routing;
+    # quick runs (MPLD_EPOCHS / MPLD_TRAIN_CAP overrides) are not
+    # comparable to the committed full run.
+    for knob in ("train_cap", "epochs"):
+        if fresh.get(knob) != committed.get(knob):
+            print(
+                f"{knob} mismatch ({fresh.get(knob)} vs "
+                f"{committed.get(knob)}): skipping digest comparison"
+            )
+            return 0
+
+    committed_rows = {
+        r["name"]: r for r in committed["adaptive"]["per_circuit"]
+    }
+    bad = False
+    compared = 0
+    for row in fresh["adaptive"]["per_circuit"]:
+        ref = committed_rows.get(row["name"])
+        if ref is None:
+            continue
+        compared += 1
+        for key in ("units", "conflicts", "stitches", "engines"):
+            if row.get(key) != ref.get(key):
+                print(
+                    f"{row['name']}: {key} = {row.get(key)} differs from "
+                    f"committed {ref.get(key)}"
+                )
+                bad = True
+    if compared == 0:
+        print("no overlapping circuits to compare")
+        return 1
+    if bad:
+        print("routing/cost digest DIVERGED from the committed artifact")
+        return 1
+    print(
+        f"routing/cost digest matches the committed artifact "
+        f"({compared} circuits)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

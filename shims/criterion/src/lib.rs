@@ -114,12 +114,21 @@ fn run_one(group: &str, label: &str, test_mode: bool, f: &mut dyn FnMut(&mut Ben
         format!("{group}/{label}")
     };
     if test_mode {
-        println!("{full}: skipped (--test)");
+        // Real criterion's `--test` runs each benchmark exactly once, so
+        // smoke runs compile AND exercise the benched code path.
+        let mut bencher = Bencher {
+            median_ns: None,
+            batches: 0,
+            test_mode: true,
+        };
+        f(&mut bencher);
+        println!("{full}: ok (--test, 1 iteration)");
         return;
     }
     let mut bencher = Bencher {
         median_ns: None,
         batches: 0,
+        test_mode: false,
     };
     f(&mut bencher);
     match bencher.median_ns {
@@ -136,6 +145,7 @@ fn run_one(group: &str, label: &str, test_mode: bool, f: &mut dyn FnMut(&mut Ben
 pub struct Bencher {
     median_ns: Option<f64>,
     batches: usize,
+    test_mode: bool,
 }
 
 const TARGET_BATCH: Duration = Duration::from_millis(25);
@@ -143,6 +153,10 @@ const NUM_BATCHES: usize = 5;
 
 impl Bencher {
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
         // Calibrate: grow the batch size until one batch is long enough to
         // time reliably.
         let mut iters: u64 = 1;
@@ -217,6 +231,7 @@ mod tests {
         let mut b = Bencher {
             median_ns: None,
             batches: 0,
+            test_mode: false,
         };
         let mut acc = 0u64;
         b.iter(|| {

@@ -1,0 +1,81 @@
+//! Property tests for the routing-stage embedding memo: a memo hit is
+//! only ever served for a *structurally identical* graph, so reusing the
+//! representative's embeddings/logits can never change a routing
+//! decision (in particular, it never serves across non-isomorphic
+//! units).
+
+use mpld::EmbeddingMemo;
+use mpld_graph::LayoutGraph;
+use mpld_matching::{are_isomorphic, graphs_identical};
+use proptest::prelude::*;
+
+/// Random heterogeneous layout graph on 1..=8 nodes; edge type follows
+/// the feature labels (the layout-graph invariant).
+fn arb_layout() -> impl Strategy<Value = LayoutGraph> {
+    (1usize..=8).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        let np = pairs.len();
+        (
+            prop::collection::vec(prop::bool::ANY, np.max(1)),
+            prop::collection::vec(0u32..3, n),
+        )
+            .prop_map(move |(present, feats)| {
+                let mut conflict = Vec::new();
+                let mut stitch = Vec::new();
+                for (&(u, v), &keep) in pairs.iter().zip(&present) {
+                    if !keep {
+                        continue;
+                    }
+                    if feats[u as usize] == feats[v as usize] {
+                        stitch.push((u, v));
+                    } else {
+                        conflict.push((u, v));
+                    }
+                }
+                LayoutGraph::new(feats, conflict, stitch).expect("valid random graph")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert a population of random graphs, then probe with more random
+    /// graphs: every hit points at a structurally identical insert
+    /// (never a merely similar or non-isomorphic one), and every
+    /// identical probe hits.
+    #[test]
+    fn memo_hits_only_identical_graphs(
+        inserts in prop::collection::vec(arb_layout(), 1..6),
+        probes in prop::collection::vec(arb_layout(), 1..6),
+    ) {
+        let mut memo = EmbeddingMemo::new();
+        for (slot, g) in inserts.iter().enumerate() {
+            if memo.find(g).is_none() {
+                memo.insert(g, slot);
+            }
+        }
+        for p in probes.iter().chain(&inserts) {
+            match memo.find(p) {
+                Some(slot) => {
+                    // The served representative is the same graph —
+                    // identical, hence in particular isomorphic.
+                    prop_assert!(graphs_identical(&inserts[slot], p));
+                    prop_assert!(are_isomorphic(&inserts[slot], p));
+                }
+                None => {
+                    // A miss means no insert is structurally identical.
+                    for g in &inserts {
+                        prop_assert!(!graphs_identical(g, p));
+                    }
+                }
+            }
+        }
+        // Re-probing the inserts themselves must hit.
+        for g in &inserts {
+            prop_assert!(memo.find(g).is_some());
+        }
+    }
+}
