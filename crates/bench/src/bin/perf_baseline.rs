@@ -11,10 +11,13 @@
 //! `MPLD_SEED` for the ColorGNN sampling RNG (recorded in the artifact so
 //! a run is reproducible from the JSON alone).
 
-use mpld::{prepare, train_framework, BudgetPolicy, EngineKind, PreparedLayout, TrainingData};
+use mpld::{
+    prepare, train_framework_with_report, BudgetPolicy, EngineKind, PreparedLayout, TrainingData,
+};
 use mpld_bench::env_usize;
 use mpld_ec::EcDecomposer;
-use mpld_graph::{DecomposeParams, Decomposer};
+use mpld_gnn::{ColorGnn, ColorGnnTrainConfig, RgcnClassifier, TrainConfig};
+use mpld_graph::{DecomposeParams, Decomposer, LayoutGraph};
 use mpld_ilp::encode::BipDecomposer;
 use mpld_ilp::IlpDecomposer;
 use mpld_layout::iscas_suite;
@@ -94,8 +97,16 @@ fn main() {
     let epochs = env_usize("MPLD_EPOCHS", 12);
     cfg.rgcn.epochs = epochs;
     let t = Instant::now();
-    let fw = train_framework(&data, &params, &cfg);
-    eprintln!("trained framework in {:.2}s", t.elapsed().as_secs_f64());
+    let (fw, train_report) = train_framework_with_report(&data, &params, &cfg);
+    eprintln!(
+        "trained framework in {:.2}s ({} units, {} deduped; losses: selector {:.6}, redundancy {:.6}, colorgnn {:.6})",
+        t.elapsed().as_secs_f64(),
+        train_report.num_units,
+        train_report.deduped_units,
+        train_report.selector_loss,
+        train_report.redundancy_loss,
+        train_report.colorgnn_loss,
+    );
 
     let mut circuit_rows = Vec::new();
     let (mut serial_total, mut parallel_total) = (0.0f64, 0.0f64);
@@ -210,6 +221,79 @@ fn main() {
         infer_graphs.len()
     );
 
+    // 3c. Training throughput: the per-graph fresh-tape reference
+    // (`train_reference`, batch 1) vs the pooled block-diagonal batched
+    // engine, over the same labeled data and epoch count. One "graph" is
+    // one training-graph visit (graph x epoch), summed across the three
+    // heads (selector RGCN, redundancy RGCN, ColorGNN).
+    let train_epochs = env_usize("MPLD_TRAIN_BENCH_EPOCHS", 8);
+    let train_batch = env_usize("MPLD_TRAIN_BATCH", 24);
+    let selector_data: Vec<(&LayoutGraph, u8)> = data
+        .units
+        .iter()
+        .zip(&data.selector_labels)
+        .map(|(g, &l)| (g, l))
+        .collect();
+    let redundancy_data: Vec<(&LayoutGraph, u8)> = data
+        .redundancy_labels
+        .iter()
+        .map(|&(i, l)| (&data.units[i], l))
+        .collect();
+    let parents: Vec<LayoutGraph> = data
+        .units
+        .iter()
+        .filter(|g| g.num_nodes() > 0 && !g.conflict_edges().is_empty())
+        .map(|g| g.merge_stitch_edges().0)
+        .collect();
+    let parent_refs: Vec<&LayoutGraph> = parents.iter().collect();
+    let rgcn_cfg = |batch: usize| TrainConfig {
+        epochs: train_epochs,
+        lr: 0.01,
+        batch,
+        balance: true,
+    };
+    let color_cfg = |batch: usize| ColorGnnTrainConfig {
+        epochs: train_epochs,
+        lr: 0.02,
+        margin: 1.0,
+        batch,
+    };
+    let time_training = |batched: bool| -> f64 {
+        let t = Instant::now();
+        let mut sel = RgcnClassifier::selector(cfg.seed);
+        let mut red = RgcnClassifier::redundancy(cfg.seed ^ 0xF00D);
+        let mut color = ColorGnn::new(cfg.seed ^ 0xC01);
+        if batched {
+            sel.train(&selector_data, &rgcn_cfg(train_batch));
+            if !redundancy_data.is_empty() {
+                red.train(&redundancy_data, &rgcn_cfg(train_batch));
+            }
+            if !parent_refs.is_empty() {
+                color.train(&parent_refs, params.k, &color_cfg(train_batch));
+            }
+        } else {
+            sel.train_reference(&selector_data, &rgcn_cfg(1));
+            if !redundancy_data.is_empty() {
+                red.train_reference(&redundancy_data, &rgcn_cfg(1));
+            }
+            if !parent_refs.is_empty() {
+                color.train_reference(&parent_refs, params.k, &color_cfg(1));
+            }
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let reference_secs = time_training(false);
+    let batched_secs = time_training(true);
+    let train_visits =
+        ((selector_data.len() + redundancy_data.len() + parent_refs.len()) * train_epochs) as f64;
+    let reference_gps = train_visits / reference_secs.max(1e-12);
+    let batched_gps = train_visits / batched_secs.max(1e-12);
+    let train_speedup = batched_gps / reference_gps.max(1e-12);
+    eprintln!(
+        "training throughput ({} graph-visits): reference {reference_gps:.1}/s, batched {batched_gps:.1}/s ({train_speedup:.2}x, batch {train_batch})",
+        train_visits as usize
+    );
+
     // 4. Budget-exhaustion profile: the whole suite again under a tight
     // per-unit deadline, recording per-solver exhaustion and fallback
     // counts (the anytime-contract numbers the framework reports).
@@ -321,6 +405,56 @@ fn main() {
         json,
         "    \"scratch_high_water_bytes\": {scratch_high_water}"
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"training\": {{");
+    let _ = writeln!(json, "    \"train_seed\": {},", cfg.seed);
+    let _ = writeln!(json, "    \"bench_epochs\": {train_epochs},");
+    let _ = writeln!(json, "    \"batch\": {train_batch},");
+    let _ = writeln!(json, "    \"selector_graphs\": {},", selector_data.len());
+    let _ = writeln!(
+        json,
+        "    \"redundancy_graphs\": {},",
+        redundancy_data.len()
+    );
+    let _ = writeln!(json, "    \"colorgnn_graphs\": {},", parent_refs.len());
+    let _ = writeln!(json, "    \"graph_visits\": {},", train_visits as usize);
+    let _ = writeln!(json, "    \"reference_seconds\": {reference_secs:.4},");
+    let _ = writeln!(json, "    \"batched_seconds\": {batched_secs:.4},");
+    let _ = writeln!(
+        json,
+        "    \"reference_graphs_per_second\": {reference_gps:.1},"
+    );
+    let _ = writeln!(json, "    \"batched_graphs_per_second\": {batched_gps:.1},");
+    let _ = writeln!(
+        json,
+        "    \"batched_speedup_over_reference\": {train_speedup:.2},"
+    );
+    let _ = writeln!(json, "    \"labeled_units\": {},", train_report.num_units);
+    let _ = writeln!(
+        json,
+        "    \"deduped_units\": {},",
+        train_report.deduped_units
+    );
+    // Final-epoch losses of the section-3 framework training: a
+    // seed-keyed trajectory digest, compared by the CI digest guard when
+    // fp_kernel and the training config match.
+    let _ = writeln!(json, "    \"final_losses\": {{");
+    let _ = writeln!(
+        json,
+        "      \"selector\": {:.9},",
+        train_report.selector_loss
+    );
+    let _ = writeln!(
+        json,
+        "      \"redundancy\": {:.9},",
+        train_report.redundancy_loss
+    );
+    let _ = writeln!(
+        json,
+        "      \"colorgnn\": {:.9}",
+        train_report.colorgnn_loss
+    );
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"budgeted\": {{");
     let _ = writeln!(json, "    \"unit_time_limit_ms\": {unit_limit_ms},");

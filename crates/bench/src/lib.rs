@@ -114,6 +114,9 @@ impl Bench {
                 }
                 out.ilp_costs.push(d.ilp_costs[u]);
                 out.ec_costs.push(d.ec_costs[u]);
+                // Merged sets carry already-solved labels, so every unit
+                // is its own representative here.
+                out.rep_of.push(idx);
             }
         }
         out

@@ -295,8 +295,16 @@ fn cmd_train(parsed: &Parsed) -> Result<(), CliError> {
     }
     let mut cfg = OfflineConfig::default();
     cfg.rgcn.epochs = epochs;
-    eprintln!("training on {} labeled units...", data.units.len());
-    let fw = mpld::train_framework(&data, &params, &cfg);
+    eprintln!(
+        "training on {} labeled units ({} deduped from identical twins)...",
+        data.units.len(),
+        data.deduped
+    );
+    let (fw, report) = mpld::train_framework_with_report(&data, &params, &cfg);
+    eprintln!(
+        "final losses: selector {:.6}, redundancy {:.6}, colorgnn {:.6}",
+        report.selector_loss, report.redundancy_loss, report.colorgnn_loss
+    );
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     fw.save(BufWriter::new(file)).map_err(|e| e.to_string())?;
     println!(

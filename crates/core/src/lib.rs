@@ -69,7 +69,9 @@ pub use pipeline::{
     PreparedLayout, UnitInstance,
 };
 pub use stats::{layout_stats, LayoutStats};
-pub use training::{train_framework, OfflineConfig, TrainingData};
+pub use training::{
+    train_framework, train_framework_with_report, OfflineConfig, TrainReport, TrainingData,
+};
 
 /// The reassembled global decomposition of a layout.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -15,7 +15,8 @@ use mpld_ec::EcDecomposer;
 use mpld_gnn::{ColorGnn, ColorGnnTrainConfig, RgcnClassifier, TrainConfig};
 use mpld_graph::{CostBreakdown, DecomposeParams, Decomposer, LayoutGraph};
 use mpld_ilp::IlpDecomposer;
-use mpld_matching::{GraphLibrary, LibraryConfig};
+use mpld_matching::{graph_fingerprint, graphs_identical, GraphLibrary, LibraryConfig};
+use std::collections::HashMap;
 
 /// Labeled training data extracted from prepared layouts.
 #[derive(Debug, Default)]
@@ -31,6 +32,16 @@ pub struct TrainingData {
     pub ilp_costs: Vec<CostBreakdown>,
     /// EC cost per unit.
     pub ec_costs: Vec<CostBreakdown>,
+    /// Representative per unit: `rep_of[i] == i` for units that were
+    /// ILP/EC-solved themselves; duplicates point at the earlier
+    /// identical unit whose labels and costs they reuse.
+    pub rep_of: Vec<usize>,
+    /// How many units reused a representative's labels instead of
+    /// re-running the exact engines.
+    pub deduped: usize,
+    /// Fingerprint → indices of solved representatives (collision
+    /// candidates, verified edge-for-edge before reuse).
+    fp_index: HashMap<u64, Vec<usize>>,
 }
 
 impl TrainingData {
@@ -43,42 +54,83 @@ impl TrainingData {
     /// Like [`TrainingData::add_layout`], but takes at most `cap` units
     /// (the first `cap` in unit order) — used to bound training cost on
     /// the large circuits.
+    ///
+    /// Identical units (same [`graph_fingerprint`], then verified
+    /// edge-for-edge with [`graphs_identical`]) are solved once: real
+    /// layouts repeat unit graphs heavily, and the exact engines are
+    /// deterministic, so a duplicate's labels and costs are exactly what
+    /// a fresh solve would return. Every unit still occupies its own slot
+    /// so the training set (and hence the trained weights) is unchanged.
     pub fn add_layout_capped(
         &mut self,
         prep: &PreparedLayout,
         params: &DecomposeParams,
         cap: usize,
     ) {
-        // Both exact engines run per unit — the expensive part of the
-        // offline phase — so fan the solves out largest-unit-first. The
-        // results come back in unit order, making the labels identical
-        // for any thread count.
         let ilp = IlpDecomposer::new();
         let ec = EcDecomposer::new();
-        let units: Vec<&LayoutGraph> = prep.units.iter().take(cap).map(|u| &u.hetero).collect();
+        let base = self.units.len();
+        // Pass 1: install the units and resolve each one to a
+        // representative — itself (unique, queued for solving) or an
+        // earlier identical unit.
+        let mut to_solve: Vec<usize> = Vec::new();
+        for unit in prep.units.iter().take(cap) {
+            let idx = self.units.len();
+            self.units.push(unit.hetero.clone());
+            let fp = graph_fingerprint(&self.units[idx]);
+            let bucket = self.fp_index.entry(fp).or_default();
+            let rep = bucket
+                .iter()
+                .copied()
+                .find(|&j| graphs_identical(&self.units[j], &self.units[idx]));
+            match rep {
+                Some(j) => self.rep_of.push(j),
+                None => {
+                    bucket.push(idx);
+                    self.rep_of.push(idx);
+                    to_solve.push(idx);
+                }
+            }
+        }
+        // Pass 2: both exact engines run per unique unit — the expensive
+        // part of the offline phase — fanned out largest-unit-first. The
+        // results come back in queue order, making the labels identical
+        // for any thread count.
+        let units = &self.units;
         let solved = crate::parallel::run_largest_first(
-            units.len(),
+            to_solve.len(),
             crate::parallel::default_threads(),
-            |i| units[i].num_nodes(),
+            |i| units[to_solve[i]].num_nodes(),
             |i| {
+                let g = &units[to_solve[i]];
                 (
-                    ilp.decompose_unbounded(units[i], params),
-                    ec.decompose_unbounded(units[i], params),
+                    ilp.decompose_unbounded(g, params),
+                    ec.decompose_unbounded(g, params),
                 )
             },
         );
-        for (g, (di, de)) in units.into_iter().zip(solved) {
-            let g = g.clone();
-            let selector_label = u8::from(!di.cost.better_than(&de.cost, params.alpha));
-            let idx = self.units.len();
-            if g.has_stitches() {
-                let label = u8::from(di.cost.stitches != 0); // 0 = redundant
+        // Pass 3: assemble labels in original unit order. `to_solve` is
+        // ascending and so is this loop, so representatives (own index or
+        // an earlier unit) always have their costs in place already.
+        let mut solved = solved.into_iter();
+        for idx in base..self.units.len() {
+            let rep = self.rep_of[idx];
+            let (ilp_cost, ec_cost) = if rep == idx {
+                #[allow(clippy::expect_used)] // one result per queued unique
+                let (di, de) = solved.next().expect("solver result per unique unit");
+                (di.cost, de.cost)
+            } else {
+                self.deduped += 1;
+                (self.ilp_costs[rep], self.ec_costs[rep])
+            };
+            let selector_label = u8::from(!ilp_cost.better_than(&ec_cost, params.alpha));
+            if self.units[idx].has_stitches() {
+                let label = u8::from(ilp_cost.stitches != 0); // 0 = redundant
                 self.redundancy_labels.push((idx, label));
             }
-            self.units.push(g);
             self.selector_labels.push(selector_label);
-            self.ilp_costs.push(di.cost);
-            self.ec_costs.push(de.cost);
+            self.ilp_costs.push(ilp_cost);
+            self.ec_costs.push(ec_cost);
         }
     }
 
@@ -134,6 +186,28 @@ impl Default for OfflineConfig {
     }
 }
 
+/// Final-epoch training losses and dataset counts from the offline
+/// phase — the seed-keyed digest material for the CI training-trajectory
+/// guard (`scripts/check_perf_digest.py`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainReport {
+    /// Selector RGCN final-epoch mean cross-entropy.
+    pub selector_loss: f32,
+    /// Redundancy RGCN final-epoch mean cross-entropy (0.0 when no
+    /// stitch-bearing units were labeled).
+    pub redundancy_loss: f32,
+    /// ColorGNN final-epoch mean margin loss (0.0 when no parents).
+    pub colorgnn_loss: f32,
+    /// Units in the training set.
+    pub num_units: usize,
+    /// Stitch-bearing units with redundancy labels.
+    pub num_redundancy_labeled: usize,
+    /// Merged parent graphs the ColorGNN trained on.
+    pub num_colorgnn_graphs: usize,
+    /// Units that reused an identical representative's ILP/EC labels.
+    pub deduped_units: usize,
+}
+
 /// Runs the full offline phase and assembles the framework.
 ///
 /// # Panics
@@ -144,6 +218,20 @@ pub fn train_framework(
     params: &DecomposeParams,
     cfg: &OfflineConfig,
 ) -> AdaptiveFramework {
+    train_framework_with_report(data, params, cfg).0
+}
+
+/// Like [`train_framework`], additionally returning the final-epoch
+/// losses per head for trajectory digests.
+///
+/// # Panics
+///
+/// Panics if `data.units` is empty.
+pub fn train_framework_with_report(
+    data: &TrainingData,
+    params: &DecomposeParams,
+    cfg: &OfflineConfig,
+) -> (AdaptiveFramework, TrainReport) {
     assert!(!data.units.is_empty(), "training data must not be empty");
 
     // Selector RGCN.
@@ -154,7 +242,7 @@ pub fn train_framework(
         .zip(&data.selector_labels)
         .map(|(g, &l)| (g, l))
         .collect();
-    selector.train(&selector_data, &cfg.rgcn);
+    let selector_loss = selector.train(&selector_data, &cfg.rgcn);
 
     // Redundancy RGCN (only stitch-bearing units carry labels).
     let mut redundancy = RgcnClassifier::redundancy(cfg.seed ^ 0xF00D);
@@ -163,9 +251,11 @@ pub fn train_framework(
         .iter()
         .map(|&(i, l)| (&data.units[i], l))
         .collect();
-    if !redundancy_data.is_empty() {
-        redundancy.train(&redundancy_data, &cfg.rgcn);
-    }
+    let redundancy_loss = if redundancy_data.is_empty() {
+        0.0
+    } else {
+        redundancy.train(&redundancy_data, &cfg.rgcn)
+    };
 
     // ColorGNN trains on merged (non-stitch) parent graphs.
     let parents: Vec<LayoutGraph> = data
@@ -176,15 +266,26 @@ pub fn train_framework(
         .collect();
     let mut colorgnn = ColorGnn::new(cfg.seed ^ 0xC01);
     colorgnn.set_restarts(cfg.colorgnn_restarts);
-    if !parents.is_empty() {
+    let colorgnn_loss = if parents.is_empty() {
+        0.0
+    } else {
         let refs: Vec<&LayoutGraph> = parents.iter().collect();
-        colorgnn.train(&refs, params.k, &cfg.colorgnn);
-    }
+        colorgnn.train(&refs, params.k, &cfg.colorgnn)
+    };
 
     // Library built with the trained selector as the embedder.
     let library = GraphLibrary::build(&selector, &cfg.library, params);
 
-    AdaptiveFramework {
+    let report = TrainReport {
+        selector_loss,
+        redundancy_loss,
+        colorgnn_loss,
+        num_units: data.units.len(),
+        num_redundancy_labeled: data.redundancy_labels.len(),
+        num_colorgnn_graphs: parents.len(),
+        deduped_units: data.deduped,
+    };
+    let framework = AdaptiveFramework {
         selector,
         redundancy,
         colorgnn,
@@ -195,7 +296,8 @@ pub fn train_framework(
         redundancy_bar: cfg.redundancy_bar,
         ec_threshold: cfg.ec_threshold,
         use_colorgnn: true,
-    }
+    };
+    (framework, report)
 }
 
 impl AdaptiveFramework {
@@ -329,6 +431,52 @@ mod tests {
                 assert!((x - y).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn duplicate_units_reuse_labels_without_resolving() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let params = DecomposeParams::tpl();
+        let prep = prepare(&layout, &params);
+        let mut data = TrainingData::default();
+        data.add_layout_capped(&prep, &params, 40);
+        let first_half = data.units.len();
+        let first_deduped = data.deduped;
+        // Adding the same layout again must dedup every unit against the
+        // first pass and copy labels verbatim.
+        data.add_layout_capped(&prep, &params, 40);
+        assert_eq!(data.units.len(), 2 * first_half);
+        assert_eq!(data.deduped, first_deduped + first_half);
+        for i in 0..first_half {
+            let j = first_half + i;
+            assert!(data.rep_of[j] < first_half, "unit {j} was re-solved");
+            assert_eq!(data.selector_labels[i], data.selector_labels[j]);
+            assert_eq!(data.ilp_costs[i], data.ilp_costs[j]);
+            assert_eq!(data.ec_costs[i], data.ec_costs[j]);
+        }
+        // rep_of is self-consistent: representatives are solved units.
+        for (i, &r) in data.rep_of.iter().enumerate() {
+            assert!(r <= i);
+            assert_eq!(data.rep_of[r], r, "rep of {i} is itself a duplicate");
+        }
+    }
+
+    #[test]
+    fn train_report_counts_match_data() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let params = DecomposeParams::tpl();
+        let prep = prepare(&layout, &params);
+        let mut data = TrainingData::default();
+        data.add_layout_capped(&prep, &params, 20);
+        let mut cfg = OfflineConfig::default();
+        cfg.rgcn.epochs = 1;
+        cfg.colorgnn.epochs = 1;
+        let (_, report) = train_framework_with_report(&data, &params, &cfg);
+        assert_eq!(report.num_units, data.units.len());
+        assert_eq!(report.num_redundancy_labeled, data.redundancy_labels.len());
+        assert_eq!(report.deduped_units, data.deduped);
+        assert!(report.selector_loss.is_finite());
+        assert!(report.colorgnn_loss.is_finite());
     }
 
     #[test]

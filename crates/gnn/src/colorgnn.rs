@@ -30,6 +30,12 @@ pub struct ColorGnnTrainConfig {
     pub lr: f32,
     /// Margin `m` of Eq. (14).
     pub margin: f32,
+    /// Graphs per step: each step runs one tape over the disjoint union
+    /// of `batch` graphs. `1` reproduces the per-graph trajectory (and
+    /// its RNG stream) bit for bit; larger batches reorder the RNG draws
+    /// and the f32 gradient sums, so they train an equivalent but not
+    /// bitwise-equal model, several times faster.
+    pub batch: usize,
 }
 
 impl Default for ColorGnnTrainConfig {
@@ -38,6 +44,7 @@ impl Default for ColorGnnTrainConfig {
             epochs: 40,
             lr: 0.02,
             margin: 1.0,
+            batch: 1,
         }
     }
 }
@@ -368,6 +375,156 @@ impl ColorGnn {
             "ColorGNN trains on non-stitch graphs"
         );
         let mut rng = self.state.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        // Graphs with no nodes or no conflict edges contribute nothing to
+        // the margin loss; drop them up front so chunks stay dense. The
+        // reported-loss denominator keeps the full set size, matching the
+        // per-graph path (which skipped them mid-loop).
+        let kept: Vec<&LayoutGraph> = graphs
+            .iter()
+            .copied()
+            .filter(|g| g.num_nodes() > 0 && !g.conflict_edges().is_empty())
+            .collect();
+        if kept.is_empty() {
+            *self.state.lock().unwrap_or_else(|e| e.into_inner()) = rng;
+            return 0.0;
+        }
+        // One disjoint union per step, assembled once and reused across
+        // epochs. Single-graph chunks keep the member graph itself so
+        // batch=1 draws the exact pre-batching RNG stream (the rebuilt
+        // union could order neighbors differently).
+        struct Chunk<'a> {
+            members: Vec<&'a LayoutGraph>,
+            union: Option<LayoutGraph>,
+            offsets: Vec<usize>,
+            /// Union-offset conflict edges, per-graph-contiguous in
+            /// member order.
+            edges: Arc<Vec<(u32, u32)>>,
+            edge_counts: Vec<usize>,
+            total_nodes: usize,
+        }
+        let chunks: Vec<Chunk> = kept
+            .chunks(cfg.batch.max(1))
+            .map(|chunk| {
+                let mut offsets = vec![0usize];
+                let mut edges: Vec<(u32, u32)> = Vec::new();
+                let mut edge_counts = Vec::new();
+                let mut base = 0u32;
+                for g in chunk {
+                    edges.extend(
+                        g.conflict_edges()
+                            .iter()
+                            .map(|&(a, b)| (a + base, b + base)),
+                    );
+                    edge_counts.push(g.conflict_edges().len());
+                    base += g.num_nodes() as u32;
+                    offsets.push(base as usize);
+                }
+                let union = if chunk.len() > 1 {
+                    #[allow(clippy::expect_used)] // disjoint union of valid graphs
+                    Some(
+                        LayoutGraph::homogeneous(base as usize, edges.clone())
+                            .expect("disjoint union of valid graphs is valid"),
+                    )
+                } else {
+                    None
+                };
+                Chunk {
+                    members: chunk.to_vec(),
+                    union,
+                    offsets,
+                    edges: Arc::new(edges),
+                    edge_counts,
+                    total_nodes: base as usize,
+                }
+            })
+            .collect();
+        // Take the parameter set out of `self` once for the whole run so
+        // `forward` (which borrows `&self`) can bind into it mutably.
+        let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
+        // One tape serves every step; `reset` recycles all its buffers.
+        let mut g = Graph::new();
+        let mut last = 0.0;
+        for _ in 0..cfg.epochs {
+            last = 0.0;
+            for chunk in &chunks {
+                g.reset();
+                // Beliefs are drawn per member graph in chunk order, then
+                // the per-layer neighbor samplings follow inside `forward`
+                // — at batch 1 exactly the pre-batching draw order.
+                let init = if chunk.members.len() == 1 {
+                    Self::random_beliefs(chunk.total_nodes, k, &mut rng)
+                } else {
+                    let mut init = Matrix::zeros(chunk.total_nodes, k as usize);
+                    for (gi, member) in chunk.members.iter().enumerate() {
+                        let block = Self::random_beliefs(member.num_nodes(), k, &mut rng);
+                        let (lo, hi) = (chunk.offsets[gi], chunk.offsets[gi + 1]);
+                        init.as_mut_slice()[lo * k as usize..hi * k as usize]
+                            .copy_from_slice(block.as_slice());
+                    }
+                    init
+                };
+                let target: &LayoutGraph = chunk.union.as_ref().unwrap_or(chunk.members[0]);
+                let x = self.forward(&mut g, target, init, &mut rng, &mut |g, pid| {
+                    params.bind(g, pid)
+                });
+                // Eq. (14) over the union edges: block-diagonal structure
+                // means the scalar is the sum of the per-graph losses and
+                // the gradient is their per-block concatenation.
+                let loss = g.margin_pair_loss(x, Arc::clone(&chunk.edges), cfg.margin);
+                // Per-graph mean losses for reporting: refold each
+                // member's edge block from the shared belief matrix in
+                // tape order — the same fold the tape ran, so at batch 1
+                // this reproduces its scalar bit for bit.
+                let beliefs = g.value(x);
+                let mut ei = 0usize;
+                for &count in &chunk.edge_counts {
+                    let mut graph_loss = 0.0f32;
+                    for &(u, v) in &chunk.edges[ei..ei + count] {
+                        let d2: f32 = beliefs
+                            .row(u as usize)
+                            .iter()
+                            .zip(beliefs.row(v as usize))
+                            .map(|(&a, &b)| (a - b) * (a - b))
+                            .sum();
+                        graph_loss += (cfg.margin - d2).max(0.0);
+                    }
+                    ei += count;
+                    last += graph_loss / count.max(1) as f32;
+                }
+                g.backward(loss);
+                params.apply_grads(&g);
+                params.step(cfg.lr);
+            }
+            last /= graphs.len() as f32;
+        }
+        self.params = params;
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = rng;
+        last
+    }
+
+    /// Reference trainer: the pre-batching per-graph loop with a fresh
+    /// tape per step. Arithmetic and RNG stream are identical to
+    /// [`ColorGnn::train`] at `batch: 1`; this is the baseline side of
+    /// the training bench and the bit-identity oracle for the batched
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty or any graph contains stitch edges.
+    #[doc(hidden)]
+    pub fn train_reference(
+        &mut self,
+        graphs: &[&LayoutGraph],
+        k: u8,
+        cfg: &ColorGnnTrainConfig,
+    ) -> f32 {
+        assert!(!graphs.is_empty(), "training set must not be empty");
+        assert!(
+            graphs.iter().all(|g| !g.has_stitches()),
+            "ColorGNN trains on non-stitch graphs"
+        );
+        let mut rng = self.state.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
         let mut last = 0.0;
         for _ in 0..cfg.epochs {
             last = 0.0;
@@ -377,22 +534,20 @@ impl ColorGnn {
                 }
                 let mut g = Graph::new();
                 let init = Self::random_beliefs(graph.num_nodes(), k, &mut rng);
-                // Temporarily move params out to satisfy the borrow checker.
-                let mut params =
-                    std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
                 let x = self.forward(&mut g, graph, init, &mut rng, &mut |g, pid| {
                     params.bind(g, pid)
                 });
                 // Eq. (14) on the (already row-normalized) final beliefs.
-                let loss = g.margin_pair_loss(x, graph.conflict_edges().to_vec(), cfg.margin);
+                let edges = Arc::new(graph.conflict_edges().to_vec());
+                let loss = g.margin_pair_loss(x, edges, cfg.margin);
                 last += g.value(loss).scalar() / graph.conflict_edges().len().max(1) as f32;
                 g.backward(loss);
                 params.apply_grads(&g);
                 params.step(cfg.lr);
-                self.params = params;
             }
             last /= graphs.len() as f32;
         }
+        self.params = params;
         *self.state.lock().unwrap_or_else(|e| e.into_inner()) = rng;
         last
     }
@@ -595,6 +750,7 @@ mod tests {
                 epochs: 1,
                 lr: 0.02,
                 margin: 1.0,
+                batch: 1,
             },
         );
         let last = gnn.train(
@@ -604,6 +760,7 @@ mod tests {
                 epochs: 30,
                 lr: 0.02,
                 margin: 1.0,
+                batch: 1,
             },
         );
         assert!(last <= first + 1e-3, "loss went up: {first} -> {last}");

@@ -81,8 +81,9 @@ pub struct BatchEncoding {
     pub conflict: Arc<Adjacency>,
     /// Stitch adjacency over the union.
     pub stitch: Arc<Adjacency>,
-    /// `segment[r]` = index of the graph node `r` belongs to.
-    pub segment: Vec<u32>,
+    /// `segment[r]` = index of the graph node `r` belongs to, shared so
+    /// per-step tapes can record segment readouts without cloning it.
+    pub segment: Arc<Vec<u32>>,
     /// First node index of each graph (plus a final sentinel).
     pub offsets: Vec<usize>,
 }
@@ -119,7 +120,7 @@ impl BatchEncoding {
             features: Arc::new(features),
             conflict: Arc::new(Adjacency::new(conflict)),
             stitch: Arc::new(Adjacency::new(stitch)),
-            segment,
+            segment: Arc::new(segment),
             offsets,
         }
     }
@@ -218,7 +219,7 @@ mod tests {
         let enc = BatchEncoding::new(&[&a, &b]);
         assert_eq!(enc.num_graphs(), 2);
         assert_eq!(enc.offsets, vec![0, 2, 5]);
-        assert_eq!(enc.segment, vec![0, 0, 1, 1, 1]);
+        assert_eq!(*enc.segment, vec![0, 0, 1, 1, 1]);
         assert_eq!(enc.features[(0, 0)], 1.0 * INPUT_SCALE);
         assert_eq!(enc.features[(2, 0)], 2.0 * INPUT_SCALE);
     }

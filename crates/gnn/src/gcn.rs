@@ -11,6 +11,7 @@ use mpld_graph::LayoutGraph;
 use mpld_tensor::{Graph, Matrix, Optimizer, ParamId, ParamSet, VarId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Fixed stitch-edge message weight of the baseline.
 pub const GCN_STITCH_WEIGHT: f32 = -0.1;
@@ -151,12 +152,12 @@ impl GcnClassifier {
         use rand::seq::SliceRandom;
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x5u64);
         data.shuffle(&mut rng);
-        let batches: Vec<(crate::BatchEncoding, Vec<u8>)> = data
+        let batches: Vec<(crate::BatchEncoding, Arc<Vec<u8>>)> = data
             .chunks(cfg.batch.max(1))
             .map(|chunk| {
                 let graphs: Vec<&LayoutGraph> = chunk.iter().map(|(g, _)| *g).collect();
                 let labels: Vec<u8> = chunk.iter().map(|(_, l)| *l).collect();
-                (crate::BatchEncoding::new(&graphs), labels)
+                (crate::BatchEncoding::new(&graphs), Arc::new(labels))
             })
             .collect();
         // Move the parameters out so the binder closure can borrow them
@@ -175,11 +176,11 @@ impl GcnClassifier {
                     &mut |g, pid| params.bind(g, pid),
                 );
                 let x = match self.readout {
-                    Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), labels.len()),
-                    Readout::Max => g.segment_max(node_emb, enc.segment.clone(), labels.len()),
+                    Readout::Sum => g.segment_sum(node_emb, Arc::clone(&enc.segment), labels.len()),
+                    Readout::Max => g.segment_max(node_emb, &enc.segment, labels.len()),
                 };
                 let x = self.head_raw(&mut g, x, &mut |g, pid| params.bind(g, pid));
-                let loss = g.softmax_cross_entropy(x, labels.clone());
+                let loss = g.softmax_cross_entropy(x, Arc::clone(labels));
                 last += g.value(loss).scalar() * labels.len() as f32;
                 g.backward(loss);
                 params.apply_grads(&g);
@@ -210,8 +211,8 @@ impl GcnClassifier {
             &mut |g, pid| self.params.bind_frozen(g, pid),
         );
         let x = match self.readout {
-            Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), graphs.len()),
-            Readout::Max => g.segment_max(node_emb, enc.segment.clone(), graphs.len()),
+            Readout::Sum => g.segment_sum(node_emb, Arc::clone(&enc.segment), graphs.len()),
+            Readout::Max => g.segment_max(node_emb, &enc.segment, graphs.len()),
         };
         let x = self.head_raw(&mut g, x, &mut |g, pid| self.params.bind_frozen(g, pid));
         let probs = g.softmax_values(x);

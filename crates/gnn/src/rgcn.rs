@@ -16,6 +16,7 @@ use mpld_graph::LayoutGraph;
 use mpld_tensor::{Graph, Matrix, Optimizer, ParamId, ParamSet, VarId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Node-invariant graph readout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -355,6 +356,19 @@ impl RgcnClassifier {
     /// Trains on `(graph, label)` pairs with cross-entropy. Returns the
     /// mean loss of the final epoch.
     pub fn train(&mut self, data: &[(&LayoutGraph, u8)], cfg: &TrainConfig) -> f32 {
+        self.train_impl(data, cfg, true)
+    }
+
+    /// Reference trainer with a freshly allocated tape per step (no buffer
+    /// pooling). The arithmetic is identical to [`RgcnClassifier::train`];
+    /// this is the baseline side of the training bench and the bit-identity
+    /// oracle for the pooled path.
+    #[doc(hidden)]
+    pub fn train_reference(&mut self, data: &[(&LayoutGraph, u8)], cfg: &TrainConfig) -> f32 {
+        self.train_impl(data, cfg, false)
+    }
+
+    fn train_impl(&mut self, data: &[(&LayoutGraph, u8)], cfg: &TrainConfig, pooled: bool) -> f32 {
         assert!(!data.is_empty(), "training set must not be empty");
         let mut data = if cfg.balance {
             crate::rgcn::balance_classes(data)
@@ -370,22 +384,31 @@ impl RgcnClassifier {
         // Minibatches run as one tape over the disjoint union with a
         // segment readout — the paper's batched execution, which is also
         // several times faster than per-graph tapes on CPU.
-        let batches: Vec<(crate::BatchEncoding, Vec<u8>)> = data
+        let batches: Vec<(crate::BatchEncoding, Arc<Vec<u8>>)> = data
             .chunks(cfg.batch.max(1))
             .map(|chunk| {
                 let graphs: Vec<&LayoutGraph> = chunk.iter().map(|(g, _)| *g).collect();
                 let labels: Vec<u8> = chunk.iter().map(|(_, l)| *l).collect();
-                (crate::BatchEncoding::new(&graphs), labels)
+                (crate::BatchEncoding::new(&graphs), Arc::new(labels))
             })
             .collect();
-        // Take the parameter set out of `self` so the shared backbone/head
-        // builders (which borrow `&self`) can bind into it mutably.
+        // Take the parameter set out of `self` once for the whole run so
+        // the shared backbone/head builders (which borrow `&self`) can
+        // bind into it mutably.
         let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
+        // One tape serves every step: `reset` recycles the op arena,
+        // value/grad buffers, and index vectors into the tape's scratch
+        // pool, so steady-state training does no heap allocation.
+        let mut g = Graph::new();
         let mut last_epoch_loss = 0.0;
         for _epoch in 0..cfg.epochs {
             last_epoch_loss = 0.0;
             for (enc, labels) in &batches {
-                let mut g = Graph::new();
+                if pooled {
+                    g.reset();
+                } else {
+                    g = Graph::new();
+                }
                 let node_emb = self.backbone_raw(
                     &mut g,
                     enc.features.clone(),
@@ -394,10 +417,10 @@ impl RgcnClassifier {
                 );
                 let pooled = match self.readout {
                     Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), labels.len()),
-                    Readout::Max => g.segment_max(node_emb, enc.segment.clone(), labels.len()),
+                    Readout::Max => g.segment_max(node_emb, &enc.segment, labels.len()),
                 };
                 let logits = self.head_raw(&mut g, pooled, &mut |g, pid| params.bind(g, pid));
-                let loss = g.softmax_cross_entropy(logits, labels.clone());
+                let loss = g.softmax_cross_entropy(logits, Arc::clone(labels));
                 last_epoch_loss += g.value(loss).scalar() * labels.len() as f32;
                 g.backward(loss);
                 params.apply_grads(&g);
@@ -414,7 +437,7 @@ impl RgcnClassifier {
     #[doc(hidden)]
     pub fn debug_grad_norms(&mut self, data: &[(&LayoutGraph, u8)]) -> Vec<f32> {
         let graphs: Vec<&LayoutGraph> = data.iter().map(|(g, _)| *g).collect();
-        let labels: Vec<u8> = data.iter().map(|(_, l)| *l).collect();
+        let labels: Arc<Vec<u8>> = Arc::new(data.iter().map(|(_, l)| *l).collect());
         let enc = crate::BatchEncoding::new(&graphs);
         let mut params = std::mem::replace(&mut self.params, ParamSet::new(Optimizer::Adam));
         let mut g = Graph::new();
@@ -426,7 +449,7 @@ impl RgcnClassifier {
         );
         let pooled = match self.readout {
             Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), labels.len()),
-            Readout::Max => g.segment_max(node_emb, enc.segment.clone(), labels.len()),
+            Readout::Max => g.segment_max(node_emb, &enc.segment, labels.len()),
         };
         let logits = self.head_raw(&mut g, pooled, &mut |g, pid| params.bind(g, pid));
         let loss = g.softmax_cross_entropy(logits, labels);
@@ -458,7 +481,7 @@ impl RgcnClassifier {
         );
         let pooled = match self.readout {
             Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), graphs.len()),
-            Readout::Max => g.segment_max(node_emb, enc.segment.clone(), graphs.len()),
+            Readout::Max => g.segment_max(node_emb, &enc.segment, graphs.len()),
         };
         let logits = self.head_frozen(&mut g, pooled);
         let probs = g.softmax_values(logits);
@@ -485,7 +508,7 @@ impl RgcnClassifier {
         );
         let pooled = match self.readout {
             Readout::Sum => g.segment_sum(node_emb, enc.segment.clone(), graphs.len()),
-            Readout::Max => g.segment_max(node_emb, enc.segment.clone(), graphs.len()),
+            Readout::Max => g.segment_max(node_emb, &enc.segment, graphs.len()),
         };
         let nodes = g.value(node_emb);
         let pools = g.value(pooled);

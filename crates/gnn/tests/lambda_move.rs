@@ -31,6 +31,7 @@ fn margin_loss_is_not_vacuous_and_lambdas_move() {
             epochs: 1,
             lr: 0.02,
             margin: 1.0,
+            batch: 1,
         },
     );
     assert!(first > 1e-4, "margin loss is vacuous again: {first}");
@@ -41,6 +42,7 @@ fn margin_loss_is_not_vacuous_and_lambdas_move() {
             epochs: 30,
             lr: 0.02,
             margin: 1.0,
+            batch: 1,
         },
     );
     let after = gnn.lambda_values();

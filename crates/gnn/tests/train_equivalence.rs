@@ -1,0 +1,168 @@
+//! Bit-identity contract of the pooled/batched training engines.
+//!
+//! `train` reuses one scratch-pooled tape and (for ColorGNN) packs graphs
+//! into block-diagonal unions; `train_reference` is the pre-pooling loop
+//! with a fresh tape per step. Both must produce byte-identical weights
+//! and bit-identical reported losses at the same configuration (ColorGNN:
+//! at `batch: 1`, which is the default — larger batches reorder the RNG
+//! stream and the f32 sums, so they are checked for training efficacy,
+//! not bitwise equality).
+
+use mpld_gnn::{ColorGnn, ColorGnnTrainConfig, RgcnClassifier, TrainConfig};
+use mpld_graph::{DecomposeParams, Decomposer, LayoutGraph};
+
+fn cycle(n: usize) -> LayoutGraph {
+    let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    LayoutGraph::homogeneous(n, edges).unwrap()
+}
+
+fn dense(n: usize) -> LayoutGraph {
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    LayoutGraph::homogeneous(n, edges).unwrap()
+}
+
+fn weight_bytes_rgcn(model: &RgcnClassifier) -> Vec<u8> {
+    let mut buf = Vec::new();
+    model.save_weights(&mut buf).unwrap();
+    buf
+}
+
+fn weight_bytes_color(model: &ColorGnn) -> Vec<u8> {
+    let mut buf = Vec::new();
+    model.save_weights(&mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn rgcn_pooled_train_matches_reference_bitwise() {
+    let graphs: Vec<(LayoutGraph, u8)> = (4..9)
+        .flat_map(|n| [(dense(n), 0u8), (cycle(n), 1u8)])
+        .collect();
+    let data: Vec<(&LayoutGraph, u8)> = graphs.iter().map(|(g, l)| (g, *l)).collect();
+    let cfg = TrainConfig {
+        epochs: 5,
+        lr: 0.01,
+        batch: 4,
+        balance: true,
+    };
+    let mut pooled = RgcnClassifier::selector(9);
+    let mut reference = RgcnClassifier::selector(9);
+    let loss_pooled = pooled.train(&data, &cfg);
+    let loss_reference = reference.train_reference(&data, &cfg);
+    assert_eq!(
+        loss_pooled.to_bits(),
+        loss_reference.to_bits(),
+        "pooled loss {loss_pooled} != reference loss {loss_reference}"
+    );
+    assert_eq!(
+        weight_bytes_rgcn(&pooled),
+        weight_bytes_rgcn(&reference),
+        "pooled weights diverged from the fresh-tape reference"
+    );
+}
+
+#[test]
+fn rgcn_max_readout_pooled_matches_reference() {
+    // The redundancy head exercises segment-max backward through the
+    // pooled argmax buffers.
+    let graphs: Vec<(LayoutGraph, u8)> = (4..8)
+        .flat_map(|n| [(dense(n), 0u8), (cycle(n), 1u8)])
+        .collect();
+    let data: Vec<(&LayoutGraph, u8)> = graphs.iter().map(|(g, l)| (g, *l)).collect();
+    let cfg = TrainConfig {
+        epochs: 3,
+        lr: 0.02,
+        batch: 3,
+        balance: false,
+    };
+    let mut pooled = RgcnClassifier::redundancy(4);
+    let mut reference = RgcnClassifier::redundancy(4);
+    let loss_pooled = pooled.train(&data, &cfg);
+    let loss_reference = reference.train_reference(&data, &cfg);
+    assert_eq!(loss_pooled.to_bits(), loss_reference.to_bits());
+    assert_eq!(weight_bytes_rgcn(&pooled), weight_bytes_rgcn(&reference));
+}
+
+#[test]
+fn colorgnn_batch1_matches_reference_bitwise() {
+    // Includes an empty-ish graph (no conflict edges) to check the
+    // up-front filter draws the same RNG stream as the mid-loop skip.
+    let trivial = LayoutGraph::homogeneous(3, vec![]).unwrap();
+    let graphs = [cycle(4), trivial, cycle(5), dense(4), cycle(7)];
+    let refs: Vec<&LayoutGraph> = graphs.iter().collect();
+    let cfg = ColorGnnTrainConfig {
+        epochs: 6,
+        lr: 0.02,
+        margin: 1.0,
+        batch: 1,
+    };
+    let mut batched = ColorGnn::new(17);
+    let mut reference = ColorGnn::new(17);
+    let loss_batched = batched.train(&refs, 3, &cfg);
+    let loss_reference = reference.train_reference(&refs, 3, &cfg);
+    assert_eq!(
+        loss_batched.to_bits(),
+        loss_reference.to_bits(),
+        "batch-1 loss {loss_batched} != reference loss {loss_reference}"
+    );
+    assert_eq!(
+        weight_bytes_color(&batched),
+        weight_bytes_color(&reference),
+        "batch-1 weights diverged from the per-graph reference"
+    );
+    // The trained models must also decompose identically from the same
+    // RNG state (weights and stream both match).
+    batched.reseed(99);
+    reference.reseed(99);
+    let g = cycle(9);
+    let p = DecomposeParams::tpl();
+    let a = batched.decompose_unbounded(&g, &p);
+    let b = reference.decompose_unbounded(&g, &p);
+    assert_eq!(a.coloring, b.coloring);
+    assert_eq!(a.cost.conflicts, b.cost.conflicts);
+    assert_eq!(a.cost.stitches, b.cost.stitches);
+}
+
+#[test]
+fn colorgnn_batched_training_still_learns() {
+    // batch > 1 reorders RNG draws, so no bitwise contract — but the
+    // block-diagonal union must still train the lambdas properly.
+    let train: Vec<LayoutGraph> = (4..10).map(cycle).collect();
+    let refs: Vec<&LayoutGraph> = train.iter().collect();
+    let mut gnn = ColorGnn::new(42);
+    let before = gnn.lambda_values();
+    let first = gnn.train(
+        &refs,
+        3,
+        &ColorGnnTrainConfig {
+            epochs: 1,
+            lr: 0.02,
+            margin: 1.0,
+            batch: 3,
+        },
+    );
+    let last = gnn.train(
+        &refs,
+        3,
+        &ColorGnnTrainConfig {
+            epochs: 30,
+            lr: 0.02,
+            margin: 1.0,
+            batch: 3,
+        },
+    );
+    assert!(first.is_finite() && last.is_finite());
+    assert!(last <= first + 1e-3, "loss went up: {first} -> {last}");
+    assert_ne!(before, gnn.lambda_values(), "lambdas did not move");
+    // And the batch-trained model still colors easy cycles.
+    let p = DecomposeParams::tpl();
+    for n in [5usize, 7, 9] {
+        let d = gnn.decompose_unbounded(&cycle(n), &p);
+        assert_eq!(d.cost.conflicts, 0, "failed an easy {n}-cycle");
+    }
+}

@@ -7,19 +7,22 @@
 //! sparse neighbor aggregation, sum/max readouts, softmax cross-entropy,
 //! and the pairwise margin loss that trains ColorGNN.
 
+use crate::infer::{self, Csr, CsrBuilder, Scratch};
 use crate::Matrix;
 use std::sync::Arc;
 
 /// Handle to a value in the autodiff graph.
 pub type VarId = usize;
 
-/// Sparse adjacency used by [`Graph::agg_sum`]: `fwd[i]` lists the rows
-/// summed into output row `i`. The reverse lists are derived on
-/// construction so backprop is a plain re-aggregation.
+/// Sparse adjacency used by [`Graph::agg_sum`]: row `i` of `fwd` lists
+/// the rows summed into output row `i`. Both directions are stored in
+/// CSR form so the tape's forward *and* backward aggregation run through
+/// the shared [`infer::spmm_into`] kernel; the reverse matrix is derived
+/// on construction so backprop is a plain re-aggregation.
 #[derive(Debug, Clone)]
 pub struct Adjacency {
-    fwd: Vec<Vec<u32>>,
-    rev: Vec<Vec<u32>>,
+    fwd: Csr,
+    rev: Csr,
 }
 
 impl Adjacency {
@@ -29,31 +32,55 @@ impl Adjacency {
     ///
     /// Panics if a neighbor index is out of range.
     pub fn new(fwd: Vec<Vec<u32>>) -> Self {
-        let n = fwd.len();
-        let mut rev = vec![Vec::new(); n];
-        for (i, ns) in fwd.iter().enumerate() {
-            for &j in ns {
-                assert!((j as usize) < n, "neighbor index out of range");
-                rev[j as usize].push(i as u32);
-            }
+        let mut b = CsrBuilder::new(fwd.len());
+        for ns in &fwd {
+            b.push_row(ns.iter().copied());
         }
+        Self::from_csr(b.finish())
+    }
+
+    /// Builds an adjacency directly from a CSR forward matrix — the
+    /// allocation-light path for callers that assemble block-diagonal
+    /// minibatch adjacencies row by row with a [`CsrBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbor index is out of range.
+    pub fn from_csr(fwd: Csr) -> Self {
+        assert!(
+            fwd.max_col_bound() <= fwd.num_rows(),
+            "neighbor index out of range"
+        );
+        let rev = fwd.transpose();
         Adjacency { fwd, rev }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.fwd.len()
+        self.fwd.num_rows()
     }
 
     /// Whether the adjacency is empty.
     pub fn is_empty(&self) -> bool {
-        self.fwd.is_empty()
+        self.fwd.num_rows() == 0
     }
 
     /// The rows summed into output row `i` (the forward neighbor list, in
     /// insertion order — the order [`Graph::agg_sum`] accumulates in).
     pub fn neighbors(&self, i: usize) -> &[u32] {
-        &self.fwd[i]
+        self.fwd.row(i)
+    }
+
+    /// The forward CSR matrix (`out[i] = Σ x[fwd.row(i)]`).
+    pub(crate) fn fwd_csr(&self) -> &Csr {
+        &self.fwd
+    }
+
+    /// The reverse CSR matrix: row `j` lists, in ascending order, the
+    /// outputs `i` that row `j` contributed to — the backward
+    /// aggregation pattern.
+    pub(crate) fn rev_csr(&self) -> &Csr {
+        &self.rev
     }
 }
 
@@ -116,6 +143,11 @@ struct Node {
 
 /// The autodiff tape (see module docs).
 ///
+/// Op outputs, gradients, and backward deltas are carved out of an
+/// internal [`Scratch`] free list; [`Graph::reset`] hands every buffer
+/// back, so a training loop that reuses one `Graph` across steps does
+/// zero steady-state heap allocation.
+///
 /// # Example
 ///
 /// ```
@@ -130,12 +162,60 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    scratch: Scratch,
+    free_u32: Vec<Vec<u32>>,
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::default()
+    }
+
+    /// Clears the tape for the next step, recycling every op output,
+    /// gradient, and cached backward payload into the internal free
+    /// lists. Shared inputs ([`Graph::input_shared`]) are merely
+    /// released.
+    pub fn reset(&mut self) {
+        let Graph {
+            nodes,
+            scratch,
+            free_u32,
+        } = self;
+        for node in nodes.drain(..) {
+            if let Stored::Owned(m) = node.value {
+                scratch.put(m.into_data());
+            }
+            if let Some(g) = node.grad {
+                scratch.put(g.into_data());
+            }
+            match node.op {
+                Op::MaxRows(_, arg) | Op::SegmentMax(_, arg) => free_u32.push(arg),
+                Op::RowNormalize(_, norms) => scratch.put(norms),
+                Op::SoftmaxCrossEntropy(_, _, probs) => scratch.put(probs.into_data()),
+                _ => {}
+            }
+        }
+    }
+
+    /// Peak bytes concurrently checked out of the tape's scratch — the
+    /// training arena's steady-state working set.
+    pub fn scratch_high_water_bytes(&self) -> usize {
+        self.scratch.high_water_bytes()
+    }
+
+    /// A zeroed `rows x cols` matrix carved from the scratch free list.
+    fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.scratch.take(rows * cols))
+    }
+
+    /// A recycled `u32` buffer of `len` entries, every slot set to
+    /// `fill`.
+    fn take_u32(&mut self, len: usize, fill: u32) -> Vec<u32> {
+        let mut v = self.free_u32.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, fill);
+        v
     }
 
     fn push(&mut self, op: Op, value: Matrix, needs_grad: bool) -> VarId {
@@ -170,6 +250,15 @@ impl Graph {
         self.push(Op::Leaf, value, true)
     }
 
+    /// Inserts a trainable leaf by copying `value` into a pooled buffer —
+    /// the allocation-free variant of [`Graph::param`] for training loops
+    /// that re-bind the same parameters every step.
+    pub fn param_copied(&mut self, value: &Matrix) -> VarId {
+        let mut v = self.alloc(value.rows(), value.cols());
+        v.as_mut_slice().copy_from_slice(value.as_slice());
+        self.push(Op::Leaf, v, true)
+    }
+
     /// The current value of `id`.
     pub fn value(&self, id: VarId) -> &Matrix {
         self.nodes[id].value.get()
@@ -199,16 +288,44 @@ impl Graph {
         self.nodes[id].needs_grad
     }
 
-    /// `a * b`.
+    /// `a * b`, dispatched through the shared [`infer::gemm_into`]
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let v = self.nodes[a].value.get().matmul(self.nodes[b].value.get());
+        let (m, kk) = {
+            let av = self.nodes[a].value.get();
+            (av.rows(), av.cols())
+        };
+        let (bk, n) = {
+            let bv = self.nodes[b].value.get();
+            (bv.rows(), bv.cols())
+        };
+        assert_eq!(kk, bk, "inner dimensions must agree");
+        let mut v = self.alloc(m, n);
+        infer::gemm_into(
+            m,
+            kk,
+            n,
+            self.nodes[a].value.get().as_slice(),
+            self.nodes[b].value.get().as_slice(),
+            v.as_mut_slice(),
+        );
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::MatMul(a, b), v, ng)
     }
 
     /// `a + b` (same shape).
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let mut v = self.nodes[a].value.get().clone();
+        let (rows, cols) = {
+            let av = self.nodes[a].value.get();
+            (av.rows(), av.cols())
+        };
+        let mut v = self.alloc(rows, cols);
+        v.as_mut_slice()
+            .copy_from_slice(self.nodes[a].value.get().as_slice());
         v.add_assign(self.nodes[b].value.get());
         let ng = self.needs(a) || self.needs(b);
         self.push(Op::Add(a, b), v, ng)
@@ -220,35 +337,53 @@ impl Graph {
     ///
     /// Panics if `bias` is not `1 x a.cols`.
     pub fn add_row(&mut self, a: VarId, bias: VarId) -> VarId {
-        let b = self.nodes[bias].value.get();
-        assert_eq!(b.rows(), 1, "bias must be a single row");
-        let a_val = self.nodes[a].value.get();
-        assert_eq!(b.cols(), a_val.cols(), "bias width mismatch");
-        let mut v = a_val.clone();
-        for r in 0..v.rows() {
-            for c in 0..v.cols() {
-                v[(r, c)] += b[(0, c)];
-            }
-        }
+        let (rows, cols) = {
+            let b = self.nodes[bias].value.get();
+            assert_eq!(b.rows(), 1, "bias must be a single row");
+            let a_val = self.nodes[a].value.get();
+            assert_eq!(b.cols(), a_val.cols(), "bias width mismatch");
+            (a_val.rows(), a_val.cols())
+        };
+        let mut v = self.alloc(rows, cols);
+        v.as_mut_slice()
+            .copy_from_slice(self.nodes[a].value.get().as_slice());
+        infer::add_row_in_place(
+            v.as_mut_slice(),
+            cols,
+            self.nodes[bias].value.get().as_slice(),
+        );
         let ng = self.needs(a) || self.needs(bias);
         self.push(Op::AddRow(a, bias), v, ng)
     }
 
     /// Element-wise ReLU.
     pub fn relu(&mut self, a: VarId) -> VarId {
-        let mut v = self.nodes[a].value.get().clone();
-        for x in v.as_mut_slice() {
-            if *x < 0.0 {
-                *x = 0.0;
-            }
-        }
+        let (rows, cols) = {
+            let av = self.nodes[a].value.get();
+            (av.rows(), av.cols())
+        };
+        let mut v = self.alloc(rows, cols);
+        v.as_mut_slice()
+            .copy_from_slice(self.nodes[a].value.get().as_slice());
+        infer::relu_in_place(v.as_mut_slice());
         let ng = self.needs(a);
         self.push(Op::Relu(a), v, ng)
     }
 
     /// `s * a` for a constant scalar.
     pub fn scale_const(&mut self, a: VarId, s: f32) -> VarId {
-        let v = self.nodes[a].value.get().scaled(s);
+        let (rows, cols) = {
+            let av = self.nodes[a].value.get();
+            (av.rows(), av.cols())
+        };
+        let mut v = self.alloc(rows, cols);
+        for (o, &x) in v
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.nodes[a].value.get().as_slice())
+        {
+            *o = x * s;
+        }
         let ng = self.needs(a);
         self.push(Op::ScaleConst(a, s), v, ng)
     }
@@ -260,39 +395,58 @@ impl Graph {
     /// Panics if `scalar` is not `1 x 1`.
     pub fn scale_by_scalar(&mut self, a: VarId, scalar: VarId) -> VarId {
         let s = self.nodes[scalar].value.get().scalar();
-        let v = self.nodes[a].value.get().scaled(s);
+        let (rows, cols) = {
+            let av = self.nodes[a].value.get();
+            (av.rows(), av.cols())
+        };
+        let mut v = self.alloc(rows, cols);
+        for (o, &x) in v
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.nodes[a].value.get().as_slice())
+        {
+            *o = x * s;
+        }
         let ng = self.needs(a) || self.needs(scalar);
         self.push(Op::ScaleByScalar(a, scalar), v, ng)
     }
 
-    /// Sparse neighbor aggregation: `out[i] = sum_{j in adj[i]} a[j]`.
+    /// Sparse neighbor aggregation: `out[i] = sum_{j in adj[i]} a[j]`,
+    /// dispatched through the shared [`infer::spmm_into`] kernel.
     ///
     /// # Panics
     ///
     /// Panics if `adj.len() != a.rows()`.
     pub fn agg_sum(&mut self, a: VarId, adj: Arc<Adjacency>) -> VarId {
-        let x = self.nodes[a].value.get();
-        assert_eq!(adj.len(), x.rows(), "adjacency size mismatch");
-        let mut v = Matrix::zeros(x.rows(), x.cols());
-        for (i, ns) in adj.fwd.iter().enumerate() {
-            for &j in ns {
-                let row = x.row(j as usize).to_vec();
-                for (c, val) in row.iter().enumerate() {
-                    v[(i, c)] += val;
-                }
-            }
-        }
+        let (rows, cols) = {
+            let x = self.nodes[a].value.get();
+            assert_eq!(adj.len(), x.rows(), "adjacency size mismatch");
+            (x.rows(), x.cols())
+        };
+        let mut v = self.alloc(rows, cols);
+        infer::spmm_into(
+            adj.fwd_csr(),
+            self.nodes[a].value.get().as_slice(),
+            cols,
+            v.as_mut_slice(),
+        );
         let ng = self.needs(a);
         self.push(Op::AggSum(a, adj), v, ng)
     }
 
     /// Graph readout: `1 x d` sum of all rows.
     pub fn sum_rows(&mut self, a: VarId) -> VarId {
-        let x = self.nodes[a].value.get();
-        let mut v = Matrix::zeros(1, x.cols());
-        for r in 0..x.rows() {
-            for c in 0..x.cols() {
-                v[(0, c)] += x[(r, c)];
+        let (rows, cols) = {
+            let x = self.nodes[a].value.get();
+            (x.rows(), x.cols())
+        };
+        let mut v = self.alloc(1, cols);
+        {
+            let x = self.nodes[a].value.get();
+            for r in 0..rows {
+                for c in 0..cols {
+                    v[(0, c)] += x[(r, c)];
+                }
             }
         }
         let ng = self.needs(a);
@@ -305,19 +459,25 @@ impl Graph {
     ///
     /// Panics if `a` has no rows.
     pub fn max_rows(&mut self, a: VarId) -> VarId {
-        let x = self.nodes[a].value.get();
-        assert!(x.rows() > 0, "max over zero rows");
-        let mut v = Matrix::zeros(1, x.cols());
-        let mut arg = vec![0u32; x.cols()];
-        for c in 0..x.cols() {
-            let mut best = f32::NEG_INFINITY;
-            for r in 0..x.rows() {
-                if x[(r, c)] > best {
-                    best = x[(r, c)];
-                    arg[c] = r as u32;
+        let (rows, cols) = {
+            let x = self.nodes[a].value.get();
+            assert!(x.rows() > 0, "max over zero rows");
+            (x.rows(), x.cols())
+        };
+        let mut v = self.alloc(1, cols);
+        let mut arg = self.take_u32(cols, 0);
+        {
+            let x = self.nodes[a].value.get();
+            for c in 0..cols {
+                let mut best = f32::NEG_INFINITY;
+                for r in 0..rows {
+                    if x[(r, c)] > best {
+                        best = x[(r, c)];
+                        arg[c] = r as u32;
+                    }
                 }
+                v[(0, c)] = best;
             }
-            v[(0, c)] = best;
         }
         let ng = self.needs(a);
         self.push(Op::MaxRows(a, arg), v, ng)
@@ -331,21 +491,22 @@ impl Graph {
     ///
     /// Panics if `seg.len() != a.rows()` or a segment id is
     /// `>= num_segments`.
-    pub fn segment_sum(&mut self, a: VarId, seg: Vec<u32>, num_segments: usize) -> VarId {
-        let x = self.nodes[a].value.get();
-        assert_eq!(seg.len(), x.rows(), "one segment id per row");
-        assert!(
-            seg.iter().all(|&s| (s as usize) < num_segments),
-            "segment id out of range"
+    pub fn segment_sum(&mut self, a: VarId, seg: Arc<Vec<u32>>, num_segments: usize) -> VarId {
+        let cols = {
+            let x = self.nodes[a].value.get();
+            assert_eq!(seg.len(), x.rows(), "one segment id per row");
+            x.cols()
+        };
+        let mut v = self.alloc(num_segments, cols);
+        infer::segment_sum_into(
+            self.nodes[a].value.get().as_slice(),
+            cols,
+            &seg,
+            num_segments,
+            v.as_mut_slice(),
         );
-        let mut v = Matrix::zeros(num_segments, x.cols());
-        for (r, &s) in seg.iter().enumerate() {
-            for c in 0..x.cols() {
-                v[(s as usize, c)] += x[(r, c)];
-            }
-        }
         let ng = self.needs(a);
-        self.push(Op::SegmentSum(a, Arc::new(seg)), v, ng)
+        self.push(Op::SegmentSum(a, seg), v, ng)
     }
 
     /// Batched max readout: `out[s]` is the column-wise max over rows with
@@ -354,29 +515,21 @@ impl Graph {
     /// # Panics
     ///
     /// Panics on length/range mismatch or an empty segment.
-    pub fn segment_max(&mut self, a: VarId, seg: Vec<u32>, num_segments: usize) -> VarId {
-        let x = self.nodes[a].value.get();
-        assert_eq!(seg.len(), x.rows(), "one segment id per row");
-        assert!(
-            seg.iter().all(|&s| (s as usize) < num_segments),
-            "segment id out of range"
-        );
-        let mut v = Matrix::zeros(num_segments, x.cols());
-        for e in v.as_mut_slice() {
-            *e = f32::NEG_INFINITY;
-        }
-        let mut arg = vec![u32::MAX; num_segments * x.cols()];
-        for (r, &s) in seg.iter().enumerate() {
-            for c in 0..x.cols() {
-                if x[(r, c)] > v[(s as usize, c)] {
-                    v[(s as usize, c)] = x[(r, c)];
-                    arg[s as usize * x.cols() + c] = r as u32;
-                }
-            }
-        }
-        assert!(
-            arg.iter().all(|&r| r != u32::MAX),
-            "empty segment in segment_max"
+    pub fn segment_max(&mut self, a: VarId, seg: &[u32], num_segments: usize) -> VarId {
+        let cols = {
+            let x = self.nodes[a].value.get();
+            assert_eq!(seg.len(), x.rows(), "one segment id per row");
+            x.cols()
+        };
+        let mut v = self.alloc(num_segments, cols);
+        let mut arg = self.take_u32(num_segments * cols, u32::MAX);
+        infer::segment_max_argmax_into(
+            self.nodes[a].value.get().as_slice(),
+            cols,
+            seg,
+            num_segments,
+            v.as_mut_slice(),
+            &mut arg,
         );
         let ng = self.needs(a);
         self.push(Op::SegmentMax(a, arg), v, ng)
@@ -386,20 +539,28 @@ impl Graph {
     /// downstream losses scale-invariant (used by the ColorGNN margin
     /// loss so belief magnitudes cannot trivially satisfy the margin).
     pub fn row_l2_normalize(&mut self, a: VarId) -> VarId {
-        let x = self.nodes[a].value.get();
-        let mut v = x.clone();
-        let mut norms = Vec::with_capacity(x.rows());
-        for r in 0..x.rows() {
-            let norm = x
-                .row(r)
-                .iter()
-                .map(|&e| e * e)
-                .sum::<f32>()
-                .sqrt()
-                .max(1e-6);
-            norms.push(norm);
-            for c in 0..x.cols() {
-                v[(r, c)] /= norm;
+        let (rows, cols) = {
+            let x = self.nodes[a].value.get();
+            (x.rows(), x.cols())
+        };
+        let mut v = self.alloc(rows, cols);
+        v.as_mut_slice()
+            .copy_from_slice(self.nodes[a].value.get().as_slice());
+        let mut norms = self.scratch.take(rows);
+        {
+            let x = self.nodes[a].value.get();
+            for r in 0..rows {
+                let norm = x
+                    .row(r)
+                    .iter()
+                    .map(|&e| e * e)
+                    .sum::<f32>()
+                    .sqrt()
+                    .max(1e-6);
+                norms[r] = norm;
+                for c in 0..cols {
+                    v[(r, c)] /= norm;
+                }
             }
         }
         let ng = self.needs(a);
@@ -412,38 +573,41 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `labels.len() != logits.rows()` or a label is out of range.
-    pub fn softmax_cross_entropy(&mut self, logits: VarId, labels: Vec<u8>) -> VarId {
-        let x = self.nodes[logits].value.get();
-        let (n, c) = (x.rows(), x.cols());
+    pub fn softmax_cross_entropy(&mut self, logits: VarId, labels: Arc<Vec<u8>>) -> VarId {
+        let (n, c) = {
+            let x = self.nodes[logits].value.get();
+            (x.rows(), x.cols())
+        };
         assert_eq!(labels.len(), n, "one label per row");
         assert!(
             labels.iter().all(|&l| (l as usize) < c),
             "label out of range"
         );
         // Cache softmax probabilities for the backward pass.
-        let mut probs = Matrix::zeros(n, c);
+        let mut probs = self.alloc(n, c);
         let mut loss = 0.0f32;
-        for r in 0..n {
-            let row = x.row(r);
-            let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let mut z = 0.0;
-            for (j, &v) in row.iter().enumerate() {
-                let e = (v - max).exp();
-                probs[(r, j)] = e;
-                z += e;
+        {
+            let x = self.nodes[logits].value.get();
+            for r in 0..n {
+                let row = x.row(r);
+                let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                let mut z = 0.0;
+                for (j, &v) in row.iter().enumerate() {
+                    let e = (v - max).exp();
+                    probs[(r, j)] = e;
+                    z += e;
+                }
+                for j in 0..c {
+                    probs[(r, j)] /= z;
+                }
+                loss -= probs[(r, labels[r] as usize)].max(1e-12).ln();
             }
-            for j in 0..c {
-                probs[(r, j)] /= z;
-            }
-            loss -= probs[(r, labels[r] as usize)].max(1e-12).ln();
         }
         loss /= n.max(1) as f32;
+        let mut out = self.alloc(1, 1);
+        out[(0, 0)] = loss;
         let ng = self.needs(logits);
-        self.push(
-            Op::SoftmaxCrossEntropy(logits, Arc::new(labels), probs),
-            Matrix::from_vec(1, 1, vec![loss]),
-            ng,
-        )
+        self.push(Op::SoftmaxCrossEntropy(logits, labels, probs), out, ng)
     }
 
     /// Softmax probabilities of `logits` (`n x C`), computed outside the
@@ -474,36 +638,59 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if an edge endpoint is out of range.
-    pub fn margin_pair_loss(&mut self, x: VarId, edges: Vec<(u32, u32)>, margin: f32) -> VarId {
-        let m = self.nodes[x].value.get();
+    pub fn margin_pair_loss(
+        &mut self,
+        x: VarId,
+        edges: Arc<Vec<(u32, u32)>>,
+        margin: f32,
+    ) -> VarId {
         let mut loss = 0.0f32;
-        for &(u, v) in &edges {
-            assert!(
-                (u as usize) < m.rows() && (v as usize) < m.rows(),
-                "edge out of range"
-            );
-            let d2: f32 = m
-                .row(u as usize)
-                .iter()
-                .zip(m.row(v as usize))
-                .map(|(&a, &b)| (a - b) * (a - b))
-                .sum();
-            loss += (margin - d2).max(0.0);
+        {
+            let m = self.nodes[x].value.get();
+            for &(u, v) in edges.iter() {
+                assert!(
+                    (u as usize) < m.rows() && (v as usize) < m.rows(),
+                    "edge out of range"
+                );
+                let d2: f32 = m
+                    .row(u as usize)
+                    .iter()
+                    .zip(m.row(v as usize))
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                loss += (margin - d2).max(0.0);
+            }
         }
+        let mut out = self.alloc(1, 1);
+        out[(0, 0)] = loss;
         let ng = self.needs(x);
-        self.push(
-            Op::MarginPairLoss(x, Arc::new(edges), margin),
-            Matrix::from_vec(1, 1, vec![loss]),
-            ng,
-        )
+        self.push(Op::MarginPairLoss(x, edges, margin), out, ng)
     }
 
+    /// Adds `delta` into `id`'s gradient, installing it outright when the
+    /// slot is empty and recycling its buffer otherwise.
     fn accumulate(&mut self, id: VarId, delta: Matrix) {
-        let node = &mut self.nodes[id];
-        match &mut node.grad {
-            Some(g) => g.add_assign(&delta),
-            None => node.grad = Some(delta),
+        if self.nodes[id].grad.is_none() {
+            self.nodes[id].grad = Some(delta);
+            return;
         }
+        if let Some(g) = self.nodes[id].grad.as_mut() {
+            g.add_assign(&delta);
+        }
+        self.scratch.put(delta.into_data());
+    }
+
+    /// Adds `delta` into `id`'s gradient by reference — for pass-through
+    /// ops whose delta IS the incoming gradient (which must survive to be
+    /// restored on its own node).
+    fn accumulate_ref(&mut self, id: VarId, delta: &Matrix) {
+        if let Some(g) = self.nodes[id].grad.as_mut() {
+            g.add_assign(delta);
+            return;
+        }
+        let mut buf = self.scratch.take(delta.rows() * delta.cols());
+        buf.copy_from_slice(delta.as_slice());
+        self.nodes[id].grad = Some(Matrix::from_vec(delta.rows(), delta.cols(), buf));
     }
 
     /// Backpropagates from the `1 x 1` loss variable, filling gradients of
@@ -521,45 +708,76 @@ impl Graph {
             (1, 1),
             "backward target must be a scalar"
         );
-        for n in &mut self.nodes {
-            n.grad = None;
+        {
+            let Graph { nodes, scratch, .. } = self;
+            for n in nodes.iter_mut() {
+                if let Some(g) = n.grad.take() {
+                    scratch.put(g.into_data());
+                }
+            }
         }
-        self.nodes[loss].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut seed = self.alloc(1, 1);
+        seed[(0, 0)] = 1.0;
+        self.nodes[loss].grad = Some(seed);
 
         for id in (0..self.nodes.len()).rev() {
-            if self.nodes[id].grad.is_none() || !self.nodes[id].needs_grad {
+            if !self.nodes[id].needs_grad {
                 continue;
             }
-            #[allow(clippy::expect_used)] // `is_none` checked at the top of the loop
-            let grad = self.nodes[id].grad.clone().expect("checked above");
-            // Dispatch per op. Values are cloned where the borrow checker
-            // needs it; matrices are small.
-            match &self.nodes[id].op {
+            let Some(grad) = self.nodes[id].grad.take() else {
+                continue;
+            };
+            // Take the op out of the node so its payload (adjacency,
+            // argmax routes, cached probs) can be borrowed while `self`
+            // stays free for pooled allocation and accumulation; both op
+            // and gradient are restored after dispatch.
+            let op = std::mem::replace(&mut self.nodes[id].op, Op::Leaf);
+            match &op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
                     if self.needs(a) {
-                        let d = grad.matmul_nt(self.nodes[b].value.get());
+                        // dA = grad * Bᵀ through the shared nt kernel.
+                        let brows = self.nodes[b].value.get().rows();
+                        let mut d = self.alloc(grad.rows(), brows);
+                        infer::gemm_nt_into(
+                            grad.rows(),
+                            grad.cols(),
+                            brows,
+                            grad.as_slice(),
+                            self.nodes[b].value.get().as_slice(),
+                            d.as_mut_slice(),
+                        );
                         self.accumulate(a, d);
                     }
                     if self.needs(b) {
-                        let d = self.nodes[a].value.get().matmul_tn(&grad);
+                        // dB = Aᵀ * grad through the shared tn kernel.
+                        let acols = self.nodes[a].value.get().cols();
+                        let mut d = self.alloc(acols, grad.cols());
+                        infer::gemm_tn_into(
+                            grad.rows(),
+                            acols,
+                            grad.cols(),
+                            self.nodes[a].value.get().as_slice(),
+                            grad.as_slice(),
+                            d.as_mut_slice(),
+                        );
                         self.accumulate(b, d);
                     }
                 }
                 Op::Add(a, b) => {
                     let (a, b) = (*a, *b);
                     if self.needs(a) {
-                        self.accumulate(a, grad.clone());
+                        self.accumulate_ref(a, &grad);
                     }
                     if self.needs(b) {
-                        self.accumulate(b, grad);
+                        self.accumulate_ref(b, &grad);
                     }
                 }
                 Op::AddRow(a, bias) => {
                     let (a, bias) = (*a, *bias);
                     if self.needs(bias) {
-                        let mut d = Matrix::zeros(1, grad.cols());
+                        let mut d = self.alloc(1, grad.cols());
                         for r in 0..grad.rows() {
                             for c in 0..grad.cols() {
                                 d[(0, c)] += grad[(r, c)];
@@ -568,17 +786,20 @@ impl Graph {
                         self.accumulate(bias, d);
                     }
                     if self.needs(a) {
-                        self.accumulate(a, grad);
+                        self.accumulate_ref(a, &grad);
                     }
                 }
                 Op::Relu(a) => {
                     let a = *a;
                     if self.needs(a) {
-                        let mut d = grad.clone();
-                        let inp = self.nodes[a].value.get().clone();
-                        for (g, &x) in d.as_mut_slice().iter_mut().zip(inp.as_slice()) {
-                            if x <= 0.0 {
-                                *g = 0.0;
+                        let mut d = self.alloc(grad.rows(), grad.cols());
+                        d.as_mut_slice().copy_from_slice(grad.as_slice());
+                        {
+                            let inp = self.nodes[a].value.get();
+                            for (g, &x) in d.as_mut_slice().iter_mut().zip(inp.as_slice()) {
+                                if x <= 0.0 {
+                                    *g = 0.0;
+                                }
                             }
                         }
                         self.accumulate(a, d);
@@ -587,14 +808,22 @@ impl Graph {
                 Op::ScaleConst(a, s) => {
                     let (a, s) = (*a, *s);
                     if self.needs(a) {
-                        self.accumulate(a, grad.scaled(s));
+                        let mut d = self.alloc(grad.rows(), grad.cols());
+                        for (o, &gx) in d.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                            *o = gx * s;
+                        }
+                        self.accumulate(a, d);
                     }
                 }
                 Op::ScaleByScalar(a, scalar) => {
                     let (a, scalar) = (*a, *scalar);
                     let s = self.nodes[scalar].value.get().scalar();
                     if self.needs(a) {
-                        self.accumulate(a, grad.scaled(s));
+                        let mut d = self.alloc(grad.rows(), grad.cols());
+                        for (o, &gx) in d.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                            *o = gx * s;
+                        }
+                        self.accumulate(a, d);
                     }
                     if self.needs(scalar) {
                         let dot: f32 = grad
@@ -603,21 +832,25 @@ impl Graph {
                             .zip(self.nodes[a].value.get().as_slice())
                             .map(|(&g, &x)| g * x)
                             .sum();
-                        self.accumulate(scalar, Matrix::from_vec(1, 1, vec![dot]));
+                        let mut d = self.alloc(1, 1);
+                        d[(0, 0)] = dot;
+                        self.accumulate(scalar, d);
                     }
                 }
                 Op::AggSum(a, adj) => {
                     let a = *a;
-                    let adj = Arc::clone(adj);
                     if self.needs(a) {
-                        let mut d = Matrix::zeros(grad.rows(), grad.cols());
-                        for (j, srcs) in adj.rev.iter().enumerate() {
-                            for &i in srcs {
-                                for c in 0..grad.cols() {
-                                    d[(j, c)] += grad[(i as usize, c)];
-                                }
-                            }
-                        }
+                        // Reverse aggregation through the same SpMM
+                        // kernel: row j of the delta sums grad rows of
+                        // every output j contributed to, in ascending
+                        // order — the historical backward fold order.
+                        let mut d = self.alloc(grad.rows(), grad.cols());
+                        infer::spmm_into(
+                            adj.rev_csr(),
+                            grad.as_slice(),
+                            grad.cols(),
+                            d.as_mut_slice(),
+                        );
                         self.accumulate(a, d);
                     }
                 }
@@ -625,7 +858,7 @@ impl Graph {
                     let a = *a;
                     if self.needs(a) {
                         let rows = self.nodes[a].value.get().rows();
-                        let mut d = Matrix::zeros(rows, grad.cols());
+                        let mut d = self.alloc(rows, grad.cols());
                         for r in 0..rows {
                             for c in 0..grad.cols() {
                                 d[(r, c)] = grad[(0, c)];
@@ -635,10 +868,10 @@ impl Graph {
                     }
                 }
                 Op::MaxRows(a, arg) => {
-                    let (a, arg) = (*a, arg.clone());
+                    let a = *a;
                     if self.needs(a) {
                         let rows = self.nodes[a].value.get().rows();
-                        let mut d = Matrix::zeros(rows, grad.cols());
+                        let mut d = self.alloc(rows, grad.cols());
                         for (c, &r) in arg.iter().enumerate() {
                             d[(r as usize, c)] = grad[(0, c)];
                         }
@@ -647,10 +880,9 @@ impl Graph {
                 }
                 Op::SegmentSum(a, seg) => {
                     let a = *a;
-                    let seg = Arc::clone(seg);
                     if self.needs(a) {
                         let rows = self.nodes[a].value.get().rows();
-                        let mut d = Matrix::zeros(rows, grad.cols());
+                        let mut d = self.alloc(rows, grad.cols());
                         for (r, &s) in seg.iter().enumerate() {
                             for c in 0..grad.cols() {
                                 d[(r, c)] = grad[(s as usize, c)];
@@ -660,26 +892,29 @@ impl Graph {
                     }
                 }
                 Op::RowNormalize(a, norms) => {
-                    let (a, norms) = (*a, norms.clone());
+                    let a = *a;
                     if self.needs(a) {
                         // dL/dx_r = (g_r - y_r (y_r · g_r)) / norm_r
-                        let y = self.nodes[id].value.get().clone();
-                        let mut d = Matrix::zeros(grad.rows(), grad.cols());
-                        for r in 0..grad.rows() {
-                            let dot: f32 = (0..grad.cols()).map(|c| y[(r, c)] * grad[(r, c)]).sum();
-                            for c in 0..grad.cols() {
-                                d[(r, c)] = (grad[(r, c)] - y[(r, c)] * dot) / norms[r];
+                        let mut d = self.alloc(grad.rows(), grad.cols());
+                        {
+                            let y = self.nodes[id].value.get();
+                            for r in 0..grad.rows() {
+                                let dot: f32 =
+                                    (0..grad.cols()).map(|c| y[(r, c)] * grad[(r, c)]).sum();
+                                for c in 0..grad.cols() {
+                                    d[(r, c)] = (grad[(r, c)] - y[(r, c)] * dot) / norms[r];
+                                }
                             }
                         }
                         self.accumulate(a, d);
                     }
                 }
                 Op::SegmentMax(a, arg) => {
-                    let (a, arg) = (*a, arg.clone());
+                    let a = *a;
                     if self.needs(a) {
                         let rows = self.nodes[a].value.get().rows();
                         let cols = grad.cols();
-                        let mut d = Matrix::zeros(rows, cols);
+                        let mut d = self.alloc(rows, cols);
                         for (i, &r) in arg.iter().enumerate() {
                             let (s, c) = (i / cols, i % cols);
                             d[(r as usize, c)] += grad[(s, c)];
@@ -689,41 +924,47 @@ impl Graph {
                 }
                 Op::SoftmaxCrossEntropy(logits, labels, probs) => {
                     let logits = *logits;
-                    let labels = Arc::clone(labels);
-                    let probs = probs.clone();
                     if self.needs(logits) {
                         let g0 = grad.scalar();
                         let n = probs.rows();
-                        let mut d = probs;
+                        let mut d = self.alloc(probs.rows(), probs.cols());
+                        d.as_mut_slice().copy_from_slice(probs.as_slice());
                         for (r, &l) in labels.iter().enumerate() {
                             d[(r, l as usize)] -= 1.0;
                         }
-                        let d = d.scaled(g0 / n.max(1) as f32);
+                        let s = g0 / n.max(1) as f32;
+                        for v in d.as_mut_slice() {
+                            *v *= s;
+                        }
                         self.accumulate(logits, d);
                     }
                 }
                 Op::MarginPairLoss(x, edges, margin) => {
-                    let x = *x;
-                    let edges = Arc::clone(edges);
-                    let margin = *margin;
+                    let (x, margin) = (*x, *margin);
                     if self.needs(x) {
                         let g0 = grad.scalar();
-                        let m = self.nodes[x].value.get().clone();
-                        let mut d = Matrix::zeros(m.rows(), m.cols());
-                        for &(u, v) in edges.iter() {
-                            let (u, v) = (u as usize, v as usize);
-                            let d2: f32 = m
-                                .row(u)
-                                .iter()
-                                .zip(m.row(v))
-                                .map(|(&a, &b)| (a - b) * (a - b))
-                                .sum();
-                            if margin - d2 > 0.0 {
-                                // d/da of -(a-b)^2 = -2(a-b)
-                                for c in 0..m.cols() {
-                                    let diff = m[(u, c)] - m[(v, c)];
-                                    d[(u, c)] += g0 * -2.0 * diff;
-                                    d[(v, c)] += g0 * 2.0 * diff;
+                        let (mr, mc) = {
+                            let m = self.nodes[x].value.get();
+                            (m.rows(), m.cols())
+                        };
+                        let mut d = self.alloc(mr, mc);
+                        {
+                            let m = self.nodes[x].value.get();
+                            for &(u, v) in edges.iter() {
+                                let (u, v) = (u as usize, v as usize);
+                                let d2: f32 = m
+                                    .row(u)
+                                    .iter()
+                                    .zip(m.row(v))
+                                    .map(|(&a, &b)| (a - b) * (a - b))
+                                    .sum();
+                                if margin - d2 > 0.0 {
+                                    // d/da of -(a-b)^2 = -2(a-b)
+                                    for c in 0..mc {
+                                        let diff = m[(u, c)] - m[(v, c)];
+                                        d[(u, c)] += g0 * -2.0 * diff;
+                                        d[(v, c)] += g0 * 2.0 * diff;
+                                    }
                                 }
                             }
                         }
@@ -731,6 +972,8 @@ impl Graph {
                     }
                 }
             }
+            self.nodes[id].op = op;
+            self.nodes[id].grad = Some(grad);
         }
     }
 }
@@ -835,7 +1078,7 @@ mod tests {
         let logits = Matrix::from_rows(&[&[0.0, 0.0, 0.0]]);
         let mut g = Graph::new();
         let x = g.param(logits);
-        let loss = g.softmax_cross_entropy(x, vec![1]);
+        let loss = g.softmax_cross_entropy(x, Arc::new(vec![1]));
         let l0 = g.value(loss).scalar();
         assert!((l0 - (3f32).ln()).abs() < 1e-5);
         g.backward(loss);
@@ -848,16 +1091,16 @@ mod tests {
     #[test]
     fn cross_entropy_gradient_matches_finite_difference() {
         let x0 = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[0.1, 0.9, -0.5]]);
-        let labels = vec![2u8, 0u8];
+        let labels = Arc::new(vec![2u8, 0u8]);
         let run = |m: &Matrix| -> f32 {
             let mut g = Graph::new();
             let x = g.param(m.clone());
-            let loss = g.softmax_cross_entropy(x, labels.clone());
+            let loss = g.softmax_cross_entropy(x, Arc::clone(&labels));
             g.value(loss).scalar()
         };
         let mut g = Graph::new();
         let x = g.param(x0.clone());
-        let loss = g.softmax_cross_entropy(x, labels.clone());
+        let loss = g.softmax_cross_entropy(x, Arc::clone(&labels));
         g.backward(loss);
         for r in 0..2 {
             for c in 0..3 {
@@ -873,16 +1116,16 @@ mod tests {
         // Keep both hinge terms strictly active and away from the kink so
         // finite differences are valid.
         let x0 = Matrix::from_rows(&[&[0.2, 0.1], &[0.3, -0.2], &[-0.45, 0.4]]);
-        let edges = vec![(0u32, 1u32), (1, 2)];
+        let edges = Arc::new(vec![(0u32, 1u32), (1, 2)]);
         let run = |m: &Matrix| -> f32 {
             let mut g = Graph::new();
             let x = g.param(m.clone());
-            let loss = g.margin_pair_loss(x, edges.clone(), 1.0);
+            let loss = g.margin_pair_loss(x, Arc::clone(&edges), 1.0);
             g.value(loss).scalar()
         };
         let mut g = Graph::new();
         let x = g.param(x0.clone());
-        let loss = g.margin_pair_loss(x, edges.clone(), 1.0);
+        let loss = g.margin_pair_loss(x, Arc::clone(&edges), 1.0);
         g.backward(loss);
         for r in 0..3 {
             for c in 0..2 {
@@ -911,7 +1154,7 @@ mod tests {
     fn segment_sum_pools_per_segment() {
         let mut g = Graph::new();
         let x = g.param(Matrix::from_rows(&[&[1.0], &[2.0], &[4.0], &[8.0]]));
-        let y = g.segment_sum(x, vec![0, 1, 0, 1], 2);
+        let y = g.segment_sum(x, Arc::new(vec![0, 1, 0, 1]), 2);
         assert_eq!(g.value(y).as_slice(), &[5.0, 10.0]);
         let w = g.input(Matrix::from_rows(&[&[1.0, 3.0]]));
         let s = g.matmul(w, y); // 1*seg0 + 3*seg1
@@ -923,7 +1166,7 @@ mod tests {
     fn segment_max_pools_and_routes_grads() {
         let mut g = Graph::new();
         let x = g.param(Matrix::from_rows(&[&[1.0, 9.0], &[2.0, 3.0], &[5.0, 4.0]]));
-        let y = g.segment_max(x, vec![0, 0, 1], 2);
+        let y = g.segment_max(x, &[0, 0, 1], 2);
         assert_eq!(g.value(y).as_slice(), &[2.0, 9.0, 5.0, 4.0]);
         let ones = g.input(Matrix::from_rows(&[&[1.0], &[1.0]]));
         let col = g.matmul(y, ones); // 2x1
@@ -971,7 +1214,7 @@ mod tests {
     fn segment_max_rejects_empty_segment() {
         let mut g = Graph::new();
         let x = g.param(Matrix::from_rows(&[&[1.0]]));
-        let _ = g.segment_max(x, vec![0], 2);
+        let _ = g.segment_max(x, &[0], 2);
     }
 
     #[test]

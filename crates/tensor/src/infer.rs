@@ -33,13 +33,10 @@ pub struct Csr {
 }
 
 impl Csr {
-    /// Builds a CSR view of an [`Adjacency`]'s forward lists.
+    /// Builds a CSR view of an [`Adjacency`]'s forward lists. Since the
+    /// adjacency is itself CSR-backed, this is a plain buffer clone.
     pub fn from_adjacency(adj: &Adjacency) -> Self {
-        let mut b = CsrBuilder::new(adj.len());
-        for i in 0..adj.len() {
-            b.push_row(adj.neighbors(i).iter().copied());
-        }
-        b.finish()
+        adj.fwd_csr().clone()
     }
 
     /// Number of rows.
@@ -73,6 +70,39 @@ impl Csr {
         }
         self.cols.extend(neighbors);
         self.row_ptr.push(self.cols.len() as u32);
+    }
+
+    /// Largest stored column index plus one, i.e. the minimum column count
+    /// this matrix is consistent with (0 when there are no entries).
+    pub fn max_col_bound(&self) -> usize {
+        self.cols.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+    }
+
+    /// Transpose of a square `n x n` sparse matrix: entry `(i, j)` becomes
+    /// `(j, i)`. Rows are scattered in ascending source-row order, so row
+    /// `j` of the result lists the sources `i` with `j ∈ row(i)` in
+    /// ascending `i` — the exact order the tape's `AggSum` backward pass
+    /// historically folded reverse neighbors in. Duplicate entries are
+    /// preserved (consecutively, since they share a source row).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_rows();
+        let mut row_ptr = vec![0u32; n + 1];
+        for &c in &self.cols {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for j in 0..n {
+            row_ptr[j + 1] += row_ptr[j];
+        }
+        let mut next = row_ptr.clone();
+        let mut cols = vec![0u32; self.cols.len()];
+        for i in 0..n {
+            for &j in self.row(i) {
+                let slot = next[j as usize] as usize;
+                cols[slot] = i as u32;
+                next[j as usize] += 1;
+            }
+        }
+        Csr { row_ptr, cols }
     }
 }
 
@@ -144,6 +174,34 @@ pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
     assert_eq!(b.len(), k * n, "gemm rhs size mismatch");
     assert_eq!(out.len(), m * n, "gemm output size mismatch");
     crate::matrix::gemm_nn(m, k, n, a, b, out);
+}
+
+/// Dense product `out = Aᵀ * B` (A stored `k x m`, B `k x n`, all
+/// row-major), dispatching to the same kernel as [`Matrix::matmul_tn`] so
+/// results are bit-identical to the tape's MatMul backward.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_tn_into(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "gemm_tn lhs size mismatch");
+    assert_eq!(b.len(), k * n, "gemm_tn rhs size mismatch");
+    assert_eq!(out.len(), m * n, "gemm_tn output size mismatch");
+    crate::matrix::gemm_tn(k, m, n, a, b, out);
+}
+
+/// Dense product `out = A * Bᵀ` (A stored `m x k`, B `n x k`, all
+/// row-major), dispatching to the same kernel as [`Matrix::matmul_nt`] so
+/// results are bit-identical to the tape's MatMul backward.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with its dimensions.
+pub fn gemm_nt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt lhs size mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt rhs size mismatch");
+    assert_eq!(out.len(), m * n, "gemm_nt output size mismatch");
+    crate::matrix::gemm_nt(m, k, n, a, b, out);
 }
 
 /// Element-wise `out += x` (mirrors [`Matrix::add_assign`]).
@@ -233,6 +291,46 @@ pub fn segment_max_into(x: &[f32], cols: usize, seg: &[u32], num_segments: usize
     assert!(
         touched.iter().all(|&t| t),
         "empty segment in segment_max_into"
+    );
+}
+
+/// Segment max readout that also records, per output cell, which input
+/// row supplied the winning value (`arg`, `num_segments x cols`, row
+/// indices as `u32`). Same scan order and strict-`>` tie-breaking as
+/// [`segment_max_into`], so `out` is bit-identical to the tape's
+/// `SegmentMax` forward while `arg` is exactly the routing its backward
+/// pass needs.
+///
+/// # Panics
+///
+/// Panics on size mismatch, an out-of-range segment id, or an empty
+/// segment (message contains "empty segment" to match the tape op).
+pub fn segment_max_argmax_into(
+    x: &[f32],
+    cols: usize,
+    seg: &[u32],
+    num_segments: usize,
+    out: &mut [f32],
+    arg: &mut [u32],
+) {
+    assert_eq!(x.len(), seg.len() * cols, "one segment id per row");
+    assert_eq!(out.len(), num_segments * cols, "readout size mismatch");
+    assert_eq!(arg.len(), num_segments * cols, "argmax size mismatch");
+    out.fill(f32::NEG_INFINITY);
+    arg.fill(u32::MAX);
+    for (r, &s) in seg.iter().enumerate() {
+        let s = s as usize;
+        assert!(s < num_segments, "segment id out of range");
+        for c in 0..cols {
+            if x[r * cols + c] > out[s * cols + c] {
+                out[s * cols + c] = x[r * cols + c];
+                arg[s * cols + c] = r as u32;
+            }
+        }
+    }
+    assert!(
+        cols == 0 || arg.iter().all(|&a| a != u32::MAX),
+        "empty segment in segment_max"
     );
 }
 
@@ -381,16 +479,43 @@ mod tests {
     #[test]
     fn spmm_matches_tape_agg_sum() {
         let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
-        let a = adj(vec![vec![1, 2], vec![], vec![0, 0, 1]]);
+        let fwd = vec![vec![1, 2], vec![], vec![0, 0, 1]];
+        let a = adj(fwd.clone());
         let mut g = Graph::new();
         let xi = g.input(x.clone());
         let y = g.agg_sum(xi, Arc::clone(&a));
         let want = g.value(y).as_slice().to_vec();
 
+        // Independent naive-loop oracle (the tape itself now runs on the
+        // SpMM kernel, so the reference must not).
+        let mut naive = vec![0.0f32; 6];
+        for (i, ns) in fwd.iter().enumerate() {
+            for &j in ns {
+                for c in 0..2 {
+                    naive[i * 2 + c] += x[(j as usize, c)];
+                }
+            }
+        }
+        assert_eq!(want, naive);
+
         let csr = Csr::from_adjacency(&a);
         let mut out = vec![0.0; 6];
         spmm_into(&csr, x.as_slice(), 2, &mut out);
         assert_eq!(out, want);
+    }
+
+    #[test]
+    fn transpose_reverses_edges_and_preserves_order() {
+        let mut b = CsrBuilder::new(3);
+        b.push_row([1u32, 2]);
+        b.push_row([]);
+        b.push_row([0u32, 0, 1]);
+        let csr = b.finish();
+        let t = csr.transpose();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.row(0), &[2, 2]); // duplicates preserved, ascending i
+        assert_eq!(t.row(1), &[0, 2]);
+        assert_eq!(t.row(2), &[0]);
     }
 
     #[test]
@@ -417,18 +542,36 @@ mod tests {
         let seg = vec![0u32, 0, 1, 1];
         let mut g = Graph::new();
         let xi = g.input(x.clone());
-        let s = g.segment_sum(xi, seg.clone(), 2);
-        let m = g.segment_max(xi, seg.clone(), 2);
+        let s = g.segment_sum(xi, Arc::new(seg.clone()), 2);
+        let m = g.segment_max(xi, &seg, 2);
         let (want_s, want_m) = (
             g.value(s).as_slice().to_vec(),
             g.value(m).as_slice().to_vec(),
         );
+
+        // Independent naive oracles (the tape ops now run on these very
+        // kernels, so the reference is recomputed by hand).
+        let mut naive_s = vec![0.0f32; 4];
+        let mut naive_m = vec![f32::NEG_INFINITY; 4];
+        for (r, &s) in seg.iter().enumerate() {
+            for c in 0..2 {
+                naive_s[s as usize * 2 + c] += x[(r, c)];
+                naive_m[s as usize * 2 + c] = naive_m[s as usize * 2 + c].max(x[(r, c)]);
+            }
+        }
+        assert_eq!(want_s, naive_s);
+        assert_eq!(want_m, naive_m);
 
         let mut out = vec![0.0; 4];
         segment_sum_into(x.as_slice(), 2, &seg, 2, &mut out);
         assert_eq!(out, want_s);
         segment_max_into(x.as_slice(), 2, &seg, 2, &mut out);
         assert_eq!(out, want_m);
+
+        let mut arg = vec![0u32; 4];
+        segment_max_argmax_into(x.as_slice(), 2, &seg, 2, &mut out, &mut arg);
+        assert_eq!(out, want_m);
+        assert_eq!(arg, vec![1, 1, 3, 2]);
     }
 
     #[test]

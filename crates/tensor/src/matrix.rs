@@ -83,6 +83,110 @@ pub(crate) fn gemm_nn(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &m
     }
 }
 
+/// Row-major `C = Aᵀ * B` kernel (A stored `kk x m`, read transposed)
+/// shared by [`Matrix::matmul_tn`] and the tape's MatMul backward pass.
+/// `c` is fully overwritten.
+pub(crate) fn gemm_tn(kk: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), kk * m);
+    debug_assert_eq!(b.len(), kk * n);
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if x86::have_avx2_fma() {
+        // SAFETY: the AVX2+FMA feature check just passed. A is read
+        // transposed: element (p, row) of the stored matrix, i.e. row
+        // stride 1 and p stride `m`.
+        unsafe { x86::gemm_wide(m, kk, n, a, 1, m, b, c) };
+        return;
+    }
+    let mut i = 0;
+    while i < m {
+        let ib = (m - i).min(MR);
+        let mut j = 0;
+        while j < n {
+            let jb = (n - j).min(NR);
+            if ib == MR && jb == NR {
+                // out[i..i+MR][j..j+NR] += A[p][i..i+MR] (contiguous)
+                // x B[p][j..j+NR] (contiguous) summed over p.
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..kk {
+                    let avs = &a[p * m + i..p * m + i + MR];
+                    let bs = &b[p * n + j..p * n + j + NR];
+                    for (accr, &av) in acc.iter_mut().zip(avs) {
+                        for (o, &bv) in accr.iter_mut().zip(bs) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+                }
+            } else {
+                for r in 0..ib {
+                    for col in 0..jb {
+                        let mut s = 0.0;
+                        for p in 0..kk {
+                            s += a[p * m + i + r] * b[p * n + j + col];
+                        }
+                        c[(i + r) * n + j + col] = s;
+                    }
+                }
+            }
+            j += jb;
+        }
+        i += ib;
+    }
+}
+
+/// Row-major `C = A * Bᵀ` kernel (B stored `n x kk`, read transposed)
+/// shared by [`Matrix::matmul_nt`] and the tape's MatMul backward pass.
+/// `c` is fully overwritten.
+pub(crate) fn gemm_nt(m: usize, kk: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), n * kk);
+    debug_assert_eq!(c.len(), m * n);
+    let mut i = 0;
+    while i < m {
+        let ib = (m - i).min(MR);
+        let mut j = 0;
+        while j < n {
+            let jb = (n - j).min(MR);
+            if ib == MR && jb == MR {
+                // MR x MR tile of dot products: each p contributes MR
+                // a-values x MR b-values from contiguous rows of A and
+                // B, accumulated in registers.
+                let mut acc = [[0.0f32; MR]; MR];
+                for p in 0..kk {
+                    let mut avs = [0.0f32; MR];
+                    let mut bvs = [0.0f32; MR];
+                    for r in 0..MR {
+                        avs[r] = a[(i + r) * kk + p];
+                        bvs[r] = b[(j + r) * kk + p];
+                    }
+                    for (accr, &av) in acc.iter_mut().zip(&avs) {
+                        for (o, &bv) in accr.iter_mut().zip(&bvs) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    c[(i + r) * n + j..(i + r) * n + j + MR].copy_from_slice(accr);
+                }
+            } else {
+                for r in 0..ib {
+                    let arow = &a[(i + r) * kk..(i + r + 1) * kk];
+                    for col in 0..jb {
+                        let brow = &b[(j + col) * kk..(j + col + 1) * kk];
+                        c[(i + r) * n + j + col] =
+                            arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+                    }
+                }
+            }
+            j += jb;
+        }
+        i += ib;
+    }
+}
+
 /// Name of the GEMM microkernel selected at runtime (`"avx2fma"` or
 /// `"scalar"`). Recorded in benchmark artifacts so CI only compares
 /// floating-point-sensitive digests between runs on the same kernel.
@@ -171,6 +275,13 @@ impl Matrix {
         &self.data
     }
 
+    /// Consumes the matrix, returning its backing buffer — the recycling
+    /// hook for scratch-pooled callers (the autodiff tape hands op
+    /// outputs and gradient buffers back to its free list through this).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Flat row-major mutable view.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
@@ -209,54 +320,7 @@ impl Matrix {
         );
         let (kk, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        let a = &self.data;
-        let b = &other.data;
-        let c = &mut out.data;
-        #[cfg(target_arch = "x86_64")]
-        if x86::have_avx2_fma() {
-            // SAFETY: the AVX2+FMA feature check just passed. A is read
-            // transposed: element (p, row) of the stored matrix, i.e. row
-            // stride 1 and p stride `m`.
-            unsafe { x86::gemm_wide(m, kk, n, a, 1, m, b, c) };
-            return out;
-        }
-        let mut i = 0;
-        while i < m {
-            let ib = (m - i).min(MR);
-            let mut j = 0;
-            while j < n {
-                let jb = (n - j).min(NR);
-                if ib == MR && jb == NR {
-                    // out[i..i+MR][j..j+NR] += A[p][i..i+MR] (contiguous)
-                    // x B[p][j..j+NR] (contiguous) summed over p.
-                    let mut acc = [[0.0f32; NR]; MR];
-                    for p in 0..kk {
-                        let avs = &a[p * m + i..p * m + i + MR];
-                        let bs = &b[p * n + j..p * n + j + NR];
-                        for (accr, &av) in acc.iter_mut().zip(avs) {
-                            for (o, &bv) in accr.iter_mut().zip(bs) {
-                                *o += av * bv;
-                            }
-                        }
-                    }
-                    for (r, accr) in acc.iter().enumerate() {
-                        c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
-                    }
-                } else {
-                    for r in 0..ib {
-                        for col in 0..jb {
-                            let mut s = 0.0;
-                            for p in 0..kk {
-                                s += a[p * m + i + r] * b[p * n + j + col];
-                            }
-                            c[(i + r) * n + j + col] = s;
-                        }
-                    }
-                }
-                j += jb;
-            }
-            i += ib;
-        }
+        gemm_tn(kk, m, n, &self.data, &other.data, &mut out.data);
         out
     }
 
@@ -269,50 +333,7 @@ impl Matrix {
         );
         let (m, kk, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        let a = &self.data;
-        let b = &other.data;
-        let c = &mut out.data;
-        let mut i = 0;
-        while i < m {
-            let ib = (m - i).min(MR);
-            let mut j = 0;
-            while j < n {
-                let jb = (n - j).min(MR);
-                if ib == MR && jb == MR {
-                    // MR x MR tile of dot products: each p contributes MR
-                    // a-values x MR b-values from contiguous rows of A and
-                    // B, accumulated in registers.
-                    let mut acc = [[0.0f32; MR]; MR];
-                    for p in 0..kk {
-                        let mut avs = [0.0f32; MR];
-                        let mut bvs = [0.0f32; MR];
-                        for r in 0..MR {
-                            avs[r] = a[(i + r) * kk + p];
-                            bvs[r] = b[(j + r) * kk + p];
-                        }
-                        for (accr, &av) in acc.iter_mut().zip(&avs) {
-                            for (o, &bv) in accr.iter_mut().zip(&bvs) {
-                                *o += av * bv;
-                            }
-                        }
-                    }
-                    for (r, accr) in acc.iter().enumerate() {
-                        c[(i + r) * n + j..(i + r) * n + j + MR].copy_from_slice(accr);
-                    }
-                } else {
-                    for r in 0..ib {
-                        let arow = &a[(i + r) * kk..(i + r + 1) * kk];
-                        for col in 0..jb {
-                            let brow = &b[(j + col) * kk..(j + col + 1) * kk];
-                            c[(i + r) * n + j + col] =
-                                arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-                        }
-                    }
-                }
-                j += jb;
-            }
-            i += ib;
-        }
+        gemm_nt(m, kk, n, &self.data, &other.data, &mut out.data);
         out
     }
 

@@ -114,9 +114,11 @@ impl ParamSet {
     }
 
     /// Inserts the parameter into `graph` as a trainable leaf and records
-    /// the binding for [`ParamSet::apply_grads`].
+    /// the binding for [`ParamSet::apply_grads`]. The value is copied into
+    /// the graph's pooled arena, so re-binding every step allocates
+    /// nothing once the tape has warmed up.
     pub fn bind(&mut self, graph: &mut Graph, id: ParamId) -> VarId {
-        let var = graph.param(self.values[id].clone());
+        let var = graph.param_copied(&self.values[id]);
         self.bindings.push((id, var));
         var
     }
@@ -140,7 +142,7 @@ impl ParamSet {
         let bindings = std::mem::take(&mut self.bindings);
         for (pid, var) in bindings {
             if let Some(g) = graph.try_grad(var) {
-                self.grads[pid].add_assign(&g.clone());
+                self.grads[pid].add_assign(g);
             }
         }
     }
@@ -233,28 +235,49 @@ impl ParamSet {
 
     /// Applies one optimizer step with learning rate `lr`, consuming the
     /// accumulated gradients (which are zeroed afterwards).
+    ///
+    /// Both update rules run as a single fused pass per parameter: the
+    /// gradient is read and zeroed in the same sweep that updates the
+    /// moments and the weights, so no per-step gradient clone or separate
+    /// zeroing pass remains. The per-element arithmetic is unchanged, so
+    /// trajectories are bit-identical to the unfused update.
     pub fn step(&mut self, lr: f32) {
         self.t += 1;
-        match self.optimizer {
+        let Self {
+            values,
+            grads,
+            m,
+            v,
+            t,
+            optimizer,
+            ..
+        } = self;
+        match optimizer {
             Optimizer::Sgd => {
-                for (value, grad) in self.values.iter_mut().zip(&self.grads) {
-                    value.add_scaled_assign(grad, -lr);
+                for (value, grad) in values.iter_mut().zip(grads.iter_mut()) {
+                    for (val, gx) in value.as_mut_slice().iter_mut().zip(grad.as_mut_slice()) {
+                        *val += -lr * *gx;
+                        *gx = 0.0;
+                    }
                 }
             }
             Optimizer::Adam => {
                 let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
-                let bc1 = 1.0 - b1.powi(self.t as i32);
-                let bc2 = 1.0 - b2.powi(self.t as i32);
-                for i in 0..self.values.len() {
-                    let g = self.grads[i].clone();
-                    for ((m, v), (&gx, val)) in self.m[i]
-                        .as_mut_slice()
-                        .iter_mut()
-                        .zip(self.v[i].as_mut_slice())
-                        .zip(g.as_slice().iter().zip(self.values[i].as_mut_slice()))
+                let bc1 = 1.0 - b1.powi(*t as i32);
+                let bc2 = 1.0 - b2.powi(*t as i32);
+                for i in 0..values.len() {
+                    for ((m, v), (gx, val)) in
+                        m[i].as_mut_slice().iter_mut().zip(v[i].as_mut_slice()).zip(
+                            grads[i]
+                                .as_mut_slice()
+                                .iter_mut()
+                                .zip(values[i].as_mut_slice()),
+                        )
                     {
-                        *m = b1 * *m + (1.0 - b1) * gx;
-                        *v = b2 * *v + (1.0 - b2) * gx * gx;
+                        let g = *gx;
+                        *gx = 0.0;
+                        *m = b1 * *m + (1.0 - b1) * g;
+                        *v = b2 * *v + (1.0 - b2) * g * g;
                         let mhat = *m / bc1;
                         let vhat = *v / bc2;
                         *val -= lr * mhat / (vhat.sqrt() + eps);
@@ -262,7 +285,6 @@ impl ParamSet {
                 }
             }
         }
-        self.zero_grads();
     }
 }
 

@@ -94,3 +94,407 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Per-op oracles: for every tape op the RGCN and ColorGNN training paths
+// use, the kernel-backed backward must match (a) central finite differences
+// and (b) an independent naive-loop backward. The tape output is reduced to
+// a scalar as `sum_rows(out · w)`, so the upstream gradient reaching the op
+// is analytically `G[r][c] = w[c]` and the naive oracles can start from it.
+// ---------------------------------------------------------------------------
+
+/// Distinct per-column weights so transposition bugs change the loss.
+fn col_weights(n: usize) -> Matrix {
+    Matrix::from_vec(n, 1, (0..n).map(|c| 0.3 + 0.4 * c as f32).collect())
+}
+
+/// Reduces an `m x n` var to a scalar loss: `sum_rows(out · w)`.
+fn scalarize(g: &mut Graph, out: usize, n: usize) -> usize {
+    let w = g.input(col_weights(n));
+    let prod = g.matmul(out, w);
+    g.sum_rows(prod)
+}
+
+/// Central finite difference of `value` at `x0[(r, c)]`.
+fn fd(value: &dyn Fn(&Matrix) -> f32, x0: &Matrix, r: usize, c: usize, eps: f32) -> f32 {
+    let mut plus = x0.clone();
+    plus[(r, c)] += eps;
+    let mut minus = x0.clone();
+    minus[(r, c)] -= eps;
+    (value(&plus) - value(&minus)) / (2.0 * eps)
+}
+
+/// Matrix entries bounded away from zero (for kink-free ReLU probing).
+fn arb_matrix_off_zero(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec((0.1f32..1.5, prop::bool::ANY), rows * cols).prop_map(move |v| {
+        Matrix::from_vec(
+            rows,
+            cols,
+            v.into_iter()
+                .map(|(m, neg)| if neg { -m } else { m })
+                .collect(),
+        )
+    })
+}
+
+/// Breaks column-max ties so argmax-based backward is FD-safe.
+fn detie(mut x: Matrix) -> Matrix {
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            x[(r, c)] += 1e-3 * (r as f32) + 1e-4 * (c as f32);
+        }
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn matmul_backward_matches_fd_and_naive(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let mut g = Graph::new();
+        let av = g.param(a.clone());
+        let bv = g.param(b.clone());
+        let m = g.matmul(av, bv);
+        let loss = scalarize(&mut g, m, 2);
+        g.backward(loss);
+        let w = col_weights(2);
+        // Naive oracle: G[i][c] = w[c]; dA = G Bᵀ, dB = Aᵀ G by triple loop.
+        for i in 0..3 {
+            for k in 0..4 {
+                let mut want = 0.0f32;
+                for c in 0..2 {
+                    want += w[(c, 0)] * b[(k, c)];
+                }
+                prop_assert!((g.grad(av)[(i, k)] - want).abs() < 1e-4);
+            }
+        }
+        for k in 0..4 {
+            for c in 0..2 {
+                let mut want = 0.0f32;
+                for i in 0..3 {
+                    want += a[(i, k)] * w[(c, 0)];
+                }
+                prop_assert!((g.grad(bv)[(k, c)] - want).abs() < 1e-4);
+            }
+        }
+        let value = |m2: &Matrix| -> f32 {
+            let mut g2 = Graph::new();
+            let av2 = g2.input(m2.clone());
+            let bv2 = g2.input(b.clone());
+            let mm = g2.matmul(av2, bv2);
+            let loss = scalarize(&mut g2, mm, 2);
+            g2.value(loss).scalar()
+        };
+        for i in 0..3 {
+            for k in 0..4 {
+                let est = fd(&value, &a, i, k, 1e-2);
+                prop_assert!((g.grad(av)[(i, k)] - est).abs() < 3e-2,
+                    "dA[{i},{k}] {} vs fd {est}", g.grad(av)[(i, k)]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_add_row_backward(x in arb_matrix(3, 2), y in arb_matrix(3, 2), bias in arb_matrix(1, 2)) {
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let yv = g.param(y.clone());
+        let bv = g.param(bias.clone());
+        let s = g.add(xv, yv);
+        let sb = g.add_row(s, bv);
+        let loss = scalarize(&mut g, sb, 2);
+        g.backward(loss);
+        let w = col_weights(2);
+        // Pass-through grads: dX = dY = G; dbias[c] = rows * w[c].
+        for r in 0..3 {
+            for c in 0..2 {
+                prop_assert!((g.grad(xv)[(r, c)] - w[(c, 0)]).abs() < 1e-5);
+                prop_assert!((g.grad(yv)[(r, c)] - w[(c, 0)]).abs() < 1e-5);
+            }
+        }
+        for c in 0..2 {
+            prop_assert!((g.grad(bv)[(0, c)] - 3.0 * w[(c, 0)]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_backward_matches_naive(x in arb_matrix_off_zero(4, 3)) {
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let a = g.relu(xv);
+        let loss = scalarize(&mut g, a, 3);
+        g.backward(loss);
+        let w = col_weights(3);
+        for r in 0..4 {
+            for c in 0..3 {
+                let want = if x[(r, c)] > 0.0 { w[(c, 0)] } else { 0.0 };
+                prop_assert!((g.grad(xv)[(r, c)] - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_by_scalar_backward_matches_fd_and_naive(x in arb_matrix(3, 2), s in 0.2f32..2.0) {
+        let mut g = Graph::new();
+        let sv = g.param(Matrix::from_vec(1, 1, vec![s]));
+        let xv = g.param(x.clone());
+        let y = g.scale_by_scalar(xv, sv);
+        let loss = scalarize(&mut g, y, 2);
+        g.backward(loss);
+        let w = col_weights(2);
+        // dX = s * G; ds = Σ x ⊙ G.
+        let mut ds = 0.0f32;
+        for r in 0..3 {
+            for c in 0..2 {
+                prop_assert!((g.grad(xv)[(r, c)] - s * w[(c, 0)]).abs() < 1e-5);
+                ds += x[(r, c)] * w[(c, 0)];
+            }
+        }
+        prop_assert!((g.grad(sv).scalar() - ds).abs() < 1e-4);
+        let value = |m: &Matrix| -> f32 {
+            let mut g2 = Graph::new();
+            let sv2 = g2.input(m.clone());
+            let xv2 = g2.input(x.clone());
+            let y2 = g2.scale_by_scalar(xv2, sv2);
+            let loss = scalarize(&mut g2, y2, 2);
+            g2.value(loss).scalar()
+        };
+        let est = fd(&value, &Matrix::from_vec(1, 1, vec![s]), 0, 0, 1e-2);
+        prop_assert!((g.grad(sv).scalar() - est).abs() < 3e-2);
+    }
+
+    #[test]
+    fn agg_sum_backward_matches_naive(
+        x in arb_matrix(5, 2),
+        nbrs in prop::collection::vec(prop::collection::vec(0u32..5, 0..4), 5),
+    ) {
+        let adj = Arc::new(Adjacency::new(nbrs.clone()));
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let a = g.agg_sum(xv, adj);
+        let loss = scalarize(&mut g, a, 2);
+        g.backward(loss);
+        let w = col_weights(2);
+        // dX[j] = Σ_{i : j ∈ adj[i]} G[i], with multiplicity.
+        for j in 0..5 {
+            for c in 0..2 {
+                let mut want = 0.0f32;
+                for (i, ns) in nbrs.iter().enumerate() {
+                    let _ = i;
+                    want += ns.iter().filter(|&&v| v as usize == j).count() as f32 * w[(c, 0)];
+                }
+                prop_assert!((g.grad(xv)[(j, c)] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn max_readouts_backward_matches_naive(x0 in arb_matrix(5, 3)) {
+        let x = detie(x0);
+        // max_rows: gradient lands only on each column's argmax row.
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let m = g.max_rows(xv);
+        let loss = scalarize(&mut g, m, 3);
+        g.backward(loss);
+        let w = col_weights(3);
+        for c in 0..3 {
+            // First-max-wins scan, mirroring the tape's strict `>`.
+            let mut arg = 0usize;
+            for r in 1..5 {
+                if x[(r, c)] > x[(arg, c)] {
+                    arg = r;
+                }
+            }
+            for r in 0..5 {
+                let want = if r == arg { w[(c, 0)] } else { 0.0 };
+                prop_assert!((g.grad(xv)[(r, c)] - want).abs() < 1e-5);
+            }
+        }
+        // segment_max over two segments behaves like per-segment max_rows.
+        let seg = vec![0u32, 0, 0, 1, 1];
+        let mut g2 = Graph::new();
+        let xv2 = g2.param(x.clone());
+        let sm = g2.segment_max(xv2, &seg, 2);
+        let loss2 = scalarize(&mut g2, sm, 3);
+        g2.backward(loss2);
+        for (lo, hi) in [(0usize, 3usize), (3, 5)] {
+            for c in 0..3 {
+                let mut arg = lo;
+                for r in lo + 1..hi {
+                    if x[(r, c)] > x[(arg, c)] {
+                        arg = r;
+                    }
+                }
+                for r in lo..hi {
+                    let want = if r == arg { w[(c, 0)] } else { 0.0 };
+                    prop_assert!((g2.grad(xv2)[(r, c)] - want).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_readouts_backward_matches_naive(x in arb_matrix(5, 3)) {
+        // sum_rows and segment_sum both broadcast the upstream gradient.
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let s = g.sum_rows(xv);
+        let loss = scalarize(&mut g, s, 3);
+        g.backward(loss);
+        let w = col_weights(3);
+        for r in 0..5 {
+            for c in 0..3 {
+                prop_assert!((g.grad(xv)[(r, c)] - w[(c, 0)]).abs() < 1e-5);
+            }
+        }
+        let seg = Arc::new(vec![0u32, 1, 0, 1, 1]);
+        let mut g2 = Graph::new();
+        let xv2 = g2.param(x.clone());
+        let ss = g2.segment_sum(xv2, Arc::clone(&seg), 2);
+        let loss2 = scalarize(&mut g2, ss, 3);
+        g2.backward(loss2);
+        for r in 0..5 {
+            for c in 0..3 {
+                prop_assert!((g2.grad(xv2)[(r, c)] - w[(c, 0)]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn row_normalize_backward_matches_fd_and_naive(x in arb_matrix_off_zero(4, 3)) {
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let y = g.row_l2_normalize(xv);
+        let loss = scalarize(&mut g, y, 3);
+        g.backward(loss);
+        let w = col_weights(3);
+        // Naive: dX_r = (G_r - y_r (y_r · G_r)) / ||x_r||.
+        for r in 0..4 {
+            let norm: f32 = x.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm <= 0.2 {
+                // Near-zero rows make the normalization gradient stiff.
+                return Ok(());
+            }
+            let yr: Vec<f32> = x.row(r).iter().map(|v| v / norm).collect();
+            let dot: f32 = yr.iter().zip(0..3).map(|(y, c)| y * w[(c, 0)]).sum();
+            for c in 0..3 {
+                let want = (w[(c, 0)] - yr[c] * dot) / norm;
+                prop_assert!((g.grad(xv)[(r, c)] - want).abs() < 1e-4,
+                    "dX[{r},{c}] {} vs naive {want}", g.grad(xv)[(r, c)]);
+            }
+        }
+        let value = |m: &Matrix| -> f32 {
+            let mut g2 = Graph::new();
+            let xv2 = g2.input(m.clone());
+            let y2 = g2.row_l2_normalize(xv2);
+            let loss = scalarize(&mut g2, y2, 3);
+            g2.value(loss).scalar()
+        };
+        for r in 0..4 {
+            for c in 0..3 {
+                let est = fd(&value, &x, r, c, 1e-2);
+                prop_assert!((g.grad(xv)[(r, c)] - est).abs() < 5e-2,
+                    "dX[{r},{c}] {} vs fd {est}", g.grad(xv)[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_ce_backward_matches_fd_and_naive(
+        logits in arb_matrix(3, 2),
+        labels in prop::collection::vec(0u8..2, 3),
+    ) {
+        let labels = Arc::new(labels);
+        let mut g = Graph::new();
+        let lv = g.param(logits.clone());
+        let loss = g.softmax_cross_entropy(lv, Arc::clone(&labels));
+        g.backward(loss);
+        // Naive: (softmax(row) - onehot) / n, max-subtracted like the tape.
+        for r in 0..3 {
+            let row = logits.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            for (c, &e) in exps.iter().enumerate() {
+                let mut want = e / z;
+                if labels[r] as usize == c {
+                    want -= 1.0;
+                }
+                want /= 3.0;
+                prop_assert!((g.grad(lv)[(r, c)] - want).abs() < 1e-5);
+            }
+        }
+        let value = |m: &Matrix| -> f32 {
+            let mut g2 = Graph::new();
+            let lv2 = g2.input(m.clone());
+            let loss = g2.softmax_cross_entropy(lv2, Arc::clone(&labels));
+            g2.value(loss).scalar()
+        };
+        for r in 0..3 {
+            for c in 0..2 {
+                let est = fd(&value, &logits, r, c, 1e-2);
+                prop_assert!((g.grad(lv)[(r, c)] - est).abs() < 3e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn margin_pair_loss_backward_matches_fd_and_naive(x in arb_matrix(4, 2)) {
+        let edges = Arc::new(vec![(0u32, 1u32), (1, 2), (2, 3), (0, 3)]);
+        let margin = 1.0f32;
+        // Keep every hinge away from its kink so FD is valid.
+        for &(u, v) in edges.iter() {
+            let d2: f32 = x
+                .row(u as usize)
+                .iter()
+                .zip(x.row(v as usize))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            if (margin - d2).abs() <= 0.05 {
+                // Too close to the hinge kink for finite differences.
+                return Ok(());
+            }
+        }
+        let mut g = Graph::new();
+        let xv = g.param(x.clone());
+        let loss = g.margin_pair_loss(xv, Arc::clone(&edges), margin);
+        g.backward(loss);
+        // Naive: active edges contribute -2(x_u - x_v) to u and +2(x_u - x_v) to v.
+        let mut want = Matrix::zeros(4, 2);
+        for &(u, v) in edges.iter() {
+            let (u, v) = (u as usize, v as usize);
+            let d2: f32 = x
+                .row(u)
+                .iter()
+                .zip(x.row(v))
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum();
+            if margin - d2 > 0.0 {
+                for c in 0..2 {
+                    let diff = x[(u, c)] - x[(v, c)];
+                    want[(u, c)] -= 2.0 * diff;
+                    want[(v, c)] += 2.0 * diff;
+                }
+            }
+        }
+        for r in 0..4 {
+            for c in 0..2 {
+                prop_assert!((g.grad(xv)[(r, c)] - want[(r, c)]).abs() < 1e-4);
+            }
+        }
+        let value = |m: &Matrix| -> f32 {
+            let mut g2 = Graph::new();
+            let xv2 = g2.input(m.clone());
+            let loss = g2.margin_pair_loss(xv2, Arc::clone(&edges), margin);
+            g2.value(loss).scalar()
+        };
+        for r in 0..4 {
+            for c in 0..2 {
+                let est = fd(&value, &x, r, c, 1e-3);
+                prop_assert!((g.grad(xv)[(r, c)] - est).abs() < 5e-2);
+            }
+        }
+    }
+}

@@ -5,11 +5,12 @@ Usage: check_perf_digest.py <fresh.json> <committed.json>
 
 Fails (exit 1) if any circuit's routing decisions (per-engine unit
 counts) or final costs (conflicts/stitches) differ from the committed
-BENCH_pipeline.json. Timing fields are ignored — they vary by host; the
-digest fields are deterministic given the model seed and the GEMM
-microkernel. When the two runs used different kernels (`fp_kernel`), the
-comparison is skipped: the forward pass's last bits differ legitimately,
-so threshold decisions near the boundary may too.
+BENCH_pipeline.json, or if the training digest (final per-head losses,
+labeled/deduped unit counts) drifts. Timing fields are ignored — they
+vary by host; the digest fields are deterministic given the model seed
+and the GEMM microkernel. When the two runs used different kernels
+(`fp_kernel`), the comparison is skipped: the forward pass's last bits
+differ legitimately, so threshold decisions near the boundary may too.
 """
 
 import json
@@ -66,11 +67,43 @@ def main() -> int:
     if compared == 0:
         print("no overlapping circuits to compare")
         return 1
+
+    # Training digest: the final per-head losses and the labeled/deduped
+    # unit counts are deterministic given seed + kernel + training
+    # config, so any drift means the training pipeline changed behavior
+    # (dedup miscopying labels, batching perturbing the trajectory, ...).
+    ft, ct = fresh.get("training"), committed.get("training")
+    if ft is not None and ct is not None:
+        if ft.get("train_seed") != ct.get("train_seed"):
+            print(
+                f"train_seed mismatch ({ft.get('train_seed')} vs "
+                f"{ct.get('train_seed')}): skipping training digest"
+            )
+        else:
+            for key in ("labeled_units", "deduped_units"):
+                if ft.get(key) != ct.get(key):
+                    print(
+                        f"training.{key} = {ft.get(key)} differs from "
+                        f"committed {ct.get(key)}"
+                    )
+                    bad = True
+            for head, loss in (ft.get("final_losses") or {}).items():
+                ref_loss = (ct.get("final_losses") or {}).get(head)
+                if loss != ref_loss:
+                    print(
+                        f"training.final_losses.{head} = {loss} differs "
+                        f"from committed {ref_loss}"
+                    )
+                    bad = True
+    elif ct is not None:
+        print("fresh run lacks a training section")
+        bad = True
+
     if bad:
-        print("routing/cost digest DIVERGED from the committed artifact")
+        print("routing/cost/training digest DIVERGED from the committed artifact")
         return 1
     print(
-        f"routing/cost digest matches the committed artifact "
+        f"routing/cost/training digest matches the committed artifact "
         f"({compared} circuits)"
     )
     return 0
