@@ -1,0 +1,106 @@
+//! Criterion bench: quantized frozen routing inference. Measures the
+//! planner-bucketed batched forward at every precision tier — f32 is
+//! the committed baseline shape, f16/int8 are the quantized planes the
+//! adaptive tier runs first — plus the bare quantized GEMM kernels at
+//! the backbone's dominant shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpld::{prepare, BatchPlan, DEFAULT_MAX_BATCH_NODES};
+use mpld_gnn::{InferBatch, RgcnClassifier};
+use mpld_graph::{DecomposeParams, LayoutGraph};
+use mpld_layout::circuit_by_name;
+use mpld_tensor::quant::{gemm_nn_f16, gemm_nn_q8};
+use mpld_tensor::{F16Matrix, Matrix, Precision, QuantMatrix};
+
+fn unit_graphs(n: usize) -> Vec<LayoutGraph> {
+    let params = DecomposeParams::tpl();
+    let layout = circuit_by_name("C1355").expect("known circuit").generate();
+    let prep = prepare(&layout, &params);
+    prep.units
+        .iter()
+        .take(n)
+        .map(|u| u.hetero.clone())
+        .collect()
+}
+
+fn bench_quant_inference(c: &mut Criterion) {
+    let graphs = unit_graphs(64);
+    let refs: Vec<&LayoutGraph> = graphs.iter().collect();
+    let sizes: Vec<(usize, usize)> = refs
+        .iter()
+        .map(|g| {
+            (
+                g.num_nodes(),
+                g.conflict_edges().len() + g.stitch_edges().len(),
+            )
+        })
+        .collect();
+    let items: Vec<usize> = (0..refs.len()).collect();
+    let plan = BatchPlan::new(&items, &sizes, DEFAULT_MAX_BATCH_NODES);
+    let planned: Vec<Vec<&LayoutGraph>> = plan
+        .batches
+        .iter()
+        .map(|b| b.iter().map(|&i| refs[i]).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("quant_inference");
+    for (name, precision) in [
+        ("planned_f32_x64", Precision::F32),
+        ("planned_f16_x64", Precision::F16),
+        ("planned_int8_x64", Precision::Int8),
+    ] {
+        group.bench_function(name, |b| {
+            let sel = RgcnClassifier::selector(7).freeze();
+            let red = RgcnClassifier::redundancy(7).freeze();
+            b.iter(|| {
+                let mut acc = 0f32;
+                for batch in &planned {
+                    let enc = InferBatch::new(batch);
+                    let s = sel.infer_encoded_with(&enc, precision);
+                    let r = red.predict_encoded_with(&enc, precision);
+                    acc += s
+                        .probs
+                        .iter()
+                        .zip(&r.probs)
+                        .map(|(a, b)| a[0] + b[0])
+                        .sum::<f32>();
+                }
+                acc
+            })
+        });
+    }
+
+    // Bare kernels at the backbone's hidden-layer shape (the dominant
+    // GEMM of the batched forward): f32 is the pinned AVX2 path, f16 and
+    // int8 go through the quantized dispatch ladder.
+    let (m, k, n) = (512, 32, 64);
+    let a = Matrix::zeros(m, k);
+    let bf = Matrix::zeros(k, n);
+    let q = QuantMatrix::from_matrix(&bf);
+    let h = F16Matrix::from_matrix(&bf);
+    group.bench_function("gemm_f32_512x32x64", |b| {
+        let mut out = vec![0.0f32; m * n];
+        b.iter(|| {
+            mpld_tensor::infer::gemm_into(m, k, n, a.as_slice(), bf.as_slice(), &mut out);
+            out[0]
+        })
+    });
+    group.bench_function("gemm_f16_512x32x64", |b| {
+        let mut out = vec![0.0f32; m * n];
+        b.iter(|| {
+            gemm_nn_f16(m, k, n, a.as_slice(), &h, &mut out);
+            out[0]
+        })
+    });
+    group.bench_function("gemm_int8_512x32x64", |b| {
+        let mut out = vec![0.0f32; m * n];
+        b.iter(|| {
+            gemm_nn_q8(m, k, n, a.as_slice(), &q, &mut out);
+            out[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quant_inference);
+criterion_main!(benches);

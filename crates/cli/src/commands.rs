@@ -3,7 +3,7 @@
 use crate::args::{parse, Parsed};
 use mpld::{
     layout_stats, prepare, run_pipeline, AdaptiveFramework, BudgetPolicy, Checkpoint,
-    CheckpointHeader, JournalWriter, OfflineConfig, Recovery, TrainingData,
+    CheckpointHeader, JournalWriter, OfflineConfig, Precision, Recovery, TrainingData,
 };
 use mpld_ec::EcDecomposer;
 use mpld_graph::{DecomposeParams, Decomposer, MpldError};
@@ -110,6 +110,13 @@ commands:
       --seed <n>                     reseed the ColorGNN restart RNG
                                      (echoed in the run summary); same
                                      seed => same results
+      --precision f32|f16|int8       routing-inference precision (default:
+                                     MPLD_PRECISION env or f32). f16/int8
+                                     run the quantized weight planes;
+                                     scores too close to a routing
+                                     threshold are transparently
+                                     re-inferred at f32, so decisions
+                                     match the f32 run
       --checkpoint <file>            append-only JSONL journal of the
                                      ILP/EC-tail solves; a journal left by
                                      a killed run is audited and resumed
@@ -333,9 +340,15 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
         .option("seed")
         .map(|v| v.parse().map_err(|_| format!("cannot parse --seed {v}")))
         .transpose()?;
+    let precision = match parsed.option("precision") {
+        Some(v) => Precision::parse(v)
+            .ok_or_else(|| format!("cannot parse --precision {v} (expected f32|f16|int8)"))?,
+        None => Precision::from_env(),
+    };
     let file = File::open(model).map_err(|e| format!("cannot open {model}: {e}"))?;
-    let fw = AdaptiveFramework::load(BufReader::new(file), &params, &OfflineConfig::default())
+    let mut fw = AdaptiveFramework::load(BufReader::new(file), &params, &OfflineConfig::default())
         .map_err(|e| format!("cannot load {model}: {e}"))?;
+    fw.precision = precision;
     if let Some(s) = seed {
         fw.colorgnn.reseed(s);
     }
@@ -407,6 +420,18 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
         r.usage.colorgnn_fallbacks,
         r.memo_hits
     );
+    if precision != Precision::F32 {
+        let inf = &r.inference;
+        println!(
+            "precision: {} (kernel {}; {} quantized, {} pinned f32, {} f32 fallbacks, {} batches)",
+            inf.precision,
+            inf.kernel_quant,
+            inf.quantized_units,
+            inf.pinned_f32,
+            inf.f32_fallbacks,
+            inf.batches_planned
+        );
+    }
     if !policy.is_unlimited() {
         println!(
             "budget: {} certified  {} heuristic  {} budget-exhausted  {} fallbacks",

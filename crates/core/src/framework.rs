@@ -14,7 +14,7 @@
 //! Fig. 10 (usage breakdown) can be reproduced.
 
 use crate::checkpoint::{unit_fingerprint, Checkpoint, CheckpointEntry, JournalWriter};
-use crate::memo::EmbeddingMemo;
+use crate::memo::{BatchPlan, EmbeddingMemo, DEFAULT_MAX_BATCH_NODES};
 use crate::parallel::{panic_payload_string, run_largest_first_quarantined};
 use crate::pipeline::{assemble, PipelineResult, PreparedLayout};
 use mpld_ec::EcDecomposer;
@@ -25,6 +25,7 @@ use mpld_graph::{
 };
 use mpld_ilp::encode::BipDecomposer;
 use mpld_matching::{canonical_form_labeled, CanonicalForm, GraphLibrary};
+use mpld_tensor::{quant, Matrix, Precision};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -33,6 +34,20 @@ use std::time::{Duration, Instant};
 /// Largest unit eligible for the session memo cache: the exact canonical
 /// form in `mpld-matching` is factorial-guarded at 12 nodes.
 const MEMO_MAX_NODES: usize = 12;
+
+/// Trust margins for the quantized routing lane: a quantized routing
+/// probability within this distance of its decision threshold
+/// ([`AdaptiveFramework::ec_threshold`] /
+/// [`AdaptiveFramework::redundancy_bar`]) is re-inferred at f32 before
+/// any decision is taken. Calibrated an order of magnitude above the
+/// probability drift the quantized planes show on the benchmark suite
+/// (the `quant_parity` property tests bound the *worst-case* drift over
+/// random weights much higher; trained heads sit far inside it), and the
+/// CI perf-digest guard independently asserts that quantized routing
+/// reproduces the f32 decisions circuit for circuit.
+const F16_TRUST_MARGIN: f32 = 5e-3;
+/// See [`F16_TRUST_MARGIN`].
+const INT8_TRUST_MARGIN: f32 = 2.5e-2;
 
 /// Wall-clock limits for one adaptive decomposition run.
 ///
@@ -180,6 +195,33 @@ pub struct InferenceStats {
     /// High-water mark of frozen scratch-buffer bytes across both RGCN
     /// heads (the steady-state inference memory footprint).
     pub scratch_high_water_bytes: usize,
+    /// Numeric precision the routing forwards ran at
+    /// ([`AdaptiveFramework::precision`]).
+    pub precision: Precision,
+    /// Representatives whose *accepted* routing scores came from the
+    /// quantized plane (quantized lane minus fallbacks).
+    pub quantized_units: usize,
+    /// Representatives pinned to the f32 lane because the graph library
+    /// holds a size-compatible entry (the cosine prefilter there cannot
+    /// tolerate quantization noise).
+    pub pinned_f32: usize,
+    /// Quantized-lane representatives whose routing score landed inside
+    /// the trust margin (or hit the `route.quant_trust` failpoint) and
+    /// were transparently re-inferred at f32.
+    pub f32_fallbacks: usize,
+    /// Dispatch-selected f32 kernel name (e.g. `"avx2fma"`).
+    pub kernel_f32: &'static str,
+    /// Dispatch-selected kernel name for the active precision (e.g.
+    /// `"avx512-q8"`; equals `kernel_f32` when `precision` is `F32`).
+    pub kernel_quant: &'static str,
+    /// Inference batches the bucketed planner emitted across both lanes.
+    pub batches_planned: usize,
+    /// Estimated transient backbone scratch (bytes) of the single-union
+    /// batch the planner replaced.
+    pub padding_waste_before_bytes: usize,
+    /// Estimated transient backbone scratch (bytes) of the largest batch
+    /// actually run under the plan.
+    pub padding_waste_after_bytes: usize,
 }
 
 /// Which engine decomposed a unit (for Fig. 10).
@@ -318,6 +360,13 @@ pub struct AdaptiveFramework {
     pub ec_threshold: f32,
     /// Whether ColorGNN is enabled ("Ours w. GNN" vs plain "Ours").
     pub use_colorgnn: bool,
+    /// Numeric precision of the batched routing forwards (selector +
+    /// redundancy heads). `F16`/`Int8` run the quantized weight planes
+    /// with a trust ladder: library-eligible units stay pinned at f32,
+    /// and any quantized score inside its trust margin is transparently
+    /// re-inferred at f32, so routing *decisions* match the f32 run.
+    /// ColorGNN and the unbatched comparison path always run f32.
+    pub precision: Precision,
 }
 
 impl AdaptiveFramework {
@@ -740,14 +789,15 @@ impl AdaptiveFramework {
         // Tape-free routing inference: freeze both RGCNs (folding the
         // basis decomposition into per-edge-type dense weights), dedup
         // structurally identical units through the embedding memo, and
-        // run one block-diagonal frozen pass per head over the
-        // representatives only. Frozen forwards are bit-identical to the
-        // tape (property-tested in `mpld-gnn`), and a verified memo hit
-        // means the *same graph*, so every probability and embedding a
-        // duplicate receives is exactly what its own forward pass would
+        // run bucketed block-diagonal frozen passes per head over the
+        // representatives only. Frozen f32 forwards are bit-identical to
+        // the tape (property-tested in `mpld-gnn`), and a verified memo
+        // hit means the *same graph*, so every probability and embedding
+        // a duplicate receives is exactly what its own forward pass would
         // have produced.
         let t = Instant::now();
         let frozen_sel = self.selector.freeze();
+        let frozen_red = self.redundancy.freeze();
         let mut memo = EmbeddingMemo::new();
         let mut rep_slot = Vec::with_capacity(n);
         let mut reps: Vec<&LayoutGraph> = Vec::new();
@@ -761,27 +811,173 @@ impl AdaptiveFramework {
                 }
             });
         }
-        let enc = InferBatch::new(&reps);
-        // One pass yields selector probabilities plus the graph and node
+        let nr = reps.len();
+
+        // Trust ladder, lane split. Quantized precisions route most
+        // representatives through the reduced-precision planes; the ones
+        // the library could structurally match stay pinned at f32 (its
+        // cosine prefilter slack, 1e-4, is comparable to quantization
+        // noise, so a quantized embedding could change a lookup). For the
+        // unpinned rest, quantized embeddings are harmless: without a
+        // size-compatible entry, `lookup_with_embeddings` returns `None`
+        // no matter what embeddings it is given.
+        let quantized = self.precision != Precision::F32;
+        let margin = match self.precision {
+            Precision::F32 => 0.0,
+            Precision::F16 => F16_TRUST_MARGIN,
+            Precision::Int8 => INT8_TRUST_MARGIN,
+        };
+        let pinned: Vec<bool> = if quantized {
+            reps.iter()
+                .map(|g| self.library.has_size_compatible(g))
+                .collect()
+        } else {
+            vec![false; nr]
+        };
+        let f32_items: Vec<usize> = (0..nr).filter(|&s| !quantized || pinned[s]).collect();
+        let quant_items: Vec<usize> = if quantized {
+            (0..nr).filter(|&s| !pinned[s]).collect()
+        } else {
+            Vec::new()
+        };
+
+        // Bucketed batch plans per lane: similarly-sized graphs share a
+        // batch, several tightly-packed batches replace the old single
+        // union batch, and the peak transient scratch drops accordingly.
+        let sizes: Vec<(usize, usize)> = reps
+            .iter()
+            .map(|g| {
+                (
+                    g.num_nodes(),
+                    g.conflict_edges().len() + g.stitch_edges().len(),
+                )
+            })
+            .collect();
+        let f32_plan = BatchPlan::new(&f32_items, &sizes, DEFAULT_MAX_BATCH_NODES);
+        let quant_plan = BatchPlan::new(&quant_items, &sizes, DEFAULT_MAX_BATCH_NODES);
+
+        // Per-representative outputs, scattered batch by batch. One
+        // selector pass yields probabilities plus the graph and node
         // embeddings the library matcher consumes below (the tape needed
-        // a second traversal for the embeddings).
-        let sel = frozen_sel.infer_encoded(&enc);
-        routed.selector_probs = rep_slot.iter().map(|&s| sel.probs[s].clone()).collect();
+        // a second traversal for the embeddings); the redundancy pass
+        // yields probabilities only.
+        let mut sel_probs: Vec<Vec<f32>> = vec![Vec::new(); nr];
+        let mut graph_emb: Vec<Vec<f32>> = vec![Vec::new(); nr];
+        let mut node_emb: Vec<Matrix> = (0..nr).map(|_| Matrix::zeros(0, 0)).collect();
+        let mut red_probs: Vec<Vec<f32>> = vec![Vec::new(); nr];
         timing.selection += t.elapsed();
 
-        // Batched redundancy pass over the same representatives
-        // (probabilities only — no readout of embeddings).
-        let t = Instant::now();
-        let frozen_red = self.redundancy.freeze();
-        let red = frozen_red.predict_encoded(&enc);
-        timing.redundancy += t.elapsed();
+        let infer_lane = |items: &[usize],
+                          precision: Precision,
+                          timing: &mut TimingBreakdown,
+                          sel_probs: &mut [Vec<f32>],
+                          graph_emb: &mut [Vec<f32>],
+                          node_emb: &mut [Matrix],
+                          red_probs: &mut [Vec<f32>]| {
+            let batch: Vec<&LayoutGraph> = items.iter().map(|&s| reps[s]).collect();
+            let enc = InferBatch::new(&batch);
+            let t = Instant::now();
+            let mut sel = frozen_sel.infer_encoded_with(&enc, precision);
+            for (bi, &s) in items.iter().enumerate() {
+                sel_probs[s] = std::mem::take(&mut sel.probs[bi]);
+                graph_emb[s] = std::mem::take(&mut sel.graph_embeddings[bi]);
+                node_emb[s] = std::mem::replace(&mut sel.node_embeddings[bi], Matrix::zeros(0, 0));
+            }
+            timing.selection += t.elapsed();
+            let t = Instant::now();
+            let mut red = frozen_red.predict_encoded_with(&enc, precision);
+            for (bi, &s) in items.iter().enumerate() {
+                red_probs[s] = std::mem::take(&mut red.probs[bi]);
+            }
+            timing.redundancy += t.elapsed();
+        };
+        for batch in &f32_plan.batches {
+            infer_lane(
+                batch,
+                Precision::F32,
+                timing,
+                &mut sel_probs,
+                &mut graph_emb,
+                &mut node_emb,
+                &mut red_probs,
+            );
+        }
+        for batch in &quant_plan.batches {
+            infer_lane(
+                batch,
+                self.precision,
+                timing,
+                &mut sel_probs,
+                &mut graph_emb,
+                &mut node_emb,
+                &mut red_probs,
+            );
+        }
 
+        // Trust gate: a quantized routing score that lands within its
+        // precision's margin of a decision threshold cannot be trusted to
+        // fall on the same side as the f32 score — re-infer those
+        // representatives in one f32 union batch. Far from the
+        // thresholds, quantization drift (bounded well below the margin)
+        // cannot flip a decision, so suite routing stays identical.
+        let mut fallback_items: Vec<usize> = Vec::new();
+        for &s in &quant_items {
+            let near_sel = (sel_probs[s][1] - self.ec_threshold).abs() <= margin;
+            let near_red =
+                reps[s].has_stitches() && (red_probs[s][0] - self.redundancy_bar).abs() <= margin;
+            #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+            let mut distrusted = near_sel || near_red;
+            #[cfg(feature = "failpoints")]
+            {
+                distrusted |= mpld_graph::failpoints::fire("route.quant_trust");
+            }
+            if distrusted {
+                fallback_items.push(s);
+            }
+        }
+        if !fallback_items.is_empty() {
+            infer_lane(
+                &fallback_items,
+                Precision::F32,
+                timing,
+                &mut sel_probs,
+                &mut graph_emb,
+                &mut node_emb,
+                &mut red_probs,
+            );
+        }
+
+        routed.selector_probs = rep_slot.iter().map(|&s| sel_probs[s].clone()).collect();
+
+        // Padding-waste accounting: transient backbone scratch scales
+        // with batched nodes times the embedding width (input, aggregate
+        // and output rows live concurrently).
+        let per_node_bytes = 3 * 4 * frozen_sel.embedding_dim().max(1);
+        let fallback_nodes: usize = fallback_items.iter().map(|&s| sizes[s].0).sum();
+        let peak_after = f32_plan
+            .peak_nodes_after
+            .max(quant_plan.peak_nodes_after)
+            .max(fallback_nodes);
         routed.inference = InferenceStats {
             memo_hits: memo.hits(),
-            units_inferred: reps.len(),
+            units_inferred: nr,
             scratch_high_water_bytes: frozen_sel
                 .scratch_high_water_bytes()
                 .max(frozen_red.scratch_high_water_bytes()),
+            precision: self.precision,
+            quantized_units: quant_items.len() - fallback_items.len(),
+            pinned_f32: if quantized {
+                pinned.iter().filter(|&&p| p).count()
+            } else {
+                0
+            },
+            f32_fallbacks: fallback_items.len(),
+            kernel_f32: quant::kernel_name_for(Precision::F32),
+            kernel_quant: quant::kernel_name_for(self.precision),
+            batches_planned: f32_plan.batches.len() + quant_plan.batches.len(),
+            padding_waste_before_bytes: (f32_plan.peak_nodes_before + quant_plan.peak_nodes_before)
+                * per_node_bytes,
+            padding_waste_after_bytes: peak_after * per_node_bytes,
         };
 
         routed.unit_results = vec![None; n];
@@ -796,7 +992,7 @@ impl AdaptiveFramework {
         for (i, g) in graphs.iter().enumerate() {
             if g.num_nodes() <= self.library.max_nodes() {
                 let s = rep_slot[i];
-                let (emb, nodes) = (&sel.graph_embeddings[s], &sel.node_embeddings[s]);
+                let (emb, nodes) = (&graph_emb[s], &node_emb[s]);
                 if let Some(d) = self.library.lookup_with_embeddings(g, emb, nodes) {
                     if self.audit_ok(g, &d) {
                         routed.unit_results[i] = Some(d);
@@ -821,7 +1017,7 @@ impl AdaptiveFramework {
                     continue;
                 }
                 let redundant =
-                    !g.has_stitches() || red.probs[rep_slot[i]][0] > self.redundancy_bar;
+                    !g.has_stitches() || red_probs[rep_slot[i]][0] > self.redundancy_bar;
                 if redundant {
                     let (parent, map) = g.merge_stitch_edges();
                     idx.push(i);

@@ -61,8 +61,9 @@ pub use framework::{
     AdaptiveFramework, AdaptiveResult, BudgetBreakdown, BudgetPolicy, EngineKind, InferenceStats,
     Recovery, TimingBreakdown, UnitOutcome, UsageBreakdown,
 };
-pub use memo::EmbeddingMemo;
+pub use memo::{BatchPlan, EmbeddingMemo, DEFAULT_MAX_BATCH_NODES};
 pub use metrics::ConfusionMatrix;
+pub use mpld_tensor::Precision;
 pub use parallel::default_threads;
 pub use pipeline::{
     prepare, run_pipeline, run_pipeline_budgeted, run_pipeline_parallel, PipelineResult,

@@ -1,4 +1,4 @@
-//! Embedding/logit memoization for the routing stage.
+//! Embedding/logit memoization and batch planning for the routing stage.
 //!
 //! Real layouts repeat small units constantly (the same 2–6-node motifs
 //! occur hundreds of times per circuit), so running the GNN forward pass
@@ -61,6 +61,92 @@ impl<'a> EmbeddingMemo<'a> {
     }
 }
 
+/// Default node budget per planned inference batch. Small enough that a
+/// batch's transient backbone scratch stays cache-resident, large enough
+/// that per-batch dispatch overhead is negligible for the unit-graph
+/// sizes real layouts produce.
+pub const DEFAULT_MAX_BATCH_NODES: usize = 2048;
+
+/// Size-bucketed batch plan for the frozen routing passes.
+///
+/// A single block-diagonal batch over every representative unit peaks its
+/// transient scratch at the *sum* of all unit sizes. The planner instead
+/// buckets items into power-of-two (node-count, edge-count) bands — so
+/// each emitted batch holds similarly-shaped graphs — and splits each
+/// band at a node budget. The peak live scratch then drops from the
+/// whole-union size to the largest emitted batch, which
+/// `peak_nodes_before`/`peak_nodes_after` quantify for the padding-waste
+/// accounting in `InferenceStats`.
+///
+/// The plan is deterministic: bands are visited in ascending
+/// (node-band, edge-band) order and items keep their input order inside a
+/// band, so batch composition — and therefore f32 summation order — is a
+/// pure function of the item sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Item indices per emitted batch (indices into the caller's slice).
+    pub batches: Vec<Vec<usize>>,
+    /// Total nodes across all planned items — the scratch peak (in
+    /// nodes) of the single-union batch this plan replaces.
+    pub peak_nodes_before: usize,
+    /// Largest emitted batch in nodes — the scratch peak of this plan.
+    pub peak_nodes_after: usize,
+}
+
+/// Power-of-two size band: 0, {1}, {2,3}, {4..7}, ... Graphs in one band
+/// differ by at most 2x in the banded dimension.
+fn size_band(x: usize) -> u32 {
+    usize::BITS - x.leading_zeros()
+}
+
+impl BatchPlan {
+    /// Plans the subset `items` (indices into `sizes`, each a
+    /// `(nodes, edges)` pair) into size-banded batches of at most
+    /// `max_batch_nodes` nodes. An item larger than the budget still gets
+    /// a (singleton) batch; every item appears in exactly one batch.
+    pub fn new(items: &[usize], sizes: &[(usize, usize)], max_batch_nodes: usize) -> Self {
+        let budget = max_batch_nodes.max(1);
+        let mut banded: Vec<(u32, u32, usize)> = items
+            .iter()
+            .map(|&i| (size_band(sizes[i].0), size_band(sizes[i].1), i))
+            .collect();
+        // Stable: equal bands keep input order.
+        banded.sort_by_key(|&(nb, eb, _)| (nb, eb));
+
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        let mut cur: Vec<usize> = Vec::new();
+        let mut cur_nodes = 0usize;
+        let mut cur_band = None;
+        for &(nb, eb, i) in &banded {
+            let nodes = sizes[i].0;
+            if cur_band != Some((nb, eb)) || (cur_nodes + nodes > budget && !cur.is_empty()) {
+                if !cur.is_empty() {
+                    batches.push(std::mem::take(&mut cur));
+                }
+                cur_nodes = 0;
+                cur_band = Some((nb, eb));
+            }
+            cur.push(i);
+            cur_nodes += nodes;
+        }
+        if !cur.is_empty() {
+            batches.push(cur);
+        }
+
+        let peak_nodes_before = items.iter().map(|&i| sizes[i].0).sum();
+        let peak_nodes_after = batches
+            .iter()
+            .map(|b| b.iter().map(|&i| sizes[i].0).sum())
+            .max()
+            .unwrap_or(0);
+        Self {
+            batches,
+            peak_nodes_before,
+            peak_nodes_after,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +185,59 @@ mod tests {
             .or_default()
             .push((&a, 3));
         assert_eq!(memo.find(&b), None);
+    }
+
+    #[test]
+    fn plan_partitions_every_item_exactly_once() {
+        let sizes: Vec<(usize, usize)> = (0..50).map(|i| (1 + i % 17, (i * 3) % 29)).collect();
+        let items: Vec<usize> = (0..sizes.len()).collect();
+        let plan = BatchPlan::new(&items, &sizes, 16);
+        let mut seen: Vec<usize> = plan.batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, items);
+    }
+
+    #[test]
+    fn plan_respects_node_budget_and_bands() {
+        let sizes: Vec<(usize, usize)> = vec![(3, 2); 10];
+        let items: Vec<usize> = (0..10).collect();
+        let plan = BatchPlan::new(&items, &sizes, 9);
+        for b in &plan.batches {
+            let nodes: usize = b.iter().map(|&i| sizes[i].0).sum();
+            assert!(nodes <= 9, "batch exceeds node budget: {nodes}");
+        }
+        // Band homogeneity: all members of a batch share both size bands.
+        let sizes2: Vec<(usize, usize)> = vec![(2, 1), (200, 1), (3, 1), (180, 1)];
+        let plan2 = BatchPlan::new(&[0, 1, 2, 3], &sizes2, 4096);
+        for b in &plan2.batches {
+            let bands: Vec<(u32, u32)> = b
+                .iter()
+                .map(|&i| (super::size_band(sizes2[i].0), super::size_band(sizes2[i].1)))
+                .collect();
+            assert!(bands.windows(2).all(|w| w[0] == w[1]), "mixed bands: {b:?}");
+        }
+        assert_eq!(plan2.batches, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn plan_shrinks_peak_scratch_on_mixed_workloads() {
+        // 40 tiny units + 4 large ones: the union batch peaks at the sum,
+        // the plan at roughly one band's budgeted slice.
+        let mut sizes: Vec<(usize, usize)> = vec![(4, 5); 40];
+        sizes.extend([(300, 900); 4]);
+        let items: Vec<usize> = (0..sizes.len()).collect();
+        let plan = BatchPlan::new(&items, &sizes, 512);
+        assert_eq!(plan.peak_nodes_before, 40 * 4 + 4 * 300);
+        assert!(plan.peak_nodes_after < plan.peak_nodes_before);
+        // Budget 512 dominates the largest single unit (300 nodes).
+        assert!(plan.peak_nodes_after <= 512);
+    }
+
+    #[test]
+    fn oversized_item_still_gets_a_batch() {
+        let sizes = vec![(5000, 10)];
+        let plan = BatchPlan::new(&[0], &sizes, 64);
+        assert_eq!(plan.batches, vec![vec![0]]);
+        assert_eq!(plan.peak_nodes_after, 5000);
     }
 }

@@ -217,11 +217,12 @@ pub fn add_assign_slice(out: &mut [f32], x: &[f32]) {
 }
 
 /// Element-wise ReLU (mirrors [`Graph::relu`](crate::Graph::relu)).
+/// The branchless select keeps the same `v < 0.0` predicate as the tape
+/// op (NaN and -0.0 pass through unchanged) while letting the loop
+/// autovectorize.
 pub fn relu_in_place(x: &mut [f32]) {
     for v in x {
-        if *v < 0.0 {
-            *v = 0.0;
-        }
+        *v = if *v < 0.0 { 0.0 } else { *v };
     }
 }
 
@@ -256,11 +257,15 @@ pub fn segment_sum_into(x: &[f32], cols: usize, seg: &[u32], num_segments: usize
     assert_eq!(x.len(), seg.len() * cols, "one segment id per row");
     assert_eq!(out.len(), num_segments * cols, "readout size mismatch");
     out.fill(0.0);
-    for (r, &s) in seg.iter().enumerate() {
+    // Per-row slices instead of indexed accesses: same fold order
+    // (ascending rows, columns innermost) with bounds checks hoisted out
+    // of the inner loop so it autovectorizes.
+    for (row, &s) in x.chunks_exact(cols.max(1)).zip(seg) {
         let s = s as usize;
         assert!(s < num_segments, "segment id out of range");
-        for c in 0..cols {
-            out[s * cols + c] += x[r * cols + c];
+        let dst = &mut out[s * cols..(s + 1) * cols];
+        for (a, &b) in dst.iter_mut().zip(row) {
+            *a += b;
         }
     }
 }
@@ -278,14 +283,13 @@ pub fn segment_max_into(x: &[f32], cols: usize, seg: &[u32], num_segments: usize
     assert_eq!(out.len(), num_segments * cols, "readout size mismatch");
     out.fill(f32::NEG_INFINITY);
     let mut touched = vec![false; num_segments];
-    for (r, &s) in seg.iter().enumerate() {
+    for (row, &s) in x.chunks_exact(cols.max(1)).zip(seg) {
         let s = s as usize;
         assert!(s < num_segments, "segment id out of range");
         touched[s] = true;
-        for c in 0..cols {
-            if x[r * cols + c] > out[s * cols + c] {
-                out[s * cols + c] = x[r * cols + c];
-            }
+        let dst = &mut out[s * cols..(s + 1) * cols];
+        for (a, &b) in dst.iter_mut().zip(row) {
+            *a = if b > *a { b } else { *a };
         }
     }
     assert!(
@@ -396,6 +400,24 @@ impl Scratch {
         let mut buf = self.free.pop().unwrap_or_default();
         buf.clear();
         buf.resize(len, 0.0);
+        self.outstanding_bytes += len * std::mem::size_of::<f32>();
+        self.peak_bytes = self.peak_bytes.max(self.outstanding_bytes);
+        buf
+    }
+
+    /// Checks out a buffer of `len` floats whose contents are
+    /// unspecified (stale data from an earlier checkout). Every GEMM /
+    /// SpMM / segment-readout `_into` kernel fully overwrites its
+    /// output before reading it, so the inference hot loops use this to
+    /// skip [`Scratch::take`]'s zero-fill — which is otherwise pure
+    /// memset bandwidth, megabytes per routing pass.
+    pub fn take_dirty(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        } else {
+            buf.truncate(len);
+        }
         self.outstanding_bytes += len * std::mem::size_of::<f32>();
         self.peak_bytes = self.peak_bytes.max(self.outstanding_bytes);
         buf

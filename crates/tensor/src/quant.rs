@@ -1,0 +1,1455 @@
+//! Quantized inference planes: f16 / int8 weight storage and the GEMM /
+//! SpMM kernels that consume them with f32 accumulation.
+//!
+//! The frozen inference engines (see `mpld-gnn`) compile their folded f32
+//! weights into two additional *planes* at model load:
+//!
+//! - [`F16Matrix`] — IEEE 754 binary16 storage, converted back to f32 in
+//!   the inner loop (hardware `vcvtph2ps` where available). Halves weight
+//!   memory traffic; error is pure rounding (~2^-11 relative).
+//! - [`QuantMatrix`] — per-row asymmetric int8 with an f32 scale and an
+//!   i8 zero-point per row (`w ≈ scale * (q - zero)`). Quarter memory
+//!   traffic; the dequantize-and-FMA runs 8/16-wide.
+//!
+//! Both planes accumulate in f32, so the quantization error of a product
+//! is bounded by the per-row scales — small enough for routing *scores*,
+//! not for bit-exact digests. Callers that need decision stability gate
+//! the quantized result (see the trust-ladder fallback in `mpld-core`).
+//!
+//! Dispatch extends the f32 layer's AVX2/FMA runtime detection with
+//! AVX-512 and NEON tiers; the plain scalar loops double as the proptest
+//! oracles (`tests/quant_kernels.rs`):
+//!
+//! | kernel          | AVX-512F      | AVX2+FMA(+F16C) | NEON (aarch64) | fallback     |
+//! |-----------------|---------------|-----------------|----------------|--------------|
+//! | `gemm_nn_q8`    | `avx512-q8`   | `avx2-q8`       | `neon-q8`      | `scalar-q8`  |
+//! | `gemm_nn_f16`   | `avx512-f16`  | `avx2-f16c`     | software cvt   | `scalar-f16` |
+//! | `spmm_f16_into` | `avx512-f16`  | `avx2-f16c`     | software cvt   | `scalar-f16` |
+
+use crate::infer::Csr;
+use crate::Matrix;
+
+/// Arithmetic precision of a frozen-inference pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full f32 — bit-identical to the autodiff tape.
+    #[default]
+    F32,
+    /// f16-stored weights and message activations, f32 accumulate.
+    F16,
+    /// Per-row int8 weights, f32 activations and accumulate.
+    Int8,
+}
+
+impl Precision {
+    /// Parses `"f32"` / `"f16"` / `"int8"` (case-insensitive; `"i8"` and
+    /// `"q8"` are accepted aliases for `int8`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f32" | "fp32" => Some(Precision::F32),
+            "f16" | "fp16" | "half" => Some(Precision::F16),
+            "int8" | "i8" | "q8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// Reads `MPLD_PRECISION`, defaulting to [`Precision::F32`] when the
+    /// variable is unset or unparseable.
+    pub fn from_env() -> Self {
+        std::env::var("MPLD_PRECISION")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Stable lower-case label (`"f32"` / `"f16"` / `"int8"`), used in
+    /// CLI flags and benchmark artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Name of the microkernel the given precision dispatches to on this
+/// host. Recorded in `InferenceStats` and benchmark artifacts so CI only
+/// compares fp-sensitive digests between runs on the same kernels.
+pub fn kernel_name_for(p: Precision) -> &'static str {
+    match p {
+        Precision::F32 => crate::matrix::kernel_name(),
+        Precision::F16 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if have_avx512() {
+                    return "avx512-f16";
+                }
+                if have_avx2_f16c() {
+                    return "avx2-f16c";
+                }
+            }
+            "scalar-f16"
+        }
+        Precision::Int8 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if have_avx512() {
+                    return "avx512-q8";
+                }
+                if have_avx2_fma() {
+                    return "avx2-q8";
+                }
+            }
+            #[cfg(target_arch = "aarch64")]
+            if arm::have_neon() {
+                return "neon-q8";
+            }
+            "scalar-q8"
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn have_avx512() -> bool {
+    // The quantized kernels widen loads with AVX2 shuffles inside the
+    // AVX-512 tile, so require both (true on every AVX-512 part).
+    is_x86_feature_detected!("avx512f")
+        && is_x86_feature_detected!("avx2")
+        && is_x86_feature_detected!("fma")
+}
+
+#[cfg(target_arch = "x86_64")]
+fn have_avx2_fma() -> bool {
+    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+}
+
+#[cfg(target_arch = "x86_64")]
+fn have_avx2_f16c() -> bool {
+    have_avx2_fma() && is_x86_feature_detected!("f16c")
+}
+
+// ---------------------------------------------------------------------
+// IEEE 754 binary16 <-> f32 software conversion (round to nearest even).
+// ---------------------------------------------------------------------
+
+/// Converts one f32 to binary16 bits, rounding to nearest even — the
+/// same rounding `vcvtps2ph` performs, so the software and hardware
+/// paths agree bit for bit.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+    if exp == 0xFF {
+        // Inf / NaN (keep NaN-ness with a quiet bit).
+        return sign | 0x7C00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    let e = exp - 127 + 15;
+    if e >= 0x1F {
+        return sign | 0x7C00; // overflow -> inf
+    }
+    if e <= 0 {
+        if e < -10 {
+            return sign; // underflow -> signed zero
+        }
+        // Subnormal half: shift the (implicit-1) mantissa into place.
+        let m = mant | 0x0080_0000;
+        let shift = (14 - e) as u32;
+        let half = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let round = u32::from(rem > halfway || (rem == halfway && (half & 1) == 1));
+        return sign | (half + round) as u16;
+    }
+    let half = ((e as u32) << 10) | (mant >> 13);
+    let rem = mant & 0x1FFF;
+    // A mantissa carry propagates into the exponent (and on to inf)
+    // correctly through plain addition.
+    let round = u32::from(rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1));
+    sign | (half + round) as u16
+}
+
+/// Converts binary16 bits back to f32 (exact — every half is
+/// representable).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = u32::from(h >> 10) & 0x1F;
+    let mant = u32::from(h & 0x03FF);
+    if exp == 0 {
+        // Subnormal half: mant * 2^-24, exact in f32.
+        let v = mant as f32 * 5.960_464_5e-8;
+        return if sign != 0 { -v } else { v };
+    }
+    if exp == 0x1F {
+        let bits = sign | 0x7F80_0000 | (mant << 13);
+        return f32::from_bits(bits);
+    }
+    f32::from_bits(sign | ((exp + 112) << 23) | (mant << 13))
+}
+
+/// Converts a whole slice to f16 bits (hardware `vcvtps2ph` when
+/// available; bit-identical to the software path either way).
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ.
+pub fn f16_from_f32_slice(src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len(), "length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("f16c") {
+        // SAFETY: the F16C feature check just passed.
+        unsafe { cvt_f32_to_f16_f16c(src, dst) };
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f32_to_f16(s);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "f16c")]
+unsafe fn cvt_f32_to_f16_f16c(src: &[f32], dst: &mut [u16]) {
+    use core::arch::x86_64::*;
+    let n = src.len();
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(sp.add(i));
+        let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+        _mm_storeu_si128(dp.add(i) as *mut __m128i, h);
+        i += 8;
+    }
+    while i < n {
+        *dp.add(i) = f32_to_f16(*sp.add(i));
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quantized weight storage.
+// ---------------------------------------------------------------------
+
+/// A dense row-major matrix stored as binary16 bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F16Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u16>,
+}
+
+impl F16Matrix {
+    /// Rounds an f32 matrix to binary16.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let mut data = vec![0u16; m.rows() * m.cols()];
+        f16_from_f32_slice(m.as_slice(), &mut data);
+        F16Matrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw binary16 bits, row-major.
+    pub fn bits(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Exact f32 reconstruction (the oracle side of the parity tests).
+    pub fn dequantize(&self) -> Matrix {
+        let data = self.data.iter().map(|&h| f16_to_f32(h)).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+/// A dense row-major matrix stored as per-row asymmetric int8:
+/// `w[r][c] ≈ scale[r] * (q[r][c] - zero[r])` with `q` clamped to
+/// `[-127, 127]`. The quantization range of each row is widened to
+/// include 0 so the zero-point always fits an `i8`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scale: Vec<f32>,
+    zero: Vec<i8>,
+}
+
+impl QuantMatrix {
+    /// Quantizes an f32 matrix row by row. The reconstruction error of
+    /// any element is at most `scale/2` for its row (tested in
+    /// `tests/quant_kernels.rs`).
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut data = vec![0i8; rows * cols];
+        let mut scale = vec![0.0f32; rows];
+        let mut zero = vec![0i8; rows];
+        for r in 0..rows {
+            let row = m.row(r);
+            let mut lo = 0.0f32;
+            let mut hi = 0.0f32;
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let s = if hi - lo > 1e-12 {
+                (hi - lo) / 254.0
+            } else {
+                // Degenerate row (constant, possibly all-zero): pick a
+                // scale that represents the constant exactly at q = ±127.
+                (hi.abs().max(lo.abs()) / 127.0).max(1e-12)
+            };
+            let z = (-127.0 - (lo / s).round()) as i32;
+            debug_assert!((-127..=127).contains(&z), "zero-point fits i8");
+            scale[r] = s;
+            zero[r] = z as i8;
+            for (d, &v) in data[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+                let q = (v / s).round() as i32 + z;
+                *d = q.clamp(-127, 127) as i8;
+            }
+        }
+        QuantMatrix {
+            rows,
+            cols,
+            data,
+            scale,
+            zero,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-row scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scale
+    }
+
+    /// Raw int8 codes, row-major (test hook for the per-tier kernels).
+    pub fn codes(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-row zero-points (test hook for the per-tier kernels).
+    pub fn zeros(&self) -> &[i8] {
+        &self.zero
+    }
+
+    /// f32 reconstruction `scale * (q - zero)` (the oracle side of the
+    /// parity tests).
+    pub fn dequantize(&self) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            let s = self.scale[r];
+            let z = i32::from(self.zero[r]);
+            data.extend(
+                self.data[r * self.cols..(r + 1) * self.cols]
+                    .iter()
+                    .map(|&q| s * (i32::from(q) - z) as f32),
+            );
+        }
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernels.
+// ---------------------------------------------------------------------
+
+/// `C = A * dequant(B)` for row-major `A` (`m x k`), int8 `B` (`k x n`)
+/// and `C` (`m x n`). Accumulates in f32; `c` is fully overwritten.
+/// Dequantization is fused into the inner loop: each k-step broadcasts
+/// `a[i][p] * scale[p]` against the widened `(q - zero)` row of `B`.
+///
+/// # Panics
+///
+/// Debug-asserts the shapes implied by `(m, k, n)`.
+pub fn gemm_nn_q8(m: usize, k: usize, n: usize, a: &[f32], b: &QuantMatrix, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!((b.rows, b.cols), (k, n));
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if have_avx512() {
+            // SAFETY: the AVX-512F (+AVX2/FMA) feature check just passed.
+            unsafe { x86::gemm_q8_avx512(m, k, n, a, &b.data, &b.scale, &b.zero, c) };
+            return;
+        }
+        if have_avx2_fma() {
+            // SAFETY: the AVX2+FMA feature check just passed.
+            unsafe { x86::gemm_q8_avx2(m, k, n, a, &b.data, &b.scale, &b.zero, c) };
+            return;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    if arm::have_neon() {
+        // SAFETY: the NEON feature check just passed.
+        unsafe { arm::gemm_q8_neon(m, k, n, a, &b.data, &b.scale, &b.zero, c) };
+        return;
+    }
+    gemm_q8_scalar(m, k, n, a, &b.data, &b.scale, &b.zero, c);
+}
+
+/// Scalar-oracle entry point for [`gemm_nn_q8`]: always runs the plain
+/// loop regardless of host features, so property tests can pin every
+/// SIMD tier against it.
+pub fn gemm_nn_q8_ref(m: usize, k: usize, n: usize, a: &[f32], b: &QuantMatrix, c: &mut [f32]) {
+    gemm_q8_scalar(m, k, n, a, &b.data, &b.scale, &b.zero, c);
+}
+
+/// `C += A * dequant(B)` — the accumulating twin of [`gemm_nn_q8`],
+/// letting the quantized backbone fuse its three per-layer products
+/// into one output buffer instead of producing into a temporary and
+/// adding. Per element the result is `c + full-dot`, exactly what the
+/// separate product-then-add computes, so the fused AVX-512 tier and
+/// the product+add fallback are bit-identical.
+pub fn gemm_nn_q8_acc(m: usize, k: usize, n: usize, a: &[f32], b: &QuantMatrix, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!((b.rows, b.cols), (k, n));
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if have_avx512() {
+        // SAFETY: the AVX-512F (+AVX2/FMA) feature check just passed.
+        unsafe { x86::gemm_q8_avx512_acc(m, k, n, a, &b.data, &b.scale, &b.zero, c) };
+        return;
+    }
+    acc_via_tmp(m, n, c, |tmp| gemm_nn_q8(m, k, n, a, b, tmp));
+}
+
+/// Scalar-oracle entry point for [`gemm_nn_q8_acc`].
+pub fn gemm_nn_q8_acc_ref(m: usize, k: usize, n: usize, a: &[f32], b: &QuantMatrix, c: &mut [f32]) {
+    acc_via_tmp(m, n, c, |tmp| gemm_nn_q8_ref(m, k, n, a, b, tmp));
+}
+
+/// `C += A * dequant(B)` for the f16 plane; see [`gemm_nn_q8_acc`].
+pub fn gemm_nn_f16_acc(m: usize, k: usize, n: usize, a: &[f32], b: &F16Matrix, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!((b.rows, b.cols), (k, n));
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    if have_avx512() {
+        // SAFETY: the AVX-512F feature check just passed.
+        unsafe { x86::gemm_f16_avx512_acc(m, k, n, a, &b.data, c) };
+        return;
+    }
+    acc_via_tmp(m, n, c, |tmp| gemm_nn_f16(m, k, n, a, b, tmp));
+}
+
+/// Scalar-oracle entry point for [`gemm_nn_f16_acc`].
+pub fn gemm_nn_f16_acc_ref(m: usize, k: usize, n: usize, a: &[f32], b: &F16Matrix, c: &mut [f32]) {
+    acc_via_tmp(m, n, c, |tmp| gemm_nn_f16_ref(m, k, n, a, b, tmp));
+}
+
+/// Product-into-temporary + elementwise add: the accumulate fallback
+/// for hosts without the fused tile.
+fn acc_via_tmp(m: usize, n: usize, c: &mut [f32], product: impl FnOnce(&mut [f32])) {
+    let mut tmp = vec![0.0f32; m * n];
+    product(&mut tmp);
+    for (o, &v) in c.iter_mut().zip(&tmp) {
+        *o += v;
+    }
+}
+
+/// Scalar-oracle entry point for [`gemm_nn_f16`].
+pub fn gemm_nn_f16_ref(m: usize, k: usize, n: usize, a: &[f32], b: &F16Matrix, c: &mut [f32]) {
+    gemm_f16_scalar(m, k, n, a, &b.data, c);
+}
+
+/// Scalar-oracle entry point for [`spmm_f16_into`].
+pub fn spmm_f16_ref(csr: &Csr, x: &[u16], cols: usize, out: &mut [f32]) {
+    spmm_f16_scalar(csr, x, cols, out);
+}
+
+/// Plain-loop int8 GEMM — the dispatch fallback *and* the proptest
+/// oracle the SIMD tiers are compared against.
+#[allow(clippy::too_many_arguments)]
+fn gemm_q8_scalar(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    q: &[i8],
+    scale: &[f32],
+    zero: &[i8],
+    c: &mut [f32],
+) {
+    c.fill(0.0);
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let ae = a[i * k + p] * scale[p];
+            if ae == 0.0 {
+                continue;
+            }
+            let z = i32::from(zero[p]);
+            let qrow = &q[p * n..(p + 1) * n];
+            for (o, &qv) in crow.iter_mut().zip(qrow) {
+                *o += ae * (i32::from(qv) - z) as f32;
+            }
+        }
+    }
+}
+
+/// `C = A * dequant(B)` for row-major `A` (`m x k`), binary16 `B`
+/// (`k x n`) and `C` (`m x n`). Accumulates in f32; `c` is fully
+/// overwritten.
+///
+/// # Panics
+///
+/// Debug-asserts the shapes implied by `(m, k, n)`.
+pub fn gemm_nn_f16(m: usize, k: usize, n: usize, a: &[f32], b: &F16Matrix, c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!((b.rows, b.cols), (k, n));
+    debug_assert_eq!(c.len(), m * n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if have_avx512() {
+            // SAFETY: the AVX-512F feature check just passed.
+            unsafe { x86::gemm_f16_avx512(m, k, n, a, &b.data, c) };
+            return;
+        }
+        if have_avx2_f16c() {
+            // SAFETY: the AVX2+FMA+F16C feature check just passed.
+            unsafe { x86::gemm_f16_avx2(m, k, n, a, &b.data, c) };
+            return;
+        }
+    }
+    gemm_f16_scalar(m, k, n, a, &b.data, c);
+}
+
+/// Plain-loop f16 GEMM — dispatch fallback and proptest oracle.
+fn gemm_f16_scalar(m: usize, k: usize, n: usize, a: &[f32], b: &[u16], c: &mut [f32]) {
+    c.fill(0.0);
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &h) in crow.iter_mut().zip(brow) {
+                *o += av * f16_to_f32(h);
+            }
+        }
+    }
+}
+
+/// Sparse-dense product `out = csr * X` where `X` is `? x cols` stored
+/// as binary16 bits and `out` accumulates neighbor rows in f32 — the
+/// half-bandwidth twin of [`crate::infer::spmm_into`] with the same
+/// CSR-order accumulation.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `csr.num_rows() * cols` or a column
+/// index exceeds `x`.
+pub fn spmm_f16_into(csr: &Csr, x: &[u16], cols: usize, out: &mut [f32]) {
+    let n = csr.num_rows();
+    assert!(out.len() >= n * cols, "output too small");
+    assert!(csr.max_col_bound() * cols <= x.len(), "x too small");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if have_avx512() {
+            // SAFETY: the AVX-512F feature check just passed; bounds
+            // were asserted above.
+            unsafe { x86::spmm_f16_avx512(csr, x, cols, out) };
+            return;
+        }
+        if have_avx2_f16c() {
+            // SAFETY: the AVX2+F16C feature check just passed; bounds
+            // were asserted above.
+            unsafe { x86::spmm_f16_avx2(csr, x, cols, out) };
+            return;
+        }
+    }
+    spmm_f16_scalar(csr, x, cols, out);
+}
+
+/// Sparse-dense product `out = csr * X` on plain f32 activations, with
+/// the dispatch ladder widened past AVX2 — the quantized backbone's
+/// twin of [`crate::infer::spmm_into`]. Per output element the adds
+/// happen in the same CSR neighbor order regardless of lane width
+/// (lanes are independent columns), so every tier is bit-identical to
+/// the scalar path; it still lives here rather than in `infer` because
+/// only the quantized lane is allowed off the pinned-AVX2 ladder.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `csr.num_rows() * cols` or a column
+/// index exceeds `x`.
+pub fn spmm_f32_wide(csr: &Csr, x: &[f32], cols: usize, out: &mut [f32]) {
+    let n = csr.num_rows();
+    assert!(out.len() >= n * cols, "output too small");
+    assert!(csr.max_col_bound() * cols <= x.len(), "x too small");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if have_avx512() {
+            // SAFETY: the AVX-512F feature check just passed; bounds
+            // were asserted above.
+            unsafe { x86::spmm_f32_avx512(csr, x, cols, out) };
+            return;
+        }
+        if have_avx2_fma() {
+            // SAFETY: the AVX2 feature check just passed; bounds were
+            // asserted above.
+            unsafe { x86::spmm_f32_avx2(csr, x, cols, out) };
+            return;
+        }
+    }
+    crate::infer::spmm_into(csr, x, cols, out);
+}
+
+/// Plain-loop f16 SpMM — dispatch fallback and proptest oracle.
+fn spmm_f16_scalar(csr: &Csr, x: &[u16], cols: usize, out: &mut [f32]) {
+    for i in 0..csr.num_rows() {
+        let orow = &mut out[i * cols..(i + 1) * cols];
+        orow.fill(0.0);
+        for &j in csr.row(i) {
+            let src = &x[j as usize * cols..(j as usize + 1) * cols];
+            for (o, &h) in orow.iter_mut().zip(src) {
+                *o += f16_to_f32(h);
+            }
+        }
+    }
+}
+
+/// A weight plane a frozen model can multiply by: implemented by
+/// [`F16Matrix`] and [`QuantMatrix`] so the quantized forward pass in
+/// `mpld-gnn` is generic over the storage format.
+pub trait QuantGemm {
+    /// Number of rows (the GEMM `k` dimension).
+    fn rows(&self) -> usize;
+    /// Number of columns (the GEMM `n` dimension).
+    fn cols(&self) -> usize;
+    /// `c = a * dequant(self)` with `a` of shape `m x rows()`.
+    fn gemm_nn_into(&self, m: usize, a: &[f32], c: &mut [f32]);
+    /// `c += a * dequant(self)` — fused accumulate, so a multi-term sum
+    /// of products needs no temporary.
+    fn gemm_nn_acc_into(&self, m: usize, a: &[f32], c: &mut [f32]);
+    /// The precision this plane implements.
+    fn precision() -> Precision;
+}
+
+impl QuantGemm for F16Matrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn gemm_nn_into(&self, m: usize, a: &[f32], c: &mut [f32]) {
+        gemm_nn_f16(m, self.rows, self.cols, a, self, c);
+    }
+    fn gemm_nn_acc_into(&self, m: usize, a: &[f32], c: &mut [f32]) {
+        gemm_nn_f16_acc(m, self.rows, self.cols, a, self, c);
+    }
+    fn precision() -> Precision {
+        Precision::F16
+    }
+}
+
+impl QuantGemm for QuantMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn gemm_nn_into(&self, m: usize, a: &[f32], c: &mut [f32]) {
+        gemm_nn_q8(m, self.rows, self.cols, a, self, c);
+    }
+    fn gemm_nn_acc_into(&self, m: usize, a: &[f32], c: &mut [f32]) {
+        gemm_nn_q8_acc(m, self.rows, self.cols, a, self, c);
+    }
+    fn precision() -> Precision {
+        Precision::Int8
+    }
+}
+
+/// Runtime-dispatched AVX2 and AVX-512 quantized microkernels. Unlike
+/// the f32 GEMM (pinned to AVX2 for tape/frozen bit-identity), these
+/// are free to use the widest unit available: their contract is
+/// tolerance parity with the scalar oracle, not bit-identity. Public
+/// (but hidden) so `tests/quant_kernels.rs` can pin every tier the host
+/// can run, not just the one auto-dispatch picks.
+#[doc(hidden)]
+#[cfg(target_arch = "x86_64")]
+pub mod x86 {
+    use super::{f16_to_f32, Csr};
+    use core::arch::x86_64::*;
+
+    /// Microkernel row tile (output rows held in registers).
+    const MR: usize = 4;
+    /// Column tile of the AVX-512 f32 microkernel: two zmm registers per
+    /// output row.
+    const NR16: usize = 32;
+
+    // The GEMM tiers all share one strategy. The frozen weight planes at
+    // routing time are tiny (k, n <= 64 — the whole matrix is
+    // L1-resident), so the product is compute-bound, not bandwidth-bound:
+    // decoding int8/f16 inside the inner loop re-pays the decode once per
+    // MR-row tile (~m/4 times) and loses to the plain f32 kernel. Each
+    // tier instead dequantizes the whole `k x n` panel ONCE into an f32
+    // scratch, then runs a pure f32 microkernel on it: the AVX2 tiers
+    // reuse the pinned `infer::gemm_into` path, the AVX-512 tiers run the
+    // 32-column [`gemm_f32_avx512`] below — the one place the dispatch
+    // ladder widens past AVX2, safe because only quantized planes (whose
+    // contract is tolerance parity, not bit-identity) can reach it.
+
+    /// int8 GEMM, AVX2+FMA tier: vectorized panel dequant, then the
+    /// pinned AVX2 f32 GEMM.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2+FMA and the shapes implied by `(m, k, n)`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_q8_avx2(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        q: &[i8],
+        scale: &[f32],
+        zero: &[i8],
+        c: &mut [f32],
+    ) {
+        let mut panel = vec![0.0f32; k * n];
+        q8_panel_avx2(k, n, q, scale, zero, &mut panel);
+        crate::infer::gemm_into(m, k, n, a, &panel, c);
+    }
+
+    /// int8 GEMM, AVX-512F tier: same panel dequant 16 codes at a time,
+    /// then the wide f32 microkernel.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F+AVX2+FMA and the shapes implied by
+    /// `(m, k, n)`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn gemm_q8_avx512(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        q: &[i8],
+        scale: &[f32],
+        zero: &[i8],
+        c: &mut [f32],
+    ) {
+        let mut panel = vec![0.0f32; k * n];
+        q8_panel_avx512(k, n, q, scale, zero, &mut panel);
+        gemm_f32_avx512::<false>(m, k, n, a, &panel, c);
+    }
+
+    /// Accumulating twin of [`gemm_q8_avx512`]: `C += A * dequant(B)`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`gemm_q8_avx512`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn gemm_q8_avx512_acc(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        q: &[i8],
+        scale: &[f32],
+        zero: &[i8],
+        c: &mut [f32],
+    ) {
+        let mut panel = vec![0.0f32; k * n];
+        q8_panel_avx512(k, n, q, scale, zero, &mut panel);
+        gemm_f32_avx512::<true>(m, k, n, a, &panel, c);
+    }
+
+    /// f16 GEMM, AVX2+FMA+F16C tier: `vcvtph2ps` panel dequant, then the
+    /// pinned AVX2 f32 GEMM.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2+FMA+F16C and the shapes implied by
+    /// `(m, k, n)`.
+    #[target_feature(enable = "avx2,fma,f16c")]
+    pub unsafe fn gemm_f16_avx2(m: usize, k: usize, n: usize, a: &[f32], b: &[u16], c: &mut [f32]) {
+        let mut panel = vec![0.0f32; k * n];
+        f16_panel_avx2(b, &mut panel);
+        crate::infer::gemm_into(m, k, n, a, &panel, c);
+    }
+
+    /// f16 GEMM, AVX-512F tier: 16-half `vcvtph2ps` panel dequant, then
+    /// the wide f32 microkernel.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F and the shapes implied by `(m, k, n)`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gemm_f16_avx512(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[u16],
+        c: &mut [f32],
+    ) {
+        let mut panel = vec![0.0f32; k * n];
+        f16_panel_avx512(b, &mut panel);
+        gemm_f32_avx512::<false>(m, k, n, a, &panel, c);
+    }
+
+    /// Accumulating twin of [`gemm_f16_avx512`]: `C += A * dequant(B)`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`gemm_f16_avx512`].
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gemm_f16_avx512_acc(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[u16],
+        c: &mut [f32],
+    ) {
+        let mut panel = vec![0.0f32; k * n];
+        f16_panel_avx512(b, &mut panel);
+        gemm_f32_avx512::<true>(m, k, n, a, &panel, c);
+    }
+
+    /// Dequantize a `k x n` int8 panel into f32, 8 codes per step.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2; `q`/`out` must hold `k * n` elements and
+    /// `scale`/`zero` `k` rows.
+    #[target_feature(enable = "avx2")]
+    unsafe fn q8_panel_avx2(
+        k: usize,
+        n: usize,
+        q: &[i8],
+        scale: &[f32],
+        zero: &[i8],
+        out: &mut [f32],
+    ) {
+        let qp = q.as_ptr();
+        let op = out.as_mut_ptr();
+        for p in 0..k {
+            let s = *scale.get_unchecked(p);
+            let z = i32::from(*zero.get_unchecked(p));
+            let sv = _mm256_set1_ps(s);
+            let zv = _mm256_set1_epi32(z);
+            let row = qp.add(p * n);
+            let orow = op.add(p * n);
+            let mut j = 0;
+            while j + 8 <= n {
+                let raw = _mm_loadl_epi64(row.add(j) as *const __m128i);
+                let w = _mm256_sub_epi32(_mm256_cvtepi8_epi32(raw), zv);
+                _mm256_storeu_ps(orow.add(j), _mm256_mul_ps(sv, _mm256_cvtepi32_ps(w)));
+                j += 8;
+            }
+            while j < n {
+                *orow.add(j) = s * (i32::from(*row.add(j)) - z) as f32;
+                j += 1;
+            }
+        }
+    }
+
+    /// Dequantize a `k x n` int8 panel into f32, 16 codes per step.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F; same bounds as [`q8_panel_avx2`].
+    #[target_feature(enable = "avx512f")]
+    unsafe fn q8_panel_avx512(
+        k: usize,
+        n: usize,
+        q: &[i8],
+        scale: &[f32],
+        zero: &[i8],
+        out: &mut [f32],
+    ) {
+        let qp = q.as_ptr();
+        let op = out.as_mut_ptr();
+        for p in 0..k {
+            let s = *scale.get_unchecked(p);
+            let z = i32::from(*zero.get_unchecked(p));
+            let sv = _mm512_set1_ps(s);
+            let zv = _mm512_set1_epi32(z);
+            let row = qp.add(p * n);
+            let orow = op.add(p * n);
+            let mut j = 0;
+            while j + 16 <= n {
+                let raw = _mm_loadu_si128(row.add(j) as *const __m128i);
+                let w = _mm512_sub_epi32(_mm512_cvtepi8_epi32(raw), zv);
+                _mm512_storeu_ps(orow.add(j), _mm512_mul_ps(sv, _mm512_cvtepi32_ps(w)));
+                j += 16;
+            }
+            while j < n {
+                *orow.add(j) = s * (i32::from(*row.add(j)) - z) as f32;
+                j += 1;
+            }
+        }
+    }
+
+    /// Convert a flat binary16 panel to f32, 8 halves per step.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2+F16C; `out.len() >= bits.len()`.
+    #[target_feature(enable = "avx2,f16c")]
+    unsafe fn f16_panel_avx2(bits: &[u16], out: &mut [f32]) {
+        let bp = bits.as_ptr();
+        let op = out.as_mut_ptr();
+        let len = bits.len();
+        let mut i = 0;
+        while i + 8 <= len {
+            let f = _mm256_cvtph_ps(_mm_loadu_si128(bp.add(i) as *const __m128i));
+            _mm256_storeu_ps(op.add(i), f);
+            i += 8;
+        }
+        while i < len {
+            *op.add(i) = f16_to_f32(*bp.add(i));
+            i += 1;
+        }
+    }
+
+    /// Convert a flat binary16 panel to f32, 16 halves per step.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F; `out.len() >= bits.len()`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn f16_panel_avx512(bits: &[u16], out: &mut [f32]) {
+        let bp = bits.as_ptr();
+        let op = out.as_mut_ptr();
+        let len = bits.len();
+        let mut i = 0;
+        while i + 16 <= len {
+            let f = _mm512_cvtph_ps(_mm256_loadu_si256(bp.add(i) as *const __m256i));
+            _mm512_storeu_ps(op.add(i), f);
+            i += 16;
+        }
+        while i < len {
+            *op.add(i) = f16_to_f32(*bp.add(i));
+            i += 1;
+        }
+    }
+
+    /// f32 GEMM, AVX-512F: register-blocked row groups (8, then 4, then
+    /// single rows), 32-column main tiles, and masked loads/stores for
+    /// the ragged column tail — so even `n == 2` head layers stay on
+    /// the vector unit. Reached only through the quantized tiers above —
+    /// the main f32 path stays on AVX2 so the tape and frozen engines
+    /// remain bit-identical. With `ACC` the finished dot product is
+    /// added onto `c` instead of overwriting it — per element
+    /// `c + full-dot`, exactly product-then-add.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F and the shapes implied by `(m, k, n)`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gemm_f32_avx512<const ACC: bool>(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= m {
+            gemm_rows_avx512::<8, ACC>(i, k, n, ap, bp, cp);
+            i += 8;
+        }
+        while i + MR <= m {
+            gemm_rows_avx512::<MR, ACC>(i, k, n, ap, bp, cp);
+            i += MR;
+        }
+        while i < m {
+            gemm_rows_avx512::<1, ACC>(i, k, n, ap, bp, cp);
+            i += 1;
+        }
+    }
+
+    /// One `RB`-row block of [`gemm_f32_avx512`]: 32-column tiles, then
+    /// a 16-column tile, then a masked sub-16 tail. Every column — tail
+    /// included — accumulates its dot product in `p` order through the
+    /// same FMA, so the result is independent of `n`'s alignment.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F; rows `[i, i + RB)` must lie within
+    /// the `m x n` output and `m x k` lhs.
+    #[allow(clippy::needless_range_loop)] // `r` also offsets raw row pointers
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gemm_rows_avx512<const RB: usize, const ACC: bool>(
+        i: usize,
+        k: usize,
+        n: usize,
+        ap: *const f32,
+        bp: *const f32,
+        cp: *mut f32,
+    ) {
+        let mut j = 0;
+        while j + NR16 <= n {
+            // 2*RB live accumulators (<= 16 zmm at RB == 8).
+            let mut acc = [_mm512_setzero_ps(); 16];
+            for p in 0..k {
+                let row = bp.add(p * n + j);
+                let b0 = _mm512_loadu_ps(row);
+                let b1 = _mm512_loadu_ps(row.add(16));
+                for r in 0..RB {
+                    let av = _mm512_set1_ps(*ap.add((i + r) * k + p));
+                    acc[2 * r] = _mm512_fmadd_ps(av, b0, acc[2 * r]);
+                    acc[2 * r + 1] = _mm512_fmadd_ps(av, b1, acc[2 * r + 1]);
+                }
+            }
+            for r in 0..RB {
+                let crow = cp.add((i + r) * n + j);
+                let (mut v0, mut v1) = (acc[2 * r], acc[2 * r + 1]);
+                if ACC {
+                    v0 = _mm512_add_ps(_mm512_loadu_ps(crow), v0);
+                    v1 = _mm512_add_ps(_mm512_loadu_ps(crow.add(16)), v1);
+                }
+                _mm512_storeu_ps(crow, v0);
+                _mm512_storeu_ps(crow.add(16), v1);
+            }
+            j += NR16;
+        }
+        if j + 16 <= n {
+            let mut acc = [_mm512_setzero_ps(); 8];
+            for p in 0..k {
+                let b0 = _mm512_loadu_ps(bp.add(p * n + j));
+                for r in 0..RB {
+                    let av = _mm512_set1_ps(*ap.add((i + r) * k + p));
+                    acc[r] = _mm512_fmadd_ps(av, b0, acc[r]);
+                }
+            }
+            for r in 0..RB {
+                let crow = cp.add((i + r) * n + j);
+                let mut v = acc[r];
+                if ACC {
+                    v = _mm512_add_ps(_mm512_loadu_ps(crow), v);
+                }
+                _mm512_storeu_ps(crow, v);
+            }
+            j += 16;
+        }
+        if j < n {
+            let mask: __mmask16 = (1u16 << (n - j)) - 1;
+            let mut acc = [_mm512_setzero_ps(); 8];
+            for p in 0..k {
+                let b0 = _mm512_maskz_loadu_ps(mask, bp.add(p * n + j));
+                for r in 0..RB {
+                    let av = _mm512_set1_ps(*ap.add((i + r) * k + p));
+                    acc[r] = _mm512_fmadd_ps(av, b0, acc[r]);
+                }
+            }
+            for r in 0..RB {
+                let crow = cp.add((i + r) * n + j);
+                let mut v = acc[r];
+                if ACC {
+                    v = _mm512_add_ps(_mm512_maskz_loadu_ps(mask, crow), v);
+                }
+                _mm512_mask_storeu_ps(crow, mask, v);
+            }
+        }
+    }
+
+    /// f32 SpMM, AVX2: accumulate neighbor rows 8 floats at a time.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2; `out` and `x` bounds are the
+    /// dispatcher's asserted contract.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn spmm_f32_avx2(csr: &Csr, x: &[f32], cols: usize, out: &mut [f32]) {
+        let xp = x.as_ptr();
+        // Routing backbones only ever aggregate at cols == 1 (input
+        // features) or cols == 32 (hidden width); keep those rows'
+        // sums in registers so each neighbor is load+add instead of a
+        // store-forwarded read-modify-write of `out`. Per column the
+        // adds still run in CSR neighbor order from a 0.0 start, so the
+        // result is bit-identical to the generic loop below.
+        if cols == 32 {
+            for i in 0..csr.num_rows() {
+                let mut a0 = _mm256_setzero_ps();
+                let mut a1 = _mm256_setzero_ps();
+                let mut a2 = _mm256_setzero_ps();
+                let mut a3 = _mm256_setzero_ps();
+                for &j in csr.row(i) {
+                    let src = xp.add(j as usize * 32);
+                    a0 = _mm256_add_ps(a0, _mm256_loadu_ps(src));
+                    a1 = _mm256_add_ps(a1, _mm256_loadu_ps(src.add(8)));
+                    a2 = _mm256_add_ps(a2, _mm256_loadu_ps(src.add(16)));
+                    a3 = _mm256_add_ps(a3, _mm256_loadu_ps(src.add(24)));
+                }
+                let op = out.as_mut_ptr().add(i * 32);
+                _mm256_storeu_ps(op, a0);
+                _mm256_storeu_ps(op.add(8), a1);
+                _mm256_storeu_ps(op.add(16), a2);
+                _mm256_storeu_ps(op.add(24), a3);
+            }
+            return;
+        }
+        if cols == 1 {
+            for (i, o) in out.iter_mut().enumerate().take(csr.num_rows()) {
+                let mut s = 0.0f32;
+                for &j in csr.row(i) {
+                    s += *xp.add(j as usize);
+                }
+                *o = s;
+            }
+            return;
+        }
+        for i in 0..csr.num_rows() {
+            let orow = &mut out[i * cols..(i + 1) * cols];
+            orow.fill(0.0);
+            let op = orow.as_mut_ptr();
+            for &j in csr.row(i) {
+                let src = xp.add(j as usize * cols);
+                let mut cidx = 0;
+                while cidx + 8 <= cols {
+                    let f = _mm256_loadu_ps(src.add(cidx));
+                    let o = _mm256_loadu_ps(op.add(cidx));
+                    _mm256_storeu_ps(op.add(cidx), _mm256_add_ps(o, f));
+                    cidx += 8;
+                }
+                while cidx < cols {
+                    *op.add(cidx) += *src.add(cidx);
+                    cidx += 1;
+                }
+            }
+        }
+    }
+
+    /// f32 SpMM, AVX-512F: accumulate neighbor rows 16 floats at a time.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F; `out` and `x` bounds are the
+    /// dispatcher's asserted contract.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn spmm_f32_avx512(csr: &Csr, x: &[f32], cols: usize, out: &mut [f32]) {
+        let xp = x.as_ptr();
+        // Same register-resident specializations as the AVX2 kernel
+        // (see there for the bit-identity argument).
+        if cols == 32 {
+            for i in 0..csr.num_rows() {
+                let mut a0 = _mm512_setzero_ps();
+                let mut a1 = _mm512_setzero_ps();
+                for &j in csr.row(i) {
+                    let src = xp.add(j as usize * 32);
+                    a0 = _mm512_add_ps(a0, _mm512_loadu_ps(src));
+                    a1 = _mm512_add_ps(a1, _mm512_loadu_ps(src.add(16)));
+                }
+                let op = out.as_mut_ptr().add(i * 32);
+                _mm512_storeu_ps(op, a0);
+                _mm512_storeu_ps(op.add(16), a1);
+            }
+            return;
+        }
+        if cols == 1 {
+            for (i, o) in out.iter_mut().enumerate().take(csr.num_rows()) {
+                let mut s = 0.0f32;
+                for &j in csr.row(i) {
+                    s += *xp.add(j as usize);
+                }
+                *o = s;
+            }
+            return;
+        }
+        for i in 0..csr.num_rows() {
+            let orow = &mut out[i * cols..(i + 1) * cols];
+            orow.fill(0.0);
+            let op = orow.as_mut_ptr();
+            for &j in csr.row(i) {
+                let src = xp.add(j as usize * cols);
+                let mut cidx = 0;
+                while cidx + 16 <= cols {
+                    let f = _mm512_loadu_ps(src.add(cidx));
+                    let o = _mm512_loadu_ps(op.add(cidx));
+                    _mm512_storeu_ps(op.add(cidx), _mm512_add_ps(o, f));
+                    cidx += 16;
+                }
+                while cidx < cols {
+                    *op.add(cidx) += *src.add(cidx);
+                    cidx += 1;
+                }
+            }
+        }
+    }
+
+    /// f16 SpMM, AVX2+F16C: accumulate neighbor rows 8 halves at a time.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2+F16C; `out` and `x` bounds are the
+    /// dispatcher's asserted contract.
+    #[target_feature(enable = "avx2,f16c")]
+    pub unsafe fn spmm_f16_avx2(csr: &Csr, x: &[u16], cols: usize, out: &mut [f32]) {
+        let xp = x.as_ptr();
+        for i in 0..csr.num_rows() {
+            let orow = &mut out[i * cols..(i + 1) * cols];
+            orow.fill(0.0);
+            let op = orow.as_mut_ptr();
+            for &j in csr.row(i) {
+                let src = xp.add(j as usize * cols);
+                let mut cidx = 0;
+                while cidx + 8 <= cols {
+                    let f = _mm256_cvtph_ps(_mm_loadu_si128(src.add(cidx) as *const __m128i));
+                    let o = _mm256_loadu_ps(op.add(cidx));
+                    _mm256_storeu_ps(op.add(cidx), _mm256_add_ps(o, f));
+                    cidx += 8;
+                }
+                while cidx < cols {
+                    *op.add(cidx) += f16_to_f32(*src.add(cidx));
+                    cidx += 1;
+                }
+            }
+        }
+    }
+
+    /// f16 SpMM, AVX-512F: accumulate neighbor rows 16 halves at a time.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F; `out` and `x` bounds are the
+    /// dispatcher's asserted contract.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn spmm_f16_avx512(csr: &Csr, x: &[u16], cols: usize, out: &mut [f32]) {
+        let xp = x.as_ptr();
+        for i in 0..csr.num_rows() {
+            let orow = &mut out[i * cols..(i + 1) * cols];
+            orow.fill(0.0);
+            let op = orow.as_mut_ptr();
+            for &j in csr.row(i) {
+                let src = xp.add(j as usize * cols);
+                let mut cidx = 0;
+                while cidx + 16 <= cols {
+                    let f = _mm512_cvtph_ps(_mm256_loadu_si256(src.add(cidx) as *const __m256i));
+                    let o = _mm512_loadu_ps(op.add(cidx));
+                    _mm512_storeu_ps(op.add(cidx), _mm512_add_ps(o, f));
+                    cidx += 16;
+                }
+                while cidx < cols {
+                    *op.add(cidx) += f16_to_f32(*src.add(cidx));
+                    cidx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// NEON int8 microkernel for aarch64 hosts. The f16 kernels fall back
+/// to the software-conversion scalar loops there (see the dispatch
+/// matrix in the module docs); f32 GEMM keeps its portable tiled path.
+#[doc(hidden)]
+#[cfg(target_arch = "aarch64")]
+pub mod arm {
+    use core::arch::aarch64::*;
+
+    const MR: usize = 4;
+    const NR: usize = 16;
+
+    /// Whether the NEON kernel may run (true on every aarch64 Linux
+    /// target, but checked anyway for odd configurations).
+    pub fn have_neon() -> bool {
+        std::arch::is_aarch64_feature_detected!("neon")
+    }
+
+    /// int8 GEMM, NEON: widen 16 `q` bytes to four 4-lane f32 vectors,
+    /// subtract the zero-point, FMA against `a[i][p] * scale[p]`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure NEON and the shapes implied by `(m, k, n)`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "neon")]
+    pub unsafe fn gemm_q8_neon(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        q: &[i8],
+        scale: &[f32],
+        zero: &[i8],
+        c: &mut [f32],
+    ) {
+        let ap = a.as_ptr();
+        let qp = q.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut i = 0;
+        while i + MR <= m {
+            let mut j = 0;
+            while j + NR <= n {
+                let mut acc = [vdupq_n_f32(0.0); 4 * MR];
+                for p in 0..k {
+                    let raw = vld1q_s8(qp.add(p * n + j));
+                    let z = vdupq_n_s16(i16::from(*zero.get_unchecked(p)));
+                    let lo = vsubq_s16(vmovl_s8(vget_low_s8(raw)), z);
+                    let hi = vsubq_s16(vmovl_s8(vget_high_s8(raw)), z);
+                    let f = [
+                        vcvtq_f32_s32(vmovl_s16(vget_low_s16(lo))),
+                        vcvtq_f32_s32(vmovl_s16(vget_high_s16(lo))),
+                        vcvtq_f32_s32(vmovl_s16(vget_low_s16(hi))),
+                        vcvtq_f32_s32(vmovl_s16(vget_high_s16(hi))),
+                    ];
+                    let s = *scale.get_unchecked(p);
+                    for r in 0..MR {
+                        let ae = *ap.add((i + r) * k + p) * s;
+                        for (qi, fv) in f.iter().enumerate() {
+                            acc[4 * r + qi] = vfmaq_n_f32(acc[4 * r + qi], *fv, ae);
+                        }
+                    }
+                }
+                for r in 0..MR {
+                    let crow = cp.add((i + r) * n + j);
+                    for (qi, av) in acc[4 * r..4 * r + 4].iter().enumerate() {
+                        vst1q_f32(crow.add(4 * qi), *av);
+                    }
+                }
+                j += NR;
+            }
+            if j < n {
+                edge_q8(i, MR, j, n, k, ap, qp, scale, zero, cp);
+            }
+            i += MR;
+        }
+        if i < m {
+            edge_q8(i, m - i, 0, n, k, ap, qp, scale, zero, cp);
+        }
+    }
+
+    /// Ragged-edge rows/columns: plain dot loops.
+    ///
+    /// # Safety
+    ///
+    /// `[i, i + ib) x [j, n)` must lie within the output.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn edge_q8(
+        i: usize,
+        ib: usize,
+        j: usize,
+        n: usize,
+        k: usize,
+        ap: *const f32,
+        qp: *const i8,
+        scale: &[f32],
+        zero: &[i8],
+        cp: *mut f32,
+    ) {
+        for r in i..i + ib {
+            for col in j..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    let ae = *ap.add(r * k + p) * scale.get_unchecked(p).to_owned();
+                    let z = i32::from(*zero.get_unchecked(p));
+                    s += ae * (i32::from(*qp.add(p * n + col)) - z) as f32;
+                }
+                *cp.add(r * n + col) = s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_specials() {
+        for &(x, bits) in &[
+            (0.0f32, 0x0000u16),
+            (-0.0, 0x8000),
+            (1.0, 0x3C00),
+            (-2.0, 0xC000),
+            (65504.0, 0x7BFF), // max finite half
+            (f32::INFINITY, 0x7C00),
+            (f32::NEG_INFINITY, 0xFC00),
+        ] {
+            assert_eq!(f32_to_f16(x), bits, "{x}");
+            if x.is_finite() {
+                assert_eq!(f16_to_f32(bits), x);
+            }
+        }
+        assert_eq!(f32_to_f16(1e9), 0x7C00, "overflow saturates to inf");
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // Subnormal halves roundtrip exactly.
+        let tiny = 5.960_464_5e-8; // smallest positive subnormal half
+        assert_eq!(f16_to_f32(f32_to_f16(tiny)), tiny);
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next half;
+        // ties-to-even keeps the even mantissa (1.0).
+        let halfway = f32::from_bits(0x3F80_1000);
+        assert_eq!(f32_to_f16(halfway), 0x3C00);
+        // Just above halfway rounds up.
+        let above = f32::from_bits(0x3F80_1001);
+        assert_eq!(f32_to_f16(above), 0x3C01);
+    }
+
+    #[test]
+    fn quant_matrix_constant_row_is_exact() {
+        let m = Matrix::from_rows(&[&[0.5, 0.5, 0.5], &[0.0, 0.0, 0.0]]);
+        let q = QuantMatrix::from_matrix(&m);
+        let d = q.dequantize();
+        for c in 0..3 {
+            assert_eq!(d[(0, c)], 0.5);
+            assert_eq!(d[(1, c)], 0.0);
+        }
+    }
+
+    #[test]
+    fn precision_parse_and_env_default() {
+        assert_eq!(Precision::parse("F16"), Some(Precision::F16));
+        assert_eq!(Precision::parse("q8"), Some(Precision::Int8));
+        assert_eq!(Precision::parse("fp32"), Some(Precision::F32));
+        assert_eq!(Precision::parse("bf16"), None);
+        assert_eq!(Precision::default(), Precision::F32);
+        assert_eq!(Precision::Int8.to_string(), "int8");
+    }
+
+    #[test]
+    fn kernel_names_are_distinct_per_precision() {
+        let names: Vec<&str> = [Precision::F32, Precision::F16, Precision::Int8]
+            .iter()
+            .map(|&p| kernel_name_for(p))
+            .collect();
+        assert!(names.iter().all(|n| !n.is_empty()));
+        assert_ne!(names[1], names[0]);
+        assert_ne!(names[2], names[0]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Property tests for the quantized inference planes: quantize →
+//! dequantize error bounds, and parity of every SIMD tier the host can
+//! run against the scalar oracles (`*_ref`). The SIMD tiers reorder f32
+//! accumulation, so parity is up to an FP tolerance, not bit-exact —
+//! except the f32↔f16 conversions themselves, which must agree bit for
+//! bit between the software and hardware paths.
+
+use mpld_tensor::infer::{Csr, CsrBuilder};
+use mpld_tensor::quant::{
+    f16_from_f32_slice, f16_to_f32, f32_to_f16, gemm_nn_f16, gemm_nn_f16_acc, gemm_nn_f16_acc_ref,
+    gemm_nn_f16_ref, gemm_nn_q8, gemm_nn_q8_acc, gemm_nn_q8_acc_ref, gemm_nn_q8_ref, spmm_f16_into,
+    spmm_f16_ref, spmm_f32_wide,
+};
+use mpld_tensor::{F16Matrix, Matrix, QuantMatrix};
+use proptest::prelude::*;
+
+/// Shape triples covering tile-aligned, sub-tile, and ragged-edge sizes
+/// relative to the 4 x 16 / 4 x 32 microkernel tiles.
+fn arb_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..70, 1usize..70)
+}
+
+/// Deterministic pseudo-random matrix in the weight/activation range the
+/// GNNs actually see.
+fn sample(rows: usize, cols: usize, seed: u64) -> Matrix {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-1.5f32..1.5))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn assert_close(label: &str, got: &[f32], want: &[f32], tol_scale: f32) {
+    assert_eq!(got.len(), want.len());
+    for (x, y) in got.iter().zip(want) {
+        let tol = tol_scale * (1.0 + x.abs().max(y.abs()));
+        assert!(
+            (x - y).abs() <= tol,
+            "{label}: {x} vs oracle {y} differ beyond tolerance {tol}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-element reconstruction error of the int8 plane is bounded by
+    /// half its row's scale (plus float fuzz).
+    #[test]
+    fn q8_roundtrip_error_bounded(dims in (1usize..10, 1usize..40), seed in 0u64..1000) {
+        let (rows, cols) = dims;
+        let m = sample(rows, cols, seed);
+        let q = QuantMatrix::from_matrix(&m);
+        let d = q.dequantize();
+        for r in 0..rows {
+            let bound = q.scales()[r] * 0.5 + 1e-6;
+            for c in 0..cols {
+                let err = (m[(r, c)] - d[(r, c)]).abs();
+                prop_assert!(
+                    err <= bound,
+                    "row {r} col {c}: err {err} exceeds scale/2 bound {bound}"
+                );
+            }
+        }
+    }
+
+    /// The f16 plane reconstructs within binary16 rounding (2^-11
+    /// relative for the normal range used here).
+    #[test]
+    fn f16_roundtrip_error_bounded(dims in (1usize..10, 1usize..40), seed in 0u64..1000) {
+        let (rows, cols) = dims;
+        let m = sample(rows, cols, seed);
+        let h = F16Matrix::from_matrix(&m);
+        let d = h.dequantize();
+        for (x, y) in m.as_slice().iter().zip(d.as_slice()) {
+            let tol = x.abs() * 4.9e-4 + 6e-8;
+            prop_assert!((x - y).abs() <= tol, "{x} -> {y} beyond half-precision ulp");
+        }
+    }
+
+    /// Software f32→f16 conversion agrees bit-for-bit with the hardware
+    /// path taken by `f16_from_f32_slice` (vcvtps2ph where available),
+    /// and the roundtrip through f16→f32 is exact.
+    #[test]
+    fn f16_conversion_paths_agree(v in prop::collection::vec(-1e4f32..1e4, 1..64)) {
+        let mut hw = vec![0u16; v.len()];
+        f16_from_f32_slice(&v, &mut hw);
+        for (x, &h) in v.iter().zip(&hw) {
+            prop_assert_eq!(h, f32_to_f16(*x), "hardware vs software convert for {}", x);
+            prop_assert_eq!(f32_to_f16(f16_to_f32(h)), h, "f16 roundtrip for {}", x);
+        }
+    }
+
+    /// Auto-dispatched int8 GEMM matches the scalar oracle. The oracle
+    /// itself is exact dequantized arithmetic, so the tolerance only
+    /// covers SIMD reassociation.
+    #[test]
+    fn gemm_q8_dispatch_matches_oracle(dims in arb_dims(), seed in 0u64..1000) {
+        let (m, k, n) = dims;
+        let a = sample(m, k, seed);
+        let b = QuantMatrix::from_matrix(&sample(k, n, seed.wrapping_add(1)));
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        gemm_nn_q8(m, k, n, a.as_slice(), &b, &mut got);
+        gemm_nn_q8_ref(m, k, n, a.as_slice(), &b, &mut want);
+        assert_close("q8 dispatch", &got, &want, 1e-4);
+    }
+
+    /// Auto-dispatched f16 GEMM matches the scalar oracle.
+    #[test]
+    fn gemm_f16_dispatch_matches_oracle(dims in arb_dims(), seed in 0u64..1000) {
+        let (m, k, n) = dims;
+        let a = sample(m, k, seed);
+        let b = F16Matrix::from_matrix(&sample(k, n, seed.wrapping_add(2)));
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        gemm_nn_f16(m, k, n, a.as_slice(), &b, &mut got);
+        gemm_nn_f16_ref(m, k, n, a.as_slice(), &b, &mut want);
+        assert_close("f16 dispatch", &got, &want, 1e-4);
+    }
+
+    /// Quantized GEMMs approximate the full-f32 product within the
+    /// analytic error bound: per k-step error ≤ |a| * (scale/2 resp.
+    /// half-ulp), summed over k.
+    #[test]
+    fn quant_gemm_close_to_f32(dims in arb_dims(), seed in 0u64..1000) {
+        let (m, k, n) = dims;
+        let a = sample(m, k, seed);
+        let bf = sample(k, n, seed.wrapping_add(3));
+        let mut f32_out = vec![0.0f32; m * n];
+        mpld_tensor::infer::gemm_into(m, k, n, a.as_slice(), bf.as_slice(), &mut f32_out);
+
+        let q = QuantMatrix::from_matrix(&bf);
+        let max_scale = q.scales().iter().cloned().fold(0.0f32, f32::max);
+        let mut q_out = vec![0.0f32; m * n];
+        gemm_nn_q8(m, k, n, a.as_slice(), &q, &mut q_out);
+        // |a| ≤ 1.5, per-element dequant error ≤ scale/2.
+        let q_bound = 1.5 * (max_scale * 0.5 + 1e-6) * k as f32 + 1e-4;
+        for (x, y) in q_out.iter().zip(&f32_out) {
+            prop_assert!((x - y).abs() <= q_bound, "int8 {x} vs f32 {y} beyond {q_bound}");
+        }
+
+        let h = F16Matrix::from_matrix(&bf);
+        let mut h_out = vec![0.0f32; m * n];
+        gemm_nn_f16(m, k, n, a.as_slice(), &h, &mut h_out);
+        // Half-precision relative error 2^-11 on |b| ≤ 1.5 entries.
+        let h_bound = 1.5 * (1.5 * 4.9e-4) * k as f32 + 1e-4;
+        for (x, y) in h_out.iter().zip(&f32_out) {
+            prop_assert!((x - y).abs() <= h_bound, "f16 {x} vs f32 {y} beyond {h_bound}");
+        }
+    }
+
+    /// The fused-accumulate int8 GEMM (`c += a * dequant(b)`) matches
+    /// product-into-temporary-then-add on a non-zero starting `c`.
+    #[test]
+    fn gemm_q8_acc_dispatch_matches_oracle(dims in arb_dims(), seed in 0u64..1000) {
+        let (m, k, n) = dims;
+        let a = sample(m, k, seed);
+        let b = QuantMatrix::from_matrix(&sample(k, n, seed.wrapping_add(5)));
+        let start = sample(m, n, seed.wrapping_add(6));
+        let mut got = start.as_slice().to_vec();
+        let mut want = start.as_slice().to_vec();
+        gemm_nn_q8_acc(m, k, n, a.as_slice(), &b, &mut got);
+        gemm_nn_q8_acc_ref(m, k, n, a.as_slice(), &b, &mut want);
+        assert_close("q8 acc dispatch", &got, &want, 1e-4);
+    }
+
+    /// The fused-accumulate f16 GEMM matches its oracle the same way.
+    #[test]
+    fn gemm_f16_acc_dispatch_matches_oracle(dims in arb_dims(), seed in 0u64..1000) {
+        let (m, k, n) = dims;
+        let a = sample(m, k, seed);
+        let b = F16Matrix::from_matrix(&sample(k, n, seed.wrapping_add(7)));
+        let start = sample(m, n, seed.wrapping_add(8));
+        let mut got = start.as_slice().to_vec();
+        let mut want = start.as_slice().to_vec();
+        gemm_nn_f16_acc(m, k, n, a.as_slice(), &b, &mut got);
+        gemm_nn_f16_acc_ref(m, k, n, a.as_slice(), &b, &mut want);
+        assert_close("f16 acc dispatch", &got, &want, 1e-4);
+    }
+
+    /// The widened f32 SpMM is bit-identical to the pinned `spmm_into`:
+    /// every output column is an independent sum over CSR neighbors in
+    /// row order, so no dispatch tier may reorder it.
+    #[test]
+    fn spmm_f32_wide_bit_identical_to_pinned(
+        n in 1usize..40,
+        cols in 1usize..40,
+        seed in 0u64..1000,
+        density in 0.0f64..0.4,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut builder = CsrBuilder::new(n);
+        for _ in 0..n {
+            let row: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(density)).collect();
+            builder.push_row(row);
+        }
+        let csr: Csr = builder.finish();
+        let x = sample(n, cols, seed.wrapping_add(9));
+        let mut got = vec![0.0f32; n * cols];
+        let mut want = vec![0.0f32; n * cols];
+        spmm_f32_wide(&csr, x.as_slice(), cols, &mut got);
+        mpld_tensor::infer::spmm_into(&csr, x.as_slice(), cols, &mut want);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "wide spmm diverged from pinned spmm at {} ({} vs {})", i, g, w
+            );
+        }
+    }
+
+    /// Auto-dispatched f16 SpMM matches the scalar oracle on random
+    /// sparse adjacencies, and both match the f32 SpMM applied to the
+    /// dequantized activations exactly (accumulating converted halves in
+    /// the same CSR order).
+    #[test]
+    fn spmm_f16_dispatch_matches_oracle(
+        n in 1usize..40,
+        cols in 1usize..40,
+        seed in 0u64..1000,
+        density in 0.0f64..0.4,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut builder = CsrBuilder::new(n);
+        for _ in 0..n {
+            let row: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(density)).collect();
+            builder.push_row(row);
+        }
+        let csr: Csr = builder.finish();
+        let x = sample(n, cols, seed.wrapping_add(4));
+        let mut bits = vec![0u16; n * cols];
+        f16_from_f32_slice(x.as_slice(), &mut bits);
+
+        let mut got = vec![0.0f32; n * cols];
+        let mut want = vec![0.0f32; n * cols];
+        spmm_f16_into(&csr, &bits, cols, &mut got);
+        spmm_f16_ref(&csr, &bits, cols, &mut want);
+        assert_close("f16 spmm", &got, &want, 1e-5);
+
+        // Same sum over dequantized rows via the f32 SpMM.
+        let deq: Vec<f32> = bits.iter().map(|&h| f16_to_f32(h)).collect();
+        let mut f32_out = vec![0.0f32; n * cols];
+        mpld_tensor::infer::spmm_into(&csr, &deq, cols, &mut f32_out);
+        assert_close("f16 spmm vs dequant f32 spmm", &got, &f32_out, 1e-5);
+    }
+}
+
+/// Every SIMD tier the host can actually run is pinned against the
+/// scalar oracle — not just the widest one auto-dispatch picks.
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn every_buildable_x86_tier_matches_oracle() {
+    use mpld_tensor::quant::x86;
+    let (m, k, n) = (9, 33, 50); // ragged on every tile boundary
+    let a = sample(m, k, 11);
+    let bf = sample(k, n, 12);
+    let q = QuantMatrix::from_matrix(&bf);
+    let h = F16Matrix::from_matrix(&bf);
+    let mut want_q = vec![0.0f32; m * n];
+    let mut want_h = vec![0.0f32; m * n];
+    gemm_nn_q8_ref(m, k, n, a.as_slice(), &q, &mut want_q);
+    gemm_nn_f16_ref(m, k, n, a.as_slice(), &h, &mut want_h);
+
+    let mut tiers_run = 0;
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        let mut got = vec![0.0f32; m * n];
+        // SAFETY: AVX2+FMA detected above.
+        unsafe {
+            x86::gemm_q8_avx2(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                q.codes(),
+                q.scales(),
+                q.zeros(),
+                &mut got,
+            )
+        };
+        assert_close("avx2-q8", &got, &want_q, 1e-4);
+        tiers_run += 1;
+        if is_x86_feature_detected!("f16c") {
+            let mut got = vec![0.0f32; m * n];
+            // SAFETY: AVX2+FMA+F16C detected above.
+            unsafe { x86::gemm_f16_avx2(m, k, n, a.as_slice(), h.bits(), &mut got) };
+            assert_close("avx2-f16c", &got, &want_h, 1e-4);
+            tiers_run += 1;
+        }
+    }
+    if is_x86_feature_detected!("avx512f")
+        && is_x86_feature_detected!("avx2")
+        && is_x86_feature_detected!("fma")
+    {
+        let mut got = vec![0.0f32; m * n];
+        // SAFETY: AVX-512F (+AVX2/FMA) detected above.
+        unsafe {
+            x86::gemm_q8_avx512(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                q.codes(),
+                q.scales(),
+                q.zeros(),
+                &mut got,
+            )
+        };
+        assert_close("avx512-q8", &got, &want_q, 1e-4);
+        let mut got = vec![0.0f32; m * n];
+        // SAFETY: AVX-512F detected above.
+        unsafe { x86::gemm_f16_avx512(m, k, n, a.as_slice(), h.bits(), &mut got) };
+        assert_close("avx512-f16", &got, &want_h, 1e-4);
+        tiers_run += 2;
+
+        // Fused-accumulate twins: start from a non-zero C and compare
+        // against oracle-product + elementwise add.
+        let start = sample(m, n, 13);
+        let mut want_acc_q = start.as_slice().to_vec();
+        let mut want_acc_h = start.as_slice().to_vec();
+        for (o, &v) in want_acc_q.iter_mut().zip(&want_q) {
+            *o += v;
+        }
+        for (o, &v) in want_acc_h.iter_mut().zip(&want_h) {
+            *o += v;
+        }
+        let mut got = start.as_slice().to_vec();
+        // SAFETY: AVX-512F (+AVX2/FMA) detected above.
+        unsafe {
+            x86::gemm_q8_avx512_acc(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                q.codes(),
+                q.scales(),
+                q.zeros(),
+                &mut got,
+            )
+        };
+        assert_close("avx512-q8-acc", &got, &want_acc_q, 1e-4);
+        let mut got = start.as_slice().to_vec();
+        // SAFETY: AVX-512F detected above.
+        unsafe { x86::gemm_f16_avx512_acc(m, k, n, a.as_slice(), h.bits(), &mut got) };
+        assert_close("avx512-f16-acc", &got, &want_acc_h, 1e-4);
+        tiers_run += 2;
+    }
+    // The scalar tier always runs (it IS the oracle); SIMD hosts must
+    // have exercised at least one wide tier.
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        assert!(tiers_run >= 1);
+    }
+}

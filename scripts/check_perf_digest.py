@@ -17,6 +17,62 @@ import json
 import sys
 
 
+def check_quantized(fresh) -> bool:
+    """Internal consistency of the fresh run's quantized tier.
+
+    The quantized forwards promise closeness, not bit-identity, so the
+    guard is on *decisions*: every f16/int8 suite run must report the
+    same per-circuit routing (unit counts, final conflicts/stitches,
+    per-engine splits) as the f32 adaptive run of the same binary, with
+    the in-binary equality assertion intact, and the batch planner must
+    not have increased padding waste. Throughput numbers are ignored —
+    they vary by host. Returns True when something diverged.
+    """
+    quant = fresh.get("quantized")
+    if quant is None:
+        print("fresh run lacks a quantized section")
+        return True
+    bad = False
+    adaptive_rows = {r["name"]: r for r in fresh["adaptive"]["per_circuit"]}
+    for run in quant.get("precisions", []):
+        label = run.get("label")
+        if not run.get("decisions_equal_f32"):
+            print(f"quantized[{label}]: decisions_equal_f32 is not true")
+            bad = True
+        if not run.get("kernel"):
+            print(f"quantized[{label}]: no kernel label recorded")
+            bad = True
+        before = run.get("padding_waste_before_bytes", 0)
+        after = run.get("padding_waste_after_bytes", 0)
+        if after > before:
+            print(
+                f"quantized[{label}]: planner increased padding waste "
+                f"({before} -> {after} bytes)"
+            )
+            bad = True
+        for row in run.get("per_circuit", []):
+            ref = adaptive_rows.get(row["name"])
+            if ref is None:
+                print(
+                    f"quantized[{label}]: circuit {row['name']} missing "
+                    "from the adaptive section"
+                )
+                bad = True
+                continue
+            for key in ("units", "conflicts", "stitches", "engines"):
+                if row.get(key) != ref.get(key):
+                    print(
+                        f"quantized[{label}] {row['name']}: {key} = "
+                        f"{row.get(key)} differs from the f32 adaptive "
+                        f"run's {ref.get(key)}"
+                    )
+                    bad = True
+    if not bad:
+        n = len(quant.get("precisions", []))
+        print(f"quantized tier consistent with the f32 run ({n} precisions)")
+    return bad
+
+
 def main() -> int:
     fresh_path, committed_path = sys.argv[1], sys.argv[2]
     with open(fresh_path) as f:
@@ -24,18 +80,25 @@ def main() -> int:
     with open(committed_path) as f:
         committed = json.load(f)
 
+    # Quantized tier first: decision parity and planner waste are
+    # checked within the fresh run itself (host- and knob-independent),
+    # so this gate applies even when cross-run comparison is skipped.
+    quant_bad = committed.get("quantized") is not None and check_quantized(fresh)
+    if quant_bad:
+        print("quantized tier DIVERGED from the fresh run's own f32 routing")
+
     if fresh.get("fp_kernel") != committed.get("fp_kernel"):
         print(
             f"fp_kernel mismatch ({fresh.get('fp_kernel')} vs "
             f"{committed.get('fp_kernel')}): skipping digest comparison"
         )
-        return 0
+        return 1 if quant_bad else 0
     if fresh.get("seed") != committed.get("seed"):
         print(
             f"seed mismatch ({fresh.get('seed')} vs {committed.get('seed')}): "
             "skipping digest comparison"
         )
-        return 0
+        return 1 if quant_bad else 0
     # Training config determines the model weights and hence routing;
     # quick runs (MPLD_EPOCHS / MPLD_TRAIN_CAP overrides) are not
     # comparable to the committed full run.
@@ -45,7 +108,7 @@ def main() -> int:
                 f"{knob} mismatch ({fresh.get(knob)} vs "
                 f"{committed.get(knob)}): skipping digest comparison"
             )
-            return 0
+            return 1 if quant_bad else 0
 
     committed_rows = {
         r["name"]: r for r in committed["adaptive"]["per_circuit"]
@@ -97,6 +160,9 @@ def main() -> int:
                     bad = True
     elif ct is not None:
         print("fresh run lacks a training section")
+        bad = True
+
+    if quant_bad:
         bad = True
 
     if bad:
