@@ -1,7 +1,9 @@
 //! Perf-baseline harness: measures suite preparation time, per-engine
-//! decomposition throughput, and serial-vs-parallel adaptive wall time,
-//! then writes the numbers to `BENCH_pipeline.json` (hand-rolled JSON, no
-//! serde) so perf regressions show up as artifact diffs.
+//! decomposition throughput, serial-vs-parallel adaptive wall time, and
+//! the long-lived serving path (requests/s and cross-request memo hit
+//! rates through the real HTTP endpoint), then writes the numbers to
+//! `BENCH_pipeline.json` (hand-rolled JSON, no serde) so perf
+//! regressions show up as artifact diffs.
 //!
 //! Usage: `cargo run --release -p mpld-bench --bin perf_baseline [out.json]`
 //!
@@ -40,6 +42,7 @@ fn main() {
     // artifact); with threads == 1 the pool is bypassed and the column
     // isolates the isomorphism-memo gain.
     let threads = mpld::default_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let seed: u64 = std::env::var("MPLD_SEED")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -490,8 +493,107 @@ fn main() {
         .map(|(e, _, f)| format!("\"{}\": {f}", engine_label(*e)))
         .collect();
 
+    // 5. Serving: the suite once more through the long-lived service — a
+    // warm shared [`mpld::Engine`] behind the real HTTP/NDJSON endpoint,
+    // each circuit requested twice so the warm request measures the
+    // cross-request routing-memo + solution-cache path end to end. Served
+    // costs and engine usage are asserted equal to the serial adaptive
+    // run (the engine parity contract over the wire). Runs last: the
+    // framework is consumed by `Engine::new`.
+    let serve_workers = threads.clamp(1, cores);
+    let serve_queue = 16usize;
+    let engine = std::sync::Arc::new(mpld::Engine::new(fw));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let serve_addr = listener.local_addr().expect("addr");
+    let shutdown = std::sync::atomic::AtomicBool::new(false);
+    let serve_cfg = mpld_server::ServerConfig {
+        workers: serve_workers,
+        queue_depth: serve_queue,
+        read_timeout: Duration::from_secs(60),
+    };
+    let mut serving_rows = Vec::new();
+    let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
+    let mut warm_routing_hits = 0usize;
+    let serving_seconds = std::thread::scope(|scope| {
+        let eng = std::sync::Arc::clone(&engine);
+        let server = scope.spawn(|| mpld_server::serve(eng, listener, &serve_cfg, &shutdown));
+        let t_all = Instant::now();
+        for ((c, prep), base) in circuits.iter().zip(&prepared).zip(&serial_results) {
+            let body = format!("{{\"circuit\":\"{}\",\"seed\":{seed}}}", c.name);
+            let raw = format!(
+                "POST /decompose HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let t = Instant::now();
+            let cold = http_request(serve_addr, &raw);
+            let cold_secs = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let warm = http_request(serve_addr, &raw);
+            let warm_secs = t.elapsed().as_secs_f64();
+            let summary_of = |resp: &str| -> mpld::RunSummary {
+                let line = resp
+                    .lines()
+                    .find(|l| l.starts_with("{\"event\":\"done\""))
+                    .unwrap_or_else(|| panic!("{}: no done event in:\n{resp}", c.name));
+                mpld::RunSummary::parse(line).expect("served summary parses")
+            };
+            let (a, b) = (summary_of(&cold), summary_of(&warm));
+            for s in [&a, &b] {
+                assert_eq!(
+                    (s.conflicts, s.stitches),
+                    (base.pipeline.cost.conflicts, base.pipeline.cost.stitches),
+                    "{}: served cost diverged from the serial adaptive run",
+                    c.name
+                );
+            }
+            assert_eq!(
+                (b.matching, b.colorgnn, b.ilp, b.ec),
+                (
+                    base.usage.matching,
+                    base.usage.colorgnn,
+                    base.usage.ilp,
+                    base.usage.ec
+                ),
+                "{}: served engine usage diverged from the serial run",
+                c.name
+            );
+            assert_eq!(
+                b.units_inferred, 0,
+                "{}: warm request re-ran routing inference",
+                c.name
+            );
+            cold_total += cold_secs;
+            warm_total += warm_secs;
+            warm_routing_hits += b.routing_memo_hits;
+            eprintln!(
+                "serve {}: cold {cold_secs:.3}s, warm {warm_secs:.3}s ({} routing memo hits, {} solution hits)",
+                c.name, b.routing_memo_hits, b.memo_hits
+            );
+            serving_rows.push(format!(
+                "      {{\"name\": \"{}\", \"units\": {}, \"cold_seconds\": {cold_secs:.4}, \"warm_seconds\": {warm_secs:.4}, \"warm_routing_memo_hits\": {}, \"warm_solution_memo_hits\": {}, \"cost_equal\": true}}",
+                c.name,
+                prep.units.len(),
+                b.routing_memo_hits,
+                b.memo_hits
+            ));
+        }
+        let secs = t_all.elapsed().as_secs_f64();
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        server.join().expect("server thread").expect("serve");
+        secs
+    });
+    let serve_requests = 2 * circuits.len();
+    let requests_per_second = serve_requests as f64 / serving_seconds.max(1e-12);
+    let warm_speedup = cold_total / warm_total.max(1e-12);
+    let engine_stats = engine.stats();
+    let routing_lookups = engine_stats.routing.hits + engine_stats.routing.misses;
+    let routing_hit_rate = engine_stats.routing.hits as f64 / routing_lookups.max(1) as f64;
+    eprintln!(
+        "serving suite: {serve_requests} requests in {serving_seconds:.2}s ({requests_per_second:.2} req/s, {serve_workers} workers); warm speedup {warm_speedup:.2}x, routing memo {}/{routing_lookups} hits",
+        engine_stats.routing.hits
+    );
+
     let mut json = String::new();
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"cpu_cores\": {cores},");
@@ -516,6 +618,7 @@ fn main() {
     let _ = writeln!(json, "{}", engine_rows.join(",\n"));
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"adaptive\": {{");
+    let _ = writeln!(json, "    \"threads\": {threads},");
     let _ = writeln!(json, "    \"serial_seconds\": {serial_total:.4},");
     let _ = writeln!(json, "    \"parallel_seconds\": {parallel_total:.4},");
     let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
@@ -527,6 +630,7 @@ fn main() {
     let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"inference\": {{");
+    let _ = writeln!(json, "    \"threads\": 1,");
     let _ = writeln!(json, "    \"sample_units\": {},", infer_graphs.len());
     let _ = writeln!(json, "    \"reps\": {reps},");
     let _ = writeln!(json, "    \"tape_units_per_second\": {tape_ups:.1},");
@@ -550,6 +654,7 @@ fn main() {
     let _ = writeln!(json, "    \"padding_waste_after_bytes\": {waste_after}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"quantized\": {{");
+    let _ = writeln!(json, "    \"threads\": 1,");
     let _ = writeln!(
         json,
         "    \"note\": \"decisions asserted equal to the f32 adaptive run in-binary; per_circuit rows are re-checked against adaptive.per_circuit by the digest guard\","
@@ -607,6 +712,7 @@ fn main() {
     let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"training\": {{");
+    let _ = writeln!(json, "    \"threads\": 1,");
     let _ = writeln!(json, "    \"train_seed\": {},", cfg.seed);
     let _ = writeln!(json, "    \"bench_epochs\": {train_epochs},");
     let _ = writeln!(json, "    \"batch\": {train_batch},");
@@ -657,6 +763,7 @@ fn main() {
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"budgeted\": {{");
+    let _ = writeln!(json, "    \"threads\": {threads},");
     let _ = writeln!(json, "    \"unit_time_limit_ms\": {unit_limit_ms},");
     let _ = writeln!(json, "    \"seconds\": {budgeted_seconds:.4},");
     let _ = writeln!(json, "    \"certified\": {certified},");
@@ -675,8 +782,51 @@ fn main() {
         "    \"fallbacks_by_engine\": {{{}}}",
         fallback_rows.join(", ")
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"serving\": {{");
+    let _ = writeln!(json, "    \"workers\": {serve_workers},");
+    let _ = writeln!(json, "    \"queue_depth\": {serve_queue},");
+    let _ = writeln!(json, "    \"requests\": {serve_requests},");
+    let _ = writeln!(json, "    \"seconds\": {serving_seconds:.4},");
+    let _ = writeln!(
+        json,
+        "    \"requests_per_second\": {requests_per_second:.3},"
+    );
+    let _ = writeln!(json, "    \"cold_seconds\": {cold_total:.4},");
+    let _ = writeln!(json, "    \"warm_seconds\": {warm_total:.4},");
+    let _ = writeln!(json, "    \"warm_speedup\": {warm_speedup:.2},");
+    let _ = writeln!(json, "    \"warm_routing_memo_hits\": {warm_routing_hits},");
+    let _ = writeln!(
+        json,
+        "    \"routing_memo\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},",
+        engine_stats.routing.hits, engine_stats.routing.misses, engine_stats.routing.entries
+    );
+    let _ = writeln!(
+        json,
+        "    \"solution_entries\": {},",
+        engine_stats.solutions_ilp_first.entries + engine_stats.solutions_ec_first.entries
+    );
+    let _ = writeln!(
+        json,
+        "    \"cross_request_hit_rate\": {routing_hit_rate:.4},"
+    );
+    let _ = writeln!(json, "    \"per_circuit\": [");
+    let _ = writeln!(json, "{}", serving_rows.join(",\n"));
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, json).expect("write artifact");
     println!("wrote {out_path}");
+}
+
+/// Blocking one-shot HTTP client for the serving section: sends `raw`,
+/// reads until the server closes the stream (the NDJSON body has no
+/// Content-Length), and returns the full response.
+fn http_request(addr: std::net::SocketAddr, raw: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
 }

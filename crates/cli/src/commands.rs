@@ -3,7 +3,8 @@
 use crate::args::{parse, Parsed};
 use mpld::{
     layout_stats, prepare, run_pipeline, AdaptiveFramework, BudgetPolicy, Checkpoint,
-    CheckpointHeader, JournalWriter, OfflineConfig, Precision, Recovery, TrainingData,
+    CheckpointHeader, Engine, JournalWriter, OfflineConfig, Precision, Recovery, RunSummary,
+    TrainingData,
 };
 use mpld_ec::EcDecomposer;
 use mpld_graph::{DecomposeParams, Decomposer, MpldError};
@@ -121,6 +122,18 @@ commands:
                                      ILP/EC-tail solves; a journal left by
                                      a killed run is audited and resumed
                                      instead of re-solved
+      --json true                    print a single-line JSON run summary
+                                     instead of the human-readable report
+                                     (same object the server's final
+                                     \"done\" event carries)
+  serve --model <file> [options]     long-lived decomposition service: one
+                                     warm engine shared by all requests
+                                     (HTTP/NDJSON; see crates/server docs)
+      --addr <host:port>             bind address (default 127.0.0.1:7878)
+      --workers <n>                  request worker threads (default 2)
+      --queue-depth <n>              accepted connections allowed to wait;
+                                     beyond this new requests get 429
+      --precision f32|f16|int8       routing-inference precision
   render <layout> -o out.svg         render to SVG
       --engine ilp|ilp-bb|sdp|ec     color by a decomposition (optional)
 
@@ -141,6 +154,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         Some("decompose") => cmd_decompose(&parsed),
         Some("train") => cmd_train(&parsed),
         Some("adaptive") => cmd_adaptive(&parsed),
+        Some("serve") => cmd_serve(&parsed),
         Some("render") => cmd_render(&parsed),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}\n{USAGE}"
@@ -321,6 +335,26 @@ fn cmd_train(parsed: &Parsed) -> Result<(), CliError> {
     Ok(())
 }
 
+fn precision_from(parsed: &Parsed) -> Result<Precision, CliError> {
+    match parsed.option("precision") {
+        Some(v) => Precision::parse(v)
+            .ok_or_else(|| format!("cannot parse --precision {v} (expected f32|f16|int8)").into()),
+        None => Ok(Precision::from_env()),
+    }
+}
+
+fn load_model(
+    model: &str,
+    params: &DecomposeParams,
+    precision: Precision,
+) -> Result<AdaptiveFramework, CliError> {
+    let file = File::open(model).map_err(|e| format!("cannot open {model}: {e}"))?;
+    let mut fw = AdaptiveFramework::load(BufReader::new(file), params, &OfflineConfig::default())
+        .map_err(|e| format!("cannot load {model}: {e}"))?;
+    fw.precision = precision;
+    Ok(fw)
+}
+
 fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
     let arg = parsed.positional(1).ok_or("adaptive: missing layout")?;
     let model = parsed
@@ -340,15 +374,9 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
         .option("seed")
         .map(|v| v.parse().map_err(|_| format!("cannot parse --seed {v}")))
         .transpose()?;
-    let precision = match parsed.option("precision") {
-        Some(v) => Precision::parse(v)
-            .ok_or_else(|| format!("cannot parse --precision {v} (expected f32|f16|int8)"))?,
-        None => Precision::from_env(),
-    };
-    let file = File::open(model).map_err(|e| format!("cannot open {model}: {e}"))?;
-    let mut fw = AdaptiveFramework::load(BufReader::new(file), &params, &OfflineConfig::default())
-        .map_err(|e| format!("cannot load {model}: {e}"))?;
-    fw.precision = precision;
+    let json: bool = parsed.option_or("json", false)?;
+    let precision = precision_from(parsed)?;
+    let fw = load_model(model, &params, precision)?;
     if let Some(s) = seed {
         fw.colorgnn.reseed(s);
     }
@@ -400,6 +428,21 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
         std::panic::set_hook(Box::new(|info| eprintln!("chaos: {info}")));
     }
     let r = fw.decompose_prepared_parallel_recoverable(&prep, threads, &policy, recovery)?;
+    if json {
+        // One machine-readable line — the same RunSummary object the
+        // server's final "done" event carries, for digest comparisons.
+        println!(
+            "{}",
+            RunSummary::from_result(&layout.name, &r, params.alpha, threads, seed).to_json()
+        );
+        for (unit, e) in &r.quarantines {
+            eprintln!("  unit {unit}: {e}");
+        }
+        if let Some(path) = parsed.option("o") {
+            write_masks(path, &r.pipeline.decomposition.feature_colors)?;
+        }
+        return Ok(());
+    }
     println!(
         "adaptive on {}: {} (objective {:.1}) in {:?} ({threads} threads{})",
         layout.name,
@@ -461,6 +504,45 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
         write_masks(path, &r.pipeline.decomposition.feature_colors)?;
         println!("wrote mask assignment to {path}");
     }
+    Ok(())
+}
+
+/// Long-lived decomposition service: loads the model and compiles the
+/// frozen inference heads once, then serves requests from a worker pool
+/// sharing one warm [`Engine`] until SIGTERM/SIGINT, when it drains and
+/// exits cleanly.
+fn cmd_serve(parsed: &Parsed) -> Result<(), CliError> {
+    use mpld_server::{install_signal_handlers, serve, ServerConfig};
+
+    let model = parsed
+        .option("model")
+        .ok_or("serve: missing --model <file>")?;
+    let params = params_from(parsed)?;
+    let defaults = ServerConfig::default();
+    let addr = parsed.option("addr").unwrap_or("127.0.0.1:7878");
+    let cfg = ServerConfig {
+        workers: parsed.option_or("workers", defaults.workers)?,
+        queue_depth: parsed.option_or("queue-depth", defaults.queue_depth)?,
+        ..defaults
+    };
+    if cfg.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    let precision = precision_from(parsed)?;
+    let fw = load_model(model, &params, precision)?;
+    let engine = std::sync::Arc::new(Engine::new(fw));
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // Readiness line on stdout (flushed) so wrappers can wait for it.
+    println!(
+        "mpld-server listening on {local} ({} workers, queue {})",
+        cfg.workers, cfg.queue_depth
+    );
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let shutdown = install_signal_handlers();
+    serve(engine, listener, &cfg, shutdown).map_err(|e| format!("serve: {e}"))?;
+    println!("mpld-server: drained, exiting");
     Ok(())
 }
 
@@ -540,6 +622,33 @@ mod tests {
             "/nonexistent/model.bin".into(),
             "--time-limit".into(),
             "soon".into(),
+        ]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_requires_a_model() {
+        let r = dispatch(&["serve".into()]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        let r = dispatch(&[
+            "serve".into(),
+            "--model".into(),
+            "/nonexistent/model.bin".into(),
+            "--workers".into(),
+            "0".into(),
+        ]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_json_flag_is_a_usage_error() {
+        let r = dispatch(&[
+            "adaptive".into(),
+            "C432".into(),
+            "--model".into(),
+            "/nonexistent/model.bin".into(),
+            "--json".into(),
+            "maybe".into(),
         ]);
         assert!(matches!(r, Err(CliError::Usage(_))));
     }

@@ -304,7 +304,7 @@ fn certainty_from_str(s: &str) -> Option<Certainty> {
 
 /// Escapes a string for embedding in a JSON line (quotes + backslashes +
 /// control characters; layout names are ASCII identifiers in practice).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -322,7 +322,7 @@ fn json_string(s: &str) -> String {
 /// Extracts the raw token following `"key":` in a single-line JSON
 /// object. Strings return their unescaped contents, scalars the bare
 /// token, arrays the bracketed body.
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];

@@ -1,0 +1,425 @@
+//! Decomposition-as-a-service: the immutable, shareable [`Engine`] and
+//! the per-request [`Session`].
+//!
+//! The legacy entry points on [`AdaptiveFramework`] thread `&self`
+//! through a run but hide two pieces of per-call mutability: they
+//! re-freeze the RGCN heads on every call and drive the ColorGNN restart
+//! sampler through the model's mutexed RNG. [`Engine`] lifts both out:
+//! it compiles the frozen heads **once** at construction (the weight
+//! fold is deterministic, so freeze-once output equals freeze-per-call
+//! bit for bit) and moves the RNG into the caller's [`Session`], leaving
+//! the engine itself `Send + Sync` — one warm instance serves any number
+//! of concurrent requests behind an `Arc`.
+//!
+//! Cross-request state lives in two sharded, equality-verified maps
+//! ([`ShardedGraphMap`]):
+//!
+//! - the **routing memo** caches per-representative selector/redundancy
+//!   probabilities and embeddings. Bit-safe to share because per-graph
+//!   frozen outputs are independent of batch composition
+//!   (property-tested in `mpld-gnn`), so a cached entry is bitwise what
+//!   a fresh forward pass would produce;
+//! - the **solution caches** (one per `ec_first` routing flag, which
+//!   decides which engines may answer) cache ILP/EC-tail colorings.
+//!   Only deterministic solves are published: budget-cut, quarantined,
+//!   audit-rejected, or degraded results never enter the cache, so a
+//!   hit replays exactly what re-solving would compute.
+//!
+//! ColorGNN results are **never** cached across requests — the restart
+//! sampler consumes the session's RNG stream, so its output is a
+//! function of that stream, not of the graph alone.
+//!
+//! Parity contract: a fresh `Engine` serving one request produces
+//! colorings, costs, engines, and usage identical to
+//! `colorgnn.reseed(seed)` followed by
+//! [`AdaptiveFramework::decompose_prepared_with`] — the serial path
+//! stays the bit-identity oracle (asserted by `engine_parity` tests).
+
+use crate::framework::{
+    empty_result, finish, journal_record, AdaptiveFramework, AdaptiveResult, BudgetPolicy,
+    ColorDriver, EngineKind, FinishParts, Recovery, RouteBackend, RoutedUnits,
+};
+use crate::pipeline::PreparedLayout;
+use mpld_gnn::{FrozenColorGnn, FrozenRgcn};
+use mpld_graph::{audit_coloring, Certainty, Decomposition, MpldError};
+use mpld_matching::{ShardedGraphMap, ShardedMapStats};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One routed representative's cached inference outputs (see module
+/// docs): everything `route_units_with` scatters per representative.
+pub(crate) struct RoutingEntry {
+    pub(crate) sel_probs: Vec<f32>,
+    pub(crate) red_probs: Vec<f32>,
+    pub(crate) graph_emb: Vec<f32>,
+    pub(crate) node_emb: mpld_tensor::Matrix,
+}
+
+/// The engine's cross-request routing memo.
+pub(crate) type SharedRoutingMemo = ShardedGraphMap<Arc<RoutingEntry>>;
+
+/// One cached deterministic ILP/EC-tail solve.
+struct CachedSolve {
+    d: Decomposition,
+    engine: EngineKind,
+}
+
+/// Immutable decomposition engine shared across concurrent requests (see
+/// module docs). `Send + Sync`; wrap in an [`Arc`] and hand clones to
+/// worker threads, each driving its own [`Session`].
+pub struct Engine {
+    fw: AdaptiveFramework,
+    frozen_sel: FrozenRgcn,
+    frozen_red: FrozenRgcn,
+    frozen_color: FrozenColorGnn,
+    routing_memo: SharedRoutingMemo,
+    /// Tail-solution caches indexed by the `ec_first` routing flag (the
+    /// flag decides which engines may answer, so it is part of the key).
+    solutions: [ShardedGraphMap<Arc<CachedSolve>>; 2],
+}
+
+/// Snapshot of an [`Engine`]'s cross-request cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Routing-memo counters (selector/redundancy inference reuse).
+    pub routing: ShardedMapStats,
+    /// Tail-solution counters for ILP-first routed units.
+    pub solutions_ilp_first: ShardedMapStats,
+    /// Tail-solution counters for EC-first routed units.
+    pub solutions_ec_first: ShardedMapStats,
+}
+
+/// Per-request mutable state: budget policy, the session's ColorGNN RNG
+/// stream, and optional checkpoint recovery. Cheap to create per
+/// request; never shared between requests.
+pub struct Session<'a> {
+    /// Wall-clock limits for this request.
+    pub policy: BudgetPolicy,
+    /// Checkpoint resume/journal hooks for this request.
+    pub recovery: Recovery<'a>,
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl Session<'_> {
+    /// An unlimited session whose ColorGNN stream starts at `seed` —
+    /// bit-identical to `colorgnn.reseed(seed)` on the legacy path.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            policy: BudgetPolicy::unlimited(),
+            recovery: Recovery::default(),
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// [`Session::new`] with a budget policy.
+    pub fn with_policy(seed: u64, policy: BudgetPolicy) -> Self {
+        Self {
+            policy,
+            ..Self::new(seed)
+        }
+    }
+
+    /// The seed this session's RNG stream started from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Streaming progress of one [`Engine::decompose_with_progress`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// The batched routing prefix finished: matching and ColorGNN
+    /// resolved their units, the ILP/EC tail is about to start.
+    Routed {
+        /// Total unit count of the layout.
+        units: usize,
+        /// Units resolved by audited library matching.
+        matched: usize,
+        /// Units resolved by the batched ColorGNN.
+        colorgnn: usize,
+        /// Representatives served from the cross-request routing memo.
+        routing_memo_hits: usize,
+    },
+    /// One ILP/EC-tail unit resolved.
+    Unit {
+        /// Unit index within the prepared layout.
+        index: usize,
+        /// Engine whose coloring was kept.
+        engine: EngineKind,
+        /// How much that engine vouches for the result.
+        certainty: Certainty,
+        /// Served from the cross-request solution cache (or restored
+        /// from a checkpoint journal) instead of a fresh solve.
+        cached: bool,
+    },
+}
+
+impl Engine {
+    /// Compiles a trained framework into a shareable engine: freezes
+    /// both RGCN heads and the ColorGNN once, and starts with empty
+    /// cross-request caches.
+    pub fn new(fw: AdaptiveFramework) -> Self {
+        let frozen_sel = fw.selector.freeze();
+        let frozen_red = fw.redundancy.freeze();
+        let frozen_color = fw.colorgnn.freeze();
+        Self {
+            fw,
+            frozen_sel,
+            frozen_red,
+            frozen_color,
+            routing_memo: SharedRoutingMemo::default(),
+            solutions: [ShardedGraphMap::default(), ShardedGraphMap::default()],
+        }
+    }
+
+    /// The wrapped framework (parameters, library, thresholds).
+    pub fn framework(&self) -> &AdaptiveFramework {
+        &self.fw
+    }
+
+    /// Snapshot of the cross-request cache counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            routing: self.routing_memo.stats(),
+            solutions_ilp_first: self.solutions[0].stats(),
+            solutions_ec_first: self.solutions[1].stats(),
+        }
+    }
+
+    /// [`Engine::decompose_with_progress`] without progress events.
+    ///
+    /// # Errors
+    ///
+    /// `Err` means an engine rejected its input outright; budget
+    /// exhaustion is never an error (see
+    /// [`AdaptiveFramework::decompose_prepared_with`]).
+    pub fn decompose(
+        &self,
+        prep: &PreparedLayout,
+        session: &mut Session<'_>,
+    ) -> Result<AdaptiveResult, MpldError> {
+        self.decompose_with_progress(prep, session, &mut |_| {})
+    }
+
+    /// Decomposes a prepared layout against the shared caches, streaming
+    /// [`Progress`] events as routing and each tail unit resolve.
+    ///
+    /// Serial-parity contract: with empty caches and a fresh
+    /// [`Session::new(seed)`], the result's colorings, costs, engines,
+    /// and usage are identical to `reseed(seed)` + the legacy serial
+    /// path. With warm caches only `memo_hits`/`inference` accounting
+    /// and timing change — cached entries are bitwise what re-computing
+    /// them would produce (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// `Err` means an engine rejected its input outright; budget
+    /// exhaustion is never an error.
+    pub fn decompose_with_progress(
+        &self,
+        prep: &PreparedLayout,
+        session: &mut Session<'_>,
+        on_event: &mut dyn FnMut(Progress),
+    ) -> Result<AdaptiveResult, MpldError> {
+        let start = Instant::now();
+        let n = prep.units.len();
+        let graphs: Vec<&mpld_graph::LayoutGraph> = prep.units.iter().map(|u| &u.hetero).collect();
+        if n == 0 {
+            return Ok(empty_result(prep, &self.fw.params, start));
+        }
+        let total = session.policy.total_budget();
+        let mut routed = RoutedUnits::default();
+        self.fw.route_units_with(
+            &graphs,
+            &total,
+            &mut routed,
+            RouteBackend {
+                frozen_sel: &self.frozen_sel,
+                frozen_red: &self.frozen_red,
+                shared: Some(&self.routing_memo),
+                color: ColorDriver::Session(&self.frozen_color, &mut session.rng),
+            },
+        )?;
+        let RoutedUnits {
+            mut unit_results,
+            mut unit_engines,
+            mut usage,
+            mut timing,
+            guard_failed,
+            selector_probs,
+            mut audit_rejected,
+            inference,
+        } = routed;
+        on_event(Progress::Routed {
+            units: n,
+            matched: usage.matching,
+            colorgnn: usage.colorgnn,
+            routing_memo_hits: inference.shared_memo_hits,
+        });
+
+        let mut budget_fallback = vec![false; n];
+        let mut unit_time = vec![Duration::ZERO; n];
+        let mut quarantines = Vec::new();
+        let mut resumed_units = 0usize;
+        let mut memo_hits = 0usize;
+
+        // Resume: restore journaled tail units whose records survive the
+        // audit (same ladder as the recoverable parallel path).
+        if let Some(cp) = session.recovery.resume {
+            for (i, g) in graphs.iter().enumerate() {
+                if unit_results[i].is_some() {
+                    continue;
+                }
+                let Some(e) = cp.get(i, crate::checkpoint::unit_fingerprint(g)) else {
+                    continue;
+                };
+                match audit_coloring(g, &e.coloring, self.fw.params.k) {
+                    Ok(recomputed) if recomputed == e.cost => {}
+                    _ => continue,
+                }
+                unit_results[i] = Some(Decomposition {
+                    coloring: e.coloring.clone(),
+                    cost: e.cost,
+                    certainty: e.certainty,
+                });
+                unit_engines[i] = Some(e.engine);
+                budget_fallback[i] = e.budget_fallback;
+                resumed_units += 1;
+                match e.engine {
+                    EngineKind::Ilp => usage.ilp += 1,
+                    _ => usage.ec += 1,
+                }
+                on_event(Progress::Unit {
+                    index: i,
+                    engine: e.engine,
+                    certainty: e.certainty,
+                    cached: true,
+                });
+            }
+        }
+
+        // The ILP/EC tail, serially in unit order, consulting the
+        // cross-request solution cache first.
+        for (i, g) in graphs.iter().enumerate() {
+            if unit_results[i].is_some() {
+                continue;
+            }
+            let ec_first = guard_failed[i] || selector_probs[i][1] > self.fw.ec_threshold;
+            let cache = &self.solutions[usize::from(ec_first)];
+            if let Some(hit) = cache.get(g) {
+                match hit.engine {
+                    EngineKind::Ilp => usage.ilp += 1,
+                    _ => usage.ec += 1,
+                }
+                memo_hits += 1;
+                journal_record(session.recovery.journal, i, g, &hit.d, hit.engine, false);
+                on_event(Progress::Unit {
+                    index: i,
+                    engine: hit.engine,
+                    certainty: hit.d.certainty,
+                    cached: true,
+                });
+                unit_results[i] = Some(hit.d.clone());
+                unit_engines[i] = Some(hit.engine);
+                continue;
+            }
+            let unit_budget = session.policy.unit_budget(&total);
+            let solver_before = timing.ilp + timing.ec;
+            let solve = self
+                .fw
+                .solve_tail_guarded(i, g, ec_first, &unit_budget, &mut timing);
+            match solve.engine {
+                EngineKind::Ilp => usage.ilp += 1,
+                _ => usage.ec += 1,
+            }
+            budget_fallback[i] = solve.budget_fallback;
+            unit_time[i] = timing.ilp + timing.ec - solver_before;
+            audit_rejected[i] |= solve.audit_rejected;
+            // Publish only deterministic solves: a budget-cut, audit-
+            // rejected, or quarantined result depends on this request's
+            // deadline or failure, not on the graph alone, and must not
+            // be replayed for other requests.
+            let cacheable = solve.quarantine.is_none()
+                && !solve.budget_fallback
+                && !solve.audit_rejected
+                && matches!(
+                    solve.d.certainty,
+                    Certainty::Certified | Certainty::Heuristic
+                );
+            if cacheable {
+                cache.insert(
+                    g,
+                    Arc::new(CachedSolve {
+                        d: solve.d.clone(),
+                        engine: solve.engine,
+                    }),
+                );
+            }
+            if let Some(q) = solve.quarantine {
+                quarantines.push((i, q));
+            }
+            journal_record(
+                session.recovery.journal,
+                i,
+                g,
+                &solve.d,
+                solve.engine,
+                solve.budget_fallback,
+            );
+            on_event(Progress::Unit {
+                index: i,
+                engine: solve.engine,
+                certainty: solve.d.certainty,
+                cached: false,
+            });
+            unit_results[i] = Some(solve.d);
+            unit_engines[i] = Some(solve.engine);
+        }
+
+        Ok(finish(
+            prep,
+            &self.fw.params,
+            FinishParts {
+                unit_results,
+                unit_engines,
+                budget_fallback,
+                unit_time,
+                audit_rejected,
+                usage,
+                timing,
+                memo_hits,
+                inference,
+                quarantines,
+                resumed_units,
+            },
+            start,
+        ))
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("framework", &self.fw)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        // Sessions move into worker threads (one per request).
+        fn assert_send<T: Send>() {}
+        assert_send::<Session<'static>>();
+    }
+}

@@ -14,11 +14,12 @@
 //! Fig. 10 (usage breakdown) can be reproduced.
 
 use crate::checkpoint::{unit_fingerprint, Checkpoint, CheckpointEntry, JournalWriter};
+use crate::engine::{RoutingEntry, SharedRoutingMemo};
 use crate::memo::{BatchPlan, EmbeddingMemo, DEFAULT_MAX_BATCH_NODES};
 use crate::parallel::{panic_payload_string, run_largest_first_quarantined};
 use crate::pipeline::{assemble, PipelineResult, PreparedLayout};
 use mpld_ec::EcDecomposer;
-use mpld_gnn::{ColorGnn, InferBatch, RgcnClassifier};
+use mpld_gnn::{ColorGnn, FrozenColorGnn, FrozenRgcn, InferBatch, RgcnClassifier};
 use mpld_graph::{
     audit_coloring, audit_decomposition, greedy_coloring, Budget, CancelToken, Certainty, Clock,
     DecomposeParams, Decomposer, Decomposition, LayoutGraph, MpldError, SystemClock,
@@ -26,6 +27,7 @@ use mpld_graph::{
 use mpld_ilp::encode::BipDecomposer;
 use mpld_matching::{canonical_form_labeled, CanonicalForm, GraphLibrary};
 use mpld_tensor::{quant, Matrix, Precision};
+use rand::rngs::SmallRng;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -85,7 +87,7 @@ impl BudgetPolicy {
 
     /// The layout-wide budget this policy describes, anchored at "now" on
     /// the policy's clock.
-    fn total_budget(&self) -> Budget {
+    pub(crate) fn total_budget(&self) -> Budget {
         if self.is_unlimited() {
             return Budget::unlimited();
         }
@@ -105,7 +107,7 @@ impl BudgetPolicy {
 
     /// The budget for one unit solve starting now: the per-unit limit
     /// narrowed against whatever remains of `total`.
-    fn unit_budget(&self, total: &Budget) -> Budget {
+    pub(crate) fn unit_budget(&self, total: &Budget) -> Budget {
         match self.per_unit {
             Some(limit) => total.narrowed(Some(limit), None),
             None => total.clone(),
@@ -190,8 +192,14 @@ pub struct InferenceStats {
     /// same layout) instead of a fresh forward pass.
     pub memo_hits: usize,
     /// Distinct representative units actually run through the frozen
-    /// RGCN forwards (`memo_hits + units_inferred` = total units).
+    /// RGCN forwards (`memo_hits + shared_memo_hits + units_inferred` =
+    /// total units).
     pub units_inferred: usize,
+    /// Representatives served bit-identically from the engine's
+    /// cross-request routing memo instead of a fresh forward pass.
+    /// Always zero on the per-request framework entry points; only the
+    /// shared [`Engine`](crate::Engine) path populates it.
+    pub shared_memo_hits: usize,
     /// High-water mark of frozen scratch-buffer bytes across both RGCN
     /// heads (the steady-state inference memory footprint).
     pub scratch_high_water_bytes: usize,
@@ -326,12 +334,12 @@ pub struct Recovery<'a> {
 
 /// One guarded ILP/EC-tail solve: the kept decomposition plus the fault
 /// bookkeeping the framework folds into the layout-level result.
-struct UnitSolve {
-    d: Decomposition,
-    engine: EngineKind,
-    budget_fallback: bool,
-    audit_rejected: bool,
-    quarantine: Option<MpldError>,
+pub(crate) struct UnitSolve {
+    pub(crate) d: Decomposition,
+    pub(crate) engine: EngineKind,
+    pub(crate) budget_fallback: bool,
+    pub(crate) audit_rejected: bool,
+    pub(crate) quarantine: Option<MpldError>,
 }
 
 /// The trained adaptive framework (see module docs).
@@ -567,7 +575,7 @@ impl AdaptiveFramework {
     /// `catch_unwind`, converting a panic into an
     /// [`MpldError::Panicked`] quarantine, and passes everything else
     /// through the audit ladder ([`AdaptiveFramework::audited_tail_result`]).
-    fn solve_tail_guarded(
+    pub(crate) fn solve_tail_guarded(
         &self,
         unit: usize,
         g: &LayoutGraph,
@@ -777,27 +785,60 @@ impl AdaptiveFramework {
     /// matching with the precomputed embeddings, and the batched ColorGNN
     /// run over predicted-redundant units. Returns the routing state with
     /// the ILP/EC tail still unsolved (`unit_results[i] == None`).
+    ///
+    /// This is the per-request parity oracle: it freezes both RGCN heads
+    /// locally (a deterministic weight fold, so the result equals the
+    /// engine's freeze-once heads bit for bit) and drives ColorGNN
+    /// through the model's own mutexed RNG stream.
     fn route_units(
         &self,
         graphs: &[&LayoutGraph],
         budget: &Budget,
         routed: &mut RoutedUnits,
     ) -> Result<(), MpldError> {
-        let n = graphs.len();
-        let timing = &mut routed.timing;
-
-        // Tape-free routing inference: freeze both RGCNs (folding the
-        // basis decomposition into per-edge-type dense weights), dedup
-        // structurally identical units through the embedding memo, and
-        // run bucketed block-diagonal frozen passes per head over the
-        // representatives only. Frozen f32 forwards are bit-identical to
-        // the tape (property-tested in `mpld-gnn`), and a verified memo
-        // hit means the *same graph*, so every probability and embedding
-        // a duplicate receives is exactly what its own forward pass would
-        // have produced.
         let t = Instant::now();
         let frozen_sel = self.selector.freeze();
         let frozen_red = self.redundancy.freeze();
+        routed.timing.selection += t.elapsed();
+        self.route_units_with(
+            graphs,
+            budget,
+            routed,
+            RouteBackend {
+                frozen_sel: &frozen_sel,
+                frozen_red: &frozen_red,
+                shared: None,
+                color: ColorDriver::Legacy(&self.colorgnn),
+            },
+        )
+    }
+
+    /// Backend-parameterized routing pass shared by the per-request entry
+    /// points and the concurrent [`Engine`](crate::Engine): the caller
+    /// supplies the frozen heads (freeze-per-call or freeze-once — the
+    /// fold is deterministic, so outputs are bitwise equal), an optional
+    /// cross-request routing memo, and the ColorGNN driver (the model's
+    /// mutexed RNG, or per-session RNG state).
+    pub(crate) fn route_units_with(
+        &self,
+        graphs: &[&LayoutGraph],
+        budget: &Budget,
+        routed: &mut RoutedUnits,
+        mut backend: RouteBackend<'_>,
+    ) -> Result<(), MpldError> {
+        let n = graphs.len();
+        let timing = &mut routed.timing;
+        let frozen_sel = backend.frozen_sel;
+        let frozen_red = backend.frozen_red;
+
+        // Tape-free routing inference: dedup structurally identical units
+        // through the embedding memo and run bucketed block-diagonal
+        // frozen passes per head over the representatives only. Frozen
+        // f32 forwards are bit-identical to the tape (property-tested in
+        // `mpld-gnn`), and a verified memo hit means the *same graph*, so
+        // every probability and embedding a duplicate receives is exactly
+        // what its own forward pass would have produced.
+        let t = Instant::now();
         let mut memo = EmbeddingMemo::new();
         let mut rep_slot = Vec::with_capacity(n);
         let mut reps: Vec<&LayoutGraph> = Vec::new();
@@ -812,6 +853,19 @@ impl AdaptiveFramework {
             });
         }
         let nr = reps.len();
+
+        // Cross-request routing memo (engine path only): a representative
+        // whose exact structure was routed by an earlier request reuses
+        // that request's probabilities and embeddings verbatim. This is
+        // bit-safe because per-graph frozen outputs are independent of
+        // batch composition (property-tested in `mpld-gnn`), so the
+        // cached entry is bitwise what this request's own forward pass
+        // would have produced.
+        let cached: Vec<Option<Arc<RoutingEntry>>> = match backend.shared {
+            Some(shared) => reps.iter().map(|g| shared.get(g)).collect(),
+            None => vec![None; nr],
+        };
+        let shared_hits = cached.iter().filter(|c| c.is_some()).count();
 
         // Trust ladder, lane split. Quantized precisions route most
         // representatives through the reduced-precision planes; the ones
@@ -834,9 +888,14 @@ impl AdaptiveFramework {
         } else {
             vec![false; nr]
         };
-        let f32_items: Vec<usize> = (0..nr).filter(|&s| !quantized || pinned[s]).collect();
+        // Memo-served representatives skip the inference lanes entirely.
+        let f32_items: Vec<usize> = (0..nr)
+            .filter(|&s| cached[s].is_none() && (!quantized || pinned[s]))
+            .collect();
         let quant_items: Vec<usize> = if quantized {
-            (0..nr).filter(|&s| !pinned[s]).collect()
+            (0..nr)
+                .filter(|&s| cached[s].is_none() && !pinned[s])
+                .collect()
         } else {
             Vec::new()
         };
@@ -865,6 +924,14 @@ impl AdaptiveFramework {
         let mut graph_emb: Vec<Vec<f32>> = vec![Vec::new(); nr];
         let mut node_emb: Vec<Matrix> = (0..nr).map(|_| Matrix::zeros(0, 0)).collect();
         let mut red_probs: Vec<Vec<f32>> = vec![Vec::new(); nr];
+        for (s, entry) in cached.iter().enumerate() {
+            if let Some(e) = entry {
+                sel_probs[s] = e.sel_probs.clone();
+                graph_emb[s] = e.graph_emb.clone();
+                node_emb[s] = e.node_emb.clone();
+                red_probs[s] = e.red_probs.clone();
+            }
+        }
         timing.selection += t.elapsed();
 
         let infer_lane = |items: &[usize],
@@ -947,6 +1014,28 @@ impl AdaptiveFramework {
             );
         }
 
+        // Publish freshly routed representatives for later requests. The
+        // stored entry is the *post-trust-gate* value (an f32 fallback
+        // replaces the distrusted quantized scores first), so a future
+        // hit replays exactly what this request resolved to. Racing
+        // writers are harmless: identical structures produce bitwise
+        // identical entries regardless of which request computed them.
+        if let Some(shared) = backend.shared {
+            for s in 0..nr {
+                if cached[s].is_none() {
+                    shared.insert(
+                        reps[s],
+                        Arc::new(RoutingEntry {
+                            sel_probs: sel_probs[s].clone(),
+                            red_probs: red_probs[s].clone(),
+                            graph_emb: graph_emb[s].clone(),
+                            node_emb: node_emb[s].clone(),
+                        }),
+                    );
+                }
+            }
+        }
+
         routed.selector_probs = rep_slot.iter().map(|&s| sel_probs[s].clone()).collect();
 
         // Padding-waste accounting: transient backbone scratch scales
@@ -960,7 +1049,8 @@ impl AdaptiveFramework {
             .max(fallback_nodes);
         routed.inference = InferenceStats {
             memo_hits: memo.hits(),
-            units_inferred: nr,
+            shared_memo_hits: shared_hits,
+            units_inferred: nr - shared_hits,
             scratch_high_water_bytes: frozen_sel
                 .scratch_high_water_bytes()
                 .max(frozen_red.scratch_high_water_bytes()),
@@ -1028,9 +1118,15 @@ impl AdaptiveFramework {
             let parent_refs: Vec<&LayoutGraph> = parents.iter().collect();
             // Guarded: a panicking batch costs a guard fallback for every
             // batched unit, never the layout.
-            let results = catch_unwind(AssertUnwindSafe(|| {
-                self.colorgnn
-                    .decompose_batch(&parent_refs, &self.params, budget)
+            // ColorGNN results are never cached across requests: the
+            // restart sampler consumes an RNG stream, so the output is a
+            // function of the driver's RNG state, not of the graph alone.
+            let color = &mut backend.color;
+            let results = catch_unwind(AssertUnwindSafe(|| match color {
+                ColorDriver::Legacy(c) => c.decompose_batch(&parent_refs, &self.params, budget),
+                ColorDriver::Session(f, rng) => {
+                    f.decompose_batch_with_rng(&parent_refs, &self.params, budget, rng)
+                }
             }));
             match results {
                 Ok(results) => {
@@ -1524,7 +1620,7 @@ impl AdaptiveFramework {
 
 /// Best-effort append of one solved tail unit to the checkpoint journal
 /// (a failed write is a lost checkpoint, never a failed solve).
-fn journal_record(
+pub(crate) fn journal_record(
     journal: Option<&JournalWriter>,
     unit: usize,
     g: &LayoutGraph,
@@ -1554,7 +1650,11 @@ fn unwrap_unlimited(r: Result<AdaptiveResult, MpldError>) -> AdaptiveResult {
 }
 
 /// The empty-layout result shared by every entry point.
-fn empty_result(prep: &PreparedLayout, params: &DecomposeParams, start: Instant) -> AdaptiveResult {
+pub(crate) fn empty_result(
+    prep: &PreparedLayout,
+    params: &DecomposeParams,
+    start: Instant,
+) -> AdaptiveResult {
     let pipeline = assemble(prep, params, Vec::new(), start.elapsed());
     AdaptiveResult {
         pipeline,
@@ -1571,23 +1671,23 @@ fn empty_result(prep: &PreparedLayout, params: &DecomposeParams, start: Instant)
 }
 
 /// Fully-populated per-unit state handed to [`finish`].
-struct FinishParts {
-    unit_results: Vec<Option<Decomposition>>,
-    unit_engines: Vec<Option<EngineKind>>,
-    budget_fallback: Vec<bool>,
-    unit_time: Vec<Duration>,
-    audit_rejected: Vec<bool>,
-    usage: UsageBreakdown,
-    timing: TimingBreakdown,
-    memo_hits: usize,
-    inference: InferenceStats,
-    quarantines: Vec<(usize, MpldError)>,
-    resumed_units: usize,
+pub(crate) struct FinishParts {
+    pub(crate) unit_results: Vec<Option<Decomposition>>,
+    pub(crate) unit_engines: Vec<Option<EngineKind>>,
+    pub(crate) budget_fallback: Vec<bool>,
+    pub(crate) unit_time: Vec<Duration>,
+    pub(crate) audit_rejected: Vec<bool>,
+    pub(crate) usage: UsageBreakdown,
+    pub(crate) timing: TimingBreakdown,
+    pub(crate) memo_hits: usize,
+    pub(crate) inference: InferenceStats,
+    pub(crate) quarantines: Vec<(usize, MpldError)>,
+    pub(crate) resumed_units: usize,
 }
 
 /// Assembles the final [`AdaptiveResult`] from fully-populated routing
 /// state, deriving per-unit outcomes and the budget breakdown.
-fn finish(
+pub(crate) fn finish(
     prep: &PreparedLayout,
     params: &DecomposeParams,
     parts: FinishParts,
@@ -1638,15 +1738,39 @@ fn finish(
 
 /// Routing state produced by [`AdaptiveFramework::route_units`].
 #[derive(Default)]
-struct RoutedUnits {
-    unit_results: Vec<Option<Decomposition>>,
-    unit_engines: Vec<Option<EngineKind>>,
-    usage: UsageBreakdown,
-    timing: TimingBreakdown,
-    guard_failed: Vec<bool>,
-    selector_probs: Vec<Vec<f32>>,
-    audit_rejected: Vec<bool>,
-    inference: InferenceStats,
+pub(crate) struct RoutedUnits {
+    pub(crate) unit_results: Vec<Option<Decomposition>>,
+    pub(crate) unit_engines: Vec<Option<EngineKind>>,
+    pub(crate) usage: UsageBreakdown,
+    pub(crate) timing: TimingBreakdown,
+    pub(crate) guard_failed: Vec<bool>,
+    pub(crate) selector_probs: Vec<Vec<f32>>,
+    pub(crate) audit_rejected: Vec<bool>,
+    pub(crate) inference: InferenceStats,
+}
+
+/// The pluggable pieces of one routing pass
+/// ([`AdaptiveFramework::route_units_with`]): frozen heads, an optional
+/// cross-request routing memo, and the ColorGNN RNG driver. The
+/// per-request entry points pass freshly frozen heads, no memo, and the
+/// legacy mutexed driver; the shared [`Engine`](crate::Engine) passes its
+/// freeze-once heads, its memo, and per-session RNG state.
+pub(crate) struct RouteBackend<'e> {
+    pub(crate) frozen_sel: &'e FrozenRgcn,
+    pub(crate) frozen_red: &'e FrozenRgcn,
+    pub(crate) shared: Option<&'e SharedRoutingMemo>,
+    pub(crate) color: ColorDriver<'e>,
+}
+
+/// How a routing pass drives the ColorGNN restart sampler.
+pub(crate) enum ColorDriver<'e> {
+    /// The model's own mutexed RNG (`reseed` + `decompose_batch`) — the
+    /// serial parity oracle.
+    Legacy(&'e ColorGnn),
+    /// A frozen head plus caller-owned RNG state: no lock, and the
+    /// stream belongs to one session. Seeded identically to a `reseed`,
+    /// it replays the legacy stream bit for bit.
+    Session(&'e FrozenColorGnn, &'e mut SmallRng),
 }
 
 impl std::fmt::Debug for AdaptiveFramework {

@@ -45,24 +45,28 @@
 
 pub mod checkpoint;
 mod density;
+mod engine;
 mod framework;
 mod memo;
 mod metrics;
 pub mod parallel;
 mod pipeline;
 mod stats;
+mod summary;
 mod training;
 
 pub use checkpoint::{
     unit_fingerprint, Checkpoint, CheckpointEntry, CheckpointHeader, JournalWriter,
 };
 pub use density::{density_imbalance, mask_densities};
+pub use engine::{Engine, EngineStats, Progress, Session};
 pub use framework::{
     AdaptiveFramework, AdaptiveResult, BudgetBreakdown, BudgetPolicy, EngineKind, InferenceStats,
     Recovery, TimingBreakdown, UnitOutcome, UsageBreakdown,
 };
 pub use memo::{BatchPlan, EmbeddingMemo, DEFAULT_MAX_BATCH_NODES};
 pub use metrics::ConfusionMatrix;
+pub use mpld_matching::{ShardedGraphMap, ShardedMapStats};
 pub use mpld_tensor::Precision;
 pub use parallel::default_threads;
 pub use pipeline::{
@@ -70,6 +74,7 @@ pub use pipeline::{
     PreparedLayout, UnitInstance,
 };
 pub use stats::{layout_stats, LayoutStats};
+pub use summary::RunSummary;
 pub use training::{
     train_framework, train_framework_with_report, OfflineConfig, TrainReport, TrainingData,
 };

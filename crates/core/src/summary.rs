@@ -1,0 +1,305 @@
+//! Machine-readable run summaries: the one JSON object shared by the
+//! CLI's `--json` output and the server's final response line, so a
+//! replayed CLI run and a served request can be compared field by field.
+//!
+//! The format is a single-line JSON object with globally unique keys
+//! (nested sections never reuse a key name), written and parsed by the
+//! same hand-rolled helpers as the checkpoint journal — no JSON
+//! dependency, and `parse(to_json(s)) == s` round-trips exactly
+//! (floats are emitted with enough precision to survive the trip).
+
+use crate::checkpoint::{field, json_string};
+use crate::framework::AdaptiveResult;
+use mpld_tensor::Precision;
+
+/// Flattened, serializable summary of one adaptive decomposition run
+/// (routing usage, budget outcomes, inference statistics, audit/fault
+/// counts). Constructed from an [`AdaptiveResult`] via
+/// [`RunSummary::from_result`]; serialized with [`RunSummary::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Layout name the run decomposed.
+    pub layout: String,
+    /// Unit-graph count of the prepared layout.
+    pub units: usize,
+    /// ILP/EC-tail worker threads the run was configured with.
+    pub threads: usize,
+    /// ColorGNN RNG seed, when one was set.
+    pub seed: Option<u64>,
+    /// Conflicting feature pairs of the assembled decomposition.
+    pub conflicts: u32,
+    /// Activated stitches of the assembled decomposition.
+    pub stitches: u32,
+    /// Scalar objective `conflicts + alpha * stitches`.
+    pub objective: f64,
+    /// Wall-clock decomposition time in milliseconds.
+    pub decompose_ms: f64,
+    /// Units resolved by audited library matching.
+    pub matching: usize,
+    /// Units resolved by the batched ColorGNN.
+    pub colorgnn: usize,
+    /// Units resolved by the EC engine.
+    pub ec: usize,
+    /// Units resolved by the exact ILP.
+    pub ilp: usize,
+    /// ColorGNN guard failures that fell through to the exact tail.
+    pub colorgnn_fallbacks: usize,
+    /// Isomorphic-tail-unit memo transfers (parallel path) or
+    /// solution-cache hits (engine path).
+    pub memo_hits: usize,
+    /// Routing-inference precision.
+    pub precision: Precision,
+    /// In-request embedding-memo dedup hits.
+    pub dedup_hits: usize,
+    /// Representatives served from the engine's cross-request routing
+    /// memo (always zero on the per-request CLI paths).
+    pub routing_memo_hits: usize,
+    /// Representatives that ran a fresh routing forward pass.
+    pub units_inferred: usize,
+    /// Representatives whose routing ran on the quantized planes.
+    pub quantized_units: usize,
+    /// Library-eligible representatives pinned to the f32 lane.
+    pub pinned_f32: usize,
+    /// Quantized scores re-inferred at f32 by the trust gate.
+    pub f32_fallbacks: usize,
+    /// Units with an optimality certificate.
+    pub certified: usize,
+    /// Units resolved heuristically.
+    pub heuristic: usize,
+    /// Units whose search was cut short by the budget.
+    pub budget_exhausted: usize,
+    /// Units that fell back to a cheaper engine on budget expiry.
+    pub budget_fallbacks: usize,
+    /// Units quarantined with a greedy-fallback coloring.
+    pub quarantined: usize,
+    /// Units where the audit rejected at least one candidate result.
+    pub audit_rejections: usize,
+    /// Tail units restored from a checkpoint journal.
+    pub resumed_units: usize,
+}
+
+impl RunSummary {
+    /// Builds the summary of one finished run. `alpha` comes from the
+    /// run's parameters; `threads`/`seed` echo the caller's
+    /// configuration (they are not recoverable from the result).
+    pub fn from_result(
+        layout: &str,
+        r: &AdaptiveResult,
+        alpha: f64,
+        threads: usize,
+        seed: Option<u64>,
+    ) -> Self {
+        Self {
+            layout: layout.to_string(),
+            units: r.unit_engines.len(),
+            threads,
+            seed,
+            conflicts: r.pipeline.cost.conflicts,
+            stitches: r.pipeline.cost.stitches,
+            objective: r.pipeline.cost.value(alpha),
+            decompose_ms: r.pipeline.decompose_time.as_secs_f64() * 1e3,
+            matching: r.usage.matching,
+            colorgnn: r.usage.colorgnn,
+            ec: r.usage.ec,
+            ilp: r.usage.ilp,
+            colorgnn_fallbacks: r.usage.colorgnn_fallbacks,
+            memo_hits: r.memo_hits,
+            precision: r.inference.precision,
+            dedup_hits: r.inference.memo_hits,
+            routing_memo_hits: r.inference.shared_memo_hits,
+            units_inferred: r.inference.units_inferred,
+            quantized_units: r.inference.quantized_units,
+            pinned_f32: r.inference.pinned_f32,
+            f32_fallbacks: r.inference.f32_fallbacks,
+            certified: r.budget.certified,
+            heuristic: r.budget.heuristic,
+            budget_exhausted: r.budget.budget_exhausted,
+            budget_fallbacks: r.budget.budget_fallbacks,
+            quarantined: r.budget.quarantined,
+            audit_rejections: r.budget.audit_rejections,
+            resumed_units: r.resumed_units,
+        }
+    }
+
+    /// Serializes to one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let seed = match self.seed {
+            Some(s) => s.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"layout\":{},\"units\":{},\"threads\":{},\"seed\":{},",
+                "\"cost\":{{\"conflicts\":{},\"stitches\":{},\"objective\":{}}},",
+                "\"decompose_ms\":{},",
+                "\"usage\":{{\"matching\":{},\"colorgnn\":{},\"ec\":{},\"ilp\":{},",
+                "\"colorgnn_fallbacks\":{},\"memo_hits\":{}}},",
+                "\"inference\":{{\"precision\":\"{}\",\"dedup_hits\":{},",
+                "\"routing_memo_hits\":{},\"units_inferred\":{},\"quantized_units\":{},",
+                "\"pinned_f32\":{},\"f32_fallbacks\":{}}},",
+                "\"budget\":{{\"certified\":{},\"heuristic\":{},\"budget_exhausted\":{},",
+                "\"budget_fallbacks\":{},\"quarantined\":{},\"audit_rejections\":{}}},",
+                "\"resumed_units\":{}}}"
+            ),
+            json_string(&self.layout),
+            self.units,
+            self.threads,
+            seed,
+            self.conflicts,
+            self.stitches,
+            float(self.objective),
+            float(self.decompose_ms),
+            self.matching,
+            self.colorgnn,
+            self.ec,
+            self.ilp,
+            self.colorgnn_fallbacks,
+            self.memo_hits,
+            self.precision,
+            self.dedup_hits,
+            self.routing_memo_hits,
+            self.units_inferred,
+            self.quantized_units,
+            self.pinned_f32,
+            self.f32_fallbacks,
+            self.certified,
+            self.heuristic,
+            self.budget_exhausted,
+            self.budget_fallbacks,
+            self.quarantined,
+            self.audit_rejections,
+            self.resumed_units,
+        )
+    }
+
+    /// Parses a line produced by [`RunSummary::to_json`]. Key lookup is
+    /// global (every key is unique across the nested sections), so the
+    /// parser tolerates reordered or additional fields.
+    pub fn parse(line: &str) -> Option<Self> {
+        let seed = match field(line, "seed")? {
+            "null" => None,
+            s => Some(s.parse().ok()?),
+        };
+        Some(Self {
+            layout: field(line, "layout")?.to_string(),
+            units: num(line, "units")?,
+            threads: num(line, "threads")?,
+            seed,
+            conflicts: num(line, "conflicts")?,
+            stitches: num(line, "stitches")?,
+            objective: field(line, "objective")?.parse().ok()?,
+            decompose_ms: field(line, "decompose_ms")?.parse().ok()?,
+            matching: num(line, "matching")?,
+            colorgnn: num(line, "colorgnn")?,
+            ec: num(line, "ec")?,
+            ilp: num(line, "ilp")?,
+            colorgnn_fallbacks: num(line, "colorgnn_fallbacks")?,
+            memo_hits: num(line, "memo_hits")?,
+            precision: Precision::parse(field(line, "precision")?)?,
+            dedup_hits: num(line, "dedup_hits")?,
+            routing_memo_hits: num(line, "routing_memo_hits")?,
+            units_inferred: num(line, "units_inferred")?,
+            quantized_units: num(line, "quantized_units")?,
+            pinned_f32: num(line, "pinned_f32")?,
+            f32_fallbacks: num(line, "f32_fallbacks")?,
+            certified: num(line, "certified")?,
+            heuristic: num(line, "heuristic")?,
+            budget_exhausted: num(line, "budget_exhausted")?,
+            budget_fallbacks: num(line, "budget_fallbacks")?,
+            quarantined: num(line, "quarantined")?,
+            audit_rejections: num(line, "audit_rejections")?,
+            resumed_units: num(line, "resumed_units")?,
+        })
+    }
+}
+
+/// Emits a float that parses back to the same value (`{:?}` is Rust's
+/// shortest round-trip representation) and is still valid JSON for the
+/// finite values a run summary contains.
+fn float(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn num<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {
+    field(line, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        RunSummary {
+            layout: "C432".into(),
+            units: 44,
+            threads: 2,
+            seed: Some(0xBEEF),
+            conflicts: 1,
+            stitches: 3,
+            objective: 1.3,
+            decompose_ms: 12.625,
+            matching: 30,
+            colorgnn: 5,
+            ec: 4,
+            ilp: 5,
+            colorgnn_fallbacks: 1,
+            memo_hits: 2,
+            precision: Precision::F32,
+            dedup_hits: 11,
+            routing_memo_hits: 0,
+            units_inferred: 33,
+            quantized_units: 0,
+            pinned_f32: 0,
+            f32_fallbacks: 0,
+            certified: 40,
+            heuristic: 4,
+            budget_exhausted: 0,
+            budget_fallbacks: 0,
+            quarantined: 0,
+            audit_rejections: 0,
+            resumed_units: 0,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let s = sample();
+        let parsed = RunSummary::parse(&s.to_json()).expect("parses");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn null_seed_round_trips() {
+        let mut s = sample();
+        s.seed = None;
+        assert!(s.to_json().contains("\"seed\":null"));
+        assert_eq!(RunSummary::parse(&s.to_json()).expect("parses"), s);
+    }
+
+    #[test]
+    fn awkward_floats_survive() {
+        let mut s = sample();
+        s.objective = 0.30000000000000004; // classic non-representable sum
+        s.decompose_ms = 1e-7;
+        assert_eq!(RunSummary::parse(&s.to_json()).expect("parses"), s);
+    }
+
+    #[test]
+    fn layout_names_are_escaped() {
+        let mut s = sample();
+        s.layout = "we\"ird\\name".into();
+        let json = s.to_json();
+        // The escaped name must not break the object structure…
+        assert!(json.ends_with('}'));
+        // …and the simple scan-based parser recovers the prefix up to the
+        // first quote (full unescaping is out of scope for names that the
+        // benchmark suite never produces).
+        assert!(RunSummary::parse(&json).is_some());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(RunSummary::parse("{}").is_none());
+        assert!(RunSummary::parse("not json").is_none());
+    }
+}

@@ -598,6 +598,10 @@ impl FrozenColorGnn {
         let mut active: Vec<usize> = (0..graphs.len()).collect();
         let mut csr = Csr::default();
         let mut kept: Vec<u32> = Vec::new();
+        // One arena for the whole call: the restart loop reuses it
+        // without touching the pool mutex, so concurrent sessions never
+        // contend between rounds.
+        let mut arena = self.pool.lease();
         for round in 0..self.restarts {
             if active.is_empty() {
                 break;
@@ -630,7 +634,8 @@ impl FrozenColorGnn {
                 .expect("disjoint union of valid graphs is valid");
 
             let kc = params.k as usize;
-            let colorings: Vec<Vec<u8>> = self.pool.with(|s| {
+            let colorings: Vec<Vec<u8>> = {
+                let s = &mut *arena;
                 let b = self.beliefs_into(&union, kc, rng, s, &mut csr, &mut kept, quant, &mut h16);
                 let out = (0..active.len())
                     .map(|ai| {
@@ -642,7 +647,7 @@ impl FrozenColorGnn {
                     .collect();
                 s.put(b);
                 out
-            });
+            };
             for (&gi, coloring) in active.iter().zip(colorings) {
                 let cand = Decomposition::from_coloring(graphs[gi], coloring, params.alpha);
                 let better = match &best[gi] {
@@ -702,6 +707,8 @@ impl FrozenColorGnn {
         }
         let mut cut = false;
         let mut best: Option<Decomposition> = None;
+        // One arena for the whole call (see `decompose_batch_with_rng_prec`).
+        let mut arena = self.pool.lease();
         let mut csr = Csr::default();
         let mut kept: Vec<u32> = Vec::new();
         let mut h16: Vec<u16> = Vec::new();
@@ -713,14 +720,15 @@ impl FrozenColorGnn {
             }
             #[cfg(feature = "failpoints")]
             mpld_graph::failpoints::tick("colorgnn.restart");
-            let coloring = self.pool.with(|s| {
+            let coloring = {
+                let s = &mut *arena;
                 let b = self.beliefs_into(graph, kc, rng, s, &mut csr, &mut kept, false, &mut h16);
                 let coloring: Vec<u8> = (0..n)
                     .map(|r| Self::argmax_row(&b[r * kc..(r + 1) * kc]))
                     .collect();
                 s.put(b);
                 coloring
-            });
+            };
             let cand = Decomposition::try_from_coloring(graph, coloring, params.alpha)?;
             let better = match &best {
                 None => true,

@@ -1,0 +1,443 @@
+//! Decomposition as a service: a long-lived HTTP/NDJSON endpoint over
+//! one warm, shared [`Engine`].
+//!
+//! The server loads a trained framework once, compiles the frozen
+//! inference heads once ([`Engine::new`]), and then serves any number of
+//! requests from a fixed worker pool — every request shares the engine's
+//! cross-request routing memo and solution caches, so repeated layouts
+//! skip inference and tail solves entirely while staying bit-identical
+//! to a cold run (the engine's parity contract).
+//!
+//! Deliberately dependency-free: `std::net::TcpListener`, hand-rolled
+//! HTTP/1.1 parsing for the three routes it owns, and newline-delimited
+//! JSON for streaming. The protocol:
+//!
+//! - `GET /healthz` — liveness + engine cache counters.
+//! - `GET /stats` — the same counters without the liveness wrapper.
+//! - `POST /decompose` with a JSON body
+//!   `{"circuit":"C432","seed":7,"time_limit_ms":500}` (seed and
+//!   time_limit_ms optional) — responds `200` with
+//!   `Content-Type: application/x-ndjson` and streams one `routed` event,
+//!   one `unit` event per ILP/EC-tail unit, then a final `done` line
+//!   whose `summary` field is the [`RunSummary`] object also emitted by
+//!   `mpld adaptive --json`. Deadlines return best-so-far incumbents,
+//!   never errors.
+//!
+//! Admission control is a bounded queue: when every worker is busy and
+//! the backlog is full, new connections are rejected immediately with
+//! `429 Too Many Requests` instead of queueing without bound. Shutdown
+//! (SIGTERM/SIGINT, or the shutdown flag in-process) drains: the
+//! acceptor stops, queued requests finish, workers join, and the
+//! process exits cleanly.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use mpld::{prepare, BudgetPolicy, Engine, PreparedLayout, Progress, RunSummary, Session};
+use mpld_layout::circuit_by_name;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs of one [`serve`] loop.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Request worker threads (each drives its own [`Session`]).
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this
+    /// the acceptor answers `429` immediately.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout (a stalled client releases
+    /// its worker after this long).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 16,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Default seed for requests that do not pin one — matches the perf
+/// harness so served digests line up with the committed baselines.
+pub const DEFAULT_SEED: u64 = 0xBEEF;
+
+/// Process-wide drain flag set by the SIGTERM/SIGINT handlers installed
+/// by [`install_signal_handlers`].
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    // Provided by libc, which std always links on this platform.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs SIGTERM/SIGINT handlers that flip the returned flag; pass it
+/// to [`serve`] as the shutdown flag for signal-driven graceful drain.
+pub fn install_signal_handlers() -> &'static AtomicBool {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: on_signal is async-signal-safe (a single atomic store) and
+    // stays alive for the program's lifetime.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    &SIGNALED
+}
+
+/// Per-circuit prepared-layout cache: preparation (simplification +
+/// unit extraction) is deterministic, so one shared copy serves every
+/// request for the same circuit.
+struct PrepCache {
+    engine: Arc<Engine>,
+    preps: Mutex<HashMap<String, Arc<PreparedLayout>>>,
+}
+
+impl PrepCache {
+    fn get(&self, circuit: &str) -> Option<Arc<PreparedLayout>> {
+        if let Some(p) = self.preps.lock().ok().and_then(|m| m.get(circuit).cloned()) {
+            return Some(p);
+        }
+        let generator = circuit_by_name(circuit)?;
+        let prep = Arc::new(prepare(
+            &generator.generate(),
+            &self.engine.framework().params,
+        ));
+        if let Ok(mut m) = self.preps.lock() {
+            // First writer wins; a racing prepare produced the same value.
+            return Some(m.entry(circuit.to_string()).or_insert(prep).clone());
+        }
+        Some(prep)
+    }
+}
+
+/// Runs the accept/drain loop until `shutdown` turns true, serving
+/// requests from `workers` threads that share `engine`. Returns once
+/// every queued request has finished and all workers have joined.
+///
+/// The listener is switched to non-blocking so the acceptor can poll the
+/// shutdown flag; worker sockets themselves stay blocking (with
+/// `read_timeout`).
+///
+/// # Errors
+///
+/// Only listener-level failures (e.g. `set_nonblocking`) surface as
+/// errors; per-connection failures are logged to stderr and dropped.
+pub fn serve(
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = sync_channel::<TcpStream>(cfg.queue_depth);
+    let rx = Arc::new(Mutex::new(rx));
+    let cache = Arc::new(PrepCache {
+        engine,
+        preps: Mutex::new(HashMap::new()),
+    });
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let cache = Arc::clone(&cache);
+            let read_timeout = cfg.read_timeout;
+            handles.push(scope.spawn(move || worker_loop(&rx, &cache, read_timeout)));
+        }
+
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => respond_busy(stream),
+                    Err(TrySendError::Disconnected(_)) => break,
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => eprintln!("mpld-server: accept failed: {e}"),
+            }
+        }
+
+        // Graceful drain: close the queue; workers finish what is queued,
+        // see the disconnect, and return.
+        drop(tx);
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+    Ok(())
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    cache: &Arc<PrepCache>,
+    read_timeout: Duration,
+) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the request.
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(stream) = stream else { return }; // queue closed: drain done
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        if let Err(e) = handle_connection(stream, cache) {
+            eprintln!("mpld-server: request failed: {e}");
+        }
+    }
+}
+
+/// The one admission-control response, written straight from the
+/// acceptor thread so a saturated pool still answers instantly.
+fn respond_busy(mut stream: TcpStream) {
+    let _ = stream.write_all(
+        b"HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+          Connection: close\r\nContent-Length: 26\r\n\r\n{\"error\":\"queue is full\"}\n",
+    );
+}
+
+fn handle_connection(stream: TcpStream, cache: &Arc<PrepCache>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+
+    // Headers: only Content-Length matters to us.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => {
+            let s = cache.engine.stats();
+            respond_json(
+                reader.into_inner(),
+                "200 OK",
+                &format!(
+                    "{{\"status\":\"ok\",\"routing_entries\":{},\"routing_hits\":{},\
+                     \"solution_entries\":{}}}",
+                    s.routing.entries,
+                    s.routing.hits,
+                    s.solutions_ilp_first.entries + s.solutions_ec_first.entries
+                ),
+            )
+        }
+        ("GET", "/stats") => {
+            let s = cache.engine.stats();
+            respond_json(
+                reader.into_inner(),
+                "200 OK",
+                &format!(
+                    "{{\"routing\":{},\"solutions_ilp_first\":{},\"solutions_ec_first\":{}}}",
+                    map_stats_json(&s.routing),
+                    map_stats_json(&s.solutions_ilp_first),
+                    map_stats_json(&s.solutions_ec_first)
+                ),
+            )
+        }
+        ("POST", "/decompose") => {
+            let mut body = vec![0u8; content_length.min(1 << 20)];
+            reader.read_exact(&mut body)?;
+            let body = String::from_utf8_lossy(&body).into_owned();
+            handle_decompose(reader.into_inner(), cache, &body)
+        }
+        _ => respond_json(
+            reader.into_inner(),
+            "404 Not Found",
+            "{\"error\":\"unknown route\"}",
+        ),
+    }
+}
+
+fn respond_json(mut stream: TcpStream, status: &str, body: &str) -> std::io::Result<()> {
+    let mut body = body.to_string();
+    body.push('\n');
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Extracts the token following `"key":` from a flat JSON object —
+/// enough for the three-field request body this server accepts.
+fn body_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\"");
+    let rest = &body[body.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.find('"').map(|end| &stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn handle_decompose(
+    mut stream: TcpStream,
+    cache: &Arc<PrepCache>,
+    body: &str,
+) -> std::io::Result<()> {
+    let Some(circuit) = body_field(body, "circuit") else {
+        return respond_json(
+            stream,
+            "400 Bad Request",
+            "{\"error\":\"missing \\\"circuit\\\"\"}",
+        );
+    };
+    let seed: u64 = body_field(body, "seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let time_limit = body_field(body, "time_limit_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+
+    let Some(prep) = cache.get(circuit) else {
+        return respond_json(
+            stream,
+            "404 Not Found",
+            &format!("{{\"error\":\"unknown circuit {circuit:?}\"}}"),
+        );
+    };
+
+    // Streaming NDJSON: no Content-Length, the body ends when the
+    // connection closes (Connection: close).
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+
+    let policy = BudgetPolicy {
+        total: time_limit,
+        ..BudgetPolicy::unlimited()
+    };
+    let mut session = Session::with_policy(seed, policy);
+    let mut stream_err: Option<std::io::Error> = None;
+    let result = {
+        let mut on_event = |e: Progress| {
+            if stream_err.is_some() {
+                return; // client went away: finish the solve, skip writes
+            }
+            let line = match e {
+                Progress::Routed {
+                    units,
+                    matched,
+                    colorgnn,
+                    routing_memo_hits,
+                } => format!(
+                    "{{\"event\":\"routed\",\"units\":{units},\"matched\":{matched},\
+                     \"colorgnn\":{colorgnn},\"routing_memo_hits\":{routing_memo_hits}}}"
+                ),
+                Progress::Unit {
+                    index,
+                    engine,
+                    certainty,
+                    cached,
+                } => format!(
+                    "{{\"event\":\"unit\",\"index\":{index},\"engine\":\"{engine:?}\",\
+                     \"certainty\":\"{certainty:?}\",\"cached\":{cached}}}"
+                ),
+            };
+            if let Err(e) = writeln!(stream, "{line}").and_then(|()| stream.flush()) {
+                stream_err = Some(e);
+            }
+        };
+        cache
+            .engine
+            .decompose_with_progress(&prep, &mut session, &mut on_event)
+    };
+    if let Some(e) = stream_err {
+        return Err(e);
+    }
+
+    match result {
+        Ok(r) => {
+            let summary = RunSummary::from_result(
+                &prep.name,
+                &r,
+                cache.engine.framework().params.alpha,
+                1,
+                Some(seed),
+            );
+            writeln!(
+                stream,
+                "{{\"event\":\"done\",\"summary\":{}}}",
+                summary.to_json()
+            )?;
+        }
+        Err(e) => {
+            writeln!(
+                stream,
+                "{{\"event\":\"error\",\"message\":{:?}}}",
+                e.to_string()
+            )?;
+        }
+    }
+    stream.flush()
+}
+
+fn map_stats_json(s: &mpld::ShardedMapStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
+        s.hits, s.misses, s.entries
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_fields_parse() {
+        let b = r#"{"circuit":"C432","seed":7,"time_limit_ms":500}"#;
+        assert_eq!(body_field(b, "circuit"), Some("C432"));
+        assert_eq!(body_field(b, "seed"), Some("7"));
+        assert_eq!(body_field(b, "time_limit_ms"), Some("500"));
+        assert_eq!(body_field(b, "missing"), None);
+        // Whitespace-tolerant.
+        let b = r#"{ "circuit" : "C499" , "seed" : 12 }"#;
+        assert_eq!(body_field(b, "circuit"), Some("C499"));
+        assert_eq!(body_field(b, "seed"), Some("12"));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_depth >= 1);
+    }
+}

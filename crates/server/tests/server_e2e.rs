@@ -1,0 +1,252 @@
+//! In-process end-to-end test of the decomposition server: a warm
+//! shared engine behind a real TCP listener, driven by raw
+//! `TcpStream` clients. Covers the streaming protocol, cross-request
+//! cache reuse, admission control (429), and graceful drain.
+
+use mpld::{prepare, train_framework, Engine, OfflineConfig, RunSummary, TrainingData};
+use mpld_graph::DecomposeParams;
+use mpld_layout::circuit_by_name;
+use mpld_server::{serve, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One server shared by every test in this file (spawned once, reaped
+/// with the process): its address and shutdown flag.
+struct TestServer {
+    addr: std::net::SocketAddr,
+    #[allow(dead_code)]
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A quickly trained engine (and its training cap, for reference).
+fn tiny_engine() -> (Arc<Engine>, usize) {
+    let params = DecomposeParams::tpl();
+    let layout = circuit_by_name("C432").expect("exists").generate();
+    let prep = prepare(&layout, &params);
+    let mut data = TrainingData::default();
+    data.add_layout_capped(&prep, &params, 8);
+    let mut cfg = OfflineConfig::default();
+    cfg.rgcn.epochs = 1;
+    cfg.colorgnn.epochs = 1;
+    cfg.library = mpld_matching::LibraryConfig {
+        max_parent_size: 4,
+        max_splits: 1,
+        max_nodes: 5,
+        stitches: false,
+    };
+    (
+        Arc::new(Engine::new(train_framework(&data, &params, &cfg))),
+        8,
+    )
+}
+
+fn server() -> &'static TestServer {
+    static SERVER: OnceLock<TestServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let (engine, _) = tiny_engine();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            let cfg = ServerConfig {
+                workers: 2,
+                queue_depth: 4,
+                read_timeout: Duration::from_secs(5),
+            };
+            serve(engine, listener, &cfg, &flag).expect("serve");
+        });
+        TestServer { addr, shutdown }
+    })
+}
+
+fn request(addr: std::net::SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    out
+}
+
+fn post_decompose(addr: std::net::SocketAddr, body: &str) -> String {
+    request(
+        addr,
+        &format!(
+            "POST /decompose HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The final `done` line of a streamed decomposition response.
+fn done_line(response: &str) -> &str {
+    response
+        .lines()
+        .find(|l| l.starts_with("{\"event\":\"done\""))
+        .unwrap_or_else(|| panic!("no done event in response:\n{response}"))
+}
+
+#[test]
+fn healthz_answers_ok() {
+    let s = server();
+    let r = request(s.addr, "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 200 OK"), "{r}");
+    assert!(r.contains("\"status\":\"ok\""), "{r}");
+}
+
+#[test]
+fn unknown_route_is_404_and_bad_body_is_400() {
+    let s = server();
+    let r = request(s.addr, "GET /nope HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 404"), "{r}");
+    let r = post_decompose(s.addr, "{}");
+    assert!(r.starts_with("HTTP/1.1 400"), "{r}");
+    let r = post_decompose(s.addr, r#"{"circuit":"NOT_A_CIRCUIT"}"#);
+    assert!(r.starts_with("HTTP/1.1 404"), "{r}");
+}
+
+#[test]
+fn repeated_requests_share_the_warm_engine() {
+    let s = server();
+    let body = r#"{"circuit":"C432","seed":7}"#;
+
+    let first = post_decompose(s.addr, body);
+    assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+    assert!(first.contains("application/x-ndjson"), "{first}");
+    assert!(first.contains("{\"event\":\"routed\""), "{first}");
+    let a = RunSummary::parse(done_line(&first)).expect("summary parses");
+
+    let second = post_decompose(s.addr, body);
+    let b = RunSummary::parse(done_line(&second)).expect("summary parses");
+
+    // Identical request, identical digest…
+    assert_eq!(a.layout, "C432");
+    assert_eq!((a.conflicts, a.stitches), (b.conflicts, b.stitches));
+    assert_eq!(
+        (a.matching, a.colorgnn, a.ec, a.ilp),
+        (b.matching, b.colorgnn, b.ec, b.ilp)
+    );
+    assert_eq!(a.seed, Some(7));
+    // …and the repeat was served from the cross-request routing memo.
+    assert!(
+        b.routing_memo_hits > 0,
+        "second request must hit the shared routing memo: {b:?}"
+    );
+    assert_eq!(b.units_inferred, 0, "{b:?}");
+
+    // The stats route reflects the shared-cache traffic.
+    let stats = request(s.addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(stats.contains("\"routing\":{\"hits\":"), "{stats}");
+}
+
+#[test]
+fn deadline_requests_stream_incumbents_not_errors() {
+    let s = server();
+    let r = post_decompose(s.addr, r#"{"circuit":"C432","seed":7,"time_limit_ms":0}"#);
+    assert!(r.starts_with("HTTP/1.1 200 OK"), "{r}");
+    let summary = RunSummary::parse(done_line(&r)).expect("summary parses");
+    // Every unit still resolved; budget pressure shows up as certainty
+    // accounting, never as an error event.
+    assert_eq!(
+        summary.certified + summary.heuristic + summary.budget_exhausted + summary.quarantined,
+        summary.units
+    );
+    assert!(!r.contains("{\"event\":\"error\""), "{r}");
+}
+
+#[test]
+fn saturated_queue_rejects_with_429_and_recovers() {
+    // A private single-worker server so saturating it cannot interfere
+    // with the shared instance used by the other tests.
+    let (engine, _) = tiny_engine();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || {
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_secs(2),
+        };
+        serve(engine, listener, &cfg, &flag)
+    });
+
+    // Wedge the worker and the queue slot with connections that never
+    // send a request line (released by the server's read timeout).
+    let held: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let c = TcpStream::connect(addr).expect("connect");
+            std::thread::sleep(Duration::from_millis(100));
+            c
+        })
+        .collect();
+    // With the pool and backlog full, a new connection is turned away
+    // immediately. Retry briefly in case a held slot had not yet been
+    // dequeued when we connected.
+    let mut saw_429 = false;
+    for _ in 0..20 {
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        c.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("send");
+        let mut out = String::new();
+        let _ = c.read_to_string(&mut out);
+        if out.starts_with("HTTP/1.1 429") {
+            assert!(out.contains("queue is full"), "{out}");
+            saw_429 = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    drop(held);
+    assert!(saw_429, "saturation never produced a 429");
+    // After the held connections time out, service recovers.
+    let mut ok = false;
+    for _ in 0..60 {
+        let mut c = TcpStream::connect(addr).expect("connect");
+        c.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        c.write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("send");
+        let mut out = String::new();
+        let _ = c.read_to_string(&mut out);
+        if out.starts_with("HTTP/1.1 200") {
+            ok = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    assert!(ok, "server did not recover after saturation");
+    shutdown.store(true, Ordering::SeqCst);
+    assert!(handle.join().expect("no panic").is_ok());
+}
+
+#[test]
+fn graceful_drain_joins_workers() {
+    // A private server instance so the shared one keeps running for the
+    // other tests.
+    let (engine, _) = tiny_engine();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || {
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_secs(1),
+        };
+        serve(engine, listener, &cfg, &flag)
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    shutdown.store(true, Ordering::SeqCst);
+    let joined = handle.join().expect("no panic");
+    assert!(joined.is_ok());
+}

@@ -437,11 +437,17 @@ impl Scratch {
     }
 }
 
-/// A mutex-guarded pool of [`Scratch`]es so frozen models can be shared
-/// across the worker threads of the parallel decomposition tail: each
-/// `with` call checks out one scratch (creating it on first use),
-/// runs the closure, and folds its high-water mark into the pool-wide
-/// peak.
+/// A pool manager handing out per-worker [`Scratch`] arenas so frozen
+/// models can be shared across decomposition worker threads and
+/// concurrent server requests: [`ScratchPool::lease`] checks an arena out
+/// (creating it on first use) and the returned [`ScratchLease`] gives the
+/// holder exclusive, lock-free access until it drops, at which point the
+/// arena returns to the free list and its high-water mark folds into the
+/// pool-wide peak. A worker that holds one lease across a whole request
+/// pays the pool mutex twice per request instead of twice per forward.
+///
+/// [`ScratchPool::with`] is the closure-scoped convenience wrapper over a
+/// single lease.
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     inner: Mutex<PoolState>,
@@ -453,24 +459,68 @@ struct PoolState {
     peak_bytes: usize,
 }
 
+/// Exclusive RAII checkout of one [`Scratch`] arena from a
+/// [`ScratchPool`]. Dereferences to the arena; dropping it returns the
+/// arena to the pool and records its high-water mark.
+#[derive(Debug)]
+pub struct ScratchLease<'p> {
+    pool: &'p ScratchPool,
+    // Always `Some` until `drop` takes it back.
+    scratch: Option<Scratch>,
+}
+
+impl std::ops::Deref for ScratchLease<'_> {
+    type Target = Scratch;
+
+    fn deref(&self) -> &Scratch {
+        #[allow(clippy::expect_used)] // invariant: emptied only in drop
+        self.scratch.as_ref().expect("lease holds a scratch")
+    }
+}
+
+impl std::ops::DerefMut for ScratchLease<'_> {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        #[allow(clippy::expect_used)] // invariant: emptied only in drop
+        self.scratch.as_mut().expect("lease holds a scratch")
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        let Some(scratch) = self.scratch.take() else {
+            return;
+        };
+        if let Ok(mut st) = self.pool.inner.lock() {
+            st.peak_bytes = st.peak_bytes.max(scratch.high_water_bytes());
+            st.free.push(scratch);
+        }
+    }
+}
+
 impl ScratchPool {
     /// An empty pool.
     pub fn new() -> Self {
         ScratchPool::default()
     }
 
-    /// Runs `f` with a checked-out scratch.
-    pub fn with<R>(&self, f: impl FnOnce(&mut Scratch) -> R) -> R {
-        let mut scratch = match self.inner.lock() {
+    /// Checks one arena out of the pool (creating it when the free list
+    /// is empty). The lease holds the arena exclusively — no lock is
+    /// taken between checkout and drop.
+    pub fn lease(&self) -> ScratchLease<'_> {
+        let scratch = match self.inner.lock() {
             Ok(mut st) => st.free.pop().unwrap_or_default(),
             Err(_) => Scratch::new(), // poisoned: degrade to a throwaway
         };
-        let out = f(&mut scratch);
-        if let Ok(mut st) = self.inner.lock() {
-            st.peak_bytes = st.peak_bytes.max(scratch.high_water_bytes());
-            st.free.push(scratch);
+        ScratchLease {
+            pool: self,
+            scratch: Some(scratch),
         }
-        out
+    }
+
+    /// Runs `f` with a checked-out scratch (a single-closure lease).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Scratch) -> R) -> R {
+        let mut lease = self.lease();
+        f(&mut lease)
     }
 
     /// Peak high-water bytes observed across all scratches in the pool.
@@ -637,5 +687,44 @@ mod tests {
             s.put(a);
         });
         assert_eq!(pool.high_water_bytes(), 64);
+    }
+
+    #[test]
+    fn lease_holds_arena_exclusively_and_returns_it() {
+        let pool = ScratchPool::new();
+        {
+            let mut lease = pool.lease();
+            let a = lease.take(32);
+            lease.put(a);
+            // A second concurrent lease gets its own arena, not the
+            // checked-out one.
+            let mut other = pool.lease();
+            let b = other.take(8);
+            other.put(b);
+        }
+        // Both arenas returned; the pool-wide peak folds the larger one.
+        assert_eq!(pool.high_water_bytes(), 128);
+        // The free list is reused: a new lease recycles a returned arena
+        // whose per-arena high-water mark is already recorded.
+        let lease = pool.lease();
+        assert!(lease.high_water_bytes() > 0);
+    }
+
+    #[test]
+    fn lease_concurrent_leases_do_not_share_state() {
+        let pool = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        let mut lease = pool.lease();
+                        let a = lease.take(64);
+                        assert!(a.iter().all(|&v| v == 0.0));
+                        lease.put(a);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.high_water_bytes(), 256);
     }
 }

@@ -73,6 +73,40 @@ def check_quantized(fresh) -> bool:
     return bad
 
 
+def check_serving(fresh) -> bool:
+    """Internal consistency of the fresh run's serving section.
+
+    Served digests are asserted equal to the serial adaptive run inside
+    the harness binary (cost, engine usage, warm-request inference
+    counts); here the guard re-checks the recorded flags and that the
+    warm pass actually exercised the cross-request caches. Throughput is
+    ignored — it varies by host. Returns True when something diverged.
+    """
+    serving = fresh.get("serving")
+    if serving is None:
+        print("fresh run lacks a serving section")
+        return True
+    bad = False
+    for row in serving.get("per_circuit", []):
+        if not row.get("cost_equal"):
+            print(f"serving[{row.get('name')}]: cost_equal is not true")
+            bad = True
+        if row.get("units", 0) > 0 and row.get("warm_routing_memo_hits", 0) == 0:
+            print(
+                f"serving[{row.get('name')}]: warm request missed the "
+                "cross-request routing memo"
+            )
+            bad = True
+    memo = serving.get("routing_memo", {})
+    if memo.get("hits", 0) == 0:
+        print("serving: the shared routing memo recorded no hits at all")
+        bad = True
+    if not bad:
+        n = len(serving.get("per_circuit", []))
+        print(f"serving tier consistent with the serial run ({n} circuits)")
+    return bad
+
+
 def main() -> int:
     fresh_path, committed_path = sys.argv[1], sys.argv[2]
     with open(fresh_path) as f:
@@ -86,6 +120,10 @@ def main() -> int:
     quant_bad = committed.get("quantized") is not None and check_quantized(fresh)
     if quant_bad:
         print("quantized tier DIVERGED from the fresh run's own f32 routing")
+    serving_bad = committed.get("serving") is not None and check_serving(fresh)
+    if serving_bad:
+        print("serving tier DIVERGED from the fresh run's own serial digests")
+    quant_bad = quant_bad or serving_bad
 
     if fresh.get("fp_kernel") != committed.get("fp_kernel"):
         print(

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Server smoke test: train a tiny model, record the CLI run's digest
+# (`mpld adaptive --json`), start `mpld serve`, POST the same circuit
+# twice — the repeat must be served entirely from the cross-request
+# caches — assert both served summaries match the CLI digest, then
+# SIGTERM the server and require a clean drain (exit 0).
+#
+# Usage: scripts/server_smoke.sh [model-path]
+# Knobs: MPLD_BIN (default target/release/mpld), MPLD_SMOKE_PORT (7979).
+set -euo pipefail
+
+BIN=${MPLD_BIN:-target/release/mpld}
+MODEL=${1:-/tmp/ci-serve-model.bin}
+PORT=${MPLD_SMOKE_PORT:-7979}
+LOG=/tmp/ci-serve.log
+
+"$BIN" train -o "$MODEL" --circuits C432 --cap 20 --epochs 2
+
+# The oracle: the same circuit/seed through the per-request CLI path.
+"$BIN" adaptive C432 --model "$MODEL" --seed 7 --threads 1 --json true \
+  > /tmp/ci-cli-summary.json
+cat /tmp/ci-cli-summary.json
+
+"$BIN" serve --model "$MODEL" --addr "127.0.0.1:$PORT" --workers 2 \
+  > "$LOG" &
+SERVER_PID=$!
+trap 'kill -9 $SERVER_PID 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$LOG" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "listening on" "$LOG"
+
+post_decompose() {
+  python3 - "$PORT" <<'EOF'
+import socket, sys
+body = '{"circuit":"C432","seed":7}'
+req = ("POST /decompose HTTP/1.1\r\nHost: smoke\r\n"
+       f"Content-Length: {len(body)}\r\n\r\n{body}")
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=120)
+s.sendall(req.encode())
+out = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    out += chunk
+sys.stdout.write(out.decode())
+EOF
+}
+
+post_decompose > /tmp/ci-serve-1.txt
+post_decompose > /tmp/ci-serve-2.txt
+
+python3 - /tmp/ci-cli-summary.json /tmp/ci-serve-1.txt /tmp/ci-serve-2.txt <<'EOF'
+import json, sys
+
+cli = json.load(open(sys.argv[1]))
+
+def done_summary(path):
+    for line in open(path):
+        if line.startswith('{"event":"done"'):
+            return json.loads(line)["summary"]
+    sys.exit(f"{path}: no done event in the streamed response")
+
+first = done_summary(sys.argv[2])
+repeat = done_summary(sys.argv[3])
+for served, who in ((first, "first"), (repeat, "repeat")):
+    assert served["cost"] == cli["cost"], (
+        f"{who}: served cost {served['cost']} != CLI {cli['cost']}")
+    for engine in ("matching", "colorgnn", "ec", "ilp"):
+        assert served["usage"][engine] == cli["usage"][engine], (
+            f"{who}: served {engine} usage {served['usage'][engine]} "
+            f"!= CLI {cli['usage'][engine]}")
+assert repeat["inference"]["routing_memo_hits"] > 0, (
+    "repeat request missed the cross-request routing memo")
+assert repeat["inference"]["units_inferred"] == 0, (
+    "repeat request re-ran routing inference")
+print("served digests match the CLI run; repeat hit the cross-request memo")
+EOF
+
+# Graceful drain: SIGTERM must finish queued work and exit 0.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q "drained, exiting" "$LOG"
+trap - EXIT
+echo "server smoke passed"

@@ -1,0 +1,198 @@
+//! The shared-state service layer, end to end: a frozen [`Engine`] must
+//! reproduce the per-request serial oracle bit for bit (cold caches and
+//! warm), serve concurrent sessions from one instance with identical
+//! digests, reuse routing/solution caches across requests, and honor
+//! deadlines by returning incumbents instead of errors.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use mpld::{
+    prepare, train_framework, AdaptiveFramework, AdaptiveResult, BudgetPolicy, Engine,
+    OfflineConfig, PreparedLayout, Progress, Session, TrainingData,
+};
+use mpld_graph::{Certainty, DecomposeParams, MockClock};
+use mpld_layout::circuit_by_name;
+
+const SEED: u64 = 0xD15EA5E;
+
+fn trained_framework() -> AdaptiveFramework {
+    let params = DecomposeParams::tpl();
+    let layout = circuit_by_name("C499").expect("exists").generate();
+    let prep = prepare(&layout, &params);
+    let mut data = TrainingData::default();
+    data.add_layout_capped(&prep, &params, 40);
+    let mut cfg = OfflineConfig::default();
+    cfg.rgcn.epochs = 2;
+    cfg.colorgnn.epochs = 1;
+    train_framework(&data, &params, &cfg)
+}
+
+/// Serial oracle + warm engine over the same weights, built once: the
+/// oracle result is recorded *before* the framework moves into the
+/// engine, so both see identical models.
+fn fixture() -> &'static (Engine, PreparedLayout, AdaptiveResult) {
+    static FIXTURE: OnceLock<(Engine, PreparedLayout, AdaptiveResult)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let fw = trained_framework();
+        let params = fw.params;
+        let test = prepare(
+            &circuit_by_name("C432").expect("exists").generate(),
+            &params,
+        );
+        fw.colorgnn.reseed(SEED);
+        let serial = fw.decompose_prepared(&test);
+        (Engine::new(fw), test, serial)
+    })
+}
+
+/// The digest the parity contract covers: everything that must be
+/// independent of caches, sessions, and interleaving.
+fn digest(r: &AdaptiveResult) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        &r.pipeline.decomposition,
+        r.pipeline.cost,
+        &r.unit_engines,
+        r.usage,
+        r.budget,
+    )
+}
+
+#[test]
+fn engine_request_matches_the_serial_oracle_bit_for_bit() {
+    let (engine, test, serial) = fixture();
+
+    // First request (caches possibly warmed by other tests — the parity
+    // contract holds either way because cached entries are bitwise what
+    // recomputation would produce).
+    let mut session = Session::new(SEED);
+    let first = engine.decompose(test, &mut session).expect("decomposes");
+    assert_eq!(digest(&first), digest(serial));
+
+    // Second request from a fresh session: identical digest, and now the
+    // routing memo demonstrably served every representative.
+    let mut events = Vec::new();
+    let mut session = Session::new(SEED);
+    let second = engine
+        .decompose_with_progress(test, &mut session, &mut |e| events.push(e))
+        .expect("decomposes");
+    assert_eq!(digest(&second), digest(serial));
+    assert!(
+        second.inference.shared_memo_hits > 0,
+        "repeated layout must hit the cross-request routing memo"
+    );
+    assert_eq!(second.inference.units_inferred, 0);
+    assert_eq!(
+        second.inference.memo_hits
+            + second.inference.shared_memo_hits
+            + second.inference.units_inferred,
+        test.units.len()
+    );
+    assert!(engine.stats().routing.hits > 0);
+
+    // Progress stream: one Routed header with the right totals, then one
+    // Unit event per ILP/EC-tail unit.
+    let Some(Progress::Routed {
+        units,
+        matched,
+        colorgnn,
+        routing_memo_hits,
+    }) = events.first().copied()
+    else {
+        panic!("first event must be Routed, got {:?}", events.first());
+    };
+    assert_eq!(units, test.units.len());
+    assert_eq!(matched, serial.usage.matching);
+    assert_eq!(colorgnn, serial.usage.colorgnn);
+    assert!(routing_memo_hits > 0);
+    let tail_events = events
+        .iter()
+        .filter(|e| matches!(e, Progress::Unit { .. }))
+        .count();
+    assert_eq!(tail_events, serial.usage.ilp + serial.usage.ec);
+    // The tail of a repeated layout is served from the solution cache.
+    if tail_events > 0 {
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Progress::Unit { cached: true, .. })));
+    }
+}
+
+#[test]
+fn concurrent_sessions_share_one_engine_with_serial_digests() {
+    let (engine, test, serial) = fixture();
+    let engine = Arc::new(engine);
+
+    let results: Vec<AdaptiveResult> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    let mut session = Session::new(SEED);
+                    engine.decompose(test, &mut session).expect("decomposes")
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("no worker panics"))
+            .collect()
+    });
+    for r in &results {
+        assert_eq!(digest(r), digest(serial));
+    }
+}
+
+#[test]
+fn distinct_seeds_stay_cost_equal_and_audited() {
+    // ColorGNN results are session-RNG-dependent and never cached, so a
+    // different seed may color differently — but the guarded flow keeps
+    // the cost pinned to the oracle (guard failures fall through to the
+    // exact tail).
+    let (engine, test, serial) = fixture();
+    let mut session = Session::new(SEED ^ 0xFFFF);
+    let r = engine.decompose(test, &mut session).expect("decomposes");
+    let alpha = engine.framework().params.alpha;
+    assert_eq!(
+        r.pipeline.cost.value(alpha),
+        serial.pipeline.cost.value(alpha)
+    );
+}
+
+#[test]
+fn expired_deadline_returns_incumbents_never_errors() {
+    let (engine, test, _) = fixture();
+    let clock = Arc::new(MockClock::new());
+    let policy = BudgetPolicy {
+        total: Some(Duration::from_millis(5)),
+        per_unit: None,
+        cancel: None,
+        clock: Some(clock.clone()),
+    };
+    clock.advance(Duration::from_secs(1)); // expired before the first unit
+    let mut session = Session::with_policy(SEED, policy);
+    let r = engine.decompose(test, &mut session).expect("never errors");
+    let k = engine.framework().params.k;
+    assert_eq!(r.unit_outcomes.len(), test.units.len());
+    for (u, coloring) in test
+        .units
+        .iter()
+        .zip(&r.pipeline.decomposition.unit_subfeature_colorings)
+    {
+        assert_eq!(coloring.len(), u.hetero.num_nodes(), "full coverage");
+        assert!(coloring.iter().all(|&c| c < k), "colors in 0..k");
+    }
+    // Expired-budget solves must never poison the cross-request solution
+    // caches: a fresh unlimited session still reproduces the oracle.
+    let mut session = Session::new(SEED);
+    let again = engine.decompose(test, &mut session).expect("decomposes");
+    let (_, _, serial) = fixture();
+    assert_eq!(digest(&again), digest(serial));
+    // Budget-affected certainties exist only outside the cacheable set.
+    assert!(r.unit_outcomes.iter().all(|o| matches!(
+        o.certainty,
+        Certainty::Certified
+            | Certainty::Heuristic
+            | Certainty::BudgetExhausted
+            | Certainty::Degraded
+    )));
+}
