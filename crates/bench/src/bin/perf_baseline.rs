@@ -510,6 +510,7 @@ fn main() {
         workers: serve_workers,
         queue_depth: serve_queue,
         read_timeout: Duration::from_secs(60),
+        ..mpld_server::ServerConfig::default()
     };
     let mut serving_rows = Vec::new();
     let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
@@ -519,16 +520,24 @@ fn main() {
         let server = scope.spawn(|| mpld_server::serve(eng, listener, &serve_cfg, &shutdown));
         let t_all = Instant::now();
         for ((c, prep), base) in circuits.iter().zip(&prepared).zip(&serial_results) {
-            let body = format!("{{\"circuit\":\"{}\",\"seed\":{seed}}}", c.name);
-            let raw = format!(
-                "POST /decompose HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
-                body.len()
-            );
+            // Distinct job ids: durable jobs are idempotent, so a
+            // byte-identical re-POST would replay the first job's log
+            // instead of exercising the warm engine path.
+            let request_for = |tag: &str| {
+                let body = format!(
+                    "{{\"circuit\":\"{}\",\"seed\":{seed},\"job_id\":\"bench-{tag}-{}\"}}",
+                    c.name, c.name
+                );
+                format!(
+                    "POST /decompose HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+            };
             let t = Instant::now();
-            let cold = http_request(serve_addr, &raw);
+            let cold = http_request(serve_addr, &request_for("cold"));
             let cold_secs = t.elapsed().as_secs_f64();
             let t = Instant::now();
-            let warm = http_request(serve_addr, &raw);
+            let warm = http_request(serve_addr, &request_for("warm"));
             let warm_secs = t.elapsed().as_secs_f64();
             let summary_of = |resp: &str| -> mpld::RunSummary {
                 let line = resp
@@ -591,6 +600,119 @@ fn main() {
     eprintln!(
         "serving suite: {serve_requests} requests in {serving_seconds:.2}s ({requests_per_second:.2} req/s, {serve_workers} workers); warm speedup {warm_speedup:.2}x, routing memo {}/{routing_lookups} hits",
         engine_stats.routing.hits
+    );
+
+    // 6. Serving resume: a journaled durable job killed mid-append
+    // (simulated by tearing the journal file the way SIGKILL leaves it)
+    // and re-submitted to a fresh serve loop over the same journal dir.
+    // Measures resume overhead vs the cold journaled run; the digest
+    // guard checks the resumed run stayed bit-identical and actually
+    // reused surviving records.
+    let (resume_circuit, resume_base) = circuits
+        .iter()
+        .zip(&serial_results)
+        .max_by_key(|(_, r)| r.usage.ilp + r.usage.ec)
+        .expect("suite is non-empty");
+    let resume_tail_units = resume_base.usage.ilp + resume_base.usage.ec;
+    assert!(
+        resume_tail_units >= 3,
+        "serving_resume needs a circuit with >=3 journaled tail units, best was {} with {resume_tail_units}",
+        resume_circuit.name
+    );
+    let journal_dir =
+        std::env::temp_dir().join(format!("mpld-bench-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let resume_body = format!(
+        "{{\"circuit\":\"{}\",\"seed\":{seed},\"job_id\":\"bench-resume\"}}",
+        resume_circuit.name
+    );
+    let resume_raw = format!(
+        "POST /decompose HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{resume_body}",
+        resume_body.len()
+    );
+    let journaled_cfg = mpld_server::ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        read_timeout: Duration::from_secs(60),
+        journal_dir: Some(journal_dir.clone()),
+        ..mpld_server::ServerConfig::default()
+    };
+    // One request through a short-lived serve loop — each call is a
+    // separate "process" sharing only the journal directory (and the
+    // warm engine, which a respawned process would rebuild bit-identical
+    // from the same weights).
+    let serve_once = |raw: &str| -> (String, f64) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let eng = std::sync::Arc::clone(&engine);
+            let server = scope.spawn(|| mpld_server::serve(eng, listener, &journaled_cfg, &stop));
+            let t = Instant::now();
+            let resp = http_request(addr, raw);
+            let secs = t.elapsed().as_secs_f64();
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            server.join().expect("server thread").expect("serve");
+            (resp, secs)
+        })
+    };
+    let served_summary = |resp: &str| -> mpld::RunSummary {
+        let line = resp
+            .lines()
+            .find(|l| l.starts_with("{\"event\":\"done\""))
+            .unwrap_or_else(|| panic!("no done event in:\n{resp}"));
+        mpld::RunSummary::parse(line).expect("served summary parses")
+    };
+    let (cold_resp, resume_cold_secs) = serve_once(&resume_raw);
+    let resume_cold = served_summary(&cold_resp);
+    assert_eq!(
+        resume_cold.resumed_units, 0,
+        "first journaled run must resume nothing"
+    );
+
+    // Tear the journal to its header, roughly half the records, and a
+    // torn half-line — the on-disk state SIGKILL mid-append leaves.
+    let journal_path = journal_dir.join("bench-resume.jsonl");
+    let journal_text = std::fs::read_to_string(&journal_path).expect("journal readable");
+    let journal_lines: Vec<&str> = journal_text.lines().collect();
+    let keep = 1 + (journal_lines.len() - 1) / 2;
+    assert!(
+        keep >= 2 && keep < journal_lines.len(),
+        "journal too short to tear: {} lines",
+        journal_lines.len()
+    );
+    let mut torn = journal_lines[..keep].join("\n");
+    torn.push('\n');
+    torn.push_str(&journal_lines[keep][..journal_lines[keep].len() / 2]);
+    std::fs::write(&journal_path, torn).expect("tear journal");
+    let records_kept = keep - 1;
+
+    let (resume_resp, resume_secs) = serve_once(&resume_raw);
+    let resume_summary = served_summary(&resume_resp);
+    let resume_digest = |s: &mpld::RunSummary| {
+        (
+            s.conflicts,
+            s.stitches,
+            format!("{:.17e}", s.objective),
+            s.matching,
+            s.colorgnn,
+            s.ec,
+            s.ilp,
+        )
+    };
+    assert_eq!(
+        resume_digest(&resume_summary),
+        resume_digest(&resume_cold),
+        "resumed run must be bit-identical to the uninterrupted run"
+    );
+    assert!(
+        resume_summary.resumed_units > 0,
+        "resume must reuse the surviving journal records: {resume_summary:?}"
+    );
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    eprintln!(
+        "serving resume {}: cold {resume_cold_secs:.3}s, resume {resume_secs:.3}s ({} of {resume_tail_units} tail units resumed, {records_kept} records survived the tear)",
+        resume_circuit.name, resume_summary.resumed_units
     );
 
     let mut json = String::new();
@@ -813,6 +935,19 @@ fn main() {
     let _ = writeln!(json, "    \"per_circuit\": [");
     let _ = writeln!(json, "{}", serving_rows.join(",\n"));
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"serving_resume\": {{");
+    let _ = writeln!(json, "    \"circuit\": \"{}\",", resume_circuit.name);
+    let _ = writeln!(json, "    \"tail_units\": {resume_tail_units},");
+    let _ = writeln!(json, "    \"journal_records_kept\": {records_kept},");
+    let _ = writeln!(json, "    \"cold_seconds\": {resume_cold_secs:.4},");
+    let _ = writeln!(json, "    \"resume_seconds\": {resume_secs:.4},");
+    let _ = writeln!(
+        json,
+        "    \"resumed_units\": {},",
+        resume_summary.resumed_units
+    );
+    let _ = writeln!(json, "    \"digest_equal_cold\": true");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, json).expect("write artifact");

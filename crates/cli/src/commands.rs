@@ -118,6 +118,10 @@ commands:
                                      threshold are transparently
                                      re-inferred at f32, so decisions
                                      match the f32 run
+      --colorgnn false               disable the ColorGNN heuristic head:
+                                     its units route to the certified
+                                     ILP/EC tail instead (slower, exact,
+                                     and journaled under --checkpoint)
       --checkpoint <file>            append-only JSONL journal of the
                                      ILP/EC-tail solves; a journal left by
                                      a killed run is audited and resumed
@@ -134,6 +138,32 @@ commands:
       --queue-depth <n>              accepted connections allowed to wait;
                                      beyond this new requests get 429
       --precision f32|f16|int8       routing-inference precision
+      --colorgnn false               disable the ColorGNN head (see
+                                     adaptive); tail solves are journaled
+                                     under --journal-dir
+      --journal-dir <dir>            per-job JSONL journals: a killed
+                                     server restarted over the same dir
+                                     resumes re-submitted jobs instead of
+                                     re-solving them
+      --max-body-bytes <n>           request body cap (default 2 MiB)
+      --max-line-bytes <n>           upload line-length cap (default 4096)
+      --max-rects <n>                upload rect-count cap (default 200k)
+  submit <layout> [options]          submit a job to a running mpld-server
+                                     and stream its NDJSON events; retries
+                                     429/disconnects with exponential
+                                     backoff + jitter and reattaches to
+                                     the same job id after a drop
+      --addr <host:port>             server address (default 127.0.0.1:7878)
+      --seed <n> --time-limit <dur>  forwarded to the server
+      --job-id <id>                  stable job id ([A-Za-z0-9._-], <=64);
+                                     defaults to an id derived from the
+                                     request, making re-submits idempotent
+      --retries <n>                  connection attempts (default 8)
+      --connect-timeout <dur>        per-attempt connect timeout (def. 2s)
+      --read-timeout <dur>           max silence between events (def. 30s)
+      --backoff <dur>                initial retry backoff (default 100ms)
+      --json true                    print only the final done line (the
+                                     run-summary JSON) on stdout
   render <layout> -o out.svg         render to SVG
       --engine ilp|ilp-bb|sdp|ec     color by a decomposition (optional)
 
@@ -155,6 +185,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         Some("train") => cmd_train(&parsed),
         Some("adaptive") => cmd_adaptive(&parsed),
         Some("serve") => cmd_serve(&parsed),
+        Some("submit") => cmd_submit(&parsed),
         Some("render") => cmd_render(&parsed),
         Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}\n{USAGE}"
@@ -376,7 +407,8 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
         .transpose()?;
     let json: bool = parsed.option_or("json", false)?;
     let precision = precision_from(parsed)?;
-    let fw = load_model(model, &params, precision)?;
+    let mut fw = load_model(model, &params, precision)?;
+    fw.use_colorgnn = parsed.option_or("colorgnn", fw.use_colorgnn)?;
     if let Some(s) = seed {
         fw.colorgnn.reseed(s);
     }
@@ -523,13 +555,24 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), CliError> {
     let cfg = ServerConfig {
         workers: parsed.option_or("workers", defaults.workers)?,
         queue_depth: parsed.option_or("queue-depth", defaults.queue_depth)?,
+        journal_dir: parsed.option("journal-dir").map(std::path::PathBuf::from),
+        http: mpld_server::HttpLimits {
+            max_body_bytes: parsed.option_or("max-body-bytes", defaults.http.max_body_bytes)?,
+            ..defaults.http
+        },
+        upload: mpld_layout::ReadLimits {
+            max_line_bytes: parsed.option_or("max-line-bytes", defaults.upload.max_line_bytes)?,
+            max_rects: parsed.option_or("max-rects", defaults.upload.max_rects)?,
+            ..defaults.upload
+        },
         ..defaults
     };
     if cfg.workers == 0 {
         return Err("--workers must be positive".into());
     }
     let precision = precision_from(parsed)?;
-    let fw = load_model(model, &params, precision)?;
+    let mut fw = load_model(model, &params, precision)?;
+    fw.use_colorgnn = parsed.option_or("colorgnn", fw.use_colorgnn)?;
     let engine = std::sync::Arc::new(Engine::new(fw));
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -544,6 +587,84 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), CliError> {
     serve(engine, listener, &cfg, shutdown).map_err(|e| format!("serve: {e}"))?;
     println!("mpld-server: drained, exiting");
     Ok(())
+}
+
+/// Submits a decomposition job to a running `mpld-server` and streams
+/// its NDJSON events, retrying 429s and dropped connections with
+/// exponential backoff + jitter and reattaching to the same job id
+/// after a disconnect (idempotent resume; see the server crate's client
+/// module docs).
+fn cmd_submit(parsed: &Parsed) -> Result<(), CliError> {
+    use mpld_server::{submit, ClientConfig, ClientError, SubmitBody, SubmitRequest};
+
+    let target = parsed
+        .positional(1)
+        .ok_or("submit: missing <layout> (circuit name or file)")?;
+    let defaults = ClientConfig::default();
+    let cfg = ClientConfig {
+        addr: parsed
+            .option("addr")
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        connect_timeout: option_duration(parsed, "connect-timeout")?
+            .unwrap_or(defaults.connect_timeout),
+        read_timeout: option_duration(parsed, "read-timeout")?.unwrap_or(defaults.read_timeout),
+        max_attempts: parsed.option_or("retries", defaults.max_attempts)?,
+        backoff_base: option_duration(parsed, "backoff")?.unwrap_or(defaults.backoff_base),
+        backoff_cap: defaults.backoff_cap,
+        jitter_seed: parsed.option_or("jitter-seed", defaults.jitter_seed)?,
+    };
+    let seed = parsed
+        .option("seed")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("cannot parse --seed {v}"))
+        })
+        .transpose()?;
+    let time_limit_ms = option_duration(parsed, "time-limit")?.map(|d| d.as_millis() as u64);
+    let job_id = parsed.option("job-id").map(str::to_string);
+    let json = parsed.option("json") == Some("true");
+
+    // A known circuit name is submitted by name (the server generates
+    // it); anything else is read as a layout file and uploaded raw.
+    let body = if circuit_by_name(target).is_some() {
+        SubmitBody::Circuit(target.to_string())
+    } else {
+        let text = std::fs::read_to_string(target)
+            .map_err(|e| format!("submit: cannot read layout {target:?}: {e}"))?;
+        SubmitBody::Upload(text)
+    };
+    let req = SubmitRequest {
+        body,
+        seed,
+        time_limit_ms,
+        job_id,
+    };
+
+    match submit(&cfg, &req, &mut |line| {
+        if !json {
+            println!("{line}");
+        }
+    }) {
+        Ok(o) => {
+            if json {
+                println!("{}", o.done_line);
+            }
+            if o.attempts > 1 || o.reattaches > 0 || o.busy_retries > 0 {
+                eprintln!(
+                    "mpld submit: job {} done after {} attempts \
+                     ({} reattaches, {} busy retries)",
+                    o.job_id, o.attempts, o.reattaches, o.busy_retries
+                );
+            }
+            Ok(())
+        }
+        Err(e @ ClientError::Rejected { .. }) => Err(CliError::Usage(format!("submit: {e}"))),
+        Err(e) => Err(CliError::Solver(MpldError::Infeasible {
+            engine: "server",
+            reason: format!("submit: {e}"),
+        })),
+    }
 }
 
 fn cmd_render(parsed: &Parsed) -> Result<(), CliError> {
@@ -638,6 +759,44 @@ mod tests {
             "0".into(),
         ]);
         assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn submit_usage_errors_are_typed() {
+        // Missing target.
+        let r = dispatch(&["submit".into()]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        // Not a circuit and not a readable file.
+        let r = dispatch(&[
+            "submit".into(),
+            "/nonexistent/layout.txt".into(),
+            "--retries".into(),
+            "1".into(),
+        ]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        // Bad duration flag.
+        let r = dispatch(&[
+            "submit".into(),
+            "C432".into(),
+            "--read-timeout".into(),
+            "soon".into(),
+        ]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        // Unreachable server with one fast attempt: a solver-side
+        // failure (exit 1), not a usage error.
+        let r = dispatch(&[
+            "submit".into(),
+            "C432".into(),
+            "--addr".into(),
+            "127.0.0.1:1".into(),
+            "--retries".into(),
+            "1".into(),
+            "--connect-timeout".into(),
+            "50ms".into(),
+            "--backoff".into(),
+            "1ms".into(),
+        ]);
+        assert!(matches!(r, Err(CliError::Solver(_))));
     }
 
     #[test]

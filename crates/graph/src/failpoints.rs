@@ -42,6 +42,11 @@ struct SiteState {
 struct State {
     seed: u64,
     rate: f64,
+    /// When set, only sites whose name starts with one of these prefixes
+    /// may fire (evaluations are still counted for every site, so the
+    /// per-site schedules of the allowed sites are unchanged by the
+    /// filter).
+    site_filter: Option<Vec<String>>,
     sites: HashMap<&'static str, SiteState>,
 }
 
@@ -61,6 +66,25 @@ pub fn configure(seed: u64, rate: f64) {
     *lock() = Some(State {
         seed,
         rate: rate.clamp(0.0, 1.0),
+        site_filter: None,
+        sites: HashMap::new(),
+    });
+}
+
+/// [`configure`], restricted to sites whose names start with one of
+/// `prefixes` (e.g. `["server."]` to chaos-test only the serving path
+/// while the solver sites stay honest). An empty prefix list behaves
+/// like [`configure`]. A filtered site's schedule is identical to its
+/// schedule under an unfiltered run with the same seed.
+pub fn configure_filtered(seed: u64, rate: f64, prefixes: &[&str]) {
+    *lock() = Some(State {
+        seed,
+        rate: rate.clamp(0.0, 1.0),
+        site_filter: if prefixes.is_empty() {
+            None
+        } else {
+            Some(prefixes.iter().map(|p| p.to_string()).collect())
+        },
         sites: HashMap::new(),
     });
 }
@@ -71,9 +95,12 @@ pub fn disable() {
 }
 
 /// Configures from the `MPLD_FAILPOINTS` environment variable
-/// (`seed=<u64>,rate=<f64>`, both optional; defaults `seed=0`,
-/// `rate=0.01`). Returns the `(seed, rate)` applied, or `None` when the
-/// variable is unset or empty (injection left untouched).
+/// (`seed=<u64>,rate=<f64>,sites=<prefix>+<prefix>`, all optional;
+/// defaults `seed=0`, `rate=0.01`, no site filter). `sites` restricts
+/// injection to sites matching one of the `+`-separated name prefixes
+/// (e.g. `sites=server.` arms only the serving-path failpoints). Returns
+/// the `(seed, rate)` applied, or `None` when the variable is unset or
+/// empty (injection left untouched).
 pub fn configure_from_env() -> Option<(u64, f64)> {
     let spec = std::env::var("MPLD_FAILPOINTS").ok()?;
     if spec.trim().is_empty() {
@@ -81,6 +108,7 @@ pub fn configure_from_env() -> Option<(u64, f64)> {
     }
     let mut seed = 0u64;
     let mut rate = 0.01f64;
+    let mut prefixes: Vec<String> = Vec::new();
     for part in spec.split(',') {
         let mut kv = part.splitn(2, '=');
         let key = kv.next().unwrap_or("").trim();
@@ -88,10 +116,19 @@ pub fn configure_from_env() -> Option<(u64, f64)> {
         match key {
             "seed" => seed = val.parse().unwrap_or(seed),
             "rate" => rate = val.parse().unwrap_or(rate),
+            "sites" => {
+                prefixes = val
+                    .split('+')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             _ => {}
         }
     }
-    configure(seed, rate);
+    let refs: Vec<&str> = prefixes.iter().map(String::as_str).collect();
+    configure_filtered(seed, rate, &refs);
     Some((seed, rate))
 }
 
@@ -141,6 +178,11 @@ fn decide(site: &'static str, allowed: &[Fault]) -> Option<(Fault, u64)> {
     let s = guard.as_mut()?;
     let entry = s.sites.entry(site).or_default();
     entry.evaluations += 1;
+    if let Some(filter) = &s.site_filter {
+        if !filter.iter().any(|p| site.starts_with(p.as_str())) {
+            return None;
+        }
+    }
     let h = splitmix64(s.seed ^ fnv1a(site) ^ entry.evaluations.wrapping_mul(0x9E37));
     // Top 53 bits -> uniform in [0, 1).
     let u = (h >> 11) as f64 / (1u64 << 53) as f64;
@@ -240,6 +282,23 @@ mod tests {
         // change to the fault-pick hash is caught).
         assert!(err.is_err() || total_hits() == 1);
         assert!(stats().iter().any(|&(s, e, _)| s == "test.err" && e == 1));
+
+        // Site filter: only matching prefixes may fire; a filtered-out
+        // site never injects even at rate 1.0, and the allowed site's
+        // schedule matches its unfiltered schedule for the same seed.
+        configure(42, 1.0);
+        let mut unfiltered = vec![0u8, 1, 2, 0];
+        assert!(corrupt_coloring("server.site", &mut unfiltered, 3));
+        configure_filtered(42, 1.0, &["server."]);
+        let mut c5 = vec![0u8, 1, 2, 0];
+        assert!(!corrupt_coloring("test.site", &mut c5, 3), "filtered out");
+        assert_eq!(c5, vec![0, 1, 2, 0]);
+        let mut c6 = vec![0u8, 1, 2, 0];
+        assert!(corrupt_coloring("server.site", &mut c6, 3), "allowed");
+        assert_eq!(c6, unfiltered, "filter must not perturb the schedule");
+        assert!(stats()
+            .iter()
+            .any(|&(s, e, h)| s == "test.site" && e == 1 && h == 0));
 
         disable();
         let mut c4 = vec![0u8, 1];

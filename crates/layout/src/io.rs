@@ -24,6 +24,41 @@ use mpld_geometry::{Feature, Rect};
 use std::fmt;
 use std::io::{BufRead, Write};
 
+/// Hard caps for parsing an untrusted layout body (see
+/// [`read_layout_limited`]). Every cap is enforced *while* reading, so a
+/// hostile input can never force an unbounded allocation: line bytes are
+/// bounded before a line is materialized, and rect/feature counts are
+/// checked as they accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLimits {
+    /// Longest accepted line, in bytes (longer lines are a typed error,
+    /// not an unbounded read).
+    pub max_line_bytes: usize,
+    /// Total rectangles accepted across all features (`poly` lines count
+    /// their decomposed rectangles).
+    pub max_rects: usize,
+    /// Total features accepted.
+    pub max_features: usize,
+}
+
+impl ReadLimits {
+    /// The caps a network-facing endpoint should apply to an upload.
+    pub const UNTRUSTED: ReadLimits = ReadLimits {
+        max_line_bytes: 4096,
+        max_rects: 200_000,
+        max_features: 100_000,
+    };
+
+    /// No caps (trusted local files; the behavior of [`read_layout`]).
+    pub fn unlimited() -> Self {
+        ReadLimits {
+            max_line_bytes: usize::MAX,
+            max_rects: usize::MAX,
+            max_features: usize::MAX,
+        }
+    }
+}
+
 /// Error parsing the text layout format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseLayoutError {
@@ -43,6 +78,12 @@ pub enum ParseLayoutError {
     EmptyFeature { id: u32 },
     /// Missing the final `end` line.
     MissingEnd,
+    /// A [`ReadLimits`] cap was exceeded (untrusted uploads).
+    LimitExceeded {
+        line: usize,
+        what: &'static str,
+        limit: usize,
+    },
     /// Underlying I/O failure (message only, so the type stays `Eq`).
     Io(String),
 }
@@ -70,6 +111,9 @@ impl fmt::Display for ParseLayoutError {
                 write!(f, "feature {id} has no rectangles")
             }
             ParseLayoutError::MissingEnd => write!(f, "missing final 'end' line"),
+            ParseLayoutError::LimitExceeded { line, what, limit } => {
+                write!(f, "line {line}: {what} exceeds the limit of {limit}")
+            }
             ParseLayoutError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -91,7 +135,8 @@ impl From<ParseLayoutError> for mpld_graph::MpldError {
         let line = match &e {
             ParseLayoutError::BadLine { line, .. }
             | ParseLayoutError::BadFeatureId { line, .. }
-            | ParseLayoutError::RectOutsideFeature { line } => *line,
+            | ParseLayoutError::RectOutsideFeature { line }
+            | ParseLayoutError::LimitExceeded { line, .. } => *line,
             _ => 0,
         };
         match e {
@@ -121,10 +166,28 @@ impl From<ParseLayoutError> for mpld_graph::MpldError {
 /// # Ok::<(), mpld_layout::ParseLayoutError>(())
 /// ```
 pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
+    read_layout_limited(reader, &ReadLimits::unlimited())
+}
+
+/// [`read_layout`] with hard caps, for untrusted uploads: line length is
+/// bounded *before* a line is materialized (a newline-free flood is
+/// rejected after `max_line_bytes`, never buffered whole), and rect and
+/// feature counts are checked as they accumulate, so peak memory is
+/// `O(caps)` regardless of the input.
+///
+/// # Errors
+///
+/// [`ParseLayoutError::LimitExceeded`] when a cap is hit, otherwise as
+/// [`read_layout`].
+pub fn read_layout_limited<R: BufRead>(
+    mut reader: R,
+    limits: &ReadLimits,
+) -> Result<Layout, ParseLayoutError> {
     let mut name: Option<(String, i64)> = None;
     let mut features: Vec<Feature> = Vec::new();
     let mut current: Option<(u32, Vec<Rect>)> = None;
     let mut ended = false;
+    let mut total_rects = 0usize;
 
     let flush = |current: &mut Option<(u32, Vec<Rect>)>,
                  features: &mut Vec<Feature>|
@@ -138,9 +201,29 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
         Ok(())
     };
 
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        // Read at most one byte past the cap: if no newline arrived by
+        // then the line is over-long and the input is rejected without
+        // ever buffering the rest.
+        let cap = limits.max_line_bytes.saturating_add(1) as u64;
+        let n = std::io::Read::take(&mut reader, cap).read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        if buf.len() > limits.max_line_bytes && !buf.ends_with(b"\n") {
+            return Err(ParseLayoutError::LimitExceeded {
+                line: lineno,
+                what: "line length in bytes",
+                limit: limits.max_line_bytes,
+            });
+        }
+        // Invalid UTF-8 turns into replacement characters and fails the
+        // token parse below as a typed BadLine, never a panic.
+        let line = String::from_utf8_lossy(&buf);
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -182,6 +265,13 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
                         got: id,
                     });
                 }
+                if features.len() >= limits.max_features {
+                    return Err(ParseLayoutError::LimitExceeded {
+                        line: lineno,
+                        what: "feature count",
+                        limit: limits.max_features,
+                    });
+                }
                 current = Some((id, Vec::new()));
             }
             Some("rect") => {
@@ -193,6 +283,14 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
                     return Err(ParseLayoutError::BadLine {
                         line: lineno,
                         content: trimmed.into(),
+                    });
+                }
+                total_rects += 1;
+                if total_rects > limits.max_rects {
+                    return Err(ParseLayoutError::LimitExceeded {
+                        line: lineno,
+                        what: "rect count",
+                        limit: limits.max_rects,
                     });
                 }
                 rects.push(Rect::new(coords[0], coords[1], coords[2], coords[3]));
@@ -220,6 +318,14 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
                     line: lineno,
                     content: trimmed.into(),
                 })?;
+                total_rects += decomposed.len();
+                if total_rects > limits.max_rects {
+                    return Err(ParseLayoutError::LimitExceeded {
+                        line: lineno,
+                        what: "rect count",
+                        limit: limits.max_rects,
+                    });
+                }
                 rects.extend(decomposed);
             }
             Some("end") => {
@@ -323,6 +429,121 @@ mod tests {
             // Must not panic; both Ok and Err are acceptable.
             let _ = read_layout(case.as_slice());
         }
+    }
+
+    #[test]
+    fn limits_reject_overlong_lines_without_buffering() {
+        let limits = ReadLimits {
+            max_line_bytes: 64,
+            ..ReadLimits::UNTRUSTED
+        };
+        // A newline-free flood: the reader must stop after the cap, not
+        // buffer the whole stream.
+        let mut flood = b"layout t d=100\nfeature 0\n".to_vec();
+        flood.extend(std::iter::repeat_n(b'x', 1 << 20));
+        let err = read_layout_limited(flood.as_slice(), &limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParseLayoutError::LimitExceeded {
+                    what: "line length in bytes",
+                    limit: 64,
+                    line: 3,
+                }
+            ),
+            "{err:?}"
+        );
+        // A space-padded line of exactly the cap (plus its newline) is
+        // still accepted.
+        let mut ok = b"layout t d=100\nfeature 0\n".to_vec();
+        let mut rect = b"rect 0 0 10 10".to_vec();
+        rect.resize(64, b' ');
+        rect.push(b'\n');
+        ok.extend(rect);
+        ok.extend(b"end\n");
+        assert!(read_layout_limited(ok.as_slice(), &limits).is_ok());
+    }
+
+    #[test]
+    fn limits_cap_rects_and_features() {
+        let limits = ReadLimits {
+            max_rects: 3,
+            max_features: 2,
+            ..ReadLimits::UNTRUSTED
+        };
+        let mut text = String::from("layout t d=100\nfeature 0\n");
+        for i in 0..4 {
+            text.push_str(&format!("rect {} 0 {} 10\n", 100 * i, 100 * i + 10));
+        }
+        text.push_str("end\n");
+        let err = read_layout_limited(text.as_bytes(), &limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParseLayoutError::LimitExceeded {
+                    what: "rect count",
+                    limit: 3,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+
+        let mut text = String::from("layout t d=100\n");
+        for f in 0..3 {
+            text.push_str(&format!(
+                "feature {f}\nrect {} 0 {} 10\n",
+                300 * f,
+                300 * f + 10
+            ));
+        }
+        text.push_str("end\n");
+        let err = read_layout_limited(text.as_bytes(), &limits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParseLayoutError::LimitExceeded {
+                    what: "feature count",
+                    limit: 2,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Poly rects count against the cap too.
+        let text =
+            "layout t d=100\nfeature 0\npoly 0 0 30 0 30 10 10 10 10 30 0 30\nrect 50 50 60 60\nrect 80 80 90 90\nend\n";
+        assert!(matches!(
+            read_layout_limited(text.as_bytes(), &limits).unwrap_err(),
+            ParseLayoutError::LimitExceeded {
+                what: "rect count",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn limit_errors_carry_line_numbers_into_mpld_errors() {
+        use mpld_graph::MpldError;
+        let limits = ReadLimits {
+            max_rects: 1,
+            ..ReadLimits::UNTRUSTED
+        };
+        let text = "layout t d=100\nfeature 0\nrect 0 0 10 10\nrect 20 0 30 10\nend\n";
+        let err: MpldError = read_layout_limited(text.as_bytes(), &limits)
+            .unwrap_err()
+            .into();
+        assert!(matches!(err, MpldError::Parse { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn unlimited_matches_read_layout() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let mut buf = Vec::new();
+        write_layout(&layout, &mut buf).expect("write");
+        let a = read_layout(buf.as_slice()).expect("parse");
+        let b = read_layout_limited(buf.as_slice(), &ReadLimits::UNTRUSTED).expect("parse");
+        assert_eq!(a, b);
     }
 
     #[test]

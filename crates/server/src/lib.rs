@@ -1,5 +1,5 @@
 //! Decomposition as a service: a long-lived HTTP/NDJSON endpoint over
-//! one warm, shared [`Engine`].
+//! one warm, shared [`Engine`], with durable, resumable jobs.
 //!
 //! The server loads a trained framework once, compiles the frozen
 //! inference heads once ([`Engine::new`]), and then serves any number of
@@ -9,39 +9,81 @@
 //! to a cold run (the engine's parity contract).
 //!
 //! Deliberately dependency-free: `std::net::TcpListener`, hand-rolled
-//! HTTP/1.1 parsing for the three routes it owns, and newline-delimited
-//! JSON for streaming. The protocol:
+//! *bounded* HTTP/1.1 parsing ([`http`]) for the routes it owns, and
+//! newline-delimited JSON for streaming. The protocol:
 //!
-//! - `GET /healthz` — liveness + engine cache counters.
-//! - `GET /stats` — the same counters without the liveness wrapper.
-//! - `POST /decompose` with a JSON body
-//!   `{"circuit":"C432","seed":7,"time_limit_ms":500}` (seed and
-//!   time_limit_ms optional) — responds `200` with
-//!   `Content-Type: application/x-ndjson` and streams one `routed` event,
-//!   one `unit` event per ILP/EC-tail unit, then a final `done` line
-//!   whose `summary` field is the [`RunSummary`] object also emitted by
-//!   `mpld adaptive --json`. Deadlines return best-so-far incumbents,
-//!   never errors.
+//! - `GET /healthz` — liveness (`ok`, or `draining` once shutdown has
+//!   been requested) + queue depth, uptime, and engine cache counters.
+//! - `GET /stats` — cache, job, and journal counters.
+//! - `POST /decompose` — either a JSON body
+//!   `{"circuit":"C432","seed":7,"time_limit_ms":500,"job_id":"a1"}`
+//!   (everything but `circuit` optional) or a **raw layout upload** in
+//!   the workspace layout format, with `seed`/`time_limit_ms`/`job_id`
+//!   as query parameters. Responds `200` with
+//!   `Content-Type: application/x-ndjson` and streams a `job` event
+//!   naming the job id, one `routed` event, one `unit` event per
+//!   ILP/EC-tail unit, then a final `done` line whose `summary` field is
+//!   the [`RunSummary`] object also emitted by `mpld adaptive --json`.
+//!   Deadlines return best-so-far incumbents, never errors.
+//! - `GET /jobs/<id>` — reattach to an in-flight or finished job: its
+//!   NDJSON event log replays from the start, then follows live.
+//!
+//! # Durable jobs
+//!
+//! Every decomposition is a **job** with a stable id — client-supplied
+//! or derived from the request content — that is idempotent at three
+//! scopes. In-process, the [`jobs::JobRegistry`] maps a re-submitted id
+//! to the already-running (or finished) job and replays its event log
+//! instead of re-solving. On disk, when [`ServerConfig::journal_dir`] is
+//! set, each job's ILP/EC-tail solves stream into an append-only JSONL
+//! journal (`<dir>/<job id>.jsonl`, the same format `mpld adaptive
+//! --checkpoint` writes); a server killed mid-job and restarted over the
+//! same directory resumes the re-submitted job from the journal — each
+//! restored record is audited against the present unit graph, torn final
+//! lines are tolerated, and a header mismatch (different layout, k,
+//! alpha, or unit count) discards the journal and restarts from scratch
+//! rather than silently reusing foreign records. The resumed run's
+//! digests are bit-identical to an uninterrupted run. Uploads are capped
+//! ([`ServerConfig::upload`]) and parse failures answer with typed 400s
+//! carrying the offending line number.
 //!
 //! Admission control is a bounded queue: when every worker is busy and
 //! the backlog is full, new connections are rejected immediately with
 //! `429 Too Many Requests` instead of queueing without bound. Shutdown
-//! (SIGTERM/SIGINT, or the shutdown flag in-process) drains: the
-//! acceptor stops, queued requests finish, workers join, and the
-//! process exits cleanly.
+//! (SIGTERM/SIGINT, or the shutdown flag in-process) drains: queued
+//! requests finish while `/healthz` reports `draining` and new work is
+//! refused with `503`, then workers join and the process exits cleanly.
+//! A panic inside a request (including injected chaos panics) is caught
+//! at the connection boundary: the connection drops, the job is marked
+//! failed and forgotten (so a retry re-runs it), and the worker lives on.
 
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
-use mpld::{prepare, BudgetPolicy, Engine, PreparedLayout, Progress, RunSummary, Session};
-use mpld_layout::circuit_by_name;
+pub mod client;
+pub mod http;
+pub mod jobs;
+
+pub use client::{submit, ClientConfig, ClientError, SubmitBody, SubmitOutcome, SubmitRequest};
+pub use http::HttpLimits;
+pub use jobs::{derive_job_id, valid_job_id};
+
+use http::HttpError;
+use jobs::{Claim, Job, JobRegistry};
+use mpld::{
+    prepare, BudgetPolicy, Checkpoint, CheckpointHeader, Engine, JournalWriter, PreparedLayout,
+    Progress, Recovery, RunSummary, Session,
+};
+use mpld_graph::MpldError;
+use mpld_layout::{circuit_by_name, read_layout_limited, ReadLimits};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of one [`serve`] loop.
 #[derive(Debug, Clone)]
@@ -54,6 +96,13 @@ pub struct ServerConfig {
     /// Per-connection socket read timeout (a stalled client releases
     /// its worker after this long).
     pub read_timeout: Duration,
+    /// Directory for per-job JSONL journals; `None` disables journaling
+    /// (jobs are still idempotent in-process, but not across restarts).
+    pub journal_dir: Option<PathBuf>,
+    /// Request parsing caps (request line, headers, body size).
+    pub http: HttpLimits,
+    /// Layout upload parsing caps (line length, rect/feature counts).
+    pub upload: ReadLimits,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +111,9 @@ impl Default for ServerConfig {
             workers: 2,
             queue_depth: 16,
             read_timeout: Duration::from_secs(10),
+            journal_dir: None,
+            http: HttpLimits::default(),
+            upload: ReadLimits::UNTRUSTED,
         }
     }
 }
@@ -97,16 +149,46 @@ pub fn install_signal_handlers() -> &'static AtomicBool {
     &SIGNALED
 }
 
-/// Per-circuit prepared-layout cache: preparation (simplification +
-/// unit extraction) is deterministic, so one shared copy serves every
-/// request for the same circuit.
-struct PrepCache {
-    engine: Arc<Engine>,
-    preps: Mutex<HashMap<String, Arc<PreparedLayout>>>,
+/// Monotonic serving counters surfaced by `/stats` and `/healthz`.
+#[derive(Debug, Default)]
+struct Counters {
+    jobs_started: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    resumed_units: AtomicU64,
+    journal_records: AtomicU64,
+    journal_restarts: AtomicU64,
+    rejected_busy: AtomicU64,
+    bad_requests: AtomicU64,
+    request_panics: AtomicU64,
 }
 
-impl PrepCache {
-    fn get(&self, circuit: &str) -> Option<Arc<PreparedLayout>> {
+/// Everything one serving loop shares between acceptor and workers.
+struct ServerState {
+    engine: Arc<Engine>,
+    /// Per-circuit prepared-layout cache: preparation is deterministic,
+    /// so one shared copy serves every request for the same circuit.
+    preps: Mutex<HashMap<String, Arc<PreparedLayout>>>,
+    /// Prepared uploads keyed by a content hash; crudely bounded.
+    upload_preps: Mutex<HashMap<u64, Arc<PreparedLayout>>>,
+    registry: JobRegistry,
+    journal_dir: Option<PathBuf>,
+    upload_limits: ReadLimits,
+    http_limits: HttpLimits,
+    started: Instant,
+    queued: AtomicU64,
+    active: AtomicU64,
+    draining: AtomicBool,
+    counters: Counters,
+}
+
+/// Uploads kept prepared in memory at once (beyond this the cache is
+/// simply cleared; preparation is deterministic so a re-prepare is only
+/// a cost, never a behavior change).
+const MAX_UPLOAD_PREPS: usize = 32;
+
+impl ServerState {
+    fn prep_circuit(&self, circuit: &str) -> Option<Arc<PreparedLayout>> {
         if let Some(p) = self.preps.lock().ok().and_then(|m| m.get(circuit).cloned()) {
             return Some(p);
         }
@@ -121,6 +203,42 @@ impl PrepCache {
         }
         Some(prep)
     }
+
+    /// Parses and prepares an uploaded layout under the configured caps.
+    fn prep_upload(&self, body: &[u8]) -> Result<Arc<PreparedLayout>, MpldError> {
+        let key = fnv64(body);
+        if let Some(p) = self
+            .upload_preps
+            .lock()
+            .ok()
+            .and_then(|m| m.get(&key).cloned())
+        {
+            return Ok(p);
+        }
+        let layout = read_layout_limited(body, &self.upload_limits)?;
+        let prep = Arc::new(prepare(&layout, &self.engine.framework().params));
+        if let Ok(mut m) = self.upload_preps.lock() {
+            if m.len() >= MAX_UPLOAD_PREPS {
+                m.clear();
+            }
+            return Ok(m.entry(key).or_insert(prep).clone());
+        }
+        Ok(prep)
+    }
+
+    fn journal_path(&self, job_id: &str) -> Option<PathBuf> {
+        self.journal_dir
+            .as_ref()
+            .map(|d| d.join(format!("{job_id}.jsonl")))
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// Runs the accept/drain loop until `shutdown` turns true, serving
@@ -129,7 +247,8 @@ impl PrepCache {
 ///
 /// The listener is switched to non-blocking so the acceptor can poll the
 /// shutdown flag; worker sockets themselves stay blocking (with
-/// `read_timeout`).
+/// `read_timeout`). During the drain the acceptor keeps answering:
+/// `/healthz` reports `draining`, everything else gets `503`.
 ///
 /// # Errors
 ///
@@ -142,27 +261,45 @@ pub fn serve(
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
+    if let Some(dir) = &cfg.journal_dir {
+        std::fs::create_dir_all(dir)?;
+    }
     let (tx, rx) = sync_channel::<TcpStream>(cfg.queue_depth);
     let rx = Arc::new(Mutex::new(rx));
-    let cache = Arc::new(PrepCache {
+    let state = Arc::new(ServerState {
         engine,
         preps: Mutex::new(HashMap::new()),
+        upload_preps: Mutex::new(HashMap::new()),
+        registry: JobRegistry::default(),
+        journal_dir: cfg.journal_dir.clone(),
+        upload_limits: cfg.upload,
+        http_limits: cfg.http,
+        started: Instant::now(),
+        queued: AtomicU64::new(0),
+        active: AtomicU64::new(0),
+        draining: AtomicBool::new(false),
+        counters: Counters::default(),
     });
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..cfg.workers.max(1) {
             let rx = Arc::clone(&rx);
-            let cache = Arc::clone(&cache);
+            let state = Arc::clone(&state);
             let read_timeout = cfg.read_timeout;
-            handles.push(scope.spawn(move || worker_loop(&rx, &cache, read_timeout)));
+            handles.push(scope.spawn(move || worker_loop(&rx, &state, read_timeout)));
         }
 
         while !shutdown.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => match tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(stream)) => respond_busy(stream),
+                    Ok(()) => {
+                        state.queued.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(stream)) => {
+                        state.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        respond_busy(stream);
+                    }
                     Err(TrySendError::Disconnected(_)) => break,
                 },
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -172,9 +309,20 @@ pub fn serve(
             }
         }
 
-        // Graceful drain: close the queue; workers finish what is queued,
-        // see the disconnect, and return.
+        // Graceful drain: close the queue so workers finish what is
+        // queued and return, while the acceptor keeps answering probes
+        // (`draining` health, `503` for new work) until they have.
+        state.draining.store(true, Ordering::SeqCst);
         drop(tx);
+        while handles.iter().any(|h| !h.is_finished()) {
+            match listener.accept() {
+                Ok((stream, _)) => respond_draining(stream, &state),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
         for h in handles {
             let _ = h.join();
         }
@@ -184,7 +332,7 @@ pub fn serve(
 
 fn worker_loop(
     rx: &Arc<Mutex<Receiver<TcpStream>>>,
-    cache: &Arc<PrepCache>,
+    state: &Arc<ServerState>,
     read_timeout: Duration,
 ) {
     loop {
@@ -194,9 +342,26 @@ fn worker_loop(
             Err(_) => return,
         };
         let Ok(stream) = stream else { return }; // queue closed: drain done
+        state.queued.fetch_sub(1, Ordering::Relaxed);
+        state.active.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(read_timeout));
-        if let Err(e) = handle_connection(stream, cache) {
-            eprintln!("mpld-server: request failed: {e}");
+        let _ = stream.set_write_timeout(Some(read_timeout));
+        // Panic isolation: an injected (or real) panic inside a request
+        // drops that connection but never takes the worker down with it.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(stream, state)
+        }));
+        state.active.fetch_sub(1, Ordering::Relaxed);
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => eprintln!("mpld-server: request failed: {e}"),
+            Err(_) => {
+                state
+                    .counters
+                    .request_panics
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!("mpld-server: request panicked; connection dropped, worker continues");
+            }
         }
     }
 }
@@ -210,74 +375,58 @@ fn respond_busy(mut stream: TcpStream) {
     );
 }
 
-fn handle_connection(stream: TcpStream, cache: &Arc<PrepCache>) -> std::io::Result<()> {
+/// Inline responder used by the acceptor while draining: health probes
+/// still get real answers, new work gets `503`.
+fn respond_draining(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let mut reader = BufReader::new(stream);
-
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-
-    // Headers: only Content-Length matters to us.
-    let mut content_length = 0usize;
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            break;
-        }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some(v) = line
-            .to_ascii_lowercase()
-            .strip_prefix("content-length:")
-            .map(str::trim)
-        {
-            content_length = v.parse().unwrap_or(0);
-        }
-    }
-
-    match (method.as_str(), path.as_str()) {
-        ("GET", "/healthz") => {
-            let s = cache.engine.stats();
-            respond_json(
-                reader.into_inner(),
-                "200 OK",
-                &format!(
-                    "{{\"status\":\"ok\",\"routing_entries\":{},\"routing_hits\":{},\
-                     \"solution_entries\":{}}}",
-                    s.routing.entries,
-                    s.routing.hits,
-                    s.solutions_ilp_first.entries + s.solutions_ec_first.entries
-                ),
-            )
-        }
-        ("GET", "/stats") => {
-            let s = cache.engine.stats();
-            respond_json(
-                reader.into_inner(),
-                "200 OK",
-                &format!(
-                    "{{\"routing\":{},\"solutions_ilp_first\":{},\"solutions_ec_first\":{}}}",
-                    map_stats_json(&s.routing),
-                    map_stats_json(&s.solutions_ilp_first),
-                    map_stats_json(&s.solutions_ec_first)
-                ),
-            )
-        }
-        ("POST", "/decompose") => {
-            let mut body = vec![0u8; content_length.min(1 << 20)];
-            reader.read_exact(&mut body)?;
-            let body = String::from_utf8_lossy(&body).into_owned();
-            handle_decompose(reader.into_inner(), cache, &body)
-        }
+    let Ok(req) = http::read_request(&mut reader, &state.http_limits) else {
+        return;
+    };
+    let stream = reader.into_inner();
+    let _ = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond_json(stream, "200 OK", &health_json(state)),
+        ("GET", "/stats") => respond_json(stream, "200 OK", &stats_json(state)),
         _ => respond_json(
-            reader.into_inner(),
-            "404 Not Found",
-            "{\"error\":\"unknown route\"}",
+            stream,
+            "503 Service Unavailable",
+            "{\"error\":\"draining\"}",
         ),
+    };
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
+    #[cfg(feature = "failpoints")]
+    mpld_graph::failpoints::tick("server.worker.request");
+
+    let mut reader = BufReader::new(stream);
+    let req = match http::read_request(&mut reader, &state.http_limits) {
+        Ok(r) => r,
+        Err(HttpError::Io(e)) => return Err(e),
+        Err(e) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let status = e.status().unwrap_or("400 Bad Request");
+            return respond_json(reader.into_inner(), status, &e.body());
+        }
+    };
+    let stream = reader.into_inner();
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond_json(stream, "200 OK", &health_json(state)),
+        ("GET", "/stats") => respond_json(stream, "200 OK", &stats_json(state)),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let id = &path["/jobs/".len()..];
+            match state.registry.get(id) {
+                Some(job) => stream_job(stream, &job),
+                None => respond_json(
+                    stream,
+                    "404 Not Found",
+                    &format!("{{\"error\":\"unknown job\",\"id\":{id:?}}}"),
+                ),
+            }
+        }
+        ("POST", "/decompose") => handle_decompose(stream, state, &req),
+        _ => respond_json(stream, "404 Not Found", "{\"error\":\"unknown route\"}"),
     }
 }
 
@@ -294,7 +443,7 @@ fn respond_json(mut stream: TcpStream, status: &str, body: &str) -> std::io::Res
 }
 
 /// Extracts the token following `"key":` from a flat JSON object —
-/// enough for the three-field request body this server accepts.
+/// enough for the four-field request body this server accepts.
 fn body_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\"");
     let rest = &body[body.find(&pat)? + pat.len()..];
@@ -307,31 +456,240 @@ fn body_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
     }
 }
 
-fn handle_decompose(
-    mut stream: TcpStream,
-    cache: &Arc<PrepCache>,
-    body: &str,
-) -> std::io::Result<()> {
-    let Some(circuit) = body_field(body, "circuit") else {
-        return respond_json(
-            stream,
-            "400 Bad Request",
-            "{\"error\":\"missing \\\"circuit\\\"\"}",
-        );
+fn health_json(state: &ServerState) -> String {
+    let s = state.engine.stats();
+    let status = if state.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
     };
-    let seed: u64 = body_field(body, "seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_SEED);
-    let time_limit = body_field(body, "time_limit_ms")
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_millis);
+    format!(
+        "{{\"status\":\"{status}\",\"uptime_ms\":{},\"queue_depth\":{},\
+         \"active_requests\":{},\"routing_entries\":{},\"routing_hits\":{},\
+         \"solution_entries\":{}}}",
+        state.started.elapsed().as_millis(),
+        state.queued.load(Ordering::Relaxed),
+        state.active.load(Ordering::Relaxed),
+        s.routing.entries,
+        s.routing.hits,
+        s.solutions_ilp_first.entries + s.solutions_ec_first.entries
+    )
+}
 
-    let Some(prep) = cache.get(circuit) else {
-        return respond_json(
-            stream,
-            "404 Not Found",
-            &format!("{{\"error\":\"unknown circuit {circuit:?}\"}}"),
-        );
+fn stats_json(state: &ServerState) -> String {
+    let s = state.engine.stats();
+    let c = &state.counters;
+    let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    format!(
+        "{{\"routing\":{},\"solutions_ilp_first\":{},\"solutions_ec_first\":{},\
+         \"uptime_ms\":{},\"queue_depth\":{},\"active_requests\":{},\"draining\":{},\
+         \"jobs\":{{\"registered\":{},\"started\":{},\"completed\":{},\"failed\":{},\
+         \"resumed_units\":{},\"journal_records\":{},\"journal_restarts\":{}}},\
+         \"http\":{{\"rejected_busy\":{},\"bad_requests\":{},\"request_panics\":{}}}}}",
+        map_stats_json(&s.routing),
+        map_stats_json(&s.solutions_ilp_first),
+        map_stats_json(&s.solutions_ec_first),
+        state.started.elapsed().as_millis(),
+        state.queued.load(Ordering::Relaxed),
+        state.active.load(Ordering::Relaxed),
+        state.draining.load(Ordering::SeqCst),
+        state.registry.len(),
+        ld(&c.jobs_started),
+        ld(&c.jobs_completed),
+        ld(&c.jobs_failed),
+        ld(&c.resumed_units),
+        ld(&c.journal_records),
+        ld(&c.journal_restarts),
+        ld(&c.rejected_busy),
+        ld(&c.bad_requests),
+        ld(&c.request_panics),
+    )
+}
+
+/// Answers a typed 400 carrying the parse failure's line number (the
+/// `MpldError::Parse` contract for untrusted uploads).
+fn respond_parse_error(stream: TcpStream, e: &MpldError) -> std::io::Result<()> {
+    let (line, reason) = match e {
+        MpldError::Parse { line, reason } => (*line, reason.clone()),
+        other => (0, other.to_string()),
+    };
+    respond_json(
+        stream,
+        "400 Bad Request",
+        &format!("{{\"error\":\"parse\",\"line\":{line},\"reason\":{reason:?}}}"),
+    )
+}
+
+fn handle_decompose(
+    stream: TcpStream,
+    state: &Arc<ServerState>,
+    req: &http::Request,
+) -> std::io::Result<()> {
+    // Dispatch on the body's first non-whitespace byte: `{` is the JSON
+    // circuit request, anything else is a raw layout upload.
+    let first = req.body.iter().find(|b| !b.is_ascii_whitespace());
+    let prep: Arc<PreparedLayout>;
+    let seed: u64;
+    let time_limit_ms: Option<u64>;
+    let explicit_id: Option<String>;
+    let kind: &str;
+    match first {
+        Some(b'{') => {
+            let body = String::from_utf8_lossy(&req.body).into_owned();
+            let Some(circuit) = body_field(&body, "circuit").map(str::to_string) else {
+                return respond_json(
+                    stream,
+                    "400 Bad Request",
+                    "{\"error\":\"missing \\\"circuit\\\"\"}",
+                );
+            };
+            let Some(p) = state.prep_circuit(&circuit) else {
+                return respond_json(
+                    stream,
+                    "404 Not Found",
+                    &format!("{{\"error\":\"unknown circuit {circuit:?}\"}}"),
+                );
+            };
+            prep = p;
+            seed = body_field(&body, "seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_SEED);
+            time_limit_ms = body_field(&body, "time_limit_ms").and_then(|v| v.parse().ok());
+            explicit_id = body_field(&body, "job_id").map(str::to_string);
+            kind = "circuit";
+        }
+        Some(_) => {
+            match state.prep_upload(&req.body) {
+                Ok(p) => prep = p,
+                Err(e) => return respond_parse_error(stream, &e),
+            }
+            seed = req
+                .query_param("seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_SEED);
+            time_limit_ms = req
+                .query_param("time_limit_ms")
+                .and_then(|v| v.parse().ok());
+            explicit_id = req.query_param("job_id").map(str::to_string);
+            kind = "upload";
+        }
+        None => {
+            return respond_json(stream, "400 Bad Request", "{\"error\":\"empty body\"}");
+        }
+    }
+
+    let job_id = match explicit_id {
+        Some(id) if !valid_job_id(&id) => {
+            return respond_json(
+                stream,
+                "400 Bad Request",
+                &format!(
+                    "{{\"error\":\"invalid job_id {id:?}: want 1-64 chars of [A-Za-z0-9._-], \
+                     not starting with a dot\"}}"
+                ),
+            );
+        }
+        Some(id) => id,
+        None => derive_job_id(kind, &req.body, seed, time_limit_ms),
+    };
+
+    match state.registry.claim(&job_id) {
+        Claim::Attach(job) => stream_job(stream, &job),
+        Claim::Run(job) => run_job(stream, state, &job_id, &job, &prep, seed, time_limit_ms),
+    }
+}
+
+/// Marks a job failed-and-forgotten if its runner unwinds (panic or
+/// early return) before completing it, so attached followers terminate
+/// and a retry re-runs instead of replaying a half-finished log.
+struct JobGuard<'a> {
+    state: &'a ServerState,
+    id: &'a str,
+    job: &'a Arc<Job>,
+    completed: bool,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.job
+                .append("{\"event\":\"error\",\"message\":\"job aborted\"}");
+            self.job.finish(true);
+            self.state.registry.remove(self.id);
+            self.state
+                .counters
+                .jobs_failed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Loads a resumable checkpoint for `job_id`, discarding (and counting)
+/// journals whose header does not match the present request.
+fn load_resume(
+    state: &ServerState,
+    path: &Path,
+    prep: &PreparedLayout,
+    k: u8,
+    alpha: f64,
+) -> (Option<Checkpoint>, bool) {
+    match Checkpoint::load(path) {
+        Ok(Some(cp)) if cp.matches(&prep.name, k, alpha, prep.units.len()) => (Some(cp), false),
+        Ok(None) => (None, false),
+        Ok(Some(_)) | Err(_) => {
+            // Foreign or unreadable journal: never silently reuse it —
+            // delete and restart this job from scratch.
+            let _ = std::fs::remove_file(path);
+            state
+                .counters
+                .journal_restarts
+                .fetch_add(1, Ordering::Relaxed);
+            (None, true)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_job(
+    mut stream: TcpStream,
+    state: &Arc<ServerState>,
+    job_id: &str,
+    job: &Arc<Job>,
+    prep: &Arc<PreparedLayout>,
+    seed: u64,
+    time_limit_ms: Option<u64>,
+) -> std::io::Result<()> {
+    state.counters.jobs_started.fetch_add(1, Ordering::Relaxed);
+    let params = state.engine.framework().params;
+    let mut guard = JobGuard {
+        state,
+        id: job_id,
+        job,
+        completed: false,
+    };
+
+    let journal_path = state.journal_path(job_id);
+    let (resume, restarted) = match &journal_path {
+        Some(path) => load_resume(state, path, prep, params.k, params.alpha),
+        None => (None, false),
+    };
+    let journal = match &journal_path {
+        Some(path) => {
+            let header = CheckpointHeader {
+                layout: prep.name.clone(),
+                k: params.k,
+                alpha: params.alpha,
+                units: prep.units.len(),
+            };
+            match JournalWriter::append(path, &header) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("mpld-server: journal {} disabled: {e}", path.display());
+                    None
+                }
+            }
+        }
+        None => None,
     };
 
     // Streaming NDJSON: no Content-Length, the body ends when the
@@ -341,17 +699,44 @@ fn handle_decompose(
         "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
     )?;
 
+    let mut stream_err: Option<std::io::Error> = None;
+    // Dual-write: every event goes to the job log (for reattaching
+    // followers) first, then to this connection's own stream. A dead
+    // client never aborts the solve — the job finishes and stays
+    // attachable.
+    let mut emit = |line: &str| {
+        job.append(line);
+        #[cfg(feature = "failpoints")]
+        if stream_err.is_none() && mpld_graph::failpoints::fire("server.stream.drop") {
+            stream_err = Some(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "failpoint server.stream.drop: injected mid-stream disconnect",
+            ));
+        }
+        if stream_err.is_none() {
+            if let Err(e) = writeln!(stream, "{line}").and_then(|()| stream.flush()) {
+                stream_err = Some(e);
+            }
+        }
+    };
+
+    emit(&format!(
+        "{{\"event\":\"job\",\"id\":\"{job_id}\",\"journal\":{},\"restarted\":{restarted}}}",
+        journal.is_some()
+    ));
+
     let policy = BudgetPolicy {
-        total: time_limit,
+        total: time_limit_ms.map(Duration::from_millis),
         ..BudgetPolicy::unlimited()
     };
     let mut session = Session::with_policy(seed, policy);
-    let mut stream_err: Option<std::io::Error> = None;
+    session.recovery = Recovery {
+        resume: resume.as_ref(),
+        journal: journal.as_ref(),
+    };
+
     let result = {
         let mut on_event = |e: Progress| {
-            if stream_err.is_some() {
-                return; // client went away: finish the solve, skip writes
-            }
             let line = match e {
                 Progress::Routed {
                     units,
@@ -372,42 +757,77 @@ fn handle_decompose(
                      \"certainty\":\"{certainty:?}\",\"cached\":{cached}}}"
                 ),
             };
-            if let Err(e) = writeln!(stream, "{line}").and_then(|()| stream.flush()) {
-                stream_err = Some(e);
-            }
+            emit(&line);
         };
-        cache
+        state
             .engine
-            .decompose_with_progress(&prep, &mut session, &mut on_event)
+            .decompose_with_progress(prep, &mut session, &mut on_event)
     };
-    if let Some(e) = stream_err {
-        return Err(e);
-    }
 
     match result {
         Ok(r) => {
-            let summary = RunSummary::from_result(
-                &prep.name,
-                &r,
-                cache.engine.framework().params.alpha,
-                1,
-                Some(seed),
-            );
-            writeln!(
-                stream,
-                "{{\"event\":\"done\",\"summary\":{}}}",
+            let summary = RunSummary::from_result(&prep.name, &r, params.alpha, 1, Some(seed));
+            emit(&format!(
+                "{{\"event\":\"done\",\"job\":\"{job_id}\",\"summary\":{}}}",
                 summary.to_json()
-            )?;
+            ));
+            guard.completed = true;
+            job.finish(false);
+            let c = &state.counters;
+            c.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            c.resumed_units
+                .fetch_add(r.resumed_units as u64, Ordering::Relaxed);
+            if journal.is_some() {
+                if let Some(path) = &journal_path {
+                    // New records this run = journaled units minus the
+                    // ones that were restored rather than re-solved.
+                    if let Ok(Some(cp)) = Checkpoint::load(path) {
+                        let new = cp.len().saturating_sub(r.resumed_units) as u64;
+                        c.journal_records.fetch_add(new, Ordering::Relaxed);
+                    }
+                }
+            }
         }
         Err(e) => {
-            writeln!(
-                stream,
+            emit(&format!(
                 "{{\"event\":\"error\",\"message\":{:?}}}",
                 e.to_string()
-            )?;
+            ));
+            guard.completed = true;
+            job.finish(true);
+            state.registry.remove(job_id);
+            state.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
         }
     }
-    stream.flush()
+
+    match stream_err {
+        Some(e) => Err(e),
+        None => stream.flush(),
+    }
+}
+
+/// Replays a job's NDJSON event log from the start over `stream`, then
+/// follows live appends until the job finishes. The runner's own
+/// connection never comes here — only reattaching followers.
+fn stream_job(mut stream: TcpStream, job: &Arc<Job>) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut from = 0usize;
+    loop {
+        let (lines, done) = job.wait_events(from, Duration::from_millis(250));
+        for line in &lines {
+            writeln!(stream, "{line}")?;
+        }
+        if !lines.is_empty() {
+            stream.flush()?;
+        }
+        from += lines.len();
+        if done && lines.is_empty() {
+            return stream.flush();
+        }
+    }
 }
 
 fn map_stats_json(s: &mpld::ShardedMapStats) -> String {
@@ -423,10 +843,11 @@ mod tests {
 
     #[test]
     fn body_fields_parse() {
-        let b = r#"{"circuit":"C432","seed":7,"time_limit_ms":500}"#;
+        let b = r#"{"circuit":"C432","seed":7,"time_limit_ms":500,"job_id":"a.b-c"}"#;
         assert_eq!(body_field(b, "circuit"), Some("C432"));
         assert_eq!(body_field(b, "seed"), Some("7"));
         assert_eq!(body_field(b, "time_limit_ms"), Some("500"));
+        assert_eq!(body_field(b, "job_id"), Some("a.b-c"));
         assert_eq!(body_field(b, "missing"), None);
         // Whitespace-tolerant.
         let b = r#"{ "circuit" : "C499" , "seed" : 12 }"#;
@@ -439,5 +860,7 @@ mod tests {
         let c = ServerConfig::default();
         assert!(c.workers >= 1);
         assert!(c.queue_depth >= 1);
+        assert!(c.journal_dir.is_none());
+        assert_eq!(c.upload, ReadLimits::UNTRUSTED);
     }
 }

@@ -1,0 +1,116 @@
+//! Server-path chaos suite (compiled only with `--features failpoints`):
+//! deterministic worker panics, delays, and injected mid-stream
+//! disconnects, with the retrying client driving jobs through the storm.
+//! The solver-side failpoint sites stay disarmed (site filter
+//! `server.`), so every completed job must still produce digests
+//! bit-identical to a clean run.
+
+#![cfg(feature = "failpoints")]
+
+mod util;
+
+use mpld::RunSummary;
+use mpld_graph::failpoints;
+use mpld_server::{submit, ClientConfig, ServerConfig, SubmitBody, SubmitRequest};
+use std::time::Duration;
+use util::{done_line, post_decompose, scratch_dir, send_raw, tiny_engine, TestServer};
+
+fn digest(s: &RunSummary) -> (u32, u32, String, usize, usize, usize, usize) {
+    (
+        s.conflicts,
+        s.stitches,
+        format!("{:.17e}", s.objective),
+        s.matching,
+        s.colorgnn,
+        s.ec,
+        s.ilp,
+    )
+}
+
+fn client_cfg(addr: std::net::SocketAddr) -> ClientConfig {
+    ClientConfig {
+        addr: addr.to_string(),
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(10),
+        max_attempts: 40,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(200),
+        jitter_seed: 0xC405,
+    }
+}
+
+// Failpoint state is process-global, so the whole chaos scenario lives
+// in one test function: clean oracle first, then the storm.
+#[test]
+fn retrying_client_survives_server_chaos_with_clean_digests() {
+    let dir = scratch_dir("chaos");
+    let cfg = ServerConfig {
+        workers: 3,
+        queue_depth: 8,
+        read_timeout: Duration::from_secs(10),
+        journal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Clean oracle digests, failpoints disarmed.
+    failpoints::disable();
+    let clean_server = TestServer::start(tiny_engine(false), cfg.clone());
+    let mut oracles = Vec::new();
+    for seed in [3u64, 4, 5] {
+        let r = post_decompose(
+            clean_server.addr,
+            &format!("{{\"circuit\":\"C432\",\"seed\":{seed},\"job_id\":\"clean-{seed}\"}}"),
+        );
+        assert!(r.starts_with("HTTP/1.1 200 OK"), "{r}");
+        oracles.push(digest(
+            &RunSummary::parse(done_line(&r)).expect("summary parses"),
+        ));
+    }
+    clean_server.stop();
+
+    // The storm: worker-entry panics/delays and injected mid-stream
+    // disconnects, solver sites filtered out so schedules stay honest.
+    failpoints::configure_filtered(0xC405, 0.25, &["server."]);
+    let chaos_server = TestServer::start(tiny_engine(false), cfg);
+    for (i, seed) in [3u64, 4, 5].into_iter().enumerate() {
+        let req = SubmitRequest {
+            body: SubmitBody::Circuit("C432".to_string()),
+            seed: Some(seed),
+            time_limit_ms: None,
+            job_id: Some(format!("chaos-{seed}")),
+        };
+        let outcome = submit(&client_cfg(chaos_server.addr), &req, &mut |_| {})
+            .unwrap_or_else(|e| panic!("seed {seed}: client gave up: {e}"));
+        assert_eq!(outcome.job_id, format!("chaos-{seed}"));
+        let summary = RunSummary::parse(&outcome.done_line).expect("summary parses");
+        assert_eq!(
+            digest(&summary),
+            oracles[i],
+            "seed {seed}: chaos run must match the clean digest"
+        );
+    }
+
+    // The storm actually fired on the server path and nowhere else.
+    let fired: Vec<_> = failpoints::stats()
+        .into_iter()
+        .filter(|&(_, _, hits)| hits > 0)
+        .collect();
+    assert!(
+        fired.iter().all(|(site, _, _)| site.starts_with("server.")),
+        "only server sites may fire: {fired:?}"
+    );
+    assert!(
+        failpoints::total_hits() > 0,
+        "chaos round injected nothing: {:?}",
+        failpoints::stats()
+    );
+    failpoints::disable();
+
+    // The server survived: still answering, workers alive.
+    let health = send_raw(
+        chaos_server.addr,
+        b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n",
+    );
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    chaos_server.stop();
+}

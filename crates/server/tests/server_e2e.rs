@@ -56,6 +56,7 @@ fn server() -> &'static TestServer {
                 workers: 2,
                 queue_depth: 4,
                 read_timeout: Duration::from_secs(5),
+                ..ServerConfig::default()
             };
             serve(engine, listener, &cfg, &flag).expect("serve");
         });
@@ -119,10 +120,13 @@ fn repeated_requests_share_the_warm_engine() {
     let first = post_decompose(s.addr, body);
     assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
     assert!(first.contains("application/x-ndjson"), "{first}");
+    assert!(first.contains("{\"event\":\"job\""), "{first}");
     assert!(first.contains("{\"event\":\"routed\""), "{first}");
     let a = RunSummary::parse(done_line(&first)).expect("summary parses");
 
-    let second = post_decompose(s.addr, body);
+    // A distinct job id forces a fresh run (a byte-identical re-POST
+    // would idempotently replay the first job's log instead).
+    let second = post_decompose(s.addr, r#"{"circuit":"C432","seed":7,"job_id":"warm-2"}"#);
     let b = RunSummary::parse(done_line(&second)).expect("summary parses");
 
     // Identical request, identical digest…
@@ -174,6 +178,7 @@ fn saturated_queue_rejects_with_429_and_recovers() {
             workers: 1,
             queue_depth: 1,
             read_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
         };
         serve(engine, listener, &cfg, &flag)
     });
@@ -229,6 +234,178 @@ fn saturated_queue_rejects_with_429_and_recovers() {
     assert!(handle.join().expect("no panic").is_ok());
 }
 
+/// Sends raw bytes best-effort (the server may close mid-write on a
+/// rejected request) and returns whatever response came back.
+fn send_raw(addr: std::net::SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let _ = stream.write_all(raw); // EPIPE is fine: rejection beat the write
+    let _ = stream.flush();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_fast_typed_errors() {
+    let s = server();
+
+    // A multi-megabyte request line with no newline must be cut off at
+    // the cap with a 431, never buffered whole.
+    let mut raw = b"GET /".to_vec();
+    raw.extend(std::iter::repeat_n(b'a', 1 << 20));
+    let r = send_raw(s.addr, &raw);
+    assert!(r.starts_with("HTTP/1.1 431"), "{r}");
+
+    // Same for one giant header line and for a header flood.
+    let mut raw = b"GET /healthz HTTP/1.1\r\nX-Big: ".to_vec();
+    raw.extend(std::iter::repeat_n(b'a', 1 << 20));
+    let r = send_raw(s.addr, &raw);
+    assert!(r.starts_with("HTTP/1.1 431"), "{r}");
+    let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..500 {
+        raw.extend(format!("X-{i}: v\r\n").into_bytes());
+    }
+    raw.extend(b"\r\n");
+    let r = send_raw(s.addr, &raw);
+    assert!(r.starts_with("HTTP/1.1 431"), "{r}");
+
+    // An absurd Content-Length is rejected up front (413), a POST with
+    // none at all gets 411, and binary garbage gets 400.
+    let r = send_raw(
+        s.addr,
+        b"POST /decompose HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\n",
+    );
+    assert!(r.starts_with("HTTP/1.1 413"), "{r}");
+    let r = send_raw(s.addr, b"POST /decompose HTTP/1.1\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 411"), "{r}");
+    let r = send_raw(s.addr, b"\x00\x01\x02\x03\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 400"), "{r}");
+
+    // The server is still healthy and counted the abuse.
+    let health = request(s.addr, "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    let stats = request(s.addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(stats.contains("\"bad_requests\":"), "{stats}");
+}
+
+#[test]
+fn stats_reports_queue_uptime_and_job_counters() {
+    let s = server();
+    let stats = request(s.addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+    for key in [
+        "\"uptime_ms\":",
+        "\"queue_depth\":",
+        "\"active_requests\":",
+        "\"draining\":false",
+        "\"jobs\":{",
+        "\"journal_records\":",
+        "\"journal_restarts\":",
+    ] {
+        assert!(stats.contains(key), "missing {key} in {stats}");
+    }
+    let health = request(s.addr, "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(health.contains("\"uptime_ms\":"), "{health}");
+    assert!(health.contains("\"queue_depth\":"), "{health}");
+}
+
+#[test]
+fn raw_upload_decomposes_like_the_named_circuit() {
+    let s = server();
+    let layout = circuit_by_name("C432").expect("exists").generate();
+    let mut text = Vec::new();
+    mpld_layout::write_layout(&layout, &mut text).expect("serialize");
+    let text = String::from_utf8(text).expect("utf8");
+
+    let r = send_raw(
+        s.addr,
+        format!(
+            "POST /decompose?seed=7&job_id=upload-e2e HTTP/1.1\r\nHost: test\r\n\
+             Content-Length: {}\r\n\r\n{text}",
+            text.len()
+        )
+        .as_bytes(),
+    );
+    assert!(r.starts_with("HTTP/1.1 200 OK"), "{r}");
+    let up = RunSummary::parse(done_line(&r)).expect("summary parses");
+
+    // Same geometry, same seed — the served digests must match the
+    // named-circuit path bit for bit.
+    let named = post_decompose(
+        s.addr,
+        r#"{"circuit":"C432","seed":7,"job_id":"named-e2e"}"#,
+    );
+    let nm = RunSummary::parse(done_line(&named)).expect("summary parses");
+    assert_eq!(up.layout, "C432");
+    assert_eq!((up.conflicts, up.stitches), (nm.conflicts, nm.stitches));
+    assert_eq!(
+        (up.matching, up.colorgnn, up.ec, up.ilp),
+        (nm.matching, nm.colorgnn, nm.ec, nm.ilp)
+    );
+
+    // A garbage upload gets a typed 400 carrying the offending line.
+    let bad = "# mpld layout interchange v1\nlayout X d=100\nrect 1 2 three 4\n";
+    let r = send_raw(
+        s.addr,
+        format!(
+            "POST /decompose HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{bad}",
+            bad.len()
+        )
+        .as_bytes(),
+    );
+    assert!(r.starts_with("HTTP/1.1 400"), "{r}");
+    assert!(r.contains("\"line\":3"), "{r}");
+}
+
+#[test]
+fn draining_server_reports_draining_and_refuses_new_work() {
+    // Private instance: wedge its only worker so the drain phase stays
+    // observable, then flip shutdown and probe from the acceptor side.
+    let (engine, _) = tiny_engine();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || {
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_secs(3),
+            ..ServerConfig::default()
+        };
+        serve(engine, listener, &cfg, &flag)
+    });
+    // Wedge the worker with a connection that never sends its request.
+    let held = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+    shutdown.store(true, Ordering::SeqCst);
+
+    let mut saw_draining = false;
+    let mut saw_refusal = false;
+    for _ in 0..50 {
+        let health = send_raw(addr, b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+        if health.contains("\"status\":\"draining\"") {
+            saw_draining = true;
+            let post = send_raw(
+                addr,
+                b"POST /decompose HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}",
+            );
+            saw_refusal = post.starts_with("HTTP/1.1 503");
+            break;
+        }
+        if health.is_empty() {
+            break; // drain finished: listener gone
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    drop(held);
+    assert!(saw_draining, "never observed draining health status");
+    assert!(saw_refusal, "draining server must refuse new work with 503");
+    assert!(handle.join().expect("no panic").is_ok());
+}
+
 #[test]
 fn graceful_drain_joins_workers() {
     // A private server instance so the shared one keeps running for the
@@ -242,6 +419,7 @@ fn graceful_drain_joins_workers() {
             workers: 1,
             queue_depth: 1,
             read_timeout: Duration::from_secs(1),
+            ..ServerConfig::default()
         };
         serve(engine, listener, &cfg, &flag)
     });

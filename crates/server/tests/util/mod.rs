@@ -1,0 +1,129 @@
+//! Shared helpers for the server integration suites: a quickly trained
+//! engine, an in-process server spawner, and raw-socket HTTP helpers.
+
+// Each integration test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use mpld::{prepare, train_framework, Engine, OfflineConfig, TrainingData};
+use mpld_graph::DecomposeParams;
+use mpld_layout::circuit_by_name;
+use mpld_server::{serve, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A quickly trained engine. Training is fully deterministic, so two
+/// calls build bit-identical engines — the property that lets a "fresh
+/// process" in a restart test be simulated by a fresh engine.
+/// `use_colorgnn = false` routes every unit to the journaled ILP/EC
+/// tail, which the resume tests rely on.
+pub fn tiny_engine(use_colorgnn: bool) -> Arc<Engine> {
+    let params = DecomposeParams::tpl();
+    let layout = circuit_by_name("C432").expect("exists").generate();
+    let prep = prepare(&layout, &params);
+    let mut data = TrainingData::default();
+    data.add_layout_capped(&prep, &params, 8);
+    let mut cfg = OfflineConfig::default();
+    cfg.rgcn.epochs = 1;
+    cfg.colorgnn.epochs = 1;
+    cfg.library = mpld_matching::LibraryConfig {
+        max_parent_size: 4,
+        max_splits: 1,
+        max_nodes: 5,
+        stitches: false,
+    };
+    let mut fw = train_framework(&data, &params, &cfg);
+    fw.use_colorgnn = use_colorgnn;
+    Arc::new(Engine::new(fw))
+}
+
+/// A running in-process server and the handles to stop it.
+pub struct TestServer {
+    pub addr: std::net::SocketAddr,
+    pub shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    /// Spawns `serve` on an ephemeral port with `cfg`.
+    pub fn start(engine: Arc<Engine>, cfg: ServerConfig) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || serve(engine, listener, &cfg, &flag));
+        TestServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals shutdown and joins the serve loop.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            assert!(h.join().expect("serve must not panic").is_ok());
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Sends raw bytes best-effort and returns the full response (empty on
+/// connect/read failure — callers that need success assert on content).
+pub fn send_raw(addr: std::net::SocketAddr, raw: &[u8]) -> String {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return String::new();
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.write_all(raw); // EPIPE is fine: rejection beat the write
+    let _ = stream.flush();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+/// `POST /decompose` with a JSON body.
+pub fn post_decompose(addr: std::net::SocketAddr, body: &str) -> String {
+    send_raw(
+        addr,
+        format!(
+            "POST /decompose HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+/// The final `done` line of a streamed decomposition response.
+pub fn done_line(response: &str) -> &str {
+    response
+        .lines()
+        .find(|l| l.starts_with("{\"event\":\"done\""))
+        .unwrap_or_else(|| panic!("no done event in response:\n{response}"))
+}
+
+/// A unique, empty scratch directory under the system temp dir.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mpld-server-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}

@@ -107,6 +107,46 @@ def check_serving(fresh) -> bool:
     return bad
 
 
+def check_serving_resume(fresh) -> bool:
+    """Internal consistency of the fresh run's serving_resume section.
+
+    The harness runs a journaled job cold, tears the journal to the
+    torn-append state a mid-write SIGKILL leaves, and re-submits the
+    same job id to a fresh serve loop. The guard requires that the
+    resumed run actually reused surviving records and stayed
+    bit-identical to the cold run (asserted in-binary, recorded as
+    digest_equal_cold). Timings are ignored — they vary by host.
+    Returns True when something diverged.
+    """
+    resume = fresh.get("serving_resume")
+    if resume is None:
+        print("fresh run lacks a serving_resume section")
+        return True
+    bad = False
+    if not resume.get("digest_equal_cold"):
+        print("serving_resume: digest_equal_cold is not true")
+        bad = True
+    if resume.get("resumed_units", 0) <= 0:
+        print("serving_resume: the restarted job reused no journal records")
+        bad = True
+    kept = resume.get("journal_records_kept", 0)
+    if kept <= 0:
+        print("serving_resume: the torn journal kept no whole records")
+        bad = True
+    if resume.get("resumed_units", 0) > kept:
+        print(
+            f"serving_resume: resumed {resume.get('resumed_units')} units "
+            f"but only {kept} records survived the tear"
+        )
+        bad = True
+    if not bad:
+        print(
+            f"serving_resume consistent: {resume.get('resumed_units')} of "
+            f"{kept} surviving records reused on {resume.get('circuit')}"
+        )
+    return bad
+
+
 def main() -> int:
     fresh_path, committed_path = sys.argv[1], sys.argv[2]
     with open(fresh_path) as f:
@@ -123,7 +163,12 @@ def main() -> int:
     serving_bad = committed.get("serving") is not None and check_serving(fresh)
     if serving_bad:
         print("serving tier DIVERGED from the fresh run's own serial digests")
-    quant_bad = quant_bad or serving_bad
+    resume_bad = committed.get("serving_resume") is not None and check_serving_resume(
+        fresh
+    )
+    if resume_bad:
+        print("serving_resume tier DIVERGED from the fresh run's own cold digest")
+    quant_bad = quant_bad or serving_bad or resume_bad
 
     if fresh.get("fp_kernel") != committed.get("fp_kernel"):
         print(

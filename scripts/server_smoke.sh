@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Server smoke test: train a tiny model, record the CLI run's digest
-# (`mpld adaptive --json`), start `mpld serve`, POST the same circuit
-# twice — the repeat must be served entirely from the cross-request
-# caches — assert both served summaries match the CLI digest, then
-# SIGTERM the server and require a clean drain (exit 0).
+# Server smoke test, two phases:
+#
+# 1. Cache parity: train a tiny model, record the CLI run's digest
+#    (`mpld adaptive --json`), start `mpld serve`, POST the same circuit
+#    twice under distinct job ids — the repeat must be served entirely
+#    from the cross-request caches — assert both served summaries match
+#    the CLI digest, then SIGTERM the server and require a clean drain.
+#
+# 2. Durable jobs: serve with `--journal-dir`, run a journaled job via
+#    `mpld submit`, `kill -9` the server, tear the job's journal to the
+#    torn-append state a mid-write SIGKILL leaves behind, restart a new
+#    server process over the same journal dir, re-submit the same job
+#    id, and assert the resumed run reused journal records and its
+#    digest is bit-identical to the CLI oracle.
 #
 # Usage: scripts/server_smoke.sh [model-path]
 # Knobs: MPLD_BIN (default target/release/mpld), MPLD_SMOKE_PORT (7979).
@@ -32,10 +41,13 @@ for _ in $(seq 1 100); do
 done
 grep -q "listening on" "$LOG"
 
+# Distinct job ids per POST: durable jobs are idempotent, so a
+# byte-identical re-POST would replay the first job's event log instead
+# of exercising the warm engine path.
 post_decompose() {
-  python3 - "$PORT" <<'EOF'
+  python3 - "$PORT" "$1" <<'EOF'
 import socket, sys
-body = '{"circuit":"C432","seed":7}'
+body = '{"circuit":"C432","seed":7,"job_id":"%s"}' % sys.argv[2]
 req = ("POST /decompose HTTP/1.1\r\nHost: smoke\r\n"
        f"Content-Length: {len(body)}\r\n\r\n{body}")
 s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=120)
@@ -50,8 +62,8 @@ sys.stdout.write(out.decode())
 EOF
 }
 
-post_decompose > /tmp/ci-serve-1.txt
-post_decompose > /tmp/ci-serve-2.txt
+post_decompose smoke-1 > /tmp/ci-serve-1.txt
+post_decompose smoke-2 > /tmp/ci-serve-2.txt
 
 python3 - /tmp/ci-cli-summary.json /tmp/ci-serve-1.txt /tmp/ci-serve-2.txt <<'EOF'
 import json, sys
@@ -84,5 +96,86 @@ EOF
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 grep -q "drained, exiting" "$LOG"
+trap - EXIT
+echo "phase 1 passed: served digests match the CLI run"
+
+# ---------------------------------------------------------------------
+# Phase 2: kill -9 a journaled job mid-append, restart, resume.
+# `--colorgnn false` routes the heuristic head's units to the certified
+# ILP/EC tail — the part of a run that is journaled — so the resumed
+# run has records to reuse.
+JOURNAL=/tmp/ci-serve-journal
+LOG2=/tmp/ci-serve-resume.log
+PORT2=$((PORT + 1))
+rm -rf "$JOURNAL"
+
+# The oracle: the same job through the per-request CLI path.
+"$BIN" adaptive C432 --model "$MODEL" --seed 7 --threads 1 \
+  --colorgnn false --json true > /tmp/ci-resume-oracle.json
+cat /tmp/ci-resume-oracle.json
+
+start_journaled_server() {
+  "$BIN" serve --model "$MODEL" --addr "127.0.0.1:$PORT2" --workers 2 \
+    --colorgnn false --journal-dir "$JOURNAL" > "$LOG2" &
+  SERVER_PID=$!
+  trap 'kill -9 $SERVER_PID 2>/dev/null || true' EXIT
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$LOG2" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "listening on" "$LOG2"
+}
+
+start_journaled_server
+"$BIN" submit C432 --addr "127.0.0.1:$PORT2" --seed 7 \
+  --job-id killtest --json true > /tmp/ci-submit-1.json
+
+# The kill: SIGKILL the server, then tear the job's journal to the
+# state a mid-append SIGKILL leaves on disk (whole records + a torn
+# half-line, no trailing newline).
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+python3 - "$JOURNAL/killtest.jsonl" <<'EOF'
+import sys
+path = sys.argv[1]
+lines = open(path).read().splitlines()
+assert len(lines) >= 3, f"journal too short to tear: {len(lines)} lines"
+keep = max(2, 1 + (len(lines) - 1) // 2)
+torn = "\n".join(lines[:keep]) + "\n" + lines[keep][: len(lines[keep]) // 2]
+open(path, "w").write(torn)
+print(f"tore journal to {keep - 1} whole records + a torn half-line")
+EOF
+
+# The restart: a fresh server process over the same journal dir; the
+# re-submitted job id must resume from the surviving records.
+start_journaled_server
+"$BIN" submit C432 --addr "127.0.0.1:$PORT2" --seed 7 \
+  --job-id killtest --json true > /tmp/ci-submit-2.json
+
+python3 - /tmp/ci-resume-oracle.json /tmp/ci-submit-1.json /tmp/ci-submit-2.json <<'EOF'
+import json, sys
+
+oracle = json.load(open(sys.argv[1]))
+first = json.load(open(sys.argv[2]))["summary"]
+resumed = json.load(open(sys.argv[3]))["summary"]
+
+assert first["resumed_units"] == 0, (
+    f"uninterrupted run resumed {first['resumed_units']} units")
+assert resumed["resumed_units"] > 0, (
+    "restarted run reused no journal records")
+for served, who in ((first, "first"), (resumed, "resumed")):
+    assert served["cost"] == oracle["cost"], (
+        f"{who}: served cost {served['cost']} != CLI {oracle['cost']}")
+    for engine in ("matching", "colorgnn", "ec", "ilp"):
+        assert served["usage"][engine] == oracle["usage"][engine], (
+            f"{who}: served {engine} usage {served['usage'][engine]} "
+            f"!= CLI {oracle['usage'][engine]}")
+print(f"resumed run reused {resumed['resumed_units']} journal records; "
+      "digest matches the CLI oracle")
+EOF
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q "drained, exiting" "$LOG2"
 trap - EXIT
 echo "server smoke passed"
