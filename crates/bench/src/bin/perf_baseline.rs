@@ -17,8 +17,9 @@
 //! against the f32 run.
 
 use mpld::{
-    prepare, train_framework_with_report, AdaptiveResult, BudgetPolicy, EngineKind, Precision,
-    PreparedLayout, TrainingData,
+    audit_boundary_units, peak_rss_bytes, prepare, prepare_tiled_file, train_framework_with_report,
+    AdaptiveResult, BudgetPolicy, EngineKind, Precision, PreparedLayout, Session, TilingConfig,
+    TrainingData,
 };
 use mpld_bench::env_usize;
 use mpld_ec::EcDecomposer;
@@ -26,7 +27,9 @@ use mpld_gnn::{ColorGnn, ColorGnnTrainConfig, RgcnClassifier, TrainConfig};
 use mpld_graph::{DecomposeParams, Decomposer, LayoutGraph};
 use mpld_ilp::encode::BipDecomposer;
 use mpld_ilp::IlpDecomposer;
-use mpld_layout::iscas_suite;
+use mpld_layout::{
+    generate_layout_streaming, iscas_suite, read_layout, GeneratorParams, LayoutWriter, ReadLimits,
+};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -715,6 +718,116 @@ fn main() {
         resume_circuit.name, resume_summary.resumed_units
     );
 
+    // 7. Chip scale: a generated multi-hundred-k-rect layout streamed to
+    // disk, prepared through the tiled pipeline (O(tile) geometry working
+    // set), and decomposed on the warm engine. Runs LAST so its generated
+    // units cannot warm any cache the suite sections measure. A smaller
+    // parity probe is additionally prepared both ways and decomposed
+    // twice to re-prove the tiled/serial digest identity at this seed
+    // (the tiled_parity test suite proves it structurally).
+    let chip_rects = env_usize("MPLD_CHIP_RECTS", 200_000) as u64;
+    let chip_dir = std::env::temp_dir().join(format!("mpld-bench-chip-{}", std::process::id()));
+    std::fs::create_dir_all(&chip_dir).expect("chip scratch dir");
+    let chip_config = TilingConfig {
+        tile_span: 0, // 48*d default
+        halo: 0,      // d default
+        threads,
+    };
+    let gen_to_file = |rects: u64, path: &std::path::Path| -> (u32, u64) {
+        let file = std::fs::File::create(path).expect("create chip layout");
+        let mut writer =
+            LayoutWriter::new(std::io::BufWriter::new(file), "chip", 100).expect("write header");
+        let mut written = 0u64;
+        let features = generate_layout_streaming(100, &GeneratorParams::sized(rects, seed), |f| {
+            writer.feature(&f).expect("write feature");
+            written += f.rects().len() as u64;
+            written < rects
+        });
+        writer.finish().expect("finish chip layout");
+        assert!(written >= rects, "generator sizing underestimated {rects}");
+        (features, written)
+    };
+
+    // Parity probe: 20k rects, tiled-from-file vs monolithic-in-memory,
+    // both decomposed on the warm engine from identical fresh sessions.
+    let probe_path = chip_dir.join("probe.mpld");
+    let (_, probe_rects) = gen_to_file(20_000, &probe_path);
+    let probe_tp = prepare_tiled_file(
+        &probe_path,
+        &ReadLimits::unlimited(),
+        &params,
+        &chip_config,
+        &|_| {},
+    )
+    .expect("probe tiled prepare");
+    let probe_layout = read_layout(std::io::BufReader::new(
+        std::fs::File::open(&probe_path).expect("probe readable"),
+    ))
+    .expect("probe parses");
+    let probe_serial_prep = prepare(&probe_layout, &params);
+    assert_eq!(
+        probe_tp.prep.graph, probe_serial_prep.graph,
+        "tiled probe graph must equal the monolithic graph"
+    );
+    let mut probe_session = Session::new(seed);
+    let probe_tiled_r = engine
+        .decompose(&probe_tp.prep, &mut probe_session)
+        .expect("probe tiled decompose");
+    let mut probe_session = Session::new(seed);
+    let probe_serial_r = engine
+        .decompose(&probe_serial_prep, &mut probe_session)
+        .expect("probe serial decompose");
+    let chip_digest = |r: &AdaptiveResult| {
+        (
+            r.pipeline.decomposition.clone(),
+            r.pipeline.cost,
+            r.unit_engines.clone(),
+            r.usage,
+        )
+    };
+    assert_eq!(
+        chip_digest(&probe_tiled_r),
+        chip_digest(&probe_serial_r),
+        "tiled probe digest must equal the serial digest"
+    );
+
+    // The chip-scale run itself.
+    let chip_path = chip_dir.join("chip.mpld");
+    let t = Instant::now();
+    let (chip_features, chip_written) = gen_to_file(chip_rects, &chip_path);
+    let chip_gen_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let chip_tp = prepare_tiled_file(
+        &chip_path,
+        &ReadLimits::unlimited(),
+        &params,
+        &chip_config,
+        &|_| {},
+    )
+    .expect("chip tiled prepare");
+    let chip_prepare_secs = t.elapsed().as_secs_f64();
+    let chip_stats = chip_tp.stats;
+    let t = Instant::now();
+    let mut chip_session = Session::new(seed);
+    let chip_r = engine
+        .decompose(&chip_tp.prep, &mut chip_session)
+        .expect("chip decompose");
+    let chip_decompose_secs = t.elapsed().as_secs_f64();
+    let (chip_audited, chip_audit_clean) =
+        audit_boundary_units(&chip_tp.prep, &chip_r, &chip_tp.boundary_units, params.k);
+    assert!(
+        chip_audit_clean,
+        "chip-scale boundary audit must be clean ({chip_audited} units)"
+    );
+    let chip_rects_per_second =
+        chip_written as f64 / (chip_prepare_secs + chip_decompose_secs).max(1e-12);
+    let chip_peak_rss = peak_rss_bytes();
+    let _ = std::fs::remove_dir_all(&chip_dir);
+    eprintln!(
+        "chip scale: {chip_written} rects ({chip_features} features) gen {chip_gen_secs:.2}s, tiled prepare {chip_prepare_secs:.2}s ({}x{} tiles, max {} features/tile), decompose {chip_decompose_secs:.2}s, {chip_rects_per_second:.0} rects/s, audit clean on {chip_audited} boundary units",
+        chip_stats.tiles_x, chip_stats.tiles_y, chip_stats.max_tile_features
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"threads\": {threads},");
@@ -948,6 +1061,72 @@ fn main() {
         resume_summary.resumed_units
     );
     let _ = writeln!(json, "    \"digest_equal_cold\": true");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"chip_scale\": {{");
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    let _ = writeln!(json, "    \"target_rects\": {chip_rects},");
+    let _ = writeln!(json, "    \"rects\": {chip_written},");
+    let _ = writeln!(json, "    \"features\": {chip_features},");
+    let _ = writeln!(
+        json,
+        "    \"tiles\": {},",
+        chip_stats.tiles_x * chip_stats.tiles_y
+    );
+    let _ = writeln!(json, "    \"tile_span\": {},", chip_stats.tile_span);
+    let _ = writeln!(json, "    \"halo\": {},", chip_stats.halo);
+    let _ = writeln!(
+        json,
+        "    \"max_tile_features\": {},",
+        chip_stats.max_tile_features
+    );
+    let _ = writeln!(
+        json,
+        "    \"replicated_features\": {},",
+        chip_stats.replicated_features
+    );
+    let _ = writeln!(json, "    \"edges\": {},", chip_stats.edges);
+    let _ = writeln!(
+        json,
+        "    \"boundary_edges\": {},",
+        chip_stats.boundary_edges
+    );
+    let _ = writeln!(
+        json,
+        "    \"boundary_resolves\": {},",
+        chip_stats.boundary_resolves
+    );
+    let _ = writeln!(json, "    \"units\": {},", chip_tp.prep.units.len());
+    let _ = writeln!(
+        json,
+        "    \"conflicts\": {},",
+        chip_r.pipeline.cost.conflicts
+    );
+    let _ = writeln!(json, "    \"stitches\": {},", chip_r.pipeline.cost.stitches);
+    let _ = writeln!(
+        json,
+        "    \"objective\": {:.1},",
+        chip_r.pipeline.cost.value(params.alpha)
+    );
+    let _ = writeln!(json, "    \"generate_seconds\": {chip_gen_secs:.4},");
+    let _ = writeln!(json, "    \"prepare_seconds\": {chip_prepare_secs:.4},");
+    let _ = writeln!(json, "    \"decompose_seconds\": {chip_decompose_secs:.4},");
+    let _ = writeln!(
+        json,
+        "    \"rects_per_second\": {chip_rects_per_second:.1},"
+    );
+    match chip_peak_rss {
+        Some(b) => {
+            let _ = writeln!(json, "    \"peak_rss_bytes\": {b},");
+        }
+        None => {
+            let _ = writeln!(json, "    \"peak_rss_bytes\": null,");
+        }
+    }
+    let _ = writeln!(json, "    \"boundary_audit_clean\": true,");
+    let _ = writeln!(
+        json,
+        "    \"parity_probe\": {{\"rects\": {probe_rects}, \"digest_equal_serial\": true}}"
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, json).expect("write artifact");

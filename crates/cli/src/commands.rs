@@ -2,15 +2,19 @@
 
 use crate::args::{parse, Parsed};
 use mpld::{
-    layout_stats, prepare, run_pipeline, AdaptiveFramework, BudgetPolicy, Checkpoint,
-    CheckpointHeader, Engine, JournalWriter, OfflineConfig, Precision, Recovery, RunSummary,
-    TrainingData,
+    audit_boundary_units, layout_stats, prepare, prepare_tiled, prepare_tiled_file, run_pipeline,
+    AdaptiveFramework, BudgetPolicy, Checkpoint, CheckpointHeader, Engine, JournalWriter,
+    OfflineConfig, Precision, Recovery, RunSummary, Session, TiledPrepared, TiledProgress,
+    TiledRunSummary, TilingConfig, TrainingData,
 };
 use mpld_ec::EcDecomposer;
 use mpld_graph::{DecomposeParams, Decomposer, MpldError};
 use mpld_ilp::encode::BipDecomposer;
 use mpld_ilp::IlpDecomposer;
-use mpld_layout::{circuit_by_name, iscas_suite, read_layout, write_layout, Layout};
+use mpld_layout::{
+    circuit_by_name, generate_layout_streaming, iscas_suite, read_layout, write_layout,
+    GeneratorParams, Layout, LayoutWriter, ReadLimits,
+};
 use mpld_sdp::SdpDecomposer;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -88,6 +92,12 @@ usage: mpld <command> [args]
 commands:
   list                               list the benchmark circuits
   generate <circuit> [-o file]       write a benchmark layout (text format)
+  gen --rects <n> --out <file>       stream a chip-scale synthetic layout
+                                     of ~n rectangles to a file without
+                                     holding it in memory (reproducible)
+      --seed <n>  --d <nm>           generator seed (default 1) and
+                                     coloring distance (default 100)
+      --name <s>                     layout name (default \"chip\")
   stats <layout> [--exact true]      population statistics (exact adds ILP)
   decompose <layout> [options]       single-engine decomposition
       --engine ilp|ilp-bb|sdp|ec     engine (default ilp-bb)
@@ -130,6 +140,17 @@ commands:
                                      instead of the human-readable report
                                      (same object the server's final
                                      \"done\" event carries)
+      --tiled true                   memory-bounded tiled preprocessing:
+                                     layout files are streamed from disk
+                                     and windowed into overlapping tiles
+                                     (O(tile) geometry working set) with
+                                     halo-exact boundary conflicts; costs
+                                     and colorings are bit-identical to
+                                     the non-tiled run (runs through the
+                                     service engine, seed default 0xBEEF)
+      --tile-span <nm>               tile side length (default 48*d)
+      --halo <nm>                    halo width (default d; clamped to
+                                     at least d, the soundness minimum)
   serve --model <file> [options]     long-lived decomposition service: one
                                      warm engine shared by all requests
                                      (HTTP/NDJSON; see crates/server docs)
@@ -148,6 +169,13 @@ commands:
       --max-body-bytes <n>           request body cap (default 2 MiB)
       --max-line-bytes <n>           upload line-length cap (default 4096)
       --max-rects <n>                upload rect-count cap (default 200k)
+      --tiled true                   tiled preprocessing for all requests:
+                                     per-tile NDJSON progress events, a
+                                     boundary_audit event per solve, tile
+                                     counters in /stats, and a tiled
+                                     section in run summaries; costs stay
+                                     bit-identical to the default path
+      --tile-span <nm> --halo <nm>   tiling knobs (as adaptive --tiled)
   submit <layout> [options]          submit a job to a running mpld-server
                                      and stream its NDJSON events; retries
                                      429/disconnects with exponential
@@ -180,6 +208,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         }
         Some("list") => cmd_list(),
         Some("generate") => cmd_generate(&parsed),
+        Some("gen") => cmd_gen(&parsed),
         Some("stats") => cmd_stats(&parsed),
         Some("decompose") => cmd_decompose(&parsed),
         Some("train") => cmd_train(&parsed),
@@ -244,6 +273,57 @@ fn cmd_generate(parsed: &Parsed) -> Result<(), CliError> {
             write_layout(&layout, std::io::stdout().lock()).map_err(|e| e.to_string())?;
         }
     }
+    Ok(())
+}
+
+/// Streams a reproducible chip-scale synthetic layout to disk: the
+/// generator and the writer are both incremental, so memory stays O(band)
+/// regardless of `--rects`.
+fn cmd_gen(parsed: &Parsed) -> Result<(), CliError> {
+    let rects: u64 = parsed
+        .option("rects")
+        .ok_or("gen: missing --rects <n>")?
+        .parse()
+        .map_err(|_| "gen: cannot parse --rects".to_string())?;
+    if rects == 0 {
+        return Err("gen: --rects must be positive".into());
+    }
+    let out = parsed.option("out").ok_or("gen: missing --out <file>")?;
+    let seed: u64 = parsed.option_or("seed", 1)?;
+    let d: i64 = parsed.option_or("d", 100)?;
+    if d <= 0 {
+        return Err("gen: --d must be positive".into());
+    }
+    let name = parsed.option("name").unwrap_or("chip");
+
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut writer = LayoutWriter::new(BufWriter::new(file), name, d)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let gen_params = GeneratorParams::sized(rects, seed);
+    let mut written_rects = 0u64;
+    let mut io_err: Option<std::io::Error> = None;
+    let features = generate_layout_streaming(d, &gen_params, |f| {
+        if let Err(e) = writer.feature(&f) {
+            io_err = Some(e);
+            return false;
+        }
+        written_rects += f.rects().len() as u64;
+        written_rects < rects
+    });
+    if let Some(e) = io_err {
+        return Err(format!("cannot write {out}: {e}").into());
+    }
+    writer
+        .finish()
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    if written_rects < rects {
+        return Err(format!(
+            "gen: generator exhausted at {written_rects} of {rects} rects \
+             (sizing underestimated; please report)"
+        )
+        .into());
+    }
+    println!("wrote {features} features ({written_rects} rects, d = {d} nm, seed {seed}) to {out}");
     Ok(())
 }
 
@@ -407,6 +487,11 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
         .transpose()?;
     let json: bool = parsed.option_or("json", false)?;
     let precision = precision_from(parsed)?;
+    if parsed.option_or("tiled", false)? {
+        return cmd_adaptive_tiled(
+            parsed, arg, model, &params, threads, policy, seed, json, precision,
+        );
+    }
     let mut fw = load_model(model, &params, precision)?;
     fw.use_colorgnn = parsed.option_or("colorgnn", fw.use_colorgnn)?;
     if let Some(s) = seed {
@@ -539,6 +624,198 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `adaptive --tiled true`: memory-bounded tiled preprocessing followed
+/// by the standard service-engine solve. Layout files are streamed from
+/// disk (geometry spilled to an unlinked temp file, O(tile) working
+/// set); benchmark circuits are tiled in memory. The reconstructed
+/// prepared layout is bit-identical to the monolithic one, so costs and
+/// colorings match the non-tiled run exactly; boundary units are
+/// re-audited against the independent Eq. 1 cost check afterwards.
+#[allow(clippy::too_many_arguments)] // plain plumbing from cmd_adaptive's parsed options
+fn cmd_adaptive_tiled(
+    parsed: &Parsed,
+    arg: &str,
+    model: &str,
+    params: &DecomposeParams,
+    threads: usize,
+    policy: BudgetPolicy,
+    seed: Option<u64>,
+    json: bool,
+    precision: Precision,
+) -> Result<(), CliError> {
+    let config = TilingConfig {
+        tile_span: parsed.option_or("tile-span", 0)?,
+        halo: parsed.option_or("halo", 0)?,
+        threads,
+    };
+    let mut fw = load_model(model, params, precision)?;
+    fw.use_colorgnn = parsed.option_or("colorgnn", fw.use_colorgnn)?;
+
+    // Quiet in JSON mode; in human mode narrate the tiling milestones on
+    // stderr (per-tile events are skipped — there can be thousands).
+    let progress = move |p: TiledProgress| {
+        if json {
+            return;
+        }
+        match p {
+            TiledProgress::Scanned { features, rects } => {
+                eprintln!("tiled: scanned {features} features ({rects} rects)");
+            }
+            TiledProgress::Grid {
+                tiles_x,
+                tiles_y,
+                tile_span,
+                halo,
+            } => {
+                eprintln!("tiled: {tiles_x}x{tiles_y} tiles (span {tile_span} nm, halo {halo} nm)");
+            }
+            TiledProgress::Tile { .. } => {}
+            TiledProgress::Simplified {
+                edges,
+                units,
+                boundary_units,
+            } => {
+                eprintln!(
+                    "tiled: {edges} conflict edges, {units} units ({boundary_units} on tile boundaries)"
+                );
+            }
+        }
+    };
+    let tp: TiledPrepared = if let Some(c) = circuit_by_name(arg) {
+        prepare_tiled(&c.generate(), params, &config, &progress)
+    } else {
+        prepare_tiled_file(
+            std::path::Path::new(arg),
+            &ReadLimits::unlimited(),
+            params,
+            &config,
+            &progress,
+        )?
+    };
+    let prep = &tp.prep;
+    let stats = tp.stats;
+
+    // Same crash-safe checkpoint protocol as the non-tiled path — the
+    // prepared layout is identical, so journals are interchangeable.
+    let mut resume = None;
+    let mut journal = None;
+    if let Some(path) = parsed.option("checkpoint") {
+        let p = std::path::Path::new(path);
+        if let Some(cp) = Checkpoint::load(p)? {
+            if !cp.matches(&prep.name, params.k, params.alpha, prep.units.len()) {
+                return Err(format!(
+                    "--checkpoint {path}: journal belongs to a different run \
+                     (layout {:?}, k {}, {} units)",
+                    cp.header().layout,
+                    cp.header().k,
+                    cp.header().units
+                )
+                .into());
+            }
+            resume = Some(cp);
+        }
+        let header = CheckpointHeader {
+            layout: prep.name.clone(),
+            k: params.k,
+            alpha: params.alpha,
+            units: prep.units.len(),
+        };
+        journal = Some(JournalWriter::append(p, &header)?);
+    }
+
+    #[cfg(feature = "failpoints")]
+    if let Some((fp_seed, rate)) = mpld_graph::failpoints::configure_from_env() {
+        eprintln!("failpoints: enabled (seed={fp_seed}, rate={rate})");
+        std::panic::set_hook(Box::new(|info| eprintln!("chaos: {info}")));
+    }
+
+    let engine = Engine::new(fw);
+    let mut session = Session::with_policy(seed.unwrap_or(mpld_server::DEFAULT_SEED), policy);
+    session.recovery = Recovery {
+        resume: resume.as_ref(),
+        journal: journal.as_ref(),
+    };
+    let r = engine.decompose(prep, &mut session)?;
+    let (audited, audit_clean) = audit_boundary_units(prep, &r, &tp.boundary_units, params.k);
+    if !audit_clean {
+        eprintln!(
+            "tiled: WARNING boundary cost audit disagreed on at least one of {audited} units"
+        );
+    }
+
+    if json {
+        let mut summary = RunSummary::from_result(&prep.name, &r, params.alpha, threads, seed);
+        summary.tiled = Some(TiledRunSummary {
+            tiles: stats.tiles_x * stats.tiles_y,
+            boundary_resolves: stats.boundary_resolves,
+        });
+        println!("{}", summary.to_json());
+        for (unit, e) in &r.quarantines {
+            eprintln!("  unit {unit}: {e}");
+        }
+        if let Some(path) = parsed.option("o") {
+            write_masks(path, &r.pipeline.decomposition.feature_colors)?;
+        }
+        return Ok(());
+    }
+    println!(
+        "adaptive (tiled) on {}: {} (objective {:.1}) in {:?} ({threads} threads, seed {})",
+        prep.name,
+        r.pipeline.cost,
+        r.pipeline.cost.value(params.alpha),
+        r.pipeline.decompose_time,
+        session.seed()
+    );
+    println!(
+        "tiling: {}x{} tiles (span {} nm, halo {} nm), {} of {} features replicated",
+        stats.tiles_x,
+        stats.tiles_y,
+        stats.tile_span,
+        stats.halo,
+        stats.replicated_features,
+        stats.features
+    );
+    println!(
+        "boundary: {} of {} conflict edges cross tiles; {} boundary re-solves, \
+         cost audit {} on {} units",
+        stats.boundary_edges,
+        stats.edges,
+        stats.boundary_resolves,
+        if audit_clean { "clean" } else { "FAILED" },
+        audited
+    );
+    println!(
+        "usage: matching {}  ColorGNN {}  EC {}  ILP {}  (fallbacks {}, memo hits {})",
+        r.usage.matching,
+        r.usage.colorgnn,
+        r.usage.ec,
+        r.usage.ilp,
+        r.usage.colorgnn_fallbacks,
+        r.memo_hits
+    );
+    if r.resumed_units > 0 {
+        println!(
+            "checkpoint: resumed {} of {} units from the journal",
+            r.resumed_units,
+            prep.units.len()
+        );
+    }
+    if r.budget.quarantined > 0 || r.budget.audit_rejections > 0 {
+        println!(
+            "faults: {} quarantined  {} audit rejections",
+            r.budget.quarantined, r.budget.audit_rejections
+        );
+        for (unit, e) in &r.quarantines {
+            eprintln!("  unit {unit}: {e}");
+        }
+    }
+    if let Some(path) = parsed.option("o") {
+        write_masks(path, &r.pipeline.decomposition.feature_colors)?;
+        println!("wrote mask assignment to {path}");
+    }
+    Ok(())
+}
+
 /// Long-lived decomposition service: loads the model and compiles the
 /// frozen inference heads once, then serves requests from a worker pool
 /// sharing one warm [`Engine`] until SIGTERM/SIGINT, when it drains and
@@ -564,6 +841,16 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), CliError> {
             max_line_bytes: parsed.option_or("max-line-bytes", defaults.upload.max_line_bytes)?,
             max_rects: parsed.option_or("max-rects", defaults.upload.max_rects)?,
             ..defaults.upload
+        },
+        tiling: if parsed.option_or("tiled", false)? {
+            Some(TilingConfig {
+                tile_span: parsed.option_or("tile-span", 0)?,
+                halo: parsed.option_or("halo", 0)?,
+                // Request workers are the parallelism; tiles run serial.
+                threads: 1,
+            })
+        } else {
+            None
         },
         ..defaults
     };

@@ -53,6 +53,7 @@ pub mod parallel;
 mod pipeline;
 mod stats;
 mod summary;
+mod tiled;
 mod training;
 
 pub use checkpoint::{
@@ -74,7 +75,11 @@ pub use pipeline::{
     PreparedLayout, UnitInstance,
 };
 pub use stats::{layout_stats, LayoutStats};
-pub use summary::RunSummary;
+pub use summary::{RunSummary, TiledRunSummary};
+pub use tiled::{
+    audit_boundary_units, peak_rss_bytes, prepare_tiled, prepare_tiled_file, TiledPrepared,
+    TiledProgress, TiledStats, TilingConfig, DEFAULT_TILE_MULTIPLE,
+};
 pub use training::{
     train_framework, train_framework_with_report, OfflineConfig, TrainReport, TrainingData,
 };

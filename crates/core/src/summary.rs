@@ -76,6 +76,19 @@ pub struct RunSummary {
     pub audit_rejections: usize,
     /// Tail units restored from a checkpoint journal.
     pub resumed_units: usize,
+    /// Tiled-mode counters; `None` for the monolithic paths.
+    pub tiled: Option<TiledRunSummary>,
+}
+
+/// The tiled-mode slice of a [`RunSummary`] (present only when the run
+/// went through the tiler; the parity contract keeps every other field
+/// identical to the non-tiled run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TiledRunSummary {
+    /// Tiles in the grid.
+    pub tiles: usize,
+    /// Boundary subgraphs re-solved whole (units spanning home tiles).
+    pub boundary_resolves: usize,
 }
 
 impl RunSummary {
@@ -118,6 +131,7 @@ impl RunSummary {
             quarantined: r.budget.quarantined,
             audit_rejections: r.budget.audit_rejections,
             resumed_units: r.resumed_units,
+            tiled: None,
         }
     }
 
@@ -126,6 +140,13 @@ impl RunSummary {
         let seed = match self.seed {
             Some(s) => s.to_string(),
             None => "null".to_string(),
+        };
+        let tiled = match self.tiled {
+            Some(t) => format!(
+                ",\"tiles\":{},\"boundary_resolves\":{}",
+                t.tiles, t.boundary_resolves
+            ),
+            None => String::new(),
         };
         format!(
             concat!(
@@ -139,7 +160,7 @@ impl RunSummary {
                 "\"pinned_f32\":{},\"f32_fallbacks\":{}}},",
                 "\"budget\":{{\"certified\":{},\"heuristic\":{},\"budget_exhausted\":{},",
                 "\"budget_fallbacks\":{},\"quarantined\":{},\"audit_rejections\":{}}},",
-                "\"resumed_units\":{}}}"
+                "\"resumed_units\":{}{}}}"
             ),
             json_string(&self.layout),
             self.units,
@@ -169,6 +190,7 @@ impl RunSummary {
             self.quarantined,
             self.audit_rejections,
             self.resumed_units,
+            tiled,
         )
     }
 
@@ -209,6 +231,12 @@ impl RunSummary {
             quarantined: num(line, "quarantined")?,
             audit_rejections: num(line, "audit_rejections")?,
             resumed_units: num(line, "resumed_units")?,
+            // Optional tiled section: absent on monolithic runs (and on
+            // lines written before tiled mode existed).
+            tiled: num(line, "tiles").map(|tiles| TiledRunSummary {
+                tiles,
+                boundary_resolves: num(line, "boundary_resolves").unwrap_or(0),
+            }),
         })
     }
 }
@@ -258,6 +286,7 @@ mod tests {
             quarantined: 0,
             audit_rejections: 0,
             resumed_units: 0,
+            tiled: None,
         }
     }
 
@@ -274,6 +303,19 @@ mod tests {
         s.seed = None;
         assert!(s.to_json().contains("\"seed\":null"));
         assert_eq!(RunSummary::parse(&s.to_json()).expect("parses"), s);
+    }
+
+    #[test]
+    fn tiled_section_round_trips_and_stays_optional() {
+        let mut s = sample();
+        assert!(!s.to_json().contains("tiles"));
+        s.tiled = Some(TiledRunSummary {
+            tiles: 42,
+            boundary_resolves: 7,
+        });
+        let json = s.to_json();
+        assert!(json.contains("\"tiles\":42"));
+        assert_eq!(RunSummary::parse(&json).expect("parses"), s);
     }
 
     #[test]

@@ -1,0 +1,758 @@
+//! Chip-scale tiled preprocessing: O(tile) geometry with exact
+//! boundary-conflict stitching.
+//!
+//! The monolithic [`crate::prepare`] holds the whole layout, a chip-wide
+//! [`GridIndex`], and the full candidate/pair vectors in memory at once —
+//! fine for the ISCAS suite, fatal for full-chip density. This module
+//! windows the layout into overlapping tiles and discovers conflict edges
+//! one tile at a time, so the geometry working set is one tile (plus its
+//! halo), not the chip.
+//!
+//! # Halo invariant
+//!
+//! Every feature is replicated to each tile whose window its bounding box,
+//! expanded by the halo width `h >= d`, intersects. For any conflict pair
+//! `(a, b)` (gap `< d`), pick the closest points `p ∈ bbox(a)`,
+//! `q ∈ bbox(b)`: the tile whose window contains `p` holds `a` (its bbox
+//! meets the window) *and* `b` (every axis gap from `bbox(b)` to `p` is
+//! `< d <= h`), so at least one tile sees both endpoints and **no
+//! cross-tile conflict edge is ever dropped**.
+//!
+//! # Exactly-once emission
+//!
+//! Replication means a pair can be discovered by several tiles. Both
+//! replication tile-sets are clamped axis-aligned rectangles of tile
+//! coordinates computable locally from the two bounding boxes, so each
+//! tile emits the pair iff it is the minimum tile (smallest `ty`, then
+//! `tx`) of their intersection — non-empty by the halo invariant, hence
+//! every edge is emitted exactly once, with no cross-tile coordination.
+//! The merged edge list is sorted and defensively deduplicated before
+//! graph construction.
+//!
+//! # Parity contract
+//!
+//! The tiled path reconstructs the **same conflict-edge set** as
+//! [`mpld_layout::Layout::to_conflict_graph`], then runs the same
+//! whole-graph simplify and per-unit stitch insertion as
+//! [`crate::prepare`]. The resulting [`PreparedLayout`] is structurally
+//! identical, so [`crate::Engine`] solves it with the exact serial RNG
+//! stream and every cost, coloring, and routing digest matches the
+//! non-tiled oracle bit for bit (asserted by `tests/tiled_parity.rs`).
+//! What is bounded by the tile is the *geometry* working set (features,
+//! spatial index, candidate scratch); the id-level edge list, graph, and
+//! simplification metadata remain O(N + E) with small constants — the
+//! memory model DESIGN.md §12 spells out.
+
+use crate::pipeline::{PreparedLayout, UnitInstance};
+use crate::AdaptiveResult;
+use mpld_geometry::{Feature, GridIndex, Rect};
+use mpld_graph::simplify::{simplify, SimplifyOptions};
+use mpld_graph::{audit_coloring, DecomposeParams, LayoutGraph, MpldError};
+use mpld_layout::{read_layout_streaming, Layout, ParseLayoutError, ReadLimits};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tiling knobs. Zeros mean "derive from the coloring distance".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingConfig {
+    /// Tile side length in nm; `0` picks `DEFAULT_TILE_MULTIPLE * d`.
+    pub tile_span: i64,
+    /// Halo width in nm; `0` picks `d`. Values below `d` are clamped up
+    /// to `d` — the halo invariant (module docs) is unsound below that.
+    pub halo: i64,
+    /// Worker threads for per-tile edge discovery (`0`/`1` = serial).
+    /// Discovery is pure geometry, so thread count never changes results.
+    pub threads: usize,
+}
+
+/// Default tile side as a multiple of the coloring distance.
+pub const DEFAULT_TILE_MULTIPLE: i64 = 48;
+
+impl Default for TilingConfig {
+    fn default() -> Self {
+        TilingConfig {
+            tile_span: 0,
+            halo: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// Counters describing one tiled preparation (committed to benches and
+/// served from `/stats`, so everything here is a plain number).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TiledStats {
+    /// Tile grid width and height.
+    pub tiles_x: usize,
+    /// Tile grid height.
+    pub tiles_y: usize,
+    /// Resolved tile side length in nm.
+    pub tile_span: i64,
+    /// Resolved halo width in nm.
+    pub halo: i64,
+    /// Features in the layout.
+    pub features: usize,
+    /// Rectangles in the layout.
+    pub rects: usize,
+    /// Sum of per-tile feature counts (replication included).
+    pub replicated_features: usize,
+    /// Largest per-tile feature count — the geometry working-set bound.
+    pub max_tile_features: usize,
+    /// Conflict edges discovered (equals the monolithic edge count).
+    pub edges: usize,
+    /// Edges whose endpoints live in different home tiles.
+    pub boundary_edges: usize,
+    /// Simplified components spanning more than one home tile.
+    pub boundary_components: usize,
+    /// Decomposition units belonging to boundary components; each one is
+    /// a boundary subgraph re-solved whole (the reconciliation ladder of
+    /// DESIGN.md §12) rather than stitched from per-tile guesses.
+    pub boundary_resolves: usize,
+}
+
+/// A layout prepared through the tiler: the standard [`PreparedLayout`]
+/// (solvable by every existing path), the tiling counters, and the unit
+/// indices that straddle tile boundaries (for the independent re-audit).
+#[derive(Debug)]
+pub struct TiledPrepared {
+    /// Structurally identical to what [`crate::prepare`] builds.
+    pub prep: PreparedLayout,
+    /// Tiling counters.
+    pub stats: TiledStats,
+    /// Indices into `prep.units` whose features span multiple home tiles.
+    pub boundary_units: Vec<usize>,
+}
+
+/// Streaming progress of a tiled preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TiledProgress {
+    /// The ingest scan finished (file variant: first pass over the file).
+    Scanned {
+        /// Features seen.
+        features: usize,
+        /// Rectangles seen.
+        rects: usize,
+    },
+    /// The tile grid is fixed.
+    Grid {
+        /// Grid width in tiles.
+        tiles_x: usize,
+        /// Grid height in tiles.
+        tiles_y: usize,
+        /// Tile side in nm.
+        tile_span: i64,
+        /// Halo width in nm.
+        halo: i64,
+    },
+    /// One tile finished edge discovery.
+    Tile {
+        /// Tile index (row-major).
+        index: usize,
+        /// Total tiles.
+        total: usize,
+        /// Features replicated into this tile.
+        features: usize,
+        /// Edges this tile emitted (after exactly-once filtering).
+        edges: usize,
+    },
+    /// The global graph is assembled and simplified.
+    Simplified {
+        /// Conflict edges in the global graph.
+        edges: usize,
+        /// Decomposition units.
+        units: usize,
+        /// Units straddling tile boundaries.
+        boundary_units: usize,
+    },
+}
+
+/// The uniform tile grid over the layout bounding box.
+#[derive(Debug, Clone, Copy)]
+struct TileGrid {
+    x0: i64,
+    y0: i64,
+    span: i64,
+    nx: i64,
+    ny: i64,
+}
+
+impl TileGrid {
+    fn new(bbox: &Rect, span: i64) -> TileGrid {
+        let nx = ((bbox.xh - bbox.xl).max(0) / span + 1).max(1);
+        let ny = ((bbox.yh - bbox.yl).max(0) / span + 1).max(1);
+        TileGrid {
+            x0: bbox.xl,
+            y0: bbox.yl,
+            span,
+            nx,
+            ny,
+        }
+    }
+
+    fn tile_count(&self) -> usize {
+        (self.nx * self.ny) as usize
+    }
+
+    /// Clamped tile-coordinate rectangle covered by `bb` expanded by
+    /// `margin` (the replication set for `margin == halo`).
+    fn range(&self, bb: &Rect, margin: i64) -> (i64, i64, i64, i64) {
+        let tx0 = (bb.xl - margin - self.x0).div_euclid(self.span).max(0);
+        let tx1 = (bb.xh + margin - self.x0)
+            .div_euclid(self.span)
+            .min(self.nx - 1);
+        let ty0 = (bb.yl - margin - self.y0).div_euclid(self.span).max(0);
+        let ty1 = (bb.yh + margin - self.y0)
+            .div_euclid(self.span)
+            .min(self.ny - 1);
+        (tx0, tx1, ty0, ty1)
+    }
+
+    /// The home tile of a feature: the (clamped) tile holding its
+    /// bounding box's lower-left corner. Used only for boundary
+    /// accounting, never for edge discovery.
+    fn home(&self, bb: &Rect) -> u32 {
+        let tx = (bb.xl - self.x0)
+            .div_euclid(self.span)
+            .clamp(0, self.nx - 1);
+        let ty = (bb.yl - self.y0)
+            .div_euclid(self.span)
+            .clamp(0, self.ny - 1);
+        (ty * self.nx + tx) as u32
+    }
+}
+
+/// Where tile jobs fetch feature geometry from: the in-memory layout, or
+/// the on-disk store the streaming pass spilled (random access by id).
+enum Geometry<'a> {
+    Mem(&'a [Feature]),
+    Store(Mutex<FeatureStore>),
+}
+
+impl Geometry<'_> {
+    /// Loads the features with the given ids (tile working set or unit
+    /// membership), in order.
+    fn load(&self, ids: &[u32]) -> Result<Vec<Feature>, MpldError> {
+        match self {
+            Geometry::Mem(features) => Ok(ids
+                .iter()
+                .map(|&id| features[id as usize].clone())
+                .collect()),
+            Geometry::Store(store) => {
+                let mut store = store.lock().map_err(|_| {
+                    MpldError::Io("tiled feature store poisoned by a worker panic".into())
+                })?;
+                ids.iter().map(|&id| store.read_feature(id)).collect()
+            }
+        }
+    }
+}
+
+/// Append-only binary spill of feature geometry (`u32` rect count, then
+/// `4 x i64` per rect), unlinked on creation so it can never outlive the
+/// process. Offsets live in memory: 8 bytes per feature.
+struct FeatureStore {
+    file: std::fs::File,
+    offsets: Vec<u64>,
+}
+
+static STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl FeatureStore {
+    fn create() -> Result<FeatureStore, MpldError> {
+        let path = std::env::temp_dir().join(format!(
+            "mpld-tiled-{}-{}.spill",
+            std::process::id(),
+            STORE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = std::fs::OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| MpldError::Io(format!("create {}: {e}", path.display())))?;
+        // Unlink immediately: the open handle keeps the data alive and
+        // the kernel reclaims it when the process exits, crash included.
+        std::fs::remove_file(&path).map_err(|e| MpldError::Io(e.to_string()))?;
+        Ok(FeatureStore {
+            file,
+            offsets: Vec::new(),
+        })
+    }
+
+    fn read_feature(&mut self, id: u32) -> Result<Feature, MpldError> {
+        let offset = self.offsets[id as usize];
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| MpldError::Io(e.to_string()))?;
+        let mut len = [0u8; 4];
+        self.file
+            .read_exact(&mut len)
+            .map_err(|e| MpldError::Io(e.to_string()))?;
+        let n = u32::from_le_bytes(len) as usize;
+        let mut buf = vec![0u8; n * 32];
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| MpldError::Io(e.to_string()))?;
+        let rects = buf
+            .chunks_exact(32)
+            .map(|c| {
+                let coord = |i: usize| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&c[i * 8..i * 8 + 8]);
+                    i64::from_le_bytes(b)
+                };
+                Rect::new(coord(0), coord(1), coord(2), coord(3))
+            })
+            .collect();
+        Ok(Feature::new(id, rects))
+    }
+}
+
+/// Serializes one feature into the spill format.
+fn encode_feature(f: &Feature, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&(f.rects().len() as u32).to_le_bytes());
+    for r in f.rects() {
+        for v in [r.xl, r.yl, r.xh, r.yh] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Tiled [`crate::prepare`] over an in-memory layout: identical output,
+/// O(tile) geometry working set during edge discovery. Used for parity
+/// testing and for served circuit requests; truly chip-scale inputs go
+/// through [`prepare_tiled_file`].
+///
+/// # Panics
+///
+/// Panics if `params.k == 0` (as [`crate::prepare`]).
+#[allow(clippy::expect_used)] // in-memory tiling performs no I/O
+pub fn prepare_tiled(
+    layout: &Layout,
+    params: &DecomposeParams,
+    config: &TilingConfig,
+    progress: &(dyn Fn(TiledProgress) + Sync),
+) -> TiledPrepared {
+    let rects = layout.features.iter().map(|f| f.rects().len()).sum();
+    let mut bbox: Option<Rect> = None;
+    for f in &layout.features {
+        let bb = f.bounding_box();
+        bbox = Some(match bbox {
+            Some(acc) => acc.union(&bb),
+            None => bb,
+        });
+    }
+    prepare_tiled_inner(
+        layout.name.clone(),
+        layout.d,
+        &Geometry::Mem(&layout.features),
+        layout.features.len(),
+        rects,
+        bbox,
+        params,
+        config,
+        progress,
+    )
+    .expect("in-memory tiled preparation performs no I/O")
+}
+
+/// Streaming tiled preparation from a layout file: the file is parsed
+/// once, geometry is spilled to an unlinked on-disk store, and tiles load
+/// only their own working set — the layout is never resident in memory.
+///
+/// # Errors
+///
+/// Parse errors from the layout file (with `limits` enforced as in
+/// [`mpld_layout::read_layout_limited`]) and I/O errors from the spill
+/// store.
+pub fn prepare_tiled_file(
+    path: &Path,
+    limits: &ReadLimits,
+    params: &DecomposeParams,
+    config: &TilingConfig,
+    progress: &(dyn Fn(TiledProgress) + Sync),
+) -> Result<TiledPrepared, MpldError> {
+    let file =
+        std::fs::File::open(path).map_err(|e| MpldError::Io(format!("{}: {e}", path.display())))?;
+    let store = FeatureStore::create()?;
+    let mut writer = BufWriter::new(store.file);
+    let mut offsets = store.offsets;
+    let mut pos = 0u64;
+    let mut record = Vec::new();
+    let mut bbox: Option<Rect> = None;
+    let mut rects = 0usize;
+    let header = read_layout_streaming(BufReader::new(file), limits, |f| {
+        encode_feature(&f, &mut record);
+        writer
+            .write_all(&record)
+            .map_err(|e| ParseLayoutError::Io(e.to_string()))?;
+        offsets.push(pos);
+        pos += record.len() as u64;
+        rects += f.rects().len();
+        let bb = f.bounding_box();
+        bbox = Some(match bbox {
+            Some(acc) => acc.union(&bb),
+            None => bb,
+        });
+        Ok(())
+    })
+    .map_err(MpldError::from)?;
+    let file = writer
+        .into_inner()
+        .map_err(|e| MpldError::Io(e.to_string()))?;
+    let n = offsets.len();
+    let store = FeatureStore { file, offsets };
+    prepare_tiled_inner(
+        header.name,
+        header.d,
+        &Geometry::Store(Mutex::new(store)),
+        n,
+        rects,
+        bbox,
+        params,
+        config,
+        progress,
+    )
+}
+
+/// Shared tiling core (see module docs for the phase breakdown).
+#[allow(clippy::too_many_arguments)]
+fn prepare_tiled_inner(
+    name: String,
+    d: i64,
+    geometry: &Geometry<'_>,
+    num_features: usize,
+    num_rects: usize,
+    bbox: Option<Rect>,
+    params: &DecomposeParams,
+    config: &TilingConfig,
+    progress: &(dyn Fn(TiledProgress) + Sync),
+) -> Result<TiledPrepared, MpldError> {
+    let start = Instant::now();
+    progress(TiledProgress::Scanned {
+        features: num_features,
+        rects: num_rects,
+    });
+
+    let halo = if config.halo > 0 {
+        config.halo.max(d)
+    } else {
+        d
+    };
+    let span = if config.tile_span > 0 {
+        config.tile_span.max(1)
+    } else {
+        DEFAULT_TILE_MULTIPLE * d
+    };
+    let grid = TileGrid::new(&bbox.unwrap_or(Rect::new(0, 0, 1, 1)), span);
+    let tiles = grid.tile_count();
+    progress(TiledProgress::Grid {
+        tiles_x: grid.nx as usize,
+        tiles_y: grid.ny as usize,
+        tile_span: span,
+        halo,
+    });
+
+    // Replication pass: assign every feature to the tiles its halo-grown
+    // bounding box touches, and record its home tile for boundary
+    // accounting. One sequential sweep over the geometry.
+    let mut tile_features: Vec<Vec<u32>> = vec![Vec::new(); tiles];
+    let mut home = vec![0u32; num_features];
+    {
+        let mut assign = |f: &Feature| {
+            let bb = f.bounding_box();
+            home[f.id() as usize] = grid.home(&bb);
+            let (tx0, tx1, ty0, ty1) = grid.range(&bb, halo);
+            for ty in ty0..=ty1 {
+                for tx in tx0..=tx1 {
+                    tile_features[(ty * grid.nx + tx) as usize].push(f.id());
+                }
+            }
+        };
+        match geometry {
+            Geometry::Mem(features) => {
+                for f in *features {
+                    assign(f);
+                }
+            }
+            Geometry::Store(store) => {
+                let mut store = store.lock().map_err(|_| {
+                    MpldError::Io("tiled feature store poisoned by a worker panic".into())
+                })?;
+                for id in 0..num_features as u32 {
+                    assign(&store.read_feature(id)?);
+                }
+            }
+        }
+    }
+    let replicated_features = tile_features.iter().map(Vec::len).sum();
+    let max_tile_features = tile_features.iter().map(Vec::len).max().unwrap_or(0);
+
+    // Edge discovery, one tile at a time, largest tile first through the
+    // shared worker pool. Pure geometry: thread count cannot change the
+    // discovered set, and the exactly-once rule (module docs) makes the
+    // per-tile outputs disjoint.
+    let threads = config.threads.max(1);
+    let tile_edges: Vec<Result<Vec<(u32, u32)>, MpldError>> = crate::parallel::run_largest_first(
+        tiles,
+        threads,
+        |t| tile_features[t].len(),
+        |t| {
+            let ids = &tile_features[t];
+            let feats = geometry.load(ids)?;
+            let tx_self = (t as i64) % grid.nx;
+            let ty_self = (t as i64) / grid.nx;
+            let index = GridIndex::build(&feats, d);
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            index.for_each_conflict_pair(&feats, d, |i, j| {
+                let (ra, rb) = (
+                    grid.range(&feats[i].bounding_box(), halo),
+                    grid.range(&feats[j].bounding_box(), halo),
+                );
+                // Minimum tile (smallest ty, then tx) of the replication
+                // intersection — the unique emitter of this pair.
+                let tx_min = ra.0.max(rb.0);
+                let ty_min = ra.2.max(rb.2);
+                if tx_min == tx_self && ty_min == ty_self {
+                    let (a, b) = (ids[i], ids[j]);
+                    edges.push((a.min(b), a.max(b)));
+                }
+            });
+            progress(TiledProgress::Tile {
+                index: t,
+                total: tiles,
+                features: ids.len(),
+                edges: edges.len(),
+            });
+            Ok(edges)
+        },
+    );
+    drop(tile_features);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for per_tile in tile_edges {
+        edges.extend(per_tile?);
+    }
+    edges.sort_unstable();
+    let before = edges.len();
+    edges.dedup();
+    debug_assert_eq!(before, edges.len(), "exactly-once emission was violated");
+
+    let boundary_edges = edges
+        .iter()
+        .filter(|&&(a, b)| home[a as usize] != home[b as usize])
+        .count();
+    let num_edges = edges.len();
+
+    // From here the flow is exactly `crate::prepare`: same graph, same
+    // whole-graph simplify, same per-unit stitch insertion — structural
+    // identity is what buys bit-identical solves downstream.
+    let graph = LayoutGraph::homogeneous(num_features, edges)
+        .map_err(|e| MpldError::Io(format!("tiled conflict graph rejected: {e}")))?;
+    let simplified = simplify(&graph, params.k, SimplifyOptions::default());
+
+    let mut occurrences: HashMap<u32, usize> = HashMap::new();
+    for unit in simplified.units() {
+        for &g in &unit.global_nodes {
+            *occurrences.entry(g).or_insert(0) += 1;
+        }
+    }
+
+    let mut boundary_units = Vec::new();
+    let mut boundary_components = std::collections::HashSet::new();
+    let mut units = Vec::with_capacity(simplified.units().len());
+    for (i, unit) in simplified.units().iter().enumerate() {
+        let feats = geometry.load(&unit.global_nodes)?;
+        let splittable: Vec<bool> = unit
+            .global_nodes
+            .iter()
+            .map(|g| occurrences[g] == 1)
+            .collect();
+        let stitched = insert_stitch_candidates_checked(&feats, d, &splittable)?;
+        if unit
+            .global_nodes
+            .iter()
+            .any(|&g| home[g as usize] != home[unit.global_nodes[0] as usize])
+        {
+            boundary_units.push(i);
+            boundary_components.insert(unit.component);
+        }
+        units.push(UnitInstance {
+            hetero: stitched,
+            unit_index: i,
+        });
+    }
+
+    progress(TiledProgress::Simplified {
+        edges: num_edges,
+        units: units.len(),
+        boundary_units: boundary_units.len(),
+    });
+
+    let stats = TiledStats {
+        tiles_x: grid.nx as usize,
+        tiles_y: grid.ny as usize,
+        tile_span: span,
+        halo,
+        features: num_features,
+        rects: num_rects,
+        replicated_features,
+        max_tile_features,
+        edges: num_edges,
+        boundary_edges,
+        boundary_components: boundary_components.len(),
+        boundary_resolves: boundary_units.len(),
+    };
+    Ok(TiledPrepared {
+        prep: PreparedLayout {
+            name,
+            graph,
+            simplified,
+            units,
+            d,
+            prepare_time: start.elapsed(),
+        },
+        stats,
+        boundary_units,
+    })
+}
+
+/// Stitch insertion with the panic of the monolithic path converted into
+/// a typed error (streamed inputs are user data, not generator output).
+fn insert_stitch_candidates_checked(
+    feats: &[Feature],
+    d: i64,
+    splittable: &[bool],
+) -> Result<LayoutGraph, MpldError> {
+    mpld_layout::insert_stitch_candidates_masked(feats, d, splittable)
+        .map(|s| s.graph)
+        .map_err(|e| MpldError::Io(format!("stitch insertion rejected unit geometry: {e}")))
+}
+
+/// Independent Eq. 1 re-audit of the boundary subgraphs: recomputes each
+/// boundary unit's cost from its kept coloring and compares it to the
+/// cost the solver reported. Returns `(audited, clean)` — `clean` is
+/// false if any boundary unit's audit disagrees.
+pub fn audit_boundary_units(
+    prep: &PreparedLayout,
+    result: &AdaptiveResult,
+    boundary_units: &[usize],
+    k: u8,
+) -> (usize, bool) {
+    let mut clean = true;
+    for &i in boundary_units {
+        let coloring = &result.pipeline.decomposition.unit_subfeature_colorings[i];
+        match audit_coloring(&prep.units[i].hetero, coloring, k) {
+            Ok(cost) if cost == result.pipeline.unit_costs[i] => {}
+            _ => clean = false,
+        }
+    }
+    (boundary_units.len(), clean)
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpld_layout::circuit_by_name;
+
+    fn quiet() -> impl Fn(TiledProgress) + Sync {
+        |_| {}
+    }
+
+    #[test]
+    fn tiled_prepare_matches_monolithic_on_a_circuit() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let params = DecomposeParams::tpl();
+        let serial = crate::prepare(&layout, &params);
+        let tiled = prepare_tiled(&layout, &params, &TilingConfig::default(), &quiet());
+
+        assert_eq!(tiled.prep.graph, serial.graph);
+        assert_eq!(tiled.prep.units.len(), serial.units.len());
+        for (t, s) in tiled.prep.units.iter().zip(&serial.units) {
+            assert_eq!(t.hetero, s.hetero);
+            assert_eq!(t.unit_index, s.unit_index);
+        }
+        assert_eq!(tiled.stats.features, layout.features.len());
+        assert_eq!(tiled.stats.edges, serial.graph.conflict_edges().len());
+    }
+
+    #[test]
+    fn small_tiles_force_boundary_units_without_changing_the_graph() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let params = DecomposeParams::tpl();
+        let serial = crate::prepare(&layout, &params);
+        // Tiny tiles: every component straddles tiles, nothing changes.
+        let config = TilingConfig {
+            tile_span: 2 * layout.d,
+            ..Default::default()
+        };
+        let tiled = prepare_tiled(&layout, &params, &config, &quiet());
+        assert_eq!(tiled.prep.graph, serial.graph);
+        assert!(tiled.stats.tiles_x * tiled.stats.tiles_y > 4);
+        assert!(tiled.stats.boundary_edges > 0);
+        assert!(tiled.stats.boundary_resolves > 0);
+        assert_eq!(
+            tiled.boundary_units.len(),
+            tiled.stats.boundary_resolves,
+            "boundary unit list and counter must agree"
+        );
+    }
+
+    #[test]
+    fn file_variant_matches_in_memory() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let params = DecomposeParams::tpl();
+        let dir = std::env::temp_dir().join(format!("mpld-tiled-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("c432.layout");
+        let mut buf = Vec::new();
+        mpld_layout::write_layout(&layout, &mut buf).expect("write");
+        std::fs::write(&path, &buf).expect("write file");
+
+        let mem = prepare_tiled(&layout, &params, &TilingConfig::default(), &quiet());
+        let file = prepare_tiled_file(
+            &path,
+            &ReadLimits::unlimited(),
+            &params,
+            &TilingConfig::default(),
+            &quiet(),
+        )
+        .expect("file prepare");
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(file.prep.graph, mem.prep.graph);
+        assert_eq!(file.prep.units.len(), mem.prep.units.len());
+        for (a, b) in file.prep.units.iter().zip(&mem.prep.units) {
+            assert_eq!(a.hetero, b.hetero);
+        }
+        assert_eq!(file.stats, mem.stats);
+        assert_eq!(file.boundary_units, mem.boundary_units);
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss.is_some_and(|b| b > 0), "VmHWM should parse: {rss:?}");
+        }
+    }
+}

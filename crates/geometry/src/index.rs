@@ -77,21 +77,43 @@ impl GridIndex {
     /// single routed layer they cannot be separated onto different masks
     /// anyway, and the benchmark generator never produces them.
     pub fn conflict_pairs(&self, features: &[Feature], d: i64) -> Vec<(usize, usize)> {
-        let dd = d * d;
         let mut pairs = Vec::new();
+        self.for_each_conflict_pair(features, d, |i, j| pairs.push((i, j)));
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Visits every unordered conflict pair `(i, j)` with `i < j` exactly
+    /// once, without allocating a pair vector or per-query candidate lists.
+    ///
+    /// One scratch buffer is reused across all features, so the hot path is
+    /// allocation-free after warm-up. Pairs are emitted grouped by `i` but in
+    /// no particular order within a group; callers that need sorted output
+    /// should collect and sort (see [`GridIndex::conflict_pairs`]).
+    pub fn for_each_conflict_pair<F>(&self, features: &[Feature], d: i64, mut emit: F)
+    where
+        F: FnMut(usize, usize),
+    {
+        let dd = d * d;
+        let mut scratch: Vec<usize> = Vec::new();
         for (i, f) in features.iter().enumerate() {
-            let bb = f.bounding_box();
-            for j in self.candidates_near(&bb, d) {
-                if j <= i {
-                    continue;
-                }
+            let grown = f.bounding_box().expanded(d);
+            scratch.clear();
+            scratch.extend(
+                Self::covered_cells(&grown, self.cell)
+                    .filter_map(|key| self.cells.get(&key))
+                    .flatten()
+                    .copied()
+                    .filter(|&j| j > i),
+            );
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &j in &scratch {
                 if feature_distance_sq(f, &features[j]) < dd {
-                    pairs.push((i, j));
+                    emit(i, j);
                 }
             }
         }
-        pairs.sort_unstable();
-        pairs
     }
 }
 
@@ -148,5 +170,33 @@ mod tests {
         let feats = vec![wire(0, -500, -500, 50), wire(1, -500, -460, 50)];
         let index = GridIndex::build(&feats, 120);
         assert_eq!(index.conflict_pairs(&feats, 120), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn callback_matches_collected_pairs() {
+        let mut feats = Vec::new();
+        let mut id = 0;
+        for row in 0..8 {
+            for col in 0..8 {
+                feats.push(wire(id, col * 110 - 400, row * 85 - 300, 90));
+                id += 1;
+            }
+        }
+        let d = 120;
+        let index = GridIndex::build(&feats, d);
+        let collected = index.conflict_pairs(&feats, d);
+
+        let mut via_callback = Vec::new();
+        index.for_each_conflict_pair(&feats, d, |i, j| {
+            assert!(i < j, "callback must emit ordered pairs");
+            via_callback.push((i, j));
+        });
+        via_callback.sort_unstable();
+        assert_eq!(via_callback, collected);
+
+        // Exactly-once: no duplicates even for features spanning many cells.
+        let mut deduped = via_callback.clone();
+        deduped.dedup();
+        assert_eq!(deduped.len(), via_callback.len());
     }
 }

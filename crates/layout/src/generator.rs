@@ -59,6 +59,25 @@ impl Default for GeneratorParams {
     }
 }
 
+impl GeneratorParams {
+    /// Parameters for a roughly square chip-like layout of about
+    /// `target_rects` rectangles. The estimate deliberately overshoots a
+    /// little; callers wanting an exact count stream through
+    /// [`generate_layout_streaming`] and stop the sink at the target.
+    pub fn sized(target_rects: u64, seed: u64) -> GeneratorParams {
+        // Feature count ≈ tracks · track_units / 3 (one rect per feature,
+        // plus rare jogs); a square aspect at the band pitch puts tracks at
+        // ~4/3 of track_units.
+        let root = (target_rects.max(1) as f64).sqrt();
+        GeneratorParams {
+            tracks: ((2.1 * root).ceil() as usize).max(4),
+            track_units: ((1.6 * root).ceil() as usize).max(8),
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
 /// Probability that a band is routed at the tight pitch, where wires two
 /// tracks apart still conflict — the rare congested pockets that make
 /// stitches genuinely useful and cause the occasional native conflict.
@@ -66,6 +85,29 @@ const TIGHT_BAND_PROB: f64 = 0.05;
 
 /// Generates the layout for `name` with coloring distance `d`.
 pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
+    let mut features: Vec<Feature> = Vec::new();
+    generate_layout_streaming(d, params, |f| {
+        features.push(f);
+        true
+    });
+    Layout {
+        name: name.to_string(),
+        d,
+        features,
+    }
+}
+
+/// Streaming core of [`generate_layout`]: each feature is handed to `sink`
+/// as soon as it is complete and never retained, so multi-million-rect
+/// layouts can be written straight to disk in O(band) memory. The feature
+/// sequence is identical to [`generate_layout`] for the same parameters;
+/// returning `false` from the sink stops generation early (the truncated
+/// prefix is still a valid dense-id layout). Returns the number of features
+/// emitted.
+pub fn generate_layout_streaming<F>(d: i64, params: &GeneratorParams, mut sink: F) -> u32
+where
+    F: FnMut(Feature) -> bool,
+{
     let mut rng = SmallRng::seed_from_u64(params.seed);
     let wire_h = d / 4;
     // Loose bands: pitch 0.7 d — only adjacent tracks conflict (edge gap
@@ -79,7 +121,7 @@ pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
     let strap = params.strap_period.max(2) as i64 * unit;
     let strap_w = 6 * unit / 5;
 
-    let mut features: Vec<Feature> = Vec::new();
+    let mut next_id: u32 = 0;
 
     // Plan the bands: (start track, number of tracks, pitch).
     let mut bands: Vec<(usize, usize, i64)> = Vec::new();
@@ -173,13 +215,16 @@ pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
                     xh = next_channel;
                 }
                 if xh - x >= unit / 2 {
-                    let id = features.len() as u32;
+                    let id = next_id;
                     let mut rects = vec![Rect::new(x, ty, xh, ty + wire_h)];
                     if rng.gen_bool(params.jog_prob) && xh - x > unit {
                         let jx = rng.gen_range(x + unit / 4..xh - unit / 4);
                         rects.push(Rect::new(jx, ty + wire_h, jx + wire_h, ty + wire_h + d / 4));
                     }
-                    features.push(Feature::new(id, rects));
+                    next_id += 1;
+                    if !sink(Feature::new(id, rects)) {
+                        return next_id;
+                    }
                 }
                 if xh == next_channel {
                     // The wire packed against a channel: resume exactly at
@@ -203,21 +248,20 @@ pub fn generate_layout(name: &str, d: i64, params: &GeneratorParams) -> Layout {
                 let t0 = rng.gen_range(0..=band_tracks - span_tracks);
                 let y0 = y + t0 as i64 * pitch;
                 let y1 = y + (t0 + span_tracks - 1) as i64 * pitch + wire_h;
-                let id = features.len() as u32;
-                features.push(Feature::new(
+                let id = next_id;
+                next_id += 1;
+                if !sink(Feature::new(
                     id,
                     vec![Rect::new(cx - wire_h / 2, y0, cx + wire_h / 2, y1)],
-                ));
+                )) {
+                    return next_id;
+                }
             }
         }
 
         y += (band_tracks - 1) as i64 * pitch + wire_h + band_gap;
     }
-    Layout {
-        name: name.to_string(),
-        d,
-        features,
-    }
+    next_id
 }
 
 #[cfg(test)]
@@ -285,6 +329,54 @@ mod tests {
                 .any(|f| f.rects().len() == 1 && f.rects()[0].height() > f.rects()[0].width()),
             "no vertical wires generated"
         );
+    }
+
+    #[test]
+    fn streaming_matches_collected_and_stops_on_false() {
+        let params = GeneratorParams {
+            tracks: 8,
+            track_units: 40,
+            seed: 9,
+            ..Default::default()
+        };
+        let collected = generate_layout("T", 120, &params);
+
+        let mut streamed = Vec::new();
+        let n = generate_layout_streaming(120, &params, |f| {
+            streamed.push(f);
+            true
+        });
+        assert_eq!(n as usize, collected.features.len());
+        assert_eq!(streamed, collected.features);
+
+        // Early stop yields exactly the requested prefix.
+        let mut prefix = Vec::new();
+        let n = generate_layout_streaming(120, &params, |f| {
+            prefix.push(f);
+            prefix.len() < 10
+        });
+        assert_eq!(n, 10);
+        assert_eq!(prefix[..], collected.features[..10]);
+    }
+
+    #[test]
+    fn sized_params_land_near_target() {
+        for target in [5_000u64, 50_000] {
+            let params = GeneratorParams::sized(target, 7);
+            let mut rects = 0u64;
+            generate_layout_streaming(100, &params, |f| {
+                rects += f.rects().len() as u64;
+                true
+            });
+            assert!(
+                rects >= target,
+                "sized({target}) produced only {rects} rects"
+            );
+            assert!(
+                rects < 2 * target,
+                "sized({target}) overshot to {rects} rects"
+            );
+        }
     }
 
     #[test]

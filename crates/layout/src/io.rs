@@ -180,23 +180,61 @@ pub fn read_layout<R: BufRead>(reader: R) -> Result<Layout, ParseLayoutError> {
 /// [`ParseLayoutError::LimitExceeded`] when a cap is hit, otherwise as
 /// [`read_layout`].
 pub fn read_layout_limited<R: BufRead>(
-    mut reader: R,
+    reader: R,
     limits: &ReadLimits,
 ) -> Result<Layout, ParseLayoutError> {
-    let mut name: Option<(String, i64)> = None;
     let mut features: Vec<Feature> = Vec::new();
+    let header = read_layout_streaming(reader, limits, |f| {
+        features.push(f);
+        Ok(())
+    })?;
+    Ok(Layout {
+        name: header.name,
+        d: header.d,
+        features,
+    })
+}
+
+/// The `layout <name> d=<nm>` header of a streamed layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutHeader {
+    pub name: String,
+    pub d: i64,
+}
+
+/// Streaming core of [`read_layout_limited`]: each completed feature is
+/// handed to `sink` and dropped, so peak memory is one feature (plus the
+/// bounded line buffer) regardless of the layout size. All caps, error
+/// cases, and line attribution are identical to [`read_layout_limited`],
+/// which is implemented on top of this by collecting into a `Vec`.
+///
+/// # Errors
+///
+/// As [`read_layout_limited`]; additionally propagates the first error the
+/// sink returns (parsing stops immediately).
+pub fn read_layout_streaming<R: BufRead, F>(
+    mut reader: R,
+    limits: &ReadLimits,
+    mut sink: F,
+) -> Result<LayoutHeader, ParseLayoutError>
+where
+    F: FnMut(Feature) -> Result<(), ParseLayoutError>,
+{
+    let mut name: Option<(String, i64)> = None;
+    let mut emitted = 0usize;
     let mut current: Option<(u32, Vec<Rect>)> = None;
     let mut ended = false;
     let mut total_rects = 0usize;
 
-    let flush = |current: &mut Option<(u32, Vec<Rect>)>,
-                 features: &mut Vec<Feature>|
+    let mut flush = |current: &mut Option<(u32, Vec<Rect>)>,
+                     emitted: &mut usize|
      -> Result<(), ParseLayoutError> {
         if let Some((id, rects)) = current.take() {
             if rects.is_empty() {
                 return Err(ParseLayoutError::EmptyFeature { id });
             }
-            features.push(Feature::new(id, rects));
+            *emitted += 1;
+            sink(Feature::new(id, rects))?;
         }
         Ok(())
     };
@@ -250,14 +288,14 @@ pub fn read_layout_limited<R: BufRead>(
                 if name.is_none() {
                     return Err(ParseLayoutError::MissingHeader);
                 }
-                flush(&mut current, &mut features)?;
+                flush(&mut current, &mut emitted)?;
                 let id: u32 = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
                     ParseLayoutError::BadLine {
                         line: lineno,
                         content: trimmed.into(),
                     }
                 })?;
-                let expected = features.len() as u32;
+                let expected = emitted as u32;
                 if id != expected {
                     return Err(ParseLayoutError::BadFeatureId {
                         line: lineno,
@@ -265,7 +303,7 @@ pub fn read_layout_limited<R: BufRead>(
                         got: id,
                     });
                 }
-                if features.len() >= limits.max_features {
+                if emitted >= limits.max_features {
                     return Err(ParseLayoutError::LimitExceeded {
                         line: lineno,
                         what: "feature count",
@@ -329,7 +367,7 @@ pub fn read_layout_limited<R: BufRead>(
                 rects.extend(decomposed);
             }
             Some("end") => {
-                flush(&mut current, &mut features)?;
+                flush(&mut current, &mut emitted)?;
                 ended = true;
             }
             _ => {
@@ -344,7 +382,7 @@ pub fn read_layout_limited<R: BufRead>(
         return Err(ParseLayoutError::MissingEnd);
     }
     let (name, d) = name.ok_or(ParseLayoutError::MissingHeader)?;
-    Ok(Layout { name, d, features })
+    Ok(LayoutHeader { name, d })
 }
 
 /// Writes a layout in the text format.
@@ -352,16 +390,57 @@ pub fn read_layout_limited<R: BufRead>(
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_layout<W: Write>(layout: &Layout, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# mpld layout interchange v1")?;
-    writeln!(writer, "layout {} d={}", layout.name, layout.d)?;
+pub fn write_layout<W: Write>(layout: &Layout, writer: W) -> std::io::Result<()> {
+    let mut w = LayoutWriter::new(writer, &layout.name, layout.d)?;
     for f in &layout.features {
-        writeln!(writer, "feature {}", f.id())?;
-        for r in f.rects() {
-            writeln!(writer, "rect {} {} {} {}", r.xl, r.yl, r.xh, r.yh)?;
-        }
+        w.feature(f)?;
     }
-    writeln!(writer, "end")
+    w.finish().map(|_| ())
+}
+
+/// Incremental writer for the text format: header up front, one feature at
+/// a time, `end` on [`LayoutWriter::finish`]. Output is byte-identical to
+/// [`write_layout`] over the same features, so multi-million-rect layouts
+/// can be generated and written without ever materializing a `Layout`.
+#[derive(Debug)]
+pub struct LayoutWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> LayoutWriter<W> {
+    /// Writes the file header and the `layout <name> d=<d>` line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(mut writer: W, name: &str, d: i64) -> std::io::Result<Self> {
+        writeln!(writer, "# mpld layout interchange v1")?;
+        writeln!(writer, "layout {name} d={d}")?;
+        Ok(LayoutWriter { writer })
+    }
+
+    /// Writes one feature and its rectangles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn feature(&mut self, f: &Feature) -> std::io::Result<()> {
+        writeln!(self.writer, "feature {}", f.id())?;
+        for r in f.rects() {
+            writeln!(self.writer, "rect {} {} {} {}", r.xl, r.yl, r.xh, r.yh)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the final `end` line and returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        writeln!(self.writer, "end")?;
+        Ok(self.writer)
+    }
 }
 
 #[cfg(test)]
@@ -544,6 +623,51 @@ mod tests {
         let a = read_layout(buf.as_slice()).expect("parse");
         let b = read_layout_limited(buf.as_slice(), &ReadLimits::UNTRUSTED).expect("parse");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_matches_collected_and_propagates_sink_errors() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let mut buf = Vec::new();
+        write_layout(&layout, &mut buf).expect("write");
+
+        let mut streamed = Vec::new();
+        let header = read_layout_streaming(buf.as_slice(), &ReadLimits::unlimited(), |f| {
+            streamed.push(f);
+            Ok(())
+        })
+        .expect("parse");
+        assert_eq!(header.name, layout.name);
+        assert_eq!(header.d, layout.d);
+        assert_eq!(streamed, layout.features);
+
+        // A failing sink aborts the parse with its error.
+        let mut seen = 0usize;
+        let err = read_layout_streaming(buf.as_slice(), &ReadLimits::unlimited(), |_| {
+            seen += 1;
+            if seen == 3 {
+                Err(ParseLayoutError::Io("sink full".into()))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, ParseLayoutError::Io("sink full".into()));
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn layout_writer_matches_write_layout() {
+        let layout = circuit_by_name("C432").expect("exists").generate();
+        let mut whole = Vec::new();
+        write_layout(&layout, &mut whole).expect("write");
+
+        let mut incremental = LayoutWriter::new(Vec::new(), &layout.name, layout.d).expect("hdr");
+        for f in &layout.features {
+            incremental.feature(f).expect("feature");
+        }
+        let incremental = incremental.finish().expect("finish");
+        assert_eq!(whole, incremental);
     }
 
     #[test]

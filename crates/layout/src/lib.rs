@@ -31,8 +31,11 @@ mod io;
 mod stitch;
 
 pub use circuits::{circuit_by_name, iscas_suite, Circuit};
-pub use generator::{generate_layout, GeneratorParams};
-pub use io::{read_layout, read_layout_limited, write_layout, ParseLayoutError, ReadLimits};
+pub use generator::{generate_layout, generate_layout_streaming, GeneratorParams};
+pub use io::{
+    read_layout, read_layout_limited, read_layout_streaming, write_layout, LayoutHeader,
+    LayoutWriter, ParseLayoutError, ReadLimits,
+};
 pub use stitch::{
     insert_stitch_candidates, insert_stitch_candidates_masked, StitchedComponent,
     MAX_STITCHES_PER_FEATURE,

@@ -1,0 +1,121 @@
+//! Tiled serving end to end: a server configured with `tiling` must
+//! stream per-tile preparation events to the job that triggered the
+//! preparation, re-audit boundary units on every solve, carry a tiled
+//! section in run summaries, expose tile counters on `/stats` — and
+//! stay digest-identical to a plain (monolithic) server over the same
+//! deterministic engine weights.
+
+mod util;
+
+use mpld::{RunSummary, TilingConfig};
+use mpld_layout::{circuit_by_name, write_layout};
+use mpld_server::ServerConfig;
+use std::time::Duration;
+use util::{done_line, post_decompose, send_raw, tiny_engine, TestServer};
+
+fn tiled_cfg() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        read_timeout: Duration::from_secs(5),
+        // C432's d is 120 nm: a 2d tile span forces a real grid with
+        // boundary units, not one tile that degenerates to monolithic.
+        tiling: Some(TilingConfig {
+            tile_span: 240,
+            halo: 0,
+            threads: 1,
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn tiled_circuit_requests_stream_tile_events_and_match_the_plain_server() {
+    let tiled = TestServer::start(tiny_engine(true), tiled_cfg());
+    let plain = TestServer::start(
+        tiny_engine(true),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    );
+    let body = r#"{"circuit":"C432","seed":7}"#;
+
+    // First request triggers the tiled preparation: its stream replays
+    // the per-tile progress, then audits the boundary units.
+    let first = post_decompose(tiled.addr, body);
+    assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+    assert!(first.contains("{\"event\":\"tiled_grid\""), "{first}");
+    assert!(first.contains("{\"event\":\"tile\","), "{first}");
+    assert!(first.contains("{\"event\":\"tiled_simplified\""), "{first}");
+    assert!(
+        first.contains("\"event\":\"boundary_audit\"") && first.contains("\"clean\":true"),
+        "{first}"
+    );
+    let a = RunSummary::parse(done_line(&first)).expect("summary parses");
+    let at = a.tiled.expect("tiled section present");
+    assert!(at.tiles > 1, "2d tiles must form a real grid: {at:?}");
+
+    // Bit-identical digest to the monolithic server (same weights, same
+    // seed): the tiled prepared layout IS the monolithic one.
+    let p = RunSummary::parse(done_line(&post_decompose(plain.addr, body))).expect("parses");
+    assert!(p.tiled.is_none());
+    assert_eq!(
+        (a.conflicts, a.stitches, a.units),
+        (p.conflicts, p.stitches, p.units)
+    );
+    assert_eq!(
+        (a.matching, a.colorgnn, a.ec, a.ilp),
+        (p.matching, p.colorgnn, p.ec, p.ilp)
+    );
+
+    // A cache hit skips the preparation replay but still audits and
+    // reports the tiled section.
+    let second = post_decompose(
+        tiled.addr,
+        r#"{"circuit":"C432","seed":7,"job_id":"warm-2"}"#,
+    );
+    assert!(!second.contains("{\"event\":\"tile\","), "{second}");
+    assert!(second.contains("\"event\":\"boundary_audit\""), "{second}");
+    let b = RunSummary::parse(done_line(&second)).expect("summary parses");
+    assert_eq!(b.tiled.expect("tiled section").tiles, at.tiles);
+
+    // /stats surfaces the tile counters.
+    let stats = send_raw(tiled.addr, b"GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(
+        stats.contains("\"tiled\":{\"enabled\":true,\"preps\":1,"),
+        "{stats}"
+    );
+
+    tiled.stop();
+    plain.stop();
+}
+
+#[test]
+fn tiled_uploads_prepare_through_the_tiler() {
+    let s = TestServer::start(tiny_engine(true), tiled_cfg());
+    let mut body = Vec::new();
+    write_layout(
+        &circuit_by_name("C499").expect("exists").generate(),
+        &mut body,
+    )
+    .expect("serialize");
+    let raw = format!(
+        "POST /decompose?seed=7 HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut req = raw.into_bytes();
+    req.extend_from_slice(&body);
+    let r = send_raw(s.addr, &req);
+    assert!(r.starts_with("HTTP/1.1 200 OK"), "{r}");
+    assert!(r.contains("{\"event\":\"tiled_grid\""), "{r}");
+    assert!(
+        r.contains("\"event\":\"boundary_audit\"") && r.contains("\"clean\":true"),
+        "{r}"
+    );
+    let summary = RunSummary::parse(done_line(&r)).expect("summary parses");
+    assert!(summary.tiled.expect("tiled section").tiles > 1);
+    s.stop();
+}

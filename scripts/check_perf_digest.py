@@ -147,6 +147,73 @@ def check_serving_resume(fresh) -> bool:
     return bad
 
 
+def check_chip_scale(fresh, committed) -> bool:
+    """Internal consistency of the fresh run's chip_scale section, plus
+    a cross-run comparison of its deterministic fields.
+
+    The harness asserts in-binary that the tiled parity probe's digest
+    equals the serial one and that the boundary cost audit came back
+    clean; the guard re-checks the recorded flags. When the committed
+    artifact ran the same target size and seed, the deterministic
+    geometry/graph/cost fields must match exactly — the generator, the
+    tiler, and the solve are all seed-keyed. Timings, throughput, and
+    peak RSS are ignored — they vary by host. Returns True when
+    something diverged.
+    """
+    chip = fresh.get("chip_scale")
+    if chip is None:
+        print("fresh run lacks a chip_scale section")
+        return True
+    bad = False
+    if not chip.get("boundary_audit_clean"):
+        print("chip_scale: boundary_audit_clean is not true")
+        bad = True
+    probe = chip.get("parity_probe") or {}
+    if not probe.get("digest_equal_serial"):
+        print("chip_scale: parity_probe.digest_equal_serial is not true")
+        bad = True
+    if chip.get("rects", 0) < chip.get("target_rects", 0):
+        print(
+            f"chip_scale: generated {chip.get('rects')} rects, "
+            f"below the {chip.get('target_rects')} target"
+        )
+        bad = True
+    if chip.get("tiles", 0) <= 1:
+        print("chip_scale: layout degenerated to a single tile")
+        bad = True
+    ref = (committed or {}).get("chip_scale")
+    if ref is not None and ref.get("target_rects") == chip.get("target_rects"):
+        for key in (
+            "rects",
+            "features",
+            "tiles",
+            "edges",
+            "boundary_edges",
+            "boundary_resolves",
+            "units",
+            "conflicts",
+            "stitches",
+            "objective",
+        ):
+            if chip.get(key) != ref.get(key):
+                print(
+                    f"chip_scale.{key} = {chip.get(key)} differs from "
+                    f"committed {ref.get(key)}"
+                )
+                bad = True
+    elif ref is not None:
+        print(
+            f"chip_scale target mismatch ({chip.get('target_rects')} vs "
+            f"{ref.get('target_rects')}): cross-run comparison skipped"
+        )
+    if not bad:
+        print(
+            f"chip_scale consistent: {chip.get('rects')} rects over "
+            f"{chip.get('tiles')} tiles, audit clean"
+        )
+    return bad
+
+
 def main() -> int:
     fresh_path, committed_path = sys.argv[1], sys.argv[2]
     with open(fresh_path) as f:
@@ -168,7 +235,16 @@ def main() -> int:
     )
     if resume_bad:
         print("serving_resume tier DIVERGED from the fresh run's own cold digest")
-    quant_bad = quant_bad or serving_bad or resume_bad
+    # Chip-scale: the audit/parity flags are host-independent; the
+    # deterministic cross-run fields are only comparable when both runs
+    # generated from the same seed.
+    chip_ref = committed if fresh.get("seed") == committed.get("seed") else None
+    chip_bad = committed.get("chip_scale") is not None and check_chip_scale(
+        fresh, chip_ref
+    )
+    if chip_bad:
+        print("chip_scale tier DIVERGED (audit, parity probe, or digest)")
+    quant_bad = quant_bad or serving_bad or resume_bad or chip_bad
 
     if fresh.get("fp_kernel") != committed.get("fp_kernel"):
         print(
