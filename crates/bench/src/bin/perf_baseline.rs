@@ -280,6 +280,10 @@ fn main() {
         quant_runs.push(run);
     }
     fw.precision = Precision::F32;
+    // Serialized weights for the persistent-store section (6b): the
+    // framework itself is consumed by `Engine::new` in section 5.
+    let mut model_bytes: Vec<u8> = Vec::new();
+    fw.save(&mut model_bytes).expect("serialize framework");
 
     // 3b. Routing-inference throughput: the tape path (per-unit autodiff
     // forwards, the pre-frozen implementation) vs the frozen engine,
@@ -718,6 +722,99 @@ fn main() {
         resume_circuit.name, resume_summary.resumed_units
     );
 
+    // 6b. Persistent library/tail-solve store: a cold store-backed engine
+    // decomposes the whole suite (populating the store with its certified
+    // tail solves and the graph library), then a second engine — a fresh
+    // "process" sharing only the store directory — re-serves the suite.
+    // The warm engine must re-solve almost nothing (>=80% fewer fresh
+    // tail solves, asserted) with bit-identical digests, and its startup
+    // load must stay in the milliseconds range.
+    let store_dir = std::env::temp_dir().join(format!("mpld-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_digest = |r: &AdaptiveResult| {
+        (
+            r.pipeline.decomposition.clone(),
+            r.pipeline.cost,
+            r.unit_engines.clone(),
+            r.usage,
+        )
+    };
+    let fresh_tail_solves =
+        |r: &AdaptiveResult| (r.usage.ilp + r.usage.ec).saturating_sub(r.memo_hits);
+    let run_store_suite = |label: &str| -> (Vec<AdaptiveResult>, usize, f64, mpld::EngineStats) {
+        let (store_engine, _report) = mpld::engine_with_store(
+            &model_bytes,
+            &params,
+            &cfg,
+            &store_dir,
+            mpld_store::StoreCaps::default(),
+            None,
+        )
+        .expect("open store-backed engine");
+        let t = Instant::now();
+        let mut results = Vec::with_capacity(prepared.len());
+        let mut fresh = 0usize;
+        for prep in &prepared {
+            let mut session = Session::new(seed);
+            let r = store_engine
+                .decompose(prep, &mut session)
+                .expect("store-backed decompose");
+            fresh += fresh_tail_solves(&r);
+            results.push(r);
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let stats = store_engine.stats();
+        let s = stats.store.as_ref().expect("store stats present");
+        eprintln!(
+            "library [{label}]: {fresh} fresh tail solves in {secs:.2}s ({} loaded in {} ms, library {}, {} appended)",
+            s.loaded_solves,
+            s.load_ms,
+            if s.lib_loaded { "loaded" } else { "rebuilt" },
+            s.appended
+        );
+        (results, fresh, secs, stats)
+    };
+    let (cold_results, cold_fresh, library_cold_secs, _cold_stats) = run_store_suite("cold");
+    for ((c, base), cold) in circuits.iter().zip(&serial_results).zip(&cold_results) {
+        assert_eq!(
+            cold.pipeline.cost, base.pipeline.cost,
+            "{}: store-backed cold cost diverged from the serial adaptive run",
+            c.name
+        );
+    }
+    let (warm_results, warm_fresh, library_warm_secs, warm_stats) = run_store_suite("warm");
+    for ((c, cold), warm) in circuits.iter().zip(&cold_results).zip(&warm_results) {
+        assert_eq!(
+            store_digest(warm),
+            store_digest(cold),
+            "{}: warm store-backed digest diverged from the cold run",
+            c.name
+        );
+    }
+    assert!(
+        cold_fresh > 0,
+        "library section needs at least one fresh tail solve to measure"
+    );
+    assert!(
+        warm_fresh * 5 <= cold_fresh,
+        "warm store-backed run must re-solve >=80% less: cold {cold_fresh}, warm {warm_fresh}"
+    );
+    let warm_store = warm_stats.store.as_ref().expect("store stats present");
+    let library_hit_rate = (cold_fresh - warm_fresh) as f64 / cold_fresh as f64;
+    let (library_load_ms, library_lib_loaded, library_store_entries) = (
+        warm_store.load_ms,
+        warm_store.lib_loaded,
+        warm_store.entries,
+    );
+    let library_loaded_solves = warm_store.loaded_solves;
+    let _ = std::fs::remove_dir_all(&store_dir);
+    eprintln!(
+        "library store: cold {cold_fresh} -> warm {warm_fresh} fresh tail solves ({:.1}% served), {library_loaded_solves} solves loaded in {library_load_ms} ms",
+        library_hit_rate * 100.0
+    );
+    drop(cold_results);
+    drop(warm_results);
+
     // 7. Chip scale: a generated multi-hundred-k-rect layout streamed to
     // disk, prepared through the tiled pipeline (O(tile) geometry working
     // set), and decomposed on the warm engine. Runs LAST so its generated
@@ -1061,6 +1158,19 @@ fn main() {
         resume_summary.resumed_units
     );
     let _ = writeln!(json, "    \"digest_equal_cold\": true");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"library\": {{");
+    let _ = writeln!(json, "    \"circuits\": {limit},");
+    let _ = writeln!(json, "    \"cold_tail_solves\": {cold_fresh},");
+    let _ = writeln!(json, "    \"warm_tail_solves\": {warm_fresh},");
+    let _ = writeln!(json, "    \"warm_hit_rate\": {library_hit_rate:.4},");
+    let _ = writeln!(json, "    \"cold_seconds\": {library_cold_secs:.4},");
+    let _ = writeln!(json, "    \"warm_seconds\": {library_warm_secs:.4},");
+    let _ = writeln!(json, "    \"load_ms\": {library_load_ms},");
+    let _ = writeln!(json, "    \"lib_loaded\": {library_lib_loaded},");
+    let _ = writeln!(json, "    \"loaded_solves\": {library_loaded_solves},");
+    let _ = writeln!(json, "    \"store_entries\": {library_store_entries},");
+    let _ = writeln!(json, "    \"digests_equal\": true");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"chip_scale\": {{");
     let _ = writeln!(json, "    \"threads\": {threads},");

@@ -140,6 +140,16 @@ commands:
                                      instead of the human-readable report
                                      (same object the server's final
                                      \"done\" event carries)
+      --store-dir <dir>              persistent graph-library store: the
+                                     library and audit-clean ILP/EC-tail
+                                     solves are loaded from (and appended
+                                     back to) a model-fingerprint-keyed
+                                     file, so repeat runs skip the tail;
+                                     corrupted or stale records re-solve
+      --store-max-entries <n>        cap on stored solve records
+      --store-max-bytes <n>          cap on the store file size
+      --cache-cap <n>                cap on each in-memory cross-request
+                                     cache (entries; arbitrary eviction)
       --tiled true                   memory-bounded tiled preprocessing:
                                      layout files are streamed from disk
                                      and windowed into overlapping tiles
@@ -176,6 +186,25 @@ commands:
                                      section in run summaries; costs stay
                                      bit-identical to the default path
       --tile-span <nm> --halo <nm>   tiling knobs (as adaptive --tiled)
+      --store-dir <dir>              persistent store (as adaptive): a
+                                     restarted server warm-loads the
+                                     library and previous tail solves and
+                                     appends new ones (write-behind);
+                                     counters in /stats under \"store\"
+      --store-max-entries <n>        cap on stored solve records
+      --store-max-bytes <n>          cap on the store file size
+      --cache-cap <n>                cap on each in-memory cross-request
+                                     cache (entries; arbitrary eviction),
+                                     high-water marks in /stats
+  library <action> --store-dir <dir> inspect or maintain a persistent
+                                     store directory; actions:
+      stats                          per-file entries, buckets, model key,
+                                     bytes (--json for machine output)
+      verify                         full audit re-check of every stored
+                                     coloring; exit 1 if anything is
+                                     corrupt, audit-stale, or orphaned
+      compact                        dedup superseded/orphaned/corrupt
+                                     records, rewrite-and-swap in place
   submit <layout> [options]          submit a job to a running mpld-server
                                      and stream its NDJSON events; retries
                                      429/disconnects with exponential
@@ -214,6 +243,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         Some("train") => cmd_train(&parsed),
         Some("adaptive") => cmd_adaptive(&parsed),
         Some("serve") => cmd_serve(&parsed),
+        Some("library") => cmd_library(&parsed),
         Some("submit") => cmd_submit(&parsed),
         Some("render") => cmd_render(&parsed),
         Some(other) => Err(CliError::Usage(format!(
@@ -466,6 +496,241 @@ fn load_model(
     Ok(fw)
 }
 
+fn store_caps_from(parsed: &Parsed) -> Result<mpld_store::StoreCaps, CliError> {
+    let max_entries = parsed
+        .option("store-max-entries")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("cannot parse --store-max-entries {v}"))
+        })
+        .transpose()?;
+    let max_bytes = parsed
+        .option("store-max-bytes")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("cannot parse --store-max-bytes {v}"))
+        })
+        .transpose()?;
+    Ok(mpld_store::StoreCaps {
+        max_entries,
+        max_bytes,
+    })
+}
+
+fn cache_cap_from(parsed: &Parsed) -> Result<Option<usize>, CliError> {
+    Ok(parsed
+        .option("cache-cap")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("cannot parse --cache-cap {v}"))
+        })
+        .transpose()?)
+}
+
+/// Builds a store-backed engine from a model file: the graph library and
+/// previous audit-clean tail solves are loaded from the
+/// model-fingerprint-keyed store file, and fresh solves append back.
+fn load_store_engine(
+    model: &str,
+    params: &DecomposeParams,
+    precision: Precision,
+    use_colorgnn: Option<bool>,
+    store_dir: &str,
+    parsed: &Parsed,
+) -> Result<(Engine, mpld_store::LoadReport), CliError> {
+    let bytes = std::fs::read(model).map_err(|e| format!("cannot open {model}: {e}"))?;
+    let caps = store_caps_from(parsed)?;
+    let cache_cap = cache_cap_from(parsed)?;
+    mpld::engine_with_store_configured(
+        &bytes,
+        params,
+        &OfflineConfig::default(),
+        std::path::Path::new(store_dir),
+        caps,
+        cache_cap,
+        |fw| {
+            fw.precision = precision;
+            if let Some(flag) = use_colorgnn {
+                fw.use_colorgnn = flag;
+            }
+        },
+    )
+    .map_err(|e| format!("cannot open store {store_dir}: {e}").into())
+}
+
+/// One human-readable line about what the store contributed to a run.
+fn print_store_line(engine: &Engine) {
+    if let Some(s) = engine.stats().store {
+        println!(
+            "store: {} solves loaded ({} ms), library {}, {} appended{}{}",
+            s.loaded_solves,
+            s.load_ms,
+            if s.lib_loaded { "loaded" } else { "rebuilt" },
+            s.appended,
+            if s.rekeyed {
+                ", re-keyed stale file"
+            } else {
+                ""
+            },
+            if s.skipped_corrupt + s.skipped_audit > 0 {
+                format!(
+                    ", skipped {} corrupt / {} audit-stale",
+                    s.skipped_corrupt, s.skipped_audit
+                )
+            } else {
+                String::new()
+            },
+        );
+    }
+}
+
+/// `mpld library <stats|verify|compact> --store-dir <dir>`: persistent
+/// store inspection and maintenance. `verify` exits 1 (typed solver
+/// error) when any stored record is corrupt, audit-stale, or orphaned;
+/// usage problems exit 2 as everywhere else.
+fn cmd_library(parsed: &Parsed) -> Result<(), CliError> {
+    let action = parsed
+        .positional(1)
+        .ok_or("library: missing action (stats|verify|compact)")?;
+    let dir = parsed
+        .option("store-dir")
+        .ok_or("library: missing --store-dir <dir>")?;
+    let dir = std::path::Path::new(dir);
+    let json: bool = parsed.option_or("json", false)?;
+    match action {
+        "stats" => {
+            let files = mpld_store::scan_dir(dir)
+                .map_err(|e| format!("cannot scan {}: {e}", dir.display()))?;
+            if json {
+                let items: Vec<String> = files.iter().map(library_stats_json).collect();
+                println!("[{}]", items.join(","));
+                return Ok(());
+            }
+            if files.is_empty() {
+                println!("no store files under {}", dir.display());
+                return Ok(());
+            }
+            for f in &files {
+                match &f.header {
+                    Some(h) => println!(
+                        "{}: model {:016x}  k {}  alpha {}  dim {}  lib {}\n  \
+                         {} solves in {} buckets, {} library entries ({}), {} bytes{}",
+                        f.path.display(),
+                        h.model_digest,
+                        h.k,
+                        h.alpha,
+                        h.dim,
+                        h.library,
+                        f.solves,
+                        f.buckets,
+                        f.lib_entries,
+                        if f.lib_complete {
+                            "complete"
+                        } else {
+                            "incomplete"
+                        },
+                        f.bytes,
+                        if f.corrupt > 0 {
+                            format!(", {} corrupt lines", f.corrupt)
+                        } else {
+                            String::new()
+                        },
+                    ),
+                    None => println!(
+                        "{}: unreadable header ({} bytes)",
+                        f.path.display(),
+                        f.bytes
+                    ),
+                }
+            }
+            Ok(())
+        }
+        "verify" => {
+            let reports = mpld_store::verify_dir(dir)
+                .map_err(|e| format!("cannot scan {}: {e}", dir.display()))?;
+            let mut dirty = 0usize;
+            for r in &reports {
+                let status = if r.is_clean() { "clean" } else { "DEGRADED" };
+                println!(
+                    "{}: {} — {} records ({} clean, {} corrupt, {} audit-failed, \
+                     {} orphaned{}{})",
+                    r.path.display(),
+                    status,
+                    r.records,
+                    r.clean,
+                    r.corrupt,
+                    r.audit_failed,
+                    r.orphaned,
+                    if r.torn_tail { ", torn tail" } else { "" },
+                    if r.header_ok { "" } else { ", bad header" },
+                );
+                if !r.is_clean() {
+                    dirty += 1;
+                }
+            }
+            if reports.is_empty() {
+                println!("no store files under {}", dir.display());
+            }
+            if dirty > 0 {
+                // Degraded stores are a data problem, not a usage one.
+                return Err(CliError::Solver(MpldError::Io(format!(
+                    "store verification failed: {dirty} of {} files degraded (run \
+                     'mpld library compact' to reclaim)",
+                    reports.len()
+                ))));
+            }
+            Ok(())
+        }
+        "compact" => {
+            let results = mpld_store::compact_dir(dir)
+                .map_err(|e| format!("compact {}: {e}", dir.display()))?;
+            if results.is_empty() {
+                println!("no store files under {}", dir.display());
+            }
+            for (path, r) in &results {
+                println!(
+                    "{}: kept {} solves + {} library entries; dropped {} superseded, \
+                     {} corrupt, {} audit-failed, {} orphaned; {} -> {} bytes",
+                    path.display(),
+                    r.kept_solves,
+                    r.kept_lib,
+                    r.dropped_superseded,
+                    r.dropped_corrupt,
+                    r.dropped_audit,
+                    r.dropped_orphaned,
+                    r.bytes_before,
+                    r.bytes_after,
+                );
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "library: unknown action {other:?} (expected stats|verify|compact)"
+        ))),
+    }
+}
+
+fn library_stats_json(f: &mpld_store::FileStats) -> String {
+    let header = match &f.header {
+        Some(h) => format!(
+            "{{\"model\":\"{:016x}\",\"k\":{},\"alpha\":{},\"dim\":{},\"library\":\"{}\"}}",
+            h.model_digest, h.k, h.alpha, h.dim, h.library
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"path\":{:?},\"header\":{header},\"solves\":{},\"buckets\":{},\
+         \"lib_entries\":{},\"lib_complete\":{},\"corrupt\":{},\"bytes\":{}}}",
+        f.path.display().to_string(),
+        f.solves,
+        f.buckets,
+        f.lib_entries,
+        f.lib_complete,
+        f.corrupt,
+        f.bytes
+    )
+}
+
 fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
     let arg = parsed.positional(1).ok_or("adaptive: missing layout")?;
     let model = parsed
@@ -490,6 +755,11 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
     if parsed.option_or("tiled", false)? {
         return cmd_adaptive_tiled(
             parsed, arg, model, &params, threads, policy, seed, json, precision,
+        );
+    }
+    if let Some(store_dir) = parsed.option("store-dir") {
+        return cmd_adaptive_store(
+            parsed, arg, model, &params, policy, seed, json, precision, store_dir,
         );
     }
     let mut fw = load_model(model, &params, precision)?;
@@ -601,6 +871,122 @@ fn cmd_adaptive(parsed: &Parsed) -> Result<(), CliError> {
             r.budget.budget_fallbacks
         );
     }
+    if r.resumed_units > 0 {
+        println!(
+            "checkpoint: resumed {} of {} units from the journal",
+            r.resumed_units,
+            prep.units.len()
+        );
+    }
+    if r.budget.quarantined > 0 || r.budget.audit_rejections > 0 {
+        println!(
+            "faults: {} quarantined  {} audit rejections",
+            r.budget.quarantined, r.budget.audit_rejections
+        );
+        for (unit, e) in &r.quarantines {
+            eprintln!("  unit {unit}: {e}");
+        }
+    }
+    if let Some(path) = parsed.option("o") {
+        write_masks(path, &r.pipeline.decomposition.feature_colors)?;
+        println!("wrote mask assignment to {path}");
+    }
+    Ok(())
+}
+
+/// `adaptive --store-dir <dir>`: store-backed decomposition through the
+/// serving engine. The graph library and previous audit-clean tail
+/// solves load from the persistent store (keyed by the model's weights
+/// digest and the layout params), and certified fresh solves append
+/// back, so a second run of the same workload re-solves almost nothing.
+#[allow(clippy::too_many_arguments)] // plain plumbing from cmd_adaptive's parsed options
+fn cmd_adaptive_store(
+    parsed: &Parsed,
+    arg: &str,
+    model: &str,
+    params: &DecomposeParams,
+    policy: BudgetPolicy,
+    seed: Option<u64>,
+    json: bool,
+    precision: Precision,
+    store_dir: &str,
+) -> Result<(), CliError> {
+    let colorgnn: Option<bool> = parsed
+        .option("colorgnn")
+        .map(|v| {
+            v.parse::<bool>()
+                .map_err(|_| format!("cannot parse --colorgnn {v}"))
+        })
+        .transpose()?;
+    let (engine, _report) =
+        load_store_engine(model, params, precision, colorgnn, store_dir, parsed)?;
+    let layout = load_layout(arg)?;
+    let prep = prepare(&layout, params);
+
+    // Same crash-safe checkpoint protocol as the in-memory path.
+    let mut resume = None;
+    let mut journal = None;
+    if let Some(path) = parsed.option("checkpoint") {
+        let p = std::path::Path::new(path);
+        if let Some(cp) = Checkpoint::load(p)? {
+            if !cp.matches(&layout.name, params.k, params.alpha, prep.units.len()) {
+                return Err(format!(
+                    "--checkpoint {path}: journal belongs to a different run \
+                     (layout {:?}, k {}, {} units)",
+                    cp.header().layout,
+                    cp.header().k,
+                    cp.header().units
+                )
+                .into());
+            }
+            resume = Some(cp);
+        }
+        let header = CheckpointHeader {
+            layout: layout.name.clone(),
+            k: params.k,
+            alpha: params.alpha,
+            units: prep.units.len(),
+        };
+        journal = Some(JournalWriter::append(p, &header)?);
+    }
+
+    let mut session = Session::with_policy(seed.unwrap_or(mpld_server::DEFAULT_SEED), policy);
+    session.recovery = Recovery {
+        resume: resume.as_ref(),
+        journal: journal.as_ref(),
+    };
+    let r = engine.decompose(&prep, &mut session)?;
+    if json {
+        println!(
+            "{}",
+            RunSummary::from_result(&layout.name, &r, params.alpha, 1, seed).to_json()
+        );
+        for (unit, e) in &r.quarantines {
+            eprintln!("  unit {unit}: {e}");
+        }
+        if let Some(path) = parsed.option("o") {
+            write_masks(path, &r.pipeline.decomposition.feature_colors)?;
+        }
+        return Ok(());
+    }
+    println!(
+        "adaptive (store) on {}: {} (objective {:.1}) in {:?} (seed {})",
+        layout.name,
+        r.pipeline.cost,
+        r.pipeline.cost.value(params.alpha),
+        r.pipeline.decompose_time,
+        session.seed()
+    );
+    println!(
+        "usage: matching {}  ColorGNN {}  EC {}  ILP {}  (fallbacks {}, memo hits {})",
+        r.usage.matching,
+        r.usage.colorgnn,
+        r.usage.ec,
+        r.usage.ilp,
+        r.usage.colorgnn_fallbacks,
+        r.memo_hits
+    );
+    print_store_line(&engine);
     if r.resumed_units > 0 {
         println!(
             "checkpoint: resumed {} of {} units from the journal",
@@ -858,9 +1244,39 @@ fn cmd_serve(parsed: &Parsed) -> Result<(), CliError> {
         return Err("--workers must be positive".into());
     }
     let precision = precision_from(parsed)?;
-    let mut fw = load_model(model, &params, precision)?;
-    fw.use_colorgnn = parsed.option_or("colorgnn", fw.use_colorgnn)?;
-    let engine = std::sync::Arc::new(Engine::new(fw));
+    let colorgnn: Option<bool> = parsed
+        .option("colorgnn")
+        .map(|v| {
+            v.parse::<bool>()
+                .map_err(|_| format!("cannot parse --colorgnn {v}"))
+        })
+        .transpose()?;
+    // With --store-dir the engine is store-backed: the graph library and
+    // previous audit-clean tail solves load from disk in milliseconds,
+    // and certified fresh solves append back (write-behind) so a warm
+    // restart serves the same workload with near-zero tail solves.
+    let engine = if let Some(store_dir) = parsed.option("store-dir") {
+        let (engine, report) =
+            load_store_engine(model, &params, precision, colorgnn, store_dir, parsed)?;
+        eprintln!(
+            "store: {} solves preloaded, library {} ({} ms{})",
+            report.solves,
+            if report.lib_complete {
+                "loaded"
+            } else {
+                "rebuilt"
+            },
+            report.load_ms,
+            if report.rekeyed { ", re-keyed" } else { "" },
+        );
+        std::sync::Arc::new(engine)
+    } else {
+        let mut fw = load_model(model, &params, precision)?;
+        if let Some(flag) = colorgnn {
+            fw.use_colorgnn = flag;
+        }
+        std::sync::Arc::new(Engine::with_cache_cap(fw, cache_cap_from(parsed)?))
+    };
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;

@@ -66,6 +66,48 @@ struct CachedSolve {
     engine: EngineKind,
 }
 
+/// The engine's handle on a persistent store: the append writer plus
+/// what loading it observed (frozen at construction).
+struct EngineStore {
+    writer: mpld_store::StoreWriter,
+    load: mpld_store::LoadReport,
+    lib_loaded: bool,
+}
+
+/// Snapshot of an [`Engine`]'s persistent-store counters: the load-time
+/// report plus the live writer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStoreStats {
+    /// Audit-clean tail solves preloaded into the solution caches.
+    pub loaded_solves: usize,
+    /// Malformed records skipped at load.
+    pub skipped_corrupt: usize,
+    /// Records whose coloring failed the load-time re-audit.
+    pub skipped_audit: usize,
+    /// Older duplicates superseded at load.
+    pub superseded: usize,
+    /// Library records orphaned by a missing completion marker.
+    pub orphaned: usize,
+    /// Whether a key-mismatched file was moved aside at open.
+    pub rekeyed: bool,
+    /// Whether the load ended on a torn final line.
+    pub torn_tail: bool,
+    /// Whether the graph library was served from the store (vs rebuilt).
+    pub lib_loaded: bool,
+    /// Store load time in milliseconds.
+    pub load_ms: u64,
+    /// Solve records appended by this engine so far.
+    pub appended: u64,
+    /// Records dropped by caps or uncacheable certainty.
+    pub dropped: u64,
+    /// Batched write+fsync cycles completed.
+    pub flushes: u64,
+    /// Append batches lost to I/O errors.
+    pub io_errors: u64,
+    /// Solve records the store file holds.
+    pub entries: u64,
+}
+
 /// Immutable decomposition engine shared across concurrent requests (see
 /// module docs). `Send + Sync`; wrap in an [`Arc`] and hand clones to
 /// worker threads, each driving its own [`Session`].
@@ -78,6 +120,10 @@ pub struct Engine {
     /// Tail-solution caches indexed by the `ec_first` routing flag (the
     /// flag decides which engines may answer, so it is part of the key).
     solutions: [ShardedGraphMap<Arc<CachedSolve>>; 2],
+    /// Persistent store flywheel (see [`crate::engine_with_store`]):
+    /// fresh deterministic tail solves are appended write-behind; `None`
+    /// for a purely in-memory engine.
+    store: Option<EngineStore>,
 }
 
 /// Snapshot of an [`Engine`]'s cross-request cache counters.
@@ -89,6 +135,8 @@ pub struct EngineStats {
     pub solutions_ilp_first: ShardedMapStats,
     /// Tail-solution counters for EC-first routed units.
     pub solutions_ec_first: ShardedMapStats,
+    /// Persistent-store counters; `None` for an in-memory engine.
+    pub store: Option<EngineStoreStats>,
 }
 
 /// Per-request mutable state: budget policy, the session's ColorGNN RNG
@@ -163,17 +211,63 @@ impl Engine {
     /// both RGCN heads and the ColorGNN once, and starts with empty
     /// cross-request caches.
     pub fn new(fw: AdaptiveFramework) -> Self {
+        Self::with_cache_cap(fw, None)
+    }
+
+    /// [`Engine::new`] with a solution/routing-cache entry cap: each of
+    /// the three cross-request maps holds at most `cap` entries, evicting
+    /// arbitrarily past it, so an unbounded-traffic server stays bounded.
+    pub fn with_cache_cap(fw: AdaptiveFramework, cap: Option<usize>) -> Self {
         let frozen_sel = fw.selector.freeze();
         let frozen_red = fw.redundancy.freeze();
         let frozen_color = fw.colorgnn.freeze();
+        let map = || ShardedGraphMap::with_capacity(mpld_matching::DEFAULT_SHARDS, cap);
         Self {
             fw,
             frozen_sel,
             frozen_red,
             frozen_color,
-            routing_memo: SharedRoutingMemo::default(),
-            solutions: [ShardedGraphMap::default(), ShardedGraphMap::default()],
+            routing_memo: ShardedGraphMap::with_capacity(mpld_matching::DEFAULT_SHARDS, cap),
+            solutions: [map(), map()],
+            store: None,
         }
+    }
+
+    /// Attaches an opened persistent store: preloads its audit-clean
+    /// tail solves into the solution caches and appends fresh
+    /// deterministic solves back (write-behind). `lib_loaded` records
+    /// whether the graph library came from the store too.
+    pub fn with_store(
+        fw: AdaptiveFramework,
+        opened: mpld_store::OpenedStore,
+        lib_loaded: bool,
+        cache_cap: Option<usize>,
+    ) -> Self {
+        let mut engine = Self::with_cache_cap(fw, cache_cap);
+        let mpld_store::OpenedStore { load, writer } = opened;
+        for s in &load.solves {
+            let engine_kind = match s.engine {
+                mpld_store::TailEngine::Ilp => EngineKind::Ilp,
+                mpld_store::TailEngine::Ec => EngineKind::Ec,
+            };
+            engine.solutions[usize::from(s.ec_first)].insert(
+                &s.graph,
+                Arc::new(CachedSolve {
+                    d: Decomposition {
+                        coloring: s.coloring.clone(),
+                        cost: s.cost,
+                        certainty: s.certainty,
+                    },
+                    engine: engine_kind,
+                }),
+            );
+        }
+        engine.store = Some(EngineStore {
+            writer,
+            load: load.report,
+            lib_loaded,
+        });
+        engine
     }
 
     /// The wrapped framework (parameters, library, thresholds).
@@ -187,6 +281,32 @@ impl Engine {
             routing: self.routing_memo.stats(),
             solutions_ilp_first: self.solutions[0].stats(),
             solutions_ec_first: self.solutions[1].stats(),
+            store: self.store.as_ref().map(|s| {
+                let w = s.writer.stats();
+                EngineStoreStats {
+                    loaded_solves: s.load.solves,
+                    skipped_corrupt: s.load.skipped_corrupt,
+                    skipped_audit: s.load.skipped_audit,
+                    superseded: s.load.superseded,
+                    orphaned: s.load.orphaned,
+                    rekeyed: s.load.rekeyed,
+                    torn_tail: s.load.torn_tail,
+                    lib_loaded: s.lib_loaded,
+                    load_ms: s.load.load_ms,
+                    appended: w.appended,
+                    dropped: w.dropped,
+                    flushes: w.flushes,
+                    io_errors: w.io_errors,
+                    entries: w.entries,
+                }
+            }),
+        }
+    }
+
+    /// Forces any write-behind store appends to disk.
+    pub fn flush_store(&self) {
+        if let Some(store) = &self.store {
+            store.writer.flush();
         }
     }
 
@@ -358,6 +478,21 @@ impl Engine {
                         engine: solve.engine,
                     }),
                 );
+                // Flywheel: persist the fresh deterministic solve
+                // (write-behind; cache hits are never re-appended).
+                if let Some(store) = &self.store {
+                    store.writer.append_solve(&mpld_store::StoredSolve {
+                        graph: (*g).clone(),
+                        ec_first,
+                        engine: match solve.engine {
+                            EngineKind::Ilp => mpld_store::TailEngine::Ilp,
+                            _ => mpld_store::TailEngine::Ec,
+                        },
+                        certainty: solve.d.certainty,
+                        coloring: solve.d.coloring.clone(),
+                        cost: solve.d.cost,
+                    });
+                }
             }
             if let Some(q) = solve.quarantine {
                 quarantines.push((i, q));
@@ -379,6 +514,10 @@ impl Engine {
             unit_results[i] = Some(solve.d);
             unit_engines[i] = Some(solve.engine);
         }
+
+        // Batch-flush the store appends once per request: one fsync per
+        // request tail instead of one per solve.
+        self.flush_store();
 
         Ok(finish(
             prep,

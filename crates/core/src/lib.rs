@@ -52,6 +52,7 @@ mod metrics;
 pub mod parallel;
 mod pipeline;
 mod stats;
+mod store;
 mod summary;
 mod tiled;
 mod training;
@@ -60,7 +61,7 @@ pub use checkpoint::{
     unit_fingerprint, Checkpoint, CheckpointEntry, CheckpointHeader, JournalWriter,
 };
 pub use density::{density_imbalance, mask_densities};
-pub use engine::{Engine, EngineStats, Progress, Session};
+pub use engine::{Engine, EngineStats, EngineStoreStats, Progress, Session};
 pub use framework::{
     AdaptiveFramework, AdaptiveResult, BudgetBreakdown, BudgetPolicy, EngineKind, InferenceStats,
     Recovery, TimingBreakdown, UnitOutcome, UsageBreakdown,
@@ -75,6 +76,7 @@ pub use pipeline::{
     PreparedLayout, UnitInstance,
 };
 pub use stats::{layout_stats, LayoutStats};
+pub use store::{engine_with_store, engine_with_store_configured, library_token};
 pub use summary::{RunSummary, TiledRunSummary};
 pub use tiled::{
     audit_boundary_units, peak_rss_bytes, prepare_tiled, prepare_tiled_file, TiledPrepared,

@@ -320,6 +320,17 @@ impl AdaptiveFramework {
         self.colorgnn.save_weights(&mut writer)
     }
 
+    /// FNV-64 digest of the serialized weights — the model fingerprint
+    /// that keys persisted library/memo state. [`AdaptiveFramework::save`]
+    /// and [`AdaptiveFramework::load`] round-trip byte-identically, so
+    /// the digest is stable across processes for the same trained model.
+    pub fn weights_digest(&self) -> u64 {
+        let mut bytes = Vec::new();
+        // Writing to a Vec cannot fail.
+        let _ = self.save(&mut bytes);
+        mpld_store::fnv64(&bytes)
+    }
+
     /// Reconstructs a framework from [`AdaptiveFramework::save`] output.
     /// `cfg.library` controls the library rebuild; training-only fields of
     /// `cfg` are ignored.
@@ -328,9 +339,28 @@ impl AdaptiveFramework {
     ///
     /// Returns `InvalidData` on a format mismatch.
     pub fn load<R: std::io::Read>(
+        reader: R,
+        params: &DecomposeParams,
+        cfg: &OfflineConfig,
+    ) -> std::io::Result<AdaptiveFramework> {
+        Self::load_with_library(reader, params, cfg, |_| None)
+    }
+
+    /// [`AdaptiveFramework::load`] with a library override: after the
+    /// weights are deserialized, `library_source` is offered the loaded
+    /// selector and may return a prebuilt library (e.g. one loaded from
+    /// the persistent store) to skip the deterministic-but-costly
+    /// enumeration rebuild. Returning `None` falls back to
+    /// [`GraphLibrary::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a format mismatch.
+    pub fn load_with_library<R: std::io::Read>(
         mut reader: R,
         params: &DecomposeParams,
         cfg: &OfflineConfig,
+        library_source: impl FnOnce(&RgcnClassifier) -> Option<GraphLibrary>,
     ) -> std::io::Result<AdaptiveFramework> {
         use std::io::{Error, ErrorKind};
         let mut magic = [0u8; 8];
@@ -358,7 +388,8 @@ impl AdaptiveFramework {
         colorgnn.load_weights(&mut reader)?;
         colorgnn.set_restarts(restarts.max(1));
 
-        let library = GraphLibrary::build(&selector, &cfg.library, params);
+        let library = library_source(&selector)
+            .unwrap_or_else(|| GraphLibrary::build(&selector, &cfg.library, params));
         Ok(AdaptiveFramework {
             selector,
             redundancy,

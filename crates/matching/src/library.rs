@@ -116,6 +116,31 @@ impl GraphLibrary {
         lib
     }
 
+    /// Rebuilds a library from persisted entries (e.g. loaded from the
+    /// on-disk store), preserving entry order so lookups behave
+    /// identically across processes. An entry whose canonical form
+    /// duplicates an earlier one is skipped and counted — a persisted
+    /// dump should never contain one, but a hand-edited or merged file
+    /// might.
+    pub fn from_entries(entries: Vec<LibraryEntry>, max_nodes: usize) -> GraphLibrary {
+        let mut lib = GraphLibrary {
+            entries: Vec::with_capacity(entries.len()),
+            canon_index: HashMap::new(),
+            max_nodes,
+            stats: LibraryStats::default(),
+        };
+        for e in entries {
+            let canon = canonical_form(&e.graph);
+            if lib.canon_index.contains_key(&canon) {
+                lib.stats.duplicates_skipped += 1;
+                continue;
+            }
+            lib.canon_index.insert(canon, lib.entries.len());
+            lib.entries.push(e);
+        }
+        lib
+    }
+
     /// Inserts `graph` unless an isomorphic entry exists (Algorithm 2
     /// lines 7–12). Returns `true` when the graph was stored. The optimal
     /// solution is computed with the exact ILP engine.

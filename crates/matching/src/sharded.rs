@@ -38,9 +38,14 @@ pub struct ShardedGraphMap<V> {
     /// Power-of-two shard array; a key's shard is `fingerprint & mask`.
     shards: Box<[Shard<V>]>,
     mask: u64,
+    /// Soft entry cap; inserts beyond it evict an arbitrary entry from
+    /// the inserting shard first (see [`ShardedGraphMap::insert`]).
+    cap: Option<usize>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     entries: AtomicUsize,
+    evictions: AtomicUsize,
+    high_water: AtomicUsize,
 }
 
 /// Cumulative access counters of one [`ShardedGraphMap`].
@@ -52,6 +57,10 @@ pub struct ShardedMapStats {
     pub misses: usize,
     /// Distinct graphs currently stored.
     pub entries: usize,
+    /// Entries evicted to hold the cap.
+    pub evictions: usize,
+    /// Largest entry count ever held.
+    pub high_water: usize,
 }
 
 impl<V> Default for ShardedGraphMap<V> {
@@ -64,13 +73,23 @@ impl<V> ShardedGraphMap<V> {
     /// An empty map with `shards` stripes (rounded up to a power of two,
     /// minimum 1).
     pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, None)
+    }
+
+    /// An empty capped map: once `cap` entries are held, each insert
+    /// first evicts one arbitrary entry from its own shard, so the map
+    /// stays within `cap + shards - 1` entries under any traffic.
+    pub fn with_capacity(shards: usize, cap: Option<usize>) -> Self {
         let n = shards.max(1).next_power_of_two();
         Self {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             mask: (n - 1) as u64,
+            cap,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             entries: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -94,6 +113,8 @@ impl<V> ShardedGraphMap<V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            high_water: self.high_water.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,12 +150,38 @@ impl<V: Clone> ShardedGraphMap<V> {
         let Ok(mut shard) = self.shard(fp).write() else {
             return value; // poisoned shard: the caller keeps its value
         };
-        let bucket = shard.entry(fp).or_default();
-        if let Some((_, existing)) = bucket.iter().find(|(rep, _)| graphs_identical(rep, g)) {
-            return existing.clone();
+        if let Some(bucket) = shard.get(&fp) {
+            if let Some((_, existing)) = bucket.iter().find(|(rep, _)| graphs_identical(rep, g)) {
+                return existing.clone();
+            }
         }
-        bucket.push((g.clone(), value.clone()));
-        self.entries.fetch_add(1, Ordering::Relaxed);
+        if self
+            .cap
+            .is_some_and(|cap| self.entries.load(Ordering::Relaxed) >= cap)
+        {
+            // At capacity: evict one arbitrary entry from this shard
+            // before inserting. An empty shard overshoots by at most
+            // `shards - 1` entries in total — bounded and lock-local,
+            // which is the point (no global LRU bookkeeping on the hot
+            // path).
+            if let Some(victim_fp) = shard.keys().next().copied() {
+                if let Some(bucket) = shard.get_mut(&victim_fp) {
+                    if bucket.pop().is_some() {
+                        if bucket.is_empty() {
+                            shard.remove(&victim_fp);
+                        }
+                        self.entries.fetch_sub(1, Ordering::Relaxed);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        shard
+            .entry(fp)
+            .or_default()
+            .push((g.clone(), value.clone()));
+        let now = self.entries.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
         value
     }
 }
@@ -197,6 +244,36 @@ mod tests {
             .or_default()
             .push((a.clone(), 3));
         assert_eq!(map.get(&b), None);
+    }
+
+    #[test]
+    fn cap_evicts_and_tracks_high_water() {
+        let map: ShardedGraphMap<usize> = ShardedGraphMap::with_capacity(1, Some(2));
+        let graphs: Vec<LayoutGraph> = (2..6)
+            .map(|n| LayoutGraph::homogeneous(n, vec![(0, 1)]).unwrap())
+            .collect();
+        for (i, g) in graphs.iter().enumerate() {
+            map.insert(g, i);
+        }
+        let s = map.stats();
+        assert_eq!(s.entries, 2, "{s:?}");
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.high_water, 2);
+        // Re-inserting an identical graph neither grows nor evicts.
+        map.insert(&graphs[3], 99);
+        assert_eq!(map.stats().entries, 2);
+    }
+
+    #[test]
+    fn uncapped_map_never_evicts() {
+        let map: ShardedGraphMap<usize> = ShardedGraphMap::new(2);
+        for n in 2..12 {
+            map.insert(&LayoutGraph::homogeneous(n, vec![(0, 1)]).unwrap(), n);
+        }
+        let s = map.stats();
+        assert_eq!(s.entries, 10);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.high_water, 10);
     }
 
     #[test]

@@ -589,7 +589,8 @@ fn stats_json(state: &ServerState) -> String {
          \"jobs\":{{\"registered\":{},\"started\":{},\"completed\":{},\"failed\":{},\
          \"resumed_units\":{},\"journal_records\":{},\"journal_restarts\":{}}},\
          \"http\":{{\"rejected_busy\":{},\"bad_requests\":{},\"request_panics\":{}}},\
-         \"tiled\":{{\"enabled\":{},\"preps\":{},\"tiles\":{},\"boundary_resolves\":{}}}}}",
+         \"tiled\":{{\"enabled\":{},\"preps\":{},\"tiles\":{},\"boundary_resolves\":{}}},\
+         \"store\":{}}}",
         map_stats_json(&s.routing),
         map_stats_json(&s.solutions_ilp_first),
         map_stats_json(&s.solutions_ec_first),
@@ -611,6 +612,7 @@ fn stats_json(state: &ServerState) -> String {
         ld(&c.tiled_preps),
         ld(&c.tiles_prepared),
         ld(&c.boundary_resolves),
+        store_stats_json(s.store.as_ref()),
     )
 }
 
@@ -969,8 +971,36 @@ fn stream_job(mut stream: TcpStream, job: &Arc<Job>) -> std::io::Result<()> {
 
 fn map_stats_json(s: &mpld::ShardedMapStats) -> String {
     format!(
-        "{{\"hits\":{},\"misses\":{},\"entries\":{}}}",
-        s.hits, s.misses, s.entries
+        "{{\"hits\":{},\"misses\":{},\"entries\":{},\"evictions\":{},\"high_water\":{}}}",
+        s.hits, s.misses, s.entries, s.evictions, s.high_water
+    )
+}
+
+/// The persistent-store section of `/stats`: `null` for an in-memory
+/// engine, else the load report + live writer counters.
+fn store_stats_json(s: Option<&mpld::EngineStoreStats>) -> String {
+    let Some(s) = s else {
+        return "null".to_string();
+    };
+    format!(
+        "{{\"loaded_solves\":{},\"skipped_corrupt\":{},\"skipped_audit\":{},\
+         \"superseded\":{},\"orphaned\":{},\"rekeyed\":{},\"torn_tail\":{},\
+         \"lib_loaded\":{},\"load_ms\":{},\"appended\":{},\"dropped\":{},\
+         \"flushes\":{},\"io_errors\":{},\"entries\":{}}}",
+        s.loaded_solves,
+        s.skipped_corrupt,
+        s.skipped_audit,
+        s.superseded,
+        s.orphaned,
+        s.rekeyed,
+        s.torn_tail,
+        s.lib_loaded,
+        s.load_ms,
+        s.appended,
+        s.dropped,
+        s.flushes,
+        s.io_errors,
+        s.entries,
     )
 }
 

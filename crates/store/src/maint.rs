@@ -1,0 +1,152 @@
+//! Compaction: rewrite-and-swap. A long-lived store accumulates
+//! superseded duplicates, orphaned dump fragments, and skipped corrupt
+//! lines; compaction re-loads the file through the same verified path
+//! the server uses, writes only the surviving records to a sibling
+//! `.tmp`, fsyncs, and atomically renames over the original. A crash at
+//! any point leaves either the old file or the new file — never a mix.
+
+use crate::format::{parse_header, render_lib, render_lib_done, render_solve, StoreKey};
+use crate::reader::{accumulate, verify_file};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// What one [`compact_file`] run dropped and kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Deduplicated solve records rewritten.
+    pub kept_solves: usize,
+    /// Library entries rewritten (complete dump only).
+    pub kept_lib: usize,
+    /// Superseded duplicates dropped.
+    pub dropped_superseded: usize,
+    /// Malformed lines dropped.
+    pub dropped_corrupt: usize,
+    /// Audit-failed records dropped.
+    pub dropped_audit: usize,
+    /// Orphaned library fragments dropped.
+    pub dropped_orphaned: usize,
+    /// File size before compaction.
+    pub bytes_before: u64,
+    /// File size after compaction.
+    pub bytes_after: u64,
+}
+
+/// Compacts one store file in place (rewrite-and-swap).
+///
+/// # Errors
+///
+/// `InvalidData` when the header is unreadable (the file cannot be
+/// keyed, so rewriting it would forge provenance); otherwise real I/O
+/// failures only.
+pub fn compact_file(path: &Path) -> std::io::Result<CompactReport> {
+    let bytes_before = std::fs::metadata(path)?.len();
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut raw: Vec<u8> = Vec::new();
+    reader.read_until(b'\n', &mut raw)?;
+    let header_text = String::from_utf8_lossy(&raw).into_owned();
+    let Some(header) = parse_header(&header_text) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: unreadable store header", path.display()),
+        ));
+    };
+    let header_line = header_text.trim_end().to_string();
+    let mut lines: Vec<String> = Vec::new();
+    loop {
+        raw.clear();
+        if reader.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        let line = String::from_utf8_lossy(&raw);
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if !trimmed.is_empty() && trimmed.ends_with('}') && line.ends_with('\n') {
+            lines.push(trimmed.to_string());
+        }
+    }
+    let acc = accumulate(&lines, header.k);
+
+    let tmp = tmp_path(path);
+    let mut out = std::fs::File::create(&tmp)?;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(header_line.as_bytes());
+    buf.push(b'\n');
+    if let Some(lib) = &acc.lib {
+        for e in lib {
+            buf.extend_from_slice(render_lib(e).as_bytes());
+            buf.push(b'\n');
+        }
+        buf.extend_from_slice(render_lib_done(lib.len()).as_bytes());
+        buf.push(b'\n');
+    }
+    let mut kept_solves = 0usize;
+    for s in &acc.solves {
+        if let Some(line) = render_solve(s) {
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+            kept_solves += 1;
+        }
+    }
+    out.write_all(&buf)?;
+    out.sync_all()?;
+    drop(out);
+    std::fs::rename(&tmp, path)?;
+
+    Ok(CompactReport {
+        kept_solves,
+        kept_lib: acc.lib.as_ref().map_or(0, Vec::len),
+        dropped_superseded: acc.superseded,
+        dropped_corrupt: acc.skipped_corrupt,
+        dropped_audit: acc.skipped_audit,
+        dropped_orphaned: acc.orphaned,
+        bytes_before,
+        bytes_after: buf.len() as u64,
+    })
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+/// Compacts every store file under `dir` (sorted by name), returning
+/// one report per file alongside its path.
+///
+/// # Errors
+///
+/// Propagates the first I/O failure; a missing directory yields an
+/// empty list.
+pub fn compact_dir(dir: &Path) -> std::io::Result<Vec<(PathBuf, CompactReport)>> {
+    let mut out = Vec::new();
+    for fs in crate::reader::scan_dir(dir)? {
+        let report = compact_file(&fs.path)?;
+        out.push((fs.path, report));
+    }
+    Ok(out)
+}
+
+/// Compacts the single file keyed by `key` under `dir` if it exists.
+///
+/// # Errors
+///
+/// Same as [`compact_file`]; a missing file yields `None`.
+pub fn compact_keyed(dir: &Path, key: &StoreKey) -> std::io::Result<Option<CompactReport>> {
+    let path = key.path_in(dir);
+    if !path.exists() {
+        return Ok(None);
+    }
+    compact_file(&path).map(Some)
+}
+
+/// Sanity helper for tests and the CLI: compact then verify the result
+/// is clean.
+///
+/// # Errors
+///
+/// Same as [`compact_file`] / [`verify_file`].
+pub fn compact_and_verify(path: &Path) -> std::io::Result<(CompactReport, bool)> {
+    let report = compact_file(path)?;
+    let verify = verify_file(path)?;
+    Ok((report, verify.is_clean()))
+}

@@ -1,0 +1,261 @@
+//! Write-behind appending: records buffer in memory and hit the disk in
+//! batches with a single `fsync` per batch, so the solve path never
+//! blocks on durability. A `kill -9` between batches loses at most the
+//! buffered tail plus one torn line — exactly what the loader's
+//! torn-tail rule skips.
+
+use crate::format::{render_lib, render_lib_done, render_solve, StoreKey, StoredSolve};
+use crate::reader::{load, LoadReport, StoreLoad};
+use mpld_matching::LibraryEntry;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Records buffered before a batched write + `sync_data`.
+const FLUSH_EVERY: usize = 32;
+
+/// Size/entry bounds for a long-lived store. `None` means unbounded.
+/// Caps apply to appended solve records; the library dump (bounded by
+/// construction) is always written.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCaps {
+    /// Maximum solve records the file may hold.
+    pub max_entries: Option<usize>,
+    /// Maximum file size in bytes.
+    pub max_bytes: Option<u64>,
+}
+
+/// Counters for one [`StoreWriter`]'s lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Records accepted for append.
+    pub appended: u64,
+    /// Records dropped by the size/entry caps.
+    pub dropped: u64,
+    /// Batched write+fsync cycles completed.
+    pub flushes: u64,
+    /// Append batches lost to I/O errors (best-effort persistence).
+    pub io_errors: u64,
+    /// Solve records the file holds (loaded + appended).
+    pub entries: u64,
+    /// Approximate file size in bytes.
+    pub bytes: u64,
+}
+
+struct Inner {
+    file: File,
+    pending: Vec<u8>,
+    pending_records: usize,
+    entries: u64,
+    bytes: u64,
+}
+
+/// Thread-safe append handle for one store file.
+///
+/// Persistence is best-effort by design: an I/O failure drops the
+/// pending batch and bumps `io_errors` — correctness never depends on a
+/// record reaching disk, only warmth does.
+pub struct StoreWriter {
+    inner: Mutex<Inner>,
+    caps: StoreCaps,
+    appended: AtomicU64,
+    dropped: AtomicU64,
+    flushes: AtomicU64,
+    io_errors: AtomicU64,
+    path: PathBuf,
+}
+
+impl StoreWriter {
+    fn new(file: File, caps: StoreCaps, path: PathBuf, entries: u64, bytes: u64) -> Self {
+        StoreWriter {
+            inner: Mutex::new(Inner {
+                file,
+                pending: Vec::new(),
+                pending_records: 0,
+                entries,
+                bytes,
+            }),
+            caps,
+            appended: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            path,
+        }
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) {
+        if inner.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut inner.pending);
+        inner.pending_records = 0;
+        let ok = inner
+            .file
+            .write_all(&batch)
+            .and_then(|()| inner.file.sync_data());
+        match ok {
+            Ok(()) => {
+                self.flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn push_locked(&self, inner: &mut Inner, line: &str) {
+        inner.pending.extend_from_slice(line.as_bytes());
+        inner.pending.push(b'\n');
+        inner.pending_records += 1;
+        inner.bytes += line.len() as u64 + 1;
+        if inner.pending_records >= FLUSH_EVERY {
+            self.flush_locked(inner);
+        }
+    }
+
+    /// Queues one solve record. Uncacheable certainties and cap
+    /// overflows are dropped (counted), never errors.
+    pub fn append_solve(&self, solve: &StoredSolve) {
+        let Some(line) = render_solve(solve) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let over_entries = self
+            .caps
+            .max_entries
+            .is_some_and(|cap| inner.entries as usize >= cap);
+        let over_bytes = self
+            .caps
+            .max_bytes
+            .is_some_and(|cap| inner.bytes + line.len() as u64 + 1 > cap);
+        if over_entries || over_bytes {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        inner.entries += 1;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        self.push_locked(&mut inner, &line);
+    }
+
+    /// Writes a complete library dump (entries + completion marker) and
+    /// flushes immediately: the dump is the store's foundation and must
+    /// be durable before solves start referencing warm state.
+    pub fn append_lib(&self, entries: &[LibraryEntry]) {
+        if entries.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for e in entries {
+            let line = render_lib(e);
+            self.push_locked(&mut inner, &line);
+        }
+        let done = render_lib_done(entries.len());
+        self.push_locked(&mut inner, &done);
+        self.flush_locked(&mut inner);
+    }
+
+    /// Forces the pending batch to disk.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.flush_locked(&mut inner);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WriterStats {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        WriterStats {
+            appended: self.appended.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            entries: inner.entries,
+            bytes: inner.bytes,
+        }
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        if !inner.pending.is_empty() {
+            let batch = std::mem::take(&mut inner.pending);
+            if inner
+                .file
+                .write_all(&batch)
+                .and_then(|()| inner.file.sync_data())
+                .is_err()
+            {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A store opened for serving: what the file already held, plus the
+/// append handle for the flywheel.
+pub struct OpenedStore {
+    /// Verified contents loaded from disk.
+    pub load: StoreLoad,
+    /// Append handle for new tail solves.
+    pub writer: StoreWriter,
+}
+
+impl OpenedStore {
+    /// The load-time report (convenience).
+    pub fn report(&self) -> &LoadReport {
+        &self.load.report
+    }
+}
+
+fn ends_with_newline(path: &Path) -> std::io::Result<bool> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = File::open(path)?;
+    if f.metadata()?.len() == 0 {
+        return Ok(true);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut buf = [0u8; 1];
+    f.read_exact(&mut buf)?;
+    Ok(buf[0] == b'\n')
+}
+
+/// Opens (creating as needed) the store for `key` under `dir`: loads and
+/// verifies existing records, moves aside a key-mismatched file, writes
+/// the header into a fresh file, and returns an append handle seeded
+/// with the file's current entry/byte counts.
+///
+/// # Errors
+///
+/// Real I/O failures only (directory creation, open, header write).
+pub fn open(dir: &Path, key: &StoreKey, caps: StoreCaps) -> std::io::Result<OpenedStore> {
+    std::fs::create_dir_all(dir)?;
+    let loaded = load(dir, key)?;
+    let path = key.path_in(dir);
+    let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+    if file.metadata()?.len() == 0 {
+        let mut header = key.header_line();
+        header.push('\n');
+        file.write_all(header.as_bytes())?;
+        file.sync_data()?;
+    } else if !ends_with_newline(&path)? {
+        // Terminate a torn final line so fresh appends start on their
+        // own line instead of concatenating into the tear.
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+    }
+    let bytes = file.metadata()?.len();
+    let writer = StoreWriter::new(file, caps, path, loaded.report.solves as u64, bytes);
+    Ok(OpenedStore {
+        load: loaded,
+        writer,
+    })
+}

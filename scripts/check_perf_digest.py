@@ -147,6 +147,51 @@ def check_serving_resume(fresh) -> bool:
     return bad
 
 
+def check_library(fresh) -> bool:
+    """Internal consistency of the fresh run's library (persistent
+    store) section.
+
+    The harness asserts in-binary that a warm store-backed engine — a
+    fresh process sharing only the store directory — reproduced the cold
+    run's digests bit-for-bit; the guard re-checks the recorded flags
+    and the flywheel's effectiveness: the warm pass must re-solve at
+    least 80% fewer tail units than the cold pass, and the store load
+    must have contributed actual records. Timings are ignored — they
+    vary by host. Returns True when something diverged.
+    """
+    lib = fresh.get("library")
+    if lib is None:
+        print("fresh run lacks a library section")
+        return True
+    bad = False
+    if not lib.get("digests_equal"):
+        print("library: digests_equal is not true")
+        bad = True
+    cold = lib.get("cold_tail_solves", 0)
+    warm = lib.get("warm_tail_solves", 0)
+    if cold <= 0:
+        print("library: the cold run recorded no fresh tail solves")
+        bad = True
+    elif warm * 5 > cold:
+        print(
+            f"library: warm run re-solved {warm} of {cold} tail units "
+            "(needs >=80% served from the store)"
+        )
+        bad = True
+    if lib.get("loaded_solves", 0) <= 0:
+        print("library: the warm engine loaded no solves from the store")
+        bad = True
+    if not lib.get("lib_loaded"):
+        print("library: the warm engine rebuilt the graph library")
+        bad = True
+    if not bad:
+        print(
+            f"library store consistent: {cold} -> {warm} fresh tail solves "
+            f"({lib.get('loaded_solves')} loaded in {lib.get('load_ms')} ms)"
+        )
+    return bad
+
+
 def check_chip_scale(fresh, committed) -> bool:
     """Internal consistency of the fresh run's chip_scale section, plus
     a cross-run comparison of its deterministic fields.
@@ -235,6 +280,9 @@ def main() -> int:
     )
     if resume_bad:
         print("serving_resume tier DIVERGED from the fresh run's own cold digest")
+    library_bad = committed.get("library") is not None and check_library(fresh)
+    if library_bad:
+        print("library tier DIVERGED from the fresh run's own cold digests")
     # Chip-scale: the audit/parity flags are host-independent; the
     # deterministic cross-run fields are only comparable when both runs
     # generated from the same seed.
@@ -244,7 +292,7 @@ def main() -> int:
     )
     if chip_bad:
         print("chip_scale tier DIVERGED (audit, parity probe, or digest)")
-    quant_bad = quant_bad or serving_bad or resume_bad or chip_bad
+    quant_bad = quant_bad or serving_bad or resume_bad or library_bad or chip_bad
 
     if fresh.get("fp_kernel") != committed.get("fp_kernel"):
         print(
